@@ -1,0 +1,15 @@
+package sailfish
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Small aliases/values shared by the root benchmarks.
+
+type netipAddr = netip.Addr
+
+var benchTime = time.Unix(0, 0)
+
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }

@@ -1,0 +1,134 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, one per experiment (go test -bench=. -benchmem). Each
+// iteration performs a complete regeneration, so the reported ns/op is the
+// cost of reproducing that artifact from scratch; simulation-backed figures
+// run with a reduced window (the same code path as the full run in
+// cmd/sailfish-bench).
+package sailfish
+
+import (
+	"testing"
+
+	"sailfish/internal/experiments"
+)
+
+// benchScale shrinks simulated multi-day windows so each benchmark
+// iteration stays subsecond; memory/layout experiments ignore it.
+const benchScale = 0.25
+
+func benchmarkExperiment(b *testing.B, id string) {
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := run(benchScale)
+		if len(rep.Text) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Table 2: baseline occupancy of the two major tables (no optimizations).
+func BenchmarkTable2(b *testing.B) { benchmarkExperiment(b, "table2") }
+
+// Table 3: major-table occupancy after all §4.4 optimizations.
+func BenchmarkTable3(b *testing.B) { benchmarkExperiment(b, "table3") }
+
+// Table 4: full-program occupancy per pipeline class.
+func BenchmarkTable4(b *testing.B) { benchmarkExperiment(b, "table4") }
+
+// Fig 4: CPU overload in an XGW-x86 (top-5 cores).
+func BenchmarkFig4(b *testing.B) { benchmarkExperiment(b, "fig4") }
+
+// Fig 5: legacy region traffic and packet loss.
+func BenchmarkFig5(b *testing.B) { benchmarkExperiment(b, "fig5") }
+
+// Fig 6: balanced CPU consumption across gateways.
+func BenchmarkFig6(b *testing.B) { benchmarkExperiment(b, "fig6") }
+
+// Fig 7: heavy hitters dominating overloaded cores.
+func BenchmarkFig7(b *testing.B) { benchmarkExperiment(b, "fig7") }
+
+// Fig 8: CPU performance vs ToR port speed, 2010-2020.
+func BenchmarkFig8(b *testing.B) { benchmarkExperiment(b, "fig8") }
+
+// Fig 17: step-by-step table compression.
+func BenchmarkFig17(b *testing.B) { benchmarkExperiment(b, "fig17") }
+
+// Fig 18: XGW-H vs XGW-x86 forwarding performance.
+func BenchmarkFig18(b *testing.B) { benchmarkExperiment(b, "fig18") }
+
+// Fig 19: Sailfish loss in three regions during the festival week.
+func BenchmarkFig19(b *testing.B) { benchmarkExperiment(b, "fig19") }
+
+// Fig 20: traffic split between pipes, per cluster.
+func BenchmarkFig20(b *testing.B) { benchmarkExperiment(b, "fig20") }
+
+// Fig 21: traffic split between pipes, over time.
+func BenchmarkFig21(b *testing.B) { benchmarkExperiment(b, "fig21") }
+
+// Fig 22: the <0.2‰ sliver carried by XGW-x86.
+func BenchmarkFig22(b *testing.B) { benchmarkExperiment(b, "fig22") }
+
+// Fig 23: VXLAN routing table update frequencies.
+func BenchmarkFig23(b *testing.B) { benchmarkExperiment(b, "fig23") }
+
+// §8 future work: N+1 hierarchical cache clusters.
+func BenchmarkNPlus1(b *testing.B) { benchmarkExperiment(b, "nplus1") }
+
+// Ablation: ALPM bucket-capacity sweep (§4.4 TCAM/SRAM trade-off).
+func BenchmarkAblationALPM(b *testing.B) { benchmarkExperiment(b, "ablation-alpm") }
+
+// Ablation: horizontal vs vertical table splitting (§4.3).
+func BenchmarkAblationSplit(b *testing.B) { benchmarkExperiment(b, "ablation-split") }
+
+// Ablation: pre-allocated tables vs TEA-style cache (§6.2).
+func BenchmarkAblationCache(b *testing.B) { benchmarkExperiment(b, "ablation-cache") }
+
+// Ablation: bridged-metadata throughput tax (§4.4).
+func BenchmarkAblationBridge(b *testing.B) { benchmarkExperiment(b, "ablation-bridge") }
+
+// BenchmarkRegionForward measures the behavioral fast path end to end:
+// steering → ECMP → folded XGW-H program → rewrite.
+func BenchmarkRegionForward(b *testing.B) {
+	d := NewDeployment(Options{Clusters: 1, NodesPerCluster: 2, FallbackNodes: 0})
+	vm1 := mustAddr("192.168.10.2")
+	vm2 := mustAddr("192.168.10.3")
+	if _, err := d.AddTenant(Tenant{
+		VNI:    100,
+		Prefix: mustPrefix("192.168.10.0/24"),
+		VMs: map[netipAddr]netipAddr{
+			vm1: mustAddr("10.1.1.11"),
+			vm2: mustAddr("10.1.1.12"),
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	raw, err := BuildVXLAN(100, vm1, vm2, ProtoTCP, 4242, 80, make([]byte, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.DeliverVXLANAt(raw, benchTime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GW.Action != ActionForward {
+			b.Fatal("not forwarded")
+		}
+	}
+}
+
+// Ablation: latency under load (§2.3 stability argument).
+func BenchmarkAblationLatency(b *testing.B) { benchmarkExperiment(b, "ablation-latency") }
+
+// Ablation: v4/v6 mix invariance under table pooling (§4.4 claim).
+func BenchmarkAblationPoolMix(b *testing.B) { benchmarkExperiment(b, "ablation-poolmix") }
+
+// §2.3/§4.2 cost arithmetic (hundreds of x86 boxes → tens of XGW-H).
+func BenchmarkCost(b *testing.B) { benchmarkExperiment(b, "cost") }

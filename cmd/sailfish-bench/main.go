@@ -1,0 +1,74 @@
+// Command sailfish-bench regenerates the paper's tables and figures from
+// the reproduction's models and simulators.
+//
+// Usage:
+//
+//	sailfish-bench                 # run everything at full scale
+//	sailfish-bench -exp fig17      # one experiment
+//	sailfish-bench -scale 0.25     # shrink the simulated windows 4x
+//	sailfish-bench -list           # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sailfish/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (empty = all); comma-separated list allowed")
+	scale := flag.Float64("scale", 1.0, "simulation window scale in (0,1]")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	asJSON := flag.Bool("json", false, "emit reports as JSON lines")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "sailfish-bench: -scale must be in (0,1]")
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *exp == "" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		run, ok := experiments.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sailfish-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := run(*scale)
+		if *asJSON {
+			out, err := json.Marshal(struct {
+				ID      string  `json:"id"`
+				Title   string  `json:"title"`
+				Seconds float64 `json:"seconds"`
+				Text    string  `json:"text"`
+			}{rep.ID, rep.Title, time.Since(start).Seconds(), rep.Text})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Printf("=== %s — %s (%.2fs)\n%s\n", rep.ID, rep.Title, time.Since(start).Seconds(), rep.Text)
+	}
+}

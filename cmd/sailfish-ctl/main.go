@@ -1,0 +1,269 @@
+// Command sailfish-ctl exercises the Sailfish control plane from the
+// command line: tenant placement across clusters (horizontal table
+// splitting), chip layout planning under the §4.4 optimizations, and the
+// table-update stream model.
+//
+// Subcommands:
+//
+//	sailfish-ctl plan    -tenants 64 -vms 32 -capacity 2000
+//	sailfish-ctl layout  -opts a,b,c,d,e
+//	sailfish-ctl updates -days 30 -seed 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/tofino"
+	"sailfish/internal/traffic"
+	"sailfish/internal/xgwh"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "plan":
+		cmdPlan(os.Args[2:])
+	case "layout":
+		cmdLayout(os.Args[2:])
+	case "updates":
+		cmdUpdates(os.Args[2:])
+	case "rebalance":
+		cmdRebalance(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export} [flags]")
+	os.Exit(2)
+}
+
+// cmdPlan places generated tenants across clusters and reports the split.
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	tenants := fs.Int("tenants", 64, "tenants to place")
+	vms := fs.Int("vms", 32, "VMs per tenant")
+	capacity := fs.Int("capacity", 2000, "per-node entry capacity")
+	water := fs.Float64("water", 0.8, "safe water level")
+	fs.Parse(args)
+
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	cfg.EntryCapacity = *capacity
+	region := cluster.NewRegion(cfg, 1, 0)
+	ctl := controller.New(controller.Config{SafeWaterLevel: *water, AutoExpand: true}, region)
+
+	tcfg := traffic.DefaultConfig()
+	tcfg.Tenants = *tenants
+	tcfg.VMsPerTenant = *vms
+	gen := traffic.NewGenerator(tcfg)
+
+	perCluster := map[int]int{}
+	for _, t := range gen.Tenants() {
+		id, err := ctl.PlaceTenant(controller.FromTrafficTenant(t))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "place %v: %v\n", t.VNI, err)
+			os.Exit(1)
+		}
+		perCluster[id]++
+	}
+	fmt.Printf("placed %d tenants (%d entries each) across %d clusters:\n",
+		*tenants, *vms+1, len(region.Clusters))
+	for id, c := range region.Clusters {
+		rep := ctl.CheckConsistency(id)
+		status := "consistent"
+		if !rep.Consistent {
+			status = "INCONSISTENT: " + strings.Join(rep.Mismatches, ",")
+		}
+		fmt.Printf("  cluster %d: %3d tenants, %6d entries, water level %.0f%%, %s\n",
+			id, perCluster[id], c.EntryCount(), 100*c.WaterLevel(), status)
+	}
+	if ctl.SaleOpen() {
+		fmt.Println("sale: open")
+	} else {
+		fmt.Println("sale: closed (all clusters above safe water level)")
+	}
+}
+
+// cmdLayout prints the chip layout under chosen optimizations.
+func cmdLayout(args []string) {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	opts := fs.String("opts", "a,b,c,d,e", "optimizations to apply (comma list of a..e, or 'none')")
+	full := fs.Bool("full", false, "include service tables (Table 4 workload)")
+	fs.Parse(args)
+
+	var o xgwh.Optimizations
+	if *opts != "none" {
+		for _, s := range strings.Split(*opts, ",") {
+			switch strings.TrimSpace(s) {
+			case "a":
+				o.Folding = true
+			case "b":
+				o.SplitPipes = true
+			case "c":
+				o.Pooling = true
+			case "d":
+				o.Compression = true
+			case "e":
+				o.ALPM = true
+			default:
+				fmt.Fprintf(os.Stderr, "unknown optimization %q\n", s)
+				os.Exit(2)
+			}
+		}
+	}
+	w := xgwh.MajorTableWorkload()
+	if *full {
+		w = xgwh.FullWorkload()
+	}
+	l, err := xgwh.Plan(tofino.DefaultChip(), w, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(l.String())
+	rep := l.Occupancy()
+	fmt.Printf("occupancy: P0/2 %.1f%% SRAM %.1f%% TCAM | P1/3 %.1f%% SRAM %.1f%% TCAM | total %.1f%% / %.1f%%\n",
+		rep.EvenSRAMPct, rep.EvenTCAMPct, rep.OddSRAMPct, rep.OddTCAMPct, rep.TotalSRAMPct, rep.TotalTCAMPct)
+	if l.Feasible() {
+		fmt.Println("layout: FITS")
+	} else {
+		fmt.Println("layout: DOES NOT FIT")
+		for _, p := range l.Problems() {
+			fmt.Println("  -", p)
+		}
+	}
+}
+
+// cmdUpdates prints a Fig. 23-style table-update stream.
+func cmdUpdates(args []string) {
+	fs := flag.NewFlagSet("updates", flag.ExitOnError)
+	days := fs.Int("days", 30, "days to simulate")
+	seed := fs.Int64("seed", 2, "random seed")
+	fs.Parse(args)
+
+	cfg := controller.DefaultUpdateStreamConfig()
+	cfg.Days = *days
+	cfg.Seed = *seed
+	pts := controller.SimulateUpdateStream(cfg)
+	for _, p := range pts {
+		bar := strings.Repeat("#", p.Entries/25_000)
+		fmt.Printf("day %2d %8d %s\n", p.Day, p.Entries, bar)
+	}
+	fmt.Printf("sudden updates (≥%d new entries) on days %v\n",
+		cfg.BurstEntries, controller.BurstDays(pts, cfg.BurstEntries))
+}
+
+// cmdRebalance demonstrates live tenant migration with incremental traffic
+// admission (§4.3 load shedding + §6.1 incremental admission): cluster 0 is
+// drained for maintenance by migrating each of its tenants to cluster 1
+// through make-before-break ramp steps.
+func cmdRebalance(args []string) {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	tenants := fs.Int("tenants", 16, "tenants to place")
+	vms := fs.Int("vms", 16, "VMs per tenant")
+	fs.Parse(args)
+
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	region := cluster.NewRegion(cfg, 2, 0)
+	ctl := controller.New(controller.DefaultConfig(), region)
+
+	tcfg := traffic.DefaultConfig()
+	tcfg.Tenants = *tenants
+	tcfg.VMsPerTenant = *vms
+	gen := traffic.NewGenerator(tcfg)
+
+	var placed []controller.TenantEntries
+	for _, t := range gen.Tenants() {
+		te := controller.FromTrafficTenant(t)
+		if _, err := ctl.PlaceTenant(te); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		placed = append(placed, te)
+	}
+	fmt.Printf("before: cluster entries %d / %d\n",
+		region.Clusters[0].EntryCount(), region.Clusters[1].EntryCount())
+
+	fmt.Println("draining cluster 0 for maintenance...")
+	for _, te := range placed {
+		if from, _ := ctl.ClusterOf(te.VNI); from != 0 {
+			continue
+		}
+		if err := ctl.StartMigration(te.VNI, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, pm := range []int{250, 500, 750} {
+			if err := ctl.AdvanceMigration(te.VNI, pm); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := ctl.FinishMigration(te.VNI); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  migrated %v (%d entries) ramped 25/50/75/100%%\n", te.VNI, te.Size())
+	}
+	fmt.Printf("after:  cluster entries %d / %d — cluster 0 is empty and safe to service\n",
+		region.Clusters[0].EntryCount(), region.Clusters[1].EntryCount())
+}
+
+// cmdExport places generated tenants, exports the controller database as
+// JSON (the durable state a region rebuild replays), and verifies the
+// snapshot restores into a fresh region.
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	tenants := fs.Int("tenants", 8, "tenants to place")
+	vms := fs.Int("vms", 4, "VMs per tenant")
+	verify := fs.Bool("verify", true, "restore into a fresh region and check consistency")
+	fs.Parse(args)
+
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	region := cluster.NewRegion(cfg, 2, 0)
+	ctl := controller.New(controller.DefaultConfig(), region)
+	tcfg := traffic.DefaultConfig()
+	tcfg.Tenants = *tenants
+	tcfg.VMsPerTenant = *vms
+	for _, t := range traffic.NewGenerator(tcfg).Tenants() {
+		if _, err := ctl.PlaceTenant(controller.FromTrafficTenant(t)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	data, err := ctl.ExportJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	if *verify {
+		fresh := cluster.NewRegion(cfg, 1, 0)
+		ctl2 := controller.New(controller.DefaultConfig(), fresh)
+		if err := ctl2.RestoreJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, "restore failed:", err)
+			os.Exit(1)
+		}
+		for id := range fresh.Clusters {
+			if rep := ctl2.CheckConsistency(id); !rep.Consistent {
+				fmt.Fprintf(os.Stderr, "cluster %d inconsistent after restore\n", id)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "verified: snapshot restores into %d clusters, consistent\n", len(fresh.Clusters))
+	}
+}

@@ -1,0 +1,416 @@
+// Command sailfish-gw runs one XGW-H gateway as a real VXLAN-over-UDP
+// forwarder: VXLAN datagrams arriving on the listen socket are pushed
+// through the gateway's folded-pipeline model, and forwarded packets are
+// re-encapsulated and sent over UDP to the destination NC's underlay
+// address.
+//
+// Usage:
+//
+//	sailfish-gw -config region.json        # serve a config file
+//	sailfish-gw -demo                      # self-contained loopback demo
+//
+// The config maps overlay state (tenants, VMs) and the underlay (NC IP →
+// UDP address). See -demo for the wire protocol end to end: the daemon's
+// UDP payload is the standard VXLAN header plus the inner Ethernet frame
+// (RFC 7348), so any VXLAN-speaking peer can interoperate on the socket.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/pcap"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+	"sailfish/internal/xgw86"
+	"sailfish/internal/xgwh"
+)
+
+// fileConfig is the JSON configuration of one gateway.
+type fileConfig struct {
+	GatewayIP string            `json:"gatewayIP"`
+	Listen    string            `json:"listen"`
+	Underlay  map[string]string `json:"underlay"` // NC IP → UDP addr
+	Tenants   []tenantConfig    `json:"tenants"`
+	// SoftwareTenants are installed only in the embedded XGW-x86 node —
+	// the volatile-table half of the §4.2 co-design. Their traffic misses
+	// in hardware and completes on the software path.
+	SoftwareTenants []tenantConfig `json:"softwareTenants"`
+}
+
+type tenantConfig struct {
+	VNI    uint32            `json:"vni"`
+	Prefix string            `json:"prefix"`
+	VMs    map[string]string `json:"vms"` // VM IP → NC IP
+}
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON config file")
+	demo := flag.Bool("demo", false, "run the self-contained loopback demo and exit")
+	count := flag.Int("n", 3, "demo: packets to send")
+	pcapPath := flag.String("pcap", "", "write ingress/egress frames to this pcap file")
+	flag.Parse()
+
+	switch {
+	case *demo:
+		if err := runDemo(*count); err != nil {
+			log.Fatal(err)
+		}
+	case *cfgPath != "":
+		raw, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fc fileConfig
+		if err := json.Unmarshal(raw, &fc); err != nil {
+			log.Fatal(err)
+		}
+		gw, err := newServer(fc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *pcapPath != "" {
+			f, err := os.Create(*pcapPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			gw.pcap = pcap.NewWriter(f)
+			log.Printf("sailfish-gw: capturing to %s", *pcapPath)
+		}
+		log.Printf("sailfish-gw: serving on %s (%d routes, %d VMs)",
+			fc.Listen, gw.gw.RouteCount(), gw.gw.VMCount())
+		log.Fatal(gw.serve())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// server is the running daemon: a gateway plus its UDP socket and underlay
+// address map.
+type server struct {
+	gw       *xgwh.Gateway
+	x86      *xgw86.Node
+	conn     *net.UDPConn
+	underlay map[netip.Addr]*net.UDPAddr
+	buf      [9216]byte
+	sbuf     *netpkt.SerializeBuffer
+	// pcap, when set, captures every synthesized ingress frame and every
+	// rewritten egress frame.
+	pcap *pcap.Writer
+}
+
+func newServer(fc fileConfig) (*server, error) {
+	gwIP, err := netip.ParseAddr(fc.GatewayIP)
+	if err != nil {
+		return nil, fmt.Errorf("gatewayIP: %w", err)
+	}
+	x86cfg := xgw86.DefaultConfig()
+	x86cfg.GatewayIP = gwIP
+	s := &server{
+		gw: xgwh.New(xgwh.Config{
+			Chip: tofino.DefaultChip(), Folded: true, SplitPipes: true,
+			GatewayIP: gwIP,
+		}),
+		x86:      xgw86.NewNode(x86cfg),
+		underlay: make(map[netip.Addr]*net.UDPAddr),
+		sbuf:     netpkt.NewSerializeBuffer(128, 4096),
+	}
+	for nc, addr := range fc.Underlay {
+		ip, err := netip.ParseAddr(nc)
+		if err != nil {
+			return nil, fmt.Errorf("underlay key %q: %w", nc, err)
+		}
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("underlay %q: %w", addr, err)
+		}
+		s.underlay[ip] = ua
+	}
+	for _, t := range fc.Tenants {
+		p, err := netip.ParsePrefix(t.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %d prefix: %w", t.VNI, err)
+		}
+		if err := s.gw.InstallRoute(netpkt.VNI(t.VNI), p, tables.Route{Scope: tables.ScopeLocal}); err != nil {
+			return nil, err
+		}
+		for vm, nc := range t.VMs {
+			vmIP, err := netip.ParseAddr(vm)
+			if err != nil {
+				return nil, err
+			}
+			ncIP, err := netip.ParseAddr(nc)
+			if err != nil {
+				return nil, err
+			}
+			s.gw.InstallVM(netpkt.VNI(t.VNI), vmIP, ncIP)
+		}
+	}
+	for _, t := range fc.SoftwareTenants {
+		p, err := netip.ParsePrefix(t.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("software tenant %d prefix: %w", t.VNI, err)
+		}
+		if err := s.x86.Routes.Insert(netpkt.VNI(t.VNI), p, tables.Route{Scope: tables.ScopeLocal}); err != nil {
+			return nil, err
+		}
+		for vm, nc := range t.VMs {
+			vmIP, err := netip.ParseAddr(vm)
+			if err != nil {
+				return nil, err
+			}
+			ncIP, err := netip.ParseAddr(nc)
+			if err != nil {
+				return nil, err
+			}
+			s.x86.VMNC.Insert(netpkt.VNI(t.VNI), vmIP, ncIP)
+		}
+	}
+	laddr, err := net.ResolveUDPAddr("udp", fc.Listen)
+	if err != nil {
+		return nil, err
+	}
+	s.conn, err = net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// serve is the receive loop: one goroutine, run-to-completion per datagram —
+// the chip processes packets one pipeline pass at a time, so a single loop
+// models it faithfully while the socket provides backpressure.
+func (s *server) serve() error {
+	for {
+		n, _, err := s.conn.ReadFromUDP(s.buf[:])
+		if err != nil {
+			return err
+		}
+		if err := s.handle(s.buf[:n]); err != nil {
+			log.Printf("sailfish-gw: %v", err)
+		}
+	}
+}
+
+// handle processes one VXLAN datagram (VXLAN header + inner frame).
+func (s *server) handle(payload []byte) error {
+	frame, err := s.synthesizeOuter(payload)
+	if err != nil {
+		return err
+	}
+	if s.pcap != nil {
+		if err := s.pcap.WritePacket(time.Now(), frame); err != nil {
+			return err
+		}
+	}
+	res, err := s.gw.ProcessPacket(frame, time.Now())
+	if err != nil {
+		return err
+	}
+	switch res.Action {
+	case xgwh.ActionForward:
+		ua := s.underlay[res.NC]
+		if ua == nil {
+			return fmt.Errorf("no underlay address for NC %v", res.NC)
+		}
+		// res.Out is the rewritten full frame; the UDP payload starts
+		// after outer Eth/IP/UDP.
+		if s.pcap != nil {
+			if err := s.pcap.WritePacket(time.Now(), res.Out); err != nil {
+				return err
+			}
+		}
+		out, err := vxlanPayload(res.Out)
+		if err != nil {
+			return err
+		}
+		_, err = s.conn.WriteToUDP(out, ua)
+		return err
+	case xgwh.ActionFallback:
+		// HW/SW co-design: the software node completes the long tail.
+		fres, ferr := s.x86.ProcessFallback(frame)
+		if ferr != nil {
+			return fmt.Errorf("software path: %w", ferr)
+		}
+		ua := s.underlay[fres.NC]
+		if ua == nil {
+			return fmt.Errorf("no underlay address for NC %v", fres.NC)
+		}
+		if s.pcap != nil {
+			if err := s.pcap.WritePacket(time.Now(), fres.Out); err != nil {
+				return err
+			}
+		}
+		out, err := vxlanPayload(fres.Out)
+		if err != nil {
+			return err
+		}
+		_, err = s.conn.WriteToUDP(out, ua)
+		return err
+	default:
+		return fmt.Errorf("dropped: %s", res.DropReason)
+	}
+}
+
+// synthesizeOuter wraps the datagram payload in the outer headers the
+// kernel consumed, so the gateway's parser sees a full frame.
+func (s *server) synthesizeOuter(payload []byte) ([]byte, error) {
+	if err := netpkt.SerializeLayers(s.sbuf, payload,
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("127.0.0.1"),
+			DstIP: netip.MustParseAddr("127.0.0.1")},
+		&netpkt.UDP{SrcPort: 49152, DstPort: netpkt.VXLANPort},
+	); err != nil {
+		return nil, err
+	}
+	return s.sbuf.Bytes(), nil
+}
+
+// vxlanPayload strips outer Eth/IP/UDP from a full frame, returning the
+// VXLAN header + inner frame for UDP transmission.
+func vxlanPayload(frame []byte) ([]byte, error) {
+	var eth netpkt.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		return nil, err
+	}
+	var l4 []byte
+	switch eth.EtherType {
+	case netpkt.EtherTypeIPv4:
+		var ip netpkt.IPv4
+		if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+			return nil, err
+		}
+		l4 = ip.Payload()
+	case netpkt.EtherTypeIPv6:
+		var ip netpkt.IPv6
+		if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+			return nil, err
+		}
+		l4 = ip.Payload()
+	default:
+		return nil, netpkt.ErrNotVXLAN
+	}
+	var udp netpkt.UDP
+	if err := udp.DecodeFromBytes(l4); err != nil {
+		return nil, err
+	}
+	return udp.Payload(), nil
+}
+
+// --- demo mode ---
+
+// runDemo wires a gateway and two NC listeners on loopback sockets, then
+// sends VM-to-VM packets end to end over real UDP.
+func runDemo(count int) error {
+	// NC listeners.
+	nc1, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return err
+	}
+	defer nc1.Close()
+	nc2, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return err
+	}
+	defer nc2.Close()
+
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+		Underlay: map[string]string{
+			"10.1.1.11": nc1.LocalAddr().String(),
+			"10.1.1.12": nc2.LocalAddr().String(),
+		},
+		Tenants: []tenantConfig{{
+			VNI: 100, Prefix: "192.168.10.0/24",
+			VMs: map[string]string{
+				"192.168.10.2": "10.1.1.11",
+				"192.168.10.3": "10.1.1.12",
+			},
+		}},
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		return err
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.serve() //nolint:errcheck // returns when the socket closes
+	}()
+
+	gwAddr := srv.conn.LocalAddr().(*net.UDPAddr)
+	fmt.Printf("gateway on %v; NC 10.1.1.11 → %v; NC 10.1.1.12 → %v\n",
+		gwAddr, nc1.LocalAddr(), nc2.LocalAddr())
+
+	// A vSwitch client sends VM 192.168.10.2 → VM 192.168.10.3.
+	client, err := net.DialUDP("udp", nil, gwAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	sbuf := netpkt.NewSerializeBuffer(64, 512)
+	for i := 0; i < count; i++ {
+		payload := []byte(fmt.Sprintf("hello-%d", i))
+		if err := netpkt.SerializeLayers(sbuf, payload,
+			&netpkt.VXLAN{VNI: 100},
+			&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+			&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+				SrcIP: netip.MustParseAddr("192.168.10.2"),
+				DstIP: netip.MustParseAddr("192.168.10.3")},
+			&netpkt.UDP{SrcPort: 5000, DstPort: 6000},
+		); err != nil {
+			return err
+		}
+		if _, err := client.Write(sbuf.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	// NC2 hosts the destination VM: it must receive every packet,
+	// VXLAN-encapsulated, VNI intact.
+	nc2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	for i := 0; i < count; i++ {
+		n, err := nc2.Read(buf)
+		if err != nil {
+			return fmt.Errorf("NC did not receive packet %d: %w", i, err)
+		}
+		var vx netpkt.VXLAN
+		if err := vx.DecodeFromBytes(buf[:n]); err != nil {
+			return err
+		}
+		var inner netpkt.Ethernet
+		if err := inner.DecodeFromBytes(vx.Payload()); err != nil {
+			return err
+		}
+		var ip netpkt.IPv4
+		if err := ip.DecodeFromBytes(inner.Payload()); err != nil {
+			return err
+		}
+		var udp netpkt.UDP
+		if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+			return err
+		}
+		fmt.Printf("NC(10.1.1.12) got %v %v→%v payload=%q\n",
+			vx.VNI, ip.SrcIP, ip.DstIP, udp.Payload())
+	}
+	// Quiesce the gateway before reading its stats: the gateway struct is
+	// single-threaded by design.
+	srv.conn.Close()
+	<-served
+	st := srv.gw.Stats()
+	fmt.Printf("gateway stats: forwarded=%d fallback=%d dropped=%d\n",
+		st.Forwarded, st.Fallback, st.Dropped)
+	return nil
+}

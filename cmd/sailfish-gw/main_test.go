@@ -1,0 +1,177 @@
+package main
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+)
+
+// End-to-end over real loopback UDP: client → gateway socket → NC socket.
+func TestServerForwardsOverUDP(t *testing.T) {
+	nc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+		Underlay:  map[string]string{"10.1.1.12": nc.LocalAddr().String()},
+		Tenants: []tenantConfig{{
+			VNI: 100, Prefix: "192.168.10.0/24",
+			VMs: map[string]string{"192.168.10.3": "10.1.1.12"},
+		}},
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.conn.Close()
+	go srv.serve() //nolint:errcheck
+
+	client, err := net.DialUDP("udp", nil, srv.conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	sbuf := netpkt.NewSerializeBuffer(64, 512)
+	if err := netpkt.SerializeLayers(sbuf, []byte("ping"),
+		&netpkt.VXLAN{VNI: 100},
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("192.168.10.2"),
+			DstIP: netip.MustParseAddr("192.168.10.3")},
+		&netpkt.UDP{SrcPort: 5000, DstPort: 6000},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(sbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := nc.Read(buf)
+	if err != nil {
+		t.Fatalf("NC socket received nothing: %v", err)
+	}
+	var vx netpkt.VXLAN
+	if err := vx.DecodeFromBytes(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if vx.VNI != 100 {
+		t.Fatalf("VNI = %v", vx.VNI)
+	}
+	var eth netpkt.Ethernet
+	if err := eth.DecodeFromBytes(vx.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	var ip netpkt.IPv4
+	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if ip.DstIP != netip.MustParseAddr("192.168.10.3") {
+		t.Fatalf("inner dst = %v", ip.DstIP)
+	}
+	var udp netpkt.UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if string(udp.Payload()) != "ping" {
+		t.Fatalf("payload = %q", udp.Payload())
+	}
+}
+
+func TestNewServerRejectsBadConfig(t *testing.T) {
+	bad := []fileConfig{
+		{GatewayIP: "not-an-ip", Listen: "127.0.0.1:0"},
+		{GatewayIP: "10.0.0.1", Listen: "127.0.0.1:0",
+			Underlay: map[string]string{"zzz": "127.0.0.1:1"}},
+		{GatewayIP: "10.0.0.1", Listen: "127.0.0.1:0",
+			Tenants: []tenantConfig{{VNI: 1, Prefix: "nope"}}},
+	}
+	for i, fc := range bad {
+		if srv, err := newServer(fc); err == nil {
+			srv.conn.Close()
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDemoRuns(t *testing.T) {
+	if err := runDemo(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A software-only tenant (volatile tables) completes over the embedded
+// XGW-x86 path: HW misses, SW forwards, the NC still receives the frame.
+func TestServerSoftwareTenantFallsBackOverUDP(t *testing.T) {
+	nc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+		Underlay:  map[string]string{"10.1.1.50": nc.LocalAddr().String()},
+		SoftwareTenants: []tenantConfig{{
+			VNI: 700, Prefix: "172.30.0.0/24",
+			VMs: map[string]string{"172.30.0.9": "10.1.1.50"},
+		}},
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.serve() //nolint:errcheck
+	}()
+
+	client, err := net.DialUDP("udp", nil, srv.conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sbuf := netpkt.NewSerializeBuffer(64, 512)
+	if err := netpkt.SerializeLayers(sbuf, []byte("volatile"),
+		&netpkt.VXLAN{VNI: 700},
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("172.30.0.1"),
+			DstIP: netip.MustParseAddr("172.30.0.9")},
+		&netpkt.UDP{SrcPort: 1, DstPort: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(sbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := nc.Read(buf)
+	if err != nil {
+		t.Fatalf("software path did not deliver: %v", err)
+	}
+	var vx netpkt.VXLAN
+	if err := vx.DecodeFromBytes(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if vx.VNI != 700 {
+		t.Fatalf("VNI = %v", vx.VNI)
+	}
+	// Quiesce, then read stats (the gateway is single-threaded).
+	srv.conn.Close()
+	<-served
+	if srv.gw.Stats().Fallback == 0 {
+		t.Fatal("hardware gateway did not record the fallback")
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a one-cluster Sailfish region, install a tenant, and
+// forward a VM-to-VM packet through the hardware gateway.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"sailfish"
+)
+
+func main() {
+	// One XGW-H cluster (with its hot-standby backup) and one XGW-x86
+	// fallback node.
+	d := sailfish.NewDeployment(sailfish.Options{Clusters: 1, FallbackNodes: 1})
+
+	// Tenant 100: VPC 192.168.10.0/24 with two VMs on two physical
+	// servers (NCs).
+	vm1 := netip.MustParseAddr("192.168.10.2")
+	vm2 := netip.MustParseAddr("192.168.10.3")
+	if _, err := d.AddTenant(sailfish.Tenant{
+		VNI:    100,
+		Prefix: netip.MustParsePrefix("192.168.10.0/24"),
+		VMs: map[netip.Addr]netip.Addr{
+			vm1: netip.MustParseAddr("10.1.1.11"),
+			vm2: netip.MustParseAddr("10.1.1.12"),
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// vm1 sends a TCP segment to vm2 through the gateway.
+	raw, err := sailfish.BuildVXLAN(100, vm1, vm2, sailfish.ProtoTCP, 4242, 80, []byte("hello sailfish"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.DeliverVXLAN(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("action:   %v\n", res.GW.Action)
+	fmt.Printf("cluster:  %d, node %s\n", res.ClusterID, res.NodeID)
+	fmt.Printf("next hop: NC %v (hosting %v)\n", res.GW.NC, vm2)
+	fmt.Printf("latency:  %.2f µs over %d pipeline passes (folded)\n",
+		res.GW.LatencyNs/1000, res.GW.Passes)
+	fmt.Printf("rewritten packet: %d bytes on the wire\n", len(res.GW.Out))
+}

@@ -1,0 +1,3 @@
+module sailfish
+
+go 1.22

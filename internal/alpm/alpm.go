@@ -1,0 +1,338 @@
+// Package alpm implements Algorithmic Longest Prefix Match (§4.4 "TCAM
+// conservation for large FIBs", Fig. 16): the routing table is partitioned
+// into two levels, a small TCAM first level whose covering prefixes index
+// SRAM-resident buckets holding the actual prefixes. The TCAM footprint
+// shrinks by roughly the bucket size at the cost of one extra SRAM access
+// and slightly more SRAM.
+//
+// The partitioning is a post-order subtree split over the prefix trie:
+// whenever the number of pending prefixes under a node would exceed the
+// bucket capacity, the heavier child subtree is carved into its own bucket
+// and a covering (pivot) prefix for it is installed in the TCAM. Each bucket
+// additionally replicates the longest ancestor prefix covering its pivot, so
+// a key that matches the pivot but nothing inside the bucket still returns
+// the correct shorter match.
+package alpm
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Entry is one prefix→value pair supplied to Build.
+type Entry[V any] struct {
+	Prefix netip.Prefix
+	Value  V
+}
+
+// Stats describes the memory shape of a built ALPM structure, consumed by
+// the Tofino layout model.
+type Stats struct {
+	// TCAMEntries is the number of pivot (covering) prefixes in the first
+	// level — the TCAM cost.
+	TCAMEntries int
+	// Buckets is the number of second-level SRAM buckets.
+	Buckets int
+	// BucketCapacity is the fixed per-bucket slot count the hardware
+	// would allocate.
+	BucketCapacity int
+	// SRAMEntries is Buckets × BucketCapacity: the SRAM slot cost.
+	SRAMEntries int
+	// StoredEntries counts live prefixes across buckets, including
+	// replicated fallback entries.
+	StoredEntries int
+	// Replicated counts fallback entries copied into buckets.
+	Replicated int
+}
+
+// Table is an immutable two-level ALPM structure. Build constructs it;
+// Lookup answers longest-prefix queries with semantics identical to a plain
+// trie over the same entries.
+type Table[V any] struct {
+	bits    int
+	cap     int        // bucket capacity
+	pivots  *pivotTrie // first level: pivot prefix → bucket index
+	buckets []bucket[V]
+	free    []int // retired bucket slots for reuse
+	stats   Stats
+}
+
+type bucket[V any] struct {
+	entries []Entry[V]
+	// pivot identity, needed to split the bucket on overflow during
+	// incremental updates.
+	pivotKey [16]byte
+	pivotLen int
+	// live is false for buckets retired by splits; their slots are
+	// reused by later splits.
+	live bool
+	// overflowed marks buckets that exceeded capacity and could not be
+	// split further (all entries are ancestors of the pivot); hardware
+	// would spill these rows to a small victim TCAM.
+	overflowed bool
+}
+
+// pivotTrie is a minimal LPM trie mapping pivot prefixes to bucket indexes.
+// A dedicated type (rather than tables.Trie) keeps this package free of a
+// dependency cycle and mirrors the hardware TCAM's longest-covering-prefix
+// priority order.
+type pivotTrie struct {
+	root pivotNode
+}
+
+type pivotNode struct {
+	child  [2]*pivotNode
+	bucket int // -1 when no pivot ends here
+}
+
+func newPivotTrie() *pivotTrie {
+	return &pivotTrie{root: pivotNode{bucket: -1}}
+}
+
+func (t *pivotTrie) insert(key []byte, plen, bucket int) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		b := bit(key, i)
+		if n.child[b] == nil {
+			n.child[b] = &pivotNode{bucket: -1}
+		}
+		n = n.child[b]
+	}
+	n.bucket = bucket
+}
+
+// lookup returns the bucket of the longest pivot covering key, or -1.
+func (t *pivotTrie) lookup(key []byte, bits int) int {
+	best := -1
+	n := &t.root
+	for i := 0; ; i++ {
+		if n.bucket >= 0 {
+			best = n.bucket
+		}
+		if i == bits {
+			return best
+		}
+		n = n.child[bit(key, i)]
+		if n == nil {
+			return best
+		}
+	}
+}
+
+func bit(key []byte, i int) int { return int(key[i/8]>>(7-i%8)) & 1 }
+
+// buildNode is the trie used during partitioning. Each node holds at most
+// one entry (the prefix ending there) and a pending count of uncarved
+// entries beneath it.
+type buildNode[V any] struct {
+	child    [2]*buildNode[V]
+	hasEntry bool
+	entry    Entry[V]
+	pending  int
+}
+
+// Build partitions entries into an ALPM table over keys of the given width
+// (32 or 128 bits) with at most bucketCapacity prefixes per bucket
+// (replicated fallbacks included, hence capacity must be ≥ 2).
+func Build[V any](bits, bucketCapacity int, entries []Entry[V]) (*Table[V], error) {
+	if bits != 32 && bits != 128 {
+		return nil, fmt.Errorf("alpm: width must be 32 or 128, got %d", bits)
+	}
+	if bucketCapacity < 2 {
+		return nil, fmt.Errorf("alpm: bucket capacity must be ≥ 2, got %d", bucketCapacity)
+	}
+	t := &Table[V]{bits: bits, pivots: newPivotTrie()}
+	root := &buildNode[V]{}
+	for _, e := range entries {
+		wantBits := 32
+		if e.Prefix.Addr().Is6() {
+			wantBits = 128
+		}
+		if wantBits != bits {
+			return nil, fmt.Errorf("alpm: prefix %v does not fit %d-bit table", e.Prefix, bits)
+		}
+		key := keyOf(e.Prefix.Addr(), bits)
+		n := root
+		for i := 0; i < e.Prefix.Bits(); i++ {
+			b := bit(key, i)
+			if n.child[b] == nil {
+				n.child[b] = &buildNode[V]{}
+			}
+			n = n.child[b]
+		}
+		if n.hasEntry {
+			// Last write wins, as with trie insert.
+			n.entry = e
+			continue
+		}
+		n.hasEntry = true
+		n.entry = e
+	}
+
+	t.cap = bucketCapacity
+	// carveBudget leaves one slot per bucket for the replicated fallback.
+	carveBudget := bucketCapacity - 1
+	var key [16]byte
+	t.partition(root, key[:bits/8], 0, carveBudget, nil)
+	// The residue at the root becomes the default bucket, reachable
+	// through a zero-length pivot (matches every key). It is created even
+	// when empty so incremental inserts always have a covering pivot.
+	idx := t.collectBucket(root, key[:bits/8], 0, nil)
+	t.pivots.insert(key[:bits/8], 0, idx)
+
+	t.stats = t.computeStats()
+	return t, nil
+}
+
+// computeStats recounts the live structure (updates retire and create
+// buckets, so build-time counters go stale).
+func (t *Table[V]) computeStats() Stats {
+	s := Stats{BucketCapacity: t.cap}
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if !b.live {
+			continue
+		}
+		s.Buckets++
+		s.TCAMEntries++
+		s.StoredEntries += len(b.entries)
+	}
+	s.SRAMEntries = s.Buckets * t.cap
+	s.Replicated = t.stats.Replicated
+	return s
+}
+
+func keyOf(a netip.Addr, bits int) []byte {
+	if bits == 32 {
+		b := a.As4()
+		return b[:]
+	}
+	b := a.As16()
+	return b[:]
+}
+
+// partition walks post-order, maintaining pending counts and carving child
+// subtrees whose pending entries would overflow the budget. fallback is the
+// deepest ancestor entry covering this node.
+func (t *Table[V]) partition(n *buildNode[V], key []byte, depth int, budget int, fallback *Entry[V]) {
+	if n == nil {
+		return
+	}
+	fb := fallback
+	if n.hasEntry {
+		fb = &n.entry
+	}
+	if c := n.child[0]; c != nil {
+		t.partition(c, key, depth+1, budget, fb)
+	}
+	if c := n.child[1]; c != nil {
+		key[depth/8] |= 1 << (7 - depth%8)
+		t.partition(c, key, depth+1, budget, fb)
+		key[depth/8] &^= 1 << (7 - depth%8)
+	}
+	n.pending = boolToInt(n.hasEntry)
+	if n.child[0] != nil {
+		n.pending += n.child[0].pending
+	}
+	if n.child[1] != nil {
+		n.pending += n.child[1].pending
+	}
+	// Carve heavy children until this subtree's residue fits the budget.
+	for n.pending > budget {
+		heavy := -1
+		if n.child[0] != nil && n.child[0].pending > 0 {
+			heavy = 0
+		}
+		if n.child[1] != nil && n.child[1].pending > 0 &&
+			(heavy < 0 || n.child[1].pending > n.child[0].pending) {
+			heavy = 1
+		}
+		if heavy < 0 {
+			// Only the node's own entry remains; it fits (budget ≥ 1).
+			break
+		}
+		if heavy == 1 {
+			key[depth/8] |= 1 << (7 - depth%8)
+		}
+		idx := t.collectBucket(n.child[heavy], key, depth+1, fb)
+		t.pivots.insert(key, depth+1, idx)
+		if heavy == 1 {
+			key[depth/8] &^= 1 << (7 - depth%8)
+		}
+		n.pending -= 0 // recomputed below
+		n.pending = boolToInt(n.hasEntry)
+		if n.child[0] != nil {
+			n.pending += n.child[0].pending
+		}
+		if n.child[1] != nil {
+			n.pending += n.child[1].pending
+		}
+	}
+}
+
+// collectBucket gathers every pending entry under n into a new bucket,
+// zeroing pending counts, and appends the fallback entry if present.
+func (t *Table[V]) collectBucket(n *buildNode[V], key []byte, depth int, fallback *Entry[V]) int {
+	b := bucket[V]{live: true, pivotLen: depth}
+	copy(b.pivotKey[:], key)
+	t.collect(n, key, depth, &b)
+	if fallback != nil {
+		b.entries = append(b.entries, *fallback)
+		t.stats.Replicated++
+	}
+	t.buckets = append(t.buckets, b)
+	return len(t.buckets) - 1
+}
+
+func (t *Table[V]) collect(n *buildNode[V], key []byte, depth int, b *bucket[V]) {
+	if n == nil || n.pending == 0 {
+		return
+	}
+	if n.hasEntry {
+		b.entries = append(b.entries, n.entry)
+		n.hasEntry = false
+	}
+	if c := n.child[0]; c != nil {
+		t.collect(c, key, depth+1, b)
+	}
+	if c := n.child[1]; c != nil {
+		key[depth/8] |= 1 << (7 - depth%8)
+		t.collect(c, key, depth+1, b)
+		key[depth/8] &^= 1 << (7 - depth%8)
+	}
+	n.pending = 0
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Lookup returns the value and prefix length of the longest prefix covering
+// addr, exactly as a monolithic TCAM/trie would.
+func (t *Table[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
+	if (t.bits == 32) != addr.Is4() {
+		return v, 0, false
+	}
+	key := keyOf(addr, t.bits)
+	idx := t.pivots.lookup(key, t.bits)
+	if idx < 0 {
+		return v, 0, false
+	}
+	best := -1
+	for i := range t.buckets[idx].entries {
+		e := &t.buckets[idx].entries[i]
+		if e.Prefix.Contains(addr) && e.Prefix.Bits() > best {
+			best = e.Prefix.Bits()
+			v = e.Value
+			ok = true
+		}
+	}
+	return v, best, ok
+}
+
+// Stats returns the memory shape of the table, recounted from the live
+// structure.
+func (t *Table[V]) Stats() Stats { return t.computeStats() }

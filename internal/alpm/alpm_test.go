@@ -1,0 +1,247 @@
+package alpm
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"sailfish/internal/tables"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestALPMBasic(t *testing.T) {
+	entries := []Entry[string]{
+		{mustPrefix("0.0.0.0/0"), "default"},
+		{mustPrefix("10.0.0.0/8"), "eight"},
+		{mustPrefix("10.1.0.0/16"), "sixteen"},
+		{mustPrefix("10.1.2.0/24"), "twentyfour"},
+		{mustPrefix("10.1.2.3/32"), "host"},
+		{mustPrefix("172.16.0.0/12"), "b"},
+		{mustPrefix("192.168.0.0/16"), "c"},
+	}
+	tab, err := Build(32, 3, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr, want string
+		plen       int
+	}{
+		{"10.1.2.3", "host", 32},
+		{"10.1.2.9", "twentyfour", 24},
+		{"10.1.9.9", "sixteen", 16},
+		{"10.9.9.9", "eight", 8},
+		{"172.20.0.1", "b", 12},
+		{"192.168.1.1", "c", 16},
+		{"8.8.8.8", "default", 0},
+	}
+	for _, c := range cases {
+		v, plen, ok := tab.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || v != c.want || plen != c.plen {
+			t.Errorf("Lookup(%s) = (%q,%d,%v), want (%q,%d)", c.addr, v, plen, ok, c.want, c.plen)
+		}
+	}
+}
+
+func TestALPMEmptyAndMiss(t *testing.T) {
+	tab, err := Build[int](32, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Fatal("empty table matched")
+	}
+	tab, _ = Build(32, 4, []Entry[int]{{mustPrefix("10.0.0.0/8"), 1}})
+	if _, _, ok := tab.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("miss returned a match")
+	}
+}
+
+func TestALPMRejectsBadInput(t *testing.T) {
+	if _, err := Build[int](33, 4, nil); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := Build[int](32, 1, nil); err == nil {
+		t.Fatal("bucket capacity 1 accepted")
+	}
+	if _, err := Build(32, 4, []Entry[int]{{mustPrefix("::/0"), 1}}); err == nil {
+		t.Fatal("v6 prefix accepted in 32-bit table")
+	}
+}
+
+func TestALPMDuplicatePrefixLastWins(t *testing.T) {
+	tab, err := Build(32, 4, []Entry[int]{
+		{mustPrefix("10.0.0.0/8"), 1},
+		{mustPrefix("10.0.0.0/8"), 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := tab.Lookup(netip.MustParseAddr("10.1.1.1")); v != 2 {
+		t.Fatalf("got %d, want last-write 2", v)
+	}
+}
+
+// randPrefixes generates count random prefixes densely overlapping so
+// partitioning exercises fallback replication.
+func randPrefixes(rng *rand.Rand, bits, count int) []Entry[int] {
+	entries := make([]Entry[int], 0, count)
+	for i := 0; i < count; i++ {
+		var p netip.Prefix
+		if bits == 32 {
+			var b [4]byte
+			rng.Read(b[:])
+			b[0] = 10
+			p = netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33)).Masked()
+		} else {
+			var b [16]byte
+			rng.Read(b[:])
+			b[0], b[1] = 0x20, 0x01
+			p = netip.PrefixFrom(netip.AddrFrom16(b), rng.Intn(129)).Masked()
+		}
+		entries = append(entries, Entry[int]{p, i})
+	}
+	return entries
+}
+
+// Property: ALPM lookup agrees with the reference trie for every bucket
+// size, including keys that match only via replicated fallbacks.
+func TestALPMMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bits := range []int{32, 128} {
+		for _, cap := range []int{2, 4, 16, 64} {
+			entries := randPrefixes(rng, bits, 500)
+			ref := tables.NewTrie[int](bits)
+			for _, e := range entries {
+				ref.Insert(e.Prefix, e.Value)
+			}
+			tab, err := Build(bits, cap, entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3000; i++ {
+				var a netip.Addr
+				if bits == 32 {
+					var b [4]byte
+					rng.Read(b[:])
+					if i%2 == 0 {
+						b[0] = 10 // probe inside the dense region too
+					}
+					a = netip.AddrFrom4(b)
+				} else {
+					var b [16]byte
+					rng.Read(b[:])
+					if i%2 == 0 {
+						b[0], b[1] = 0x20, 0x01
+					}
+					a = netip.AddrFrom16(b)
+				}
+				gv, gl, gok := tab.Lookup(a)
+				wv, wl, wok := ref.Lookup(a)
+				if gok != wok || (gok && (gv != wv || gl != wl)) {
+					t.Fatalf("bits=%d cap=%d addr=%v: alpm=(%d,%d,%v) trie=(%d,%d,%v)",
+						bits, cap, a, gv, gl, gok, wv, wl, wok)
+				}
+			}
+		}
+	}
+}
+
+// Property: bucket occupancy never exceeds capacity and TCAM size shrinks
+// roughly linearly with bucket capacity — the compression the paper relies
+// on.
+func TestALPMStatsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	entries := randPrefixes(rng, 32, 4000)
+	var prevTCAM int
+	for _, cap := range []int{4, 16, 64} {
+		tab, err := Build(32, cap, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tab.Stats()
+		if s.TCAMEntries != s.Buckets {
+			t.Fatalf("cap=%d: pivots %d != buckets %d", cap, s.TCAMEntries, s.Buckets)
+		}
+		for i := range tab.buckets {
+			if got := len(tab.buckets[i].entries); got > cap {
+				t.Fatalf("cap=%d: bucket %d holds %d entries", cap, i, got)
+			}
+		}
+		if s.StoredEntries < len(entriesDedup(entries)) {
+			t.Fatalf("cap=%d: stored %d < live %d", cap, s.StoredEntries, len(entriesDedup(entries)))
+		}
+		if prevTCAM != 0 && s.TCAMEntries >= prevTCAM {
+			t.Fatalf("TCAM entries did not shrink with bigger buckets: %d -> %d", prevTCAM, s.TCAMEntries)
+		}
+		prevTCAM = s.TCAMEntries
+	}
+}
+
+func entriesDedup(es []Entry[int]) map[netip.Prefix]bool {
+	m := make(map[netip.Prefix]bool, len(es))
+	for _, e := range es {
+		m[e.Prefix] = true
+	}
+	return m
+}
+
+// The headline ratio: with capacity B, TCAM entries fall to roughly N/B —
+// the ~96% TCAM reduction of the paper's IPv4 scenario needs B ≈ 32.
+func TestALPMCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 20000
+	entries := make([]Entry[int], 0, n)
+	seen := map[netip.Prefix]bool{}
+	for len(entries) < n {
+		var b [4]byte
+		rng.Read(b[:])
+		p := netip.PrefixFrom(netip.AddrFrom4(b), 16+rng.Intn(17)).Masked()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		entries = append(entries, Entry[int]{p, len(entries)})
+	}
+	tab, err := Build(32, 32, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Stats()
+	ratio := float64(s.TCAMEntries) / float64(n)
+	if ratio > 0.15 {
+		t.Fatalf("TCAM ratio %.3f too high; ALPM not compressing (pivots=%d)", ratio, s.TCAMEntries)
+	}
+}
+
+func BenchmarkALPMLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	entries := randPrefixes(rng, 32, 100000)
+	tab, err := Build(32, 32, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		var buf [4]byte
+		rng.Read(buf[:])
+		buf[0] = 10
+		addrs[i] = netip.AddrFrom4(buf)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkALPMBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	entries := randPrefixes(rng, 32, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(32, 32, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package alpm
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Incremental updates. Production routing tables change continuously —
+// slowly most days, in bursts when top customers arrive (Fig. 23) — and the
+// data plane cannot afford a full rebuild per change. The update rules
+// preserve the lookup invariant:
+//
+//	for every pivot Q, bucket(Q) contains (a) every entry whose deepest
+//	covering pivot is Q, and (b) every entry that is an ancestor of Q
+//	added since Q's creation, and at build time at least the deepest such
+//	ancestor.
+//
+// Insert places the entry in the bucket of the deepest pivot covering it
+// and replicates it into the bucket of every pivot underneath it (ancestor
+// replication — the cost real ALPM implementations pay too). A bucket that
+// overflows splits: two child pivots are carved one bit deeper and the
+// parent pivot retires. Delete removes the entry from the same bucket set.
+
+// deepestCoveringPivot returns the bucket of the deepest pivot at depth ≤
+// plen along the prefix's path.
+func (t *pivotTrie) deepestCoveringPivot(key []byte, plen int) int {
+	best := -1
+	n := &t.root
+	for i := 0; ; i++ {
+		if n.bucket >= 0 {
+			best = n.bucket
+		}
+		if i == plen {
+			return best
+		}
+		n = n.child[bit(key, i)]
+		if n == nil {
+			return best
+		}
+	}
+}
+
+// walkUnder visits every pivot strictly below the prefix (depth > plen,
+// within its range).
+func (t *pivotTrie) walkUnder(key []byte, plen int, fn func(bucket int)) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[bit(key, i)]
+		if n == nil {
+			return
+		}
+	}
+	var rec func(m *pivotNode, depth int)
+	rec = func(m *pivotNode, depth int) {
+		if m == nil {
+			return
+		}
+		if depth > plen && m.bucket >= 0 {
+			fn(m.bucket)
+		}
+		rec(m.child[0], depth+1)
+		rec(m.child[1], depth+1)
+	}
+	rec(n, plen)
+}
+
+// get returns the bucket at exactly (key, plen), or -1.
+func (t *pivotTrie) get(key []byte, plen int) int {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[bit(key, i)]
+		if n == nil {
+			return -1
+		}
+	}
+	return n.bucket
+}
+
+// remove clears the pivot at exactly (key, plen).
+func (t *pivotTrie) remove(key []byte, plen int) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[bit(key, i)]
+		if n == nil {
+			return
+		}
+	}
+	n.bucket = -1
+}
+
+// Insert adds or replaces a prefix without rebuilding. Buckets that
+// overflow are split in place; the TCAM index gains the new pivots and
+// retires the old one, exactly the update sequence a controller would
+// download to the chip.
+func (t *Table[V]) Insert(p netip.Prefix, v V) error {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return fmt.Errorf("alpm: prefix %v does not fit %d-bit table", p, t.bits)
+	}
+	key := keyOf(p.Addr(), t.bits)
+	e := Entry[V]{Prefix: p, Value: v}
+
+	// Home bucket: the deepest pivot covering the prefix. A prefix
+	// shallower than every pivot has no home — every key in its range
+	// resolves to a pivot strictly underneath it, so the replication
+	// below is sufficient on its own.
+	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 {
+		t.addToBucket(home, e)
+	}
+	// Ancestor replication into every bucket strictly underneath.
+	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
+		t.addToBucket(idx, e)
+	})
+	return nil
+}
+
+// Delete removes a prefix from every bucket holding it and reports whether
+// it was present anywhere.
+func (t *Table[V]) Delete(p netip.Prefix) bool {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return false
+	}
+	key := keyOf(p.Addr(), t.bits)
+	found := false
+	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 {
+		found = t.removeFromBucket(home, p) || found
+	}
+	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
+		found = t.removeFromBucket(idx, p) || found
+	})
+	return found
+}
+
+// addToBucket inserts or replaces the entry, splitting on overflow.
+func (t *Table[V]) addToBucket(idx int, e Entry[V]) {
+	b := &t.buckets[idx]
+	for i := range b.entries {
+		if b.entries[i].Prefix == e.Prefix {
+			b.entries[i].Value = e.Value
+			return
+		}
+	}
+	b.entries = append(b.entries, e)
+	if len(b.entries) > t.cap {
+		t.split(idx)
+	}
+}
+
+func (t *Table[V]) removeFromBucket(idx int, p netip.Prefix) bool {
+	b := &t.buckets[idx]
+	for i := range b.entries {
+		if b.entries[i].Prefix == p {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// split carves an overflowing bucket into two child pivots one bit deeper
+// and retires the parent pivot. Entries strictly below a child pivot move
+// to its side; entries at or above the parent pivot's depth (ancestors)
+// replicate into both children. If every entry is an ancestor — splitting
+// cannot reduce occupancy — the bucket is marked overflowed and left in
+// place (hardware spills such rows to a victim TCAM).
+func (t *Table[V]) split(idx int) {
+	b := &t.buckets[idx]
+	d := b.pivotLen
+	if d >= t.bits {
+		b.overflowed = true
+		return
+	}
+	reducible := false
+	for _, e := range b.entries {
+		if e.Prefix.Bits() > d {
+			reducible = true
+			break
+		}
+	}
+	if !reducible {
+		b.overflowed = true
+		return
+	}
+
+	key := make([]byte, t.bits/8)
+	copy(key, b.pivotKey[:t.bits/8])
+	entries := b.entries
+
+	// Retire the parent pivot and bucket slot.
+	t.pivots.remove(key, d)
+	b.entries = nil
+	b.live = false
+	t.free = append(t.free, idx)
+
+	for side := 0; side < 2; side++ {
+		if side == 1 {
+			key[d/8] |= 1 << (7 - d%8)
+		} else {
+			key[d/8] &^= 1 << (7 - d%8)
+		}
+		var childEntries []Entry[V]
+		for _, e := range entries {
+			if e.Prefix.Bits() <= d {
+				// Ancestor: covers both halves.
+				childEntries = append(childEntries, e)
+				continue
+			}
+			ek := keyOf(e.Prefix.Addr(), t.bits)
+			if bit(ek, d) == side {
+				childEntries = append(childEntries, e)
+			}
+		}
+		if existing := t.pivots.get(key, d+1); existing >= 0 {
+			// A deeper pivot already owns this half (created by an
+			// earlier split on the other branch of the trie): merge
+			// the entries into it.
+			for _, e := range childEntries {
+				t.addToBucket(existing, e)
+			}
+			continue
+		}
+		child := t.allocBucket(key, d+1)
+		t.buckets[child].entries = childEntries
+		t.pivots.insert(key, d+1, child)
+		if len(childEntries) > t.cap {
+			t.split(child)
+		}
+	}
+	// Restore the key's bit (local copy; nothing to undo for callers).
+}
+
+// allocBucket returns a fresh or recycled bucket slot registered at the
+// pivot.
+func (t *Table[V]) allocBucket(key []byte, plen int) int {
+	var idx int
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.buckets = append(t.buckets, bucket[V]{})
+		idx = len(t.buckets) - 1
+	}
+	b := &t.buckets[idx]
+	*b = bucket[V]{live: true, pivotLen: plen}
+	copy(b.pivotKey[:], key)
+	return idx
+}
+
+// OverflowedBuckets counts buckets beyond capacity that could not be split
+// (victim-TCAM spill candidates).
+func (t *Table[V]) OverflowedBuckets() int {
+	n := 0
+	for i := range t.buckets {
+		if t.buckets[i].live && t.buckets[i].overflowed {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the value stored for exactly prefix p, if present.
+func (t *Table[V]) Get(p netip.Prefix) (v V, ok bool) {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return v, false
+	}
+	key := keyOf(p.Addr(), t.bits)
+	check := func(idx int) bool {
+		for i := range t.buckets[idx].entries {
+			if t.buckets[idx].entries[i].Prefix == p {
+				v = t.buckets[idx].entries[i].Value
+				ok = true
+				return true
+			}
+		}
+		return false
+	}
+	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 && check(home) {
+		return v, true
+	}
+	// Shallow prefixes may live only as replicas under deeper pivots.
+	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
+		if !ok {
+			check(idx)
+		}
+	})
+	return v, ok
+}

@@ -1,0 +1,274 @@
+package alpm
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"sailfish/internal/tables"
+)
+
+func TestInsertIntoEmptyTable(t *testing.T) {
+	tab, err := Build[int](32, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(mustPrefix("10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, plen, ok := tab.Lookup(netip.MustParseAddr("10.1.2.3")); !ok || v != 1 || plen != 8 {
+		t.Fatalf("got (%d,%d,%v)", v, plen, ok)
+	}
+	if _, _, ok := tab.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("miss matched")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tab, _ := Build[int](32, 4, nil)
+	tab.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tab.Insert(mustPrefix("10.0.0.0/8"), 2)
+	if v, _, _ := tab.Lookup(netip.MustParseAddr("10.0.0.1")); v != 2 {
+		t.Fatalf("got %d", v)
+	}
+	s := tab.Stats()
+	if s.StoredEntries != 1 {
+		t.Fatalf("replace duplicated: %+v", s)
+	}
+}
+
+func TestDeleteRemovesEverywhere(t *testing.T) {
+	// Build with entries that force multiple buckets, then delete a short
+	// (replicated) prefix and verify no bucket still answers with it.
+	rng := rand.New(rand.NewSource(3))
+	entries := randPrefixes(rng, 32, 300)
+	short := Entry[int]{mustPrefix("10.0.0.0/8"), 999999}
+	entries = append(entries, short)
+	tab, err := Build(32, 4, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Delete(short.Prefix) {
+		t.Fatal("delete failed")
+	}
+	if tab.Delete(short.Prefix) {
+		t.Fatal("double delete succeeded")
+	}
+	// Probe addresses across 10/8: none may return the deleted value.
+	for i := 0; i < 2000; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = 10
+		if v, _, ok := tab.Lookup(netip.AddrFrom4(b)); ok && v == 999999 {
+			t.Fatalf("stale replica answered for %v", netip.AddrFrom4(b))
+		}
+	}
+}
+
+func TestInsertSplitsOverflowingBucket(t *testing.T) {
+	tab, _ := Build[int](32, 4, nil)
+	// Push 64 host routes into one region: the root bucket must split
+	// repeatedly, never exceeding capacity (none of these are ancestors).
+	for i := 0; i < 64; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 1}), 32)
+		if err := tab.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range tab.buckets {
+		b := &tab.buckets[i]
+		if b.live && !b.overflowed && len(b.entries) > tab.cap {
+			t.Fatalf("bucket %d holds %d > cap %d", i, len(b.entries), tab.cap)
+		}
+	}
+	if tab.OverflowedBuckets() != 0 {
+		t.Fatalf("unexpected overflow buckets: %d", tab.OverflowedBuckets())
+	}
+	s := tab.Stats()
+	if s.Buckets < 64/4 {
+		t.Fatalf("too few buckets after splits: %+v", s)
+	}
+	for i := 0; i < 64; i++ {
+		a := netip.AddrFrom4([4]byte{10, 0, byte(i), 1})
+		if v, _, ok := tab.Lookup(a); !ok || v != i {
+			t.Fatalf("lookup %v = (%d,%v)", a, v, ok)
+		}
+	}
+}
+
+func TestNestedAncestorsOverflowSoftly(t *testing.T) {
+	// A chain of nested prefixes all covering the same point cannot be
+	// thinned by splitting; the bucket must mark overflow, not loop.
+	tab, _ := Build[int](32, 3, nil)
+	for plen := 1; plen <= 12; plen++ {
+		p := netip.PrefixFrom(netip.MustParseAddr("10.0.0.0"), plen).Masked()
+		if err := tab.Insert(p, plen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.OverflowedBuckets() == 0 {
+		t.Fatal("ancestor chain should soft-overflow")
+	}
+	// Lookups still correct.
+	if v, plen, ok := tab.Lookup(netip.MustParseAddr("10.0.0.1")); !ok || v != 12 || plen != 12 {
+		t.Fatalf("got (%d,%d,%v)", v, plen, ok)
+	}
+	// 200.0.0.1 is outside even the /1 ancestor (0.0.0.0/1 covers 0-127).
+	if v, _, ok := tab.Lookup(netip.MustParseAddr("200.0.0.1")); ok {
+		t.Fatalf("miss matched %d", v)
+	}
+}
+
+// Property: an ALPM table maintained by interleaved Insert/Delete agrees
+// with the reference trie at every step, starting both from a built table
+// and from empty.
+func TestIncrementalMatchesTrie(t *testing.T) {
+	for _, startBuilt := range []bool{false, true} {
+		for _, bits := range []int{32, 128} {
+			rng := rand.New(rand.NewSource(int64(bits) + 100))
+			var initial []Entry[int]
+			if startBuilt {
+				initial = randPrefixes(rng, bits, 400)
+			}
+			tab, err := Build(bits, 8, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := tables.NewTrie[int](bits)
+			for _, e := range initial {
+				ref.Insert(e.Prefix, e.Value)
+			}
+			var present []netip.Prefix
+			for _, e := range initial {
+				present = append(present, e.Prefix)
+			}
+			randPfx := func() netip.Prefix {
+				e := randPrefixes(rng, bits, 1)
+				return e[0].Prefix
+			}
+			for op := 0; op < 1500; op++ {
+				switch rng.Intn(3) {
+				case 0, 1: // insert
+					p := randPfx()
+					v := rng.Intn(1 << 20)
+					if err := tab.Insert(p, v); err != nil {
+						t.Fatal(err)
+					}
+					ref.Insert(p, v)
+					present = append(present, p)
+				case 2: // delete
+					if len(present) == 0 {
+						continue
+					}
+					i := rng.Intn(len(present))
+					p := present[i]
+					present = append(present[:i], present[i+1:]...)
+					got := tab.Delete(p)
+					want := ref.Delete(p)
+					if got != want {
+						t.Fatalf("Delete(%v) = %v, want %v", p, got, want)
+					}
+				}
+			}
+			// Full agreement sweep.
+			for i := 0; i < 4000; i++ {
+				var a netip.Addr
+				if bits == 32 {
+					var b [4]byte
+					rng.Read(b[:])
+					if i%2 == 0 {
+						b[0] = 10
+					}
+					a = netip.AddrFrom4(b)
+				} else {
+					var b [16]byte
+					rng.Read(b[:])
+					if i%2 == 0 {
+						b[0], b[1] = 0x20, 0x01
+					}
+					a = netip.AddrFrom16(b)
+				}
+				gv, gl, gok := tab.Lookup(a)
+				wv, wl, wok := ref.Lookup(a)
+				if gok != wok || (gok && (gv != wv || gl != wl)) {
+					t.Fatalf("built=%v bits=%d addr=%v: alpm=(%d,%d,%v) trie=(%d,%d,%v)",
+						startBuilt, bits, a, gv, gl, gok, wv, wl, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsTrackLiveBuckets(t *testing.T) {
+	tab, _ := Build[int](32, 4, nil)
+	before := tab.Stats()
+	for i := 0; i < 32; i++ {
+		tab.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 1}), 32), i)
+	}
+	after := tab.Stats()
+	if after.Buckets <= before.Buckets {
+		t.Fatalf("buckets did not grow: %+v -> %+v", before, after)
+	}
+	if after.StoredEntries < 32 {
+		t.Fatalf("entries lost: %+v", after)
+	}
+	if after.TCAMEntries != after.Buckets {
+		t.Fatalf("pivot/bucket mismatch: %+v", after)
+	}
+}
+
+func TestInsertWrongFamilyRejected(t *testing.T) {
+	tab, _ := Build[int](32, 4, nil)
+	if err := tab.Insert(mustPrefix("2001:db8::/32"), 1); err == nil {
+		t.Fatal("v6 accepted by v4 table")
+	}
+	if tab.Delete(mustPrefix("2001:db8::/32")) {
+		t.Fatal("v6 delete succeeded on v4 table")
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	tab, err := Build(32, 16, randPrefixes(rng, 32, 50_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefixes := make([]netip.Prefix, 4096)
+	for i := range prefixes {
+		var buf [4]byte
+		rng.Read(buf[:])
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4(buf), 16+rng.Intn(17)).Masked()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Insert(prefixes[i%len(prefixes)], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGetExactPrefix(t *testing.T) {
+	tab, _ := Build[int](32, 4, nil)
+	tab.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tab.Insert(mustPrefix("10.1.0.0/16"), 2)
+	// Force splits so the /8 becomes a replica in child buckets.
+	for i := 0; i < 32; i++ {
+		tab.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 2, byte(i), 1}), 32), 100+i)
+	}
+	if v, ok := tab.Get(mustPrefix("10.0.0.0/8")); !ok || v != 1 {
+		t.Fatalf("Get /8 = %d/%v", v, ok)
+	}
+	if v, ok := tab.Get(mustPrefix("10.1.0.0/16")); !ok || v != 2 {
+		t.Fatalf("Get /16 = %d/%v", v, ok)
+	}
+	if _, ok := tab.Get(mustPrefix("10.3.0.0/16")); ok {
+		t.Fatal("phantom Get")
+	}
+	if _, ok := tab.Get(mustPrefix("2001:db8::/32")); ok {
+		t.Fatal("wrong family Get")
+	}
+	tab.Delete(mustPrefix("10.0.0.0/8"))
+	if _, ok := tab.Get(mustPrefix("10.0.0.0/8")); ok {
+		t.Fatal("Get after delete")
+	}
+}

@@ -1,0 +1,167 @@
+// Package cachesim models the design alternative Sailfish deliberately
+// rejected (§6.2, §7): a TEA-style cache-based gateway where the switch's
+// on-chip memory holds a cache of the forwarding entries and misses are
+// served from external memory over slow paths. The paper's argument is
+// stability: "we do not prefer the cache-based design to avoid cache
+// breakdown and sudden performance degradation in some extreme cases." This
+// package lets the ablation quantify that: under a stable working set the
+// cache looks great; under a working-set shift (flash crowd, scan traffic)
+// the miss rate — and therefore the traffic hitting the slow path —
+// explodes, while Sailfish's pre-allocated tables are load-invariant.
+package cachesim
+
+import (
+	"container/list"
+	"math/rand"
+)
+
+// LRU is a classic least-recently-used entry cache keyed by entry id.
+type LRU struct {
+	cap   int
+	ll    *list.List
+	items map[uint64]*list.Element
+}
+
+// NewLRU returns a cache holding at most cap entries.
+func NewLRU(cap int) *LRU {
+	return &LRU{cap: cap, ll: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+// Len returns the resident entry count.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Contains reports residency without touching recency state.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Access touches an entry, returning true on hit. On miss the entry is
+// installed (the cache-replacement a TEA-style design performs), evicting
+// the LRU victim when full.
+func (c *LRU) Access(key uint64) bool {
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		return true
+	}
+	if c.ll.Len() >= c.cap {
+		victim := c.ll.Back()
+		if victim != nil {
+			c.ll.Remove(victim)
+			delete(c.items, victim.Value.(uint64))
+		}
+	}
+	c.items[key] = c.ll.PushFront(key)
+	return false
+}
+
+// Config shapes a cache-vs-preallocated comparison run.
+type Config struct {
+	Seed int64
+	// TotalEntries is the full table size (all tenants).
+	TotalEntries int
+	// CacheEntries is the on-chip capacity (< TotalEntries).
+	CacheEntries int
+	// AccessesPerTick is the lookup volume per tick.
+	AccessesPerTick int
+	// Ticks is the window length.
+	Ticks int
+	// HotFraction of entries receives 95% of accesses (the 80/20 rule
+	// §4.2 measures as 95/5).
+	HotFraction float64
+	// ShiftAtTick, when ≥ 0, disperses the working set at that tick —
+	// the cache-breakdown event: accesses stop concentrating on a hot
+	// set and spread over fresh entries (flash crowd, scan traffic,
+	// festival opening touching the long tail all at once).
+	ShiftAtTick int
+	// PreallocatedMissShare is Sailfish's fixed software-path share for
+	// comparison (< 0.2‰).
+	PreallocatedMissShare float64
+}
+
+// DefaultConfig returns a breakdown scenario: a cache sized at 25% of the
+// table, a 5% hot set, and a working-set shift mid-window.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		TotalEntries:          100_000,
+		CacheEntries:          25_000,
+		AccessesPerTick:       50_000,
+		Ticks:                 40,
+		HotFraction:           0.05,
+		ShiftAtTick:           20,
+		PreallocatedMissShare: 1.5e-4,
+	}
+}
+
+// TickResult is one tick's miss accounting for both designs.
+type TickResult struct {
+	Tick int
+	// CacheMissRate is the TEA-style design's slow-path share this tick.
+	CacheMissRate float64
+	// PreallocatedMissRate is Sailfish's (constant) software-path share.
+	PreallocatedMissRate float64
+}
+
+// Result is a full comparison run.
+type Result struct {
+	Ticks []TickResult
+	// SteadyMissRate is the cache's miss rate before the shift.
+	SteadyMissRate float64
+	// PeakMissRate is the worst tick (the breakdown).
+	PeakMissRate float64
+}
+
+// Run executes the comparison.
+func Run(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cache := NewLRU(cfg.CacheEntries)
+	hotCount := int(float64(cfg.TotalEntries) * cfg.HotFraction)
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	var res Result
+	var steadySum float64
+	var steadyN int
+	dispersed := false
+	for tk := 0; tk < cfg.Ticks; tk++ {
+		if tk == cfg.ShiftAtTick {
+			dispersed = true
+		}
+		misses := 0
+		for a := 0; a < cfg.AccessesPerTick; a++ {
+			var key uint64
+			switch {
+			case dispersed:
+				// Breakdown regime: a fresh, uncacheably wide
+				// active set (disjoint id space, uniform).
+				key = uint64(cfg.TotalEntries) + uint64(rng.Intn(cfg.TotalEntries))
+			case rng.Float64() < 0.95:
+				key = uint64(rng.Intn(hotCount))
+			default:
+				key = uint64(rng.Intn(cfg.TotalEntries))
+			}
+			if !cache.Access(key) {
+				misses++
+			}
+		}
+		mr := float64(misses) / float64(cfg.AccessesPerTick)
+		res.Ticks = append(res.Ticks, TickResult{
+			Tick:                 tk,
+			CacheMissRate:        mr,
+			PreallocatedMissRate: cfg.PreallocatedMissShare,
+		})
+		if mr > res.PeakMissRate {
+			res.PeakMissRate = mr
+		}
+		// Steady state: after warmup, before the shift.
+		if tk >= 5 && (cfg.ShiftAtTick < 0 || tk < cfg.ShiftAtTick) {
+			steadySum += mr
+			steadyN++
+		}
+	}
+	if steadyN > 0 {
+		res.SteadyMissRate = steadySum / float64(steadyN)
+	}
+	return res
+}

@@ -1,0 +1,94 @@
+package cachesim
+
+import "testing"
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if c.Access(1) {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(1) {
+		t.Fatal("warm miss")
+	}
+	c.Access(2)
+	c.Access(3) // evicts 1 (LRU)
+	if c.Access(1) {
+		t.Fatal("evicted entry hit")
+	}
+	if !c.Access(3) || !c.Access(1) {
+		t.Fatal("resident entries missed")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 1 is now MRU; inserting 3 must evict 2
+	c.Access(3)
+	if c.Contains(2) {
+		t.Fatal("LRU order wrong: 2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("resident set wrong")
+	}
+}
+
+// The §6.2 argument: steady state looks fine, a working-set shift breaks it.
+func TestBreakdownShape(t *testing.T) {
+	res := Run(DefaultConfig())
+	if res.SteadyMissRate > 0.10 {
+		t.Fatalf("steady miss rate %.3f — cache should look good before the shift", res.SteadyMissRate)
+	}
+	if res.PeakMissRate < 0.5 {
+		t.Fatalf("peak miss rate %.3f — the breakdown should be dramatic", res.PeakMissRate)
+	}
+	// The breakdown must occur at the shift tick.
+	shift := DefaultConfig().ShiftAtTick
+	if res.Ticks[shift].CacheMissRate < 0.5 {
+		t.Fatalf("no breakdown at shift tick: %.3f", res.Ticks[shift].CacheMissRate)
+	}
+	// The pre-allocated design's share never moves.
+	for _, tk := range res.Ticks {
+		if tk.PreallocatedMissRate != DefaultConfig().PreallocatedMissShare {
+			t.Fatal("pre-allocated share varied")
+		}
+	}
+	// Before the shift the cache even beats the hardware-unfriendly
+	// metrics; after it, it is orders of magnitude worse than Sailfish's
+	// fixed sliver.
+	if res.PeakMissRate/DefaultConfig().PreallocatedMissShare < 1000 {
+		t.Fatal("breakdown not significant vs pre-allocated baseline")
+	}
+}
+
+func TestNoShiftStaysHealthy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShiftAtTick = -1
+	res := Run(cfg)
+	if res.PeakMissRate > 0.6 {
+		t.Fatalf("peak %.3f without a shift (warmup aside)", res.PeakMissRate)
+	}
+	if res.SteadyMissRate > 0.1 {
+		t.Fatalf("steady %.3f without a shift", res.SteadyMissRate)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig())
+	b := Run(DefaultConfig())
+	if a.SteadyMissRate != b.SteadyMissRate || a.PeakMissRate != b.PeakMissRate {
+		t.Fatal("not deterministic")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 10
+	for i := 0; i < b.N; i++ {
+		Run(cfg)
+	}
+}

@@ -1,0 +1,478 @@
+// Package cluster assembles XGW-H nodes into clusters and clusters into a
+// region (Fig. 10, Fig. 12): every node in a cluster carries identical
+// tables and shares load behind ECMP; clusters hold disjoint tenant sets
+// (horizontal table splitting); each main cluster has a 1:1 hot-standby
+// backup (§6.1 disaster recovery); and a small XGW-x86 pool catches the
+// fallback traffic (§4.2).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/lb"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+	"sailfish/internal/xgw86"
+	"sailfish/internal/xgwh"
+)
+
+// Errors returned by region operations.
+var (
+	ErrNoLiveNodes  = errors.New("cluster: no live nodes")
+	ErrOverCapacity = errors.New("cluster: entry capacity exceeded")
+)
+
+// Config shapes a region's clusters.
+type Config struct {
+	// NodesPerCluster is the XGW-H count per cluster (ECMP width).
+	NodesPerCluster int
+	// EntryCapacity is the per-node entry budget (routes + VM mappings)
+	// under the fully compressed layout.
+	EntryCapacity int
+	// GatewayIP is the cluster VIP used as outer source on rewrites.
+	GatewayIP netip.Addr
+	// Chip configures each node's ASIC.
+	Chip tofino.ChipConfig
+	// ALPMRoutes selects the hardware ALPM routing engine on every node.
+	ALPMRoutes bool
+}
+
+// DefaultConfig returns a production-shaped cluster config: the paper's
+// "ten XGW-Hs for major traffic processing" per region, with the entry
+// capacity the Table 3 layout supports.
+func DefaultConfig() Config {
+	return Config{
+		NodesPerCluster: 4,
+		EntryCapacity:   2_000_000,
+		GatewayIP:       netip.MustParseAddr("10.255.0.1"),
+		Chip:            tofino.DefaultChip(),
+	}
+}
+
+// PortsPerNode is the front-panel port count used for port-level disaster
+// recovery accounting (half a folded chip's ports face the fabric).
+const PortsPerNode = 32
+
+// Node is one XGW-H box.
+type Node struct {
+	ID      string
+	GW      *xgwh.Gateway
+	Healthy bool
+	// PortHealthy tracks front-panel ports; a port with abnormal jitter
+	// or persistent loss is isolated and its flows migrate to the
+	// remaining ports (§6.1 port-level disaster recovery).
+	PortHealthy [PortsPerNode]bool
+}
+
+// LivePorts returns the number of healthy ports.
+func (n *Node) LivePorts() int {
+	c := 0
+	for _, ok := range n.PortHealthy {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// PickPort selects the egress port for a flow hash among healthy ports,
+// reporting false when every port is isolated.
+func (n *Node) PickPort(hash uint64) (int, bool) {
+	live := n.LivePorts()
+	if live == 0 {
+		return 0, false
+	}
+	k := int(hash % uint64(live))
+	for i, ok := range n.PortHealthy {
+		if !ok {
+			continue
+		}
+		if k == 0 {
+			return i, true
+		}
+		k--
+	}
+	return 0, false
+}
+
+// FailPort isolates one port.
+func (n *Node) FailPort(port int) {
+	if port >= 0 && port < PortsPerNode {
+		n.PortHealthy[port] = false
+	}
+}
+
+// RestorePort brings a port back.
+func (n *Node) RestorePort(port int) {
+	if port >= 0 && port < PortsPerNode {
+		n.PortHealthy[port] = true
+	}
+}
+
+// CapacityFraction is the node's usable throughput share given isolated
+// ports.
+func (n *Node) CapacityFraction() float64 {
+	return float64(n.LivePorts()) / float64(PortsPerNode)
+}
+
+// Cluster is a set of nodes sharing identical tables plus its hot-standby
+// backup.
+type Cluster struct {
+	ID    int
+	Nodes []*Node
+	// Backup is the 1:1 standby cluster, holding the same entries.
+	Backup *Cluster
+
+	cfg     Config
+	entries int
+	tenants map[netpkt.VNI]int // per-tenant entry counts
+}
+
+// newCluster builds a cluster of cfg.NodesPerCluster healthy nodes.
+func newCluster(id int, cfg Config, backup bool) *Cluster {
+	c := &Cluster{ID: id, cfg: cfg, tenants: make(map[netpkt.VNI]int)}
+	role := "main"
+	if backup {
+		role = "backup"
+	}
+	for i := 0; i < cfg.NodesPerCluster; i++ {
+		gw := xgwh.New(xgwh.Config{
+			Chip: cfg.Chip, Folded: true, SplitPipes: true,
+			GatewayIP:  cfg.GatewayIP,
+			ALPMRoutes: cfg.ALPMRoutes,
+		})
+		n := &Node{
+			ID:      fmt.Sprintf("xgwh-%s-%d-%d", role, id, i),
+			GW:      gw,
+			Healthy: true,
+		}
+		for p := range n.PortHealthy {
+			n.PortHealthy[p] = true
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// EntryCount returns installed entries (routes + VM mappings).
+func (c *Cluster) EntryCount() int { return c.entries }
+
+// WaterLevel returns entries over per-node capacity — the metric the
+// controller monitors before "closing the sale of the cluster's resources"
+// (§6.1).
+func (c *Cluster) WaterLevel() float64 {
+	return float64(c.entries) / float64(c.cfg.EntryCapacity)
+}
+
+// Tenants returns the VNIs resident on this cluster.
+func (c *Cluster) Tenants() []netpkt.VNI {
+	out := make([]netpkt.VNI, 0, len(c.tenants))
+	for v := range c.tenants {
+		out = append(out, v)
+	}
+	return out
+}
+
+// HasTenant reports whether the VNI's entries live here.
+func (c *Cluster) HasTenant(vni netpkt.VNI) bool { return c.tenants[vni] > 0 }
+
+// LiveNodes returns the healthy nodes.
+func (c *Cluster) LiveNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.Healthy {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InstallRoute installs a route on every node (main and backup), keeping
+// the cluster's replicas identical.
+func (c *Cluster) InstallRoute(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
+	if c.entries >= c.cfg.EntryCapacity {
+		return ErrOverCapacity
+	}
+	for _, n := range c.Nodes {
+		if err := n.GW.InstallRoute(vni, p, r); err != nil {
+			return err
+		}
+	}
+	c.entries++
+	c.tenants[vni]++
+	if c.Backup != nil {
+		return c.Backup.InstallRoute(vni, p, r)
+	}
+	return nil
+}
+
+// RemoveRoute withdraws a route from every node (main and backup).
+func (c *Cluster) RemoveRoute(vni netpkt.VNI, p netip.Prefix) bool {
+	any := false
+	for _, n := range c.Nodes {
+		if n.GW.RemoveRoute(vni, p) {
+			any = true
+		}
+	}
+	if any {
+		c.entries--
+		c.decTenant(vni)
+	}
+	if c.Backup != nil {
+		c.Backup.RemoveRoute(vni, p)
+	}
+	return any
+}
+
+// RemoveVM withdraws a VM mapping from every node (main and backup).
+func (c *Cluster) RemoveVM(vni netpkt.VNI, vm netip.Addr) bool {
+	any := false
+	for _, n := range c.Nodes {
+		if n.GW.RemoveVM(vni, vm) {
+			any = true
+		}
+	}
+	if any {
+		c.entries--
+		c.decTenant(vni)
+	}
+	if c.Backup != nil {
+		c.Backup.RemoveVM(vni, vm)
+	}
+	return any
+}
+
+func (c *Cluster) decTenant(vni netpkt.VNI) {
+	if n := c.tenants[vni]; n > 1 {
+		c.tenants[vni] = n - 1
+	} else {
+		delete(c.tenants, vni)
+	}
+}
+
+// InstallVM installs a VM-NC mapping on every node.
+func (c *Cluster) InstallVM(vni netpkt.VNI, vm, nc netip.Addr) error {
+	if c.entries >= c.cfg.EntryCapacity {
+		return ErrOverCapacity
+	}
+	for _, n := range c.Nodes {
+		n.GW.InstallVM(vni, vm, nc)
+	}
+	c.entries++
+	c.tenants[vni]++
+	if c.Backup != nil {
+		return c.Backup.InstallVM(vni, vm, nc)
+	}
+	return nil
+}
+
+// MarkServiceVNI registers a software-service VNI on every node.
+func (c *Cluster) MarkServiceVNI(vni netpkt.VNI) {
+	for _, n := range c.Nodes {
+		n.GW.MarkServiceVNI(vni)
+	}
+	if c.Backup != nil {
+		c.Backup.MarkServiceVNI(vni)
+	}
+}
+
+// FailNode marks a node unhealthy (node-level disaster recovery: remaining
+// nodes share its load).
+func (c *Cluster) FailNode(i int) {
+	if i >= 0 && i < len(c.Nodes) {
+		c.Nodes[i].Healthy = false
+	}
+}
+
+// RestoreNode brings a node back.
+func (c *Cluster) RestoreNode(i int) {
+	if i >= 0 && i < len(c.Nodes) {
+		c.Nodes[i].Healthy = true
+	}
+}
+
+// Region is a cloud region's gateway deployment: main clusters with 1:1
+// backups behind a steering front end, plus the XGW-x86 fallback pool.
+type Region struct {
+	cfg      Config
+	Clusters []*Cluster
+	FrontEnd *lb.FrontEnd
+	Fallback []*xgw86.Node
+
+	// activeBackup marks clusters currently served by their backup.
+	activeBackup map[int]bool
+	// disabled marks clusters not yet commissioned (or decommissioned):
+	// user traffic is refused until the controller admits it (§6.1
+	// "modify the routes in the upstream devices to admit user traffic").
+	disabled map[int]bool
+
+	stats RegionStats
+}
+
+// ErrClusterDisabled reports traffic steered at a cluster that has not been
+// commissioned.
+var ErrClusterDisabled = errors.New("cluster: cluster not admitted to service")
+
+// RegionStats aggregates region-level packet accounting.
+type RegionStats struct {
+	Forwarded uint64
+	Fallback  uint64
+	Dropped   uint64
+	NoRoute   uint64
+}
+
+// NewRegion builds a region with the given number of main clusters (each
+// with a backup) and XGW-x86 fallback nodes.
+func NewRegion(cfg Config, clusters, fallbackNodes int) *Region {
+	if cfg.NodesPerCluster == 0 {
+		cfg = DefaultConfig()
+	}
+	r := &Region{
+		cfg:          cfg,
+		FrontEnd:     lb.NewFrontEnd(),
+		activeBackup: make(map[int]bool),
+		disabled:     make(map[int]bool),
+	}
+	for i := 0; i < clusters; i++ {
+		r.AddCluster()
+	}
+	for i := 0; i < fallbackNodes; i++ {
+		x86cfg := xgw86.DefaultConfig()
+		x86cfg.GatewayIP = cfg.GatewayIP
+		x86cfg.PublicIPs = []netip.Addr{netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + i)})}
+		r.Fallback = append(r.Fallback, xgw86.NewNode(x86cfg))
+	}
+	return r
+}
+
+// AddCluster provisions a new main+backup cluster pair and its ECMP group,
+// returning the new cluster.
+func (r *Region) AddCluster() *Cluster {
+	id := len(r.Clusters)
+	c := newCluster(id, r.cfg, false)
+	c.Backup = newCluster(id, r.cfg, true)
+	r.Clusters = append(r.Clusters, c)
+	g := lb.NewECMP(0)
+	for i := range c.Nodes {
+		g.AddNextHop(i)
+	}
+	r.FrontEnd.Groups[id] = g
+	return c
+}
+
+// serving returns the cluster actually carrying traffic for id — the main
+// cluster, or its backup after failover.
+func (r *Region) serving(id int) *Cluster {
+	c := r.Clusters[id]
+	if r.activeBackup[id] {
+		return c.Backup
+	}
+	return c
+}
+
+// FailoverCluster reroutes a cluster's traffic to its hot-standby backup
+// (cluster-level disaster recovery: "any anomaly will alert the controller
+// to modify the routes in the upstream devices").
+func (r *Region) FailoverCluster(id int) { r.activeBackup[id] = true }
+
+// RestoreCluster returns traffic to the main cluster.
+func (r *Region) RestoreCluster(id int) { delete(r.activeBackup, id) }
+
+// OnBackup reports whether the cluster is being served by its backup.
+func (r *Region) OnBackup(id int) bool { return r.activeBackup[id] }
+
+// SetClusterEnabled gates user traffic on the cluster. New clusters are
+// enabled by default; the commissioning workflow (controller.Commission)
+// disables a cluster first, populates and probes it, then re-enables it.
+func (r *Region) SetClusterEnabled(id int, enabled bool) {
+	if enabled {
+		delete(r.disabled, id)
+	} else {
+		r.disabled[id] = true
+	}
+}
+
+// ClusterEnabled reports whether the cluster accepts user traffic.
+func (r *Region) ClusterEnabled(id int) bool { return !r.disabled[id] }
+
+// Result is the region-level outcome of one packet.
+type Result struct {
+	ClusterID int
+	NodeID    string
+	// EgressPort is the front-panel port the flow left through, chosen
+	// among the node's healthy ports.
+	EgressPort int
+	// GW carries the gateway-level result (action, rewritten bytes, NC).
+	GW xgwh.ForwardResult
+	// ViaFallback marks packets completed by an XGW-x86 node.
+	ViaFallback bool
+	// FallbackOut is the XGW-x86 result when ViaFallback.
+	FallbackOut xgw86.FallbackResult
+}
+
+// ProcessPacket carries a packet through the region: steering → ECMP →
+// XGW-H → (optionally) XGW-x86 fallback. It needs the packet's VNI and flow
+// hash before full parsing, as the front-end switches do; they are read via
+// a lightweight parse.
+func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
+	var parser netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := parser.Parse(raw, &pkt); err != nil {
+		r.stats.Dropped++
+		return Result{}, err
+	}
+	flowHash := pkt.InnerFlow().FastHash()
+	clusterID, nodeIdx, err := r.FrontEnd.Route(pkt.VXLAN.VNI, flowHash)
+	if err != nil {
+		r.stats.NoRoute++
+		return Result{}, err
+	}
+	if r.disabled[clusterID] {
+		r.stats.Dropped++
+		return Result{}, ErrClusterDisabled
+	}
+	c := r.serving(clusterID)
+	live := c.LiveNodes()
+	if len(live) == 0 {
+		r.stats.Dropped++
+		return Result{}, ErrNoLiveNodes
+	}
+	node := live[nodeIdx%len(live)]
+	port, ok := node.PickPort(flowHash)
+	if !ok {
+		r.stats.Dropped++
+		return Result{}, ErrNoLiveNodes
+	}
+	res, err := node.GW.ProcessPacket(raw, now)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port, GW: res}
+	switch res.Action {
+	case xgwh.ActionForward:
+		r.stats.Forwarded++
+	case xgwh.ActionDrop:
+		r.stats.Dropped++
+	case xgwh.ActionFallback:
+		r.stats.Fallback++
+		if len(r.Fallback) == 0 {
+			return out, nil
+		}
+		fb := r.Fallback[pkt.InnerFlow().FastHash()%uint64(len(r.Fallback))]
+		fres, ferr := fb.ProcessFallback(raw)
+		if ferr != nil {
+			r.stats.Dropped++
+			return out, nil
+		}
+		out.ViaFallback = true
+		out.FallbackOut = fres
+	}
+	return out, nil
+}
+
+// Stats returns the region counters.
+func (r *Region) Stats() RegionStats { return r.stats }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"sailfish/internal/netpkt"
+)
+
+// Driver processes packets through a region concurrently: one worker
+// goroutine per XGW-H node, matching the hardware reality that every chip
+// is an independent pipeline while each chip processes its own packets
+// serially. The front-end routing decision is taken on the submitting side
+// (the load balancer is a separate device), then the packet is queued to
+// its node's worker.
+//
+// The Driver serves the steady state: control-plane mutations (installs,
+// failovers) must not run concurrently with Submit, just as production
+// quiesces a node before reprogramming it.
+type Driver struct {
+	region  *Region
+	queues  map[string]chan job
+	results chan DriverResult
+	wg      sync.WaitGroup
+	depth   int
+}
+
+type job struct {
+	raw  []byte
+	now  time.Time
+	node *Node
+	meta Result
+}
+
+// DriverResult is one packet's outcome from the concurrent path.
+type DriverResult struct {
+	Result Result
+	Err    error
+}
+
+// NewDriver builds a driver over the region's current live topology.
+// queueDepth bounds each node's RX queue; a full queue drops the packet
+// (tail drop, as a NIC would).
+func NewDriver(r *Region, queueDepth int) *Driver {
+	if queueDepth <= 0 {
+		queueDepth = 256
+	}
+	d := &Driver{
+		region:  r,
+		queues:  make(map[string]chan job),
+		results: make(chan DriverResult, queueDepth*4),
+		depth:   queueDepth,
+	}
+	for _, c := range r.Clusters {
+		for _, set := range [][]*Node{c.Nodes, c.Backup.Nodes} {
+			for _, n := range set {
+				q := make(chan job, queueDepth)
+				d.queues[n.ID] = q
+				d.wg.Add(1)
+				go d.worker(q)
+			}
+		}
+	}
+	return d
+}
+
+// worker owns one gateway: packets are processed strictly in arrival order,
+// preserving the single-threaded gateway invariant.
+func (d *Driver) worker(q chan job) {
+	defer d.wg.Done()
+	for j := range q {
+		res, err := j.node.GW.ProcessPacket(j.raw, j.now)
+		out := j.meta
+		out.GW = res
+		d.results <- DriverResult{Result: out, Err: err}
+	}
+}
+
+// Submit routes the packet and enqueues it to its node. It reports false
+// when the packet was dropped at routing or by a full queue. The raw slice
+// is copied; callers may reuse their buffer.
+func (d *Driver) Submit(raw []byte, now time.Time) bool {
+	var parser netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := parser.Parse(raw, &pkt); err != nil {
+		return false
+	}
+	flowHash := pkt.InnerFlow().FastHash()
+	clusterID, nodeIdx, err := d.region.FrontEnd.Route(pkt.VXLAN.VNI, flowHash)
+	if err != nil || !d.region.ClusterEnabled(clusterID) {
+		return false
+	}
+	c := d.region.serving(clusterID)
+	live := c.LiveNodes()
+	if len(live) == 0 {
+		return false
+	}
+	node := live[nodeIdx%len(live)]
+	port, ok := node.PickPort(flowHash)
+	if !ok {
+		return false
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	j := job{raw: cp, now: now, node: node,
+		meta: Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port}}
+	select {
+	case d.queues[node.ID] <- j:
+		return true
+	default:
+		return false // RX queue overflow: tail drop
+	}
+}
+
+// Results delivers packet outcomes; read until Close's drain completes.
+func (d *Driver) Results() <-chan DriverResult { return d.results }
+
+// Close stops the workers after draining queued packets and closes the
+// results channel.
+func (d *Driver) Close() {
+	for _, q := range d.queues {
+		close(q)
+	}
+	d.wg.Wait()
+	close(d.results)
+}

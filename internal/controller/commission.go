@@ -1,0 +1,67 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/probe"
+)
+
+// CommissionReport records a cluster's pre-admission checks (§6.1 cluster
+// construction: populate tables, verify consistency, run probe packets,
+// then admit user traffic).
+type CommissionReport struct {
+	ClusterID   int
+	Consistency ConsistencyReport
+	// ProbeFailures maps node ID to that node's failed probes.
+	ProbeFailures map[string][]probe.Failure
+	Admitted      bool
+}
+
+// Commission runs the full construction workflow on a cluster: consistency
+// check against controller intent, then the probe suite on every node
+// (main and backup). Only if everything passes is the cluster admitted to
+// user traffic; otherwise it is left (or taken) out of service and an error
+// describes why.
+func (c *Controller) Commission(id int, spec probe.Spec) (CommissionReport, error) {
+	rep := CommissionReport{ClusterID: id, ProbeFailures: make(map[string][]probe.Failure)}
+	rep.Consistency = c.CheckConsistency(id)
+
+	suite, err := probe.SuiteFor(spec)
+	if err != nil {
+		return rep, fmt.Errorf("controller: building probe suite: %w", err)
+	}
+	cl := c.region.Clusters[id]
+	nodes := append([]*cluster.Node(nil), cl.Nodes...)
+	if cl.Backup != nil {
+		nodes = append(nodes, cl.Backup.Nodes...)
+	}
+	now := time.Unix(0, 0)
+	for _, n := range nodes {
+		if fails := probe.Run(n.GW, suite, now); len(fails) > 0 {
+			rep.ProbeFailures[n.ID] = fails
+		}
+	}
+
+	if !rep.Consistency.Consistent {
+		c.region.SetClusterEnabled(id, false)
+		return rep, fmt.Errorf("controller: cluster %d inconsistent on nodes %v", id, rep.Consistency.Mismatches)
+	}
+	if len(rep.ProbeFailures) > 0 {
+		c.region.SetClusterEnabled(id, false)
+		return rep, fmt.Errorf("controller: cluster %d failed probes on %d nodes", id, len(rep.ProbeFailures))
+	}
+	c.region.SetClusterEnabled(id, true)
+	rep.Admitted = true
+	return rep, nil
+}
+
+// HandlePortAnomaly isolates a port on a node; its flows migrate to the
+// node's remaining ports (§6.1 port-level disaster recovery).
+func (c *Controller) HandlePortAnomaly(clusterID, nodeIdx, port int) string {
+	n := c.region.Clusters[clusterID].Nodes[nodeIdx]
+	n.FailPort(port)
+	return fmt.Sprintf("cluster %d node %d port %d: isolated, %d ports remain (capacity %.0f%%)",
+		clusterID, nodeIdx, port, n.LivePorts(), 100*n.CapacityFraction())
+}

@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/probe"
+)
+
+func commissionFixture(t *testing.T) (*Controller, *cluster.Region, TenantEntries, probe.Spec) {
+	t.Helper()
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	if _, err := c.PlaceTenant(te); err != nil {
+		t.Fatal(err)
+	}
+	spec := probe.Spec{
+		LocalVNI: te.VNI,
+		LocalSrc: te.VMs[1].VM,
+		LocalVM:  te.VMs[0].VM,
+		LocalNC:  te.VMs[0].NC,
+		// No peering in the generated tenant; skip the peer probe.
+		UnknownVNI: 999999,
+	}
+	return c, r, te, spec
+}
+
+func TestCommissionAdmits(t *testing.T) {
+	c, r, _, spec := commissionFixture(t)
+	r.SetClusterEnabled(0, false) // staged, awaiting commissioning
+	rep, err := c.Commission(0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Admitted || !r.ClusterEnabled(0) {
+		t.Fatalf("cluster not admitted: %+v", rep)
+	}
+}
+
+func TestCommissionRefusesOnProbeFailure(t *testing.T) {
+	c, r, te, spec := commissionFixture(t)
+	// Break one node silently: the probe must catch it and keep the
+	// cluster out of service.
+	r.Clusters[0].Nodes[1].GW.RemoveVM(te.VNI, te.VMs[0].VM)
+	rep, err := c.Commission(0, spec)
+	if err == nil {
+		t.Fatal("broken cluster admitted")
+	}
+	if r.ClusterEnabled(0) {
+		t.Fatal("broken cluster left enabled")
+	}
+	if len(rep.ProbeFailures) != 1 {
+		t.Fatalf("probe failures = %v", rep.ProbeFailures)
+	}
+}
+
+func TestDisabledClusterRefusesTraffic(t *testing.T) {
+	c, r, te, spec := commissionFixture(t)
+	_ = c
+	r.SetClusterEnabled(0, false)
+	raw := buildTenantPacket(t, te)
+	if _, err := r.ProcessPacket(raw, time.Unix(0, 0)); err != cluster.ErrClusterDisabled {
+		t.Fatalf("want ErrClusterDisabled, got %v", err)
+	}
+	// Commission and retry.
+	if _, err := c.Commission(0, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ProcessPacket(raw, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildTenantPacket(t *testing.T, te TenantEntries) []byte {
+	t.Helper()
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := (&netpkt.BuildSpec{
+		VNI:      te.VNI,
+		OuterSrc: netip.MustParseAddr("10.1.1.1"),
+		OuterDst: netip.MustParseAddr("10.255.0.1"),
+		InnerSrc: te.VMs[1].VM, InnerDst: te.VMs[0].VM,
+		Proto: netpkt.IPProtocolUDP, SrcPort: 1, DstPort: 2,
+	}).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func TestPortLevelRecovery(t *testing.T) {
+	c, r, te, _ := commissionFixture(t)
+	raw := buildTenantPacket(t, te)
+	res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPort := res.EgressPort
+	// Isolate the flow's port on its node: the flow must migrate to
+	// another port on the same node and keep flowing.
+	nodeIdx := -1
+	for i, n := range r.Clusters[0].Nodes {
+		if n.ID == res.NodeID {
+			nodeIdx = i
+		}
+	}
+	msg := c.HandlePortAnomaly(0, nodeIdx, origPort)
+	if msg == "" {
+		t.Fatal("no recovery report")
+	}
+	res2, err := r.ProcessPacket(raw, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NodeID != res.NodeID {
+		t.Fatalf("flow moved nodes (%s → %s); port recovery is node-local", res.NodeID, res2.NodeID)
+	}
+	if res2.EgressPort == origPort {
+		t.Fatal("flow still on the isolated port")
+	}
+	n := r.Clusters[0].Nodes[nodeIdx]
+	if n.CapacityFraction() >= 1 {
+		t.Fatal("capacity not reduced")
+	}
+	// Isolate everything: the node can no longer serve.
+	for p := 0; p < cluster.PortsPerNode; p++ {
+		n.FailPort(p)
+	}
+	if _, ok := n.PickPort(123); ok {
+		t.Fatal("portless node still picked a port")
+	}
+	n.RestorePort(3)
+	if got, ok := n.PickPort(999); !ok || got != 3 {
+		t.Fatalf("restore failed: %d/%v", got, ok)
+	}
+}

@@ -1,0 +1,306 @@
+// Package controller implements Sailfish's central controller: horizontal
+// table splitting of tenants across XGW-H clusters (§4.3), table population
+// with consistency checks, water-level monitoring with sale gating, and
+// disaster-recovery orchestration (§6.1). It also models the table-update
+// stream of Fig. 23 — slow regular growth punctuated by sudden top-customer
+// arrivals.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/traffic"
+)
+
+// Errors returned by controller operations.
+var (
+	// ErrSaleClosed reports that every cluster is above the safe water
+	// level and expansion is required.
+	ErrSaleClosed = errors.New("controller: all clusters above safe water level")
+	// ErrTenantExists reports a duplicate tenant placement.
+	ErrTenantExists = errors.New("controller: tenant already placed")
+)
+
+// RouteEntry is one VXLAN route in controller intent form.
+type RouteEntry struct {
+	VNI    netpkt.VNI
+	Prefix netip.Prefix
+	Route  tables.Route
+}
+
+// VMEntry is one VM-NC mapping in controller intent form.
+type VMEntry struct {
+	VNI netpkt.VNI
+	VM  netip.Addr
+	NC  netip.Addr
+}
+
+// TenantEntries is the full forwarding state of one tenant — the smallest
+// unit of horizontal splitting ("the VPC is the smallest split granularity",
+// §4.4).
+type TenantEntries struct {
+	VNI    netpkt.VNI
+	Routes []RouteEntry
+	VMs    []VMEntry
+	// ServiceVNI marks tenants whose traffic needs the software path.
+	ServiceVNI bool
+}
+
+// Size returns the entry count the tenant consumes.
+func (t TenantEntries) Size() int { return len(t.Routes) + len(t.VMs) }
+
+// FromTrafficTenant converts a generated tenant into installable entries:
+// one Local route for its prefix and one VM-NC mapping per VM.
+func FromTrafficTenant(t traffic.Tenant) TenantEntries {
+	te := TenantEntries{VNI: t.VNI}
+	te.Routes = append(te.Routes, RouteEntry{
+		VNI: t.VNI, Prefix: t.Prefix, Route: tables.Route{Scope: tables.ScopeLocal},
+	})
+	for i, vm := range t.VMs {
+		te.VMs = append(te.VMs, VMEntry{VNI: t.VNI, VM: vm, NC: t.NCs[i]})
+	}
+	return te
+}
+
+// Config tunes the controller's policies.
+type Config struct {
+	// SafeWaterLevel is the fill fraction above which a cluster stops
+	// accepting new tenants (§6.1: "temporarily close the sale").
+	SafeWaterLevel float64
+	// AutoExpand provisions a new cluster when every existing one is
+	// above the safe water level.
+	AutoExpand bool
+}
+
+// DefaultConfig returns production-shaped policies.
+func DefaultConfig() Config {
+	return Config{SafeWaterLevel: 0.8, AutoExpand: true}
+}
+
+// Controller drives a region.
+type Controller struct {
+	cfg      Config
+	region   *cluster.Region
+	placed   map[netpkt.VNI]placedTenant
+	festival bool
+}
+
+// placedTenant is the controller's record of one tenant: its cluster, its
+// full entry intent (the "controller database" consistency checks and
+// migrations rely on), and any in-flight migration.
+type placedTenant struct {
+	cluster   int
+	entries   TenantEntries
+	migrating *migration
+}
+
+// New attaches a controller to a region.
+func New(cfg Config, region *cluster.Region) *Controller {
+	if cfg.SafeWaterLevel == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{cfg: cfg, region: region, placed: make(map[netpkt.VNI]placedTenant)}
+}
+
+// Region returns the managed region.
+func (c *Controller) Region() *cluster.Region { return c.region }
+
+// ClusterOf returns the cluster holding the tenant.
+func (c *Controller) ClusterOf(vni netpkt.VNI) (int, bool) {
+	pt, ok := c.placed[vni]
+	return pt.cluster, ok
+}
+
+// PlaceTenant chooses the cluster for a new tenant: the least-filled
+// cluster below the safe water level that can absorb the tenant whole.
+// With AutoExpand a fresh cluster is provisioned when none qualifies
+// ("insert new table entries into one cluster or allocate a new cluster if
+// the original cluster is out of memory", §4.3).
+func (c *Controller) PlaceTenant(t TenantEntries) (int, error) {
+	if _, ok := c.placed[t.VNI]; ok {
+		return 0, ErrTenantExists
+	}
+	best, bestLevel := -1, 2.0
+	for _, cl := range c.region.Clusters {
+		lvl := cl.WaterLevel()
+		if lvl >= c.cfg.SafeWaterLevel {
+			continue
+		}
+		if lvl < bestLevel {
+			best, bestLevel = cl.ID, lvl
+		}
+	}
+	if best < 0 {
+		if !c.cfg.AutoExpand {
+			return 0, ErrSaleClosed
+		}
+		best = c.region.AddCluster().ID
+	}
+	if err := c.installTenant(best, t); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// installTenant downloads the tenant's entries to every node of the cluster
+// (and its backup), then updates front-end steering so traffic follows the
+// tables.
+func (c *Controller) installTenant(id int, t TenantEntries) error {
+	cl := c.region.Clusters[id]
+	for _, r := range t.Routes {
+		if err := cl.InstallRoute(r.VNI, r.Prefix, r.Route); err != nil {
+			return fmt.Errorf("install route: %w", err)
+		}
+	}
+	for _, v := range t.VMs {
+		if err := cl.InstallVM(v.VNI, v.VM, v.NC); err != nil {
+			return fmt.Errorf("install vm: %w", err)
+		}
+	}
+	if t.ServiceVNI {
+		cl.MarkServiceVNI(t.VNI)
+	}
+	c.placed[t.VNI] = placedTenant{cluster: id, entries: t}
+	c.region.FrontEnd.Steering.Assign(t.VNI, id)
+	return nil
+}
+
+// GrowTenant adds VM entries to an existing tenant in place.
+func (c *Controller) GrowTenant(vni netpkt.VNI, vms []VMEntry) error {
+	pt, ok := c.placed[vni]
+	if !ok {
+		return fmt.Errorf("controller: tenant %v not placed", vni)
+	}
+	cl := c.region.Clusters[pt.cluster]
+	for _, v := range vms {
+		if err := cl.InstallVM(v.VNI, v.VM, v.NC); err != nil {
+			return err
+		}
+		pt.entries.VMs = append(pt.entries.VMs, v)
+	}
+	c.placed[vni] = pt
+	return nil
+}
+
+// ConsistencyReport is the result of the §6.1 post-population check:
+// per-node comparison of installed entry counts against controller intent.
+type ConsistencyReport struct {
+	ClusterID  int
+	Consistent bool
+	// Mismatches lists node IDs whose table counts differ from intent.
+	Mismatches []string
+	WantRoutes int
+	WantVMs    int
+}
+
+// CheckConsistency verifies that every node of the cluster (and its backup)
+// holds exactly the controller's intended entry counts — the "periodic
+// consistency checks" production runs before admitting user traffic.
+func (c *Controller) CheckConsistency(id int) ConsistencyReport {
+	cl := c.region.Clusters[id]
+	rep := ConsistencyReport{ClusterID: id, Consistent: true}
+	// The cluster's first node is the reference for per-node agreement;
+	// the cluster's bookkeeping (entry count) stands in for the
+	// controller database that production compares against.
+	nodes := append([]*cluster.Node(nil), cl.Nodes...)
+	if cl.Backup != nil {
+		nodes = append(nodes, cl.Backup.Nodes...)
+	}
+	if len(nodes) == 0 {
+		return rep
+	}
+	rep.WantRoutes = nodes[0].GW.RouteCount()
+	rep.WantVMs = nodes[0].GW.VMCount()
+	total := rep.WantRoutes + rep.WantVMs
+	if total != cl.EntryCount() {
+		rep.Consistent = false
+		rep.Mismatches = append(rep.Mismatches, nodes[0].ID)
+	}
+	for _, n := range nodes[1:] {
+		if n.GW.RouteCount() != rep.WantRoutes || n.GW.VMCount() != rep.WantVMs {
+			rep.Consistent = false
+			rep.Mismatches = append(rep.Mismatches, n.ID)
+		}
+	}
+	return rep
+}
+
+// WaterLevels returns each cluster's fill fraction.
+func (c *Controller) WaterLevels() []float64 {
+	out := make([]float64, len(c.region.Clusters))
+	for i, cl := range c.region.Clusters {
+		out[i] = cl.WaterLevel()
+	}
+	return out
+}
+
+// SaleOpen reports whether any cluster can accept new tenants without
+// expansion.
+func (c *Controller) SaleOpen() bool {
+	for _, cl := range c.region.Clusters {
+		if cl.WaterLevel() < c.cfg.SafeWaterLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// HandleClusterAnomaly fails the cluster over to its backup and reports the
+// action taken.
+func (c *Controller) HandleClusterAnomaly(id int) string {
+	c.region.FailoverCluster(id)
+	return fmt.Sprintf("cluster %d: traffic rerouted to hot-standby backup", id)
+}
+
+// HandleNodeAnomaly takes a node out of service; the cluster's remaining
+// nodes absorb its share.
+func (c *Controller) HandleNodeAnomaly(clusterID, nodeIdx int) string {
+	c.region.Clusters[clusterID].FailNode(nodeIdx)
+	return fmt.Sprintf("cluster %d node %d: offlined, load shared by peers", clusterID, nodeIdx)
+}
+
+// Alert is a water-level warning raised during monitoring.
+type Alert struct {
+	ClusterID int
+	Level     float64
+	Threshold float64
+}
+
+// SetFestivalMode raises the effective safe water level during online
+// shopping festivals (§6.1: "we will deliberately raise the safe water
+// level to further increase the gateway's allowable throughput by reducing
+// the number of alerts sent to the controller").
+func (c *Controller) SetFestivalMode(on bool) { c.festival = on }
+
+// FestivalMode reports whether the raised thresholds are active.
+func (c *Controller) FestivalMode() bool { return c.festival }
+
+// effectiveWaterLevel is the alerting threshold under the current mode.
+func (c *Controller) effectiveWaterLevel() float64 {
+	t := c.cfg.SafeWaterLevel
+	if c.festival {
+		t += 0.1
+		if t > 0.95 {
+			t = 0.95
+		}
+	}
+	return t
+}
+
+// MonitorWaterLevels returns one alert per cluster above the effective safe
+// water level — the periodic check §6.1 describes.
+func (c *Controller) MonitorWaterLevels() []Alert {
+	var out []Alert
+	threshold := c.effectiveWaterLevel()
+	for _, cl := range c.region.Clusters {
+		if lvl := cl.WaterLevel(); lvl >= threshold {
+			out = append(out, Alert{ClusterID: cl.ID, Level: lvl, Threshold: threshold})
+		}
+	}
+	return out
+}

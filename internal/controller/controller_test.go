@@ -1,0 +1,264 @@
+package controller
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/traffic"
+	"sailfish/internal/xgwh"
+)
+
+func smallRegion(clusters int, capacity int) *cluster.Region {
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	cfg.EntryCapacity = capacity
+	return cluster.NewRegion(cfg, clusters, 1)
+}
+
+func genTenants(n int) []TenantEntries {
+	cfg := traffic.DefaultConfig()
+	cfg.Tenants = n
+	cfg.VMsPerTenant = 8
+	g := traffic.NewGenerator(cfg)
+	out := make([]TenantEntries, 0, n)
+	for _, t := range g.Tenants() {
+		out = append(out, FromTrafficTenant(t))
+	}
+	return out
+}
+
+func TestPlaceTenantLeastFilled(t *testing.T) {
+	r := smallRegion(2, 1000)
+	c := New(DefaultConfig(), r)
+	tenants := genTenants(4)
+	ids := map[int]int{}
+	for _, te := range tenants {
+		id, err := c.PlaceTenant(te)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[id]++
+	}
+	// Least-filled placement alternates between the two clusters.
+	if ids[0] != 2 || ids[1] != 2 {
+		t.Fatalf("placement skewed: %v", ids)
+	}
+	// Steering must follow placement.
+	for _, te := range tenants {
+		want, _ := c.ClusterOf(te.VNI)
+		got, err := r.FrontEnd.Steering.ClusterFor(te.VNI)
+		if err != nil || got != want {
+			t.Fatalf("steering for %v = %d/%v, want %d", te.VNI, got, err, want)
+		}
+	}
+}
+
+func TestPlaceTenantDuplicateRejected(t *testing.T) {
+	r := smallRegion(1, 1000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	if _, err := c.PlaceTenant(te); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceTenant(te); err != ErrTenantExists {
+		t.Fatalf("want ErrTenantExists, got %v", err)
+	}
+}
+
+func TestAutoExpandOnHighWaterLevel(t *testing.T) {
+	r := smallRegion(1, 20) // tiny capacity: one 9-entry tenant → 45%
+	c := New(Config{SafeWaterLevel: 0.4, AutoExpand: true}, r)
+	tenants := genTenants(2)
+	if _, err := c.PlaceTenant(tenants[0]); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.PlaceTenant(tenants[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || len(r.Clusters) != 2 {
+		t.Fatalf("expected auto-expanded cluster 1, got %d (%d clusters)", id, len(r.Clusters))
+	}
+}
+
+func TestSaleClosedWithoutAutoExpand(t *testing.T) {
+	r := smallRegion(1, 20)
+	c := New(Config{SafeWaterLevel: 0.4, AutoExpand: false}, r)
+	tenants := genTenants(2)
+	if _, err := c.PlaceTenant(tenants[0]); err != nil {
+		t.Fatal(err)
+	}
+	if c.SaleOpen() {
+		t.Fatal("sale should be closed above water level")
+	}
+	if _, err := c.PlaceTenant(tenants[1]); err != ErrSaleClosed {
+		t.Fatalf("want ErrSaleClosed, got %v", err)
+	}
+}
+
+func TestEndToEndAfterPlacement(t *testing.T) {
+	r := smallRegion(2, 10000)
+	c := New(DefaultConfig(), r)
+	tenants := genTenants(6)
+	for _, te := range tenants {
+		if _, err := c.PlaceTenant(te); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every tenant's VM must be reachable through the region.
+	for _, te := range tenants {
+		vm := te.VMs[0]
+		b := netpkt.NewSerializeBuffer(128, 256)
+		raw, err := (&netpkt.BuildSpec{
+			VNI:      te.VNI,
+			OuterSrc: netip.MustParseAddr("10.1.1.11"),
+			OuterDst: netip.MustParseAddr("10.255.0.1"),
+			InnerSrc: te.VMs[1].VM, InnerDst: vm.VM,
+			Proto: netpkt.IPProtocolUDP, SrcPort: 1, DstPort: 2,
+		}).Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GW.Action != xgwh.ActionForward || res.GW.NC != vm.NC {
+			t.Fatalf("tenant %v: %+v", te.VNI, res.GW)
+		}
+		want, _ := c.ClusterOf(te.VNI)
+		if res.ClusterID != want {
+			t.Fatalf("tenant %v served by cluster %d, placed on %d", te.VNI, res.ClusterID, want)
+		}
+	}
+}
+
+func TestConsistencyCheck(t *testing.T) {
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	if _, err := c.PlaceTenant(te); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.CheckConsistency(0)
+	if !rep.Consistent {
+		t.Fatalf("fresh install inconsistent: %+v", rep)
+	}
+	// Inject an inconsistency: silently remove one VM from one node —
+	// the §6.1 population-bug scenario.
+	node := r.Clusters[0].Nodes[1]
+	node.GW.RemoveVM(te.VNI, te.VMs[0].VM)
+	rep = c.CheckConsistency(0)
+	if rep.Consistent || len(rep.Mismatches) != 1 || rep.Mismatches[0] != node.ID {
+		t.Fatalf("inconsistency not detected: %+v", rep)
+	}
+}
+
+func TestGrowTenant(t *testing.T) {
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	c.PlaceTenant(te)
+	before := r.Clusters[0].EntryCount()
+	err := c.GrowTenant(te.VNI, []VMEntry{{
+		VNI: te.VNI,
+		VM:  netip.MustParseAddr("10.0.0.99"),
+		NC:  netip.MustParseAddr("100.64.0.99"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clusters[0].EntryCount() != before+1 {
+		t.Fatal("grow did not install")
+	}
+	if err := c.GrowTenant(9999, nil); err == nil {
+		t.Fatal("grow of unplaced tenant accepted")
+	}
+}
+
+func TestDisasterHandlers(t *testing.T) {
+	r := smallRegion(1, 1000)
+	c := New(DefaultConfig(), r)
+	c.HandleClusterAnomaly(0)
+	if !r.OnBackup(0) {
+		t.Fatal("cluster anomaly did not fail over")
+	}
+	c.HandleNodeAnomaly(0, 1)
+	if r.Clusters[0].Nodes[1].Healthy {
+		t.Fatal("node anomaly did not offline node")
+	}
+}
+
+// --- Fig. 23 update stream ---
+
+func TestUpdateStreamShape(t *testing.T) {
+	cfg := DefaultUpdateStreamConfig()
+	pts := SimulateUpdateStream(cfg)
+	if len(pts) != cfg.Days {
+		t.Fatalf("points = %d", len(pts))
+	}
+	bursts := BurstDays(pts, cfg.BurstEntries)
+	if len(bursts) == 0 {
+		t.Fatal("no sudden updates in a month — Fig. 23 needs at least one")
+	}
+	if len(bursts) > cfg.Days/3 {
+		t.Fatalf("%d bursts — bursts must be infrequent", len(bursts))
+	}
+	// Regular days move slowly: growth well below the burst size.
+	regular := 0
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Entries - pts[i-1].Entries
+		if d < cfg.BurstEntries/10 {
+			regular++
+		}
+	}
+	if regular < cfg.Days/2 {
+		t.Fatalf("only %d slow days", regular)
+	}
+	// Determinism.
+	pts2 := SimulateUpdateStream(cfg)
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestFestivalModeRaisesThreshold(t *testing.T) {
+	r := smallRegion(1, 100)
+	c := New(Config{SafeWaterLevel: 0.8, AutoExpand: false}, r)
+	// Fill the cluster to 85%.
+	cl := r.Clusters[0]
+	for i := 0; i < 85; i++ {
+		vm := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		if err := cl.InstallVM(1, vm, netip.MustParseAddr("100.64.0.1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts := c.MonitorWaterLevels()
+	if len(alerts) != 1 || alerts[0].ClusterID != 0 {
+		t.Fatalf("normal mode alerts = %v", alerts)
+	}
+	c.SetFestivalMode(true)
+	if !c.FestivalMode() {
+		t.Fatal("mode not set")
+	}
+	if alerts := c.MonitorWaterLevels(); len(alerts) != 0 {
+		t.Fatalf("festival mode still alerting at 85%%: %v", alerts)
+	}
+	// Beyond even the raised threshold (>=90%): alert again.
+	for i := 85; i < 92; i++ {
+		vm := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		cl.InstallVM(1, vm, netip.MustParseAddr("100.64.0.1"))
+	}
+	if alerts := c.MonitorWaterLevels(); len(alerts) != 1 {
+		t.Fatalf("festival mode silent at 92%%: %v", alerts)
+	}
+	c.SetFestivalMode(false)
+	if alerts := c.MonitorWaterLevels(); len(alerts) != 1 {
+		t.Fatal("normal mode restored wrongly")
+	}
+}

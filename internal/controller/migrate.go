@@ -1,0 +1,259 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sailfish/internal/netpkt"
+)
+
+// Tenant migration implements two operational needs the paper describes:
+// rebalancing load between clusters ("horizontal splitting can precisely
+// manage the traffic load on a particular cluster simply by adding or
+// deleting the corresponding entries", §4.3) and incremental traffic
+// admission ("if the user traffic is too heavy, we will admit the traffic
+// incrementally", §6.1). The sequence is make-before-break:
+//
+//  1. StartMigration installs the tenant's entries on the target cluster
+//     (source keeps serving);
+//  2. AdvanceMigration ramps a per-mille share of the tenant's flows to the
+//     target via the front-end steering;
+//  3. FinishMigration promotes the target to owner and withdraws the
+//     entries from the source.
+//
+// At every step both clusters hold complete state for the flows they see,
+// so no packet observes a half-installed table.
+
+// Migration errors.
+var (
+	ErrNoMigration     = errors.New("controller: no migration in progress")
+	ErrMigrationActive = errors.New("controller: migration already in progress")
+)
+
+// migration tracks one tenant's in-flight move.
+type migration struct {
+	from, to int
+	permille int
+}
+
+// MigrationStatus reports an in-flight migration.
+type MigrationStatus struct {
+	VNI      netpkt.VNI
+	From, To int
+	Permille int
+}
+
+// StartMigration installs the tenant's entries on the target cluster and
+// begins a 0‰ ramp. The source remains the owner until FinishMigration.
+func (c *Controller) StartMigration(vni netpkt.VNI, to int) error {
+	pt, ok := c.placed[vni]
+	if !ok {
+		return fmt.Errorf("controller: tenant %v not placed", vni)
+	}
+	if pt.migrating != nil {
+		return ErrMigrationActive
+	}
+	if to == pt.cluster {
+		return fmt.Errorf("controller: tenant %v already on cluster %d", vni, to)
+	}
+	if to < 0 || to >= len(c.region.Clusters) {
+		return fmt.Errorf("controller: no cluster %d", to)
+	}
+	target := c.region.Clusters[to]
+	for _, r := range pt.entries.Routes {
+		if err := target.InstallRoute(r.VNI, r.Prefix, r.Route); err != nil {
+			return fmt.Errorf("install on target: %w", err)
+		}
+	}
+	for _, v := range pt.entries.VMs {
+		if err := target.InstallVM(v.VNI, v.VM, v.NC); err != nil {
+			return fmt.Errorf("install on target: %w", err)
+		}
+	}
+	if pt.entries.ServiceVNI {
+		target.MarkServiceVNI(vni)
+	}
+	pt.migrating = &migration{from: pt.cluster, to: to}
+	c.placed[vni] = pt
+	return nil
+}
+
+// AdvanceMigration moves the ramp to the given per-mille share of flows.
+func (c *Controller) AdvanceMigration(vni netpkt.VNI, permille int) error {
+	pt, ok := c.placed[vni]
+	if !ok || pt.migrating == nil {
+		return ErrNoMigration
+	}
+	if err := c.region.FrontEnd.Steering.Ramp(vni, pt.migrating.to, permille); err != nil {
+		return err
+	}
+	pt.migrating.permille = permille
+	c.placed[vni] = pt
+	return nil
+}
+
+// FinishMigration cuts the tenant over to the target and withdraws the
+// entries from the source cluster.
+func (c *Controller) FinishMigration(vni netpkt.VNI) error {
+	pt, ok := c.placed[vni]
+	if !ok || pt.migrating == nil {
+		return ErrNoMigration
+	}
+	m := pt.migrating
+	// Full ramp, then promote so the target is the primary owner.
+	if err := c.region.FrontEnd.Steering.Ramp(vni, m.to, 1000); err != nil {
+		return err
+	}
+	if err := c.region.FrontEnd.Steering.Promote(vni); err != nil {
+		return err
+	}
+	source := c.region.Clusters[m.from]
+	for _, r := range pt.entries.Routes {
+		source.RemoveRoute(r.VNI, r.Prefix)
+	}
+	for _, v := range pt.entries.VMs {
+		source.RemoveVM(v.VNI, v.VM)
+	}
+	pt.cluster = m.to
+	pt.migrating = nil
+	c.placed[vni] = pt
+	return nil
+}
+
+// AbortMigration rolls the ramp back to the source and withdraws entries
+// from the target.
+func (c *Controller) AbortMigration(vni netpkt.VNI) error {
+	pt, ok := c.placed[vni]
+	if !ok || pt.migrating == nil {
+		return ErrNoMigration
+	}
+	m := pt.migrating
+	if err := c.region.FrontEnd.Steering.Ramp(vni, m.to, 0); err != nil {
+		return err
+	}
+	target := c.region.Clusters[m.to]
+	for _, r := range pt.entries.Routes {
+		target.RemoveRoute(r.VNI, r.Prefix)
+	}
+	for _, v := range pt.entries.VMs {
+		target.RemoveVM(v.VNI, v.VM)
+	}
+	pt.migrating = nil
+	c.placed[vni] = pt
+	return nil
+}
+
+// Migrations lists in-flight migrations.
+func (c *Controller) Migrations() []MigrationStatus {
+	var out []MigrationStatus
+	for vni, pt := range c.placed {
+		if pt.migrating != nil {
+			out = append(out, MigrationStatus{
+				VNI: vni, From: pt.migrating.from, To: pt.migrating.to,
+				Permille: pt.migrating.permille,
+			})
+		}
+	}
+	return out
+}
+
+// MigrationPlan is one suggested tenant move.
+type MigrationPlan struct {
+	VNI      netpkt.VNI
+	From, To int
+	// Entries is the tenant's size, the cost of the move.
+	Entries int
+}
+
+// SuggestRebalance proposes tenant moves that bring every cluster under the
+// target water level, taking the smallest tenants first from the fullest
+// cluster to the emptiest (small moves first keeps each step cheap —
+// "precisely manage the traffic load on a particular cluster simply by
+// adding or deleting the corresponding entries", §4.3). The suggestions are
+// advisory; callers execute them with Start/Advance/FinishMigration.
+func (c *Controller) SuggestRebalance(targetLevel float64) []MigrationPlan {
+	if targetLevel <= 0 {
+		targetLevel = c.cfg.SafeWaterLevel
+	}
+	// Working copy of entry counts.
+	counts := make([]int, len(c.region.Clusters))
+	caps := make([]int, len(c.region.Clusters))
+	for i, cl := range c.region.Clusters {
+		counts[i] = cl.EntryCount()
+		caps[i] = int(float64(cl.EntryCount()) / maxf(cl.WaterLevel(), 1e-12))
+		if cl.WaterLevel() == 0 {
+			// Empty cluster: derive capacity from config via a probe
+			// value — WaterLevel is entries/capacity, so capacity is
+			// unknown here; treat as the largest known capacity.
+			caps[i] = 0
+		}
+	}
+	// Fill unknown capacities with the max known one.
+	maxCap := 0
+	for _, v := range caps {
+		if v > maxCap {
+			maxCap = v
+		}
+	}
+	for i, v := range caps {
+		if v == 0 {
+			caps[i] = maxCap
+		}
+	}
+	if maxCap == 0 {
+		return nil
+	}
+	// Tenants by cluster, smallest first.
+	byCluster := make(map[int][]MigrationPlan)
+	for vni, pt := range c.placed {
+		if pt.migrating != nil {
+			continue
+		}
+		byCluster[pt.cluster] = append(byCluster[pt.cluster], MigrationPlan{
+			VNI: vni, From: pt.cluster, Entries: pt.entries.Size(),
+		})
+	}
+	for _, ts := range byCluster {
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].Entries != ts[j].Entries {
+				return ts[i].Entries < ts[j].Entries
+			}
+			return ts[i].VNI < ts[j].VNI
+		})
+	}
+	var plans []MigrationPlan
+	for from := range c.region.Clusters {
+		for len(byCluster[from]) > 0 &&
+			float64(counts[from])/float64(caps[from]) > targetLevel {
+			// Emptiest destination with room.
+			to, best := -1, 2.0
+			for i := range counts {
+				if i == from {
+					continue
+				}
+				lvl := float64(counts[i]) / float64(caps[i])
+				if lvl < best && lvl < targetLevel {
+					to, best = i, lvl
+				}
+			}
+			if to < 0 {
+				break // nowhere to move; caller should AddCluster
+			}
+			mv := byCluster[from][0]
+			byCluster[from] = byCluster[from][1:]
+			mv.To = to
+			plans = append(plans, mv)
+			counts[from] -= mv.Entries
+			counts[to] += mv.Entries
+		}
+	}
+	return plans
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

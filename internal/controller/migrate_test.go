@@ -1,0 +1,157 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/xgwh"
+)
+
+func migrationFixture(t *testing.T) (*Controller, TenantEntries) {
+	t.Helper()
+	r := smallRegion(2, 10000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	if _, err := c.PlaceTenant(te); err != nil {
+		t.Fatal(err)
+	}
+	return c, te
+}
+
+func TestMigrationLifecycle(t *testing.T) {
+	c, te := migrationFixture(t)
+	r := c.Region()
+	src, _ := c.ClusterOf(te.VNI)
+	dst := 1 - src
+
+	if err := c.StartMigration(te.VNI, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Both clusters now hold the tenant's entries.
+	if !r.Clusters[src].HasTenant(te.VNI) || !r.Clusters[dst].HasTenant(te.VNI) {
+		t.Fatal("make-before-break violated")
+	}
+	ms := c.Migrations()
+	if len(ms) != 1 || ms[0].From != src || ms[0].To != dst {
+		t.Fatalf("migrations = %+v", ms)
+	}
+
+	// Ramp 50%: packets must keep forwarding, spread across both clusters.
+	if err := c.AdvanceMigration(te.VNI, 500); err != nil {
+		t.Fatal(err)
+	}
+	clusters := map[int]int{}
+	for i := 0; i < len(te.VMs); i++ {
+		for j := 0; j < len(te.VMs); j++ {
+			if i == j {
+				continue
+			}
+			raw := packetBetween(t, te, i, j)
+			res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.GW.Action != xgwh.ActionForward {
+				t.Fatalf("mid-migration packet not forwarded: %+v", res.GW)
+			}
+			clusters[res.ClusterID]++
+		}
+	}
+	if clusters[src] == 0 || clusters[dst] == 0 {
+		t.Fatalf("50%% ramp did not split flows: %v", clusters)
+	}
+
+	// Finish: target owns, source is clean.
+	if err := c.FinishMigration(te.VNI); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.ClusterOf(te.VNI); got != dst {
+		t.Fatalf("owner = %d, want %d", got, dst)
+	}
+	if r.Clusters[src].HasTenant(te.VNI) {
+		t.Fatal("source still holds tenant entries")
+	}
+	if r.Clusters[src].EntryCount() != 0 {
+		t.Fatalf("source entry count %d after withdrawal", r.Clusters[src].EntryCount())
+	}
+	raw := packetBetween(t, te, 0, 1)
+	res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+	if err != nil || res.ClusterID != dst || res.GW.Action != xgwh.ActionForward {
+		t.Fatalf("post-migration: %+v %v", res, err)
+	}
+	if len(c.Migrations()) != 0 {
+		t.Fatal("migration record not cleared")
+	}
+	// Consistency on both clusters after the move.
+	if rep := c.CheckConsistency(dst); !rep.Consistent {
+		t.Fatalf("target inconsistent: %+v", rep)
+	}
+	if rep := c.CheckConsistency(src); !rep.Consistent {
+		t.Fatalf("source inconsistent: %+v", rep)
+	}
+}
+
+func TestMigrationAbort(t *testing.T) {
+	c, te := migrationFixture(t)
+	r := c.Region()
+	src, _ := c.ClusterOf(te.VNI)
+	dst := 1 - src
+	if err := c.StartMigration(te.VNI, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceMigration(te.VNI, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortMigration(te.VNI); err != nil {
+		t.Fatal(err)
+	}
+	if r.Clusters[dst].HasTenant(te.VNI) {
+		t.Fatal("target still holds entries after abort")
+	}
+	if got, _ := c.ClusterOf(te.VNI); got != src {
+		t.Fatal("owner changed on abort")
+	}
+	raw := packetBetween(t, te, 0, 1)
+	res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+	if err != nil || res.ClusterID != src || res.GW.Action != xgwh.ActionForward {
+		t.Fatalf("post-abort: %+v %v", res, err)
+	}
+}
+
+func TestMigrationGuards(t *testing.T) {
+	c, te := migrationFixture(t)
+	src, _ := c.ClusterOf(te.VNI)
+	if err := c.StartMigration(9999, 1); err == nil {
+		t.Fatal("unplaced tenant migrated")
+	}
+	if err := c.StartMigration(te.VNI, src); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if err := c.StartMigration(te.VNI, 99); err == nil {
+		t.Fatal("phantom target accepted")
+	}
+	if err := c.AdvanceMigration(te.VNI, 100); err != ErrNoMigration {
+		t.Fatalf("advance without start: %v", err)
+	}
+	if err := c.FinishMigration(te.VNI); err != ErrNoMigration {
+		t.Fatalf("finish without start: %v", err)
+	}
+	if err := c.StartMigration(te.VNI, 1-src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMigration(te.VNI, 1-src); err != ErrMigrationActive {
+		t.Fatalf("double start: %v", err)
+	}
+	if err := c.AdvanceMigration(te.VNI, 1500); err == nil {
+		t.Fatal("out-of-range permille accepted")
+	}
+}
+
+// packetBetween builds a packet from VM i to VM j of the tenant.
+func packetBetween(t *testing.T, te TenantEntries, i, j int) []byte {
+	t.Helper()
+	cp := te
+	// Reuse buildTenantPacket by temporarily viewing VMs[j] as the target.
+	cp.VMs = []VMEntry{te.VMs[j], te.VMs[i]}
+	return buildTenantPacket(t, cp)
+}

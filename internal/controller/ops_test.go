@@ -1,0 +1,129 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/probe"
+	"sailfish/internal/xgwh"
+)
+
+// A full operational narrative in one test: stage a new cluster, commission
+// it (consistency + probes), serve traffic, enter festival mode, suffer and
+// repair drift, migrate a tenant away under load, and come out consistent.
+// This is the §6.1 lifecycle as a single machine-checked story.
+func TestOperationalLifecycle(t *testing.T) {
+	r := smallRegion(2, 10_000)
+	c := New(DefaultConfig(), r)
+	now := time.Unix(0, 0)
+
+	// --- Construction: stage, place, commission ---
+	r.SetClusterEnabled(0, false)
+	r.SetClusterEnabled(1, false)
+	tenants := genTenants(4)
+	for _, te := range tenants {
+		if _, err := c.PlaceTenant(te); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < 2; id++ {
+		// Probe with a tenant resident on this cluster.
+		var resident TenantEntries
+		for _, te := range tenants {
+			if got, _ := c.ClusterOf(te.VNI); got == id {
+				resident = te
+				break
+			}
+		}
+		spec := probe.Spec{
+			LocalVNI:   resident.VNI,
+			LocalSrc:   resident.VMs[1].VM,
+			LocalVM:    resident.VMs[0].VM,
+			LocalNC:    resident.VMs[0].NC,
+			UnknownVNI: 999_999,
+		}
+		rep, err := c.Commission(id, spec)
+		if err != nil || !rep.Admitted {
+			t.Fatalf("cluster %d commissioning: %v %+v", id, err, rep)
+		}
+	}
+
+	// --- Steady state: traffic to every tenant ---
+	serve := func(te TenantEntries) {
+		t.Helper()
+		raw := buildTenantPacket(t, te)
+		res, err := r.ProcessPacket(raw, now)
+		if err != nil || res.GW.Action != xgwh.ActionForward {
+			t.Fatalf("tenant %v: %+v %v", te.VNI, res.GW, err)
+		}
+	}
+	for _, te := range tenants {
+		serve(te)
+	}
+
+	// --- Festival: raised thresholds, no alerts at moderate fill ---
+	c.SetFestivalMode(true)
+	if alerts := c.MonitorWaterLevels(); len(alerts) != 0 {
+		t.Fatalf("festival alerts at low fill: %v", alerts)
+	}
+
+	// --- Drift and repair ---
+	victim := r.Clusters[0].Nodes[0]
+	victimTenant := tenants[0]
+	if got, _ := c.ClusterOf(victimTenant.VNI); got != 0 {
+		victimTenant = tenants[1]
+	}
+	victim.GW.RemoveVM(victimTenant.VNI, victimTenant.VMs[0].VM)
+	if rep := c.Reconcile(); rep.Clean() {
+		t.Fatal("drift not repaired")
+	}
+	if rep := c.CheckConsistency(0); !rep.Consistent {
+		t.Fatalf("inconsistent after repair: %+v", rep)
+	}
+	serve(victimTenant)
+
+	// --- Live migration during the festival ---
+	mv := tenants[2]
+	from, _ := c.ClusterOf(mv.VNI)
+	to := 1 - from
+	if err := c.StartMigration(mv.VNI, to); err != nil {
+		t.Fatal(err)
+	}
+	for _, pm := range []int{250, 500, 750} {
+		if err := c.AdvanceMigration(mv.VNI, pm); err != nil {
+			t.Fatal(err)
+		}
+		serve(mv) // no packet loss at any ramp step
+	}
+	if err := c.FinishMigration(mv.VNI); err != nil {
+		t.Fatal(err)
+	}
+	serve(mv)
+
+	// --- Festival over: everything consistent, snapshot round-trips ---
+	c.SetFestivalMode(false)
+	for id := 0; id < 2; id++ {
+		if rep := c.CheckConsistency(id); !rep.Consistent {
+			t.Fatalf("cluster %d inconsistent at end: %+v", id, rep)
+		}
+	}
+	if rep := c.Reconcile(); !rep.Clean() {
+		t.Fatalf("final reconcile found drift: %+v", rep)
+	}
+	data, err := c.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := smallRegion(1, 10_000)
+	c2 := New(DefaultConfig(), fresh)
+	if err := c2.RestoreJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range tenants {
+		raw := buildTenantPacket(t, te)
+		res, err := fresh.ProcessPacket(raw, now)
+		if err != nil || res.GW.Action != xgwh.ActionForward {
+			t.Fatalf("rebuilt region, tenant %v: %+v %v", te.VNI, res.GW, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package controller
+
+import (
+	"sort"
+
+	"sailfish/internal/cluster"
+)
+
+// Reconciliation repairs drift between the controller's database and the
+// gateways' installed state. §6.1: "table entry inconsistency between the
+// controller and the gateways may occur during table population due to
+// software/hardware bugs, misconfiguration or insufficient gateway memory.
+// Therefore, periodic consistency checks are needed" — and when a check
+// finds drift, this sweep is the repair.
+
+// RepairReport summarizes one reconciliation sweep.
+type RepairReport struct {
+	// TenantsChecked counts tenants compared against intent.
+	TenantsChecked int
+	// RoutesReinstalled / VMsReinstalled count missing or divergent
+	// entries re-downloaded.
+	RoutesReinstalled int
+	VMsReinstalled    int
+	// NodesTouched lists node IDs that needed repairs, sorted.
+	NodesTouched []string
+}
+
+// Clean reports whether the sweep found nothing to repair.
+func (r RepairReport) Clean() bool {
+	return r.RoutesReinstalled == 0 && r.VMsReinstalled == 0
+}
+
+// Reconcile walks every placed tenant and re-downloads any entry that is
+// missing from — or divergent on — any node (main or backup) of its
+// cluster. The controller's database (placedTenant.entries) is the source
+// of truth; the gateways' exact-get APIs are the probes.
+func (c *Controller) Reconcile() RepairReport {
+	var rep RepairReport
+	touched := map[string]bool{}
+	for _, pt := range c.placed {
+		rep.TenantsChecked++
+		cl := c.region.Clusters[pt.cluster]
+		nodes := append([]*cluster.Node(nil), cl.Nodes...)
+		if cl.Backup != nil {
+			nodes = append(nodes, cl.Backup.Nodes...)
+		}
+		for _, n := range nodes {
+			for _, r := range pt.entries.Routes {
+				got, ok := n.GW.GetRoute(r.VNI, r.Prefix)
+				if ok && got == r.Route {
+					continue
+				}
+				if err := n.GW.InstallRoute(r.VNI, r.Prefix, r.Route); err == nil {
+					rep.RoutesReinstalled++
+					touched[n.ID] = true
+				}
+			}
+			for _, v := range pt.entries.VMs {
+				got, ok := n.GW.LookupVM(v.VNI, v.VM)
+				if ok && got == v.NC {
+					continue
+				}
+				n.GW.InstallVM(v.VNI, v.VM, v.NC)
+				rep.VMsReinstalled++
+				touched[n.ID] = true
+			}
+		}
+	}
+	for id := range touched {
+		rep.NodesTouched = append(rep.NodesTouched, id)
+	}
+	sort.Strings(rep.NodesTouched)
+	return rep
+}

@@ -1,0 +1,66 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/tables"
+	"sailfish/internal/xgwh"
+)
+
+func TestReconcileRepairsDrift(t *testing.T) {
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	tenants := genTenants(3)
+	for _, te := range tenants {
+		if _, err := c.PlaceTenant(te); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := c.Reconcile(); !rep.Clean() {
+		t.Fatalf("fresh region needed repairs: %+v", rep)
+	}
+
+	// Inject drift: delete a VM from one node, corrupt a route on a backup
+	// node.
+	victim := r.Clusters[0].Nodes[1]
+	victim.GW.RemoveVM(tenants[0].VNI, tenants[0].VMs[0].VM)
+	backup := r.Clusters[0].Backup.Nodes[0]
+	backup.GW.InstallRoute(tenants[1].VNI, tenants[1].Routes[0].Prefix,
+		tables.Route{Scope: tables.ScopeService})
+
+	rep := c.Reconcile()
+	if rep.Clean() {
+		t.Fatal("drift not detected")
+	}
+	if rep.VMsReinstalled != 1 || rep.RoutesReinstalled != 1 {
+		t.Fatalf("repairs = %+v", rep)
+	}
+	if len(rep.NodesTouched) != 2 {
+		t.Fatalf("nodes touched = %v", rep.NodesTouched)
+	}
+	// Region is healthy again: consistency passes and traffic flows.
+	if cc := c.CheckConsistency(0); !cc.Consistent {
+		t.Fatalf("still inconsistent after reconcile: %+v", cc)
+	}
+	if rep := c.Reconcile(); !rep.Clean() {
+		t.Fatalf("second sweep found more: %+v", rep)
+	}
+	raw := buildTenantPacket(t, tenants[0])
+	res, err := r.ProcessPacket(raw, time.Unix(0, 0))
+	if err != nil || res.GW.Action != xgwh.ActionForward {
+		t.Fatalf("post-repair traffic: %+v %v", res.GW, err)
+	}
+}
+
+func TestReconcileCountsTenants(t *testing.T) {
+	r := smallRegion(2, 10000)
+	c := New(DefaultConfig(), r)
+	for _, te := range genTenants(4) {
+		c.PlaceTenant(te)
+	}
+	rep := c.Reconcile()
+	if rep.TenantsChecked != 4 {
+		t.Fatalf("checked %d tenants", rep.TenantsChecked)
+	}
+}

@@ -1,0 +1,68 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Snapshot is the controller's durable state: every tenant's entries and
+// placement. Production keeps this in the controller database; after a
+// total region loss, a new region is rebuilt by replaying it (§6.1 cluster
+// construction: "all table entries will be downloaded first from the
+// central controller").
+type Snapshot struct {
+	Tenants []TenantSnapshot `json:"tenants"`
+}
+
+// TenantSnapshot is one tenant's record.
+type TenantSnapshot struct {
+	Cluster int           `json:"cluster"`
+	Entries TenantEntries `json:"entries"`
+}
+
+// Export captures the controller's tenant database, ordered by VNI for
+// deterministic output. In-flight migrations are exported at their source
+// cluster (the owner until cutover).
+func (c *Controller) Export() Snapshot {
+	var s Snapshot
+	for _, pt := range c.placed {
+		s.Tenants = append(s.Tenants, TenantSnapshot{Cluster: pt.cluster, Entries: pt.entries})
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool {
+		return s.Tenants[i].Entries.VNI < s.Tenants[j].Entries.VNI
+	})
+	return s
+}
+
+// ExportJSON renders the snapshot as JSON.
+func (c *Controller) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(c.Export(), "", "  ")
+}
+
+// Restore replays a snapshot into this controller's region, placing each
+// tenant on its recorded cluster (provisioning clusters as needed). The
+// region must be empty of the snapshot's tenants.
+func (c *Controller) Restore(s Snapshot) error {
+	for _, t := range s.Tenants {
+		if _, ok := c.placed[t.Entries.VNI]; ok {
+			return fmt.Errorf("controller: tenant %v already present", t.Entries.VNI)
+		}
+		for len(c.region.Clusters) <= t.Cluster {
+			c.region.AddCluster()
+		}
+		if err := c.installTenant(t.Cluster, t.Entries); err != nil {
+			return fmt.Errorf("restore %v: %w", t.Entries.VNI, err)
+		}
+	}
+	return nil
+}
+
+// RestoreJSON parses and replays a JSON snapshot.
+func (c *Controller) RestoreJSON(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	return c.Restore(s)
+}

@@ -1,0 +1,95 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/xgwh"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	// Region A: real placements.
+	rA := smallRegion(2, 10000)
+	cA := New(DefaultConfig(), rA)
+	tenants := genTenants(6)
+	for _, te := range tenants {
+		if _, err := cA.PlaceTenant(te); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := cA.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Region B: rebuilt from the snapshot (disaster recovery of the whole
+	// region from the controller database).
+	rB := smallRegion(1, 10000) // fewer clusters: Restore provisions more
+	cB := New(DefaultConfig(), rB)
+	if err := cB.RestoreJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(rB.Clusters) < 2 {
+		t.Fatalf("clusters not provisioned: %d", len(rB.Clusters))
+	}
+	// Placement preserved and traffic flows identically.
+	for _, te := range tenants {
+		wantCluster, _ := cA.ClusterOf(te.VNI)
+		gotCluster, ok := cB.ClusterOf(te.VNI)
+		if !ok || gotCluster != wantCluster {
+			t.Fatalf("tenant %v: cluster %d/%v, want %d", te.VNI, gotCluster, ok, wantCluster)
+		}
+		raw := buildTenantPacket(t, te)
+		res, err := rB.ProcessPacket(raw, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GW.Action != xgwh.ActionForward || res.GW.NC != te.VMs[0].NC {
+			t.Fatalf("tenant %v after restore: %+v", te.VNI, res.GW)
+		}
+	}
+	// Consistency holds on every restored cluster.
+	for id := range rB.Clusters {
+		if rep := cB.CheckConsistency(id); !rep.Consistent {
+			t.Fatalf("cluster %d inconsistent after restore: %+v", id, rep)
+		}
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := smallRegion(2, 10000)
+	c := New(DefaultConfig(), r)
+	for _, te := range genTenants(5) {
+		c.PlaceTenant(te)
+	}
+	a, _ := c.ExportJSON()
+	b, _ := c.ExportJSON()
+	if string(a) != string(b) {
+		t.Fatal("export not deterministic")
+	}
+	s := c.Export()
+	for i := 1; i < len(s.Tenants); i++ {
+		if s.Tenants[i].Entries.VNI <= s.Tenants[i-1].Entries.VNI {
+			t.Fatal("tenants not VNI-ordered")
+		}
+	}
+}
+
+func TestRestoreRejectsDuplicates(t *testing.T) {
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	te := genTenants(1)[0]
+	c.PlaceTenant(te)
+	snap := c.Export()
+	if err := c.Restore(snap); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+}
+
+func TestRestoreBadJSON(t *testing.T) {
+	r := smallRegion(1, 10000)
+	c := New(DefaultConfig(), r)
+	if err := c.RestoreJSON([]byte("{nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

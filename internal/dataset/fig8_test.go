@@ -1,0 +1,30 @@
+package dataset
+
+import "testing"
+
+// The paper's reading of Fig. 8: "the port speed grew from 10GbE to 400GbE
+// (40x), the multi-core performance improvement was 4x; however, the
+// single-core improvement was only 2.5x."
+func TestGrowthFactorsMatchPaper(t *testing.T) {
+	single, multi, port := GrowthFactors()
+	if port != 40 {
+		t.Fatalf("port growth = %vx, want 40x", port)
+	}
+	if multi < 3.5 || multi > 4.5 {
+		t.Fatalf("multi-core growth = %.1fx, want ≈4x", multi)
+	}
+	if single < 2.2 || single > 2.8 {
+		t.Fatalf("single-core growth = %.1fx, want ≈2.5x", single)
+	}
+}
+
+func TestSeriesMonotoneYears(t *testing.T) {
+	for i := 1; i < len(Fig8); i++ {
+		if Fig8[i].Year <= Fig8[i-1].Year {
+			t.Fatal("years not increasing")
+		}
+		if Fig8[i].SingleCore < Fig8[i-1].SingleCore || Fig8[i].PortGbps < Fig8[i-1].PortGbps {
+			t.Fatal("series not non-decreasing")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package digest implements the "compressing longer table entries"
+// optimization of §4.4: 128-bit IPv6 exact-match keys are hashed down to
+// 32-bit digests so IPv4 and compressed IPv6 entries can share one pooled
+// exact-match table. Two conflict classes arise:
+//
+//  1. a compressed IPv6 digest colliding with a real IPv4 address — resolved
+//     by a family label stored alongside the key;
+//  2. two IPv6 addresses compressing to the same digest — resolved by a
+//     small spill table holding the full 128-bit keys, searched first.
+//
+// Lookups consult the conflict table, then the pooled table; per the paper,
+// 128→32 hashing generates very few conflicts, so the spill table stays
+// small (Stats reports it so the layout model can account for it).
+package digest
+
+import (
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+)
+
+// family labels stored with each pooled entry.
+const (
+	labelV4 = 0
+	labelV6 = 1
+)
+
+// pooledKey is the hardware word: tenant VNI, 32-bit address digest and a
+// family label bit.
+type pooledKey struct {
+	vni    netpkt.VNI
+	word   uint32
+	family uint8
+}
+
+// fullKey identifies an entry exactly, for the spill table and ownership
+// tracking.
+type fullKey struct {
+	vni  netpkt.VNI
+	addr netip.Addr
+}
+
+// Stats describes the memory shape of the table for the layout model.
+type Stats struct {
+	// PooledEntries is the number of 32-bit-key entries in the shared
+	// IPv4/IPv6 table.
+	PooledEntries int
+	// ConflictEntries is the number of full-width entries in the spill
+	// table.
+	ConflictEntries int
+}
+
+// Table is a dual-stack exact-match table with compressed IPv6 keys, the
+// compressed form of the VM-NC mapping table. V is the action data (for
+// VM-NC, the NC address).
+type Table[V any] struct {
+	pooled   map[pooledKey]pooledEntry[V]
+	conflict map[fullKey]V
+}
+
+type pooledEntry[V any] struct {
+	owner fullKey // the full key occupying this digest slot
+	value V
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	return &Table[V]{
+		pooled:   make(map[pooledKey]pooledEntry[V]),
+		conflict: make(map[fullKey]V),
+	}
+}
+
+// Compress returns the 32-bit digest of an IPv6 address, as the hardware
+// hash unit would compute it.
+func Compress(a netip.Addr) uint32 {
+	b := a.As16()
+	h := netpkt.HashBytes(b[:])
+	return uint32(h ^ h>>32)
+}
+
+func keyOf(vni netpkt.VNI, a netip.Addr) pooledKey {
+	if a.Is4() {
+		b := a.As4()
+		return pooledKey{vni: vni, family: labelV4,
+			word: uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])}
+	}
+	return pooledKey{vni: vni, family: labelV6, word: Compress(a)}
+}
+
+// Insert adds or replaces the value for (vni, addr). IPv6 digests that
+// collide with an existing different IPv6 entry spill into the conflict
+// table.
+func (t *Table[V]) Insert(vni netpkt.VNI, addr netip.Addr, v V) {
+	fk := fullKey{vni, addr}
+	pk := keyOf(vni, addr)
+	if cur, ok := t.pooled[pk]; ok && cur.owner != fk {
+		// Digest slot owned by a different address: spill.
+		t.conflict[fk] = v
+		return
+	}
+	// Taking the pooled slot; drop any stale spill copy of this key.
+	delete(t.conflict, fk)
+	t.pooled[pk] = pooledEntry[V]{owner: fk, value: v}
+}
+
+// Lookup returns the value for (vni, addr): conflict table first, then the
+// pooled table with owner verification (a pooled hit whose slot belongs to a
+// different colliding address is a miss, exactly as the spilled layout
+// guarantees in hardware).
+func (t *Table[V]) Lookup(vni netpkt.VNI, addr netip.Addr) (V, bool) {
+	fk := fullKey{vni, addr}
+	if v, ok := t.conflict[fk]; ok {
+		return v, true
+	}
+	if e, ok := t.pooled[keyOf(vni, addr)]; ok && e.owner == fk {
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes (vni, addr) and reports whether it existed.
+func (t *Table[V]) Delete(vni netpkt.VNI, addr netip.Addr) bool {
+	fk := fullKey{vni, addr}
+	if _, ok := t.conflict[fk]; ok {
+		delete(t.conflict, fk)
+		return true
+	}
+	pk := keyOf(vni, addr)
+	if e, ok := t.pooled[pk]; ok && e.owner == fk {
+		delete(t.pooled, pk)
+		return true
+	}
+	return false
+}
+
+// Len returns the total number of live entries.
+func (t *Table[V]) Len() int { return len(t.pooled) + len(t.conflict) }
+
+// Stats returns the memory shape of the table.
+func (t *Table[V]) Stats() Stats {
+	return Stats{PooledEntries: len(t.pooled), ConflictEntries: len(t.conflict)}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run at reduced scale and produce non-empty output
+// mentioning its own id-appropriate content.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(0.25)
+			if rep.ID != e.ID {
+				t.Fatalf("report id %q", rep.ID)
+			}
+			if rep.Title == "" || len(rep.Text) < 40 {
+				t.Fatalf("report too thin: %+v", rep)
+			}
+			if strings.Count(rep.Text, "\n") < 2 {
+				t.Fatalf("report has no rows:\n%s", rep.Text)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig17"); !ok {
+		t.Fatal("fig17 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestHierarchicalPlanPaperExample(t *testing.T) {
+	h := HierarchicalPlan(0.25, 4)
+	if h.NodeCost != 2 || h.CapacityGain != 4 {
+		t.Fatalf("got %+v, want 2x nodes / 4x capacity", h)
+	}
+}
+
+// The headline comparisons must appear in the reports with the right
+// winners.
+func TestFig18Shape(t *testing.T) {
+	rep := Fig18(1)
+	for _, want := range []string{"20x", "72x", "2.1", "3200"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Fatalf("Fig18 report missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestFig17ReportHasAllSteps(t *testing.T) {
+	rep := Fig17(1)
+	for _, step := range []string{"Initial", "a+b+c+d+e"} {
+		if !strings.Contains(rep.Text, step) {
+			t.Fatalf("missing step %q:\n%s", step, rep.Text)
+		}
+	}
+}
+
+// §4.4's pooling claim must reproduce: pooled occupancy flat across the
+// v4/v6 mix, separate tables varying.
+func TestPoolMixInvariance(t *testing.T) {
+	rep := AblationPoolMix(1)
+	if !strings.Contains(rep.Text, "varies only 0.0 points") {
+		t.Fatalf("pooled occupancy not mix-invariant:\n%s", rep.Text)
+	}
+}
+
+// Every experiment is deterministic: two runs at the same scale produce
+// byte-identical reports.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, e := range All() {
+		if e.ID == "gomicro" {
+			continue // measures wall-clock by design
+		}
+		a := e.Run(0.25)
+		b := e.Run(0.25)
+		if a.Text != b.Text {
+			t.Fatalf("%s not deterministic", e.ID)
+		}
+	}
+}

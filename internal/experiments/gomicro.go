@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+	"sailfish/internal/xgwh"
+)
+
+// GoMicro measures this library's own behavioral throughput — how fast the
+// Go implementation parses, looks up and rewrites — to keep the distinction
+// between the *model's* hardware numbers (Fig 18: 1.8 Gpps is the chip) and
+// what the simulation substrate itself sustains on one CPU core.
+func GoMicro(float64) Report {
+	gwIP := netip.MustParseAddr("10.255.0.1")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %12s %14s\n", "behavioral path (one goroutine)", "ns/op", "ops/s")
+
+	row := func(name string, bench func(b *testing.B)) {
+		r := testing.Benchmark(bench)
+		fmt.Fprintf(&b, "%-40s %12d %14.0f\n", name, r.NsPerOp(), 1e9/float64(r.NsPerOp()))
+	}
+
+	// Packet parse.
+	spec := netpkt.BuildSpec{
+		VNI:      100,
+		OuterSrc: netip.MustParseAddr("10.1.1.1"), OuterDst: gwIP,
+		InnerSrc: netip.MustParseAddr("192.168.0.1"), InnerDst: netip.MustParseAddr("192.168.0.5"),
+		Proto: netpkt.IPProtocolUDP, SrcPort: 1, DstPort: 2, Payload: make([]byte, 64),
+	}
+	sb := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := spec.Build(sb)
+	if err != nil {
+		panic(err)
+	}
+	frame := append([]byte(nil), raw...)
+	row("netpkt.Parse (full VXLAN stack)", func(bb *testing.B) {
+		var p netpkt.Parser
+		var pkt netpkt.GatewayPacket
+		for i := 0; i < bb.N; i++ {
+			if err := p.Parse(frame, &pkt); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+
+	// Gateway forward, trie and ALPM engines.
+	for _, engine := range []struct {
+		name string
+		alpm bool
+	}{{"xgwh forward (trie engine)", false}, {"xgwh forward (ALPM engine)", true}} {
+		g := xgwh.New(xgwh.Config{
+			Chip: tofino.DefaultChip(), Folded: true, SplitPipes: true,
+			GatewayIP: gwIP, ALPMRoutes: engine.alpm,
+		})
+		g.InstallRoute(100, netip.MustParsePrefix("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+		g.InstallVM(100, netip.MustParseAddr("192.168.0.5"), netip.MustParseAddr("100.64.0.5"))
+		t0 := time.Unix(0, 0)
+		row(engine.name, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				res, err := g.ProcessPacket(frame, t0)
+				if err != nil || res.Action != xgwh.ActionForward {
+					bb.Fatal("not forwarded")
+				}
+			}
+		})
+	}
+
+	b.WriteString("(the modeled chip does 1.8 Gpps — Fig 18; these are the simulator's own speeds)\n")
+	return Report{ID: "gomicro", Title: "Appendix: behavioral substrate throughput (Go implementation)", Text: b.String()}
+}

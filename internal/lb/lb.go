@@ -1,0 +1,237 @@
+// Package lb models the load-balancing switch/router in front of the
+// gateway clusters (§2.3, §4.3): ECMP flow-based spreading across a
+// cluster's nodes — with the commercial next-hop limit that caps cluster
+// size — plus the VNI-based steering that directs traffic to the cluster
+// holding the tenant's entries after horizontal table splitting (Fig. 12).
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sailfish/internal/netpkt"
+)
+
+// DefaultMaxNextHops reflects commercial gear: "generally limited to
+// allowing fewer than 64 possible next-hops" (§2.3).
+const DefaultMaxNextHops = 64
+
+// ErrTooManyNextHops reports an ECMP set beyond the device limit.
+var ErrTooManyNextHops = errors.New("lb: ECMP next-hop limit exceeded")
+
+// ErrNoSteeringRule reports a VNI with no cluster assignment.
+var ErrNoSteeringRule = errors.New("lb: no steering rule for VNI")
+
+// ECMP spreads flows over a fixed next-hop set by flow hash. It is
+// deliberately stateless: equal hash → equal next-hop on every device, the
+// property the gateway cluster depends on.
+type ECMP struct {
+	mu          sync.RWMutex
+	maxNextHops int
+	hops        []int // opaque next-hop ids (node indexes)
+}
+
+// NewECMP returns an ECMP group limited to maxNextHops (0 means the
+// commercial default of 64).
+func NewECMP(maxNextHops int) *ECMP {
+	if maxNextHops <= 0 {
+		maxNextHops = DefaultMaxNextHops
+	}
+	return &ECMP{maxNextHops: maxNextHops}
+}
+
+// AddNextHop adds a next-hop id, enforcing the device limit.
+func (e *ECMP) AddNextHop(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.hops) >= e.maxNextHops {
+		return fmt.Errorf("%w: %d", ErrTooManyNextHops, e.maxNextHops)
+	}
+	e.hops = append(e.hops, id)
+	return nil
+}
+
+// RemoveNextHop withdraws a next-hop (node failure / drain) and reports
+// whether it was present.
+func (e *ECMP) RemoveNextHop(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, h := range e.hops {
+		if h == id {
+			e.hops = append(e.hops[:i], e.hops[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the live next-hop count.
+func (e *ECMP) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.hops)
+}
+
+// Pick selects the next-hop for a flow. It reports false when the group is
+// empty.
+func (e *ECMP) Pick(f netpkt.Flow) (int, bool) {
+	return e.PickHash(f.FastHash())
+}
+
+// PickHash selects by a precomputed flow hash (the load-model path).
+func (e *ECMP) PickHash(h uint64) (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.hops) == 0 {
+		return 0, false
+	}
+	return e.hops[h%uint64(len(e.hops))], true
+}
+
+// Steering maps VNIs to clusters (Fig. 12): the data-plane half of
+// horizontal table splitting. The controller installs the mapping; the load
+// balancer applies it per packet. During tenant migration a VNI can carry a
+// *ramp*: a per-mille share of its flows (selected by flow hash, so each
+// flow sticks to one side) steered at a secondary cluster — the §6.1
+// "admit the traffic incrementally" mechanism.
+type Steering struct {
+	mu    sync.RWMutex
+	byVNI map[netpkt.VNI]assignment
+}
+
+type assignment struct {
+	primary int
+	// rampTo/rampPermille: during migration, flows whose hash lands
+	// below rampPermille go to rampTo instead of primary.
+	rampTo       int
+	rampPermille int
+}
+
+// NewSteering returns an empty steering table.
+func NewSteering() *Steering {
+	return &Steering{byVNI: make(map[netpkt.VNI]assignment)}
+}
+
+// Assign maps a VNI to a cluster id, clearing any ramp.
+func (s *Steering) Assign(vni netpkt.VNI, cluster int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byVNI[vni] = assignment{primary: cluster}
+}
+
+// Unassign removes a VNI's mapping.
+func (s *Steering) Unassign(vni netpkt.VNI) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byVNI, vni)
+}
+
+// Ramp steers permille/1000 of the VNI's flows to a secondary cluster.
+// Setting permille to 0 cancels the ramp; 1000 sends everything (but keeps
+// primary as the configured owner until Promote).
+func (s *Steering) Ramp(vni netpkt.VNI, to int, permille int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.byVNI[vni]
+	if !ok {
+		return ErrNoSteeringRule
+	}
+	if permille < 0 || permille > 1000 {
+		return fmt.Errorf("lb: ramp permille %d out of range", permille)
+	}
+	a.rampTo, a.rampPermille = to, permille
+	s.byVNI[vni] = a
+	return nil
+}
+
+// Promote makes the ramp target the primary owner and clears the ramp —
+// the final cutover of a migration.
+func (s *Steering) Promote(vni netpkt.VNI) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.byVNI[vni]
+	if !ok {
+		return ErrNoSteeringRule
+	}
+	if a.rampPermille == 0 {
+		return fmt.Errorf("lb: %v has no ramp to promote", vni)
+	}
+	s.byVNI[vni] = assignment{primary: a.rampTo}
+	return nil
+}
+
+// ClusterFor returns the VNI's primary cluster (ramps ignored).
+func (s *Steering) ClusterFor(vni netpkt.VNI) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.byVNI[vni]
+	if !ok {
+		return 0, ErrNoSteeringRule
+	}
+	return a.primary, nil
+}
+
+// ClusterForFlow returns the cluster for one flow of the VNI, honoring any
+// migration ramp. The flow-hash bucketing is stable: a given flow sees one
+// cluster for the life of the ramp step.
+func (s *Steering) ClusterForFlow(vni netpkt.VNI, flowHash uint64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.byVNI[vni]
+	if !ok {
+		return 0, ErrNoSteeringRule
+	}
+	if a.rampPermille > 0 && int(flowHash%1000) < a.rampPermille {
+		return a.rampTo, nil
+	}
+	return a.primary, nil
+}
+
+// Len returns the number of steering rules.
+func (s *Steering) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byVNI)
+}
+
+// Walk visits every (vni, primary cluster) assignment.
+func (s *Steering) Walk(fn func(vni netpkt.VNI, cluster int) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for v, a := range s.byVNI {
+		if !fn(v, a.primary) {
+			return
+		}
+	}
+}
+
+// FrontEnd combines steering and per-cluster ECMP: the full path a packet
+// takes from the region border to a gateway node.
+type FrontEnd struct {
+	Steering *Steering
+	Groups   map[int]*ECMP // cluster id → ECMP over its nodes
+}
+
+// NewFrontEnd returns an empty front end.
+func NewFrontEnd() *FrontEnd {
+	return &FrontEnd{Steering: NewSteering(), Groups: make(map[int]*ECMP)}
+}
+
+// Route returns (cluster, node) for a packet identified by its VNI and flow
+// hash, honoring migration ramps.
+func (fe *FrontEnd) Route(vni netpkt.VNI, flowHash uint64) (cluster, node int, err error) {
+	cluster, err = fe.Steering.ClusterForFlow(vni, flowHash)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := fe.Groups[cluster]
+	if g == nil {
+		return 0, 0, fmt.Errorf("lb: cluster %d has no ECMP group", cluster)
+	}
+	node, ok := g.PickHash(flowHash)
+	if !ok {
+		return 0, 0, fmt.Errorf("lb: cluster %d has no live nodes", cluster)
+	}
+	return cluster, node, nil
+}

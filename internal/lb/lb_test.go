@@ -1,0 +1,190 @@
+package lb
+
+import (
+	"net/netip"
+	"testing"
+
+	"sailfish/internal/netpkt"
+)
+
+func flowN(i int) netpkt.Flow {
+	return netpkt.Flow{
+		Src:     netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}),
+		Dst:     netip.MustParseAddr("192.168.1.1"),
+		Proto:   netpkt.IPProtocolTCP,
+		SrcPort: uint16(1024 + i), DstPort: 80,
+	}
+}
+
+func TestECMPNextHopLimit(t *testing.T) {
+	e := NewECMP(0)
+	for i := 0; i < DefaultMaxNextHops; i++ {
+		if err := e.AddNextHop(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddNextHop(999); err == nil {
+		t.Fatal("65th next-hop accepted (commercial limit is <64, §2.3)")
+	}
+	small := NewECMP(16)
+	for i := 0; i < 16; i++ {
+		small.AddNextHop(i)
+	}
+	if err := small.AddNextHop(16); err == nil {
+		t.Fatal("Juniper-style 16-hop limit not enforced")
+	}
+}
+
+func TestECMPDeterministicAndBalanced(t *testing.T) {
+	e := NewECMP(0)
+	for i := 0; i < 10; i++ {
+		e.AddNextHop(i)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		f := flowN(i)
+		n1, ok1 := e.Pick(f)
+		n2, ok2 := e.Pick(f)
+		if !ok1 || !ok2 || n1 != n2 {
+			t.Fatal("ECMP not deterministic per flow")
+		}
+		counts[n1]++
+	}
+	for id, c := range counts {
+		if c < 500 || c > 2000 {
+			t.Fatalf("node %d got %d/10000 flows — grossly unbalanced", id, c)
+		}
+	}
+}
+
+func TestECMPRemoveNextHop(t *testing.T) {
+	e := NewECMP(0)
+	e.AddNextHop(1)
+	e.AddNextHop(2)
+	if !e.RemoveNextHop(1) || e.RemoveNextHop(1) {
+		t.Fatal("remove semantics wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if n, ok := e.Pick(flowN(i)); !ok || n != 2 {
+			t.Fatal("flow routed to withdrawn node")
+		}
+	}
+	e.RemoveNextHop(2)
+	if _, ok := e.Pick(flowN(0)); ok {
+		t.Fatal("empty group picked a node")
+	}
+}
+
+func TestSteering(t *testing.T) {
+	s := NewSteering()
+	s.Assign(100, 0)
+	s.Assign(200, 1)
+	if c, err := s.ClusterFor(100); err != nil || c != 0 {
+		t.Fatalf("got %d/%v", c, err)
+	}
+	if _, err := s.ClusterFor(999); err != ErrNoSteeringRule {
+		t.Fatalf("want ErrNoSteeringRule, got %v", err)
+	}
+	s.Unassign(100)
+	if _, err := s.ClusterFor(100); err == nil {
+		t.Fatal("unassigned VNI still steered")
+	}
+}
+
+func TestFrontEndRoute(t *testing.T) {
+	fe := NewFrontEnd()
+	fe.Steering.Assign(100, 0)
+	fe.Steering.Assign(101, 1)
+	fe.Groups[0] = NewECMP(0)
+	fe.Groups[1] = NewECMP(0)
+	for i := 0; i < 4; i++ {
+		fe.Groups[0].AddNextHop(i)
+		fe.Groups[1].AddNextHop(10 + i)
+	}
+	c, n, err := fe.Route(100, 12345)
+	if err != nil || c != 0 || n >= 4 {
+		t.Fatalf("route = %d/%d/%v", c, n, err)
+	}
+	c, n, err = fe.Route(101, 12345)
+	if err != nil || c != 1 || n < 10 {
+		t.Fatalf("route = %d/%d/%v", c, n, err)
+	}
+	if _, _, err := fe.Route(999, 1); err == nil {
+		t.Fatal("unknown VNI routed")
+	}
+	fe.Steering.Assign(102, 2) // cluster with no group
+	if _, _, err := fe.Route(102, 1); err == nil {
+		t.Fatal("cluster without ECMP group routed")
+	}
+}
+
+func TestSteeringRampAndPromote(t *testing.T) {
+	s := NewSteering()
+	s.Assign(100, 0)
+	if err := s.Ramp(100, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half of flow hashes go to the ramp target; each hash is
+	// stable across calls.
+	to0, to1 := 0, 0
+	for h := uint64(0); h < 2000; h++ {
+		c1, err := s.ClusterForFlow(100, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _ := s.ClusterForFlow(100, h)
+		if c1 != c2 {
+			t.Fatal("ramp selection not stable per flow")
+		}
+		if c1 == 0 {
+			to0++
+		} else {
+			to1++
+		}
+	}
+	if to0 < 800 || to1 < 800 {
+		t.Fatalf("50%% ramp split %d/%d", to0, to1)
+	}
+	// Primary unchanged until promote.
+	if c, _ := s.ClusterFor(100); c != 0 {
+		t.Fatal("ramp changed primary")
+	}
+	if err := s.Promote(100); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.ClusterFor(100); c != 1 {
+		t.Fatal("promote did not switch primary")
+	}
+	// Post-promote, all flows go to the new primary.
+	for h := uint64(0); h < 100; h++ {
+		if c, _ := s.ClusterForFlow(100, h); c != 1 {
+			t.Fatal("flow routed to old cluster after promote")
+		}
+	}
+}
+
+func TestSteeringRampValidation(t *testing.T) {
+	s := NewSteering()
+	if err := s.Ramp(5, 1, 100); err != ErrNoSteeringRule {
+		t.Fatalf("ramp on unassigned VNI: %v", err)
+	}
+	s.Assign(5, 0)
+	if err := s.Ramp(5, 1, -1); err == nil {
+		t.Fatal("negative permille accepted")
+	}
+	if err := s.Ramp(5, 1, 1001); err == nil {
+		t.Fatal("overlarge permille accepted")
+	}
+	if err := s.Promote(5); err == nil {
+		t.Fatal("promote without ramp accepted")
+	}
+	// Zero-permille ramp: everything stays on primary.
+	if err := s.Ramp(5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for h := uint64(0); h < 100; h++ {
+		if c, _ := s.ClusterForFlow(5, h); c != 0 {
+			t.Fatal("zero ramp moved flows")
+		}
+	}
+}

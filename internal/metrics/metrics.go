@@ -1,0 +1,243 @@
+// Package metrics provides the small time-series and counter types the
+// region simulator records experiments with: append-only series with
+// min/max/mean/percentile reduction, and loss-rate accumulators with the
+// dynamic range the paper's figures need (10⁻¹¹ … 10⁻⁴).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is an append-only time series of (t, v) points.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.V) }
+
+// Max returns the largest value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the smallest value (0 for an empty series).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.V {
+		if v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Percentile returns the p-th percentile (p ∈ [0,100]) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.V...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Downsample returns ≤ n points by bucket-averaging, for printing long
+// simulations as compact figure series.
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 || s.Len() <= n {
+		out := &Series{Name: s.Name}
+		out.T = append(out.T, s.T...)
+		out.V = append(out.V, s.V...)
+		return out
+	}
+	out := &Series{Name: s.Name}
+	per := float64(s.Len()) / float64(n)
+	for b := 0; b < n; b++ {
+		lo, hi := int(float64(b)*per), int(float64(b+1)*per)
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		var st, sv float64
+		for i := lo; i < hi; i++ {
+			st += s.T[i]
+			sv += s.V[i]
+		}
+		out.Append(st/float64(hi-lo), sv/float64(hi-lo))
+	}
+	return out
+}
+
+// LossMeter accumulates offered/dropped packet counts and reports rates
+// with the precision the paper's loss figures need.
+type LossMeter struct {
+	Offered float64
+	Dropped float64
+}
+
+// Add records one interval's counts.
+func (l *LossMeter) Add(offered, dropped float64) {
+	l.Offered += offered
+	l.Dropped += dropped
+}
+
+// Rate returns dropped/offered (0 when nothing was offered).
+func (l *LossMeter) Rate() float64 {
+	if l.Offered == 0 {
+		return 0
+	}
+	return l.Dropped / l.Offered
+}
+
+// String formats the rate in the "1 per 10^k packets" style of Figs. 5/19.
+func (l *LossMeter) String() string {
+	r := l.Rate()
+	if r == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e (1 per ~1e%.0f packets)", r, math.Ceil(-math.Log10(r)))
+}
+
+// Histogram is a fixed-bucket latency/size histogram with power-of-two-ish
+// bucket bounds supplied at construction.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last bucket
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the running mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an upper-bound estimate for the q-quantile (q ∈ [0,1]):
+// the upper bound of the bucket containing it (+Inf collapses to the last
+// finite bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns (bound, count) pairs; the final pair's bound is +Inf.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	b := append([]float64(nil), h.bounds...)
+	b = append(b, math.Inf(1))
+	return b, append([]uint64(nil), h.counts...)
+}
+
+// sparkRunes are the eight block heights of an ASCII sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a compact unicode strip (n columns),
+// useful for printing figure time-series in a terminal.
+func (s *Series) Sparkline(n int) string {
+	d := s.Downsample(n)
+	if d.Len() == 0 {
+		return ""
+	}
+	lo, hi := d.Min(), d.Max()
+	out := make([]rune, d.Len())
+	for i, v := range d.V {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesReductions(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series reductions must be 0")
+	}
+	for i, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Append(float64(i), v)
+	}
+	if s.Max() != 9 || s.Min() != 1 {
+		t.Fatalf("max/min = %v/%v", s.Max(), s.Min())
+	}
+	if math.Abs(s.Mean()-3.875) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(100); p != 9 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d points", d.Len())
+	}
+	// Bucket means preserve the overall mean.
+	if math.Abs(d.Mean()-s.Mean()) > 1 {
+		t.Fatalf("downsample mean %v vs %v", d.Mean(), s.Mean())
+	}
+	// No-op when already small.
+	small := s.Downsample(2000)
+	if small.Len() != 1000 {
+		t.Fatal("small downsample should copy")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Series
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Append(float64(i), v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		if len(vals) == 0 {
+			return va == 0 && vb == 0
+		}
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossMeter(t *testing.T) {
+	var l LossMeter
+	if l.Rate() != 0 || l.String() != "0" {
+		t.Fatal("empty meter not zero")
+	}
+	l.Add(1e11, 5)
+	if math.Abs(l.Rate()-5e-11) > 1e-15 {
+		t.Fatalf("rate = %v", l.Rate())
+	}
+	if !strings.Contains(l.String(), "1e11") {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []float64{0.5, 2, 3, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-211.1) > 0.01 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Ranks: 0.5→1, 2,3→10, 50→100, 1000→+Inf bucket.
+	if q := h.Quantile(0.2); q != 1 {
+		t.Fatalf("p20 = %v", q)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.8); q != 100 {
+		t.Fatalf("p80 = %v", q)
+	}
+	if q := h.Quantile(1.0); q != 100 { // +Inf collapses to last bound
+		t.Fatalf("p100 = %v", q)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+}
+
+func TestHistogramBoundsValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{10, 1})
+}
+
+func TestSparkline(t *testing.T) {
+	var s Series
+	for i := 0; i < 64; i++ {
+		s.Append(float64(i), float64(i%8))
+	}
+	sp := s.Sparkline(16)
+	if len([]rune(sp)) != 16 {
+		t.Fatalf("sparkline length %d", len([]rune(sp)))
+	}
+	// Flat series renders the lowest glyph everywhere.
+	var flat Series
+	flat.Append(0, 5)
+	flat.Append(1, 5)
+	if got := flat.Sparkline(8); got != "▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+	var empty Series
+	if empty.Sparkline(8) != "" {
+		t.Fatal("empty sparkline not empty")
+	}
+}

@@ -1,0 +1,74 @@
+package netpkt
+
+import "net/netip"
+
+// BuildSpec describes one VXLAN-encapsulated packet to synthesize. It is the
+// input format of the traffic generator and of tests/examples.
+type BuildSpec struct {
+	VNI      VNI
+	OuterSrc netip.Addr // underlay source (e.g. the sending vSwitch/NC)
+	OuterDst netip.Addr // underlay destination (the gateway's VIP)
+	InnerSrc netip.Addr // overlay source VM
+	InnerDst netip.Addr // overlay destination VM
+	Proto    IPProtocol // inner L4: TCP or UDP (0 means no L4 header)
+	SrcPort  uint16
+	DstPort  uint16
+	Payload  []byte
+}
+
+// Build serializes the spec into b and returns the wire bytes. Outer and
+// inner address families are independent; mixed stacks (IPv6 underlay with
+// IPv4 overlay, and vice versa) are supported, as in production dual-stack
+// regions.
+func (s *BuildSpec) Build(b *SerializeBuffer) ([]byte, error) {
+	layers := make([]SerializableLayer, 0, 8)
+
+	outerEth := &Ethernet{EtherType: EtherTypeIPv4}
+	if s.OuterSrc.Is6() {
+		outerEth.EtherType = EtherTypeIPv6
+	}
+	layers = append(layers, outerEth)
+	if s.OuterSrc.Is6() {
+		layers = append(layers, &IPv6{NextHeader: IPProtocolUDP, HopLimit: 64, SrcIP: s.OuterSrc, DstIP: s.OuterDst})
+	} else {
+		layers = append(layers, &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: s.OuterSrc, DstIP: s.OuterDst})
+	}
+	// RFC 7348: source port derived from an inner-flow hash for ECMP entropy.
+	srcPort := uint16(0xC000 | (s.innerFlowHash() & 0x3FFF))
+	layers = append(layers,
+		&UDP{SrcPort: srcPort, DstPort: VXLANPort},
+		&VXLAN{VNI: s.VNI},
+	)
+
+	innerEth := &Ethernet{EtherType: EtherTypeIPv4}
+	if s.InnerSrc.Is6() {
+		innerEth.EtherType = EtherTypeIPv6
+	}
+	layers = append(layers, innerEth)
+	proto := s.Proto
+	if proto == 0 {
+		proto = IPProtocolUDP
+	}
+	if s.InnerSrc.Is6() {
+		layers = append(layers, &IPv6{NextHeader: proto, HopLimit: 64, SrcIP: s.InnerSrc, DstIP: s.InnerDst})
+	} else {
+		layers = append(layers, &IPv4{TTL: 64, Protocol: proto, SrcIP: s.InnerSrc, DstIP: s.InnerDst})
+	}
+	switch proto {
+	case IPProtocolTCP:
+		layers = append(layers, &TCP{SrcPort: s.SrcPort, DstPort: s.DstPort, Flags: TCPFlagACK})
+	case IPProtocolUDP:
+		layers = append(layers, &UDP{SrcPort: s.SrcPort, DstPort: s.DstPort})
+	}
+
+	if err := SerializeLayers(b, s.Payload, layers...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func (s *BuildSpec) innerFlowHash() uint16 {
+	f := Flow{Src: s.InnerSrc, Dst: s.InnerDst, Proto: s.Proto, SrcPort: s.SrcPort, DstPort: s.DstPort}
+	h := f.FastHash()
+	return uint16(h ^ h>>16 ^ h>>32 ^ h>>48)
+}

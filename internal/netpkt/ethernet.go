@@ -1,0 +1,54 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// MAC is a 48-bit Ethernet hardware address. Being an array it is comparable
+// and usable as a map key without allocation.
+type MAC [6]byte
+
+// String formats the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II frame header codec.
+type Ethernet struct {
+	DstMAC    MAC
+	SrcMAC    MAC
+	EtherType EtherType
+
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// HeaderLen implements DecodingLayer.
+func (e *Ethernet) HeaderLen() int { return EthernetHeaderLen }
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	h := b.Prepend(EthernetHeaderLen)
+	copy(h[0:6], e.DstMAC[:])
+	copy(h[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(h[12:14], uint16(e.EtherType))
+	return nil
+}

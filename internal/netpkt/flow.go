@@ -1,0 +1,86 @@
+package netpkt
+
+import "net/netip"
+
+// Flow is the inner five-tuple of a packet, the unit of load balancing for
+// both ECMP front-end switches and NIC receive-side scaling. It is
+// comparable, allocation-free, and hashable via FastHash.
+type Flow struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	Proto   IPProtocol
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Reverse returns the flow with source and destination swapped, identifying
+// the return direction of the same connection.
+func (f Flow) Reverse() Flow {
+	return Flow{Src: f.Dst, Dst: f.Src, Proto: f.Proto, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// FastHash returns a 64-bit non-cryptographic hash of the flow, suitable for
+// RSS-style core selection and ECMP next-hop selection. Equal flows hash
+// equal on every node, which is what lets a cluster of gateways make
+// consistent decisions without coordination.
+func (f Flow) FastHash() uint64 {
+	h := uint64(fnvOffset)
+	h = hashAddr(h, f.Src)
+	h = hashAddr(h, f.Dst)
+	h = (h ^ uint64(f.Proto)) * fnvPrime
+	h = (h ^ uint64(f.SrcPort)) * fnvPrime
+	h = (h ^ uint64(f.DstPort)) * fnvPrime
+	return h
+}
+
+// SymmetricHash returns a direction-independent hash: a flow and its reverse
+// hash identically, so both directions of a connection land on the same
+// worker.
+func (f Flow) SymmetricHash() uint64 {
+	a, b := f.FastHash(), f.Reverse().FastHash()
+	if a < b {
+		return a*fnvPrime ^ b
+	}
+	return b*fnvPrime ^ a
+}
+
+func hashAddr(h uint64, a netip.Addr) uint64 {
+	if a.Is4() {
+		b := a.As4()
+		for _, c := range b {
+			h = (h ^ uint64(c)) * fnvPrime
+		}
+		return h
+	}
+	b := a.As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// HashBytes is FNV-1a over an arbitrary byte string, shared by table digests
+// and pipeline-split hashing so every component agrees on hash values.
+func HashBytes(p []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range p {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// HashUint64 mixes a 64-bit value through FNV-1a byte by byte.
+func HashUint64(v uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}

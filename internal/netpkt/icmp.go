@@ -1,0 +1,79 @@
+package netpkt
+
+import "encoding/binary"
+
+// ICMPHeaderLen is the length of an ICMP echo header.
+const ICMPHeaderLen = 8
+
+// ICMP echo types.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// ICMPEcho is an ICMPv4 echo request/reply codec — the health-monitoring
+// packets operators aim at gateway VIPs. The switch ASIC punts VIP-destined
+// ICMP to the software path, which answers.
+type ICMPEcho struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID       uint16
+	Seq      uint16
+
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (ic *ICMPEcho) DecodeFromBytes(data []byte) error {
+	if len(data) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.payload = data[ICMPHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (ic *ICMPEcho) Payload() []byte { return ic.payload }
+
+// HeaderLen implements DecodingLayer.
+func (ic *ICMPEcho) HeaderLen() int { return ICMPHeaderLen }
+
+// SerializeTo implements SerializableLayer, computing the ICMP checksum
+// over header and payload.
+func (ic *ICMPEcho) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	h := b.Prepend(ICMPHeaderLen)
+	h[0] = ic.Type
+	h[1] = ic.Code
+	h[2], h[3] = 0, 0
+	binary.BigEndian.PutUint16(h[4:6], ic.ID)
+	binary.BigEndian.PutUint16(h[6:8], ic.Seq)
+	cs := headerChecksum(b.Bytes()[:ICMPHeaderLen+payloadLen])
+	binary.BigEndian.PutUint16(h[2:4], cs)
+	ic.Checksum = cs
+	return nil
+}
+
+// VerifyChecksum recomputes the checksum over the full ICMP message.
+func (ic *ICMPEcho) VerifyChecksum(raw []byte) bool {
+	if len(raw) < ICMPHeaderLen {
+		return false
+	}
+	var sum uint32
+	for i := 0; i+1 < len(raw); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(raw[i : i+2]))
+	}
+	if len(raw)%2 == 1 {
+		sum += uint32(raw[len(raw)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return uint16(sum) == 0xffff
+}

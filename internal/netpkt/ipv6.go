@@ -1,0 +1,68 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv6HeaderLen is the length of the fixed IPv6 header.
+const IPv6HeaderLen = 40
+
+// IPv6 is an IPv6 fixed-header codec. Extension headers are not parsed; the
+// gateway treats NextHeader as the transport protocol, matching the fast
+// path of the production system (extension headers are punted to software).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   IPProtocol
+	HopLimit     uint8
+	SrcIP        netip.Addr
+	DstIP        netip.Addr
+
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv6HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 6 {
+		return ErrBadVersion
+	}
+	v := binary.BigEndian.Uint32(data[0:4])
+	ip.TrafficClass = uint8(v >> 20)
+	ip.FlowLabel = v & 0xfffff
+	payloadLen := int(binary.BigEndian.Uint16(data[4:6]))
+	ip.NextHeader = IPProtocol(data[6])
+	ip.HopLimit = data[7]
+	ip.SrcIP = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.DstIP = netip.AddrFrom16([16]byte(data[24:40]))
+	if IPv6HeaderLen+payloadLen > len(data) {
+		payloadLen = len(data) - IPv6HeaderLen
+	}
+	ip.payload = data[IPv6HeaderLen : IPv6HeaderLen+payloadLen]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (ip *IPv6) Payload() []byte { return ip.payload }
+
+// HeaderLen implements DecodingLayer.
+func (ip *IPv6) HeaderLen() int { return IPv6HeaderLen }
+
+// SerializeTo implements SerializableLayer. PayloadLength is computed from
+// the bytes already in b.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	h := b.Prepend(IPv6HeaderLen)
+	binary.BigEndian.PutUint32(h[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(h[4:6], uint16(payloadLen))
+	h[6] = uint8(ip.NextHeader)
+	h[7] = ip.HopLimit
+	src := ip.SrcIP.As16()
+	dst := ip.DstIP.As16()
+	copy(h[8:24], src[:])
+	copy(h[24:40], dst[:])
+	return nil
+}

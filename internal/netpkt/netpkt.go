@@ -1,0 +1,100 @@
+// Package netpkt implements the packet substrate for the Sailfish gateway:
+// wire-format codecs for Ethernet, IPv4, IPv6, UDP, TCP and VXLAN, a
+// zero-allocation decoding-layer parser for the VXLAN-in-UDP stacks the
+// gateway forwards, a prepend-style serialize buffer, and hashable flow keys.
+//
+// The design follows the gopacket DecodingLayer idiom: each header type
+// decodes from bytes into a preallocated struct and can serialize itself by
+// prepending onto a SerializeBuffer, so steady-state encap/decap performs no
+// heap allocation.
+package netpkt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared by the layer decoders.
+var (
+	// ErrTruncated reports a buffer too short for the header being decoded.
+	ErrTruncated = errors.New("netpkt: truncated packet")
+	// ErrBadVersion reports an IP version field that does not match the decoder.
+	ErrBadVersion = errors.New("netpkt: IP version mismatch")
+	// ErrNotVXLAN reports a UDP payload that is not a VXLAN frame.
+	ErrNotVXLAN = errors.New("netpkt: not a VXLAN frame")
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// Well-known EtherType values used by the gateway.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// String returns the conventional name of the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeIPv6:
+		return "IPv6"
+	}
+	return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+}
+
+// IPProtocol identifies the payload protocol of an IP packet.
+type IPProtocol uint8
+
+// Well-known IP protocol numbers used by the gateway.
+const (
+	IPProtocolICMP   IPProtocol = 1
+	IPProtocolTCP    IPProtocol = 6
+	IPProtocolUDP    IPProtocol = 17
+	IPProtocolICMPv6 IPProtocol = 58
+)
+
+// String returns the conventional name of the protocol number.
+func (p IPProtocol) String() string {
+	switch p {
+	case IPProtocolICMP:
+		return "ICMP"
+	case IPProtocolTCP:
+		return "TCP"
+	case IPProtocolUDP:
+		return "UDP"
+	case IPProtocolICMPv6:
+		return "ICMPv6"
+	}
+	return fmt.Sprintf("IPProtocol(%d)", uint8(p))
+}
+
+// VXLANPort is the IANA-assigned UDP destination port for VXLAN (RFC 7348).
+const VXLANPort = 4789
+
+// DecodingLayer is implemented by every header codec in this package. A
+// DecodingLayer decodes itself from the front of data and remembers its
+// payload slice; it must not retain data beyond the next DecodeFromBytes
+// call.
+type DecodingLayer interface {
+	// DecodeFromBytes parses the layer's header from the front of data.
+	DecodeFromBytes(data []byte) error
+	// Payload returns the bytes following this layer's header. Only valid
+	// after a successful DecodeFromBytes.
+	Payload() []byte
+	// HeaderLen returns the encoded length of this layer's header in bytes.
+	HeaderLen() int
+}
+
+// SerializableLayer is implemented by header codecs that can write themselves
+// in front of the current contents of a SerializeBuffer.
+type SerializableLayer interface {
+	// SerializeTo prepends the layer's wire format onto b. Length and
+	// checksum fields that depend on the payload are computed from the
+	// bytes already in b.
+	SerializeTo(b *SerializeBuffer) error
+}

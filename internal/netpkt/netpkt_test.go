@@ -1,0 +1,585 @@
+package netpkt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func v4(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := &Ethernet{
+		DstMAC:    MAC{0x02, 0, 0, 0, 0, 1},
+		SrcMAC:    MAC{0x02, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+	}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("hi"), e); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.DstMAC != e.DstMAC || d.SrcMAC != e.SrcMAC || d.EtherType != e.EtherType {
+		t.Fatalf("round trip mismatch: %+v vs %+v", d, e)
+	}
+	if string(d.Payload()) != "hi" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if err := e.DecodeFromBytes(make([]byte, 13)); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := &IPv4{
+		TOS: 0x10, ID: 42, TTL: 63, Protocol: IPProtocolUDP,
+		SrcIP: v4("10.1.1.1"), DstIP: v4("10.2.2.2"),
+	}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("payload"), ip); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	var d IPv4
+	if err := d.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcIP != ip.SrcIP || d.DstIP != ip.DstIP || d.Protocol != IPProtocolUDP || d.TTL != 63 || d.ID != 42 || d.TOS != 0x10 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	if !d.VerifyChecksum(raw) {
+		t.Fatal("checksum does not verify")
+	}
+	if string(d.Payload()) != "payload" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+	// Corrupt one byte: checksum must fail.
+	raw[8]++
+	if d.VerifyChecksum(raw) {
+		t.Fatal("checksum verified corrupted header")
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	raw := make([]byte, 20)
+	raw[0] = 6 << 4
+	var d IPv4
+	if err := d.DecodeFromBytes(raw); err != ErrBadVersion {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	// Header with IHL=6 (one 4-byte option word).
+	raw := make([]byte, 24+3)
+	raw[0] = 4<<4 | 6
+	binary.BigEndian.PutUint16(raw[2:4], uint16(len(raw)))
+	raw[9] = byte(IPProtocolUDP)
+	copy(raw[24:], "abc")
+	var d IPv4
+	if err := d.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if d.HeaderLen() != 24 {
+		t.Fatalf("HeaderLen = %d, want 24", d.HeaderLen())
+	}
+	if string(d.Payload()) != "abc" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := &IPv6{
+		TrafficClass: 7, FlowLabel: 0xabcde, NextHeader: IPProtocolTCP, HopLimit: 55,
+		SrcIP: v4("2001:db8::1"), DstIP: v4("2001:db8::2"),
+	}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("xyz"), ip); err != nil {
+		t.Fatal(err)
+	}
+	var d IPv6
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcIP != ip.SrcIP || d.DstIP != ip.DstIP || d.NextHeader != IPProtocolTCP ||
+		d.HopLimit != 55 || d.TrafficClass != 7 || d.FlowLabel != 0xabcde {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	if string(d.Payload()) != "xyz" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDP{SrcPort: 1234, DstPort: VXLANPort}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("data"), u); err != nil {
+		t.Fatal(err)
+	}
+	var d UDP
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 1234 || d.DstPort != VXLANPort || d.Length != 12 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	if string(d.Payload()) != "data" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	c := &TCP{SrcPort: 80, DstPort: 443, Seq: 1000, Ack: 2000, Flags: TCPFlagSYN | TCPFlagACK, Window: 512}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, nil, c); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 80 || d.DstPort != 443 || d.Seq != 1000 || d.Ack != 2000 ||
+		d.Flags != TCPFlagSYN|TCPFlagACK || d.Window != 512 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+}
+
+func TestVXLANRoundTrip(t *testing.T) {
+	v := &VXLAN{VNI: 0x123456}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("inner"), v); err != nil {
+		t.Fatal(err)
+	}
+	var d VXLAN
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.VNI != 0x123456 {
+		t.Fatalf("VNI = %v", d.VNI)
+	}
+}
+
+func TestVXLANRejectsOversizeVNI(t *testing.T) {
+	v := &VXLAN{VNI: MaxVNI + 1}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, nil, v); err == nil {
+		t.Fatal("want error for 25-bit VNI")
+	}
+}
+
+func TestVXLANRejectsClearedIFlag(t *testing.T) {
+	raw := make([]byte, VXLANHeaderLen)
+	var d VXLAN
+	if err := d.DecodeFromBytes(raw); err != ErrNotVXLAN {
+		t.Fatalf("want ErrNotVXLAN, got %v", err)
+	}
+}
+
+func buildTestPacket(t *testing.T, spec BuildSpec) []byte {
+	t.Helper()
+	b := NewSerializeBuffer(128, 256)
+	raw, err := spec.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func TestParserFullStackV4(t *testing.T) {
+	raw := buildTestPacket(t, BuildSpec{
+		VNI:      100,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.10.2"), InnerDst: v4("192.168.10.3"),
+		Proto: IPProtocolTCP, SrcPort: 5555, DstPort: 80,
+		Payload: []byte("hello"),
+	})
+	var p Parser
+	var pkt GatewayPacket
+	if err := p.Parse(raw, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.VXLAN.VNI != 100 {
+		t.Fatalf("VNI = %v", pkt.VXLAN.VNI)
+	}
+	if pkt.OuterSrc() != v4("10.0.0.1") || pkt.OuterDst() != v4("10.0.0.2") {
+		t.Fatalf("outer = %v -> %v", pkt.OuterSrc(), pkt.OuterDst())
+	}
+	if pkt.InnerSrc() != v4("192.168.10.2") || pkt.InnerDst() != v4("192.168.10.3") {
+		t.Fatalf("inner = %v -> %v", pkt.InnerSrc(), pkt.InnerDst())
+	}
+	f := pkt.InnerFlow()
+	if f.Proto != IPProtocolTCP || f.SrcPort != 5555 || f.DstPort != 80 {
+		t.Fatalf("flow = %+v", f)
+	}
+	if string(pkt.InnerTCP.Payload()) != "hello" {
+		t.Fatalf("payload = %q", pkt.InnerTCP.Payload())
+	}
+}
+
+func TestParserFullStackV6Overlay(t *testing.T) {
+	raw := buildTestPacket(t, BuildSpec{
+		VNI:      7,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("2001:db8::10"), InnerDst: v4("2001:db8::20"),
+		Proto: IPProtocolUDP, SrcPort: 53, DstPort: 53,
+	})
+	var p Parser
+	var pkt GatewayPacket
+	if err := p.Parse(raw, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !pkt.InnerIsV6 || pkt.OuterIsV6 {
+		t.Fatalf("family flags wrong: inner6=%v outer6=%v", pkt.InnerIsV6, pkt.OuterIsV6)
+	}
+	if pkt.InnerDst() != v4("2001:db8::20") {
+		t.Fatalf("inner dst = %v", pkt.InnerDst())
+	}
+}
+
+func TestParserV6Underlay(t *testing.T) {
+	raw := buildTestPacket(t, BuildSpec{
+		VNI:      9,
+		OuterSrc: v4("2001:db8:100::1"), OuterDst: v4("2001:db8:100::2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+		Proto: IPProtocolUDP,
+	})
+	var p Parser
+	var pkt GatewayPacket
+	if err := p.Parse(raw, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !pkt.OuterIsV6 || pkt.InnerIsV6 {
+		t.Fatal("family flags wrong")
+	}
+	if pkt.OuterDst() != v4("2001:db8:100::2") {
+		t.Fatalf("outer dst = %v", pkt.OuterDst())
+	}
+}
+
+func TestParserRejectsNonVXLANPort(t *testing.T) {
+	raw := buildTestPacket(t, BuildSpec{
+		VNI:      1,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+	})
+	// Rewrite the outer UDP destination port.
+	off := EthernetHeaderLen + IPv4HeaderLen
+	binary.BigEndian.PutUint16(raw[off+2:off+4], 9999)
+	var p Parser
+	var pkt GatewayPacket
+	if err := p.Parse(raw, &pkt); err != ErrNotVXLAN {
+		t.Fatalf("want ErrNotVXLAN, got %v", err)
+	}
+}
+
+func TestParserTruncationEveryPrefix(t *testing.T) {
+	raw := buildTestPacket(t, BuildSpec{
+		VNI:      1,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+		Proto: IPProtocolTCP,
+	})
+	var p Parser
+	var pkt GatewayPacket
+	if err := p.Parse(raw, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must produce an error, never a panic. Note the
+	// codecs deliberately clamp over-stated length fields, but a header
+	// that does not fit must always fail.
+	for n := 0; n < len(raw); n++ {
+		if err := p.Parse(raw[:n], &pkt); err == nil {
+			// Prefixes that cut only payload bytes may parse fine;
+			// require headers to be complete.
+			minHeaders := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen +
+				EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen
+			if n < minHeaders {
+				t.Fatalf("prefix %d parsed without error", n)
+			}
+		}
+	}
+}
+
+func TestFlowReverseAndHash(t *testing.T) {
+	f := Flow{Src: v4("1.2.3.4"), Dst: v4("5.6.7.8"), Proto: IPProtocolTCP, SrcPort: 10, DstPort: 20}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src || r.SrcPort != f.DstPort {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if f.FastHash() == r.FastHash() {
+		t.Fatal("directional hash should differ for reverse flow (overwhelmingly)")
+	}
+	if f.SymmetricHash() != r.SymmetricHash() {
+		t.Fatal("symmetric hash must match for reverse flow")
+	}
+	if f.FastHash() != f.FastHash() {
+		t.Fatal("hash must be deterministic")
+	}
+}
+
+func TestFlowHashDistribution(t *testing.T) {
+	// Hashing distinct flows into 32 bins should not leave bins empty.
+	const cores = 32
+	var bins [cores]int
+	for i := 0; i < 10000; i++ {
+		f := Flow{
+			Src: netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}),
+			Dst: v4("192.168.1.1"), Proto: IPProtocolTCP,
+			SrcPort: uint16(1024 + i), DstPort: 80,
+		}
+		bins[f.FastHash()%cores]++
+	}
+	for i, n := range bins {
+		if n == 0 {
+			t.Fatalf("bin %d empty", i)
+		}
+		if n > 10000/cores*3 {
+			t.Fatalf("bin %d grossly overloaded: %d", i, n)
+		}
+	}
+}
+
+func TestSerializeBufferGrowth(t *testing.T) {
+	b := NewSerializeBuffer(0, 0)
+	b.PushPayload(bytes.Repeat([]byte{0xab}, 100))
+	for i := 0; i < 10; i++ {
+		h := b.Prepend(50)
+		for j := range h {
+			h[j] = byte(i)
+		}
+	}
+	if b.Len() != 100+500 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	out := b.Bytes()
+	if out[0] != 9 || out[len(out)-1] != 0xab {
+		t.Fatal("contents shifted incorrectly during growth")
+	}
+}
+
+func TestSerializeBufferReuseNoRealloc(t *testing.T) {
+	b := NewSerializeBuffer(128, 256)
+	spec := BuildSpec{
+		VNI:      5,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+		Proto: IPProtocolUDP,
+	}
+	if _, err := spec.Build(b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := spec.Build(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Layer construction allocates a bounded amount; the buffer itself must
+	// not grow once warm.
+	if allocs > 16 {
+		t.Fatalf("too many allocations per packet build: %v", allocs)
+	}
+}
+
+// Property: serialize∘decode is the identity on the VXLAN header for all
+// 24-bit VNIs.
+func TestVXLANQuickRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		vni := VNI(raw & 0xffffff)
+		v := &VXLAN{VNI: vni}
+		b := NewSerializeBuffer(16, 16)
+		if err := SerializeLayers(b, nil, v); err != nil {
+			return false
+		}
+		var d VXLAN
+		if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+			return false
+		}
+		return d.VNI == vni
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialize∘decode is the identity on IPv4 addresses and protocol.
+func TestIPv4QuickRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, proto uint8, ttl uint8, id uint16) bool {
+		ip := &IPv4{
+			ID: id, TTL: ttl, Protocol: IPProtocol(proto),
+			SrcIP: netip.AddrFrom4(src), DstIP: netip.AddrFrom4(dst),
+		}
+		b := NewSerializeBuffer(32, 32)
+		if err := SerializeLayers(b, nil, ip); err != nil {
+			return false
+		}
+		var d IPv4
+		if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+			return false
+		}
+		return d.SrcIP == ip.SrcIP && d.DstIP == ip.DstIP &&
+			d.Protocol == ip.Protocol && d.TTL == ttl && d.ID == id &&
+			d.VerifyChecksum(b.Bytes())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(build(spec)) recovers the spec for arbitrary v4 flows.
+func TestBuildParseQuick(t *testing.T) {
+	var p Parser
+	var pkt GatewayPacket
+	f := func(vniRaw uint32, os, od, is, id [4]byte, sp, dp uint16, tcp bool) bool {
+		proto := IPProtocolUDP
+		if tcp {
+			proto = IPProtocolTCP
+		}
+		spec := BuildSpec{
+			VNI:      VNI(vniRaw & 0xffffff),
+			OuterSrc: netip.AddrFrom4(os), OuterDst: netip.AddrFrom4(od),
+			InnerSrc: netip.AddrFrom4(is), InnerDst: netip.AddrFrom4(id),
+			Proto: proto, SrcPort: sp, DstPort: dp,
+		}
+		b := NewSerializeBuffer(128, 128)
+		raw, err := spec.Build(b)
+		if err != nil {
+			return false
+		}
+		if err := p.Parse(raw, &pkt); err != nil {
+			return false
+		}
+		fl := pkt.InnerFlow()
+		return pkt.VXLAN.VNI == spec.VNI &&
+			pkt.OuterSrc() == spec.OuterSrc && pkt.OuterDst() == spec.OuterDst &&
+			fl.Src == spec.InnerSrc && fl.Dst == spec.InnerDst &&
+			fl.Proto == proto && fl.SrcPort == sp && fl.DstPort == dp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	sb := NewSerializeBuffer(128, 256)
+	spec := BuildSpec{
+		VNI:      100,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.10.2"), InnerDst: v4("192.168.10.3"),
+		Proto: IPProtocolTCP, SrcPort: 5555, DstPort: 80,
+		Payload: bytes.Repeat([]byte{0}, 64),
+	}
+	raw, err := spec.Build(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p Parser
+	var pkt GatewayPacket
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(raw, &pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	sb := NewSerializeBuffer(128, 256)
+	spec := BuildSpec{
+		VNI:      100,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.10.2"), InnerDst: v4("192.168.10.3"),
+		Proto: IPProtocolUDP, SrcPort: 5555, DstPort: 80,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Build(sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowFastHash(b *testing.B) {
+	f := Flow{Src: v4("1.2.3.4"), Dst: v4("5.6.7.8"), Proto: IPProtocolTCP, SrcPort: 10, DstPort: 20}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += f.FastHash()
+	}
+	_ = sink
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		EtherTypeIPv4.String():                             "IPv4",
+		EtherTypeIPv6.String():                             "IPv6",
+		EtherTypeARP.String():                              "ARP",
+		EtherType(0x1234).String():                         "EtherType(0x1234)",
+		IPProtocolTCP.String():                             "TCP",
+		IPProtocolUDP.String():                             "UDP",
+		IPProtocolICMP.String():                            "ICMP",
+		IPProtocolICMPv6.String():                          "ICMPv6",
+		IPProtocol(99).String():                            "IPProtocol(99)",
+		VNI(42).String():                                   "vni/42",
+		(MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}).String(): "aa:bb:cc:dd:ee:ff",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHeaderLenDefaults(t *testing.T) {
+	// HeaderLen before decode returns the fixed header size.
+	if (&IPv4{}).HeaderLen() != IPv4HeaderLen {
+		t.Fatal("IPv4 default header len")
+	}
+	if (&TCP{}).HeaderLen() != TCPHeaderLen {
+		t.Fatal("TCP default header len")
+	}
+	if (&IPv6{}).HeaderLen() != IPv6HeaderLen || (&UDP{}).HeaderLen() != UDPHeaderLen ||
+		(&VXLAN{}).HeaderLen() != VXLANHeaderLen || (&Ethernet{}).HeaderLen() != EthernetHeaderLen {
+		t.Fatal("fixed header lens wrong")
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	e := &ICMPEcho{Type: ICMPEchoRequest, ID: 77, Seq: 3}
+	b := NewSerializeBuffer(64, 64)
+	if err := SerializeLayers(b, []byte("ping-payload"), e); err != nil {
+		t.Fatal(err)
+	}
+	var d ICMPEcho
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != ICMPEchoRequest || d.ID != 77 || d.Seq != 3 {
+		t.Fatalf("round trip: %+v", d)
+	}
+	if string(d.Payload()) != "ping-payload" {
+		t.Fatalf("payload = %q", d.Payload())
+	}
+	if !d.VerifyChecksum(b.Bytes()) {
+		t.Fatal("checksum does not verify")
+	}
+	raw := append([]byte(nil), b.Bytes()...)
+	raw[10] ^= 0xff
+	if d.VerifyChecksum(raw) {
+		t.Fatal("corrupted message verified")
+	}
+	if err := d.DecodeFromBytes(raw[:4]); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}

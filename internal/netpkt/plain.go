@@ -1,0 +1,79 @@
+package netpkt
+
+// PlainPacket is the parsed view of a non-encapsulated frame — the form
+// packets take on the Internet side of the SNAT path (Fig. 11), where no
+// VXLAN tunnel exists.
+type PlainPacket struct {
+	Eth   Ethernet
+	IPv4  IPv4
+	IPv6  IPv6
+	IsV6  bool
+	TCP   TCP
+	UDP   UDP
+	HasL4 bool
+
+	WireLen int
+}
+
+// Flow returns the packet's five-tuple.
+func (p *PlainPacket) Flow() Flow {
+	f := Flow{}
+	if p.IsV6 {
+		f.Src, f.Dst = p.IPv6.SrcIP, p.IPv6.DstIP
+	} else {
+		f.Src, f.Dst = p.IPv4.SrcIP, p.IPv4.DstIP
+	}
+	if !p.HasL4 {
+		return f
+	}
+	proto := p.IPv4.Protocol
+	if p.IsV6 {
+		proto = p.IPv6.NextHeader
+	}
+	if proto == IPProtocolTCP {
+		f.Proto, f.SrcPort, f.DstPort = IPProtocolTCP, p.TCP.SrcPort, p.TCP.DstPort
+	} else {
+		f.Proto, f.SrcPort, f.DstPort = IPProtocolUDP, p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return f
+}
+
+// ParsePlain decodes an Ethernet/IP/L4 frame into pkt.
+func (ps *Parser) ParsePlain(data []byte, pkt *PlainPacket) error {
+	pkt.WireLen = len(data)
+	if err := pkt.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	var l4 []byte
+	var proto IPProtocol
+	switch pkt.Eth.EtherType {
+	case EtherTypeIPv4:
+		pkt.IsV6 = false
+		if err := pkt.IPv4.DecodeFromBytes(pkt.Eth.Payload()); err != nil {
+			return err
+		}
+		l4, proto = pkt.IPv4.Payload(), pkt.IPv4.Protocol
+	case EtherTypeIPv6:
+		pkt.IsV6 = true
+		if err := pkt.IPv6.DecodeFromBytes(pkt.Eth.Payload()); err != nil {
+			return err
+		}
+		l4, proto = pkt.IPv6.Payload(), pkt.IPv6.NextHeader
+	default:
+		return ErrNotVXLAN
+	}
+	pkt.HasL4 = false
+	switch proto {
+	case IPProtocolTCP:
+		if err := pkt.TCP.DecodeFromBytes(l4); err != nil {
+			return err
+		}
+		pkt.HasL4 = true
+	case IPProtocolUDP:
+		if err := pkt.UDP.DecodeFromBytes(l4); err != nil {
+			return err
+		}
+		pkt.HasL4 = true
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package netpkt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The gateway parses attacker-controlled bytes at line rate: no input may
+// panic it. These tests drive the parsers with random and mutated frames.
+
+func TestParseRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var p Parser
+	var pkt GatewayPacket
+	var plain PlainPacket
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(256)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Outcomes don't matter; not panicking does.
+		_ = p.Parse(buf, &pkt)
+		_ = p.ParsePlain(buf, &plain)
+	}
+}
+
+func TestParseMutatedValidFrameNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	spec := BuildSpec{
+		VNI:      77,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+		Proto: IPProtocolTCP, SrcPort: 1, DstPort: 2,
+		Payload: []byte("xyzzy"),
+	}
+	b := NewSerializeBuffer(128, 256)
+	base, err := spec.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	var pkt GatewayPacket
+	buf := make([]byte, len(base))
+	for i := 0; i < 20000; i++ {
+		copy(buf, base)
+		// Flip 1-4 random bytes (length fields, version nibbles, ...).
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		_ = p.Parse(buf, &pkt)
+		// Random truncation on top.
+		cut := rng.Intn(len(buf) + 1)
+		_ = p.Parse(buf[:cut], &pkt)
+	}
+}
+
+// A parse that succeeds must expose only in-bounds slices: touching every
+// payload byte must not fault, and lengths must be consistent.
+func TestParsedSlicesInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	spec := BuildSpec{
+		VNI:      1,
+		OuterSrc: v4("10.0.0.1"), OuterDst: v4("10.0.0.2"),
+		InnerSrc: v4("192.168.0.1"), InnerDst: v4("192.168.0.2"),
+		Proto: IPProtocolUDP, SrcPort: 1, DstPort: 2,
+		Payload: []byte("payloadpayload"),
+	}
+	b := NewSerializeBuffer(128, 256)
+	base, err := spec.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	var pkt GatewayPacket
+	buf := make([]byte, len(base))
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		copy(buf, base)
+		for k := 0; k < rng.Intn(3); k++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		if err := p.Parse(buf, &pkt); err != nil {
+			continue
+		}
+		hits++
+		sum := 0
+		for _, by := range pkt.VXLAN.Payload() {
+			sum += int(by)
+		}
+		for _, by := range pkt.InnerUDP.Payload() {
+			sum += int(by)
+		}
+		_ = sum
+	}
+	if hits == 0 {
+		t.Fatal("mutation never preserved parseability — mutator too aggressive for the test's purpose")
+	}
+}

@@ -1,0 +1,90 @@
+package netpkt
+
+// SerializeBuffer assembles a packet back-to-front: payload first, then each
+// successively outer header is prepended. This mirrors how encapsulating
+// gateways build frames (inner packet is already serialized; outer
+// UDP/IP/Ethernet headers wrap it) and lets length/checksum fields be
+// computed from the bytes already present.
+//
+// The zero value is ready to use. A buffer can be reused across packets via
+// Clear; steady-state reuse performs no allocation once the buffer has grown
+// to the working packet size.
+type SerializeBuffer struct {
+	buf   []byte // backing storage
+	start int    // index of first valid byte in buf
+}
+
+// NewSerializeBuffer returns a buffer with headroom for headroom bytes of
+// headers and room for payload bytes of payload.
+func NewSerializeBuffer(headroom, payload int) *SerializeBuffer {
+	b := &SerializeBuffer{}
+	b.buf = make([]byte, headroom+payload)
+	b.start = headroom + payload
+	return b
+}
+
+// Bytes returns the assembled packet. The slice is invalidated by the next
+// Prepend, Clear or PushPayload.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Len returns the current packet length in bytes.
+func (b *SerializeBuffer) Len() int { return len(b.buf) - b.start }
+
+// Clear empties the buffer, retaining its storage, and reserves headroom for
+// future prepends equal to the full current capacity.
+func (b *SerializeBuffer) Clear() {
+	b.buf = b.buf[:cap(b.buf)]
+	b.start = len(b.buf)
+}
+
+// PushPayload appends p as the innermost contents of an empty buffer. It
+// panics if the buffer is not empty: payload must be pushed before headers.
+func (b *SerializeBuffer) PushPayload(p []byte) {
+	if b.Len() != 0 {
+		panic("netpkt: PushPayload on non-empty SerializeBuffer")
+	}
+	if len(p) > b.start {
+		b.grow(len(p) - b.start)
+	}
+	b.start -= len(p)
+	copy(b.buf[b.start:], p)
+}
+
+// Prepend makes room for n bytes in front of the current contents and
+// returns the slice to fill in.
+func (b *SerializeBuffer) Prepend(n int) []byte {
+	if n > b.start {
+		b.grow(n - b.start)
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// grow enlarges the headroom by at least need bytes.
+func (b *SerializeBuffer) grow(need int) {
+	extra := cap(b.buf)
+	if extra < need {
+		extra = need
+	}
+	if extra < 64 {
+		extra = 64
+	}
+	nb := make([]byte, len(b.buf)+extra)
+	copy(nb[b.start+extra:], b.buf[b.start:])
+	b.buf = nb
+	b.start += extra
+}
+
+// SerializeLayers clears b, pushes payload, then prepends the given layers in
+// reverse order so that layers[0] ends up outermost. It is the convenience
+// companion of the per-layer SerializeTo methods.
+func SerializeLayers(b *SerializeBuffer, payload []byte, layers ...SerializableLayer) error {
+	b.Clear()
+	b.PushPayload(payload)
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

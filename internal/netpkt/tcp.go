@@ -1,0 +1,75 @@
+package netpkt
+
+import "encoding/binary"
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits as found in the 13th header byte.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCP is a TCP header codec. The gateway only needs ports, flags and
+// sequence numbers for session tracking (SNAT); checksums are left to the
+// end hosts, as they are opaque through the VXLAN overlay.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+
+	dataOff int
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.dataOff = int(data[12]>>4) * 4
+	if t.dataOff < TCPHeaderLen || t.dataOff > len(data) {
+		return ErrTruncated
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.payload = data[t.dataOff:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// HeaderLen implements DecodingLayer.
+func (t *TCP) HeaderLen() int {
+	if t.dataOff != 0 {
+		return t.dataOff
+	}
+	return TCPHeaderLen
+}
+
+// SerializeTo implements SerializableLayer. The emitted header carries no
+// options and a zero checksum.
+func (t *TCP) SerializeTo(b *SerializeBuffer) error {
+	h := b.Prepend(TCPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = TCPHeaderLen / 4 << 4
+	h[13] = t.Flags
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	h[16], h[17], h[18], h[19] = 0, 0, 0, 0
+	return nil
+}

@@ -1,0 +1,54 @@
+package netpkt
+
+import "encoding/binary"
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header codec. The gateway leaves the checksum zero on
+// serialize (legal for VXLAN-over-IPv4 per RFC 7348 §4 and universal practice
+// in overlay fast paths); decoded checksums are preserved but not verified.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < UDPHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[UDPHeaderLen:end]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// HeaderLen implements DecodingLayer.
+func (u *UDP) HeaderLen() int { return UDPHeaderLen }
+
+// SerializeTo implements SerializableLayer. Length is computed from the bytes
+// already in b; the checksum is emitted as zero.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	h := b.Prepend(UDPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	u.Length = uint16(UDPHeaderLen + payloadLen)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	binary.BigEndian.PutUint16(h[6:8], 0)
+	return nil
+}

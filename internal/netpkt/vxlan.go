@@ -1,0 +1,60 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VXLANHeaderLen is the length of a VXLAN header (RFC 7348).
+const VXLANHeaderLen = 8
+
+// VNI is a 24-bit VXLAN network identifier. In Sailfish a VNI identifies a
+// VPC: all VMs in one VPC share one VNI.
+type VNI uint32
+
+// MaxVNI is the largest representable 24-bit VNI.
+const MaxVNI VNI = 1<<24 - 1
+
+// String formats the VNI as a decimal with a vni/ prefix.
+func (v VNI) String() string { return fmt.Sprintf("vni/%d", uint32(v)) }
+
+// vxlanFlagValidVNI is the I flag: the VNI field is valid (RFC 7348 §5).
+const vxlanFlagValidVNI = 0x08
+
+// VXLAN is a VXLAN header codec.
+type VXLAN struct {
+	VNI VNI
+
+	payload []byte
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (v *VXLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < VXLANHeaderLen {
+		return ErrTruncated
+	}
+	if data[0]&vxlanFlagValidVNI == 0 {
+		return ErrNotVXLAN
+	}
+	v.VNI = VNI(binary.BigEndian.Uint32(data[4:8]) >> 8)
+	v.payload = data[VXLANHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (v *VXLAN) Payload() []byte { return v.payload }
+
+// HeaderLen implements DecodingLayer.
+func (v *VXLAN) HeaderLen() int { return VXLANHeaderLen }
+
+// SerializeTo implements SerializableLayer.
+func (v *VXLAN) SerializeTo(b *SerializeBuffer) error {
+	if v.VNI > MaxVNI {
+		return fmt.Errorf("netpkt: VNI %d exceeds 24 bits", v.VNI)
+	}
+	h := b.Prepend(VXLANHeaderLen)
+	h[0] = vxlanFlagValidVNI
+	h[1], h[2], h[3] = 0, 0, 0
+	binary.BigEndian.PutUint32(h[4:8], uint32(v.VNI)<<8)
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package pcap reads and writes libpcap capture files (the classic
+// tcpdump format, LINKTYPE_ETHERNET), so gateway traffic can be captured
+// for offline inspection with standard tools. Only the stdlib is used; the
+// format is the 24-byte global header followed by 16-byte per-record
+// headers.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicros = 0xa1b2c3d4
+	// versionMajor/Minor are the libpcap 2.4 format.
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is the only link type the gateway emits.
+	LinkTypeEthernet = 1
+	// defaultSnapLen accommodates jumbo overlay frames.
+	defaultSnapLen = 65535
+)
+
+// ErrBadMagic reports a file that is not a microsecond little-endian pcap.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen int
+	started bool
+}
+
+// NewWriter returns a writer targeting w. The global header is emitted on
+// the first WritePacket.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, snapLen: defaultSnapLen}
+}
+
+func (pw *Writer) writeHeader() error {
+	var h [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(h[0:4], magicMicros)
+	le.PutUint16(h[4:6], versionMajor)
+	le.PutUint16(h[6:8], versionMinor)
+	// thiszone, sigfigs = 0
+	le.PutUint32(h[16:20], uint32(pw.snapLen))
+	le.PutUint32(h[20:24], LinkTypeEthernet)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one frame with the given capture timestamp.
+func (pw *Writer) WritePacket(ts time.Time, frame []byte) error {
+	if !pw.started {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.started = true
+	}
+	capLen := len(frame)
+	if capLen > pw.snapLen {
+		capLen = pw.snapLen
+	}
+	var h [16]byte
+	le := binary.LittleEndian
+	le.PutUint32(h[0:4], uint32(ts.Unix()))
+	le.PutUint32(h[4:8], uint32(ts.Nanosecond()/1000))
+	le.PutUint32(h[8:12], uint32(capLen))
+	le.PutUint32(h[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame[:capLen])
+	return err
+}
+
+// Record is one captured frame.
+type Record struct {
+	Time    time.Time
+	Data    []byte
+	OrigLen int
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r        io.Reader
+	LinkType uint32
+	snapLen  uint32
+}
+
+// NewReader parses the global header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var h [24]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(h[0:4]) != magicMicros {
+		return nil, ErrBadMagic
+	}
+	if maj := le.Uint16(h[4:6]); maj != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d", maj)
+	}
+	return &Reader{
+		r:        r,
+		snapLen:  le.Uint32(h[16:20]),
+		LinkType: le.Uint32(h[20:24]),
+	}, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (pr *Reader) Next() (Record, error) {
+	var h [16]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	le := binary.LittleEndian
+	sec := le.Uint32(h[0:4])
+	usec := le.Uint32(h[4:8])
+	capLen := le.Uint32(h[8:12])
+	origLen := le.Uint32(h[12:16])
+	if capLen > pr.snapLen {
+		return Record{}, fmt.Errorf("pcap: record caplen %d exceeds snaplen %d", capLen, pr.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Record{}, io.ErrUnexpectedEOF
+	}
+	return Record{
+		Time:    time.Unix(int64(sec), int64(usec)*1000),
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}

@@ -1,0 +1,122 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]byte{
+		[]byte("frame-one"),
+		bytes.Repeat([]byte{0xab}, 1500),
+		{},
+	}
+	base := time.Unix(1_600_000_000, 123456000)
+	for i, f := range frames {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("link type %d", r.LinkType)
+	}
+	for i, want := range frames {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, want) || rec.OrigLen != len(want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		if rec.Time.Unix() != base.Unix()+int64(i) {
+			t.Fatalf("record %d time %v", i, rec.Time)
+		}
+		// Microsecond resolution preserved.
+		if rec.Time.Nanosecond() != 123456000 {
+			t.Fatalf("record %d usec %d", i, rec.Time.Nanosecond())
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(time.Unix(0, 0), []byte("hello"))
+	full := buf.Bytes()
+	// Cut mid-record.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.snapLen = 8
+	big := bytes.Repeat([]byte{1}, 100)
+	if err := w.WritePacket(time.Unix(0, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 8 || rec.OrigLen != 100 {
+		t.Fatalf("snaplen handling wrong: %d/%d", len(rec.Data), rec.OrigLen)
+	}
+}
+
+// Property: any frame set round-trips intact.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(frames [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		ts := time.Unix(1000, 0)
+		for _, fr := range frames {
+			if err := w.WritePacket(ts, fr); err != nil {
+				return false
+			}
+		}
+		if len(frames) == 0 {
+			return true // nothing written, nothing to read
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, fr := range frames {
+			rec, err := r.Next()
+			if err != nil || !bytes.Equal(rec.Data, fr) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package probe implements the §6.1 cluster-construction probes: before a
+// gateway cluster is put online, "probe generators produce diverse probe
+// packets covering as many test scenarios as possible" and the results are
+// verified against expectations. The controller runs a probe suite against
+// every node after table population and refuses to admit user traffic on
+// failure.
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/xgwh"
+)
+
+// Expect is the verdict a probe must produce.
+type Expect int
+
+const (
+	// ExpectForward: the packet must be forwarded, optionally to a
+	// specific NC.
+	ExpectForward Expect = iota
+	// ExpectFallback: the packet must be steered to XGW-x86.
+	ExpectFallback
+	// ExpectDrop: the packet must be dropped, optionally for a specific
+	// reason.
+	ExpectDrop
+)
+
+// String names the expectation.
+func (e Expect) String() string {
+	switch e {
+	case ExpectForward:
+		return "forward"
+	case ExpectFallback:
+		return "fallback"
+	case ExpectDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("Expect(%d)", int(e))
+}
+
+// Probe is one test packet and its expected outcome.
+type Probe struct {
+	Name   string
+	Raw    []byte
+	Expect Expect
+	// WantNC, when valid, requires the forward target to match.
+	WantNC netip.Addr
+	// WantReason, when non-empty, requires the drop reason to match.
+	WantReason string
+}
+
+// Failure describes one probe that did not behave.
+type Failure struct {
+	Probe string
+	Got   string
+	Want  string
+}
+
+// Error renders the failure.
+func (f Failure) String() string {
+	return fmt.Sprintf("probe %s: got %s, want %s", f.Probe, f.Got, f.Want)
+}
+
+// Target is anything that processes packets like a gateway — satisfied by
+// *xgwh.Gateway.
+type Target interface {
+	ProcessPacket(raw []byte, now time.Time) (xgwh.ForwardResult, error)
+}
+
+// Run executes the probes against the target and collects failures.
+func Run(t Target, probes []Probe, now time.Time) []Failure {
+	var fails []Failure
+	for _, p := range probes {
+		res, err := t.ProcessPacket(p.Raw, now)
+		if err != nil {
+			fails = append(fails, Failure{Probe: p.Name, Got: "error: " + err.Error(), Want: p.Expect.String()})
+			continue
+		}
+		switch p.Expect {
+		case ExpectForward:
+			if res.Action != xgwh.ActionForward {
+				fails = append(fails, Failure{Probe: p.Name, Got: res.Action.String() + "/" + res.DropReason, Want: "forward"})
+			} else if p.WantNC.IsValid() && res.NC != p.WantNC {
+				fails = append(fails, Failure{Probe: p.Name, Got: "NC " + res.NC.String(), Want: "NC " + p.WantNC.String()})
+			}
+		case ExpectFallback:
+			if res.Action != xgwh.ActionFallback {
+				fails = append(fails, Failure{Probe: p.Name, Got: res.Action.String(), Want: "fallback"})
+			}
+		case ExpectDrop:
+			if res.Action != xgwh.ActionDrop {
+				fails = append(fails, Failure{Probe: p.Name, Got: res.Action.String(), Want: "drop"})
+			} else if p.WantReason != "" && res.DropReason != p.WantReason {
+				fails = append(fails, Failure{Probe: p.Name, Got: res.DropReason, Want: p.WantReason})
+			}
+		}
+	}
+	return fails
+}
+
+// Spec declares the forwarding state a suite should exercise; SuiteFor
+// derives probes from it.
+type Spec struct {
+	// LocalVNI/LocalVM/LocalNC: an installed same-VPC destination.
+	LocalVNI netpkt.VNI
+	LocalSrc netip.Addr
+	LocalVM  netip.Addr
+	LocalNC  netip.Addr
+	// PeerVNI/PeerVM/PeerNC: a destination reachable via VPC peering
+	// from LocalVNI (zero VNI disables the probe).
+	PeerVNI netpkt.VNI
+	PeerVM  netip.Addr
+	PeerNC  netip.Addr
+	// ServiceVNI: a VNI marked for the software path (zero disables).
+	ServiceVNI netpkt.VNI
+	// UnknownVNI: a VNI guaranteed absent from the tables.
+	UnknownVNI netpkt.VNI
+}
+
+// SuiteFor builds the standard construction-time probe suite: every traffic
+// route class the node must handle, plus malformed input.
+func SuiteFor(s Spec) ([]Probe, error) {
+	var probes []Probe
+	build := func(name string, vni netpkt.VNI, src, dst netip.Addr, exp Expect, nc netip.Addr, reason string) error {
+		spec := netpkt.BuildSpec{
+			VNI:      vni,
+			OuterSrc: netip.MustParseAddr("10.1.1.1"),
+			OuterDst: netip.MustParseAddr("10.255.0.1"),
+			InnerSrc: src, InnerDst: dst,
+			Proto: netpkt.IPProtocolUDP, SrcPort: 30000, DstPort: 30001,
+		}
+		b := netpkt.NewSerializeBuffer(128, 256)
+		raw, err := spec.Build(b)
+		if err != nil {
+			return err
+		}
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		probes = append(probes, Probe{Name: name, Raw: cp, Expect: exp, WantNC: nc, WantReason: reason})
+		return nil
+	}
+	if err := build("same-vpc", s.LocalVNI, s.LocalSrc, s.LocalVM, ExpectForward, s.LocalNC, ""); err != nil {
+		return nil, err
+	}
+	if s.PeerVNI != 0 {
+		if err := build("cross-vpc-peering", s.LocalVNI, s.LocalSrc, s.PeerVM, ExpectForward, s.PeerNC, ""); err != nil {
+			return nil, err
+		}
+	}
+	if s.ServiceVNI != 0 {
+		if err := build("service-vni-to-software", s.ServiceVNI, s.LocalSrc, netip.MustParseAddr("8.8.8.8"), ExpectFallback, netip.Addr{}, ""); err != nil {
+			return nil, err
+		}
+	}
+	if err := build("unknown-vni-to-software", s.UnknownVNI, s.LocalSrc, s.LocalVM, ExpectFallback, netip.Addr{}, ""); err != nil {
+		return nil, err
+	}
+	// Malformed frame: must be dropped as a parse error, never crash.
+	probes = append(probes, Probe{
+		Name: "malformed", Raw: []byte{0xde, 0xad}, Expect: ExpectDrop, WantReason: "parse_error",
+	})
+	return probes, nil
+}

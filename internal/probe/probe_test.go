@@ -1,0 +1,160 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+	"sailfish/internal/xgwh"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func spec() Spec {
+	return Spec{
+		LocalVNI: 100, LocalSrc: addr("192.168.0.1"),
+		LocalVM: addr("192.168.0.5"), LocalNC: addr("10.1.1.5"),
+		PeerVNI: 200, PeerVM: addr("192.168.1.5"), PeerNC: addr("10.1.1.6"),
+		ServiceVNI: 9000,
+		UnknownVNI: 4040,
+	}
+}
+
+// wellProgrammed returns a gateway whose tables satisfy spec().
+func wellProgrammed() *xgwh.Gateway {
+	g := xgwh.New(xgwh.Config{Chip: tofino.DefaultChip(), Folded: true, GatewayIP: addr("10.255.0.1")})
+	g.InstallRoute(100, pfx("192.168.0.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallRoute(100, pfx("192.168.1.0/24"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 200})
+	g.InstallRoute(200, pfx("192.168.1.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.0.5"), addr("10.1.1.5"))
+	g.InstallVM(200, addr("192.168.1.5"), addr("10.1.1.6"))
+	g.MarkServiceVNI(9000)
+	return g
+}
+
+func TestSuiteCoversRouteClasses(t *testing.T) {
+	suite, err := SuiteFor(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d probes, want 5", len(suite))
+	}
+	names := map[string]bool{}
+	for _, p := range suite {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"same-vpc", "cross-vpc-peering", "service-vni-to-software", "unknown-vni-to-software", "malformed"} {
+		if !names[want] {
+			t.Fatalf("missing probe %q", want)
+		}
+	}
+}
+
+func TestProbesPassOnCorrectGateway(t *testing.T) {
+	suite, _ := SuiteFor(spec())
+	fails := Run(wellProgrammed(), suite, time.Unix(0, 0))
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestProbesCatchMissingVM(t *testing.T) {
+	g := wellProgrammed()
+	g.RemoveVM(100, addr("192.168.0.5")) // the §6.1 population-bug scenario
+	suite, _ := SuiteFor(spec())
+	fails := Run(g, suite, time.Unix(0, 0))
+	if len(fails) != 1 || fails[0].Probe != "same-vpc" {
+		t.Fatalf("failures = %v", fails)
+	}
+}
+
+func TestProbesCatchWrongNC(t *testing.T) {
+	g := wellProgrammed()
+	g.InstallVM(100, addr("192.168.0.5"), addr("10.9.9.9")) // misconfigured NC
+	suite, _ := SuiteFor(spec())
+	fails := Run(g, suite, time.Unix(0, 0))
+	if len(fails) != 1 || fails[0].Probe != "same-vpc" {
+		t.Fatalf("failures = %v", fails)
+	}
+}
+
+func TestProbesCatchMissingServiceTag(t *testing.T) {
+	g := xgwh.New(xgwh.Config{Chip: tofino.DefaultChip(), Folded: true, GatewayIP: addr("10.255.0.1")})
+	g.InstallRoute(100, pfx("192.168.0.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallRoute(100, pfx("192.168.1.0/24"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 200})
+	g.InstallRoute(200, pfx("192.168.1.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.0.5"), addr("10.1.1.5"))
+	g.InstallVM(200, addr("192.168.1.5"), addr("10.1.1.6"))
+	// Service VNI 9000 not marked. Probe expects fallback; the gateway
+	// will also fall back via route miss — so install a decoy route that
+	// would wrongly forward it.
+	g.InstallRoute(9000, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(9000, addr("8.8.8.8"), addr("10.0.0.1"))
+	suite, _ := SuiteFor(spec())
+	fails := Run(g, suite, time.Unix(0, 0))
+	found := false
+	for _, f := range fails {
+		if f.Probe == "service-vni-to-software" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("service misconfiguration not caught: %v", fails)
+	}
+}
+
+func TestExpectAndFailureStrings(t *testing.T) {
+	if ExpectForward.String() != "forward" || ExpectFallback.String() != "fallback" ||
+		ExpectDrop.String() != "drop" || Expect(9).String() == "" {
+		t.Fatal("expect names wrong")
+	}
+	f := Failure{Probe: "p", Got: "drop", Want: "forward"}
+	if f.String() != "probe p: got drop, want forward" {
+		t.Fatalf("failure string = %q", f.String())
+	}
+}
+
+func TestProbeDropExpectations(t *testing.T) {
+	g := wellProgrammed()
+	g.InstallACL(100, tables.ACLRule{Proto: netpkt.IPProtocolUDP,
+		DstPortLo: 30001, DstPortHi: 30001, Action: tables.ACLDeny, Priority: 9})
+	// Build a probe expecting a drop with the right reason.
+	suite, _ := SuiteFor(spec())
+	var sameVPC Probe
+	for _, p := range suite {
+		if p.Name == "same-vpc" {
+			sameVPC = p
+		}
+	}
+	dropProbe := Probe{Name: "acl-drop", Raw: sameVPC.Raw, Expect: ExpectDrop, WantReason: "acl_deny"}
+	if fails := Run(g, []Probe{dropProbe}, time.Unix(0, 0)); len(fails) != 0 {
+		t.Fatalf("drop probe failed: %v", fails)
+	}
+	// Wrong-reason expectation must fail.
+	wrong := Probe{Name: "wrong-reason", Raw: sameVPC.Raw, Expect: ExpectDrop, WantReason: "route_loop"}
+	if fails := Run(g, []Probe{wrong}, time.Unix(0, 0)); len(fails) != 1 {
+		t.Fatalf("wrong reason not caught: %v", fails)
+	}
+	// Forward expectation on a dropping gateway must fail.
+	if fails := Run(g, []Probe{sameVPC}, time.Unix(0, 0)); len(fails) != 1 {
+		t.Fatalf("forward-on-drop not caught: %v", fails)
+	}
+}
+
+func TestSuiteWithoutOptionalParts(t *testing.T) {
+	s := spec()
+	s.PeerVNI = 0
+	s.ServiceVNI = 0
+	suite, err := SuiteFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 3 { // same-vpc, unknown-vni, malformed
+		t.Fatalf("suite size = %d", len(suite))
+	}
+}

@@ -1,0 +1,279 @@
+// Package sim contains the time-stepped region simulators behind the
+// paper's multi-day figures: the legacy XGW-x86 region of the motivation
+// study (Figs. 4-7) and the Sailfish region of the production evaluation
+// (Figs. 19-22). Simulations run at flow granularity on virtual time — a
+// multi-day, multi-Tbps window cannot be replayed packet by packet — with
+// per-tick loads derived from the seeded traffic generator.
+package sim
+
+import (
+	"math/rand"
+
+	"sailfish/internal/lb"
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/traffic"
+	"sailfish/internal/xgw86"
+)
+
+// LegacyConfig parameterizes the XGW-x86 region of §2.3.
+type LegacyConfig struct {
+	Seed int64
+	// Gateways is the node count behind the load balancer (Fig. 6: 15).
+	Gateways int
+	NodeCfg  xgw86.Config
+	// BackgroundFlows is the size of the well-behaved flow population.
+	BackgroundFlows int
+	// BasePps is the region's baseline aggregate packet rate.
+	BasePps float64
+	// HeavyHitters is the number of persistent elephant flows; each runs
+	// at HeavyHitterPps baseline ("a single flow can even reach tens of
+	// Gbps", §2.3).
+	HeavyHitters   int
+	HeavyHitterPps float64
+	// AvgPacketBytes converts pps to bps.
+	AvgPacketBytes int
+	// Days and TickMinutes set the simulated window and resolution.
+	Days        float64
+	TickMinutes float64
+	// FestStart/FestDays place the shopping-festival surge.
+	FestStart, FestDays float64
+}
+
+// DefaultLegacyConfig reproduces the paper's week: 15 gateways × 32 cores,
+// a festival in the back half, and a handful of heavy hitters sized near
+// one core's capacity so diurnal peaks push the hot cores over.
+func DefaultLegacyConfig() LegacyConfig {
+	return LegacyConfig{
+		Seed:            1,
+		Gateways:        15,
+		NodeCfg:         xgw86.DefaultConfig(),
+		BackgroundFlows: 20_000,
+		BasePps:         60e6, // ≈16% mean core utilization at baseline
+		HeavyHitters:    6,
+		// Sized so a hitter's core (hitter + its share of background)
+		// reaches ≈100% during festival evenings and crosses capacity
+		// only at the opening spike — which is why the paper's
+		// coarse-grained monitoring shows a pinned core while region
+		// loss stays in the 1e-5…1e-4 band.
+		HeavyHitterPps: 230_000,
+		AvgPacketBytes: 500,
+		Days:           8,
+		TickMinutes:    10,
+		FestStart:      4.5,
+		FestDays:       2.5,
+	}
+}
+
+// LegacyResult carries everything Figs. 4-7 plot.
+type LegacyResult struct {
+	// Time is the tick axis in fractional days.
+	Time []float64
+	// HotGatewayCores is the per-core utilization series of the gateway
+	// with the most overloaded core (Fig. 4), indexed [core][tick].
+	HotGatewayCores []metrics.Series
+	HotGateway      int
+	// GatewayMeanUtil is each gateway's mean core utilization over time
+	// (Fig. 6), indexed [gateway].
+	GatewayMeanUtil []metrics.Series
+	// RegionPps and RegionLoss are the Fig. 5 series.
+	RegionPps  metrics.Series
+	RegionLoss metrics.Series
+	// Scenes are overload snapshots for Fig. 7: the hot core's top-flow
+	// shares at distinct overload events.
+	Scenes []OverloadScene
+	// TotalLoss is the whole-window loss meter.
+	TotalLoss metrics.LossMeter
+}
+
+// OverloadScene is one Fig. 7 bar: the traffic mix on an overloaded core.
+type OverloadScene struct {
+	Day       float64
+	Gateway   int
+	Core      int
+	Top1Share float64
+	Top2Share float64
+	Flows     int
+}
+
+// RunLegacy simulates the XGW-x86 region tick by tick.
+func RunLegacy(cfg LegacyConfig) *LegacyResult {
+	if cfg.Gateways == 0 {
+		cfg = DefaultLegacyConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes := make([]*xgw86.Node, cfg.Gateways)
+	for i := range nodes {
+		nodes[i] = xgw86.NewNode(cfg.NodeCfg)
+	}
+	ecmp := lb.NewECMP(cfg.Gateways)
+	for i := 0; i < cfg.Gateways; i++ {
+		ecmp.AddNextHop(i)
+	}
+
+	// Build the flow population once: identities (hashes) persist across
+	// the window, which is what pins heavy hitters to one core for days.
+	type simFlow struct {
+		hash  uint64
+		gw    int
+		share float64 // of background load
+		heavy bool
+	}
+	flows := make([]simFlow, 0, cfg.BackgroundFlows+cfg.HeavyHitters)
+	var bgSum float64
+	for i := 0; i < cfg.BackgroundFlows; i++ {
+		w := 0.5 + rng.Float64() // mildly uneven background
+		bgSum += w
+		h := netpkt.HashUint64(rng.Uint64())
+		gw, _ := ecmp.PickHash(h)
+		flows = append(flows, simFlow{hash: h, gw: gw, share: w})
+	}
+	for i := range flows {
+		flows[i].share /= bgSum
+	}
+	for i := 0; i < cfg.HeavyHitters; i++ {
+		h := netpkt.HashUint64(rng.Uint64())
+		gw, _ := ecmp.PickHash(h)
+		// Hitters differ in size (0.75×…1.15×), so different overload
+		// scenes show different top-flow mixes, as in Fig. 7, and only
+		// the largest cross core capacity outside the festival spike.
+		flows = append(flows, simFlow{
+			hash: h, gw: gw, heavy: true,
+			share: 0.75 + 0.08*float64(i),
+		})
+	}
+
+	res := &LegacyResult{
+		HotGatewayCores: make([]metrics.Series, cfg.NodeCfg.Cores),
+		GatewayMeanUtil: make([]metrics.Series, cfg.Gateways),
+	}
+	// Per-gateway per-core util history, kept to pick the hot gateway at
+	// the end.
+	coreHist := make([][]metrics.Series, cfg.Gateways)
+	for g := range coreHist {
+		coreHist[g] = make([]metrics.Series, cfg.NodeCfg.Cores)
+	}
+
+	bytesPer := float64(cfg.AvgPacketBytes)
+	ticks := int(cfg.Days * 24 * 60 / cfg.TickMinutes)
+	perGW := make([][]xgw86.FlowLoad, cfg.Gateways)
+	lastSceneDay := -1.0
+	capturedCore := make(map[[2]int]bool) // (gateway, core) already in a scene
+	for tk := 0; tk < ticks; tk++ {
+		day := float64(tk) * cfg.TickMinutes / (24 * 60)
+		load := traffic.LoadAt(cfg.BasePps, day, cfg.FestStart, cfg.FestDays)
+		shape := load / cfg.BasePps
+		for g := range perGW {
+			perGW[g] = perGW[g][:0]
+		}
+		for _, f := range flows {
+			var pps float64
+			if f.heavy {
+				pps = cfg.HeavyHitterPps * f.share * shape
+			} else {
+				pps = f.share * load
+			}
+			perGW[f.gw] = append(perGW[f.gw], xgw86.FlowLoad{
+				Hash: f.hash, Pps: pps, Bps: pps * bytesPer * 8,
+			})
+		}
+		var offered, dropped float64
+		var scene OverloadScene
+		sceneUtil := 0.0
+		for g, fl := range perGW {
+			st := nodes[g].TickLoad(fl)
+			offered += st.OfferedPps
+			dropped += st.DroppedPps
+			res.GatewayMeanUtil[g].Append(day, st.MeanCoreUtil())
+			for c := range st.Cores {
+				coreHist[g][c].Append(day, st.Cores[c].Util)
+			}
+			// Track the tick's hottest not-yet-captured core for
+			// Fig. 7, so successive scenes show different cores.
+			for c := range st.Cores {
+				if capturedCore[[2]int{g, c}] {
+					continue
+				}
+				if st.Cores[c].Util > sceneUtil {
+					sceneUtil = st.Cores[c].Util
+					scene = OverloadScene{
+						Day: day, Gateway: g, Core: c,
+						Top1Share: st.Cores[c].Top1Share,
+						Top2Share: st.Cores[c].Top2Share,
+						Flows:     st.Cores[c].Flows,
+					}
+				}
+			}
+		}
+		// Record overload scenes spaced apart in time (Fig. 7 shows 12
+		// historical scenes).
+		// A core counts as overloaded at ≥95%: utilization here is
+		// tick-averaged, and the paper notes loss occurs when a core
+		// reaches 100% "even in a very short moment" within the sample.
+		if sceneUtil >= 0.95 && day-lastSceneDay > 0.1 && len(res.Scenes) < 12 {
+			res.Scenes = append(res.Scenes, scene)
+			capturedCore[[2]int{scene.Gateway, scene.Core}] = true
+			lastSceneDay = day
+		}
+		res.Time = append(res.Time, day)
+		res.RegionPps.Append(day, offered)
+		loss := 0.0
+		if offered > 0 {
+			loss = dropped / offered
+		}
+		if loss < 1e-12 {
+			loss = 0 // float residue from per-core clamping
+		}
+		res.RegionLoss.Append(day, loss)
+		secs := cfg.TickMinutes * 60
+		res.TotalLoss.Add(offered*secs, dropped*secs)
+	}
+
+	// Hot gateway: the one whose max core utilization peaked highest.
+	best, bestVal := 0, -1.0
+	for g := range coreHist {
+		for c := range coreHist[g] {
+			if m := coreHist[g][c].Max(); m > bestVal {
+				best, bestVal = g, m
+			}
+		}
+	}
+	res.HotGateway = best
+	res.HotGatewayCores = coreHist[best]
+	return res
+}
+
+func hottestCore(st xgw86.TickStats) int {
+	hot := 0
+	for i := range st.Cores {
+		if st.Cores[i].Util > st.Cores[hot].Util {
+			hot = i
+		}
+	}
+	return hot
+}
+
+// TopCores returns the indexes of the n cores with the highest mean
+// utilization on the hot gateway — the "top-5 cores out of 32" of Fig. 4.
+func (r *LegacyResult) TopCores(n int) []int {
+	type cu struct {
+		idx  int
+		mean float64
+	}
+	all := make([]cu, len(r.HotGatewayCores))
+	for i := range r.HotGatewayCores {
+		all[i] = cu{i, r.HotGatewayCores[i].Mean()}
+	}
+	for i := 0; i < n && i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].mean > all[i].mean {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n && i < len(all); i++ {
+		out = append(out, all[i].idx)
+	}
+	return out
+}

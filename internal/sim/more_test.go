@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+// Removing the heavy hitters collapses the loss by well over an order of
+// magnitude (a sliver may remain from background skew at the festival
+// spike) — isolating the hitters as the §2.3 root cause.
+func TestLegacyNoHittersNoLoss(t *testing.T) {
+	with := RunLegacy(shrunkLegacy())
+	cfg := shrunkLegacy()
+	cfg.HeavyHitters = 0
+	without := RunLegacy(cfg)
+	if without.TotalLoss.Rate() > with.TotalLoss.Rate()/10 {
+		t.Fatalf("hitters not the dominant loss cause: %v with, %v without",
+			with.TotalLoss.Rate(), without.TotalLoss.Rate())
+	}
+}
+
+// Doubling the heavy hitters' size worsens loss: the model responds to the
+// variable the paper blames.
+func TestLegacyLossScalesWithHitters(t *testing.T) {
+	base := shrunkLegacy()
+	res1 := RunLegacy(base)
+	big := base
+	big.HeavyHitterPps *= 2
+	res2 := RunLegacy(big)
+	if res2.TotalLoss.Rate() <= res1.TotalLoss.Rate() {
+		t.Fatalf("bigger hitters did not worsen loss: %v vs %v",
+			res1.TotalLoss.Rate(), res2.TotalLoss.Rate())
+	}
+}
+
+// Adding clusters lowers per-node utilization and therefore tail loss.
+func TestSailfishMoreClustersLessLoss(t *testing.T) {
+	small := shrunkSailfish()
+	small.Clusters = 2
+	large := shrunkSailfish()
+	large.Clusters = 6
+	rs := RunSailfish(small)
+	rl := RunSailfish(large)
+	if rl.TotalLoss.Rate() >= rs.TotalLoss.Rate() {
+		t.Fatalf("more clusters did not reduce loss: %v vs %v",
+			rs.TotalLoss.Rate(), rl.TotalLoss.Rate())
+	}
+}
+
+func TestSailfishDeterministic(t *testing.T) {
+	a := RunSailfish(shrunkSailfish())
+	b := RunSailfish(shrunkSailfish())
+	if a.TotalLoss.Rate() != b.TotalLoss.Rate() || a.PipeImbalance() != b.PipeImbalance() {
+		t.Fatal("sailfish sim not deterministic")
+	}
+}
+
+// The capacity helper matches the device model.
+func TestCapacityGbpsConsistent(t *testing.T) {
+	cfg := DefaultSailfishConfig()
+	want := float64(cfg.Clusters*cfg.NodesPerCluster) * 3200
+	if got := cfg.CapacityGbps(); got != want {
+		t.Fatalf("capacity = %v, want %v", got, want)
+	}
+}
+
+// Time axes align across all series of a run.
+func TestSeriesAligned(t *testing.T) {
+	res := RunSailfish(shrunkSailfish())
+	n := len(res.Time)
+	if res.RegionGbps.Len() != n || res.RegionLoss.Len() != n ||
+		res.FallbackGbps.Len() != n || res.FallbackRatio.Len() != n {
+		t.Fatal("series lengths diverge")
+	}
+	for c := range res.PipeGbps {
+		if res.PipeGbps[c][0].Len() != n || res.PipeGbps[c][1].Len() != n {
+			t.Fatal("pipe series lengths diverge")
+		}
+	}
+	leg := RunLegacy(shrunkLegacy())
+	if leg.RegionPps.Len() != len(leg.Time) || leg.RegionLoss.Len() != len(leg.Time) {
+		t.Fatal("legacy series lengths diverge")
+	}
+	for _, s := range leg.GatewayMeanUtil {
+		if s.Len() != len(leg.Time) {
+			t.Fatal("gateway series lengths diverge")
+		}
+	}
+}

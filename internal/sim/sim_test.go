@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+)
+
+// shrink returns a fast config for unit tests: 2 simulated days at coarse
+// ticks.
+func shrunkLegacy() LegacyConfig {
+	cfg := DefaultLegacyConfig()
+	cfg.Days = 2
+	cfg.TickMinutes = 30
+	cfg.FestStart, cfg.FestDays = 0.8, 0.8
+	cfg.BackgroundFlows = 4000
+	return cfg
+}
+
+func TestLegacyOneCorePinnedOthersLight(t *testing.T) {
+	res := RunLegacy(shrunkLegacy())
+	top := res.TopCores(5)
+	if len(top) != 5 {
+		t.Fatalf("top cores = %v", top)
+	}
+	hot := res.HotGatewayCores[top[0]]
+	cool := res.HotGatewayCores[top[4]]
+	// Fig. 4's shape: the hottest core sits near or beyond saturation
+	// while the 5th is far below it.
+	if hot.Max() < 0.9 {
+		t.Fatalf("hot core peaked at %.2f, want ≈1", hot.Max())
+	}
+	if cool.Mean() > hot.Mean()/2 {
+		t.Fatalf("core skew too weak: hot mean %.2f vs 5th %.2f", hot.Mean(), cool.Mean())
+	}
+}
+
+func TestLegacyGatewaysBalanced(t *testing.T) {
+	res := RunLegacy(shrunkLegacy())
+	// Fig. 6: node-granularity utilization is balanced — max/min mean
+	// across gateways stays small even while one core is overloaded.
+	lo, hi := 1e9, 0.0
+	for _, s := range res.GatewayMeanUtil {
+		m := s.Mean()
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi > lo*1.8 {
+		t.Fatalf("gateway imbalance: %.3f vs %.3f", lo, hi)
+	}
+	if hi > 0.6 {
+		t.Fatalf("gateways should be lightly loaded on average, got %.2f", hi)
+	}
+}
+
+func TestLegacyLossBand(t *testing.T) {
+	res := RunLegacy(shrunkLegacy())
+	rate := res.TotalLoss.Rate()
+	// Fig. 5: losses in the 1e-5…1e-4 band (tolerate one order around).
+	if rate < 1e-6 || rate > 5e-3 {
+		t.Fatalf("legacy loss %.2e outside Fig. 5 band", rate)
+	}
+	// Loss must spike during the festival relative to the quiet start.
+	if res.RegionLoss.Max() <= 0 {
+		t.Fatal("no loss recorded at all")
+	}
+}
+
+func TestLegacyScenesDominatedByTopFlows(t *testing.T) {
+	res := RunLegacy(shrunkLegacy())
+	if len(res.Scenes) == 0 {
+		t.Fatal("no overload scenes captured")
+	}
+	for _, s := range res.Scenes {
+		if s.Top2Share < 0.5 {
+			t.Fatalf("scene at day %.2f: top-2 share %.2f — heavy hitters must dominate", s.Day, s.Top2Share)
+		}
+		if s.Flows < 2 {
+			t.Fatalf("scene has %d flows", s.Flows)
+		}
+	}
+}
+
+func TestLegacyDeterministic(t *testing.T) {
+	a := RunLegacy(shrunkLegacy())
+	b := RunLegacy(shrunkLegacy())
+	if a.TotalLoss.Rate() != b.TotalLoss.Rate() || a.HotGateway != b.HotGateway {
+		t.Fatal("legacy sim not deterministic")
+	}
+}
+
+func shrunkSailfish() SailfishConfig {
+	cfg := DefaultSailfishConfig()
+	cfg.Days = 2
+	cfg.TickMinutes = 30
+	cfg.FestStart, cfg.FestDays = 0.8, 0.8
+	return cfg
+}
+
+func TestSailfishLossBand(t *testing.T) {
+	res := RunSailfish(shrunkSailfish())
+	rate := res.TotalLoss.Rate()
+	// Fig. 19: 1e-11…1e-10 — six orders below the legacy region.
+	if rate < 1e-12 || rate > 1e-9 {
+		t.Fatalf("sailfish loss %.2e outside Fig. 19 band", rate)
+	}
+	legacy := RunLegacy(shrunkLegacy())
+	if legacy.TotalLoss.Rate()/rate < 1e4 {
+		t.Fatalf("improvement only %.1e×, paper reports ~1e6×",
+			legacy.TotalLoss.Rate()/rate)
+	}
+}
+
+func TestSailfishPipeBalance(t *testing.T) {
+	res := RunSailfish(shrunkSailfish())
+	if imb := res.PipeImbalance(); imb > 0.15 {
+		t.Fatalf("pipe imbalance %.3f, want < 15%% (Figs. 20-21)", imb)
+	}
+	// Both pipes of every cluster must actually carry traffic.
+	for c := range res.PipeGbps {
+		if res.PipeGbps[c][0].Mean() <= 0 || res.PipeGbps[c][1].Mean() <= 0 {
+			t.Fatalf("cluster %d: a pipe carries nothing", c)
+		}
+	}
+}
+
+func TestSailfishFallbackSliver(t *testing.T) {
+	res := RunSailfish(shrunkSailfish())
+	// Fig. 22: ratio < 0.2‰ and the software pool far from overload.
+	if r := res.FallbackRatio.Max(); r >= 2e-4 {
+		t.Fatalf("fallback ratio %.2e, want < 2e-4", r)
+	}
+	if res.FallbackGbps.Mean() <= 0 {
+		t.Fatal("no fallback traffic at all")
+	}
+	if u := res.FallbackMaxCoreUtil.Max(); u > 0.5 {
+		t.Fatalf("fallback pool core util %.2f — must be far from overload", u)
+	}
+}
+
+func TestSailfishCapacityHeadroom(t *testing.T) {
+	cfg := shrunkSailfish()
+	cap := cfg.CapacityGbps()
+	res := RunSailfish(cfg)
+	if peak := res.RegionGbps.Max(); peak > cap*0.8 {
+		t.Fatalf("peak %.0f Gbps vs capacity %.0f — headroom story broken", peak, cap)
+	}
+	// "Dozens of Tbps": the region peak must exceed 10 Tbps.
+	if res.RegionGbps.Max() < 10_000 {
+		t.Fatalf("region peak %.0f Gbps — not cloud scale", res.RegionGbps.Max())
+	}
+}
+
+func BenchmarkRunLegacyDay(b *testing.B) {
+	cfg := shrunkLegacy()
+	cfg.Days = 1
+	for i := 0; i < b.N; i++ {
+		RunLegacy(cfg)
+	}
+}

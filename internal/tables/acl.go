@@ -1,0 +1,93 @@
+package tables
+
+import (
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+)
+
+// ACLAction is the verdict of an ACL rule.
+type ACLAction uint8
+
+const (
+	// ACLPermit lets the packet proceed.
+	ACLPermit ACLAction = iota
+	// ACLDeny drops the packet.
+	ACLDeny
+)
+
+// ACLRule is one five-tuple filter. Zero-valued fields are wildcards:
+// an invalid Prefix matches any address, Proto 0 matches any protocol and a
+// zero port range matches any port.
+type ACLRule struct {
+	Src       netip.Prefix
+	Dst       netip.Prefix
+	Proto     netpkt.IPProtocol
+	SrcPortLo uint16
+	SrcPortHi uint16
+	DstPortLo uint16
+	DstPortHi uint16
+	Action    ACLAction
+	Priority  int
+}
+
+func (r *ACLRule) matches(f netpkt.Flow) bool {
+	if r.Src.IsValid() && !r.Src.Contains(f.Src) {
+		return false
+	}
+	if r.Dst.IsValid() && !r.Dst.Contains(f.Dst) {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != f.Proto {
+		return false
+	}
+	if r.SrcPortHi != 0 && (f.SrcPort < r.SrcPortLo || f.SrcPort > r.SrcPortHi) {
+		return false
+	}
+	if r.DstPortHi != 0 && (f.DstPort < r.DstPortLo || f.DstPort > r.DstPortHi) {
+		return false
+	}
+	return true
+}
+
+// ACL is a per-tenant ordered rule list (one of the QoS/SLA service tables
+// of §3.3). Rules are evaluated highest priority first; the default verdict
+// for an empty or non-matching list is permit, matching the production
+// default of open east-west traffic inside a VPC.
+type ACL struct {
+	rules map[netpkt.VNI][]ACLRule
+	n     int
+}
+
+// NewACL returns an empty ACL table.
+func NewACL() *ACL {
+	return &ACL{rules: make(map[netpkt.VNI][]ACLRule)}
+}
+
+// Len returns the total number of rules across tenants.
+func (a *ACL) Len() int { return a.n }
+
+// Insert installs a rule for the tenant. Rules with higher priority are
+// evaluated first; ties preserve insertion order.
+func (a *ACL) Insert(vni netpkt.VNI, r ACLRule) {
+	rs := a.rules[vni]
+	i := len(rs)
+	for i > 0 && rs[i-1].Priority < r.Priority {
+		i--
+	}
+	rs = append(rs, ACLRule{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	a.rules[vni] = rs
+	a.n++
+}
+
+// Check returns the verdict for the flow under the tenant's rules.
+func (a *ACL) Check(vni netpkt.VNI, f netpkt.Flow) ACLAction {
+	for i := range a.rules[vni] {
+		if a.rules[vni][i].matches(f) {
+			return a.rules[vni][i].Action
+		}
+	}
+	return ACLPermit
+}

@@ -1,0 +1,99 @@
+package tables
+
+import (
+	"time"
+
+	"sailfish/internal/netpkt"
+)
+
+// Meter is a per-tenant token-bucket rate limiter — the "meter" service
+// table of §3.3, and the mechanism §4.2 prescribes for protecting XGW-x86
+// from being flooded by the fallback path ("rate limiting is necessary at
+// XGW-H before forwarding the traffic to XGW-x86").
+//
+// Time is passed in explicitly so the simulator can drive meters on virtual
+// time; the meter never reads the wall clock.
+type Meter struct {
+	buckets map[netpkt.VNI]*bucket
+	// DefaultRate/DefaultBurst apply to tenants without an explicit shape.
+	DefaultRate  float64 // bytes per second; 0 = unmetered
+	DefaultBurst float64 // bucket depth in bytes
+}
+
+type bucket struct {
+	rate   float64 // bytes/sec
+	burst  float64 // max tokens
+	tokens float64
+	last   time.Time
+}
+
+// NewMeter returns a meter table with no per-tenant shapes installed.
+func NewMeter() *Meter {
+	return &Meter{buckets: make(map[netpkt.VNI]*bucket)}
+}
+
+// SetShape installs a token-bucket shape for the tenant.
+func (m *Meter) SetShape(vni netpkt.VNI, bytesPerSec, burstBytes float64) {
+	m.buckets[vni] = &bucket{rate: bytesPerSec, burst: burstBytes, tokens: burstBytes}
+}
+
+// Allow reports whether a packet of n bytes for the tenant conforms at the
+// given instant, consuming tokens when it does.
+func (m *Meter) Allow(vni netpkt.VNI, n int, now time.Time) bool {
+	b := m.buckets[vni]
+	if b == nil {
+		if m.DefaultRate == 0 {
+			return true
+		}
+		b = &bucket{rate: m.DefaultRate, burst: m.DefaultBurst, tokens: m.DefaultBurst}
+		m.buckets[vni] = b
+	}
+	if b.last.IsZero() {
+		b.last = now
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= float64(n) {
+		b.tokens -= float64(n)
+		return true
+	}
+	return false
+}
+
+// Counters is the per-tenant packet/byte counter service table, installed
+// per SLA (§3.3). It is deliberately simple: the data plane increments it on
+// the hot path, the controller reads and resets it on the slow path.
+type Counters struct {
+	pkts  map[netpkt.VNI]uint64
+	bytes map[netpkt.VNI]uint64
+}
+
+// NewCounters returns an empty counter table.
+func NewCounters() *Counters {
+	return &Counters{pkts: make(map[netpkt.VNI]uint64), bytes: make(map[netpkt.VNI]uint64)}
+}
+
+// Add records one packet of n bytes for the tenant.
+func (c *Counters) Add(vni netpkt.VNI, n int) {
+	c.pkts[vni]++
+	c.bytes[vni] += uint64(n)
+}
+
+// Read returns the tenant's totals.
+func (c *Counters) Read(vni netpkt.VNI) (pkts, bytes uint64) {
+	return c.pkts[vni], c.bytes[vni]
+}
+
+// Reset zeroes the tenant's totals, returning the values read.
+func (c *Counters) Reset(vni netpkt.VNI) (pkts, bytes uint64) {
+	p, b := c.pkts[vni], c.bytes[vni]
+	delete(c.pkts, vni)
+	delete(c.bytes, vni)
+	return p, b
+}

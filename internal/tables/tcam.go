@@ -1,0 +1,115 @@
+package tables
+
+import (
+	"fmt"
+)
+
+// TCAM models a ternary content-addressable memory: an ordered list of
+// value/mask rules searched in priority order, first match wins. It is the
+// software reference for the Tofino's ternary match units and the first
+// level of ALPM.
+//
+// Keys are fixed-width byte strings; a rule matches when
+// (key & rule.Mask) == rule.Value (Value is stored pre-masked).
+type TCAM[V any] struct {
+	width int // key width in bytes
+	rules []tcamRule[V]
+}
+
+type tcamRule[V any] struct {
+	value []byte
+	mask  []byte
+	prio  int // higher wins
+	v     V
+}
+
+// NewTCAM returns an empty TCAM over keys of width bytes.
+func NewTCAM[V any](width int) *TCAM[V] {
+	return &TCAM[V]{width: width}
+}
+
+// Width returns the key width in bytes.
+func (t *TCAM[V]) Width() int { return t.width }
+
+// Len returns the number of installed rules.
+func (t *TCAM[V]) Len() int { return len(t.rules) }
+
+// Insert installs a rule. Higher priority values match first; among equal
+// priorities the earlier insertion wins, mirroring hardware slot order.
+func (t *TCAM[V]) Insert(value, mask []byte, prio int, v V) error {
+	if len(value) != t.width || len(mask) != t.width {
+		return fmt.Errorf("tables: tcam rule width %d/%d, want %d", len(value), len(mask), t.width)
+	}
+	r := tcamRule[V]{value: make([]byte, t.width), mask: make([]byte, t.width), prio: prio, v: v}
+	for i := range value {
+		r.mask[i] = mask[i]
+		r.value[i] = value[i] & mask[i]
+	}
+	// Keep rules sorted by descending priority with stable order; insert
+	// after the last rule with priority >= prio.
+	i := len(t.rules)
+	for i > 0 && t.rules[i-1].prio < prio {
+		i--
+	}
+	t.rules = append(t.rules, tcamRule[V]{})
+	copy(t.rules[i+1:], t.rules[i:])
+	t.rules[i] = r
+	return nil
+}
+
+// Lookup returns the value of the first (highest-priority) matching rule.
+func (t *TCAM[V]) Lookup(key []byte) (v V, ok bool) {
+	if len(key) != t.width {
+		return v, false
+	}
+scan:
+	for i := range t.rules {
+		r := &t.rules[i]
+		for j := 0; j < t.width; j++ {
+			if key[j]&r.mask[j] != r.value[j] {
+				continue scan
+			}
+		}
+		return r.v, true
+	}
+	return v, false
+}
+
+// Delete removes the first rule exactly matching value/mask/prio and reports
+// whether one was found.
+func (t *TCAM[V]) Delete(value, mask []byte, prio int) bool {
+	if len(value) != t.width || len(mask) != t.width {
+		return false
+	}
+	for i := range t.rules {
+		r := &t.rules[i]
+		if r.prio != prio {
+			continue
+		}
+		same := true
+		for j := 0; j < t.width; j++ {
+			if r.mask[j] != mask[j] || r.value[j] != value[j]&mask[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear removes every rule, retaining capacity.
+func (t *TCAM[V]) Clear() { t.rules = t.rules[:0] }
+
+// Walk visits rules in match order. Returning false stops the walk.
+func (t *TCAM[V]) Walk(fn func(value, mask []byte, prio int, v V) bool) {
+	for i := range t.rules {
+		r := &t.rules[i]
+		if !fn(r.value, r.mask, r.prio, r.v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package tables implements the forwarding-table substrate of the Sailfish
+// gateway: a longest-prefix-match trie, a software TCAM, exact-match tables,
+// and the concrete gateway tables built from them — the VXLAN routing table,
+// the VM-NC mapping table, the SNAT session table, and the QoS/ACL service
+// tables.
+//
+// These structures are behavioral: they answer lookups the way the hardware
+// or software data plane would. Resource accounting (how many SRAM/TCAM bits
+// a table occupies on the Tofino) lives in internal/tofino and
+// internal/xgwh, which consume table *shapes* rather than contents.
+package tables
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Trie is a binary longest-prefix-match trie over fixed-width bit strings
+// (32 for IPv4, 128 for IPv6). The zero value is not usable; construct with
+// NewTrie.
+type Trie[V any] struct {
+	bits int
+	root *trieNode[V]
+	n    int
+}
+
+type trieNode[V any] struct {
+	child    [2]*trieNode[V]
+	hasValue bool
+	value    V
+}
+
+// NewTrie returns an empty trie over keys of the given width in bits
+// (32 or 128).
+func NewTrie[V any](bits int) *Trie[V] {
+	if bits != 32 && bits != 128 {
+		panic(fmt.Sprintf("tables: trie width must be 32 or 128, got %d", bits))
+	}
+	return &Trie[V]{bits: bits, root: &trieNode[V]{}}
+}
+
+// Bits returns the key width of the trie.
+func (t *Trie[V]) Bits() int { return t.bits }
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.n }
+
+// addrBit returns bit i (0 = most significant) of the address bytes.
+func addrBit(a []byte, i int) int {
+	return int(a[i/8]>>(7-i%8)) & 1
+}
+
+func (t *Trie[V]) keyBytes(a netip.Addr) ([]byte, bool) {
+	if t.bits == 32 {
+		if !a.Is4() {
+			return nil, false
+		}
+		b := a.As4()
+		return b[:], true
+	}
+	if a.Is4() {
+		return nil, false
+	}
+	b := a.As16()
+	return b[:], true
+}
+
+// Insert adds or replaces the value for prefix p. It reports an error if the
+// prefix's family does not match the trie width.
+func (t *Trie[V]) Insert(p netip.Prefix, v V) error {
+	key, ok := t.keyBytes(p.Addr())
+	if !ok {
+		return fmt.Errorf("tables: prefix %v does not fit %d-bit trie", p, t.bits)
+	}
+	if p.Bits() < 0 || p.Bits() > t.bits {
+		return fmt.Errorf("tables: bad prefix length %d", p.Bits())
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := addrBit(key, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.hasValue {
+		t.n++
+	}
+	n.hasValue = true
+	n.value = v
+	return nil
+}
+
+// Delete removes prefix p and reports whether it was present. Interior nodes
+// left empty are pruned so memory tracks the live prefix set.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	key, ok := t.keyBytes(p.Addr())
+	if !ok || p.Bits() < 0 || p.Bits() > t.bits {
+		return false
+	}
+	// Record the path to unwind afterwards.
+	path := make([]*trieNode[V], 0, p.Bits()+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[addrBit(key, i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.hasValue {
+		return false
+	}
+	n.hasValue = false
+	var zero V
+	n.value = zero
+	t.n--
+	// Prune childless, valueless nodes bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.hasValue || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := addrBit(key, i-1)
+		parent.child[b] = nil
+	}
+	return true
+}
+
+// Lookup returns the value of the longest prefix covering addr, the length of
+// that prefix, and whether any prefix matched.
+func (t *Trie[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
+	key, kok := t.keyBytes(addr)
+	if !kok {
+		return v, 0, false
+	}
+	n := t.root
+	for i := 0; ; i++ {
+		if n.hasValue {
+			v, plen, ok = n.value, i, true
+		}
+		if i == t.bits {
+			return v, plen, ok
+		}
+		n = n.child[addrBit(key, i)]
+		if n == nil {
+			return v, plen, ok
+		}
+	}
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (v V, ok bool) {
+	key, kok := t.keyBytes(p.Addr())
+	if !kok || p.Bits() < 0 || p.Bits() > t.bits {
+		return v, false
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[addrBit(key, i)]
+		if n == nil {
+			return v, false
+		}
+	}
+	if !n.hasValue {
+		return v, false
+	}
+	return n.value, true
+}
+
+// Walk visits every stored prefix in lexicographic bit order. Returning false
+// from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	var key [16]byte
+	t.walk(t.root, key[:t.bits/8], 0, fn)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], key []byte, depth int, fn func(netip.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue {
+		var addr netip.Addr
+		if t.bits == 32 {
+			addr = netip.AddrFrom4([4]byte(key[:4]))
+		} else {
+			addr = netip.AddrFrom16([16]byte(key[:16]))
+		}
+		if !fn(netip.PrefixFrom(addr, depth), n.value) {
+			return false
+		}
+	}
+	if depth == t.bits {
+		return true
+	}
+	if c := n.child[0]; c != nil {
+		if !t.walk(c, key, depth+1, fn) {
+			return false
+		}
+	}
+	if c := n.child[1]; c != nil {
+		key[depth/8] |= 1 << (7 - depth%8)
+		ok := t.walk(c, key, depth+1, fn)
+		key[depth/8] &^= 1 << (7 - depth%8)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+// Package telemetry implements a Vtrace-style in-network diagnostic service
+// (§3.1 cites Vtrace as one of the proprietary protocols that pushed
+// Alibaba toward programmable ASICs): operator-selected flows are marked by
+// match rules, every device they traverse emits a postcard report to a
+// collector, and the collector reconstructs per-flow paths to localize
+// persistent packet loss — the production problem Vtrace automates.
+package telemetry
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"sailfish/internal/netpkt"
+)
+
+// Rule selects flows to trace: a VNI plus an optional destination prefix
+// (invalid prefix = the whole VNI).
+type Rule struct {
+	VNI netpkt.VNI
+	Dst netip.Prefix
+}
+
+// Matcher is the data-plane half: a small rule table every device consults
+// per packet (the "telemetry" ternary service table of the Table-4
+// workload).
+type Matcher struct {
+	rules []Rule
+}
+
+// NewMatcher returns an empty matcher.
+func NewMatcher() *Matcher { return &Matcher{} }
+
+// Add installs a trace rule.
+func (m *Matcher) Add(r Rule) { m.rules = append(m.rules, r) }
+
+// Clear removes all rules.
+func (m *Matcher) Clear() { m.rules = m.rules[:0] }
+
+// Len returns the rule count.
+func (m *Matcher) Len() int { return len(m.rules) }
+
+// Match reports whether a packet (vni, inner dst) is traced.
+func (m *Matcher) Match(vni netpkt.VNI, dst netip.Addr) bool {
+	for _, r := range m.rules {
+		if r.VNI != vni {
+			continue
+		}
+		if !r.Dst.IsValid() || r.Dst.Contains(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlowKey identifies a traced flow.
+type FlowKey struct {
+	VNI netpkt.VNI
+	Src netip.Addr
+	Dst netip.Addr
+}
+
+// HopReport is one device's postcard for one packet.
+type HopReport struct {
+	Device string
+	Flow   FlowKey
+	// Seq orders a flow's packets; the sender stamps it.
+	Seq uint64
+	// Action is the device's verdict ("forward", "fallback",
+	// "drop:<reason>").
+	Action string
+	// TimeNs is the device-local timestamp.
+	TimeNs int64
+}
+
+// Collector aggregates postcards and answers diagnostic queries. It is the
+// control-plane half; safe for concurrent reporting from many devices.
+type Collector struct {
+	mu      sync.Mutex
+	reports map[FlowKey][]HopReport
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{reports: make(map[FlowKey][]HopReport)}
+}
+
+// Report ingests one postcard.
+func (c *Collector) Report(r HopReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports[r.Flow] = append(c.reports[r.Flow], r)
+}
+
+// Flows returns the traced flows in deterministic order.
+func (c *Collector) Flows() []FlowKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FlowKey, 0, len(c.reports))
+	for k := range c.reports {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.VNI != b.VNI {
+			return a.VNI < b.VNI
+		}
+		if a.Src != b.Src {
+			return a.Src.Less(b.Src)
+		}
+		return a.Dst.Less(b.Dst)
+	})
+	return out
+}
+
+// Path returns a flow's reports ordered by sequence then timestamp.
+func (c *Collector) Path(k FlowKey) []HopReport {
+	c.mu.Lock()
+	rs := append([]HopReport(nil), c.reports[k]...)
+	c.mu.Unlock()
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Seq != rs[j].Seq {
+			return rs[i].Seq < rs[j].Seq
+		}
+		return rs[i].TimeNs < rs[j].TimeNs
+	})
+	return rs
+}
+
+// Finding is one diagnostic conclusion about a flow.
+type Finding struct {
+	Flow FlowKey
+	// Kind is "drop" (a device reported dropping), or "vanish" (the flow
+	// was seen at an earlier hop but produced no report at a later
+	// expected hop — the persistent-loss signature Vtrace hunts).
+	Kind string
+	// Where is the device that dropped, or the last device that saw the
+	// flow before it vanished.
+	Where  string
+	Detail string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%v %v→%v: %s at %s (%s)", f.Flow.VNI, f.Flow.Src, f.Flow.Dst, f.Kind, f.Where, f.Detail)
+}
+
+// Diagnose scans every traced flow against the expected hop sequence and
+// reports drops and vanishing points. expectedHops is the ordered device
+// list a healthy packet traverses (e.g. gateway node then NC).
+func (c *Collector) Diagnose(expectedHops []string) []Finding {
+	var out []Finding
+	for _, k := range c.Flows() {
+		path := c.Path(k)
+		// Explicit drops win.
+		dropped := false
+		for _, r := range path {
+			if strings.HasPrefix(r.Action, "drop") {
+				out = append(out, Finding{Flow: k, Kind: "drop", Where: r.Device, Detail: r.Action})
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		// Vanish detection: find the furthest expected hop reached.
+		seen := map[string]bool{}
+		for _, r := range path {
+			seen[r.Device] = true
+		}
+		last := -1
+		for i, h := range expectedHops {
+			if seen[h] {
+				last = i
+			}
+		}
+		if last >= 0 && last < len(expectedHops)-1 {
+			out = append(out, Finding{
+				Flow: k, Kind: "vanish", Where: expectedHops[last],
+				Detail: fmt.Sprintf("never reached %s", expectedHops[last+1]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"sailfish/internal/netpkt"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestMatcherRules(t *testing.T) {
+	m := NewMatcher()
+	if m.Match(1, addr("10.0.0.1")) {
+		t.Fatal("empty matcher matched")
+	}
+	m.Add(Rule{VNI: 100, Dst: pfx("192.168.0.0/24")})
+	m.Add(Rule{VNI: 200}) // whole VNI
+	cases := []struct {
+		vni  netpkt.VNI
+		dst  string
+		want bool
+	}{
+		{100, "192.168.0.5", true},
+		{100, "192.168.1.5", false},
+		{200, "8.8.8.8", true},
+		{300, "192.168.0.5", false},
+	}
+	for _, c := range cases {
+		if got := m.Match(c.vni, addr(c.dst)); got != c.want {
+			t.Errorf("Match(%v,%s) = %v", c.vni, c.dst, got)
+		}
+	}
+	m.Clear()
+	if m.Len() != 0 || m.Match(200, addr("8.8.8.8")) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestCollectorPathOrdering(t *testing.T) {
+	c := NewCollector()
+	k := FlowKey{VNI: 1, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	c.Report(HopReport{Device: "b", Flow: k, Seq: 2, TimeNs: 20})
+	c.Report(HopReport{Device: "a", Flow: k, Seq: 1, TimeNs: 10})
+	c.Report(HopReport{Device: "c", Flow: k, Seq: 2, TimeNs: 30})
+	path := c.Path(k)
+	if len(path) != 3 || path[0].Device != "a" || path[1].Device != "b" || path[2].Device != "c" {
+		t.Fatalf("path = %+v", path)
+	}
+}
+
+func TestDiagnoseDropAndVanish(t *testing.T) {
+	c := NewCollector()
+	healthy := FlowKey{VNI: 1, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	dropped := FlowKey{VNI: 1, Src: addr("10.0.0.1"), Dst: addr("10.0.0.3")}
+	vanished := FlowKey{VNI: 1, Src: addr("10.0.0.1"), Dst: addr("10.0.0.4")}
+	hops := []string{"gw-0", "nc-1"}
+
+	c.Report(HopReport{Device: "gw-0", Flow: healthy, Action: "forward"})
+	c.Report(HopReport{Device: "nc-1", Flow: healthy, Action: "forward"})
+	c.Report(HopReport{Device: "gw-0", Flow: dropped, Action: "drop:acl_deny"})
+	c.Report(HopReport{Device: "gw-0", Flow: vanished, Action: "forward"})
+
+	findings := c.Diagnose(hops)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v", findings)
+	}
+	byKind := map[string]Finding{}
+	for _, f := range findings {
+		byKind[f.Kind] = f
+	}
+	d, ok := byKind["drop"]
+	if !ok || d.Where != "gw-0" || !strings.Contains(d.Detail, "acl_deny") {
+		t.Fatalf("drop finding = %+v", d)
+	}
+	v, ok := byKind["vanish"]
+	if !ok || v.Where != "gw-0" || !strings.Contains(v.Detail, "nc-1") {
+		t.Fatalf("vanish finding = %+v", v)
+	}
+}

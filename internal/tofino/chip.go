@@ -1,0 +1,123 @@
+// Package tofino models the programmable switching ASIC that XGW-H runs on:
+// a Tofino-like chip with four independent packet-processing pipelines, each
+// with a fixed number of match-action stages and per-stage SRAM/TCAM block
+// budgets, plus the architectural constraints the paper's compression
+// techniques are built around — pipeline folding through loopback ports,
+// metadata bridging between ingress and egress, and per-pipe memory
+// isolation.
+//
+// The model has two halves:
+//
+//   - a resource model (Layout): logical tables are placed into pipeline
+//     segments and their SRAM/TCAM block consumption is accounted exactly,
+//     reproducing the occupancy arithmetic of Tables 2-4 and Fig. 17;
+//   - a forwarding model (Device): packets traverse the configured segment
+//     program, accumulating per-pass latency and consuming per-pipe
+//     throughput, reproducing the performance shape of Fig. 18.
+//
+// Capacity constants are stated once in DefaultChip and are calibrated (see
+// DESIGN.md §5) so that the paper's O(1M)-entry workload yields the paper's
+// baseline occupancy; everything downstream is derived, not hard-coded.
+package tofino
+
+import "fmt"
+
+// ChipConfig holds the physical capacities of the modeled ASIC.
+type ChipConfig struct {
+	// Pipelines is the number of independent pipelines (pipes).
+	Pipelines int
+	// StagesPerPipe is the number of match-action stages per pipe; ingress
+	// and egress share the stages' memories.
+	StagesPerPipe int
+
+	// SRAMBlocksPerStage is the number of SRAM blocks in each stage.
+	SRAMBlocksPerStage int
+	// SRAMBlockWords is the number of words per SRAM block.
+	SRAMBlockWords int
+	// SRAMWordBits is the width of an SRAM word.
+	SRAMWordBits int
+
+	// TCAMBlocksPerStage is the number of TCAM blocks in each stage.
+	TCAMBlocksPerStage int
+	// TCAMBlockRows is the number of rows per TCAM block.
+	TCAMBlockRows int
+	// TCAMRowBits is the searchable width of one TCAM row; wider keys
+	// consume multiple row slices.
+	TCAMRowBits int
+
+	// PHVBits is the packet-header-vector budget: parsed headers plus
+	// metadata must fit in it (§6.2 "Metadata tweaks").
+	PHVBits int
+
+	// PortsPerPipe and PortGbps set the I/O capacity of each pipe.
+	PortsPerPipe int
+	PortGbps     int
+
+	// ClockGHz bounds the per-pipe packet rate: one packet enters a pipe
+	// per clock.
+	ClockGHz float64
+
+	// Per-pass latency components in nanoseconds.
+	ParserNs   float64
+	StageNs    float64
+	DeparserNs float64
+	TMNs       float64 // traffic manager crossing
+}
+
+// DefaultChip returns the calibrated chip model used throughout the
+// reproduction (see DESIGN.md §5). Its aggregate shape matches a Tofino
+// 6.4T: 4 pipes × 16×100G ports, ~0.9 GHz packet clock, and on-chip
+// memories in the tens of megabits per pipe with TCAM roughly 20% of SRAM.
+func DefaultChip() ChipConfig {
+	return ChipConfig{
+		Pipelines:          4,
+		StagesPerPipe:      12,
+		SRAMBlocksPerStage: 100,
+		SRAMBlockWords:     1024,
+		SRAMWordBits:       128,
+		TCAMBlocksPerStage: 105,
+		TCAMBlockRows:      512,
+		TCAMRowBits:        44,
+		PHVBits:            4096,
+		PortsPerPipe:       16,
+		PortGbps:           100,
+		ClockGHz:           0.9,
+		ParserNs:           100,
+		StageNs:            65,
+		DeparserNs:         100,
+		TMNs:               100,
+	}
+}
+
+// SRAMBlocksPerPipe returns the total SRAM blocks in one pipe.
+func (c ChipConfig) SRAMBlocksPerPipe() int { return c.StagesPerPipe * c.SRAMBlocksPerStage }
+
+// TCAMBlocksPerPipe returns the total TCAM blocks in one pipe.
+func (c ChipConfig) TCAMBlocksPerPipe() int { return c.StagesPerPipe * c.TCAMBlocksPerStage }
+
+// SRAMBitsPerPipe returns the SRAM capacity of one pipe in bits.
+func (c ChipConfig) SRAMBitsPerPipe() int {
+	return c.SRAMBlocksPerPipe() * c.SRAMBlockWords * c.SRAMWordBits
+}
+
+// TCAMRowsPerPipe returns the TCAM row capacity of one pipe.
+func (c ChipConfig) TCAMRowsPerPipe() int { return c.TCAMBlocksPerPipe() * c.TCAMBlockRows }
+
+// PipeGbps returns the I/O capacity of one pipe in Gbps.
+func (c ChipConfig) PipeGbps() float64 { return float64(c.PortsPerPipe * c.PortGbps) }
+
+// ChipGbps returns the aggregate I/O capacity in Gbps.
+func (c ChipConfig) ChipGbps() float64 { return float64(c.Pipelines) * c.PipeGbps() }
+
+// PassLatencyNs returns the fixed latency of one traversal of a pipe
+// (parser, all stages, deparser, traffic manager).
+func (c ChipConfig) PassLatencyNs() float64 {
+	return c.ParserNs + float64(c.StagesPerPipe)*c.StageNs + c.DeparserNs + c.TMNs
+}
+
+// String summarizes the chip for logs and reports.
+func (c ChipConfig) String() string {
+	return fmt.Sprintf("tofino(%d pipes × %d stages, %.1f Mbit SRAM + %d TCAM rows per pipe, %.1f Tbps)",
+		c.Pipelines, c.StagesPerPipe,
+		float64(c.SRAMBitsPerPipe())/1e6, c.TCAMRowsPerPipe(), c.ChipGbps()/1000)
+}

@@ -1,0 +1,419 @@
+package tofino
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Segment identifies one of the four pipeline traversal segments of the
+// folded packet path (Fig. 13): packets enter through the ingress of an even
+// pipe, cross the traffic manager into the egress of the paired odd pipe,
+// loop back through that pipe's ingress, and exit through the even pipe's
+// egress. Tables must be placed in segments consistent with lookup order.
+//
+// In unfolded mode only SegIngressEntry and SegEgressExit exist and both
+// draw on the same pipe's memory.
+type Segment int
+
+const (
+	// SegIngressEntry is Ingress Pipe 0/2 — the packet entry point.
+	SegIngressEntry Segment = iota
+	// SegEgressLoop is Egress Pipe 1/3 — before the loopback port.
+	SegEgressLoop
+	// SegIngressLoop is Ingress Pipe 1/3 — after the loopback port.
+	SegIngressLoop
+	// SegEgressExit is Egress Pipe 0/2 — the packet exit point.
+	SegEgressExit
+	numSegments
+)
+
+// String names the segment as the paper does.
+func (s Segment) String() string {
+	switch s {
+	case SegIngressEntry:
+		return "Ingress 0/2"
+	case SegEgressLoop:
+		return "Egress 1/3"
+	case SegIngressLoop:
+		return "Ingress 1/3"
+	case SegEgressExit:
+		return "Egress 0/2"
+	}
+	return fmt.Sprintf("Segment(%d)", int(s))
+}
+
+// pipeIndex maps a segment to the pipe (within a folded pair) whose memory
+// it consumes: 0 = the even (entry/exit) pipe, 1 = the odd (loopback) pipe.
+func (s Segment) pipeIndex(folded bool) int {
+	if !folded {
+		return 0
+	}
+	if s == SegEgressLoop || s == SegIngressLoop {
+		return 1
+	}
+	return 0
+}
+
+// SegmentShare records how many entries and blocks of a table landed in one
+// segment (per folded unit).
+type SegmentShare struct {
+	Seg        Segment
+	Entries    int
+	SRAMBlocks int
+	TCAMBlocks int
+	// StageStart/StageEnd are the match-action stages (inclusive) the
+	// share's blocks occupy. Dependent tables within a segment occupy
+	// non-decreasing stage ranges, as the chip's compiler enforces.
+	StageStart int
+	StageEnd   int
+}
+
+// Placement is the realized layout of one logical table.
+type Placement struct {
+	Spec           TableSpec // full logical entry count
+	EntriesPerUnit int       // entries each folded unit must hold
+	Shares         []SegmentShare
+	Overflowed     bool // true when capacity was exceeded and the
+	// remainder was force-placed in the preferred segment
+}
+
+// Layout places logical tables onto the chip and accounts block-level
+// SRAM/TCAM consumption. A Layout describes one folded unit (a pipe pair in
+// folded mode, a single pipe otherwise); all units of the chip are replicas
+// of it, optionally holding disjoint halves of each table's entries
+// (SplitUnits, §4.4 "table splitting between pipelines").
+type Layout struct {
+	Chip       ChipConfig
+	Folded     bool
+	SplitUnits bool
+	// BridgedMetadataBytes is appended to packets crossing gress
+	// boundaries with live metadata; the perf model charges it against
+	// throughput.
+	BridgedMetadataBytes int
+
+	placements []Placement
+	// per-pipe-within-unit usage, indexed 0 (even) / 1 (odd)
+	sramUsed [2]int
+	tcamUsed [2]int
+	// per-pipe per-stage block usage: stage memories are local (§3.3
+	// "each stage has its own SRAM and TCAM, and cannot access the memory
+	// resources of other stages").
+	stageSRAM [2][]int
+	stageTCAM [2][]int
+	// segCursor is the next admissible start stage per segment: a
+	// dependent table cannot begin before its predecessor's first stage.
+	segCursor [numSegments]int
+	// tables per segment, for the stage-count feasibility check
+	tablesPerSeg [numSegments]int
+	problems     []string
+	// resultPHVBits accumulates the metadata each table's lookup result
+	// occupies in the packet header vector.
+	resultPHVBits int
+}
+
+// PHV accounting constants: parsed headers (outer+inner stacks) occupy a
+// fixed share of the vector; each table's result metadata is carried up to
+// a capped width (wide action data like rewrite templates is consumed at
+// the deparser, not carried).
+const (
+	parsedHeaderPHVBits = 1000
+	maxResultPHVBits    = 64
+)
+
+// NewLayout returns an empty layout for the chip.
+func NewLayout(chip ChipConfig, folded, splitUnits bool) *Layout {
+	l := &Layout{Chip: chip, Folded: folded, SplitUnits: splitUnits}
+	for p := 0; p < 2; p++ {
+		l.stageSRAM[p] = make([]int, chip.StagesPerPipe)
+		l.stageTCAM[p] = make([]int, chip.StagesPerPipe)
+	}
+	return l
+}
+
+// Units returns the number of replicated folded units on the chip.
+func (l *Layout) Units() int {
+	if l.Folded {
+		return l.Chip.Pipelines / 2
+	}
+	return l.Chip.Pipelines
+}
+
+// pipesPerUnit returns how many physical pipes one unit spans.
+func (l *Layout) pipesPerUnit() int {
+	if l.Folded {
+		return 2
+	}
+	return 1
+}
+
+// Place assigns the table to the preferred segment, spilling remaining
+// entries into the listed spill segments when the preferred pipe's memory is
+// exhausted (§4.4 "mapping large tables across pipelines"). Spill segments
+// must not precede pref in lookup order. If nothing can absorb the
+// remainder it is force-placed in pref and the layout becomes infeasible —
+// deliberately so, since reporting >100% occupancy is how the baseline of
+// Table 2 is expressed.
+func (l *Layout) Place(spec TableSpec, pref Segment, spill ...Segment) error {
+	if !l.Folded && (pref == SegEgressLoop || pref == SegIngressLoop) {
+		return fmt.Errorf("tofino: segment %v requires folding", pref)
+	}
+	for _, s := range spill {
+		if s < pref {
+			return fmt.Errorf("tofino: spill segment %v precedes %v in lookup order", s, pref)
+		}
+		if !l.Folded && (s == SegEgressLoop || s == SegIngressLoop) {
+			return fmt.Errorf("tofino: segment %v requires folding", s)
+		}
+	}
+	perUnit := spec.Entries
+	if l.SplitUnits && l.Units() > 1 {
+		perUnit = ceilDiv(spec.Entries, l.Units())
+	}
+	p := Placement{Spec: spec, EntriesPerUnit: perUnit}
+	remaining := perUnit
+	segs := append([]Segment{pref}, spill...)
+	for _, seg := range segs {
+		if remaining == 0 {
+			break
+		}
+		pipe := seg.pipeIndex(l.Folded)
+		freeS := l.Chip.SRAMBlocksPerPipe() - l.sramUsed[pipe]
+		freeT := l.Chip.TCAMBlocksPerPipe() - l.tcamUsed[pipe]
+		take := maxEntriesFit(spec, remaining, freeS, freeT, l.Chip)
+		if take <= 0 {
+			continue
+		}
+		l.addShare(&p, seg, take)
+		remaining -= take
+	}
+	if remaining > 0 {
+		// Force-place the remainder: the chip is over capacity.
+		l.addShare(&p, pref, remaining)
+		p.Overflowed = true
+		l.problems = append(l.problems, fmt.Sprintf(
+			"table %s: %d entries exceed capacity of %v (and spill segments)",
+			spec.Name, remaining, pref))
+	}
+	l.placements = append(l.placements, p)
+	result := spec.ActionBits
+	if result > maxResultPHVBits {
+		result = maxResultPHVBits
+	}
+	l.resultPHVBits += result
+	return nil
+}
+
+// PHVBitsUsed returns the packet-header-vector demand of the program:
+// parsed headers, per-table result metadata, and bridged metadata (§6.2
+// "the on-chip PHV resources where metadata is stored are also scarce").
+func (l *Layout) PHVBitsUsed() int {
+	return parsedHeaderPHVBits + l.resultPHVBits + 8*l.BridgedMetadataBytes
+}
+
+func (l *Layout) addShare(p *Placement, seg Segment, entries int) {
+	part := p.Spec.WithEntries(entries)
+	sh := SegmentShare{
+		Seg:        seg,
+		Entries:    entries,
+		SRAMBlocks: part.SRAMBlocks(l.Chip),
+		TCAMBlocks: part.TCAMBlocks(l.Chip),
+	}
+	pipe := seg.pipeIndex(l.Folded)
+	l.sramUsed[pipe] += sh.SRAMBlocks
+	l.tcamUsed[pipe] += sh.TCAMBlocks
+	l.tablesPerSeg[seg]++
+	sh.StageStart, sh.StageEnd = l.assignStages(pipe, seg, p.Spec.Name, sh.SRAMBlocks, sh.TCAMBlocks)
+	p.Shares = append(p.Shares, sh)
+}
+
+// assignStages spreads a share's blocks over concrete stages, starting at
+// the segment's dependency cursor: a table cannot begin before its
+// predecessor in lookup order has begun resolving. Stage memories are
+// local, so a stage contributes only its own free blocks. Overflow beyond
+// the last stage is force-placed there and reported.
+func (l *Layout) assignStages(pipe int, seg Segment, name string, sram, tcam int) (start, end int) {
+	stages := l.Chip.StagesPerPipe
+	cursor := l.segCursor[seg]
+	if cursor >= stages {
+		cursor = stages - 1
+		l.problems = append(l.problems, fmt.Sprintf(
+			"table %s: no stage left in %v for a dependent table", name, seg))
+	}
+	start, end = -1, -1
+	remS, remT := sram, tcam
+	for st := cursor; st < stages && (remS > 0 || remT > 0); st++ {
+		took := false
+		if remS > 0 {
+			if free := l.Chip.SRAMBlocksPerStage - l.stageSRAM[pipe][st]; free > 0 {
+				take := free
+				if take > remS {
+					take = remS
+				}
+				l.stageSRAM[pipe][st] += take
+				remS -= take
+				took = true
+			}
+		}
+		if remT > 0 {
+			if free := l.Chip.TCAMBlocksPerStage - l.stageTCAM[pipe][st]; free > 0 {
+				take := free
+				if take > remT {
+					take = remT
+				}
+				l.stageTCAM[pipe][st] += take
+				remT -= take
+				took = true
+			}
+		}
+		if took {
+			if start < 0 {
+				start = st
+			}
+			end = st
+		}
+	}
+	if remS > 0 || remT > 0 {
+		// Stage memories exhausted: pile the remainder onto the last
+		// stage so occupancy reporting stays truthful.
+		l.stageSRAM[pipe][stages-1] += remS
+		l.stageTCAM[pipe][stages-1] += remT
+		if start < 0 {
+			start = stages - 1
+		}
+		end = stages - 1
+		l.problems = append(l.problems, fmt.Sprintf(
+			"table %s: %dS/%dT blocks beyond stage memories of %v", name, remS, remT, seg))
+	}
+	if start < 0 {
+		// Zero-block share: anchor it at the cursor.
+		start, end = cursor, cursor
+	}
+	l.segCursor[seg] = start + 1
+	return start, end
+}
+
+// StageUse reports per-stage block usage of one pipe within a unit
+// (0 = even/entry pipe, 1 = odd/loopback pipe).
+func (l *Layout) StageUse(pipe int) (sram, tcam []int) {
+	return append([]int(nil), l.stageSRAM[pipe]...), append([]int(nil), l.stageTCAM[pipe]...)
+}
+
+// maxEntriesFit returns the largest n ≤ limit such that n entries of spec
+// fit within the given free SRAM/TCAM blocks.
+func maxEntriesFit(spec TableSpec, limit, freeSRAM, freeTCAM int, c ChipConfig) int {
+	fits := func(n int) bool {
+		part := spec.WithEntries(n)
+		return part.SRAMBlocks(c) <= freeSRAM && part.TCAMBlocks(c) <= freeTCAM
+	}
+	if fits(limit) {
+		return limit
+	}
+	// sort.Search finds the smallest n in [0,limit] that does NOT fit.
+	n := sort.Search(limit, func(i int) bool { return !fits(i + 1) })
+	return n
+}
+
+// PipeUse reports one physical pipe's block consumption.
+type PipeUse struct {
+	Pipe       int
+	SRAMBlocks int
+	TCAMBlocks int
+	SRAMPct    float64
+	TCAMPct    float64
+}
+
+// OccupancyReport aggregates chip memory consumption, in the shape the paper
+// reports it: per pipe-class percentages and chip totals.
+type OccupancyReport struct {
+	PerPipe []PipeUse
+	// EvenSRAMPct/... average the even (entry/exit) pipes — "Pipeline
+	// 0/2" in Table 4 — and the odd (loopback) pipes — "Pipeline 1/3".
+	EvenSRAMPct, EvenTCAMPct float64
+	OddSRAMPct, OddTCAMPct   float64
+	// TotalSRAMPct/TotalTCAMPct are chip-wide used/capacity.
+	TotalSRAMPct, TotalTCAMPct float64
+}
+
+// Occupancy computes the block-level report. Percentages can exceed 100 when
+// tables were force-placed beyond capacity.
+func (l *Layout) Occupancy() OccupancyReport {
+	var rep OccupancyReport
+	sramCap := l.Chip.SRAMBlocksPerPipe()
+	tcamCap := l.Chip.TCAMBlocksPerPipe()
+	var totS, totT int
+	for unit := 0; unit < l.Units(); unit++ {
+		for within := 0; within < l.pipesPerUnit(); within++ {
+			pipe := unit*l.pipesPerUnit() + within
+			u := PipeUse{
+				Pipe:       pipe,
+				SRAMBlocks: l.sramUsed[within],
+				TCAMBlocks: l.tcamUsed[within],
+				SRAMPct:    100 * float64(l.sramUsed[within]) / float64(sramCap),
+				TCAMPct:    100 * float64(l.tcamUsed[within]) / float64(tcamCap),
+			}
+			rep.PerPipe = append(rep.PerPipe, u)
+			totS += u.SRAMBlocks
+			totT += u.TCAMBlocks
+		}
+	}
+	even := l.sramUsed[0]
+	rep.EvenSRAMPct = 100 * float64(even) / float64(sramCap)
+	rep.EvenTCAMPct = 100 * float64(l.tcamUsed[0]) / float64(tcamCap)
+	if l.Folded {
+		rep.OddSRAMPct = 100 * float64(l.sramUsed[1]) / float64(sramCap)
+		rep.OddTCAMPct = 100 * float64(l.tcamUsed[1]) / float64(tcamCap)
+	} else {
+		rep.OddSRAMPct, rep.OddTCAMPct = rep.EvenSRAMPct, rep.EvenTCAMPct
+	}
+	nPipes := len(rep.PerPipe)
+	rep.TotalSRAMPct = 100 * float64(totS) / float64(sramCap*nPipes)
+	rep.TotalTCAMPct = 100 * float64(totT) / float64(tcamCap*nPipes)
+	return rep
+}
+
+// Placements returns the realized placements in installation order.
+func (l *Layout) Placements() []Placement { return l.placements }
+
+// Feasible reports whether every table fit and every segment's dependency
+// chain fits the stage count.
+func (l *Layout) Feasible() bool { return len(l.Problems()) == 0 }
+
+// Problems lists the reasons the layout cannot be compiled onto the chip.
+func (l *Layout) Problems() []string {
+	out := append([]string(nil), l.problems...)
+	for seg, n := range l.tablesPerSeg {
+		if n > l.Chip.StagesPerPipe {
+			out = append(out, fmt.Sprintf(
+				"segment %v: %d dependent tables exceed %d stages",
+				Segment(seg), n, l.Chip.StagesPerPipe))
+		}
+	}
+	if used := l.PHVBitsUsed(); used > l.Chip.PHVBits {
+		out = append(out, fmt.Sprintf(
+			"PHV budget exceeded: %d bits of %d", used, l.Chip.PHVBits))
+	}
+	return out
+}
+
+// String renders a compact layout summary.
+func (l *Layout) String() string {
+	var b strings.Builder
+	mode := "unfolded"
+	if l.Folded {
+		mode = "folded"
+	}
+	fmt.Fprintf(&b, "layout(%s, split=%v, units=%d)\n", mode, l.SplitUnits, l.Units())
+	for _, p := range l.placements {
+		fmt.Fprintf(&b, "  %-24s %8d entries/unit:", p.Spec.Name, p.EntriesPerUnit)
+		for _, s := range p.Shares {
+			fmt.Fprintf(&b, " [%v st%d-%d: %de %dS %dT]",
+				s.Seg, s.StageStart, s.StageEnd, s.Entries, s.SRAMBlocks, s.TCAMBlocks)
+		}
+		if p.Overflowed {
+			b.WriteString(" OVERFLOW")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package tofino
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSpec generates a plausible table spec.
+func randSpec(rng *rand.Rand, i int) TableSpec {
+	kinds := []MatchKind{MatchExact, MatchLPM, MatchTernary, MatchALPM, MatchIndex}
+	k := kinds[rng.Intn(len(kinds))]
+	s := TableSpec{
+		Name:       "t",
+		Kind:       k,
+		KeyBits:    8 + rng.Intn(300),
+		ActionBits: 8 + rng.Intn(128),
+		Entries:    rng.Intn(200_000),
+	}
+	_ = i
+	return s
+}
+
+// Property: block costs are monotone non-decreasing in entry count.
+func TestSpecCostMonotoneInEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c := DefaultChip()
+	for i := 0; i < 500; i++ {
+		s := randSpec(rng, i)
+		bigger := s.WithEntries(s.Entries + 1 + rng.Intn(1000))
+		if bigger.SRAMBlocks(c) < s.SRAMBlocks(c) {
+			t.Fatalf("SRAM cost decreased: %+v", s)
+		}
+		if bigger.TCAMBlocks(c) < s.TCAMBlocks(c) {
+			t.Fatalf("TCAM cost decreased: %+v", s)
+		}
+	}
+}
+
+// Property: zero entries cost zero blocks; positive entries of a matching
+// kind cost at least one block of the relevant memory.
+func TestSpecCostZeroAndFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	c := DefaultChip()
+	for i := 0; i < 300; i++ {
+		s := randSpec(rng, i)
+		empty := s.WithEntries(0)
+		if empty.SRAMBlocks(c) != 0 || empty.TCAMBlocks(c) != 0 {
+			t.Fatalf("empty table costs blocks: %+v", s)
+		}
+		one := s.WithEntries(1)
+		switch s.Kind {
+		case MatchExact, MatchIndex:
+			if one.SRAMBlocks(c) < 1 {
+				t.Fatalf("one-entry %v costs no SRAM", s.Kind)
+			}
+		case MatchLPM, MatchTernary, MatchALPM:
+			if one.TCAMBlocks(c) < 1 {
+				t.Fatalf("one-entry %v costs no TCAM", s.Kind)
+			}
+		}
+	}
+}
+
+// Property: the layout's accounted usage equals the sum of its shares'
+// block costs, and Occupancy() replicates it across units.
+func TestLayoutAccountingAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	c := DefaultChip()
+	for trial := 0; trial < 50; trial++ {
+		folded := rng.Intn(2) == 0
+		l := NewLayout(c, folded, rng.Intn(2) == 0)
+		segs := []Segment{SegIngressEntry, SegEgressExit}
+		if folded {
+			segs = []Segment{SegIngressEntry, SegEgressLoop, SegIngressLoop, SegEgressExit}
+		}
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			s := randSpec(rng, i)
+			s.Entries = rng.Intn(50_000)
+			seg := segs[rng.Intn(len(segs))]
+			if err := l.Place(s, seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wantS, wantT int
+		for _, p := range l.Placements() {
+			for _, sh := range p.Shares {
+				wantS += sh.SRAMBlocks
+				wantT += sh.TCAMBlocks
+			}
+		}
+		rep := l.Occupancy()
+		var gotS, gotT int
+		for _, pu := range rep.PerPipe {
+			gotS += pu.SRAMBlocks
+			gotT += pu.TCAMBlocks
+		}
+		if gotS != wantS*l.Units() || gotT != wantT*l.Units() {
+			t.Fatalf("accounting mismatch: got %d/%d, shares %d/%d × %d units",
+				gotS, gotT, wantS, wantT, l.Units())
+		}
+	}
+}
+
+// Property: maxEntriesFit returns the boundary — the result fits, the
+// result+1 does not (when below the limit).
+func TestMaxEntriesFitBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	c := DefaultChip()
+	for i := 0; i < 300; i++ {
+		s := randSpec(rng, i)
+		limit := 1 + rng.Intn(300_000)
+		freeS := rng.Intn(c.SRAMBlocksPerPipe() + 1)
+		freeT := rng.Intn(c.TCAMBlocksPerPipe() + 1)
+		got := maxEntriesFit(s, limit, freeS, freeT, c)
+		if got < 0 || got > limit {
+			t.Fatalf("out of range: %d", got)
+		}
+		if got > 0 {
+			part := s.WithEntries(got)
+			if part.SRAMBlocks(c) > freeS || part.TCAMBlocks(c) > freeT {
+				t.Fatalf("result does not fit: %+v n=%d", s, got)
+			}
+		}
+		if got < limit {
+			next := s.WithEntries(got + 1)
+			if next.SRAMBlocks(c) <= freeS && next.TCAMBlocks(c) <= freeT {
+				t.Fatalf("not maximal: %+v n=%d fits %d too", s, got, got+1)
+			}
+		}
+	}
+}
+
+// Latency must be monotone in packet size and pass count.
+func TestLatencyMonotone(t *testing.T) {
+	d := NewDevice(DefaultChip(), true)
+	prev := 0.0
+	for _, sz := range []int{64, 128, 256, 512, 1024, 9000} {
+		l := d.LatencyNs(sz, 2)
+		if l <= prev {
+			t.Fatalf("latency not increasing at %dB", sz)
+		}
+		prev = l
+	}
+	if d.LatencyNs(128, 1) >= d.LatencyNs(128, 2) {
+		t.Fatal("extra pass did not add latency")
+	}
+}
+
+// Stage assignment: dependent tables occupy non-decreasing start stages,
+// ranges are in bounds, and per-stage usage sums to the pipe totals.
+func TestStageAssignmentSemantics(t *testing.T) {
+	c := DefaultChip()
+	l := NewLayout(c, true, true)
+	specs := []TableSpec{
+		{Name: "a", Kind: MatchLPM, KeyBits: 152, ActionBits: 48, Entries: 150_000},
+		{Name: "b", Kind: MatchExact, KeyBits: 56, ActionBits: 64, Entries: 300_000},
+		{Name: "c", Kind: MatchExact, KeyBits: 56, ActionBits: 64, Entries: 50_000},
+	}
+	for _, s := range specs {
+		if err := l.Place(s, SegIngressEntry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.Feasible() {
+		t.Fatalf("problems: %v", l.Problems())
+	}
+	prevStart := -1
+	for _, p := range l.Placements() {
+		sh := p.Shares[0]
+		if sh.StageStart < 0 || sh.StageEnd >= c.StagesPerPipe || sh.StageEnd < sh.StageStart {
+			t.Fatalf("bad stage range: %+v", sh)
+		}
+		if sh.StageStart <= prevStart {
+			t.Fatalf("dependency order violated: start %d after %d", sh.StageStart, prevStart)
+		}
+		prevStart = sh.StageStart
+	}
+	// Per-stage sums equal the pipe totals, and no stage exceeds its local
+	// capacity in a feasible layout.
+	sram, tcam := l.StageUse(0)
+	var sumS, sumT int
+	for st := range sram {
+		if sram[st] > c.SRAMBlocksPerStage || tcam[st] > c.TCAMBlocksPerStage {
+			t.Fatalf("stage %d over local capacity: %d/%d", st, sram[st], tcam[st])
+		}
+		sumS += sram[st]
+		sumT += tcam[st]
+	}
+	rep := l.Occupancy()
+	if sumS != rep.PerPipe[0].SRAMBlocks || sumT != rep.PerPipe[0].TCAMBlocks {
+		t.Fatalf("stage sums %d/%d vs pipe totals %d/%d",
+			sumS, sumT, rep.PerPipe[0].SRAMBlocks, rep.PerPipe[0].TCAMBlocks)
+	}
+}
+
+// A wide table spans multiple stages; a tiny one stays in a single stage.
+func TestStageSpanScalesWithSize(t *testing.T) {
+	c := DefaultChip()
+	l := NewLayout(c, false, false)
+	big := TableSpec{Name: "big", Kind: MatchExact, KeyBits: 56, ActionBits: 64,
+		Entries: 3 * c.SRAMBlocksPerStage * c.SRAMBlockWords}
+	small := TableSpec{Name: "small", Kind: MatchExact, KeyBits: 56, ActionBits: 64, Entries: 10}
+	l.Place(big, SegIngressEntry)
+	l.Place(small, SegIngressEntry)
+	bs := l.Placements()[0].Shares[0]
+	ss := l.Placements()[1].Shares[0]
+	if bs.StageEnd-bs.StageStart < 2 {
+		t.Fatalf("3-stage table got range %d-%d", bs.StageStart, bs.StageEnd)
+	}
+	if ss.StageStart != ss.StageEnd {
+		t.Fatalf("tiny table spans stages %d-%d", ss.StageStart, ss.StageEnd)
+	}
+	if ss.StageStart <= bs.StageStart {
+		t.Fatal("dependent table does not start after predecessor")
+	}
+}

@@ -1,0 +1,156 @@
+package tofino
+
+import (
+	"fmt"
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+// Context is the per-packet execution state threaded through the match-action
+// program: the parsed packet plus the metadata fields the Sailfish program
+// produces. It is the software equivalent of the PHV + metadata bus; the
+// perf model charges bridged metadata against throughput when it crosses
+// gress boundaries.
+type Context struct {
+	Pkt *netpkt.GatewayPacket
+
+	// Metadata produced by the tables.
+	FinalVNI   netpkt.VNI // VNI after peer-chain resolution
+	Route      tables.Route
+	RouteOK    bool
+	NCAddr     netip.Addr // destination physical server
+	NCOK       bool
+	Drop       bool
+	DropReason string
+	ToFallback bool // steer to XGW-x86
+	EgressPort int
+
+	// Accounting.
+	Passes int
+	// Recirculations counts extra pipeline traversals the program
+	// requested (e.g. one per VPC-peering hop beyond the first, §7's
+	// recirculation cost).
+	Recirculations int
+	BridgedBytes   int
+}
+
+// Reset clears the context for reuse with a new packet.
+func (c *Context) Reset(pkt *netpkt.GatewayPacket) {
+	*c = Context{Pkt: pkt}
+}
+
+// TableExec is one logical table's runtime behavior within a segment
+// program.
+type TableExec interface {
+	// Name identifies the table for traces and errors.
+	Name() string
+	// Execute applies the table to the context. Returning an error aborts
+	// the packet (hardware would never error; the software model surfaces
+	// programming bugs).
+	Execute(ctx *Context) error
+}
+
+// Device is the runtime half of the chip model: a match-action program
+// arranged into segments, executed per packet in folded or unfolded order.
+type Device struct {
+	Chip   ChipConfig
+	Folded bool
+	// BridgedMetadataBytes models metadata appended to the packet between
+	// gresses (§4.4: "we have to append metadata to the packet, which is
+	// called bridging").
+	BridgedMetadataBytes int
+
+	program [numSegments][]TableExec
+}
+
+// NewDevice returns a device with an empty program.
+func NewDevice(chip ChipConfig, folded bool) *Device {
+	return &Device{Chip: chip, Folded: folded}
+}
+
+// AddTable appends a table to a segment's program.
+func (d *Device) AddTable(seg Segment, t TableExec) error {
+	if !d.Folded && (seg == SegEgressLoop || seg == SegIngressLoop) {
+		return fmt.Errorf("tofino: segment %v requires folding", seg)
+	}
+	d.program[seg] = append(d.program[seg], t)
+	return nil
+}
+
+// segmentOrder returns the traversal order of the configured mode.
+func (d *Device) segmentOrder() []Segment {
+	if d.Folded {
+		return []Segment{SegIngressEntry, SegEgressLoop, SegIngressLoop, SegEgressExit}
+	}
+	return []Segment{SegIngressEntry, SegEgressExit}
+}
+
+// Passes returns how many pipe traversals a packet makes.
+func (d *Device) Passes() int {
+	if d.Folded {
+		return 2
+	}
+	return 1
+}
+
+// Result summarizes one packet's trip through the device.
+type Result struct {
+	Passes    int
+	LatencyNs float64
+	// WireBytes is the packet length including any bridged metadata that
+	// crossed the traffic manager.
+	WireBytes int
+}
+
+// Process runs the packet through the program. The verdict (drop, fallback,
+// egress) is left in ctx; the Result carries the performance accounting.
+func (d *Device) Process(ctx *Context) (Result, error) {
+	segs := d.segmentOrder()
+	for i, seg := range segs {
+		for _, t := range d.program[seg] {
+			if ctx.Drop {
+				break
+			}
+			if err := t.Execute(ctx); err != nil {
+				return Result{}, fmt.Errorf("table %s in %v: %w", t.Name(), seg, err)
+			}
+		}
+		// Metadata bridged across the gress boundary following this
+		// segment (none after the last).
+		if i < len(segs)-1 && d.BridgedMetadataBytes > 0 {
+			ctx.BridgedBytes += d.BridgedMetadataBytes
+		}
+	}
+	ctx.Passes = d.Passes() + ctx.Recirculations
+	wire := ctx.Pkt.WireLen + ctx.BridgedBytes
+	return Result{
+		Passes:    ctx.Passes,
+		LatencyNs: d.LatencyNs(wire, ctx.Passes),
+		WireBytes: wire,
+	}, nil
+}
+
+// LatencyNs models the forwarding latency: each pass crosses the full
+// parser/MAU/deparser/TM path, and the packet is serialized twice
+// (store-and-forward at the loopback or TM and again at the egress port).
+func (d *Device) LatencyNs(wireBytes, passes int) float64 {
+	ser := float64(wireBytes*8) / float64(d.Chip.PortGbps) // ns at PortGbps
+	return float64(passes)*d.Chip.PassLatencyNs() + 2*ser
+}
+
+// MaxPps returns the device's packet-rate ceiling. One packet enters a pipe
+// per clock; folding consumes two pipe traversals per packet, halving the
+// usable rate (§4.4: "sacrifice the throughput by halving the working
+// pipelines").
+func (d *Device) MaxPps() float64 {
+	pps := float64(d.Chip.Pipelines) * d.Chip.ClockGHz * 1e9
+	return pps / float64(d.Passes())
+}
+
+// MaxGbps returns the device's bandwidth ceiling: folded mode dedicates the
+// odd pipes' ports to loopback, halving front-panel capacity.
+func (d *Device) MaxGbps() float64 {
+	return d.Chip.ChipGbps() / float64(d.Passes())
+}

@@ -1,0 +1,144 @@
+package tofino
+
+import "fmt"
+
+// MatchKind classifies how a logical table matches its key, which decides
+// the memory type it consumes.
+type MatchKind int
+
+const (
+	// MatchExact tables live entirely in SRAM hash units.
+	MatchExact MatchKind = iota
+	// MatchLPM tables match longest-prefix; stored in TCAM unless
+	// converted to ALPM form.
+	MatchLPM
+	// MatchTernary tables match arbitrary value/mask rules in TCAM (ACLs).
+	MatchTernary
+	// MatchALPM tables are LPM tables in algorithmic form: a small TCAM
+	// index plus SRAM buckets (§4.4 TCAM conservation).
+	MatchALPM
+	// MatchIndex tables are direct-indexed SRAM arrays (meters, counters).
+	MatchIndex
+)
+
+// String returns the kind name.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	case MatchALPM:
+		return "alpm"
+	case MatchIndex:
+		return "index"
+	}
+	return fmt.Sprintf("MatchKind(%d)", int(k))
+}
+
+// entryOverheadBits is the per-entry bookkeeping (valid bit, version, hash
+// select) charged to exact-match entries.
+const entryOverheadBits = 4
+
+// tindIndexBits is the per-entry action-profile pointer stored in SRAM for
+// TCAM-resident tables: ternary rows hold only the key, the action data is
+// deduplicated into profiles referenced by this index.
+const tindIndexBits = 16
+
+// ALPM layout constants (see internal/alpm): bucket slots are one SRAM word
+// each (suffix-compressed prefix + action), and each bucket's pivot occupies
+// TCAM rows at full key width.
+const (
+	// ALPMBucketCapacity is the fixed slot count of each SRAM bucket.
+	ALPMBucketCapacity = 16
+	// alpmSlotBits is the width of one bucket slot. Bucket entries share
+	// their pivot's prefix, so only the suffix, the prefix length and an
+	// action-profile index are stored — two slots pack per 128-bit word.
+	alpmSlotBits = 64
+	// alpmFillNumer/alpmFillDenom approximate the measured average bucket
+	// fill of the subtree-split partitioner (≈70%), used when sizing from
+	// a spec without building the structure; measurements from
+	// internal/alpm validate this constant.
+	alpmFillNumer = 7
+	alpmFillDenom = 10
+)
+
+// TableSpec describes the shape of one logical table: what it matches, how
+// wide its keys and actions are, and how many entries it must hold. Layout
+// turns specs into block-level SRAM/TCAM consumption.
+type TableSpec struct {
+	Name       string
+	Kind       MatchKind
+	KeyBits    int
+	ActionBits int
+	Entries    int
+}
+
+// SRAMWords returns the number of SRAM words the table consumes.
+func (t TableSpec) SRAMWords(c ChipConfig) int {
+	w := c.SRAMWordBits
+	switch t.Kind {
+	case MatchExact:
+		perEntry := ceilDiv(t.KeyBits+t.ActionBits+entryOverheadBits, w)
+		return t.Entries * perEntry
+	case MatchLPM, MatchTernary:
+		// Action-profile indirection words (tind).
+		return ceilDiv(t.Entries*tindIndexBits, w)
+	case MatchALPM:
+		// Buckets of fixed capacity at ~70% average fill,
+		// suffix-compressed slots packed into words, plus the pivots'
+		// tind words.
+		buckets := ceilDiv(t.Entries*alpmFillDenom, ALPMBucketCapacity*alpmFillNumer)
+		if t.Entries > 0 && buckets == 0 {
+			buckets = 1
+		}
+		slots := buckets * ALPMBucketCapacity
+		return ceilDiv(slots*alpmSlotBits, w) + ceilDiv(buckets*tindIndexBits, w)
+	case MatchIndex:
+		return ceilDiv(t.Entries*t.ActionBits, w)
+	}
+	return 0
+}
+
+// TCAMRows returns the number of TCAM rows the table consumes. Keys wider
+// than one row occupy multiple row slices.
+func (t TableSpec) TCAMRows(c ChipConfig) int {
+	switch t.Kind {
+	case MatchLPM, MatchTernary:
+		return t.Entries * ceilDiv(t.KeyBits, c.TCAMRowBits)
+	case MatchALPM:
+		buckets := ceilDiv(t.Entries*alpmFillDenom, ALPMBucketCapacity*alpmFillNumer)
+		if t.Entries > 0 && buckets == 0 {
+			buckets = 1
+		}
+		return buckets * ceilDiv(t.KeyBits, c.TCAMRowBits)
+	}
+	return 0
+}
+
+// SRAMBlocks returns block-granular SRAM consumption: hardware allocates
+// whole blocks.
+func (t TableSpec) SRAMBlocks(c ChipConfig) int {
+	return ceilDiv(t.SRAMWords(c), c.SRAMBlockWords)
+}
+
+// TCAMBlocks returns block-granular TCAM consumption.
+func (t TableSpec) TCAMBlocks(c ChipConfig) int {
+	return ceilDiv(t.TCAMRows(c), c.TCAMBlockRows)
+}
+
+// WithEntries returns a copy of the spec holding n entries — used when
+// splitting a table's entries across pipes or clusters.
+func (t TableSpec) WithEntries(n int) TableSpec {
+	t.Entries = n
+	return t
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("tofino: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,247 @@
+// Package traffic generates the synthetic workloads that stand in for the
+// production traces of the paper's evaluation (see DESIGN.md §2): a tenant
+// population with VMs and prefixes, a Zipf-weighted flow population whose
+// head contains the heavy hitters of §2.3, and the time shapes (diurnal
+// cycle, shopping-festival burst) that drive the multi-day simulations.
+// Everything is seeded and deterministic.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+)
+
+// Tenant is one VPC: a VNI, its address prefix, its VMs and the NCs hosting
+// them.
+type Tenant struct {
+	VNI    netpkt.VNI
+	Prefix netip.Prefix
+	VMs    []netip.Addr
+	NCs    []netip.Addr
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	Seed         int64
+	Tenants      int
+	VMsPerTenant int
+	// ZipfExponent shapes the flow-rate distribution; ≥1 concentrates
+	// traffic into a few heavy hitters (§2.3).
+	ZipfExponent float64
+	// AvgPacketBytes converts pps to bps.
+	AvgPacketBytes int
+	// FallbackShare is the fraction of traffic requiring the XGW-x86 path
+	// (volatile tables, stateful services). The paper measures < 0.2‰
+	// (Fig. 22).
+	FallbackShare float64
+}
+
+// DefaultConfig returns a production-shaped configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Tenants:        256,
+		VMsPerTenant:   64,
+		ZipfExponent:   1.2,
+		AvgPacketBytes: 500,
+		FallbackShare:  1.5e-4,
+	}
+}
+
+// Generator produces tenants and flow populations.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	tenants []Tenant
+}
+
+// NewGenerator builds the tenant population deterministically from the seed.
+func NewGenerator(cfg Config) *Generator {
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.tenants = make([]Tenant, cfg.Tenants)
+	for i := range g.tenants {
+		vni := netpkt.VNI(1000 + i)
+		// Overlay prefix 10.T.S.0/24 per tenant (tenants reuse address
+		// space freely — that is the point of VPC isolation).
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		t := Tenant{VNI: vni, Prefix: prefix}
+		for v := 0; v < cfg.VMsPerTenant; v++ {
+			t.VMs = append(t.VMs, netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), byte(2 + v%250)}))
+			// Underlay NC addresses: a shared server fleet.
+			nc := netip.AddrFrom4([4]byte{100, 64, byte(g.rng.Intn(64)), byte(1 + g.rng.Intn(250))})
+			t.NCs = append(t.NCs, nc)
+		}
+		g.tenants[i] = t
+	}
+	return g
+}
+
+// Tenants returns the tenant population.
+func (g *Generator) Tenants() []Tenant { return g.tenants }
+
+// Flow is one member of the flow population: a stable identity (hash, VNI)
+// plus a Zipf weight. Its instantaneous rate is weight × offered load.
+type Flow struct {
+	VNI    netpkt.VNI
+	Hash   uint64 // RSS/ECMP hash, stable for the flow's lifetime
+	Weight float64
+	// Fallback marks flows whose entries live only in XGW-x86.
+	Fallback bool
+}
+
+// FlowPopulation builds n flows with Zipf(s) weights summing to 1. The
+// heaviest flows are the §2.3 heavy hitters ("sometimes a single flow can
+// even reach tens of Gbps").
+func (g *Generator) FlowPopulation(n int) []Flow {
+	if n <= 0 {
+		return nil
+	}
+	flows := make([]Flow, n)
+	var sum float64
+	for i := range flows {
+		w := 1 / math.Pow(float64(i+1), g.cfg.ZipfExponent)
+		sum += w
+		t := g.tenants[g.rng.Intn(len(g.tenants))]
+		flows[i] = Flow{
+			VNI:    t.VNI,
+			Hash:   netpkt.HashUint64(g.rng.Uint64()),
+			Weight: w,
+		}
+	}
+	// Normalize, then mark a slice of cold flows as fallback-bound so the
+	// configured share of traffic takes the software path.
+	for i := range flows {
+		flows[i].Weight /= sum
+	}
+	g.markFallback(flows)
+	return flows
+}
+
+// markFallback flags the lightest flows until their cumulative weight
+// reaches the configured fallback share — matching the paper's observation
+// that the long tail of entries carries a sliver of traffic.
+func (g *Generator) markFallback(flows []Flow) {
+	if g.cfg.FallbackShare <= 0 {
+		return
+	}
+	var acc float64
+	for i := len(flows) - 1; i >= 0; i-- {
+		if acc >= g.cfg.FallbackShare {
+			break
+		}
+		flows[i].Fallback = true
+		acc += flows[i].Weight
+	}
+}
+
+// Rates converts the population into per-flow (pps, bps) at the given
+// offered load.
+type Rate struct {
+	Flow Flow
+	Pps  float64
+	Bps  float64
+}
+
+// RatesAt returns each flow's rate when the aggregate offered load is
+// totalPps.
+func (g *Generator) RatesAt(flows []Flow, totalPps float64) []Rate {
+	out := make([]Rate, len(flows))
+	bytesPer := float64(g.cfg.AvgPacketBytes)
+	for i, f := range flows {
+		pps := f.Weight * totalPps
+		out[i] = Rate{Flow: f, Pps: pps, Bps: pps * bytesPer * 8}
+	}
+	return out
+}
+
+// --- Time shapes ---
+
+// DiurnalFactor returns the daily load multiplier at hour h ∈ [0,24):
+// a trough before dawn (05:00), a peak in the late afternoon/evening
+// (17:00), mean ≈ 1.
+func DiurnalFactor(h float64) float64 {
+	return 1 + 0.35*math.Sin(2*math.Pi*(h-11)/24)
+}
+
+// FestivalFactor returns the multiplier for an online shopping festival
+// running from festStart for festDays days (day is fractional days since
+// the window start): a ramp into a sustained surge with an opening spike —
+// the "Double 11" shape of Figs. 4-5 and 19.
+func FestivalFactor(day, festStart, festDays float64) float64 {
+	if day < festStart || day > festStart+festDays {
+		return 1
+	}
+	into := day - festStart
+	// Opening-hour spike, then a sustained elevated plateau.
+	spike := 0.8 * math.Exp(-into*12)
+	return 1.6 + spike
+}
+
+// LoadAt combines the shapes: the offered load at simulation time `day`
+// (fractional days) for a region whose baseline is basePps.
+func LoadAt(basePps float64, day, festStart, festDays float64) float64 {
+	h := (day - math.Floor(day)) * 24
+	return basePps * DiurnalFactor(h) * FestivalFactor(day, festStart, festDays)
+}
+
+// String describes a tenant compactly.
+func (t Tenant) String() string {
+	return fmt.Sprintf("%v %v (%d VMs)", t.VNI, t.Prefix, len(t.VMs))
+}
+
+// SizeMix is a packet-size distribution. Production gateway traffic is not
+// a single size: the paper's Fig. 18 sweeps 128B-1024B, and the bps↔pps
+// conversions depend on the mix.
+type SizeMix struct {
+	Sizes   []int
+	Weights []float64 // normalized on first use
+	cum     []float64
+}
+
+// IMIX returns the classic Internet mix: 7×64B : 4×576B : 1×1500B.
+func IMIX() *SizeMix {
+	return &SizeMix{Sizes: []int{64, 576, 1500}, Weights: []float64{7, 4, 1}}
+}
+
+func (m *SizeMix) normalize() {
+	if m.cum != nil {
+		return
+	}
+	var sum float64
+	for _, w := range m.Weights {
+		sum += w
+	}
+	m.cum = make([]float64, len(m.Weights))
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w / sum
+		m.cum[i] = acc
+	}
+}
+
+// Sample draws one packet size.
+func (m *SizeMix) Sample(rng *rand.Rand) int {
+	m.normalize()
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.Sizes[i]
+		}
+	}
+	return m.Sizes[len(m.Sizes)-1]
+}
+
+// MeanBytes returns the distribution's mean packet size.
+func (m *SizeMix) MeanBytes() float64 {
+	m.normalize()
+	mean, prev := 0.0, 0.0
+	for i, c := range m.cum {
+		mean += (c - prev) * float64(m.Sizes[i])
+		prev = c
+	}
+	return mean
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := NewGenerator(cfg)
+	b := NewGenerator(cfg)
+	fa := a.FlowPopulation(100)
+	fb := b.FlowPopulation(100)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("flow %d differs across identical seeds", i)
+		}
+	}
+	ta, tb := a.Tenants(), b.Tenants()
+	if len(ta) != cfg.Tenants || ta[0].VNI != tb[0].VNI || ta[5].Prefix != tb[5].Prefix {
+		t.Fatal("tenants not deterministic")
+	}
+}
+
+func TestTenantsShape(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	ts := g.Tenants()
+	seen := map[uint32]bool{}
+	for _, tn := range ts {
+		if len(tn.VMs) != DefaultConfig().VMsPerTenant || len(tn.NCs) != len(tn.VMs) {
+			t.Fatalf("tenant %v malformed", tn)
+		}
+		if seen[uint32(tn.VNI)] {
+			t.Fatalf("duplicate VNI %v", tn.VNI)
+		}
+		seen[uint32(tn.VNI)] = true
+		for _, vm := range tn.VMs {
+			if !tn.Prefix.Contains(vm) {
+				t.Fatalf("VM %v outside tenant prefix %v", vm, tn.Prefix)
+			}
+		}
+	}
+}
+
+func TestFlowWeightsNormalizedAndZipf(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	flows := g.FlowPopulation(1000)
+	var sum, top2 float64
+	for i, f := range flows {
+		sum += f.Weight
+		if i < 2 {
+			top2 += f.Weight
+		}
+		if i > 0 && f.Weight > flows[i-1].Weight {
+			t.Fatal("weights not non-increasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// Zipf 1.2 over 1000 flows: the top-2 flows dominate (Fig. 7's shape).
+	if top2 < 0.25 {
+		t.Fatalf("top-2 share %.3f too small for heavy-hitter regime", top2)
+	}
+}
+
+func TestFallbackShareTargeted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FallbackShare = 1.5e-4
+	g := NewGenerator(cfg)
+	flows := g.FlowPopulation(5000)
+	var share float64
+	var n int
+	for _, f := range flows {
+		if f.Fallback {
+			share += f.Weight
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no fallback flows marked")
+	}
+	if share < cfg.FallbackShare || share > cfg.FallbackShare*50 {
+		t.Fatalf("fallback share %.2e, want ≈%.2e", share, cfg.FallbackShare)
+	}
+	// Fallback flows must come from the light tail, not the heavy head.
+	for i := 0; i < 10; i++ {
+		if flows[i].Fallback {
+			t.Fatal("heavy hitter marked fallback")
+		}
+	}
+}
+
+func TestRatesAtConservesLoad(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	flows := g.FlowPopulation(500)
+	rates := g.RatesAt(flows, 1e6)
+	var pps float64
+	for _, r := range rates {
+		pps += r.Pps
+		if r.Bps != r.Pps*8*float64(DefaultConfig().AvgPacketBytes) {
+			t.Fatal("bps inconsistent with pps")
+		}
+	}
+	if math.Abs(pps-1e6) > 1 {
+		t.Fatalf("total pps = %v", pps)
+	}
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	peak := DiurnalFactor(17)
+	trough := DiurnalFactor(5)
+	if peak <= 1.2 || trough >= 0.8 {
+		t.Fatalf("diurnal shape wrong: peak %.2f trough %.2f", peak, trough)
+	}
+	// Mean over the day ≈ 1.
+	var sum float64
+	for h := 0; h < 24; h++ {
+		sum += DiurnalFactor(float64(h))
+	}
+	if math.Abs(sum/24-1) > 0.02 {
+		t.Fatalf("diurnal mean %.3f", sum/24)
+	}
+}
+
+func TestFestivalFactorShape(t *testing.T) {
+	if FestivalFactor(2, 5, 2) != 1 {
+		t.Fatal("pre-festival load not baseline")
+	}
+	opening := FestivalFactor(5.0, 5, 2)
+	plateau := FestivalFactor(6.0, 5, 2)
+	if opening < plateau || plateau < 1.5 {
+		t.Fatalf("festival shape wrong: opening %.2f plateau %.2f", opening, plateau)
+	}
+	if FestivalFactor(8, 5, 2) != 1 {
+		t.Fatal("post-festival load not baseline")
+	}
+}
+
+func TestLoadAtComposes(t *testing.T) {
+	base := 1e6
+	quiet := LoadAt(base, 2.0+5.0/24, 5, 2) // day 2, 05:00
+	festive := LoadAt(base, 5.875, 5, 2)    // festival evening
+	if festive < quiet*2 {
+		t.Fatalf("festival evening %.0f not ≫ quiet dawn %.0f", festive, quiet)
+	}
+}
+
+func TestIMIXMix(t *testing.T) {
+	m := IMIX()
+	// Mean of 7:4:1 over 64/576/1500 = (7*64+4*576+1500)/12 ≈ 354.3B.
+	if math.Abs(m.MeanBytes()-354.33) > 0.5 {
+		t.Fatalf("IMIX mean = %v", m.MeanBytes())
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[int]int{}
+	const n = 120_000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("sizes seen: %v", counts)
+	}
+	// Empirical shares within 1% absolute of 7/12, 4/12, 1/12.
+	for size, want := range map[int]float64{64: 7.0 / 12, 576: 4.0 / 12, 1500: 1.0 / 12} {
+		got := float64(counts[size]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("share of %dB = %.3f, want %.3f", size, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package vswitch implements the hypervisor virtual switch of Fig. 1: the
+// component on every physical server (NC) that connects hosted VMs to the
+// overlay. It originates traffic by VXLAN-encapsulating a VM's frames
+// toward the cloud gateway, delivers traffic by decapsulating frames
+// arriving from the gateway to the right local VM, and switches same-NC
+// same-VPC traffic locally without touching the gateway at all.
+//
+// Together with the gateway packages this closes the loop of the paper's
+// forwarding walkthrough: VM → vSwitch → gateway → vSwitch → VM.
+package vswitch
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+)
+
+// Errors returned by the vSwitch.
+var (
+	// ErrUnknownVM reports a source or destination VM not hosted here.
+	ErrUnknownVM = errors.New("vswitch: VM not hosted on this NC")
+	// ErrWrongVNI reports delivery to a VM under a different tenant.
+	ErrWrongVNI = errors.New("vswitch: VNI does not match the VM's tenant")
+)
+
+// Delivery is one frame handed to a local VM.
+type Delivery struct {
+	VNI     netpkt.VNI
+	VM      netip.Addr
+	Src     netip.Addr
+	Payload []byte // inner L4 payload
+	Proto   netpkt.IPProtocol
+	SrcPort uint16
+	DstPort uint16
+}
+
+// VSwitch is one NC's virtual switch.
+type VSwitch struct {
+	// NCAddr is this server's underlay address.
+	NCAddr netip.Addr
+	// GatewayVIP is where off-host traffic is tunneled.
+	GatewayVIP netip.Addr
+
+	vms map[netip.Addr]netpkt.VNI // hosted VM → tenant
+
+	parser netpkt.Parser
+	pkt    netpkt.GatewayPacket
+	sbuf   *netpkt.SerializeBuffer
+
+	// Inboxes collect per-VM deliveries for inspection by tests and
+	// examples (the "VM" of this model).
+	inboxes map[netip.Addr][]Delivery
+}
+
+// New returns a vSwitch for the server at ncAddr, tunneling via gatewayVIP.
+func New(ncAddr, gatewayVIP netip.Addr) *VSwitch {
+	return &VSwitch{
+		NCAddr:     ncAddr,
+		GatewayVIP: gatewayVIP,
+		vms:        make(map[netip.Addr]netpkt.VNI),
+		sbuf:       netpkt.NewSerializeBuffer(128, 2048),
+		inboxes:    make(map[netip.Addr][]Delivery),
+	}
+}
+
+// AttachVM hosts a VM on this NC under the tenant's VNI.
+func (v *VSwitch) AttachVM(vni netpkt.VNI, vm netip.Addr) {
+	v.vms[vm] = vni
+}
+
+// DetachVM removes a VM (migration away / teardown).
+func (v *VSwitch) DetachVM(vm netip.Addr) {
+	delete(v.vms, vm)
+	delete(v.inboxes, vm)
+}
+
+// Hosts reports whether the VM lives here.
+func (v *VSwitch) Hosts(vm netip.Addr) bool {
+	_, ok := v.vms[vm]
+	return ok
+}
+
+// Output is the result of originating a frame from a local VM.
+type Output struct {
+	// Local is true when the destination was delivered on this NC
+	// without leaving the server (same-NC fast path).
+	Local bool
+	// Wire is the VXLAN-encapsulated frame to send toward the gateway;
+	// nil for local deliveries. Valid until the next call.
+	Wire []byte
+}
+
+// Send originates traffic from a hosted VM: src must be attached. Same-NC,
+// same-VNI destinations are delivered locally; everything else is
+// encapsulated toward the gateway VIP, exactly as Fig. 2's walkthrough
+// begins.
+func (v *VSwitch) Send(src, dst netip.Addr, proto netpkt.IPProtocol, srcPort, dstPort uint16, payload []byte) (Output, error) {
+	vni, ok := v.vms[src]
+	if !ok {
+		return Output{}, fmt.Errorf("%w: %v", ErrUnknownVM, src)
+	}
+	if dstVNI, here := v.vms[dst]; here && dstVNI == vni {
+		v.inboxes[dst] = append(v.inboxes[dst], Delivery{
+			VNI: vni, VM: dst, Src: src,
+			Payload: append([]byte(nil), payload...),
+			Proto:   proto, SrcPort: srcPort, DstPort: dstPort,
+		})
+		return Output{Local: true}, nil
+	}
+	spec := netpkt.BuildSpec{
+		VNI:      vni,
+		OuterSrc: v.NCAddr, OuterDst: v.GatewayVIP,
+		InnerSrc: src, InnerDst: dst,
+		Proto: proto, SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	}
+	raw, err := spec.Build(v.sbuf)
+	if err != nil {
+		return Output{}, err
+	}
+	return Output{Wire: raw}, nil
+}
+
+// Receive delivers a VXLAN frame arriving from the underlay (the gateway's
+// rewritten output) to the destination VM's inbox. The outer destination
+// must be this NC and the VM must be attached under the frame's VNI.
+func (v *VSwitch) Receive(raw []byte) (Delivery, error) {
+	if err := v.parser.Parse(raw, &v.pkt); err != nil {
+		return Delivery{}, err
+	}
+	if v.pkt.OuterDst() != v.NCAddr {
+		return Delivery{}, fmt.Errorf("vswitch: frame for %v arrived at %v", v.pkt.OuterDst(), v.NCAddr)
+	}
+	dst := v.pkt.InnerDst()
+	vni, ok := v.vms[dst]
+	if !ok {
+		return Delivery{}, fmt.Errorf("%w: %v", ErrUnknownVM, dst)
+	}
+	if vni != v.pkt.VXLAN.VNI {
+		return Delivery{}, fmt.Errorf("%w: frame %v, VM %v", ErrWrongVNI, v.pkt.VXLAN.VNI, vni)
+	}
+	d := Delivery{
+		VNI: vni, VM: dst, Src: v.pkt.InnerSrc(),
+	}
+	if v.pkt.HasL4 {
+		f := v.pkt.InnerFlow()
+		d.Proto, d.SrcPort, d.DstPort = f.Proto, f.SrcPort, f.DstPort
+		if f.Proto == netpkt.IPProtocolTCP {
+			d.Payload = append([]byte(nil), v.pkt.InnerTCP.Payload()...)
+		} else {
+			d.Payload = append([]byte(nil), v.pkt.InnerUDP.Payload()...)
+		}
+	}
+	v.inboxes[dst] = append(v.inboxes[dst], d)
+	return d, nil
+}
+
+// Inbox returns (and keeps) the VM's received deliveries.
+func (v *VSwitch) Inbox(vm netip.Addr) []Delivery {
+	return v.inboxes[vm]
+}
+
+// DrainInbox returns and clears the VM's deliveries.
+func (v *VSwitch) DrainInbox(vm netip.Addr) []Delivery {
+	d := v.inboxes[vm]
+	delete(v.inboxes, vm)
+	return d
+}

@@ -1,0 +1,143 @@
+package vswitch
+
+import (
+	"net/netip"
+	"testing"
+
+	"sailfish/internal/netpkt"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func newPair() (*VSwitch, *VSwitch) {
+	gw := addr("10.255.0.1")
+	a := New(addr("10.1.1.11"), gw)
+	b := New(addr("10.1.1.12"), gw)
+	a.AttachVM(100, addr("192.168.0.1"))
+	a.AttachVM(100, addr("192.168.0.2"))
+	b.AttachVM(100, addr("192.168.0.3"))
+	return a, b
+}
+
+func TestLocalDelivery(t *testing.T) {
+	a, _ := newPair()
+	out, err := a.Send(addr("192.168.0.1"), addr("192.168.0.2"),
+		netpkt.IPProtocolUDP, 1000, 2000, []byte("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Local || out.Wire != nil {
+		t.Fatalf("same-NC delivery left the server: %+v", out)
+	}
+	in := a.Inbox(addr("192.168.0.2"))
+	if len(in) != 1 || string(in[0].Payload) != "local" || in[0].Src != addr("192.168.0.1") {
+		t.Fatalf("inbox = %+v", in)
+	}
+}
+
+func TestEncapTowardGateway(t *testing.T) {
+	a, _ := newPair()
+	out, err := a.Send(addr("192.168.0.1"), addr("192.168.0.3"),
+		netpkt.IPProtocolTCP, 1000, 80, []byte("offhost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Local || out.Wire == nil {
+		t.Fatalf("off-host delivery stayed local: %+v", out)
+	}
+	var p netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := p.Parse(out.Wire, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.OuterSrc() != addr("10.1.1.11") || pkt.OuterDst() != addr("10.255.0.1") {
+		t.Fatalf("outer = %v -> %v", pkt.OuterSrc(), pkt.OuterDst())
+	}
+	if pkt.VXLAN.VNI != 100 || pkt.InnerDst() != addr("192.168.0.3") {
+		t.Fatalf("inner = %v %v", pkt.VXLAN.VNI, pkt.InnerDst())
+	}
+}
+
+func TestSendUnknownVMRejected(t *testing.T) {
+	a, _ := newPair()
+	if _, err := a.Send(addr("192.168.0.99"), addr("192.168.0.3"),
+		netpkt.IPProtocolUDP, 1, 2, nil); err == nil {
+		t.Fatal("unattached source accepted")
+	}
+}
+
+// A frame rewritten toward the wrong NC, wrong tenant, or unknown VM is
+// rejected — the vSwitch is the last isolation check.
+func TestReceiveValidation(t *testing.T) {
+	_, b := newPair()
+	build := func(vni netpkt.VNI, ncDst, vmDst string) []byte {
+		sb := netpkt.NewSerializeBuffer(128, 256)
+		raw, err := (&netpkt.BuildSpec{
+			VNI:      vni,
+			OuterSrc: addr("10.255.0.1"), OuterDst: addr(ncDst),
+			InnerSrc: addr("192.168.0.1"), InnerDst: addr(vmDst),
+			Proto: netpkt.IPProtocolUDP, SrcPort: 7, DstPort: 8,
+			Payload: []byte("pp"),
+		}).Build(sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		return cp
+	}
+	// Correct delivery.
+	d, err := b.Receive(build(100, "10.1.1.12", "192.168.0.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.VM != addr("192.168.0.3") || string(d.Payload) != "pp" || d.DstPort != 8 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	// Wrong NC.
+	if _, err := b.Receive(build(100, "10.1.1.99", "192.168.0.3")); err == nil {
+		t.Fatal("mis-addressed frame accepted")
+	}
+	// Unknown VM.
+	if _, err := b.Receive(build(100, "10.1.1.12", "192.168.0.200")); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	// Wrong tenant: the VM is in VNI 100, the frame claims 200.
+	if _, err := b.Receive(build(200, "10.1.1.12", "192.168.0.3")); err == nil {
+		t.Fatal("cross-tenant frame accepted — isolation broken")
+	}
+}
+
+func TestDetachAndDrain(t *testing.T) {
+	a, _ := newPair()
+	a.Send(addr("192.168.0.1"), addr("192.168.0.2"), netpkt.IPProtocolUDP, 1, 2, []byte("x"))
+	if got := a.DrainInbox(addr("192.168.0.2")); len(got) != 1 {
+		t.Fatalf("drain = %v", got)
+	}
+	if got := a.Inbox(addr("192.168.0.2")); len(got) != 0 {
+		t.Fatal("drain did not clear")
+	}
+	a.DetachVM(addr("192.168.0.2"))
+	if a.Hosts(addr("192.168.0.2")) {
+		t.Fatal("detach failed")
+	}
+	// Off-host now (dst no longer local): must encapsulate.
+	out, err := a.Send(addr("192.168.0.1"), addr("192.168.0.2"), netpkt.IPProtocolUDP, 1, 2, nil)
+	if err != nil || out.Local {
+		t.Fatalf("detached VM still local: %+v %v", out, err)
+	}
+}
+
+func BenchmarkSendEncap(b *testing.B) {
+	a, _ := newPair()
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := a.Send(addr("192.168.0.1"), addr("192.168.0.3"),
+			netpkt.IPProtocolUDP, 1000, 2000, payload)
+		if err != nil || out.Wire == nil {
+			b.Fatal("send failed")
+		}
+	}
+}

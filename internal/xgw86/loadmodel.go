@@ -1,0 +1,153 @@
+package xgw86
+
+// FlowLoad is one flow's offered rate during a tick. Hash is the flow's RSS
+// hash (netpkt.Flow.FastHash); the NIC steers the flow to core Hash % Cores,
+// exactly the flow-based hashing whose collisions overload single cores
+// (§2.3).
+type FlowLoad struct {
+	Hash uint64
+	Pps  float64
+	Bps  float64
+}
+
+// CoreStats reports one core's load during a tick.
+type CoreStats struct {
+	OfferedPps float64
+	ServedPps  float64
+	// Util is served demand over capacity before clamping; values above 1
+	// mean the core was overloaded and dropped packets.
+	Util float64
+	// Top1Share/Top2Share are the fractions of the core's offered packets
+	// contributed by its largest and two largest flows (Fig. 7).
+	Top1Share float64
+	Top2Share float64
+	Flows     int
+}
+
+// TickStats aggregates one tick of the load model.
+type TickStats struct {
+	Cores      []CoreStats
+	OfferedPps float64
+	ServedPps  float64
+	DroppedPps float64
+	OfferedBps float64
+	ServedBps  float64
+	DroppedBps float64
+}
+
+// LossRate returns dropped/offered packets for the tick (0 when idle).
+func (t TickStats) LossRate() float64 {
+	if t.OfferedPps == 0 {
+		return 0
+	}
+	return t.DroppedPps / t.OfferedPps
+}
+
+// MaxCoreUtil returns the highest per-core utilization.
+func (t TickStats) MaxCoreUtil() float64 {
+	m := 0.0
+	for _, c := range t.Cores {
+		if c.Util > m {
+			m = c.Util
+		}
+	}
+	return m
+}
+
+// MeanCoreUtil returns the average per-core utilization — what a
+// node-granularity monitor (Fig. 6) sees.
+func (t TickStats) MeanCoreUtil() float64 {
+	if len(t.Cores) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range t.Cores {
+		s += c.Util
+	}
+	return s / float64(len(t.Cores))
+}
+
+// TickLoad distributes the offered flows onto cores via RSS hashing and
+// clamps each core at its packet budget; packets beyond a core's budget are
+// dropped (the RX queue overflows). The NIC's aggregate bandwidth is a
+// second ceiling applied proportionally.
+func (n *Node) TickLoad(flows []FlowLoad) TickStats {
+	cores := n.cfg.Cores
+	st := TickStats{Cores: make([]CoreStats, cores)}
+	// Per-core top-2 tracking for the heavy-hitter analysis.
+	top1 := make([]float64, cores)
+	top2 := make([]float64, cores)
+	bpsPerCore := make([]float64, cores)
+	for _, f := range flows {
+		c := int(f.Hash % uint64(cores))
+		cs := &st.Cores[c]
+		cs.OfferedPps += f.Pps
+		cs.Flows++
+		bpsPerCore[c] += f.Bps
+		if f.Pps > top1[c] {
+			top2[c] = top1[c]
+			top1[c] = f.Pps
+		} else if f.Pps > top2[c] {
+			top2[c] = f.Pps
+		}
+		st.OfferedPps += f.Pps
+		st.OfferedBps += f.Bps
+	}
+	// NIC bandwidth ceiling: scale all cores down proportionally when the
+	// aggregate exceeds line rate.
+	nicScale := 1.0
+	if lim := n.cfg.NICGbps * 1e9; st.OfferedBps > lim {
+		nicScale = lim / st.OfferedBps
+	}
+	for c := range st.Cores {
+		cs := &st.Cores[c]
+		offered := cs.OfferedPps * nicScale
+		cs.Util = offered / n.cfg.CorePps
+		served := offered
+		if served > n.cfg.CorePps {
+			served = n.cfg.CorePps
+		}
+		cs.ServedPps = served
+		if cs.OfferedPps > 0 {
+			cs.Top1Share = top1[c] / cs.OfferedPps
+			cs.Top2Share = (top1[c] + top2[c]) / cs.OfferedPps
+		}
+		st.ServedPps += served
+		servedFrac := 1.0
+		if offered > 0 {
+			servedFrac = served / offered
+		}
+		st.ServedBps += bpsPerCore[c] * nicScale * servedFrac
+	}
+	st.DroppedPps = st.OfferedPps - st.ServedPps
+	st.DroppedBps = st.OfferedBps - st.ServedBps
+	// Guard against floating-point residue when nothing was clamped.
+	if st.DroppedPps < 0 {
+		st.DroppedPps = 0
+	}
+	if st.DroppedBps < 0 {
+		st.DroppedBps = 0
+	}
+	return st
+}
+
+// LatencyUsAt models forwarding latency under load: the unloaded service
+// time plus M/M/1-style queueing delay as the bottleneck core's utilization
+// approaches 1. Fig. 18(c) measures the unloaded point (40 µs); production
+// latency degrades long before a core saturates, while the Tofino's
+// pipeline latency is load-invariant until line rate — the contrast the
+// latency ablation quantifies.
+func (c Config) LatencyUsAt(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	const maxFactor = 50 // queue bound: drops take over past this point
+	if util >= 1 {
+		return c.LatencyUs * maxFactor
+	}
+	f := 1 + util*util/(1-util)
+	if f > maxFactor {
+		f = maxFactor
+	}
+	return c.LatencyUs * f
+}

@@ -1,0 +1,320 @@
+// Package xgw86 models XGW-x86, the legacy DPDK-based software gateway
+// (§2.2): a multi-core run-to-completion forwarder whose NIC spreads flows
+// onto CPU cores with receive-side scaling. It plays two roles in Sailfish:
+//
+//   - the fallback data plane holding volatile tables and huge stateful
+//     tables (SNAT) that cannot fit in XGW-H (§4.2, Fig. 11) — implemented
+//     behaviorally, packet in / packet out;
+//   - the motivation study's subject (§2.3, Figs. 4-7): per-core load
+//     accounting shows how flow hashing plus heavy hitters overloads single
+//     cores while the node average stays low — implemented as a per-tick
+//     load model driven by the simulator.
+package xgw86
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+// Config sets the capacities of one XGW-x86 node.
+type Config struct {
+	// Cores is the number of packet-processing CPU cores.
+	Cores int
+	// CorePps is the packet rate one core sustains (DPDK run-to-
+	// completion: ~1 Mpps per core, §2.2).
+	CorePps float64
+	// NICGbps is the node's aggregate NIC bandwidth.
+	NICGbps float64
+	// LatencyUs is the unloaded forwarding latency (Fig. 18(c): 40 µs).
+	LatencyUs float64
+	// PublicIPs is the SNAT public address pool.
+	PublicIPs []netip.Addr
+	// GatewayIP is the outer source for re-encapsulated packets.
+	GatewayIP netip.Addr
+}
+
+// DefaultConfig matches the paper's hardware: 32 cores at ~0.78 Mpps
+// (≈25 Mpps per node, the Fig. 18(b) baseline), 100G NICs, 40 µs latency.
+func DefaultConfig() Config {
+	return Config{
+		Cores:     32,
+		CorePps:   781_250,
+		NICGbps:   100,
+		LatencyUs: 40,
+	}
+}
+
+// NodePps returns the node's aggregate packet-rate ceiling.
+func (c Config) NodePps() float64 { return float64(c.Cores) * c.CorePps }
+
+// Node is one XGW-x86 box. Not safe for concurrent use.
+type Node struct {
+	cfg Config
+
+	// Full forwarding state in DRAM — the software gateway has no memory
+	// pressure (§3.3: "storing the O(1M) tables is easy for the XGW-x86").
+	Routes *tables.VXLANRoutingTable
+	VMNC   *tables.VMNCTable
+	SNAT   *tables.SNATTable
+	ACL    *tables.ACL
+
+	parser netpkt.Parser
+	vpkt   netpkt.GatewayPacket
+	ppkt   netpkt.PlainPacket
+	sbuf   *netpkt.SerializeBuffer
+
+	stats Stats
+}
+
+// Stats counts the node's behavioral outcomes.
+type Stats struct {
+	Forwarded     uint64
+	SNATOut       uint64
+	SNATIn        uint64
+	Dropped       uint64
+	SessionsAlive int
+}
+
+// NewNode returns a node with empty tables.
+func NewNode(cfg Config) *Node {
+	if cfg.Cores <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Node{
+		cfg:    cfg,
+		Routes: tables.NewVXLANRoutingTable(),
+		VMNC:   tables.NewVMNCTable(),
+		SNAT:   tables.NewSNATTable(cfg.PublicIPs),
+		ACL:    tables.NewACL(),
+		sbuf:   netpkt.NewSerializeBuffer(128, 2048),
+	}
+}
+
+// Config returns the node's capacities.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the behavioral counters.
+func (n *Node) Stats() Stats {
+	s := n.stats
+	s.SessionsAlive = n.SNAT.Len()
+	return s
+}
+
+// --- Behavioral data plane ---
+
+// FallbackResult reports the outcome of software forwarding.
+type FallbackResult struct {
+	// Out is the emitted wire packet; valid until the next call.
+	Out []byte
+	// NC is the next hop (physical server or tunnel endpoint) for
+	// re-encapsulated packets; unset for de-tunneled SNAT output.
+	NC netip.Addr
+	// ToInternet marks de-tunneled SNAT output.
+	ToInternet bool
+	LatencyUs  float64
+}
+
+// ProcessFallback forwards a VXLAN packet the hardware path could not
+// (volatile routes, long-tail VMs): full software lookup and rewrite.
+func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
+	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
+		n.stats.Dropped++
+		return FallbackResult{}, err
+	}
+	vni, route, err := n.Routes.Resolve(n.vpkt.VXLAN.VNI, n.vpkt.InnerDst())
+	if err != nil {
+		n.stats.Dropped++
+		return FallbackResult{}, err
+	}
+	var nc netip.Addr
+	switch route.Scope {
+	case tables.ScopeLocal:
+		var ok bool
+		nc, ok = n.VMNC.Lookup(vni, n.vpkt.InnerDst())
+		if !ok {
+			n.stats.Dropped++
+			return FallbackResult{}, tables.ErrNoRoute
+		}
+	case tables.ScopeRemote:
+		nc = route.Tunnel
+	case tables.ScopeService:
+		// SNAT traffic reaching the generic fallback entry point; the
+		// fallback path has no caller clock, so the session ages from
+		// the zero instant until the owner sweeps with ExpireSessions.
+		return n.ProcessSNATOutbound(raw, time.Time{})
+	}
+	out, err := n.reencap(n.vpkt.VXLAN.Payload(), vni, nc, n.vpkt.OuterUDP.SrcPort)
+	if err != nil {
+		return FallbackResult{}, err
+	}
+	n.stats.Forwarded++
+	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
+}
+
+// ProcessSNATOutbound implements the red arrow of Fig. 11: a VM's packet to
+// the public network. The session five-tuple is translated to a public
+// (IP, port), the inner source is rewritten, the VXLAN tunnel is removed and
+// the plain packet is emitted toward the Internet.
+func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, error) {
+	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
+		n.stats.Dropped++
+		return FallbackResult{}, err
+	}
+	if !n.vpkt.HasL4 || n.vpkt.InnerIsV6 {
+		// Production SNAT is IPv4; v6 uses different prefixes entirely.
+		n.stats.Dropped++
+		return FallbackResult{}, netpkt.ErrNotVXLAN
+	}
+	key := tables.SNATKey{VNI: n.vpkt.VXLAN.VNI, Flow: n.vpkt.InnerFlow()}
+	bind, err := n.SNAT.Translate(key)
+	if err != nil {
+		n.stats.Dropped++
+		return FallbackResult{}, err
+	}
+	n.SNAT.Touch(key, now)
+	// Rebuild the inner frame with the translated source.
+	f := key.Flow
+	layers := []netpkt.SerializableLayer{
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 63, Protocol: f.Proto, SrcIP: bind.PublicIP, DstIP: f.Dst},
+	}
+	var payload []byte
+	if f.Proto == netpkt.IPProtocolTCP {
+		t := n.vpkt.InnerTCP
+		t.SrcPort = bind.PublicPort
+		payload = n.vpkt.InnerTCP.Payload()
+		layers = append(layers, &t)
+	} else {
+		u := n.vpkt.InnerUDP
+		u.SrcPort = bind.PublicPort
+		payload = n.vpkt.InnerUDP.Payload()
+		layers = append(layers, &u)
+	}
+	if err := netpkt.SerializeLayers(n.sbuf, payload, layers...); err != nil {
+		return FallbackResult{}, err
+	}
+	n.stats.SNATOut++
+	return FallbackResult{Out: n.sbuf.Bytes(), ToInternet: true, LatencyUs: n.cfg.LatencyUs}, nil
+}
+
+// ProcessSNATInbound implements the blue arrow of Fig. 11: a response from
+// the public network arrives at the public (IP, port); the session is
+// recovered, the destination rewritten back to the VM, and the packet is
+// re-encapsulated toward the VM's NC.
+func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, error) {
+	if err := n.parser.ParsePlain(raw, &n.ppkt); err != nil {
+		n.stats.Dropped++
+		return FallbackResult{}, err
+	}
+	if !n.ppkt.HasL4 || n.ppkt.IsV6 {
+		n.stats.Dropped++
+		return FallbackResult{}, netpkt.ErrNotVXLAN
+	}
+	f := n.ppkt.Flow()
+	bind := tables.SNATBinding{PublicIP: f.Dst, PublicPort: f.DstPort}
+	key, ok := n.SNAT.ReverseLookup(bind, f.Src, f.SrcPort, f.Proto)
+	if !ok {
+		n.stats.Dropped++
+		return FallbackResult{}, tables.ErrNoRoute
+	}
+	n.SNAT.Touch(key, now)
+	nc, ok := n.VMNC.Lookup(key.VNI, key.Flow.Src)
+	if !ok {
+		n.stats.Dropped++
+		return FallbackResult{}, tables.ErrNoRoute
+	}
+	// Rebuild the inner frame with the original private destination.
+	layers := []netpkt.SerializableLayer{
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 63, Protocol: f.Proto, SrcIP: f.Src, DstIP: key.Flow.Src},
+	}
+	var payload []byte
+	if f.Proto == netpkt.IPProtocolTCP {
+		t := n.ppkt.TCP
+		t.DstPort = key.Flow.SrcPort
+		payload = n.ppkt.TCP.Payload()
+		layers = append(layers, &t)
+	} else {
+		u := n.ppkt.UDP
+		u.DstPort = key.Flow.SrcPort
+		payload = n.ppkt.UDP.Payload()
+		layers = append(layers, &u)
+	}
+	inner := netpkt.NewSerializeBuffer(64, len(raw))
+	if err := netpkt.SerializeLayers(inner, payload, layers...); err != nil {
+		return FallbackResult{}, err
+	}
+	out, err := n.reencap(inner.Bytes(), key.VNI, nc, 0xC000|uint16(key.Flow.FastHash()&0x3FFF))
+	if err != nil {
+		return FallbackResult{}, err
+	}
+	n.stats.SNATIn++
+	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
+}
+
+// ExpireSessions ages out SNAT sessions idle for ttl at the given instant,
+// returning the number released — the periodic sweep a production node runs
+// to bound the session table.
+func (n *Node) ExpireSessions(now time.Time, ttl time.Duration) int {
+	return n.SNAT.ExpireIdle(now, ttl)
+}
+
+// reencap wraps an inner frame in fresh VXLAN/UDP/IP/Ethernet headers.
+func (n *Node) reencap(inner []byte, vni netpkt.VNI, dst netip.Addr, srcPort uint16) ([]byte, error) {
+	layers := make([]netpkt.SerializableLayer, 0, 4)
+	eth := &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
+	if dst.Is6() {
+		eth.EtherType = netpkt.EtherTypeIPv6
+	}
+	layers = append(layers, eth)
+	if dst.Is6() {
+		layers = append(layers, &netpkt.IPv6{NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
+			SrcIP: n.cfg.GatewayIP, DstIP: dst})
+	} else {
+		layers = append(layers, &netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: n.cfg.GatewayIP, DstIP: dst})
+	}
+	layers = append(layers,
+		&netpkt.UDP{SrcPort: srcPort, DstPort: netpkt.VXLANPort},
+		&netpkt.VXLAN{VNI: vni})
+	if err := netpkt.SerializeLayers(n.sbuf, inner, layers...); err != nil {
+		return nil, err
+	}
+	return n.sbuf.Bytes(), nil
+}
+
+// AnswerPing handles a health-monitoring ICMP echo request aimed at the
+// gateway VIP (the ASIC punts VIP-destined ICMP to the software path): it
+// returns the echo reply frame, or an error for non-echo/non-VIP input.
+func (n *Node) AnswerPing(raw []byte) ([]byte, error) {
+	if err := n.parser.ParsePlain(raw, &n.ppkt); err != nil {
+		return nil, err
+	}
+	if n.ppkt.IsV6 || n.ppkt.IPv4.Protocol != netpkt.IPProtocolICMP {
+		return nil, netpkt.ErrNotVXLAN
+	}
+	if n.ppkt.IPv4.DstIP != n.cfg.GatewayIP {
+		return nil, fmt.Errorf("xgw86: ping for %v, VIP is %v", n.ppkt.IPv4.DstIP, n.cfg.GatewayIP)
+	}
+	var echo netpkt.ICMPEcho
+	if err := echo.DecodeFromBytes(n.ppkt.IPv4.Payload()); err != nil {
+		return nil, err
+	}
+	if echo.Type != netpkt.ICMPEchoRequest {
+		return nil, fmt.Errorf("xgw86: ICMP type %d is not an echo request", echo.Type)
+	}
+	reply := netpkt.ICMPEcho{Type: netpkt.ICMPEchoReply, ID: echo.ID, Seq: echo.Seq}
+	if err := netpkt.SerializeLayers(n.sbuf, echo.Payload(),
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolICMP,
+			SrcIP: n.cfg.GatewayIP, DstIP: n.ppkt.IPv4.SrcIP},
+		&reply,
+	); err != nil {
+		return nil, err
+	}
+	return n.sbuf.Bytes(), nil
+}

@@ -1,0 +1,497 @@
+package xgw86
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func newTestNode() *Node {
+	cfg := DefaultConfig()
+	cfg.PublicIPs = []netip.Addr{addr("203.0.113.10")}
+	cfg.GatewayIP = addr("10.254.0.1")
+	return NewNode(cfg)
+}
+
+func buildVXLAN(t testing.TB, vni netpkt.VNI, innerSrc, innerDst string, proto netpkt.IPProtocol, sp, dp uint16) []byte {
+	t.Helper()
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := (&netpkt.BuildSpec{
+		VNI:      vni,
+		OuterSrc: addr("10.1.1.11"), OuterDst: addr("10.254.0.1"),
+		InnerSrc: addr(innerSrc), InnerDst: addr(innerDst),
+		Proto: proto, SrcPort: sp, DstPort: dp,
+		Payload: []byte("req"),
+	}).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func TestFallbackForwarding(t *testing.T) {
+	n := newTestNode()
+	n.Routes.Insert(42, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	n.VMNC.Insert(42, addr("192.168.0.9"), addr("10.1.1.77"))
+	res, err := n.ProcessFallback(buildVXLAN(t, 42, "192.168.0.1", "192.168.0.9", netpkt.IPProtocolTCP, 1000, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NC != addr("10.1.1.77") || res.ToInternet {
+		t.Fatalf("res = %+v", res)
+	}
+	var p netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := p.Parse(res.Out, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.OuterDst() != addr("10.1.1.77") || pkt.VXLAN.VNI != 42 {
+		t.Fatalf("rewritten outer %v vni %v", pkt.OuterDst(), pkt.VXLAN.VNI)
+	}
+	if res.LatencyUs != 40 {
+		t.Fatalf("latency %v", res.LatencyUs)
+	}
+}
+
+func TestFallbackMissDropped(t *testing.T) {
+	n := newTestNode()
+	if _, err := n.ProcessFallback(buildVXLAN(t, 1, "192.168.0.1", "192.168.0.2", netpkt.IPProtocolUDP, 1, 2)); err == nil {
+		t.Fatal("expected error on route miss")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("stats %+v", n.Stats())
+	}
+}
+
+// The full Fig. 11 round trip: VM → Internet via SNAT, response back in.
+func TestSNATRoundTrip(t *testing.T) {
+	n := newTestNode()
+	n.VMNC.Insert(100, addr("192.168.0.5"), addr("10.1.1.55"))
+
+	// Outbound: VM 192.168.0.5:3333 → 93.184.216.34:443.
+	out, err := n.ProcessSNATOutbound(buildVXLAN(t, 100, "192.168.0.5", "93.184.216.34", netpkt.IPProtocolTCP, 3333, 443), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ToInternet {
+		t.Fatal("outbound not de-tunneled")
+	}
+	var p netpkt.Parser
+	var plain netpkt.PlainPacket
+	if err := p.ParsePlain(out.Out, &plain); err != nil {
+		t.Fatal(err)
+	}
+	f := plain.Flow()
+	if f.Src != addr("203.0.113.10") {
+		t.Fatalf("SNAT source = %v", f.Src)
+	}
+	if f.Dst != addr("93.184.216.34") || f.DstPort != 443 {
+		t.Fatalf("destination rewritten: %+v", f)
+	}
+	if f.SrcPort == 3333 {
+		t.Fatal("source port not translated")
+	}
+	if string(plain.TCP.Payload()) != "req" {
+		t.Fatal("payload corrupted")
+	}
+
+	// Inbound: the server responds to the public binding.
+	respBuf := netpkt.NewSerializeBuffer(64, 256)
+	if err := netpkt.SerializeLayers(respBuf, []byte("resp"),
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 60, Protocol: netpkt.IPProtocolTCP,
+			SrcIP: addr("93.184.216.34"), DstIP: f.Src},
+		&netpkt.TCP{SrcPort: 443, DstPort: f.SrcPort, Flags: netpkt.TCPFlagACK},
+	); err != nil {
+		t.Fatal(err)
+	}
+	in, err := n.ProcessSNATInbound(respBuf.Bytes(), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NC != addr("10.1.1.55") {
+		t.Fatalf("inbound NC = %v", in.NC)
+	}
+	var pkt netpkt.GatewayPacket
+	if err := p.Parse(in.Out, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.VXLAN.VNI != 100 {
+		t.Fatalf("inbound VNI = %v", pkt.VXLAN.VNI)
+	}
+	if pkt.InnerDst() != addr("192.168.0.5") || pkt.InnerTCP.DstPort != 3333 {
+		t.Fatalf("reverse translation wrong: %v:%d", pkt.InnerDst(), pkt.InnerTCP.DstPort)
+	}
+	if string(pkt.InnerTCP.Payload()) != "resp" {
+		t.Fatal("payload corrupted inbound")
+	}
+	s := n.Stats()
+	if s.SNATOut != 1 || s.SNATIn != 1 || s.SessionsAlive != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSNATInboundUnknownSessionDropped(t *testing.T) {
+	n := newTestNode()
+	buf := netpkt.NewSerializeBuffer(64, 128)
+	netpkt.SerializeLayers(buf, nil,
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 60, Protocol: netpkt.IPProtocolTCP,
+			SrcIP: addr("1.2.3.4"), DstIP: addr("203.0.113.10")},
+		&netpkt.TCP{SrcPort: 443, DstPort: 5555},
+	)
+	if _, err := n.ProcessSNATInbound(buf.Bytes(), time.Unix(0, 0)); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+}
+
+func TestSNATStableBinding(t *testing.T) {
+	n := newTestNode()
+	raw := buildVXLAN(t, 100, "192.168.0.5", "93.184.216.34", netpkt.IPProtocolUDP, 4444, 53)
+	var first uint16
+	for i := 0; i < 3; i++ {
+		res, err := n.ProcessSNATOutbound(raw, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p netpkt.Parser
+		var plain netpkt.PlainPacket
+		if err := p.ParsePlain(res.Out, &plain); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = plain.UDP.SrcPort
+		} else if plain.UDP.SrcPort != first {
+			t.Fatal("binding changed across packets of one session")
+		}
+	}
+	if n.SNAT.Len() != 1 {
+		t.Fatalf("sessions = %d", n.SNAT.Len())
+	}
+}
+
+// --- Load model ---
+
+func TestTickLoadBalancedFlows(t *testing.T) {
+	n := NewNode(DefaultConfig())
+	// Many small flows spread evenly: no core overload, no loss.
+	flows := make([]FlowLoad, 3200)
+	for i := range flows {
+		flows[i] = FlowLoad{Hash: netpkt.HashUint64(uint64(i)), Pps: 5000, Bps: 5000 * 8 * 500}
+	}
+	st := n.TickLoad(flows)
+	if st.LossRate() != 0 {
+		t.Fatalf("loss = %v on balanced load", st.LossRate())
+	}
+	if st.MaxCoreUtil() > 3*st.MeanCoreUtil() {
+		t.Fatalf("balanced load too skewed: max %.2f mean %.2f", st.MaxCoreUtil(), st.MeanCoreUtil())
+	}
+}
+
+// The §2.3 pathology: one heavy hitter pins one core while the node average
+// stays low — and only that core drops.
+func TestTickLoadHeavyHitterOverloadsOneCore(t *testing.T) {
+	n := NewNode(DefaultConfig())
+	flows := []FlowLoad{
+		{Hash: 12345, Pps: 2_000_000, Bps: 2e6 * 8 * 500}, // ~2.5x one core
+	}
+	for i := 0; i < 310; i++ {
+		flows = append(flows, FlowLoad{Hash: netpkt.HashUint64(uint64(i)), Pps: 20_000, Bps: 2e7})
+	}
+	st := n.TickLoad(flows)
+	if st.MaxCoreUtil() < 2.0 {
+		t.Fatalf("hot core util %.2f, want > 2", st.MaxCoreUtil())
+	}
+	if st.MeanCoreUtil() > 0.5 {
+		t.Fatalf("mean util %.2f, want low", st.MeanCoreUtil())
+	}
+	if st.LossRate() == 0 {
+		t.Fatal("overloaded core must drop")
+	}
+	// The hot core's traffic must be dominated by the top flow (Fig. 7).
+	hot := 0
+	for i, c := range st.Cores {
+		if c.Util > st.Cores[hot].Util {
+			hot = i
+		}
+	}
+	if st.Cores[hot].Top1Share < 0.8 {
+		t.Fatalf("top-1 share on hot core = %.2f", st.Cores[hot].Top1Share)
+	}
+}
+
+func TestTickLoadNICCeiling(t *testing.T) {
+	n := NewNode(DefaultConfig())
+	// 200 Gbps offered into a 100G NIC, spread across all cores.
+	flows := make([]FlowLoad, 320)
+	for i := range flows {
+		flows[i] = FlowLoad{Hash: netpkt.HashUint64(uint64(i)), Pps: 50_000, Bps: 200e9 / 320}
+	}
+	st := n.TickLoad(flows)
+	if st.ServedBps > 100e9*1.001 {
+		t.Fatalf("served %.1f Gbps exceeds NIC", st.ServedBps/1e9)
+	}
+	if st.DroppedBps < 90e9 {
+		t.Fatalf("dropped %.1f Gbps, want ≈100G", st.DroppedBps/1e9)
+	}
+}
+
+func TestTickLoadConservation(t *testing.T) {
+	n := NewNode(DefaultConfig())
+	flows := []FlowLoad{
+		{Hash: 1, Pps: 3_000_000, Bps: 3e9},
+		{Hash: 2, Pps: 100_000, Bps: 1e8},
+	}
+	st := n.TickLoad(flows)
+	if math.Abs(st.ServedPps+st.DroppedPps-st.OfferedPps) > 1 {
+		t.Fatalf("pps not conserved: %+v", st)
+	}
+	if st.OfferedPps != 3_100_000 {
+		t.Fatalf("offered = %v", st.OfferedPps)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if math.Abs(c.NodePps()-25e6) > 1 {
+		t.Fatalf("node pps = %v, want 25M (Fig. 18(b))", c.NodePps())
+	}
+	if c.LatencyUs != 40 {
+		t.Fatalf("latency = %v, want 40 µs (Fig. 18(c))", c.LatencyUs)
+	}
+}
+
+func BenchmarkFallbackForward(b *testing.B) {
+	n := newTestNode()
+	n.Routes.Insert(42, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	n.VMNC.Insert(42, addr("192.168.0.9"), addr("10.1.1.77"))
+	raw := buildVXLAN(b, 42, "192.168.0.1", "192.168.0.9", netpkt.IPProtocolTCP, 1000, 80)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.ProcessFallback(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTickLoad(b *testing.B) {
+	n := NewNode(DefaultConfig())
+	flows := make([]FlowLoad, 10000)
+	for i := range flows {
+		flows[i] = FlowLoad{Hash: netpkt.HashUint64(uint64(i)), Pps: 1000, Bps: 1e6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TickLoad(flows)
+	}
+}
+
+func TestLatencyUnderLoad(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.LatencyUsAt(0); got != c.LatencyUs {
+		t.Fatalf("unloaded latency = %v", got)
+	}
+	prev := 0.0
+	for _, u := range []float64{0.1, 0.5, 0.8, 0.95, 0.99} {
+		l := c.LatencyUsAt(u)
+		if l <= prev {
+			t.Fatalf("latency not increasing at util %v", u)
+		}
+		prev = l
+	}
+	if c.LatencyUsAt(0.95) < 5*c.LatencyUs {
+		t.Fatal("near-saturation latency should blow up")
+	}
+	if c.LatencyUsAt(1.5) != c.LatencyUsAt(1.0) {
+		t.Fatal("overload latency unbounded")
+	}
+	if c.LatencyUsAt(-1) != c.LatencyUs {
+		t.Fatal("negative util mishandled")
+	}
+}
+
+func TestNodeSessionExpiry(t *testing.T) {
+	n := newTestNode()
+	t0 := time.Unix(1000, 0)
+	raw := buildVXLAN(t, 100, "192.168.0.5", "93.184.216.34", netpkt.IPProtocolTCP, 3333, 443)
+	if _, err := n.ProcessSNATOutbound(raw, t0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().SessionsAlive != 1 {
+		t.Fatal("session not created")
+	}
+	// Still fresh at t0+30s with 60s TTL.
+	if got := n.ExpireSessions(t0.Add(30*time.Second), time.Minute); got != 0 {
+		t.Fatalf("fresh session expired: %d", got)
+	}
+	// Keepalive traffic refreshes the timer.
+	if _, err := n.ProcessSNATOutbound(raw, t0.Add(50*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ExpireSessions(t0.Add(100*time.Second), time.Minute); got != 0 {
+		t.Fatalf("refreshed session expired: %d", got)
+	}
+	if got := n.ExpireSessions(t0.Add(200*time.Second), time.Minute); got != 1 {
+		t.Fatalf("idle session survived: %d", got)
+	}
+	if n.Stats().SessionsAlive != 0 {
+		t.Fatal("session table not emptied")
+	}
+}
+
+func TestSNATOutboundRejectsV6AndNoL4(t *testing.T) {
+	n := newTestNode()
+	// IPv6 overlay: production SNAT is IPv4-only.
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw6, err := (&netpkt.BuildSpec{
+		VNI:      1,
+		OuterSrc: addr("10.1.1.11"), OuterDst: addr("10.254.0.1"),
+		InnerSrc: addr("2001:db8::1"), InnerDst: addr("2001:db8::2"),
+		Proto: netpkt.IPProtocolTCP, SrcPort: 1, DstPort: 2,
+	}).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ProcessSNATOutbound(raw6, time.Unix(0, 0)); err == nil {
+		t.Fatal("v6 SNAT accepted")
+	}
+	// Garbage frame.
+	if _, err := n.ProcessSNATOutbound([]byte{1, 2, 3}, time.Unix(0, 0)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSNATInboundRejectsV6AndGarbage(t *testing.T) {
+	n := newTestNode()
+	if _, err := n.ProcessSNATInbound([]byte{9}, time.Unix(0, 0)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// v6 plain packet.
+	buf := netpkt.NewSerializeBuffer(64, 128)
+	netpkt.SerializeLayers(buf, nil,
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv6},
+		&netpkt.IPv6{NextHeader: netpkt.IPProtocolTCP, HopLimit: 64,
+			SrcIP: addr("2001:db8::1"), DstIP: addr("2001:db8::2")},
+		&netpkt.TCP{SrcPort: 1, DstPort: 2},
+	)
+	if _, err := n.ProcessSNATInbound(buf.Bytes(), time.Unix(0, 0)); err == nil {
+		t.Fatal("v6 inbound accepted")
+	}
+}
+
+func TestSNATInboundUnknownVMDropped(t *testing.T) {
+	// Session exists, but the VM's NC mapping is gone (teardown race):
+	// drop, don't deliver blind.
+	n := newTestNode()
+	raw := buildVXLAN(t, 100, "192.168.0.5", "93.184.216.34", netpkt.IPProtocolTCP, 3333, 443)
+	out, err := n.ProcessSNATOutbound(raw, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p netpkt.Parser
+	var plain netpkt.PlainPacket
+	p.ParsePlain(out.Out, &plain)
+	f := plain.Flow()
+	respBuf := netpkt.NewSerializeBuffer(64, 128)
+	netpkt.SerializeLayers(respBuf, nil,
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 60, Protocol: netpkt.IPProtocolTCP,
+			SrcIP: addr("93.184.216.34"), DstIP: f.Src},
+		&netpkt.TCP{SrcPort: 443, DstPort: f.SrcPort},
+	)
+	if _, err := n.ProcessSNATInbound(respBuf.Bytes(), time.Unix(0, 0)); err == nil {
+		t.Fatal("response delivered without VM-NC mapping")
+	}
+}
+
+func TestFallbackRemoteScope(t *testing.T) {
+	n := newTestNode()
+	n.Routes.Insert(3, pfx("172.16.0.0/12"), tables.Route{Scope: tables.ScopeRemote, Tunnel: addr("100.64.7.7")})
+	res, err := n.ProcessFallback(buildVXLAN(t, 3, "192.168.0.1", "172.16.0.9", netpkt.IPProtocolUDP, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NC != addr("100.64.7.7") {
+		t.Fatalf("NC = %v", res.NC)
+	}
+}
+
+func TestFallbackServiceScopeRunsSNAT(t *testing.T) {
+	n := newTestNode()
+	n.Routes.Insert(4, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeService})
+	res, err := n.ProcessFallback(buildVXLAN(t, 4, "192.168.0.5", "8.8.8.8", netpkt.IPProtocolTCP, 100, 443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ToInternet {
+		t.Fatal("service scope did not run SNAT")
+	}
+	if n.Stats().SNATOut != 1 {
+		t.Fatalf("stats %+v", n.Stats())
+	}
+}
+
+func TestFallbackGarbageDropped(t *testing.T) {
+	n := newTestNode()
+	if _, err := n.ProcessFallback([]byte{0xff}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAnswerPing(t *testing.T) {
+	n := newTestNode() // VIP 10.254.0.1
+	buildPing := func(dst string, typ uint8) []byte {
+		b := netpkt.NewSerializeBuffer(64, 128)
+		if err := netpkt.SerializeLayers(b, []byte("probe"),
+			&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+			&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolICMP,
+				SrcIP: addr("10.9.9.9"), DstIP: addr(dst)},
+			&netpkt.ICMPEcho{Type: typ, ID: 42, Seq: 7},
+		); err != nil {
+			t.Fatal(err)
+		}
+		cp := make([]byte, len(b.Bytes()))
+		copy(cp, b.Bytes())
+		return cp
+	}
+	reply, err := n.AnswerPing(buildPing("10.254.0.1", netpkt.ICMPEchoRequest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p netpkt.Parser
+	var plain netpkt.PlainPacket
+	if err := p.ParsePlain(reply, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.IPv4.SrcIP != addr("10.254.0.1") || plain.IPv4.DstIP != addr("10.9.9.9") {
+		t.Fatalf("reply addressing: %v -> %v", plain.IPv4.SrcIP, plain.IPv4.DstIP)
+	}
+	var echo netpkt.ICMPEcho
+	if err := echo.DecodeFromBytes(plain.IPv4.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if echo.Type != netpkt.ICMPEchoReply || echo.ID != 42 || echo.Seq != 7 {
+		t.Fatalf("echo = %+v", echo)
+	}
+	if string(echo.Payload()) != "probe" {
+		t.Fatal("echo payload not mirrored")
+	}
+	// Wrong VIP and non-request types rejected.
+	if _, err := n.AnswerPing(buildPing("10.254.0.2", netpkt.ICMPEchoRequest)); err == nil {
+		t.Fatal("foreign-VIP ping answered")
+	}
+	if _, err := n.AnswerPing(buildPing("10.254.0.1", netpkt.ICMPEchoReply)); err == nil {
+		t.Fatal("echo reply answered")
+	}
+}

@@ -1,0 +1,154 @@
+package xgwh
+
+import (
+	"net/netip"
+
+	"sailfish/internal/alpm"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+// routeLookup abstracts the VXLAN routing engine so the gateway can run
+// either the plain trie (software reference) or the ALPM structure the
+// hardware actually uses. Both must answer identically; a property test
+// enforces it.
+type routeLookup interface {
+	Insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) error
+	Delete(vni netpkt.VNI, p netip.Prefix) bool
+	Len() int
+	Resolve(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, error)
+	// ResolveN also reports the lookups consumed (recirculation cost).
+	ResolveN(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, int, error)
+	// Get returns the route installed for exactly (vni, prefix).
+	Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool)
+}
+
+// trieRouting adapts tables.VXLANRoutingTable to routeLookup.
+type trieRouting struct{ *tables.VXLANRoutingTable }
+
+// Get implements routeLookup.
+func (t trieRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
+	return t.VXLANRoutingTable.Get(vni, p)
+}
+
+// alpmRouting is the hardware engine: per-VNI, per-family ALPM tables with
+// the production bucket capacity, updated incrementally as the controller
+// installs entries (Fig. 23's update stream needs no rebuilds).
+type alpmRouting struct {
+	v4 map[netpkt.VNI]*alpm.Table[tables.Route]
+	v6 map[netpkt.VNI]*alpm.Table[tables.Route]
+	n  int
+}
+
+func newALPMRouting() *alpmRouting {
+	return &alpmRouting{
+		v4: make(map[netpkt.VNI]*alpm.Table[tables.Route]),
+		v6: make(map[netpkt.VNI]*alpm.Table[tables.Route]),
+	}
+}
+
+// alpmBucketCapacity mirrors tofino.ALPMBucketCapacity; stated locally to
+// keep the runtime engine independent of the layout model.
+const alpmBucketCapacity = 16
+
+func (a *alpmRouting) tableFor(vni netpkt.VNI, is6 bool, create bool) (*alpm.Table[tables.Route], error) {
+	m, bits := a.v4, 32
+	if is6 {
+		m, bits = a.v6, 128
+	}
+	t := m[vni]
+	if t == nil && create {
+		var err error
+		t, err = alpm.Build[tables.Route](bits, alpmBucketCapacity, nil)
+		if err != nil {
+			return nil, err
+		}
+		m[vni] = t
+	}
+	return t, nil
+}
+
+// Insert implements routeLookup.
+func (a *alpmRouting) Insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
+	t, err := a.tableFor(vni, p.Addr().Is6(), true)
+	if err != nil {
+		return err
+	}
+	before := t.Stats().StoredEntries
+	if err := t.Insert(p, r); err != nil {
+		return err
+	}
+	if t.Stats().StoredEntries > before {
+		a.n++
+	}
+	return nil
+}
+
+// Delete implements routeLookup.
+func (a *alpmRouting) Delete(vni netpkt.VNI, p netip.Prefix) bool {
+	t, _ := a.tableFor(vni, p.Addr().Is6(), false)
+	if t == nil {
+		return false
+	}
+	if t.Delete(p) {
+		a.n--
+		return true
+	}
+	return false
+}
+
+// Len implements routeLookup. It counts logical entries, not replicas.
+func (a *alpmRouting) Len() int { return a.n }
+
+// Resolve implements routeLookup with the same peer-chain semantics as the
+// trie engine.
+func (a *alpmRouting) Resolve(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, error) {
+	v, r, _, err := a.ResolveN(vni, addr)
+	return v, r, err
+}
+
+// ResolveN implements routeLookup.
+func (a *alpmRouting) ResolveN(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, int, error) {
+	cur := vni
+	for hop := 0; hop < 8; hop++ {
+		t, _ := a.tableFor(cur, addr.Is6(), false)
+		if t == nil {
+			return cur, tables.Route{}, hop + 1, tables.ErrNoRoute
+		}
+		r, _, ok := t.Lookup(addr)
+		if !ok {
+			return cur, tables.Route{}, hop + 1, tables.ErrNoRoute
+		}
+		if r.Scope != tables.ScopePeer {
+			return cur, r, hop + 1, nil
+		}
+		cur = r.NextHopVNI
+	}
+	return cur, tables.Route{}, 8, tables.ErrRouteLoop
+}
+
+// Get implements routeLookup.
+func (a *alpmRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
+	t, _ := a.tableFor(vni, p.Addr().Is6(), false)
+	if t == nil {
+		return tables.Route{}, false
+	}
+	return t.Get(p)
+}
+
+// ALPMStats aggregates bucket statistics across the engine's tables (zero
+// when the trie engine is active).
+func (a *alpmRouting) stats() alpm.Stats {
+	var s alpm.Stats
+	for _, m := range []map[netpkt.VNI]*alpm.Table[tables.Route]{a.v4, a.v6} {
+		for _, t := range m {
+			st := t.Stats()
+			s.TCAMEntries += st.TCAMEntries
+			s.Buckets += st.Buckets
+			s.SRAMEntries += st.SRAMEntries
+			s.StoredEntries += st.StoredEntries
+			s.BucketCapacity = st.BucketCapacity
+		}
+	}
+	return s
+}

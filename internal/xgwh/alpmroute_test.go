@@ -1,0 +1,163 @@
+package xgwh
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+)
+
+func newALPMGateway() *Gateway {
+	return New(Config{
+		Chip: tofino.DefaultChip(), Folded: true, SplitPipes: true,
+		GatewayIP: addr("10.255.0.1"), ALPMRoutes: true,
+	})
+}
+
+// The whole behavioral suite's core paths, under the ALPM engine.
+func TestALPMGatewayForwardingPaths(t *testing.T) {
+	g := newALPMGateway()
+	g.InstallRoute(100, pfx("192.168.10.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallRoute(100, pfx("192.168.30.0/24"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 200})
+	g.InstallRoute(200, pfx("192.168.30.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallRoute(100, pfx("172.16.0.0/12"), tables.Route{Scope: tables.ScopeRemote, Tunnel: addr("100.64.1.1")})
+	g.InstallVM(100, addr("192.168.10.3"), addr("10.1.1.12"))
+	g.InstallVM(200, addr("192.168.30.5"), addr("10.1.1.15"))
+
+	cases := []struct {
+		name, dst string
+		wantNC    string
+	}{
+		{"same-vpc", "192.168.10.3", "10.1.1.12"},
+		{"peered", "192.168.30.5", "10.1.1.15"},
+		{"remote", "172.16.9.9", "100.64.1.1"},
+	}
+	for _, c := range cases {
+		res, err := g.ProcessPacket(buildPacket(t, 100, "192.168.10.2", c.dst), now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action != ActionForward || res.NC != addr(c.wantNC) {
+			t.Fatalf("%s: %+v (%s)", c.name, res, res.DropReason)
+		}
+	}
+	// Miss → fallback.
+	res, _ := g.ProcessPacket(buildPacket(t, 100, "192.168.10.2", "9.9.9.9"), now())
+	if res.Action != ActionFallback {
+		t.Fatalf("miss: %v", res.Action)
+	}
+	if st, ok := g.ALPMRouteStats(); !ok || st.Pivots == 0 || st.StoredEntries < 4 {
+		t.Fatalf("alpm stats: %+v ok=%v", st, ok)
+	}
+	// Trie gateways report no ALPM stats.
+	if _, ok := newTestGateway().ALPMRouteStats(); ok {
+		t.Fatal("trie engine exposed ALPM stats")
+	}
+}
+
+func TestALPMGatewayRouteLoop(t *testing.T) {
+	g := newALPMGateway()
+	g.InstallRoute(1, pfx("10.0.0.0/8"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 2})
+	g.InstallRoute(2, pfx("10.0.0.0/8"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 1})
+	res, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "10.1.1.1"), now())
+	if res.Action != ActionDrop || res.DropReason != "route_loop" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// Property: both routing engines answer every Resolve identically across a
+// random install/remove history.
+func TestEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trie := trieRouting{tables.NewVXLANRoutingTable()}
+	hw := newALPMRouting()
+	type key struct {
+		vni netpkt.VNI
+		p   netip.Prefix
+	}
+	var installed []key
+	randPrefix := func() netip.Prefix {
+		if rng.Intn(4) == 0 {
+			var b [16]byte
+			rng.Read(b[:])
+			b[0], b[1] = 0x20, 0x01
+			return netip.PrefixFrom(netip.AddrFrom16(b), rng.Intn(129)).Masked()
+		}
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = 10
+		return netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33)).Masked()
+	}
+	scopes := []tables.Scope{tables.ScopeLocal, tables.ScopeRemote, tables.ScopeService}
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			k := key{netpkt.VNI(rng.Intn(6)), randPrefix()}
+			r := tables.Route{Scope: scopes[rng.Intn(len(scopes))]}
+			if err := trie.Insert(k.vni, k.p, r); err != nil {
+				t.Fatal(err)
+			}
+			if err := hw.Insert(k.vni, k.p, r); err != nil {
+				t.Fatal(err)
+			}
+			installed = append(installed, k)
+		case 2:
+			if len(installed) == 0 {
+				continue
+			}
+			i := rng.Intn(len(installed))
+			k := installed[i]
+			installed = append(installed[:i], installed[i+1:]...)
+			a := trie.Delete(k.vni, k.p)
+			b := hw.Delete(k.vni, k.p)
+			if a != b {
+				t.Fatalf("delete disagreement on %v: %v vs %v", k, a, b)
+			}
+		}
+	}
+	// Probe.
+	for i := 0; i < 4000; i++ {
+		vni := netpkt.VNI(rng.Intn(6))
+		var a netip.Addr
+		if i%4 == 0 {
+			var b [16]byte
+			rng.Read(b[:])
+			b[0], b[1] = 0x20, 0x01
+			a = netip.AddrFrom16(b)
+		} else {
+			var b [4]byte
+			rng.Read(b[:])
+			b[0] = 10
+			a = netip.AddrFrom4(b)
+		}
+		v1, r1, e1 := trie.Resolve(vni, a)
+		v2, r2, e2 := hw.Resolve(vni, a)
+		if e1 != e2 || (e1 == nil && (v1 != v2 || r1 != r2)) {
+			t.Fatalf("engines disagree at (%v,%v): (%v,%+v,%v) vs (%v,%+v,%v)",
+				vni, a, v1, r1, e1, v2, r2, e2)
+		}
+	}
+	if trie.Len() != hw.Len() {
+		t.Fatalf("Len disagreement: %d vs %d", trie.Len(), hw.Len())
+	}
+}
+
+func BenchmarkALPMGatewayForward(b *testing.B) {
+	g := newALPMGateway()
+	g.InstallRoute(100, pfx("192.168.10.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.10.3"), addr("10.1.1.12"))
+	raw := buildPacket(b, 100, "192.168.10.2", "192.168.10.3")
+	t0 := now()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.ProcessPacket(raw, t0)
+		if err != nil || res.Action != ActionForward {
+			b.Fatal("not forwarded")
+		}
+	}
+}

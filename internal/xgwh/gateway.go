@@ -1,0 +1,522 @@
+package xgwh
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/digest"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/tofino"
+)
+
+// Action is the gateway's verdict on a packet.
+type Action int
+
+const (
+	// ActionForward: the packet was rewritten and forwarded to an NC or
+	// remote tunnel endpoint.
+	ActionForward Action = iota
+	// ActionFallback: the packet is steered to an XGW-x86 node (§4.2).
+	ActionFallback
+	// ActionDrop: the packet was discarded (ACL deny, routing loop,
+	// fallback rate limit).
+	ActionDrop
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionForward:
+		return "forward"
+	case ActionFallback:
+		return "fallback"
+	case ActionDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// ForwardResult reports the outcome of processing one packet.
+type ForwardResult struct {
+	Action     Action
+	DropReason string
+	// NC is the rewritten outer destination (the physical server, or the
+	// remote-region tunnel endpoint). Valid when Action == ActionForward.
+	NC netip.Addr
+	// Out is the rewritten wire packet. The slice is only valid until the
+	// next ProcessPacket call.
+	Out []byte
+	// Unit is the folded pipe pair that carried the packet (0 → egress
+	// pipe 1, 1 → egress pipe 3), selected by VNI parity when entries are
+	// split between pipelines.
+	Unit      int
+	Passes    int
+	LatencyNs float64
+	WireBytes int
+}
+
+// Config assembles a gateway.
+type Config struct {
+	Chip tofino.ChipConfig
+	// Folded enables pipeline folding (production configuration).
+	Folded bool
+	// SplitPipes splits traffic between the folded units by VNI parity.
+	SplitPipes bool
+	// SplitByIP switches the unit-selection key from VNI parity to inner
+	// destination parity — the paper's other suggested split key ("we can
+	// split entries according to the parity of VNI or inner Dst IP").
+	SplitByIP bool
+	// GatewayIP is the outer source address of rewritten packets.
+	GatewayIP netip.Addr
+	// FallbackRateBps rate-limits traffic steered to XGW-x86; 0 disables
+	// the limiter (§4.2: overload protection for the software path).
+	FallbackRateBps float64
+	// FallbackBurstBytes is the limiter's bucket depth.
+	FallbackBurstBytes float64
+	// ALPMRoutes selects the hardware routing engine: per-VNI ALPM
+	// structures (TCAM pivot index + SRAM buckets) instead of the plain
+	// trie. Lookup results are identical; this exercises the §4.4
+	// structure end to end, including incremental updates.
+	ALPMRoutes bool
+}
+
+// UnitStats accumulates per-folded-unit traffic for the pipeline-balance
+// figures (Figs. 20-21).
+type UnitStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Stats is a snapshot of the gateway's counters.
+type Stats struct {
+	Forwarded  uint64
+	Fallback   uint64
+	Dropped    uint64
+	TotalBytes uint64
+	// FallbackBytes is the volume steered to XGW-x86 (Fig. 22).
+	FallbackBytes uint64
+	Units         [2]UnitStats
+	DropReasons   map[string]uint64
+}
+
+// Gateway is one XGW-H node: the chip forwarding model programmed with the
+// Sailfish tables. It is not safe for concurrent use; in the simulator each
+// node is driven by one goroutine, as each physical box is one chip.
+type Gateway struct {
+	cfg    Config
+	device *tofino.Device
+
+	routes   routeLookup
+	vmnc     *digest.Table[netip.Addr]
+	acl      *tables.ACL
+	meter    *tables.Meter // per-tenant SLA shapes
+	fbMeter  *tables.Meter // fallback-path overload protection
+	counters *tables.Counters
+	snatVNIs map[netpkt.VNI]bool
+
+	parser netpkt.Parser
+	pkt    netpkt.GatewayPacket
+	ctx    tofino.Context
+	sbuf   *netpkt.SerializeBuffer
+
+	stats Stats
+
+	// Telemetry (vtrace-style postcards, §3.1): when enabled, packets
+	// matching the rule table produce per-hop reports to the collector.
+	telemetryID      string
+	telemetryMatch   *telemetry.Matcher
+	telemetryCollect *telemetry.Collector
+	telemetrySeq     uint64
+
+	// now is the current packet's clock, set by ProcessPacket for the
+	// pipeline's metering stages.
+	now time.Time
+}
+
+// EnableTelemetry attaches the device to a vtrace-style collector: packets
+// matching the rule table emit postcards under the given device id.
+func (g *Gateway) EnableTelemetry(deviceID string, m *telemetry.Matcher, c *telemetry.Collector) {
+	g.telemetryID = deviceID
+	g.telemetryMatch = m
+	g.telemetryCollect = c
+}
+
+// reportTelemetry emits the postcard for the current packet if traced.
+func (g *Gateway) reportTelemetry(action string, now time.Time) {
+	if g.telemetryMatch == nil || g.telemetryCollect == nil {
+		return
+	}
+	if !g.telemetryMatch.Match(g.pkt.VXLAN.VNI, g.pkt.InnerDst()) {
+		return
+	}
+	g.telemetrySeq++
+	g.telemetryCollect.Report(telemetry.HopReport{
+		Device: g.telemetryID,
+		Flow: telemetry.FlowKey{
+			VNI: g.pkt.VXLAN.VNI,
+			Src: g.pkt.InnerSrc(),
+			Dst: g.pkt.InnerDst(),
+		},
+		Seq:    g.telemetrySeq,
+		Action: action,
+		TimeNs: now.UnixNano(),
+	})
+}
+
+// New returns a gateway with empty tables, programmed per the Sailfish
+// segment layout: classification and routing on the entry pass, VM-NC on the
+// loopback egress, ACL and accounting on the loopback ingress, rewrite on
+// exit.
+func New(cfg Config) *Gateway {
+	var routes routeLookup = trieRouting{tables.NewVXLANRoutingTable()}
+	if cfg.ALPMRoutes {
+		routes = newALPMRouting()
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		device:   tofino.NewDevice(cfg.Chip, cfg.Folded),
+		routes:   routes,
+		vmnc:     digest.New[netip.Addr](),
+		acl:      tables.NewACL(),
+		meter:    tables.NewMeter(),
+		fbMeter:  tables.NewMeter(),
+		counters: tables.NewCounters(),
+		snatVNIs: make(map[netpkt.VNI]bool),
+		sbuf:     netpkt.NewSerializeBuffer(128, 2048),
+	}
+	g.device.BridgedMetadataBytes = 8
+	g.stats.DropReasons = make(map[string]uint64)
+
+	entry := tofino.SegIngressEntry
+	vmncSeg := tofino.SegEgressExit
+	aclSeg := tofino.SegEgressExit
+	if cfg.Folded {
+		vmncSeg = tofino.SegEgressLoop
+		aclSeg = tofino.SegIngressLoop
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err) // programming error: segment/mode mismatch
+		}
+	}
+	must(g.device.AddTable(entry, execFunc{"snat_steer", g.execClassify}))
+	must(g.device.AddTable(entry, execFunc{"meter", g.execMeter}))
+	must(g.device.AddTable(entry, execFunc{"vxlan_routing", g.execRoute}))
+	must(g.device.AddTable(vmncSeg, execFunc{"vm_nc", g.execVMNC}))
+	must(g.device.AddTable(aclSeg, execFunc{"acl", g.execACL}))
+	return g
+}
+
+// execFunc adapts a method to tofino.TableExec.
+type execFunc struct {
+	name string
+	fn   func(*tofino.Context) error
+}
+
+func (e execFunc) Name() string                      { return e.name }
+func (e execFunc) Execute(ctx *tofino.Context) error { return e.fn(ctx) }
+
+// --- Control-plane installation API (driven by the controller) ---
+
+// InstallRoute adds a VXLAN route.
+func (g *Gateway) InstallRoute(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
+	return g.routes.Insert(vni, p, r)
+}
+
+// RemoveRoute deletes a VXLAN route.
+func (g *Gateway) RemoveRoute(vni netpkt.VNI, p netip.Prefix) bool {
+	return g.routes.Delete(vni, p)
+}
+
+// GetRoute returns the route installed for exactly (vni, prefix) — the
+// introspection the controller's consistency and reconciliation sweeps use.
+func (g *Gateway) GetRoute(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
+	return g.routes.Get(vni, p)
+}
+
+// LookupVM returns the NC installed for (vni, vm).
+func (g *Gateway) LookupVM(vni netpkt.VNI, vm netip.Addr) (netip.Addr, bool) {
+	return g.vmnc.Lookup(vni, vm)
+}
+
+// InstallVM maps (vni, vm) to its hosting NC.
+func (g *Gateway) InstallVM(vni netpkt.VNI, vm, nc netip.Addr) {
+	g.vmnc.Insert(vni, vm, nc)
+}
+
+// RemoveVM deletes a VM mapping.
+func (g *Gateway) RemoveVM(vni netpkt.VNI, vm netip.Addr) bool {
+	return g.vmnc.Delete(vni, vm)
+}
+
+// InstallACL adds a tenant ACL rule.
+func (g *Gateway) InstallACL(vni netpkt.VNI, r tables.ACLRule) {
+	g.acl.Insert(vni, r)
+}
+
+// MarkServiceVNI registers a special VNI tag whose traffic requires a
+// software service (e.g. SNAT) and is steered to XGW-x86.
+func (g *Gateway) MarkServiceVNI(vni netpkt.VNI) { g.snatVNIs[vni] = true }
+
+// InstallShape installs a per-tenant token-bucket rate limit — the QoS
+// "meter" service table installed per SLA (§3.3). Nonconforming packets are
+// dropped with reason "meter_exceeded".
+func (g *Gateway) InstallShape(vni netpkt.VNI, bytesPerSec, burstBytes float64) {
+	g.meter.SetShape(vni, bytesPerSec, burstBytes)
+}
+
+// TenantCounters reads a tenant's packet/byte counters (the per-SLA counter
+// table the controller polls).
+func (g *Gateway) TenantCounters(vni netpkt.VNI) (pkts, bytes uint64) {
+	return g.counters.Read(vni)
+}
+
+// RouteCount returns the number of installed VXLAN routes.
+func (g *Gateway) RouteCount() int { return g.routes.Len() }
+
+// VMCount returns the number of installed VM-NC mappings.
+func (g *Gateway) VMCount() int { return g.vmnc.Len() }
+
+// VMNCStats exposes the digest-table shape (pooled vs conflict entries).
+func (g *Gateway) VMNCStats() digest.Stats { return g.vmnc.Stats() }
+
+// Device exposes the underlying chip model (for perf queries).
+func (g *Gateway) Device() *tofino.Device { return g.device }
+
+// ALPMRouteStats reports the routing engine's bucket shape when the ALPM
+// engine is active (ok=false under the trie engine).
+func (g *Gateway) ALPMRouteStats() (s alpmRouteStats, ok bool) {
+	a, isALPM := g.routes.(*alpmRouting)
+	if !isALPM {
+		return s, false
+	}
+	st := a.stats()
+	return alpmRouteStats{
+		Pivots:        st.TCAMEntries,
+		Buckets:       st.Buckets,
+		SRAMSlots:     st.SRAMEntries,
+		StoredEntries: st.StoredEntries,
+	}, true
+}
+
+// alpmRouteStats summarizes the live ALPM routing structure.
+type alpmRouteStats struct {
+	Pivots        int
+	Buckets       int
+	SRAMSlots     int
+	StoredEntries int
+}
+
+// --- Data plane ---
+
+// execClassify steers special service VNIs to the software path.
+func (g *Gateway) execClassify(ctx *tofino.Context) error {
+	if g.snatVNIs[ctx.Pkt.VXLAN.VNI] {
+		ctx.ToFallback = true
+	}
+	return nil
+}
+
+// execMeter applies the tenant's SLA shape at the entry pass.
+func (g *Gateway) execMeter(ctx *tofino.Context) error {
+	if !g.meter.Allow(ctx.Pkt.VXLAN.VNI, ctx.Pkt.WireLen, g.now) {
+		ctx.Drop = true
+		ctx.DropReason = "meter_exceeded"
+	}
+	return nil
+}
+
+// execRoute resolves the VXLAN routing table, following peer chains.
+func (g *Gateway) execRoute(ctx *tofino.Context) error {
+	if ctx.ToFallback {
+		return nil
+	}
+	vni, r, hops, err := g.routes.ResolveN(ctx.Pkt.VXLAN.VNI, ctx.Pkt.InnerDst())
+	// Each peer hop beyond the first lookup recirculates the packet.
+	if hops > 1 {
+		ctx.Recirculations += hops - 1
+	}
+	switch err {
+	case nil:
+		ctx.FinalVNI, ctx.Route, ctx.RouteOK = vni, r, true
+		if r.Scope == tables.ScopeService {
+			ctx.ToFallback = true
+		}
+	case tables.ErrNoRoute:
+		// Volatile or long-tail entries live in XGW-x86 (§4.2).
+		ctx.ToFallback = true
+	case tables.ErrRouteLoop:
+		ctx.Drop = true
+		ctx.DropReason = "route_loop"
+	default:
+		return err
+	}
+	return nil
+}
+
+// execVMNC finds the physical server hosting the destination VM.
+func (g *Gateway) execVMNC(ctx *tofino.Context) error {
+	if ctx.ToFallback || !ctx.RouteOK {
+		return nil
+	}
+	switch ctx.Route.Scope {
+	case tables.ScopeLocal:
+		nc, ok := g.vmnc.Lookup(ctx.FinalVNI, ctx.Pkt.InnerDst())
+		if !ok {
+			// Mapping not in hardware: long-tail VM handled in software.
+			ctx.ToFallback = true
+			return nil
+		}
+		ctx.NCAddr, ctx.NCOK = nc, true
+	case tables.ScopeRemote:
+		ctx.NCAddr, ctx.NCOK = ctx.Route.Tunnel, true
+	}
+	return nil
+}
+
+// execACL applies tenant ACLs; deny drops the packet.
+func (g *Gateway) execACL(ctx *tofino.Context) error {
+	if ctx.Drop || ctx.ToFallback {
+		return nil
+	}
+	if g.acl.Check(ctx.Pkt.VXLAN.VNI, ctx.Pkt.InnerFlow()) == tables.ACLDeny {
+		ctx.Drop = true
+		ctx.DropReason = "acl_deny"
+	}
+	return nil
+}
+
+// unitFor selects the folded unit carrying the packet: VNI parity (or
+// inner-destination parity with SplitByIP) when splitting is enabled
+// (§4.4: "split the entries according to the parity of VNI or inner Dst
+// IP"), unit 0 otherwise.
+func (g *Gateway) unitFor(vni netpkt.VNI) int {
+	if !g.cfg.SplitPipes {
+		return 0
+	}
+	if g.cfg.SplitByIP {
+		dst := g.pkt.InnerDst()
+		if dst.Is4() {
+			b := dst.As4()
+			return int(b[3] & 1)
+		}
+		b := dst.As16()
+		return int(b[15] & 1)
+	}
+	return int(vni & 1)
+}
+
+// ProcessPacket runs one wire packet through the gateway. now drives the
+// fallback rate limiter; pass the simulation clock.
+func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error) {
+	if err := g.parser.Parse(raw, &g.pkt); err != nil {
+		g.stats.Dropped++
+		g.stats.DropReasons["parse_error"]++
+		return ForwardResult{Action: ActionDrop, DropReason: "parse_error"}, nil
+	}
+	g.ctx.Reset(&g.pkt)
+	g.now = now
+	res, err := g.device.Process(&g.ctx)
+	if err != nil {
+		return ForwardResult{}, err
+	}
+
+	out := ForwardResult{
+		Unit:      g.unitFor(g.pkt.VXLAN.VNI),
+		Passes:    res.Passes,
+		LatencyNs: res.LatencyNs,
+		WireBytes: res.WireBytes,
+	}
+	g.stats.TotalBytes += uint64(g.pkt.WireLen)
+	g.stats.Units[out.Unit].Packets++
+	g.stats.Units[out.Unit].Bytes += uint64(g.pkt.WireLen)
+	g.counters.Add(g.pkt.VXLAN.VNI, g.pkt.WireLen)
+
+	switch {
+	case g.ctx.Drop:
+		out.Action = ActionDrop
+		out.DropReason = g.ctx.DropReason
+		g.stats.Dropped++
+		g.stats.DropReasons[g.ctx.DropReason]++
+		g.reportTelemetry("drop:"+out.DropReason, now)
+	case g.ctx.ToFallback:
+		if g.cfg.FallbackRateBps > 0 {
+			g.fbMeter.DefaultRate = g.cfg.FallbackRateBps
+			g.fbMeter.DefaultBurst = g.cfg.FallbackBurstBytes
+			if !g.fbMeter.Allow(0, g.pkt.WireLen, now) {
+				out.Action = ActionDrop
+				out.DropReason = "fallback_rate_limit"
+				g.stats.Dropped++
+				g.stats.DropReasons[out.DropReason]++
+				g.reportTelemetry("drop:"+out.DropReason, now)
+				return out, nil
+			}
+		}
+		out.Action = ActionFallback
+		g.stats.Fallback++
+		g.stats.FallbackBytes += uint64(g.pkt.WireLen)
+		g.reportTelemetry("fallback", now)
+	case g.ctx.NCOK:
+		rewritten, rerr := g.rewrite()
+		if rerr != nil {
+			return ForwardResult{}, rerr
+		}
+		out.Action = ActionForward
+		out.NC = g.ctx.NCAddr
+		out.Out = rewritten
+		g.stats.Forwarded++
+		g.reportTelemetry("forward", now)
+	default:
+		out.Action = ActionDrop
+		out.DropReason = "no_nc"
+		g.stats.Dropped++
+		g.stats.DropReasons[out.DropReason]++
+		g.reportTelemetry("drop:"+out.DropReason, now)
+	}
+	return out, nil
+}
+
+// rewrite re-encapsulates the inner frame with fresh outer headers: outer
+// destination = NC (or tunnel endpoint), outer source = the gateway VIP, and
+// the VNI of the VPC actually containing the destination (Fig. 2's outer
+// rewrite).
+func (g *Gateway) rewrite() ([]byte, error) {
+	inner := g.pkt.VXLAN.Payload()
+	layers := make([]netpkt.SerializableLayer, 0, 4)
+	eth := &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
+	if g.ctx.NCAddr.Is6() {
+		eth.EtherType = netpkt.EtherTypeIPv6
+	}
+	layers = append(layers, eth)
+	if g.ctx.NCAddr.Is6() {
+		layers = append(layers, &netpkt.IPv6{
+			NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
+			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
+		})
+	} else {
+		layers = append(layers, &netpkt.IPv4{
+			TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
+		})
+	}
+	layers = append(layers,
+		&netpkt.UDP{SrcPort: g.pkt.OuterUDP.SrcPort, DstPort: netpkt.VXLANPort},
+		&netpkt.VXLAN{VNI: g.ctx.FinalVNI},
+	)
+	if err := netpkt.SerializeLayers(g.sbuf, inner, layers...); err != nil {
+		return nil, err
+	}
+	return g.sbuf.Bytes(), nil
+}
+
+// Stats returns a copy of the counters (the DropReasons map is shared for
+// efficiency; treat it as read-only).
+func (g *Gateway) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the counters.
+func (g *Gateway) ResetStats() {
+	g.stats = Stats{DropReasons: make(map[string]uint64)}
+}

@@ -1,0 +1,385 @@
+package xgwh
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/tofino"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func now() time.Time            { return time.Unix(0, 0) }
+
+func newTestGateway() *Gateway {
+	return New(Config{
+		Chip:       tofino.DefaultChip(),
+		Folded:     true,
+		SplitPipes: true,
+		GatewayIP:  addr("10.255.0.1"),
+	})
+}
+
+func buildPacket(t testing.TB, vni netpkt.VNI, innerSrc, innerDst string) []byte {
+	t.Helper()
+	spec := netpkt.BuildSpec{
+		VNI:      vni,
+		OuterSrc: addr("10.1.1.11"), OuterDst: addr("10.255.0.1"),
+		InnerSrc: addr(innerSrc), InnerDst: addr(innerDst),
+		Proto: netpkt.IPProtocolTCP, SrcPort: 4242, DstPort: 80,
+		Payload: []byte("data"),
+	}
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := spec.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+// Fig. 2's first scenario: same VPC, different vSwitches.
+func TestForwardSameVPC(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(100, pfx("192.168.10.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.10.3"), addr("10.1.1.12"))
+
+	res, err := g.ProcessPacket(buildPacket(t, 100, "192.168.10.2", "192.168.10.3"), now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionForward {
+		t.Fatalf("action = %v (%s)", res.Action, res.DropReason)
+	}
+	if res.NC != addr("10.1.1.12") {
+		t.Fatalf("NC = %v", res.NC)
+	}
+	// The rewritten packet must carry outer dst = NC, outer src = gateway,
+	// same VNI, intact inner frame.
+	var p netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := p.Parse(res.Out, &pkt); err != nil {
+		t.Fatalf("rewritten packet unparseable: %v", err)
+	}
+	if pkt.OuterDst() != addr("10.1.1.12") || pkt.OuterSrc() != addr("10.255.0.1") {
+		t.Fatalf("outer = %v -> %v", pkt.OuterSrc(), pkt.OuterDst())
+	}
+	if pkt.VXLAN.VNI != 100 {
+		t.Fatalf("VNI = %v", pkt.VXLAN.VNI)
+	}
+	if pkt.InnerDst() != addr("192.168.10.3") || pkt.InnerSrc() != addr("192.168.10.2") {
+		t.Fatal("inner frame corrupted by rewrite")
+	}
+	if string(pkt.InnerTCP.Payload()) != "data" {
+		t.Fatal("payload corrupted by rewrite")
+	}
+}
+
+// Fig. 2's second scenario: peered VPCs — the delivered VNI must be the
+// destination VPC's.
+func TestForwardPeeredVPC(t *testing.T) {
+	g := newTestGateway()
+	const vpcA, vpcB netpkt.VNI = 100, 200
+	g.InstallRoute(vpcA, pfx("192.168.30.0/24"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: vpcB})
+	g.InstallRoute(vpcB, pfx("192.168.30.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(vpcB, addr("192.168.30.5"), addr("10.1.1.15"))
+
+	res, err := g.ProcessPacket(buildPacket(t, vpcA, "192.168.10.2", "192.168.30.5"), now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionForward || res.NC != addr("10.1.1.15") {
+		t.Fatalf("res = %+v", res)
+	}
+	var p netpkt.Parser
+	var pkt netpkt.GatewayPacket
+	if err := p.Parse(res.Out, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.VXLAN.VNI != vpcB {
+		t.Fatalf("delivered VNI = %v, want peer VPC %v", pkt.VXLAN.VNI, vpcB)
+	}
+}
+
+func TestForwardRemoteRegion(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(7, pfx("172.16.0.0/12"), tables.Route{Scope: tables.ScopeRemote, Tunnel: addr("100.64.9.9")})
+	res, err := g.ProcessPacket(buildPacket(t, 7, "192.168.0.1", "172.16.1.1"), now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionForward || res.NC != addr("100.64.9.9") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRouteMissFallsBack(t *testing.T) {
+	g := newTestGateway()
+	res, err := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "192.168.0.2"), now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionFallback {
+		t.Fatalf("action = %v", res.Action)
+	}
+	if g.Stats().Fallback != 1 {
+		t.Fatalf("stats = %+v", g.Stats())
+	}
+}
+
+func TestVMMissFallsBack(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	res, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "192.168.0.2"), now())
+	if res.Action != ActionFallback {
+		t.Fatalf("action = %v", res.Action)
+	}
+}
+
+func TestServiceVNISteersToFallback(t *testing.T) {
+	g := newTestGateway()
+	g.MarkServiceVNI(9000)
+	// Even with a valid route, the service tag wins.
+	g.InstallRoute(9000, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeLocal})
+	res, _ := g.ProcessPacket(buildPacket(t, 9000, "192.168.0.1", "8.8.8.8"), now())
+	if res.Action != ActionFallback {
+		t.Fatalf("action = %v", res.Action)
+	}
+}
+
+func TestServiceScopeRouteSteersToFallback(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(5, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeService})
+	res, _ := g.ProcessPacket(buildPacket(t, 5, "192.168.0.1", "1.2.3.4"), now())
+	if res.Action != ActionFallback {
+		t.Fatalf("action = %v", res.Action)
+	}
+}
+
+func TestRoutingLoopDropped(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("10.0.0.0/8"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 2})
+	g.InstallRoute(2, pfx("10.0.0.0/8"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 1})
+	res, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "10.1.1.1"), now())
+	if res.Action != ActionDrop || res.DropReason != "route_loop" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestACLDeny(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(1, addr("192.168.0.2"), addr("10.1.1.2"))
+	g.InstallACL(1, tables.ACLRule{Proto: netpkt.IPProtocolTCP, DstPortLo: 80, DstPortHi: 80,
+		Action: tables.ACLDeny, Priority: 10})
+	res, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "192.168.0.2"), now())
+	if res.Action != ActionDrop || res.DropReason != "acl_deny" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFallbackRateLimit(t *testing.T) {
+	g := New(Config{
+		Chip: tofino.DefaultChip(), Folded: true,
+		GatewayIP:       addr("10.255.0.1"),
+		FallbackRateBps: 100, FallbackBurstBytes: 200,
+	})
+	raw := buildPacket(t, 1, "192.168.0.1", "192.168.0.2") // route miss → fallback
+	t0 := now()
+	var fallback, dropped int
+	for i := 0; i < 10; i++ {
+		res, err := g.ProcessPacket(raw, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Action {
+		case ActionFallback:
+			fallback++
+		case ActionDrop:
+			if res.DropReason != "fallback_rate_limit" {
+				t.Fatalf("drop reason %q", res.DropReason)
+			}
+			dropped++
+		}
+	}
+	if fallback == 0 || dropped == 0 {
+		t.Fatalf("limiter shape wrong: %d fallback, %d dropped", fallback, dropped)
+	}
+}
+
+func TestMalformedPacketDropped(t *testing.T) {
+	g := newTestGateway()
+	res, err := g.ProcessPacket([]byte{1, 2, 3}, now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionDrop || res.DropReason != "parse_error" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// VNI parity drives the pipe-pair split (Figs. 20-21): even VNIs to unit 0
+// (egress pipe 1), odd VNIs to unit 1 (egress pipe 3).
+func TestUnitSplitByVNIParity(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(2, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallRoute(3, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(2, addr("192.168.0.2"), addr("10.1.1.2"))
+	g.InstallVM(3, addr("192.168.0.2"), addr("10.1.1.3"))
+	r2, _ := g.ProcessPacket(buildPacket(t, 2, "192.168.0.1", "192.168.0.2"), now())
+	r3, _ := g.ProcessPacket(buildPacket(t, 3, "192.168.0.1", "192.168.0.2"), now())
+	if r2.Unit != 0 || r3.Unit != 1 {
+		t.Fatalf("units = %d, %d", r2.Unit, r3.Unit)
+	}
+	s := g.Stats()
+	if s.Units[0].Packets != 1 || s.Units[1].Packets != 1 {
+		t.Fatalf("unit stats = %+v", s.Units)
+	}
+}
+
+func TestIPv6OverlayForwarding(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(6, pfx("2001:db8::/32"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(6, addr("2001:db8::42"), addr("10.1.1.99"))
+	spec := netpkt.BuildSpec{
+		VNI:      6,
+		OuterSrc: addr("10.1.1.11"), OuterDst: addr("10.255.0.1"),
+		InnerSrc: addr("2001:db8::1"), InnerDst: addr("2001:db8::42"),
+		Proto: netpkt.IPProtocolUDP, SrcPort: 1000, DstPort: 2000,
+	}
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := spec.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.ProcessPacket(raw, now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionForward || res.NC != addr("10.1.1.99") {
+		t.Fatalf("res = %+v %s", res, res.DropReason)
+	}
+}
+
+// Folded mode: 2 passes, ~2 µs; matches Fig. 18(c).
+func TestLatencyShape(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(1, addr("192.168.0.2"), addr("10.1.1.2"))
+	res, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "192.168.0.2"), now())
+	if res.Passes != 2 {
+		t.Fatalf("passes = %d", res.Passes)
+	}
+	if res.LatencyNs < 1800 || res.LatencyNs > 2600 {
+		t.Fatalf("latency = %.0f ns, want ≈2 µs", res.LatencyNs)
+	}
+}
+
+func BenchmarkGatewayForward(b *testing.B) {
+	g := newTestGateway()
+	g.InstallRoute(100, pfx("192.168.10.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.10.3"), addr("10.1.1.12"))
+	raw := buildPacket(b, 100, "192.168.10.2", "192.168.10.3")
+	t0 := now()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.ProcessPacket(raw, t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Action != ActionForward {
+			b.Fatal("not forwarded")
+		}
+	}
+}
+
+// routeLocal is a convenience for the extended tests.
+func routeLocal() tables.Route { return tables.Route{Scope: tables.ScopeLocal} }
+
+// Per-tenant SLA metering (§3.3's meter table): the shaped tenant is capped
+// while its neighbor runs free — the performance isolation story.
+func TestTenantMeterIsolation(t *testing.T) {
+	g := newTestGateway()
+	for _, vni := range []netpkt.VNI{7, 8} {
+		g.InstallRoute(vni, pfx("192.168.0.0/16"), routeLocal())
+		g.InstallVM(vni, addr("192.168.0.2"), addr("10.1.1.2"))
+	}
+	g.InstallShape(7, 1000, 500) // 1 kB/s, 500 B burst
+	t0 := now()
+	rawShaped := buildPacket(t, 7, "192.168.0.1", "192.168.0.2")
+	rawFree := buildPacket(t, 8, "192.168.0.1", "192.168.0.2")
+	var dropped, forwarded int
+	for i := 0; i < 10; i++ {
+		res, err := g.ProcessPacket(rawShaped, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.Action == ActionForward:
+			forwarded++
+		case res.Action == ActionDrop && res.DropReason == "meter_exceeded":
+			dropped++
+		default:
+			t.Fatalf("unexpected: %+v", res)
+		}
+		// The unshaped neighbor always gets through.
+		if res, _ := g.ProcessPacket(rawFree, t0); res.Action != ActionForward {
+			t.Fatalf("neighbor throttled: %+v", res)
+		}
+	}
+	if forwarded == 0 || dropped == 0 {
+		t.Fatalf("shape not enforced: %d forwarded, %d dropped", forwarded, dropped)
+	}
+	// Token refill restores conformance.
+	if res, _ := g.ProcessPacket(rawShaped, t0.Add(10*time.Second)); res.Action != ActionForward {
+		t.Fatalf("refill not honored: %+v", res)
+	}
+	// Counters counted every offered packet for both tenants.
+	if p, _ := g.TenantCounters(7); p != 11 {
+		t.Fatalf("tenant 7 counter = %d", p)
+	}
+}
+
+// Peer chains recirculate: a peered packet pays an extra pipeline pass per
+// hop (the recirculation cost §7 discusses), visible in passes and latency.
+func TestPeeringRecirculationCost(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), routeLocal())
+	g.InstallVM(1, addr("192.168.0.2"), addr("10.1.1.2"))
+	g.InstallRoute(2, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopePeer, NextHopVNI: 1})
+	g.InstallVM(2, addr("192.168.0.2"), addr("10.1.1.2"))
+
+	local, _ := g.ProcessPacket(buildPacket(t, 1, "192.168.0.1", "192.168.0.2"), now())
+	peered, _ := g.ProcessPacket(buildPacket(t, 2, "192.168.0.1", "192.168.0.2"), now())
+	if local.Action != ActionForward || peered.Action != ActionForward {
+		t.Fatalf("actions: %v %v", local.Action, peered.Action)
+	}
+	if peered.Passes != local.Passes+1 {
+		t.Fatalf("peered passes %d, local %d — recirculation not charged", peered.Passes, local.Passes)
+	}
+	if peered.LatencyNs <= local.LatencyNs {
+		t.Fatal("recirculation did not add latency")
+	}
+}
+
+// The §4.4 alternative split key: inner destination parity.
+func TestUnitSplitByInnerIPParity(t *testing.T) {
+	g := New(Config{
+		Chip: tofino.DefaultChip(), Folded: true, SplitPipes: true, SplitByIP: true,
+		GatewayIP: addr("10.255.0.1"),
+	})
+	g.InstallRoute(7, pfx("192.168.0.0/16"), routeLocal())
+	g.InstallVM(7, addr("192.168.0.2"), addr("10.1.1.2"))
+	g.InstallVM(7, addr("192.168.0.3"), addr("10.1.1.3"))
+	even, _ := g.ProcessPacket(buildPacket(t, 7, "192.168.0.1", "192.168.0.2"), now())
+	odd, _ := g.ProcessPacket(buildPacket(t, 7, "192.168.0.1", "192.168.0.3"), now())
+	if even.Unit != 0 || odd.Unit != 1 {
+		t.Fatalf("units = %d/%d, want 0/1 by inner-IP parity", even.Unit, odd.Unit)
+	}
+}

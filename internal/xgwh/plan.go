@@ -1,0 +1,217 @@
+package xgwh
+
+import (
+	"fmt"
+
+	"sailfish/internal/tofino"
+)
+
+// Plan lays the workload out on the chip under the selected optimizations,
+// returning the block-accounted layout. This is the planning half of §4.4:
+// the same function, with optimizations enabled step by step, regenerates
+// Fig. 17; with the full workload and all optimizations it regenerates
+// Tables 3 and 4.
+func Plan(chip tofino.ChipConfig, w Workload, o Optimizations) (*tofino.Layout, error) {
+	l := tofino.NewLayout(chip, o.Folding, o.SplitPipes)
+	// Bridged metadata: route/VNI results cross from ingress to egress.
+	// Folding raises the number of crossings from 1 to 3 (§4.4); the
+	// planner charges a fixed descriptor per crossing.
+	l.BridgedMetadataBytes = 8
+
+	routeSegs := routingSegments(o.Folding)
+	vmncSegs := mappingSegments(o.Folding)
+
+	// --- VXLAN routing table ---
+	lpmKind := tofino.MatchLPM
+	if o.ALPM {
+		lpmKind = tofino.MatchALPM
+	}
+	if o.Pooling {
+		// One dual-stack table: IPv4 keys aligned up to the IPv6 width
+		// so LPM masks stay contiguous (§4.4 "IPv4/IPv6 table pooling").
+		spec := tofino.TableSpec{
+			Name: "vxlan_routing", Kind: lpmKind,
+			KeyBits: vxlanKeyBits(true), ActionBits: VXLANRouteActionBits,
+			Entries: w.VXLANRoutesV4 + w.VXLANRoutesV6,
+		}
+		if err := l.Place(spec, routeSegs[0], routeSegs[1:]...); err != nil {
+			return nil, err
+		}
+	} else {
+		v4 := tofino.TableSpec{Name: "vxlan_routing_v4", Kind: lpmKind,
+			KeyBits: vxlanKeyBits(false), ActionBits: VXLANRouteActionBits,
+			Entries: w.VXLANRoutesV4}
+		v6 := tofino.TableSpec{Name: "vxlan_routing_v6", Kind: lpmKind,
+			KeyBits: vxlanKeyBits(true), ActionBits: VXLANRouteActionBits,
+			Entries: w.VXLANRoutesV6}
+		for _, s := range []tofino.TableSpec{v4, v6} {
+			if s.Entries == 0 {
+				continue
+			}
+			if err := l.Place(s, routeSegs[0], routeSegs[1:]...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- VM-NC mapping table ---
+	switch {
+	case o.Pooling && o.Compression:
+		// Pooled exact table with IPv6 keys compressed to 32 bits plus a
+		// family tag (§4.4 "compressing longer table entries"), and a
+		// small full-width conflict table searched first.
+		pooled := tofino.TableSpec{
+			Name: "vm_nc_pooled", Kind: tofino.MatchExact,
+			KeyBits: vniBits + 32 + compressedTagBits, ActionBits: VMNCActionBits,
+			Entries: w.VMNCV4 + w.VMNCV6,
+		}
+		conflict := tofino.TableSpec{
+			Name: "vm_nc_conflict", Kind: tofino.MatchExact,
+			KeyBits: vmncKeyBits(true), ActionBits: VMNCActionBits,
+			Entries: expectedDigestConflicts(w.VMNCV6),
+		}
+		if err := l.Place(conflict, vmncSegs[0], vmncSegs[1:]...); err != nil {
+			return nil, err
+		}
+		if err := l.Place(pooled, vmncSegs[0], vmncSegs[1:]...); err != nil {
+			return nil, err
+		}
+	case o.Pooling:
+		// Pooling without compression aligns everything up to the IPv6
+		// width — simple but memory-hungry; included for completeness.
+		spec := tofino.TableSpec{
+			Name: "vm_nc_pooled_wide", Kind: tofino.MatchExact,
+			KeyBits: vmncKeyBits(true), ActionBits: VMNCActionBits,
+			Entries: w.VMNCV4 + w.VMNCV6,
+		}
+		if err := l.Place(spec, vmncSegs[0], vmncSegs[1:]...); err != nil {
+			return nil, err
+		}
+	default:
+		v4 := tofino.TableSpec{Name: "vm_nc_v4", Kind: tofino.MatchExact,
+			KeyBits: vmncKeyBits(false), ActionBits: VMNCActionBits, Entries: w.VMNCV4}
+		v6 := tofino.TableSpec{Name: "vm_nc_v6", Kind: tofino.MatchExact,
+			KeyBits: vmncKeyBits(true), ActionBits: VMNCActionBits, Entries: w.VMNCV6}
+		for _, s := range []tofino.TableSpec{v4, v6} {
+			if s.Entries == 0 {
+				continue
+			}
+			if err := l.Place(s, vmncSegs[0], vmncSegs[1:]...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- Service tables ---
+	for _, s := range w.Services {
+		seg, spill := s.Seg, s.Spill
+		if !o.Folding {
+			// Without folding only two segments exist; remap loop
+			// segments onto them preserving order.
+			seg = remapUnfolded(seg)
+			spill = nil
+			for _, sp := range s.Spill {
+				spill = append(spill, remapUnfolded(sp))
+			}
+		}
+		if err := l.Place(s.Spec, seg, spill...); err != nil {
+			return nil, fmt.Errorf("service %s: %w", s.Spec.Name, err)
+		}
+	}
+	return l, nil
+}
+
+// routingSegments returns the placement preference chain for the VXLAN
+// routing table: first in lookup order, entry pipe first.
+func routingSegments(folded bool) []tofino.Segment {
+	if folded {
+		return []tofino.Segment{tofino.SegIngressEntry, tofino.SegEgressLoop}
+	}
+	return []tofino.Segment{tofino.SegIngressEntry}
+}
+
+// mappingSegments returns the preference chain for the VM-NC table: after
+// the routing table, balanced onto the loopback pipe when folded (the
+// paper's even-distribution principle), spilling across pipes per Fig. 15.
+func mappingSegments(folded bool) []tofino.Segment {
+	if folded {
+		return []tofino.Segment{tofino.SegEgressLoop, tofino.SegIngressLoop, tofino.SegEgressExit}
+	}
+	return []tofino.Segment{tofino.SegEgressExit}
+}
+
+func remapUnfolded(s tofino.Segment) tofino.Segment {
+	if s == tofino.SegEgressLoop || s == tofino.SegIngressLoop || s == tofino.SegEgressExit {
+		return tofino.SegEgressExit
+	}
+	return tofino.SegIngressEntry
+}
+
+// expectedDigestConflicts sizes the conflict table: birthday-bound expected
+// collisions of n 128-bit keys hashed into 32 bits, with floor capacity for
+// safety (the paper: "the table dedicated to conflict resolution will not
+// consume much memory").
+func expectedDigestConflicts(n int) int {
+	expected := int(float64(n) * float64(n) / (2 * 4294967296.0))
+	const floor = 1024
+	if expected < floor {
+		return floor
+	}
+	return expected * 2
+}
+
+// StepReport is one bar of Fig. 17.
+type StepReport struct {
+	Name    string
+	SRAMPct float64
+	TCAMPct float64
+}
+
+// CompressionSteps regenerates Fig. 17: total chip occupancy of the major
+// tables after each cumulative optimization step.
+func CompressionSteps(chip tofino.ChipConfig, w Workload) ([]StepReport, error) {
+	out := make([]StepReport, 0, len(Steps))
+	for _, st := range Steps {
+		l, err := Plan(chip, w, st.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("step %s: %w", st.Name, err)
+		}
+		rep := l.Occupancy()
+		out = append(out, StepReport{Name: st.Name, SRAMPct: rep.TotalSRAMPct, TCAMPct: rep.TotalTCAMPct})
+	}
+	return out, nil
+}
+
+// CapacityEntries returns the largest entry count (routes + VM mappings at
+// the production 75/25 v4/v6 and 1:1 route:VM mix) the chip can hold under
+// the given optimizations, by bisection over the workload size. This is the
+// §4.4 payoff quantified: "the single-node table compression increases the
+// number of entries carried in one cluster, and thus reduces the number of
+// necessary clusters, CapEx and OpEx."
+func CapacityEntries(chip tofino.ChipConfig, o Optimizations) int {
+	fits := func(total int) bool {
+		per := total / 4 // split across route-v4/route-v6/vm-v4/vm-v6 at 75/25
+		w := Workload{
+			VXLANRoutesV4: per * 3 / 2, VXLANRoutesV6: per / 2,
+			VMNCV4: per * 3 / 2, VMNCV6: per / 2,
+		}
+		l, err := Plan(chip, w, o)
+		if err != nil {
+			return false
+		}
+		return l.Feasible()
+	}
+	lo, hi := 0, 1
+	for fits(hi) && hi < 1<<28 {
+		lo, hi = hi, hi*2
+	}
+	for hi-lo > 1024 {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,190 @@
+package xgwh
+
+import (
+	"testing"
+
+	"sailfish/internal/tofino"
+)
+
+func fullOpts() Optimizations {
+	return Optimizations{Folding: true, SplitPipes: true, Pooling: true, Compression: true, ALPM: true}
+}
+
+// Occupancy grows with the workload under every optimization setting.
+func TestPlanOccupancyMonotoneInWorkload(t *testing.T) {
+	chip := tofino.DefaultChip()
+	for _, st := range Steps {
+		small := Workload{VXLANRoutesV4: 100_000, VXLANRoutesV6: 30_000, VMNCV4: 100_000, VMNCV6: 30_000}
+		big := Workload{VXLANRoutesV4: 400_000, VXLANRoutesV6: 120_000, VMNCV4: 400_000, VMNCV6: 120_000}
+		ls, err := Plan(chip, small, st.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := Plan(chip, big, st.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, rb := ls.Occupancy(), lb.Occupancy()
+		if rb.TotalSRAMPct < rs.TotalSRAMPct || rb.TotalTCAMPct < rs.TotalTCAMPct {
+			t.Fatalf("step %s: bigger workload costs less (%f/%f vs %f/%f)",
+				st.Name, rb.TotalSRAMPct, rb.TotalTCAMPct, rs.TotalSRAMPct, rs.TotalTCAMPct)
+		}
+	}
+}
+
+func TestPlanSingleFamilyWorkloads(t *testing.T) {
+	chip := tofino.DefaultChip()
+	v4only := Workload{VXLANRoutesV4: 500_000, VMNCV4: 500_000}
+	v6only := Workload{VXLANRoutesV6: 500_000, VMNCV6: 500_000}
+	for _, w := range []Workload{v4only, v6only} {
+		l, err := Plan(chip, w, fullOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.Feasible() {
+			t.Fatalf("single-family workload infeasible: %v", l.Problems())
+		}
+	}
+	// v6 must cost more TCAM than v4 at equal counts without pooling
+	// (pooling aligns them by construction).
+	l4, _ := Plan(chip, v4only, Optimizations{Folding: true})
+	l6, _ := Plan(chip, v6only, Optimizations{Folding: true})
+	if l6.Occupancy().TotalTCAMPct <= l4.Occupancy().TotalTCAMPct {
+		t.Fatal("IPv6 routes not costlier than IPv4 in TCAM")
+	}
+}
+
+func TestPlanEmptyWorkload(t *testing.T) {
+	l, err := Plan(tofino.DefaultChip(), Workload{}, fullOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := l.Occupancy()
+	// The ALPM root bucket and conflict-table floor cost a sliver; the
+	// layout must be trivially feasible and nearly empty.
+	if !l.Feasible() || rep.TotalSRAMPct > 1 || rep.TotalTCAMPct > 1 {
+		t.Fatalf("empty workload: %+v %v", rep, l.Problems())
+	}
+}
+
+// Pooling without compression (c alone) is supported and costs more SRAM
+// than c+d — the reason the paper pairs them.
+func TestPoolingWithoutCompressionCostsMore(t *testing.T) {
+	chip := tofino.DefaultChip()
+	w := MajorTableWorkload()
+	cOnly := Optimizations{Folding: true, SplitPipes: true, Pooling: true}
+	cd := Optimizations{Folding: true, SplitPipes: true, Pooling: true, Compression: true}
+	lc, err := Plan(chip, w, cOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcd, err := Plan(chip, w, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Occupancy().TotalSRAMPct <= lcd.Occupancy().TotalSRAMPct {
+		t.Fatalf("wide pooling (%f%%) not costlier than compressed (%f%%)",
+			lc.Occupancy().TotalSRAMPct, lcd.Occupancy().TotalSRAMPct)
+	}
+}
+
+// ALPM without folding also works — the passes are orthogonal even though
+// the paper applies them in order.
+func TestALPMWithoutFolding(t *testing.T) {
+	l, err := Plan(tofino.DefaultChip(), MajorTableWorkload(),
+		Optimizations{Pooling: true, Compression: true, ALPM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := l.Occupancy()
+	if rep.TotalTCAMPct > 60 {
+		t.Fatalf("ALPM alone did not tame TCAM: %f%%", rep.TotalTCAMPct)
+	}
+}
+
+// The PHV budget holds for the full program (§6.2: "scarce ... but not
+// exhausted yet").
+func TestFullProgramWithinPHVBudget(t *testing.T) {
+	l, err := Plan(tofino.DefaultChip(), FullWorkload(), fullOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := l.PHVBitsUsed()
+	if used > tofino.DefaultChip().PHVBits {
+		t.Fatalf("PHV overflow: %d", used)
+	}
+	if used < 1000 {
+		t.Fatalf("PHV accounting implausibly small: %d", used)
+	}
+}
+
+func TestGatewayStatsReset(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), routeLocal())
+	g.InstallVM(1, addr("192.168.0.2"), addr("10.1.1.2"))
+	raw := buildPacket(t, 1, "192.168.0.1", "192.168.0.2")
+	if _, err := g.ProcessPacket(raw, now()); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Forwarded != 1 {
+		t.Fatal("no forward recorded")
+	}
+	g.ResetStats()
+	s := g.Stats()
+	if s.Forwarded != 0 || s.TotalBytes != 0 || len(s.DropReasons) != 0 {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+	// Gateway still functions after reset.
+	if res, _ := g.ProcessPacket(raw, now()); res.Action != ActionForward {
+		t.Fatal("gateway broken after reset")
+	}
+}
+
+func TestGatewayRemoveRouteAndVM(t *testing.T) {
+	g := newTestGateway()
+	g.InstallRoute(1, pfx("192.168.0.0/16"), routeLocal())
+	g.InstallVM(1, addr("192.168.0.2"), addr("10.1.1.2"))
+	raw := buildPacket(t, 1, "192.168.0.1", "192.168.0.2")
+	if res, _ := g.ProcessPacket(raw, now()); res.Action != ActionForward {
+		t.Fatal("setup broken")
+	}
+	if !g.RemoveVM(1, addr("192.168.0.2")) {
+		t.Fatal("RemoveVM failed")
+	}
+	if res, _ := g.ProcessPacket(raw, now()); res.Action != ActionFallback {
+		t.Fatal("removed VM still forwarded")
+	}
+	if !g.RemoveRoute(1, pfx("192.168.0.0/16")) {
+		t.Fatal("RemoveRoute failed")
+	}
+	if res, _ := g.ProcessPacket(raw, now()); res.Action != ActionFallback {
+		t.Fatal("route miss should fall back")
+	}
+	if g.RouteCount() != 0 || g.VMCount() != 0 {
+		t.Fatalf("counts: %d/%d", g.RouteCount(), g.VMCount())
+	}
+}
+
+// Capacity grows monotonically as optimizations stack, and the fully
+// optimized chip holds several times the baseline.
+func TestCapacityEntriesGrowsWithOptimizations(t *testing.T) {
+	chip := tofino.DefaultChip()
+	prev := -1
+	caps := map[string]int{}
+	for _, st := range Steps {
+		c := CapacityEntries(chip, st.Opts)
+		caps[st.Name] = c
+		if c < prev/2 { // allow the c+d TCAM bump to dent capacity locally
+			t.Fatalf("step %s capacity collapsed: %d after %d", st.Name, c, prev)
+		}
+		prev = c
+	}
+	if caps["a+b+c+d+e"] < 4*caps["Initial"] {
+		t.Fatalf("full compression capacity %d not ≫ baseline %d",
+			caps["a+b+c+d+e"], caps["Initial"])
+	}
+	// The calibrated 2M-entry cluster budget must actually fit.
+	if caps["a+b+c+d+e"] < 2_000_000 {
+		t.Fatalf("final capacity %d below the configured cluster budget", caps["a+b+c+d+e"])
+	}
+}

@@ -1,0 +1,89 @@
+package xgwh
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/tofino"
+)
+
+// End-to-end with a real gateway: mark a flow, push packets, verify
+// postcards carry the verdicts.
+func TestGatewayEmitsPostcards(t *testing.T) {
+	g := New(Config{Chip: tofino.DefaultChip(), Folded: true, GatewayIP: addr("10.255.0.1")})
+	g.InstallRoute(100, pfx("192.168.0.0/24"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(100, addr("192.168.0.5"), addr("10.1.1.5"))
+	g.InstallACL(100, tables.ACLRule{Proto: netpkt.IPProtocolTCP, DstPortLo: 23, DstPortHi: 23,
+		Action: tables.ACLDeny, Priority: 5})
+
+	m := telemetry.NewMatcher()
+	m.Add(telemetry.Rule{VNI: 100})
+	col := telemetry.NewCollector()
+	g.EnableTelemetry("xgwh-0", m, col)
+
+	build := func(dst string, port uint16) []byte {
+		b := netpkt.NewSerializeBuffer(128, 256)
+		raw, err := (&netpkt.BuildSpec{
+			VNI:      100,
+			OuterSrc: addr("10.1.1.1"), OuterDst: addr("10.255.0.1"),
+			InnerSrc: addr("192.168.0.1"), InnerDst: addr(dst),
+			Proto: netpkt.IPProtocolTCP, SrcPort: 999, DstPort: port,
+		}).Build(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		return cp
+	}
+	t0 := time.Unix(0, 0)
+	g.ProcessPacket(build("192.168.0.5", 80), t0) // forward
+	g.ProcessPacket(build("192.168.0.5", 23), t0) // ACL drop
+	g.ProcessPacket(build("192.168.0.9", 80), t0) // VM miss -> fallback
+
+	flows := col.Flows()
+	if len(flows) != 2 { // two distinct inner dsts
+		t.Fatalf("flows = %v", flows)
+	}
+	// The .5 flow has two reports (forward then drop).
+	k5 := telemetry.FlowKey{VNI: 100, Src: addr("192.168.0.1"), Dst: addr("192.168.0.5")}
+	path := col.Path(k5)
+	if len(path) != 2 || path[0].Action != "forward" || path[1].Action != "drop:acl_deny" {
+		t.Fatalf("path = %+v", path)
+	}
+	// Untraced gateways emit nothing.
+	g2 := New(Config{Chip: tofino.DefaultChip(), Folded: true, GatewayIP: addr("10.255.0.1")})
+	g2.EnableTelemetry("xgwh-1", telemetry.NewMatcher(), col)
+	g2.ProcessPacket(build("192.168.0.5", 80), t0)
+	if len(col.Flows()) != 2 {
+		t.Fatal("untraced packet produced a postcard")
+	}
+}
+
+// The Vtrace use case: localize persistent loss between gateway and NC.
+func TestDiagnoseLocalizesLossBetweenHops(t *testing.T) {
+	col := telemetry.NewCollector()
+	m := telemetry.NewMatcher()
+	m.Add(telemetry.Rule{VNI: 7})
+	g := New(Config{Chip: tofino.DefaultChip(), Folded: true, GatewayIP: addr("10.255.0.1")})
+	g.InstallRoute(7, pfx("10.0.0.0/8"), tables.Route{Scope: tables.ScopeLocal})
+	g.InstallVM(7, addr("10.7.0.1"), addr("100.64.0.1"))
+	g.EnableTelemetry("xgwh-0", m, col)
+
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, _ := (&netpkt.BuildSpec{
+		VNI:      7,
+		OuterSrc: addr("10.1.1.1"), OuterDst: addr("10.255.0.1"),
+		InnerSrc: addr("10.7.0.9"), InnerDst: addr("10.7.0.1"),
+		Proto: netpkt.IPProtocolUDP, SrcPort: 1, DstPort: 2,
+	}).Build(b)
+	g.ProcessPacket(raw, time.Unix(0, 0))
+	// The NC never reports (packet lost on the wire after the gateway).
+	findings := col.Diagnose([]string{"xgwh-0", "nc-100.64.0.1"})
+	if len(findings) != 1 || findings[0].Kind != "vanish" || findings[0].Where != "xgwh-0" {
+		t.Fatalf("findings = %v", findings)
+	}
+}

@@ -1,0 +1,144 @@
+// Package xgwh implements XGW-H, the Tofino-based hardware gateway of
+// Sailfish: the layout planner that applies the paper's six table-compression
+// techniques (§4.4) to produce a chip layout, and the runtime gateway that
+// forwards VXLAN traffic through the folded pipeline program.
+package xgwh
+
+import (
+	"sailfish/internal/tofino"
+)
+
+// Key and action widths of the Sailfish program's tables, in bits. The VNI
+// is 24 bits everywhere; see DESIGN.md §5 for the calibration discussion.
+const (
+	vniBits = 24
+
+	// VXLANRouteActionBits: scope (2) + next-hop VNI (24) + tunnel/NC
+	// profile selector (16) + flags (6).
+	VXLANRouteActionBits = 48
+
+	// VMNCActionBits: NC address handle (32) + egress port (9) + encap
+	// profile (16) + flags (7).
+	VMNCActionBits = 64
+
+	// compressedTagBits: the family label distinguishing a compressed
+	// IPv6 digest from a native IPv4 key (§4.4).
+	compressedTagBits = 2
+)
+
+// vxlanKeyBits returns the routing-table key width for the family
+// (true = IPv6). Pooled tables align IPv4 keys up to the IPv6 width so one
+// LPM table serves both families.
+func vxlanKeyBits(v6 bool) int {
+	if v6 {
+		return vniBits + 128
+	}
+	return vniBits + 32
+}
+
+// vmncKeyBits returns the mapping-table key width for the family.
+func vmncKeyBits(v6 bool) int {
+	if v6 {
+		return vniBits + 128
+	}
+	return vniBits + 32
+}
+
+// ServiceTable is an additional cloud-service table (§3.3: SNAT steering,
+// ACL, meter, counter, QoS...) with its placement preference.
+type ServiceTable struct {
+	Spec  tofino.TableSpec
+	Seg   tofino.Segment
+	Spill []tofino.Segment
+}
+
+// Workload describes the forwarding state one XGW-H must hold: the paper's
+// two major multi-tenant tables plus the long tail of service tables.
+type Workload struct {
+	VXLANRoutesV4 int
+	VXLANRoutesV6 int
+	VMNCV4        int
+	VMNCV6        int
+	Services      []ServiceTable
+}
+
+// MajorTableWorkload is the Table 2 / Fig. 17 scenario: the two major tables
+// at production scale, 75% IPv4 / 25% IPv6, no service tables.
+func MajorTableWorkload() Workload {
+	return Workload{
+		VXLANRoutesV4: 750_000,
+		VXLANRoutesV6: 250_000,
+		VMNCV4:        750_000,
+		VMNCV6:        250_000,
+	}
+}
+
+// FullWorkload is the Table 4 scenario: the major tables plus the actual
+// service tables a production node carries. Sizes are workload calibration
+// (DESIGN.md §5); their placement follows the paper's balance principle —
+// spread tables so each pipeline keeps expansion headroom.
+func FullWorkload() Workload {
+	w := MajorTableWorkload()
+	w.Services = []ServiceTable{
+		// Tenant ACLs: ternary five-tuple rules, applied on the loopback
+		// pass to balance TCAM across the pipe pair.
+		{Spec: tofino.TableSpec{Name: "acl", Kind: tofino.MatchTernary,
+			KeyBits: vniBits + 32 + 32 + 8 + 32, ActionBits: 8, Entries: 80_000},
+			Seg: tofino.SegIngressLoop},
+		// On-demand load-balancing rules (festival-time volatile tables).
+		{Spec: tofino.TableSpec{Name: "lb_select", Kind: tofino.MatchTernary,
+			KeyBits: vniBits + 32, ActionBits: 16, Entries: 90_000},
+			Seg: tofino.SegIngressEntry},
+		// Per-SLA meters and counters.
+		{Spec: tofino.TableSpec{Name: "meter", Kind: tofino.MatchIndex,
+			ActionBits: 64, Entries: 480_000},
+			Seg: tofino.SegIngressLoop, Spill: []tofino.Segment{tofino.SegEgressExit}},
+		{Spec: tofino.TableSpec{Name: "counter", Kind: tofino.MatchIndex,
+			ActionBits: 64, Entries: 900_000},
+			Seg: tofino.SegIngressLoop, Spill: []tofino.Segment{tofino.SegEgressExit}},
+		// Tunnel/encap rewrite profiles and ECMP groups.
+		{Spec: tofino.TableSpec{Name: "encap_profile", Kind: tofino.MatchExact,
+			KeyBits: 16, ActionBits: 320, Entries: 262_144},
+			Seg: tofino.SegEgressExit},
+		{Spec: tofino.TableSpec{Name: "ecmp_group", Kind: tofino.MatchExact,
+			KeyBits: 16, ActionBits: 128, Entries: 65_536},
+			Seg: tofino.SegEgressExit},
+		// SNAT steering: special-VNI tags routed to XGW-x86 (§4.2).
+		{Spec: tofino.TableSpec{Name: "snat_steer", Kind: tofino.MatchExact,
+			KeyBits: vniBits, ActionBits: 32, Entries: 65_536},
+			Seg: tofino.SegIngressEntry},
+		// Vtrace-style telemetry match rules.
+		{Spec: tofino.TableSpec{Name: "telemetry", Kind: tofino.MatchTernary,
+			KeyBits: vniBits + 32 + 32, ActionBits: 16, Entries: 30_000},
+			Seg: tofino.SegIngressLoop},
+	}
+	return w
+}
+
+// Optimizations selects which of §4.4's compression techniques the planner
+// applies. The zero value is the straightforward baseline of Table 2.
+type Optimizations struct {
+	// Folding halves working pipelines for doubled memory (a).
+	Folding bool
+	// SplitPipes splits entries between the two folded units (b).
+	SplitPipes bool
+	// Pooling merges IPv4/IPv6 into shared dual-stack tables (c).
+	Pooling bool
+	// Compression hashes long exact-match keys to 32-bit digests (d);
+	// only meaningful together with Pooling.
+	Compression bool
+	// ALPM converts LPM tables to algorithmic form (e).
+	ALPM bool
+}
+
+// StepNames mirror the x-axis of Fig. 17.
+var Steps = []struct {
+	Name string
+	Opts Optimizations
+}{
+	{"Initial", Optimizations{}},
+	{"a", Optimizations{Folding: true}},
+	{"a+b", Optimizations{Folding: true, SplitPipes: true}},
+	{"a+b+c+d", Optimizations{Folding: true, SplitPipes: true, Pooling: true, Compression: true}},
+	{"a+b+c+d+e", Optimizations{Folding: true, SplitPipes: true, Pooling: true, Compression: true, ALPM: true}},
+}
