@@ -1,0 +1,31 @@
+GO ?= go
+
+# Packages with concurrent control-plane loops get an extra -race pass.
+RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/...
+
+.PHONY: check vet build test race chaos bench fmt
+
+## check: the full gate — vet, build, tests, and the race pass.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## chaos: run the seeded disaster-recovery scenario end to end.
+chaos:
+	$(GO) run ./cmd/sailfish-gw -chaos
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+
+	"sailfish/internal/sim"
+)
+
+// runChaos executes the seeded disaster-recovery scenario (node crash plus a
+// lossy control channel during table population) and prints the recovery
+// timeline — a demonstration that the §6.1 loop heals the region with no
+// operator action.
+func runChaos() error {
+	cfg := sim.DefaultChaosConfig()
+	fmt.Printf("chaos: %d clusters × %d nodes (+1:1 backups), %d x86 fallback nodes, %d tenants, seed %d\n",
+		cfg.Clusters, cfg.NodesPerCluster, cfg.FallbackNodes, cfg.Tenants, cfg.Seed)
+	for _, inj := range cfg.Faults {
+		fmt.Printf("  inject %-13s on %s at %v for %v (p=%.2f)\n", inj.Kind, inj.Node, inj.At, inj.For, inj.Prob)
+	}
+	res, err := sim.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nrecovery timeline:")
+	for _, e := range res.Events {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Printf("\nfault effects: %+v\n", res.FaultStats)
+	fmt.Printf("recovery counters: %+v\n", res.Recovery)
+	if res.TTRCount > 0 {
+		fmt.Printf("time-to-recovery: n=%d mean=%v max=%v\n", res.TTRCount, res.TTRMean, res.TTRMax)
+	}
+	fmt.Printf("traffic: sent=%d delivered=%d lost=%d (loss %.2e, budget 2.0e-04)\n",
+		res.Sent, res.Delivered, res.Lost, res.LossRate)
+	fmt.Printf("post-recovery consistency: %v\n", res.Consistent)
+	if !res.Consistent || res.LossRate >= 2e-4 {
+		return fmt.Errorf("chaos scenario breached its acceptance budget")
+	}
+	fmt.Println("chaos scenario recovered automatically — no manual intervention")
+	return nil
+}

@@ -54,11 +54,16 @@ type tenantConfig struct {
 func main() {
 	cfgPath := flag.String("config", "", "JSON config file")
 	demo := flag.Bool("demo", false, "run the self-contained loopback demo and exit")
+	chaos := flag.Bool("chaos", false, "run the seeded disaster-recovery chaos scenario and exit")
 	count := flag.Int("n", 3, "demo: packets to send")
 	pcapPath := flag.String("pcap", "", "write ingress/egress frames to this pcap file")
 	flag.Parse()
 
 	switch {
+	case *chaos:
+		if err := runChaos(); err != nil {
+			log.Fatal(err)
+		}
 	case *demo:
 		if err := runDemo(*count); err != nil {
 			log.Fatal(err)

@@ -15,10 +15,35 @@ import (
 	"sailfish/internal/lb"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
 	"sailfish/internal/xgw86"
 	"sailfish/internal/xgwh"
 )
+
+// Gateway is the node-facing gateway API the cluster and controller drive.
+// *xgwh.Gateway implements it directly; the fault-injection harness
+// (internal/faults) wraps it to exercise failure modes on the same code
+// paths production takes.
+type Gateway interface {
+	ProcessPacket(raw []byte, now time.Time) (xgwh.ForwardResult, error)
+	InstallRoute(vni netpkt.VNI, p netip.Prefix, r tables.Route) error
+	RemoveRoute(vni netpkt.VNI, p netip.Prefix) bool
+	GetRoute(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool)
+	InstallVM(vni netpkt.VNI, vm, nc netip.Addr)
+	RemoveVM(vni netpkt.VNI, vm netip.Addr) bool
+	LookupVM(vni netpkt.VNI, vm netip.Addr) (netip.Addr, bool)
+	MarkServiceVNI(vni netpkt.VNI)
+	InstallACL(vni netpkt.VNI, r tables.ACLRule)
+	InstallShape(vni netpkt.VNI, bytesPerSec, burstBytes float64)
+	SetTenantGeneration(vni netpkt.VNI, gen uint64)
+	TenantGeneration(vni netpkt.VNI) uint64
+	RouteCount() int
+	VMCount() int
+	Stats() xgwh.Stats
+	EnableTelemetry(deviceID string, m *telemetry.Matcher, c *telemetry.Collector)
+	ALPMRouteStats() (xgwh.ALPMStats, bool)
+}
 
 // Errors returned by region operations.
 var (
@@ -60,7 +85,7 @@ const PortsPerNode = 32
 // Node is one XGW-H box.
 type Node struct {
 	ID      string
-	GW      *xgwh.Gateway
+	GW      Gateway
 	Healthy bool
 	// PortHealthy tracks front-panel ports; a port with abnormal jitter
 	// or persistent loss is isolated and its flows migrate to the
@@ -179,6 +204,43 @@ func (c *Cluster) Tenants() []netpkt.VNI {
 
 // HasTenant reports whether the VNI's entries live here.
 func (c *Cluster) HasTenant(vni netpkt.VNI) bool { return c.tenants[vni] > 0 }
+
+// AllNodes returns every replica of the cluster's tables: the main nodes
+// followed by the backup's (when present). This is the set a table push must
+// reach to keep the 1:1 hot standby in lockstep.
+func (c *Cluster) AllNodes() []*Node {
+	out := append([]*Node(nil), c.Nodes...)
+	if c.Backup != nil {
+		out = append(out, c.Backup.Nodes...)
+	}
+	return out
+}
+
+// Capacity returns the per-node entry budget.
+func (c *Cluster) Capacity() int { return c.cfg.EntryCapacity }
+
+// AccountEntries records n intent entries for the tenant in the cluster's
+// (and its backup's) bookkeeping without touching any gateway — the
+// controller's per-node push path installs entries itself and accounts the
+// batch once it is committed. Negative n releases entries.
+func (c *Cluster) AccountEntries(vni netpkt.VNI, n int) error {
+	if n > 0 && c.entries+n > c.cfg.EntryCapacity {
+		return ErrOverCapacity
+	}
+	c.entries += n
+	if c.entries < 0 {
+		c.entries = 0
+	}
+	if t := c.tenants[vni] + n; t > 0 {
+		c.tenants[vni] = t
+	} else {
+		delete(c.tenants, vni)
+	}
+	if c.Backup != nil {
+		return c.Backup.AccountEntries(vni, n)
+	}
+	return nil
+}
 
 // LiveNodes returns the healthy nodes.
 func (c *Cluster) LiveNodes() []*Node {
@@ -309,6 +371,9 @@ type Region struct {
 	// user traffic is refused until the controller admits it (§6.1
 	// "modify the routes in the upstream devices to admit user traffic").
 	disabled map[int]bool
+	// degraded marks clusters whose traffic is steered wholesale to the
+	// XGW-x86 pool because both main and backup are impaired.
+	degraded map[int]bool
 
 	stats RegionStats
 }
@@ -323,6 +388,9 @@ type RegionStats struct {
 	Fallback  uint64
 	Dropped   uint64
 	NoRoute   uint64
+	// Degraded counts packets carried by the XGW-x86 pool because their
+	// cluster was in degraded mode (both main and backup impaired).
+	Degraded uint64
 }
 
 // NewRegion builds a region with the given number of main clusters (each
@@ -336,6 +404,7 @@ func NewRegion(cfg Config, clusters, fallbackNodes int) *Region {
 		FrontEnd:     lb.NewFrontEnd(),
 		activeBackup: make(map[int]bool),
 		disabled:     make(map[int]bool),
+		degraded:     make(map[int]bool),
 	}
 	for i := 0; i < clusters; i++ {
 		r.AddCluster()
@@ -376,14 +445,57 @@ func (r *Region) serving(id int) *Cluster {
 
 // FailoverCluster reroutes a cluster's traffic to its hot-standby backup
 // (cluster-level disaster recovery: "any anomaly will alert the controller
-// to modify the routes in the upstream devices").
-func (r *Region) FailoverCluster(id int) { r.activeBackup[id] = true }
+// to modify the routes in the upstream devices"). It is idempotent: the
+// return value reports whether this call performed the switch, so a
+// recovery loop that fires twice does not double-count failovers.
+func (r *Region) FailoverCluster(id int) bool {
+	if r.activeBackup[id] {
+		return false
+	}
+	r.activeBackup[id] = true
+	return true
+}
+
+// FailbackCluster returns traffic to the main cluster — the symmetric
+// inverse of FailoverCluster. Idempotent; reports whether this call
+// performed the switch.
+func (r *Region) FailbackCluster(id int) bool {
+	if !r.activeBackup[id] {
+		return false
+	}
+	delete(r.activeBackup, id)
+	return true
+}
 
 // RestoreCluster returns traffic to the main cluster.
-func (r *Region) RestoreCluster(id int) { delete(r.activeBackup, id) }
+//
+// Deprecated: use FailbackCluster, which also reports whether the call
+// changed anything.
+func (r *Region) RestoreCluster(id int) { r.FailbackCluster(id) }
 
 // OnBackup reports whether the cluster is being served by its backup.
 func (r *Region) OnBackup(id int) bool { return r.activeBackup[id] }
+
+// SetDegraded switches a cluster in or out of degraded mode: with both the
+// main and backup clusters impaired, residual traffic is steered wholesale
+// to the XGW-x86 pool instead of being dropped (§4.2's software pool as the
+// last line of defense). Idempotent; reports whether the call changed the
+// mode.
+func (r *Region) SetDegraded(id int, on bool) bool {
+	if r.degraded[id] == on {
+		return false
+	}
+	if on {
+		r.degraded[id] = true
+	} else {
+		delete(r.degraded, id)
+	}
+	return true
+}
+
+// DegradedCluster reports whether the cluster is in degraded (x86-served)
+// mode.
+func (r *Region) DegradedCluster(id int) bool { return r.degraded[id] }
 
 // SetClusterEnabled gates user traffic on the cluster. New clusters are
 // enabled by default; the commissioning workflow (controller.Commission)
@@ -434,6 +546,26 @@ func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
 	if r.disabled[clusterID] {
 		r.stats.Dropped++
 		return Result{}, ErrClusterDisabled
+	}
+	if r.degraded[clusterID] {
+		// Graceful degradation: both main and backup impaired — the
+		// XGW-x86 pool carries the cluster's residual traffic.
+		out := Result{ClusterID: clusterID}
+		if len(r.Fallback) == 0 {
+			r.stats.Dropped++
+			return out, ErrNoLiveNodes
+		}
+		r.stats.Degraded++
+		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
+		fres, ferr := fb.ProcessFallback(raw)
+		if ferr != nil {
+			r.stats.Dropped++
+			return out, ferr
+		}
+		out.GW = xgwh.ForwardResult{Action: xgwh.ActionFallback}
+		out.ViaFallback = true
+		out.FallbackOut = fres
+		return out, nil
 	}
 	c := r.serving(clusterID)
 	live := c.LiveNodes()

@@ -1,7 +1,9 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sailfish/internal/cluster"
@@ -50,7 +52,21 @@ func (c *Controller) Commission(id int, spec probe.Spec) (CommissionReport, erro
 	}
 	if len(rep.ProbeFailures) > 0 {
 		c.region.SetClusterEnabled(id, false)
-		return rep, fmt.Errorf("controller: cluster %d failed probes on %d nodes", id, len(rep.ProbeFailures))
+		// Aggregate every failed probe so the operator sees exactly which
+		// probes failed on which nodes, not just a count.
+		ids := make([]string, 0, len(rep.ProbeFailures))
+		for nid := range rep.ProbeFailures {
+			ids = append(ids, nid)
+		}
+		sort.Strings(ids)
+		var errs []error
+		for _, nid := range ids {
+			for _, f := range rep.ProbeFailures[nid] {
+				errs = append(errs, fmt.Errorf("node %s: %s", nid, f))
+			}
+		}
+		return rep, fmt.Errorf("controller: cluster %d failed probes on %d nodes: %w",
+			id, len(rep.ProbeFailures), errors.Join(errs...))
 	}
 	c.region.SetClusterEnabled(id, true)
 	rep.Admitted = true

@@ -9,11 +9,14 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/netip"
+	"time"
 
 	"sailfish/internal/cluster"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
 	"sailfish/internal/traffic"
 )
 
@@ -75,6 +78,18 @@ type Config struct {
 	// AutoExpand provisions a new cluster when every existing one is
 	// above the safe water level.
 	AutoExpand bool
+	// Push tunes the fault-tolerant table-population retry policy.
+	Push PushConfig
+	// MirrorToFallback keeps the XGW-x86 pool's DRAM tables in sync with
+	// tenant placements, so a doubly-impaired cluster can degrade to the
+	// pool instead of dropping traffic.
+	MirrorToFallback bool
+	// Now supplies the controller clock; nil means wall time. Simulations
+	// pass a virtual clock so recovery timelines are deterministic.
+	Now func() time.Time
+	// Sleep is invoked for retry backoffs; nil skips the wait (virtual
+	// time).
+	Sleep func(time.Duration)
 }
 
 // DefaultConfig returns production-shaped policies.
@@ -88,6 +103,12 @@ type Controller struct {
 	region   *cluster.Region
 	placed   map[netpkt.VNI]placedTenant
 	festival bool
+	// gens assigns monotonically increasing generation numbers to tenant
+	// pushes, the idempotency token of the retry path.
+	gens     map[netpkt.VNI]uint64
+	pushRNG  *rand.Rand
+	rec      *telemetry.Recovery
+	lastPush PushReport
 }
 
 // placedTenant is the controller's record of one tenant: its cluster, its
@@ -102,10 +123,28 @@ type placedTenant struct {
 // New attaches a controller to a region.
 func New(cfg Config, region *cluster.Region) *Controller {
 	if cfg.SafeWaterLevel == 0 {
-		cfg = DefaultConfig()
+		def := DefaultConfig()
+		def.Push, def.MirrorToFallback = cfg.Push, cfg.MirrorToFallback
+		def.Now, def.Sleep = cfg.Now, cfg.Sleep
+		cfg = def
 	}
-	return &Controller{cfg: cfg, region: region, placed: make(map[netpkt.VNI]placedTenant)}
+	cfg.Push = cfg.Push.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		region:  region,
+		placed:  make(map[netpkt.VNI]placedTenant),
+		gens:    make(map[netpkt.VNI]uint64),
+		pushRNG: newPushRNG(cfg.Push.JitterSeed),
+		rec:     telemetry.NewRecovery(),
+	}
 }
+
+// Recovery returns the recovery-event recorder shared by the push path and
+// the health monitor.
+func (c *Controller) Recovery() *telemetry.Recovery { return c.rec }
+
+// LastPush returns the report of the most recent tenant push.
+func (c *Controller) LastPush() PushReport { return c.lastPush }
 
 // Region returns the managed region.
 func (c *Controller) Region() *cluster.Region { return c.region }
@@ -148,23 +187,17 @@ func (c *Controller) PlaceTenant(t TenantEntries) (int, error) {
 }
 
 // installTenant downloads the tenant's entries to every node of the cluster
-// (and its backup), then updates front-end steering so traffic follows the
-// tables.
+// (and its backup) through the fault-tolerant push path, then updates
+// front-end steering so traffic follows the tables. Nodes that stay
+// unreachable through the retry budget are left to the reconcile sweep and
+// the health monitor; the tenant is still placed, because the cluster's
+// remaining replicas carry it.
 func (c *Controller) installTenant(id int, t TenantEntries) error {
-	cl := c.region.Clusters[id]
-	for _, r := range t.Routes {
-		if err := cl.InstallRoute(r.VNI, r.Prefix, r.Route); err != nil {
-			return fmt.Errorf("install route: %w", err)
-		}
+	rep, err := c.pushTenant(id, t)
+	if err != nil {
+		return fmt.Errorf("install tenant %v: %w", t.VNI, err)
 	}
-	for _, v := range t.VMs {
-		if err := cl.InstallVM(v.VNI, v.VM, v.NC); err != nil {
-			return fmt.Errorf("install vm: %w", err)
-		}
-	}
-	if t.ServiceVNI {
-		cl.MarkServiceVNI(t.VNI)
-	}
+	c.lastPush = rep
 	c.placed[t.VNI] = placedTenant{cluster: id, entries: t}
 	c.region.FrontEnd.Steering.Assign(t.VNI, id)
 	return nil
@@ -182,6 +215,9 @@ func (c *Controller) GrowTenant(vni netpkt.VNI, vms []VMEntry) error {
 			return err
 		}
 		pt.entries.VMs = append(pt.entries.VMs, v)
+	}
+	if c.cfg.MirrorToFallback {
+		c.mirrorTenant(TenantEntries{VNI: vni, VMs: vms})
 	}
 	c.placed[vni] = pt
 	return nil

@@ -1,0 +1,377 @@
+package controller
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/faults"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/probe"
+	"sailfish/internal/tables"
+)
+
+// chaosRig is a small harness: a faulted 1-cluster region with one placed
+// tenant and a monitor, all on a virtual clock.
+type chaosRig struct {
+	clock  *faults.VirtualClock
+	plan   *faults.Plan
+	region *cluster.Region
+	ctrl   *Controller
+	mon    *Monitor
+	tenant TenantEntries
+}
+
+func newChaosRig(t *testing.T, seed int64, hcfg HealthConfig, inject ...faults.Injection) *chaosRig {
+	t.Helper()
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+	ccfg := cluster.DefaultConfig()
+	ccfg.NodesPerCluster = 3
+	region := cluster.NewRegion(ccfg, 1, 1)
+	ctrl := New(Config{
+		SafeWaterLevel: 0.8, AutoExpand: true, MirrorToFallback: true,
+		Now: clock.Now,
+		// Backoff waits advance the virtual clock, so retry windows close
+		// deterministically.
+		Sleep: func(d time.Duration) { clock.Advance(d) },
+	}, region)
+	plan := faults.NewPlan(seed, clock)
+	for _, inj := range inject {
+		plan.Add(inj)
+	}
+	plan.Apply(region)
+
+	vni := netpkt.VNI(200)
+	tenant := TenantEntries{VNI: vni}
+	tenant.Routes = append(tenant.Routes, RouteEntry{
+		VNI: vni, Prefix: netip.MustParsePrefix("10.50.0.0/24"), Route: tables.Route{Scope: tables.ScopeLocal},
+	})
+	for j := 0; j < 3; j++ {
+		tenant.VMs = append(tenant.VMs, VMEntry{
+			VNI: vni,
+			VM:  netip.MustParseAddr("10.50.0." + string(rune('2'+j))),
+			NC:  netip.MustParseAddr("172.16.50." + string(rune('2'+j))),
+		})
+	}
+	if _, err := ctrl.PlaceTenant(tenant); err != nil {
+		t.Fatal(err)
+	}
+	return &chaosRig{
+		clock: clock, plan: plan, region: region, ctrl: ctrl,
+		mon: NewMonitor(ctrl, hcfg), tenant: tenant,
+	}
+}
+
+// tick advances virtual time one beat and runs faults + monitor.
+func (r *chaosRig) tick(step time.Duration) {
+	r.clock.Advance(step)
+	r.plan.Tick()
+	r.mon.Tick(r.clock.Now())
+}
+
+// TestMonitorDetectionLatency asserts the node is declared failed on exactly
+// the K-th missed beat — not earlier, not later — and isolated from the
+// serving set.
+func TestMonitorDetectionLatency(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 3, RecoverAfter: 2}
+	rig := newChaosRig(t, 1, hcfg, faults.Injection{
+		Node: "xgwh-main-0-0", Kind: faults.Crash, At: 5 * time.Millisecond, For: time.Hour,
+	})
+	step := 100 * time.Millisecond
+
+	rig.tick(step) // miss 1
+	if got := rig.mon.State("xgwh-main-0-0"); got != NodeSuspect {
+		t.Fatalf("after 1 miss: state %v, want suspect", got)
+	}
+	rig.tick(step) // miss 2
+	if got := rig.mon.State("xgwh-main-0-0"); got != NodeSuspect {
+		t.Fatalf("after 2 misses: state %v, want suspect", got)
+	}
+	if len(rig.region.Clusters[0].LiveNodes()) != 3 {
+		t.Fatal("node isolated before K misses")
+	}
+	rig.tick(step) // miss 3 → failed
+	if got := rig.mon.State("xgwh-main-0-0"); got != NodeFailed {
+		t.Fatalf("after 3 misses: state %v, want failed", got)
+	}
+	if len(rig.region.Clusters[0].LiveNodes()) != 2 {
+		t.Fatal("failed node not isolated")
+	}
+	c := rig.ctrl.Recovery().Counters()
+	if c.Detections != 1 || c.NodeIsolations != 1 {
+		t.Fatalf("counters %+v, want 1 detection + 1 isolation", c)
+	}
+}
+
+// TestMonitorHysteresis: a recovered node returns only after RecoverAfter
+// consecutive clean beats, and the TTR sample is recorded.
+func TestMonitorHysteresis(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 2, RecoverAfter: 3}
+	rig := newChaosRig(t, 1, hcfg, faults.Injection{
+		Node: "xgwh-main-0-1", Kind: faults.Crash, At: 5 * time.Millisecond, For: 250 * time.Millisecond,
+	})
+	step := 100 * time.Millisecond
+	rig.tick(step) // miss 1
+	rig.tick(step) // miss 2 → failed + isolated
+	if got := rig.mon.State("xgwh-main-0-1"); got != NodeFailed {
+		t.Fatalf("state %v, want failed", got)
+	}
+	rig.tick(step) // fault cleared (elapsed 255ms): clean 1
+	rig.tick(step) // clean 2
+	if got := rig.mon.State("xgwh-main-0-1"); got != NodeFailed {
+		t.Fatalf("restored after %d clean beats, want %d", 2, 3)
+	}
+	rig.tick(step) // clean 3 → restored
+	if got := rig.mon.State("xgwh-main-0-1"); got != NodeHealthy {
+		t.Fatalf("state %v, want healthy after hysteresis", got)
+	}
+	if len(rig.region.Clusters[0].LiveNodes()) != 3 {
+		t.Fatal("restored node not back in the serving set")
+	}
+	c := rig.ctrl.Recovery().Counters()
+	if c.NodeRestores != 1 {
+		t.Fatalf("NodeRestores = %d, want 1", c.NodeRestores)
+	}
+	if n, _, _ := rig.ctrl.Recovery().TTRStats(); n != 1 {
+		t.Fatalf("TTR samples = %d, want 1", n)
+	}
+}
+
+// TestMonitorCatchesHang: a node that answers beats slowly (beyond the
+// latency budget) is a failure, even though every probe "passes".
+func TestMonitorCatchesHang(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 2, RecoverAfter: 2, LatencyBudgetNs: 1e6}
+	rig := newChaosRig(t, 1, hcfg, faults.Injection{
+		Node: "xgwh-main-0-2", Kind: faults.Hang, At: 5 * time.Millisecond, For: time.Hour,
+	})
+	step := 100 * time.Millisecond
+	rig.tick(step)
+	rig.tick(step)
+	if got := rig.mon.State("xgwh-main-0-2"); got != NodeFailed {
+		t.Fatalf("hung node state %v, want failed", got)
+	}
+}
+
+// TestMonitorFailoverAndFailback: losing a majority of main nodes fails the
+// cluster over to its backup; full recovery (plus a clean consistency check)
+// fails it back. No manual FailoverCluster calls anywhere.
+func TestMonitorFailoverAndFailback(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 2, RecoverAfter: 2}
+	window := 600 * time.Millisecond
+	rig := newChaosRig(t, 1, hcfg,
+		faults.Injection{Node: "xgwh-main-0-0", Kind: faults.Crash, At: 5 * time.Millisecond, For: window},
+		faults.Injection{Node: "xgwh-main-0-1", Kind: faults.Crash, At: 5 * time.Millisecond, For: window},
+	)
+	step := 100 * time.Millisecond
+	rig.tick(step)
+	rig.tick(step) // both failed → main 1/3 live → failover
+	if !rig.region.OnBackup(0) {
+		t.Fatal("cluster not failed over to backup")
+	}
+	for i := 0; i < 8; i++ { // faults clear at 605ms; restores + failback
+		rig.tick(step)
+	}
+	if rig.region.OnBackup(0) {
+		t.Fatal("cluster never failed back after full recovery")
+	}
+	c := rig.ctrl.Recovery().Counters()
+	if c.Failovers != 1 || c.Failbacks != 1 {
+		t.Fatalf("counters %+v, want 1 failover + 1 failback", c)
+	}
+}
+
+// TestMonitorDegradesWhenBothReplicasImpaired: main and backup both below
+// the threshold → degraded to the x86 pool; recovery undegrades.
+func TestMonitorGracefulDegradation(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 2, RecoverAfter: 2}
+	window := 600 * time.Millisecond
+	var inj []faults.Injection
+	for _, n := range []string{"xgwh-main-0-0", "xgwh-main-0-1", "xgwh-backup-0-0", "xgwh-backup-0-1"} {
+		inj = append(inj, faults.Injection{Node: n, Kind: faults.Crash, At: 5 * time.Millisecond, For: window})
+	}
+	rig := newChaosRig(t, 1, hcfg, inj...)
+	step := 100 * time.Millisecond
+	rig.tick(step)
+	rig.tick(step) // all four failed → degrade
+	if !rig.region.DegradedCluster(0) {
+		t.Fatal("cluster not degraded with both replicas impaired")
+	}
+	// Degraded traffic must complete on the pool (tables were mirrored).
+	raw := buildTestPacket(t, rig.tenant)
+	out, err := rig.region.ProcessPacket(raw, rig.clock.Now())
+	if err != nil || !out.ViaFallback {
+		t.Fatalf("degraded packet: out=%+v err=%v, want via fallback", out, err)
+	}
+	for i := 0; i < 8; i++ {
+		rig.tick(step)
+	}
+	if rig.region.DegradedCluster(0) {
+		t.Fatal("cluster never undegraded after recovery")
+	}
+	c := rig.ctrl.Recovery().Counters()
+	if c.Degradations != 1 || c.Undegradations != 1 {
+		t.Fatalf("counters %+v, want 1 degradation + 1 undegradation", c)
+	}
+}
+
+func buildTestPacket(t *testing.T, tenant TenantEntries) []byte {
+	t.Helper()
+	spec := netpkt.BuildSpec{
+		VNI:      tenant.VNI,
+		OuterSrc: netip.MustParseAddr("10.1.1.1"),
+		OuterDst: netip.MustParseAddr("10.255.0.1"),
+		InnerSrc: tenant.VMs[0].VM,
+		InnerDst: tenant.VMs[1].VM,
+		Proto:    netpkt.IPProtocolUDP,
+		SrcPort:  20000, DstPort: 30001,
+	}
+	raw, err := spec.Build(netpkt.NewSerializeBuffer(128, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	return cp
+}
+
+// TestPushRetriesAndGenerations: a lossy control channel forces retries; the
+// push converges, stamps one generation everywhere, and records the retries.
+// The drop window covers the first attempt and closes while the push backs
+// off (the Sleep hook advances the virtual clock), so the retry must land.
+func TestPushRetriesAndGenerations(t *testing.T) {
+	rig := newChaosRig(t, 3, HealthConfig{}, faults.Injection{
+		Node: "xgwh-main-0-0", Kind: faults.DropUpdate, At: 0, For: 100 * time.Millisecond,
+	})
+	// The rig already placed one tenant through the lossy channel.
+	rep := rig.ctrl.LastPush()
+	if rep.Generation == 0 {
+		t.Fatal("no generation assigned")
+	}
+	if rig.ctrl.Recovery().Counters().PushRetries == 0 {
+		t.Fatal("no retries recorded despite 40% push loss")
+	}
+	for _, n := range rig.region.Clusters[0].AllNodes() {
+		if got := n.GW.TenantGeneration(rig.tenant.VNI); got != rep.Generation {
+			t.Fatalf("node %s generation %d, want %d", n.ID, got, rep.Generation)
+		}
+	}
+	if !rep.Consistent {
+		t.Fatalf("push report not consistent: %+v", rep)
+	}
+}
+
+// TestPushIdempotentAcrossGenerations: re-pushing a tenant (new generation)
+// applies cleanly; a node already holding the generation is skipped.
+func TestPushGenerationSkipsCommittedNode(t *testing.T) {
+	region := cluster.NewRegion(cluster.DefaultConfig(), 1, 0)
+	ctrl := New(Config{SafeWaterLevel: 0.8}, region)
+	tenant := TenantEntries{VNI: 300}
+	tenant.Routes = append(tenant.Routes, RouteEntry{
+		VNI: 300, Prefix: netip.MustParsePrefix("10.60.0.0/24"), Route: tables.Route{Scope: tables.ScopeLocal},
+	})
+	if _, err := ctrl.PlaceTenant(tenant); err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.LastPush()
+	// Every node committed generation 1 with exactly one attempt each.
+	if want := len(region.Clusters[0].AllNodes()); rep.Attempts != want {
+		t.Fatalf("attempts = %d, want %d (one per node)", rep.Attempts, want)
+	}
+	if rep.Retries != 0 || len(rep.Unreachable) != 0 {
+		t.Fatalf("clean push reported retries/unreachable: %+v", rep)
+	}
+}
+
+// TestMonitorRecheckRepairsDivergence: a partially-applied push leaves a
+// divergent node; the post-push re-check repairs it and the repair is
+// counted.
+func TestPostPushRecheckRepairs(t *testing.T) {
+	// Partial updates on a backup node with certainty during the push
+	// window only.
+	rig := newChaosRig(t, 5, HealthConfig{}, faults.Injection{
+		Node: "xgwh-backup-0-2", Kind: faults.PartialUpdate, At: 0, For: time.Hour, Prob: 1,
+	})
+	// The push path retried MaxAttempts times (all partial), then the
+	// re-check attempted repair — also partial, so the node stays
+	// divergent and unreachable. The report must say so honestly.
+	rep := rig.ctrl.LastPush()
+	found := false
+	for _, id := range rep.Unreachable {
+		if id == "xgwh-backup-0-2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("divergent node missing from Unreachable: %+v", rep)
+	}
+	if rep.Consistent {
+		t.Fatal("report claims consistency with a divergent node")
+	}
+	// Once the fault lifts, a reconcile sweep must converge the node.
+	rig.clock.Advance(2 * time.Hour)
+	fix := rig.ctrl.Reconcile()
+	if fix.Clean() {
+		t.Fatal("reconcile found nothing to repair")
+	}
+	if fix2 := rig.ctrl.Reconcile(); !fix2.Clean() {
+		t.Fatalf("second sweep still dirty: %+v", fix2)
+	}
+	if !rig.ctrl.CheckConsistency(0).Consistent {
+		t.Fatal("cluster inconsistent after repair")
+	}
+}
+
+// TestCommissionReportsJoinedErrors: the commissioning error must name every
+// failing node and probe, not just a count.
+func TestCommissionReportsJoinedErrors(t *testing.T) {
+	region := cluster.NewRegion(cluster.DefaultConfig(), 1, 0)
+	ctrl := New(Config{SafeWaterLevel: 0.8}, region)
+	// Nothing installed: the same-vpc probe fails on every node.
+	spec := probe.Spec{
+		LocalVNI:   400,
+		LocalSrc:   netip.MustParseAddr("10.70.0.2"),
+		LocalVM:    netip.MustParseAddr("10.70.0.3"),
+		LocalNC:    netip.MustParseAddr("172.16.70.3"),
+		UnknownVNI: 0xFFFFF0,
+	}
+	_, err := ctrl.Commission(0, spec)
+	if err == nil {
+		t.Fatal("commission passed with no tables installed")
+	}
+	msg := err.Error()
+	for _, n := range region.Clusters[0].AllNodes() {
+		if !strings.Contains(msg, n.ID) {
+			t.Fatalf("error does not name failing node %s:\n%s", n.ID, msg)
+		}
+	}
+	if !strings.Contains(msg, "same-vpc") {
+		t.Fatalf("error does not name the failing probe:\n%s", msg)
+	}
+}
+
+// TestMonitorRace runs the background monitor loop concurrently with clock
+// advances, fault ticks, and state queries — the -race target of the chaos
+// harness.
+func TestMonitorRace(t *testing.T) {
+	hcfg := HealthConfig{FailAfter: 2, RecoverAfter: 2}
+	rig := newChaosRig(t, 9, hcfg, faults.Injection{
+		Node: "xgwh-main-0-0", Kind: faults.Crash, At: 5 * time.Millisecond, For: 50 * time.Millisecond,
+	})
+	rig.mon.Start(time.Millisecond)
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		rig.clock.Advance(5 * time.Millisecond)
+		rig.plan.Tick()
+		_ = rig.mon.States()
+		_ = rig.ctrl.Recovery().Counters()
+		_ = rig.plan.Stats()
+		time.Sleep(time.Millisecond)
+	}
+	rig.mon.Stop()
+	// Second Stop is a no-op, Start after Stop works.
+	rig.mon.Stop()
+	rig.mon.Start(time.Millisecond)
+	rig.mon.Stop()
+}

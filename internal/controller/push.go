@@ -1,0 +1,233 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/telemetry"
+)
+
+// Fault-tolerant table population (§6.1). The original population path
+// assumed every node applies an update atomically and instantly; production
+// gateways lose pushes, apply them partially, and crash mid-download. This
+// path makes population survive all three:
+//
+//   - per-node pushes with bounded retry, exponential backoff and jitter;
+//   - idempotent apply via per-tenant generation numbers: a node that
+//     already holds the push's generation is skipped, so a retried push
+//     after a lost ack never double-applies;
+//   - read-back verification per node, and a post-push consistency re-check
+//     that repairs divergent nodes before the tenant is declared placed.
+
+// PushConfig tunes the retry policy of table population.
+type PushConfig struct {
+	// MaxAttempts bounds pushes per node (first try included; default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 1s).
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (default 1).
+	JitterSeed int64
+}
+
+// DefaultPushConfig returns the production retry policy.
+func DefaultPushConfig() PushConfig {
+	return PushConfig{MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second, JitterSeed: 1}
+}
+
+func (p PushConfig) withDefaults() PushConfig {
+	d := DefaultPushConfig()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = d.JitterSeed
+	}
+	return p
+}
+
+// PushReport records what one tenant push took.
+type PushReport struct {
+	VNI        netpkt.VNI
+	ClusterID  int
+	Generation uint64
+	// Attempts counts node pushes, Retries the ones beyond each node's
+	// first.
+	Attempts int
+	Retries  int
+	// Unreachable lists nodes that exhausted their retry budget; they are
+	// left to the reconcile sweep and the health monitor.
+	Unreachable []string
+	// Repaired lists nodes fixed by the post-push consistency re-check.
+	Repaired []string
+	// Consistent reports whether every reachable node verified clean
+	// after the push (and any repairs).
+	Consistent bool
+}
+
+// now returns the controller clock (virtual in simulations).
+func (c *Controller) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// sleep waits between retries; with no Sleep hook configured the wait is
+// skipped (virtual-time simulations account for it via the backoff values
+// in the push report's events).
+func (c *Controller) sleep(d time.Duration) {
+	if c.cfg.Sleep != nil {
+		c.cfg.Sleep(d)
+	}
+}
+
+// pushTenant downloads a tenant's entries to every replica of the cluster
+// with the fault-tolerant policy above, then re-checks and repairs. The
+// caller is responsible for placement bookkeeping.
+func (c *Controller) pushTenant(id int, t TenantEntries) (PushReport, error) {
+	cl := c.region.Clusters[id]
+	rep := PushReport{VNI: t.VNI, ClusterID: id}
+	if err := cl.AccountEntries(t.VNI, t.Size()); err != nil {
+		return rep, err
+	}
+	c.gens[t.VNI]++
+	rep.Generation = c.gens[t.VNI]
+
+	for _, n := range cl.AllNodes() {
+		if !c.pushNode(n, t, rep.Generation, &rep) {
+			rep.Unreachable = append(rep.Unreachable, n.ID)
+		}
+	}
+	if c.cfg.MirrorToFallback {
+		c.mirrorTenant(t)
+	}
+	rep.Consistent = c.recheckTenant(cl, t, &rep)
+	return rep, nil
+}
+
+// pushNode pushes one tenant batch to one node with retry + backoff +
+// jitter, verifying by read-back and stamping the generation on success.
+func (c *Controller) pushNode(n *cluster.Node, t TenantEntries, gen uint64, rep *PushReport) bool {
+	backoff := c.cfg.Push.BaseBackoff
+	for attempt := 1; attempt <= c.cfg.Push.MaxAttempts; attempt++ {
+		rep.Attempts++
+		if attempt > 1 {
+			rep.Retries++
+			// Exponential backoff with ±25% jitter, deterministically
+			// seeded so chaos scenarios replay exactly.
+			d := backoff + time.Duration((c.pushRNG.Float64()-0.5)*0.5*float64(backoff))
+			c.rec.Record(telemetry.RecoveryEvent{
+				Time: c.now(), Kind: "retry", Node: n.ID, Cluster: -1,
+				Detail: fmt.Sprintf("push gen %d attempt %d (backoff %v)", gen, attempt, d),
+			})
+			c.sleep(d)
+			if backoff *= 2; backoff > c.cfg.Push.MaxBackoff {
+				backoff = c.cfg.Push.MaxBackoff
+			}
+		}
+		// Idempotent apply: if the node already committed this
+		// generation (our ack was lost), there is nothing to redo.
+		if n.GW.TenantGeneration(t.VNI) == gen {
+			return true
+		}
+		if err := c.applyEntries(n, t); err != nil {
+			continue
+		}
+		// Read-back verification: an acked-but-unapplied push (§6.1
+		// "software/hardware bugs") must not count as success.
+		if c.missingOnNode(n, t) > 0 {
+			continue
+		}
+		n.GW.SetTenantGeneration(t.VNI, gen)
+		return true
+	}
+	return false
+}
+
+// applyEntries installs the tenant's batch on one node.
+func (c *Controller) applyEntries(n *cluster.Node, t TenantEntries) error {
+	for _, r := range t.Routes {
+		if err := n.GW.InstallRoute(r.VNI, r.Prefix, r.Route); err != nil {
+			return err
+		}
+	}
+	for _, v := range t.VMs {
+		n.GW.InstallVM(v.VNI, v.VM, v.NC)
+	}
+	if t.ServiceVNI {
+		n.GW.MarkServiceVNI(t.VNI)
+	}
+	return nil
+}
+
+// missingOnNode counts tenant entries absent from (or divergent on) a node.
+func (c *Controller) missingOnNode(n *cluster.Node, t TenantEntries) int {
+	missing := 0
+	for _, r := range t.Routes {
+		if got, ok := n.GW.GetRoute(r.VNI, r.Prefix); !ok || got != r.Route {
+			missing++
+		}
+	}
+	for _, v := range t.VMs {
+		if got, ok := n.GW.LookupVM(v.VNI, v.VM); !ok || got != v.NC {
+			missing++
+		}
+	}
+	return missing
+}
+
+// recheckTenant is the post-push consistency re-check: every reachable node
+// must hold the full batch; divergent nodes are repaired in place.
+func (c *Controller) recheckTenant(cl *cluster.Cluster, t TenantEntries, rep *PushReport) bool {
+	clean := true
+	for _, n := range cl.AllNodes() {
+		missing := c.missingOnNode(n, t)
+		if missing == 0 {
+			continue
+		}
+		// Targeted repair: re-download only this tenant's entries.
+		if err := c.applyEntries(n, t); err == nil {
+			if c.missingOnNode(n, t) == 0 {
+				rep.Repaired = append(rep.Repaired, n.ID)
+				c.rec.AddRepairs(missing, telemetry.RecoveryEvent{
+					Time: c.now(), Kind: "repair", Node: n.ID, Cluster: -1,
+					Detail: fmt.Sprintf("re-downloaded %d divergent entries of %v", missing, t.VNI),
+				})
+				continue
+			}
+		}
+		clean = false
+	}
+	return clean
+}
+
+// mirrorTenant installs the tenant's entries into the XGW-x86 pool: the
+// software gateways hold the full tables in DRAM (§4.2), which is what lets
+// a doubly-impaired cluster degrade to the pool instead of dropping.
+func (c *Controller) mirrorTenant(t TenantEntries) {
+	for _, fb := range c.region.Fallback {
+		for _, r := range t.Routes {
+			fb.Routes.Insert(r.VNI, r.Prefix, r.Route) //nolint:errcheck // DRAM table, no capacity pressure
+		}
+		for _, v := range t.VMs {
+			fb.VMNC.Insert(v.VNI, v.VM, v.NC)
+		}
+	}
+}
+
+// newPushRNG builds the deterministic jitter source.
+func newPushRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

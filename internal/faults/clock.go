@@ -1,0 +1,35 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// VirtualClock is a deterministic simulation clock: chaos scenarios advance
+// it explicitly, so fault activation windows, heartbeat intervals, and
+// retry backoffs replay identically under one seed. It is safe for
+// concurrent use (the health-monitor loop reads it from another goroutine).
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a clock frozen at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}

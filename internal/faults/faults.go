@@ -1,0 +1,269 @@
+// Package faults is the chaos-engineering harness for the Sailfish control
+// loop: it injects the §6.1 failure classes — node crashes, hangs
+// (slow/unresponsive boxes), port flaps, lost or partially-applied table
+// pushes, and stale-table divergence — behind the cluster.Gateway
+// interface, so the controller's detection, retry, and repair paths
+// exercise real failure modes on the same code paths production takes.
+// Everything is deterministic: a seeded RNG plus a virtual clock make every
+// scenario replayable.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sailfish/internal/cluster"
+)
+
+// Errors surfaced by injected faults.
+var (
+	// ErrNodeDown reports a crashed (unreachable) node: both the data
+	// plane and the control plane error out, as a dead box would.
+	ErrNodeDown = errors.New("faults: node unreachable")
+	// ErrPushLost reports a table push lost in transit — the transient
+	// failure the controller's retry loop must absorb.
+	ErrPushLost = errors.New("faults: table push lost")
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// Crash: the node stops responding entirely.
+	Crash Kind = iota
+	// Hang: the node responds, but pathologically slowly — the failure
+	// heartbeat monitors must catch with a latency budget, not a timeout.
+	Hang
+	// PortFlap: one front-panel port oscillates down/up.
+	PortFlap
+	// DropUpdate: control-plane route pushes fail with a transient error.
+	DropUpdate
+	// PartialUpdate: pushes are accepted but silently not applied — the
+	// divergence only a post-push consistency check can see.
+	PartialUpdate
+	// StaleTable: previously-applied entries silently revert over time
+	// (the §6.1 "software/hardware bugs, misconfiguration" drift).
+	StaleTable
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case PortFlap:
+		return "port_flap"
+	case DropUpdate:
+		return "drop_update"
+	case PartialUpdate:
+		return "partial_update"
+	case StaleTable:
+		return "stale_table"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Injection is one scheduled fault on one node.
+type Injection struct {
+	// Node is the target node ID (cluster.Node.ID).
+	Node string
+	Kind Kind
+	// At is the virtual-time offset from the plan's start when the fault
+	// activates.
+	At time.Duration
+	// For is the fault's duration; 0 means it never clears.
+	For time.Duration
+	// Port selects the flapping port (PortFlap only).
+	Port int
+	// FlapPeriod is the down/up toggle period (PortFlap; default 1s).
+	FlapPeriod time.Duration
+	// Prob is the per-operation injection probability for DropUpdate /
+	// PartialUpdate / StaleTable (default 1).
+	Prob float64
+	// ExtraLatencyNs is the added per-packet latency under Hang
+	// (default 50ms — far beyond any heartbeat budget).
+	ExtraLatencyNs float64
+}
+
+// Stats counts injected fault effects, for asserting that a scenario
+// actually exercised what it claims.
+type Stats struct {
+	CrashRejects   uint64 // operations refused by crashed nodes
+	HangDelays     uint64 // packets slowed by hangs
+	DroppedPushes  uint64 // route pushes errored in transit
+	PartialApplies uint64 // pushes acked but not applied
+	StaleReverts   uint64 // applied entries silently removed
+	PortToggles    uint64 // port state flips
+}
+
+// Plan schedules injections against a region. Wrap the region's nodes with
+// Apply, then drive virtual time with the clock and call Tick to fire
+// time-based faults (flaps, stale reverts). Safe for concurrent use: the
+// health-monitor goroutine consults it through the wrapped gateways while
+// the scenario goroutine advances it.
+type Plan struct {
+	mu         sync.Mutex
+	clock      *VirtualClock
+	start      time.Time
+	rng        *rand.Rand
+	injections []Injection
+	nodes      map[string]*cluster.Node
+	flapState  map[int]bool // injection index → port currently failed
+	stats      Stats
+}
+
+// NewPlan returns an empty plan over the given seed and clock.
+func NewPlan(seed int64, clock *VirtualClock) *Plan {
+	return &Plan{
+		clock:     clock,
+		start:     clock.Now(),
+		rng:       rand.New(rand.NewSource(seed)),
+		nodes:     make(map[string]*cluster.Node),
+		flapState: make(map[int]bool),
+	}
+}
+
+// Add schedules one injection, filling defaults.
+func (p *Plan) Add(inj Injection) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if inj.Prob == 0 {
+		inj.Prob = 1
+	}
+	if inj.FlapPeriod == 0 {
+		inj.FlapPeriod = time.Second
+	}
+	if inj.ExtraLatencyNs == 0 {
+		inj.ExtraLatencyNs = 50e6
+	}
+	p.injections = append(p.injections, inj)
+}
+
+// Apply wraps every node of the region (main and backup clusters) behind
+// the injecting gateway, so all subsequent cluster/controller operations
+// flow through the plan.
+func (p *Plan) Apply(r *cluster.Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range r.Clusters {
+		for _, n := range c.AllNodes() {
+			if _, done := p.nodes[n.ID]; done {
+				continue
+			}
+			p.nodes[n.ID] = n
+			n.GW = &Gateway{inner: n.GW, node: n.ID, plan: p}
+		}
+	}
+}
+
+// Stats returns a snapshot of the injected-effect counters.
+func (p *Plan) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// active returns the first live injection of the given kind on the node at
+// the current virtual instant.
+func (p *Plan) active(node string, k Kind) (Injection, bool) {
+	now := p.clock.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeLocked(node, k, now)
+}
+
+func (p *Plan) activeLocked(node string, k Kind, now time.Time) (Injection, bool) {
+	elapsed := now.Sub(p.start)
+	for _, inj := range p.injections {
+		if inj.Node != node || inj.Kind != k {
+			continue
+		}
+		if elapsed < inj.At {
+			continue
+		}
+		if inj.For > 0 && elapsed >= inj.At+inj.For {
+			continue
+		}
+		return inj, true
+	}
+	return Injection{}, false
+}
+
+// roll draws a deterministic probability sample.
+func (p *Plan) roll(prob float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64() < prob
+}
+
+// pick draws a deterministic index in [0, n).
+func (p *Plan) pick(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
+}
+
+func (p *Plan) count(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// Tick fires the time-driven faults at the current virtual instant: port
+// flaps toggle their port, and active StaleTable injections silently revert
+// one journaled entry per tick on their node. Call it after each clock
+// advance.
+func (p *Plan) Tick() {
+	now := p.clock.Now()
+	p.mu.Lock()
+	elapsed := now.Sub(p.start)
+	type revert struct{ gw *Gateway }
+	var reverts []revert
+	for i, inj := range p.injections {
+		live := elapsed >= inj.At && (inj.For == 0 || elapsed < inj.At+inj.For)
+		switch inj.Kind {
+		case PortFlap:
+			n := p.nodes[inj.Node]
+			if n == nil {
+				continue
+			}
+			want := false
+			if live {
+				// Down on even half-periods, up on odd ones.
+				phase := int64((elapsed - inj.At) / inj.FlapPeriod)
+				want = phase%2 == 0
+			}
+			if p.flapState[i] != want {
+				p.flapState[i] = want
+				p.stats.PortToggles++
+				if want {
+					n.FailPort(inj.Port)
+				} else {
+					n.RestorePort(inj.Port)
+				}
+			}
+		case StaleTable:
+			if !live || p.rng.Float64() >= inj.Prob {
+				continue
+			}
+			n := p.nodes[inj.Node]
+			if n == nil {
+				continue
+			}
+			if gw, ok := n.GW.(*Gateway); ok {
+				reverts = append(reverts, revert{gw})
+			}
+		}
+	}
+	p.mu.Unlock()
+	// Reverts touch the inner gateway; do it outside the plan lock (the
+	// wrapper re-enters the plan for counting).
+	for _, r := range reverts {
+		r.gw.revertOne()
+	}
+}

@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+func testRegion(t *testing.T) *cluster.Region {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	return cluster.NewRegion(cfg, 1, 1)
+}
+
+func testPacket(t *testing.T, vni netpkt.VNI) []byte {
+	t.Helper()
+	spec := netpkt.BuildSpec{
+		VNI:      vni,
+		OuterSrc: netip.MustParseAddr("10.1.1.1"),
+		OuterDst: netip.MustParseAddr("10.255.0.1"),
+		InnerSrc: netip.MustParseAddr("10.10.0.2"),
+		InnerDst: netip.MustParseAddr("10.10.0.3"),
+		Proto:    netpkt.IPProtocolUDP,
+		SrcPort:  20000, DstPort: 30001,
+	}
+	raw, err := spec.Build(netpkt.NewSerializeBuffer(128, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	return cp
+}
+
+func installTestTenant(t *testing.T, n *cluster.Node) {
+	t.Helper()
+	vni := netpkt.VNI(100)
+	if err := n.GW.InstallRoute(vni, netip.MustParsePrefix("10.10.0.0/24"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	n.GW.InstallVM(vni, netip.MustParseAddr("10.10.0.3"), netip.MustParseAddr("172.16.0.3"))
+}
+
+// TestFaultWindows drives each fault class through its activation window and
+// asserts the observable effect (table-driven across kinds).
+func TestFaultWindows(t *testing.T) {
+	vni := netpkt.VNI(100)
+	prefix := netip.MustParsePrefix("10.10.0.0/24")
+	route := tables.Route{Scope: tables.ScopeLocal}
+
+	cases := []struct {
+		name  string
+		kind  Kind
+		check func(t *testing.T, clock *VirtualClock, plan *Plan, n *cluster.Node, raw []byte)
+	}{
+		{"crash rejects data and control", Crash, func(t *testing.T, clock *VirtualClock, plan *Plan, n *cluster.Node, raw []byte) {
+			if _, err := n.GW.ProcessPacket(raw, clock.Now()); !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("in-window ProcessPacket err = %v, want ErrNodeDown", err)
+			}
+			if err := n.GW.InstallRoute(vni, prefix, route); !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("in-window InstallRoute err = %v, want ErrNodeDown", err)
+			}
+			if _, ok := n.GW.GetRoute(vni, prefix); ok {
+				t.Fatal("crashed node must not answer reads")
+			}
+			clock.Advance(2 * time.Second) // past the window
+			if _, err := n.GW.ProcessPacket(raw, clock.Now()); err != nil {
+				t.Fatalf("post-window ProcessPacket err = %v", err)
+			}
+		}},
+		{"hang inflates latency", Hang, func(t *testing.T, clock *VirtualClock, plan *Plan, n *cluster.Node, raw []byte) {
+			res, err := n.GW.ProcessPacket(raw, clock.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LatencyNs < 50e6 {
+				t.Fatalf("in-window latency %.0fns, want ≥ 50ms of injected delay", res.LatencyNs)
+			}
+			clock.Advance(2 * time.Second)
+			res, err = n.GW.ProcessPacket(raw, clock.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LatencyNs >= 50e6 {
+				t.Fatalf("post-window latency %.0fns still inflated", res.LatencyNs)
+			}
+		}},
+		{"drop_update loses pushes", DropUpdate, func(t *testing.T, clock *VirtualClock, plan *Plan, n *cluster.Node, raw []byte) {
+			if err := n.GW.InstallRoute(vni, netip.MustParsePrefix("10.20.0.0/24"), route); !errors.Is(err, ErrPushLost) {
+				t.Fatalf("in-window InstallRoute err = %v, want ErrPushLost", err)
+			}
+			clock.Advance(2 * time.Second)
+			if err := n.GW.InstallRoute(vni, netip.MustParsePrefix("10.20.0.0/24"), route); err != nil {
+				t.Fatalf("post-window InstallRoute err = %v", err)
+			}
+		}},
+		{"partial_update acks without applying", PartialUpdate, func(t *testing.T, clock *VirtualClock, plan *Plan, n *cluster.Node, raw []byte) {
+			p := netip.MustParsePrefix("10.30.0.0/24")
+			if err := n.GW.InstallRoute(vni, p, route); err != nil {
+				t.Fatalf("partial apply must ack: %v", err)
+			}
+			if _, ok := n.GW.GetRoute(vni, p); ok {
+				t.Fatal("partially-applied push must not be readable — only read-back can catch it")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := testRegion(t)
+			clock := NewVirtualClock(time.Unix(0, 0))
+			plan := NewPlan(1, clock)
+			node := r.Clusters[0].Nodes[0]
+			// The window opens after the tenant is installed at elapsed 0.
+			plan.Add(Injection{Node: node.ID, Kind: tc.kind, At: 5 * time.Millisecond, For: time.Second})
+			plan.Apply(r)
+			installTestTenant(t, node)
+			raw := testPacket(t, vni)
+			clock.Advance(10 * time.Millisecond) // inside the window
+			tc.check(t, clock, plan, node, raw)
+		})
+	}
+}
+
+// TestStaleTableReverts asserts that Tick silently removes journaled entries
+// during a StaleTable window and that the stats count them.
+func TestStaleTableReverts(t *testing.T) {
+	r := testRegion(t)
+	clock := NewVirtualClock(time.Unix(0, 0))
+	plan := NewPlan(1, clock)
+	node := r.Clusters[0].Nodes[0]
+	plan.Add(Injection{Node: node.ID, Kind: StaleTable, At: 0, For: 10 * time.Second})
+	plan.Apply(r)
+	installTestTenant(t, node)
+
+	before := node.GW.RouteCount() + node.GW.VMCount()
+	for i := 0; i < 5; i++ {
+		clock.Advance(100 * time.Millisecond)
+		plan.Tick()
+	}
+	after := node.GW.RouteCount() + node.GW.VMCount()
+	if after >= before {
+		t.Fatalf("entries %d → %d, want silent reverts", before, after)
+	}
+	if plan.Stats().StaleReverts == 0 {
+		t.Fatal("StaleReverts not counted")
+	}
+}
+
+// TestPortFlapToggles asserts the flap oscillates the port with the
+// configured period and restores it after the window.
+func TestPortFlapToggles(t *testing.T) {
+	r := testRegion(t)
+	clock := NewVirtualClock(time.Unix(0, 0))
+	plan := NewPlan(1, clock)
+	node := r.Clusters[0].Nodes[0]
+	plan.Add(Injection{Node: node.ID, Kind: PortFlap, At: 0, For: 4 * time.Second, Port: 3, FlapPeriod: time.Second})
+	plan.Apply(r)
+
+	clock.Advance(100 * time.Millisecond)
+	plan.Tick()
+	if node.PortHealthy[3] {
+		t.Fatal("port should be down in the first half-period")
+	}
+	clock.Advance(time.Second)
+	plan.Tick()
+	if !node.PortHealthy[3] {
+		t.Fatal("port should be up in the second half-period")
+	}
+	clock.Advance(5 * time.Second) // past the window
+	plan.Tick()
+	if !node.PortHealthy[3] {
+		t.Fatal("port must be restored after the window")
+	}
+	if plan.Stats().PortToggles < 2 {
+		t.Fatalf("PortToggles = %d, want ≥ 2", plan.Stats().PortToggles)
+	}
+}
+
+// TestPlanDeterminism: identical seeds must produce identical effect counts.
+func TestPlanDeterminism(t *testing.T) {
+	run := func() Stats {
+		r := testRegion(t)
+		clock := NewVirtualClock(time.Unix(0, 0))
+		plan := NewPlan(42, clock)
+		node := r.Clusters[0].Nodes[0]
+		plan.Add(Injection{Node: node.ID, Kind: DropUpdate, At: 0, For: time.Second, Prob: 0.5})
+		plan.Apply(r)
+		for i := 0; i < 50; i++ {
+			//nolint:errcheck // outcome recorded in plan stats
+			node.GW.InstallRoute(netpkt.VNI(100), netip.MustParsePrefix("10.10.0.0/24"), tables.Route{Scope: tables.ScopeLocal})
+		}
+		return plan.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestApplyWrapsAllReplicas: every main and backup node must be wrapped, and
+// the wrapper must expose the original gateway via Inner.
+func TestApplyWrapsAllReplicas(t *testing.T) {
+	r := testRegion(t)
+	clock := NewVirtualClock(time.Unix(0, 0))
+	plan := NewPlan(1, clock)
+	plan.Apply(r)
+	for _, n := range r.Clusters[0].AllNodes() {
+		gw, ok := n.GW.(*Gateway)
+		if !ok {
+			t.Fatalf("node %s not wrapped", n.ID)
+		}
+		if gw.Inner() == nil {
+			t.Fatalf("node %s wrapper has no inner gateway", n.ID)
+		}
+	}
+	// Applying twice must not double-wrap.
+	plan.Apply(r)
+	for _, n := range r.Clusters[0].AllNodes() {
+		if gw, ok := n.GW.(*Gateway); !ok {
+			t.Fatalf("node %s lost its wrapper", n.ID)
+		} else if _, double := gw.Inner().(*Gateway); double {
+			t.Fatalf("node %s double-wrapped", n.ID)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/xgwh"
+)
+
+// Gateway wraps a node's gateway behind the fault plan: every control- and
+// data-plane call consults the active injections before (maybe) reaching
+// the inner gateway. It implements cluster.Gateway.
+//
+// Unlike *xgwh.Gateway, the wrapper serializes access with a mutex: chaos
+// scenarios deliberately run the health-monitor loop concurrently with
+// traffic and table pushes, and the wrapper is the box boundary where that
+// concurrency meets the single-threaded chip model.
+type Gateway struct {
+	mu    sync.Mutex
+	inner cluster.Gateway
+	node  string
+	plan  *Plan
+
+	// journal records entries applied through the wrapper, the pool
+	// StaleTable reverts draw from.
+	journalRoutes []journalRoute
+	journalVMs    []journalVM
+}
+
+type journalRoute struct {
+	vni netpkt.VNI
+	p   netip.Prefix
+}
+
+type journalVM struct {
+	vni netpkt.VNI
+	vm  netip.Addr
+}
+
+// Inner returns the wrapped gateway (tests reach through to assert on the
+// real tables).
+func (g *Gateway) Inner() cluster.Gateway { return g.inner }
+
+// crashed reports whether the node is currently unreachable.
+func (g *Gateway) crashed() bool {
+	_, on := g.plan.active(g.node, Crash)
+	return on
+}
+
+// ProcessPacket injects crash (error) and hang (added latency) on the data
+// path.
+func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (xgwh.ForwardResult, error) {
+	if g.crashed() {
+		g.plan.count(func(s *Stats) { s.CrashRejects++ })
+		return xgwh.ForwardResult{}, ErrNodeDown
+	}
+	g.mu.Lock()
+	res, err := g.inner.ProcessPacket(raw, now)
+	g.mu.Unlock()
+	if inj, on := g.plan.active(g.node, Hang); on {
+		g.plan.count(func(s *Stats) { s.HangDelays++ })
+		res.LatencyNs += inj.ExtraLatencyNs
+	}
+	return res, err
+}
+
+// InstallRoute injects crash, lost pushes (transient error), and partial
+// applies (ack without effect).
+func (g *Gateway) InstallRoute(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
+	if g.crashed() {
+		g.plan.count(func(s *Stats) { s.CrashRejects++ })
+		return ErrNodeDown
+	}
+	if inj, on := g.plan.active(g.node, DropUpdate); on && g.plan.roll(inj.Prob) {
+		g.plan.count(func(s *Stats) { s.DroppedPushes++ })
+		return ErrPushLost
+	}
+	if inj, on := g.plan.active(g.node, PartialUpdate); on && g.plan.roll(inj.Prob) {
+		g.plan.count(func(s *Stats) { s.PartialApplies++ })
+		return nil // acked, never applied
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.inner.InstallRoute(vni, p, r); err != nil {
+		return err
+	}
+	g.journalRoutes = append(g.journalRoutes, journalRoute{vni, p})
+	return nil
+}
+
+// InstallVM injects crash and partial applies. The gateway VM API has no
+// error return — a lost VM push is exactly the silent divergence the
+// post-push read-back check exists to catch.
+func (g *Gateway) InstallVM(vni netpkt.VNI, vm, nc netip.Addr) {
+	if g.crashed() {
+		g.plan.count(func(s *Stats) { s.CrashRejects++ })
+		return
+	}
+	if inj, on := g.plan.active(g.node, PartialUpdate); on && g.plan.roll(inj.Prob) {
+		g.plan.count(func(s *Stats) { s.PartialApplies++ })
+		return
+	}
+	if inj, on := g.plan.active(g.node, DropUpdate); on && g.plan.roll(inj.Prob) {
+		g.plan.count(func(s *Stats) { s.DroppedPushes++ })
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.InstallVM(vni, vm, nc)
+	g.journalVMs = append(g.journalVMs, journalVM{vni, vm})
+}
+
+// revertOne silently removes one journaled entry from the inner gateway —
+// the StaleTable divergence a reconcile sweep must find and repair.
+func (g *Gateway) revertOne() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := len(g.journalRoutes) + len(g.journalVMs)
+	if total == 0 {
+		return
+	}
+	i := g.plan.pick(total)
+	if i < len(g.journalRoutes) {
+		e := g.journalRoutes[i]
+		if g.inner.RemoveRoute(e.vni, e.p) {
+			g.plan.count(func(s *Stats) { s.StaleReverts++ })
+		}
+	} else {
+		e := g.journalVMs[i-len(g.journalRoutes)]
+		if g.inner.RemoveVM(e.vni, e.vm) {
+			g.plan.count(func(s *Stats) { s.StaleReverts++ })
+		}
+	}
+}
+
+// --- Reads: a crashed node cannot be read either ---
+
+func (g *Gateway) GetRoute(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
+	if g.crashed() {
+		return tables.Route{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.GetRoute(vni, p)
+}
+
+func (g *Gateway) LookupVM(vni netpkt.VNI, vm netip.Addr) (netip.Addr, bool) {
+	if g.crashed() {
+		return netip.Addr{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.LookupVM(vni, vm)
+}
+
+func (g *Gateway) RouteCount() int {
+	if g.crashed() {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.RouteCount()
+}
+
+func (g *Gateway) VMCount() int {
+	if g.crashed() {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.VMCount()
+}
+
+func (g *Gateway) TenantGeneration(vni netpkt.VNI) uint64 {
+	if g.crashed() {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.TenantGeneration(vni)
+}
+
+func (g *Gateway) SetTenantGeneration(vni netpkt.VNI, gen uint64) {
+	if g.crashed() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.SetTenantGeneration(vni, gen)
+}
+
+// --- Remaining control plane: crash-gated pass-throughs ---
+
+func (g *Gateway) RemoveRoute(vni netpkt.VNI, p netip.Prefix) bool {
+	if g.crashed() {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.RemoveRoute(vni, p)
+}
+
+func (g *Gateway) RemoveVM(vni netpkt.VNI, vm netip.Addr) bool {
+	if g.crashed() {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.RemoveVM(vni, vm)
+}
+
+func (g *Gateway) MarkServiceVNI(vni netpkt.VNI) {
+	if g.crashed() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.MarkServiceVNI(vni)
+}
+
+func (g *Gateway) InstallACL(vni netpkt.VNI, r tables.ACLRule) {
+	if g.crashed() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.InstallACL(vni, r)
+}
+
+func (g *Gateway) InstallShape(vni netpkt.VNI, bytesPerSec, burstBytes float64) {
+	if g.crashed() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.InstallShape(vni, bytesPerSec, burstBytes)
+}
+
+func (g *Gateway) Stats() xgwh.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.Stats()
+}
+
+func (g *Gateway) EnableTelemetry(deviceID string, m *telemetry.Matcher, c *telemetry.Collector) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.EnableTelemetry(deviceID, m, c)
+}
+
+func (g *Gateway) ALPMRouteStats() (xgwh.ALPMStats, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.ALPMRouteStats()
+}

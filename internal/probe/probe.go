@@ -73,11 +73,28 @@ type Target interface {
 
 // Run executes the probes against the target and collects failures.
 func Run(t Target, probes []Probe, now time.Time) []Failure {
+	return RunBudget(t, probes, now, 0)
+}
+
+// RunBudget executes the probes like Run, additionally failing any probe
+// whose reported forwarding latency exceeds latencyBudgetNs (0 disables the
+// budget). This is how heartbeat monitoring distinguishes a hung box — one
+// that still answers, but pathologically slowly — from a healthy one: a
+// probe that "passes" after 50 ms is a missed beat, not a pass.
+func RunBudget(t Target, probes []Probe, now time.Time, latencyBudgetNs float64) []Failure {
 	var fails []Failure
 	for _, p := range probes {
 		res, err := t.ProcessPacket(p.Raw, now)
 		if err != nil {
 			fails = append(fails, Failure{Probe: p.Name, Got: "error: " + err.Error(), Want: p.Expect.String()})
+			continue
+		}
+		if latencyBudgetNs > 0 && res.LatencyNs > latencyBudgetNs {
+			fails = append(fails, Failure{
+				Probe: p.Name,
+				Got:   fmt.Sprintf("slow: %.0fns", res.LatencyNs),
+				Want:  fmt.Sprintf("≤ %.0fns", latencyBudgetNs),
+			})
 			continue
 		}
 		switch p.Expect {
@@ -164,4 +181,23 @@ func SuiteFor(s Spec) ([]Probe, error) {
 		Name: "malformed", Raw: []byte{0xde, 0xad}, Expect: ExpectDrop, WantReason: "parse_error",
 	})
 	return probes, nil
+}
+
+// HeartbeatFor builds the minimal per-beat suite the health monitor fires
+// at every node on every interval: one known-good forward (proves tables
+// and pipeline) and one unknown-VNI fallback (proves the miss path). The
+// full SuiteFor battery stays a commissioning-time tool; heartbeats must be
+// cheap enough to run region-wide every few hundred milliseconds.
+func HeartbeatFor(s Spec) ([]Probe, error) {
+	full, err := SuiteFor(s)
+	if err != nil {
+		return nil, err
+	}
+	var beats []Probe
+	for _, p := range full {
+		if p.Name == "same-vpc" || p.Name == "unknown-vni-to-software" {
+			beats = append(beats, p)
+		}
+	}
+	return beats, nil
 }

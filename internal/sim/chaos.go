@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/faults"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/xgwh"
+)
+
+// ChaosConfig parameterizes a packet-level disaster-recovery scenario: a
+// region under continuous tenant traffic while the fault plan injects §6.1
+// failure classes, with the health-monitor loop as the only recovery actor —
+// no manual FailNode/FailoverCluster calls anywhere.
+type ChaosConfig struct {
+	Seed int64
+	// Region shape.
+	Clusters        int
+	NodesPerCluster int
+	FallbackNodes   int
+	// Tenant population.
+	Tenants      int
+	VMsPerTenant int
+	// Ticks × TickStep is the virtual-time window; PacketsPerTick is the
+	// offered load.
+	Ticks          int
+	TickStep       time.Duration
+	PacketsPerTick int
+	// ReconcileEvery runs the periodic consistency sweep every N ticks
+	// (0 disables; the final sweep always runs).
+	ReconcileEvery int
+	// Health tunes detection; Faults is the injection schedule.
+	Health controller.HealthConfig
+	Faults []faults.Injection
+}
+
+// DefaultChaosConfig is the reference scenario: a table push racing a lossy
+// control channel at t=0, then a mid-run node crash that clears before the
+// end — the recovery loop must detect, isolate, restore, and keep loss
+// within the paper's <0.2‰ fallback-era budget.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:            7,
+		Clusters:        2,
+		NodesPerCluster: 3,
+		FallbackNodes:   2,
+		Tenants:         8,
+		VMsPerTenant:    4,
+		Ticks:           6000,
+		TickStep:        10 * time.Millisecond,
+		PacketsPerTick:  40,
+		ReconcileEvery:  2000,
+		Health:          controller.DefaultHealthConfig(),
+		Faults: []faults.Injection{
+			// Half the pushes to this node are lost while tenants are being
+			// placed; the retry/read-back path must absorb it.
+			{Node: "xgwh-main-0-1", Kind: faults.DropUpdate, At: 0, For: time.Second, Prob: 0.5},
+			// Mid-run crash: 8 virtual seconds dark, then the box returns.
+			{Node: "xgwh-main-0-0", Kind: faults.Crash, At: 16 * time.Second, For: 8 * time.Second},
+		},
+	}
+}
+
+// ChaosResult is the scenario outcome.
+type ChaosResult struct {
+	Sent, Delivered, Lost uint64
+	// LossRate is Lost/Sent.
+	LossRate float64
+	// Recovery snapshots the recovery-loop counters; Events is the
+	// timestamped action log.
+	Recovery telemetry.RecoveryCounters
+	Events   []telemetry.RecoveryEvent
+	// TTRCount/TTRMean/TTRMax summarize node time-to-recovery.
+	TTRCount        int
+	TTRMean, TTRMax time.Duration
+	FaultStats      faults.Stats
+	RegionStats     cluster.RegionStats
+	// Consistent reports the post-recovery consistency check across every
+	// cluster (after the final reconcile sweep).
+	Consistent bool
+	// PushRetries mirrors Recovery.PushRetries for convenience.
+	PushRetries uint64
+}
+
+// RunChaos executes the scenario under a virtual clock. Deterministic for a
+// given config: seeded fault RNG, seeded backoff jitter, fixed packet
+// schedule.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.Clusters == 0 {
+		cfg = DefaultChaosConfig()
+	}
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.NodesPerCluster = cfg.NodesPerCluster
+	region := cluster.NewRegion(ccfg, cfg.Clusters, cfg.FallbackNodes)
+	ctrl := controller.New(controller.Config{
+		SafeWaterLevel: 0.8,
+		AutoExpand:     true,
+		// Keep the x86 pool's DRAM tables in sync so degraded clusters and
+		// divergent nodes complete traffic on the software path instead of
+		// dropping it.
+		MirrorToFallback: true,
+		Now:              clock.Now,
+	}, region)
+
+	// Wrap every node before population so lost/partial pushes hit the
+	// placement path itself.
+	plan := faults.NewPlan(cfg.Seed, clock)
+	for _, inj := range cfg.Faults {
+		plan.Add(inj)
+	}
+	plan.Apply(region)
+
+	for i := 0; i < cfg.Tenants; i++ {
+		t := chaosTenant(i, cfg.VMsPerTenant)
+		if _, err := ctrl.PlaceTenant(t); err != nil {
+			return nil, fmt.Errorf("sim: placing tenant %v: %w", t.VNI, err)
+		}
+	}
+
+	mon := controller.NewMonitor(ctrl, cfg.Health)
+	pool := chaosPackets(cfg)
+	res := &ChaosResult{}
+
+	rec := ctrl.Recovery()
+	for tk := 0; tk < cfg.Ticks; tk++ {
+		clock.Advance(cfg.TickStep)
+		plan.Tick()
+		mon.Tick(clock.Now())
+		if cfg.ReconcileEvery > 0 && tk > 0 && tk%cfg.ReconcileEvery == 0 {
+			sweepRepair(ctrl, clock.Now())
+		}
+		for p := 0; p < cfg.PacketsPerTick; p++ {
+			raw := pool[(tk*cfg.PacketsPerTick+p)%len(pool)]
+			res.Sent++
+			out, err := region.ProcessPacket(raw, clock.Now())
+			if err == nil && (out.GW.Action == xgwh.ActionForward || out.ViaFallback) {
+				res.Delivered++
+			} else {
+				res.Lost++
+			}
+		}
+	}
+
+	// Final periodic sweep, then the post-recovery consistency verdict.
+	sweepRepair(ctrl, clock.Now())
+	res.Consistent = true
+	for _, cl := range region.Clusters {
+		if !ctrl.CheckConsistency(cl.ID).Consistent {
+			res.Consistent = false
+		}
+	}
+
+	if res.Sent > 0 {
+		res.LossRate = float64(res.Lost) / float64(res.Sent)
+	}
+	res.Recovery = rec.Counters()
+	res.Events = rec.Events()
+	res.TTRCount, res.TTRMean, res.TTRMax = rec.TTRStats()
+	res.FaultStats = plan.Stats()
+	res.RegionStats = region.Stats()
+	res.PushRetries = res.Recovery.PushRetries
+	return res, nil
+}
+
+// sweepRepair runs one reconcile sweep and records its repairs.
+func sweepRepair(ctrl *controller.Controller, now time.Time) {
+	fix := ctrl.Reconcile()
+	ctrl.Recovery().AddRepairs(fix.RoutesReinstalled+fix.VMsReinstalled, telemetry.RecoveryEvent{
+		Time: now, Kind: "repair", Cluster: -1,
+		Detail: fmt.Sprintf("periodic sweep: %d routes, %d VMs on %v",
+			fix.RoutesReinstalled, fix.VMsReinstalled, fix.NodesTouched),
+	})
+}
+
+// chaosTenant builds tenant i's entries: one local prefix route plus its
+// VM-NC mappings. VNIs start at 100 and stay far from the heartbeat's
+// reserved unknown VNI.
+func chaosTenant(i, vms int) controller.TenantEntries {
+	vni := netpkt.VNI(100 + i)
+	t := controller.TenantEntries{VNI: vni}
+	prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", 10+i))
+	t.Routes = append(t.Routes, controller.RouteEntry{
+		VNI: vni, Prefix: prefix, Route: tables.Route{Scope: tables.ScopeLocal},
+	})
+	for j := 0; j < vms; j++ {
+		t.VMs = append(t.VMs, controller.VMEntry{
+			VNI: vni,
+			VM:  netip.MustParseAddr(fmt.Sprintf("10.%d.0.%d", 10+i, 2+j)),
+			NC:  netip.MustParseAddr(fmt.Sprintf("172.16.%d.%d", 10+i, 2+j)),
+		})
+	}
+	return t
+}
+
+// chaosPackets pre-builds the traffic pool: VM-to-VM packets for every
+// tenant with varied source ports for ECMP spread.
+func chaosPackets(cfg ChaosConfig) [][]byte {
+	const variantsPerTenant = 32
+	var pool [][]byte
+	for i := 0; i < cfg.Tenants; i++ {
+		t := chaosTenant(i, cfg.VMsPerTenant)
+		for v := 0; v < variantsPerTenant; v++ {
+			src := t.VMs[v%len(t.VMs)]
+			dst := t.VMs[(v+1)%len(t.VMs)]
+			spec := netpkt.BuildSpec{
+				VNI:      t.VNI,
+				OuterSrc: netip.MustParseAddr("10.1.1.1"),
+				OuterDst: netip.MustParseAddr("10.255.0.1"),
+				InnerSrc: src.VM,
+				InnerDst: dst.VM,
+				Proto:    netpkt.IPProtocolUDP,
+				SrcPort:  uint16(20000 + v*31 + i),
+				DstPort:  30001,
+			}
+			b := netpkt.NewSerializeBuffer(128, 256)
+			raw, err := spec.Build(b)
+			if err != nil {
+				continue
+			}
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			pool = append(pool, cp)
+		}
+	}
+	return pool
+}

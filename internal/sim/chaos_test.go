@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/faults"
+)
+
+// chaosCrash schedules a crash window in whole seconds.
+func chaosCrash(node string, atSec, forSec int) faults.Injection {
+	return faults.Injection{
+		Node: node, Kind: faults.Crash,
+		At:  time.Duration(atSec) * time.Second,
+		For: time.Duration(forSec) * time.Second,
+	}
+}
+
+func regionForTest() *cluster.Region {
+	cfg := cluster.DefaultConfig()
+	cfg.NodesPerCluster = 2
+	return cluster.NewRegion(cfg, 1, 1)
+}
+
+// TestChaosNodeCrashRecoversWithinLossBudget is the end-to-end acceptance
+// scenario: tenants are placed while a node's control channel drops half the
+// pushes, then a node crashes mid-run and returns. The health monitor is the
+// only recovery actor. Loss must stay inside the paper's <0.2‰ budget and
+// the post-recovery consistency check must pass.
+func TestChaosNodeCrashRecoversWithinLossBudget(t *testing.T) {
+	res, err := RunChaos(DefaultChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	t.Logf("sent=%d delivered=%d lost=%d rate=%.2e", res.Sent, res.Delivered, res.Lost, res.LossRate)
+	t.Logf("recovery=%+v", res.Recovery)
+	t.Logf("faults=%+v", res.FaultStats)
+	t.Logf("ttr n=%d mean=%v max=%v", res.TTRCount, res.TTRMean, res.TTRMax)
+	for _, e := range res.Events {
+		t.Logf("event: %s", e)
+	}
+
+	// The crash must have been detected, isolated, and the node restored.
+	if res.Recovery.Detections == 0 {
+		t.Error("no failure detections recorded")
+	}
+	if res.Recovery.NodeIsolations == 0 {
+		t.Error("no node isolations recorded")
+	}
+	if res.Recovery.NodeRestores == 0 {
+		t.Error("crashed node never restored")
+	}
+	if res.TTRCount == 0 {
+		t.Error("no time-to-recovery samples")
+	}
+	// The lossy push window must have exercised the retry path.
+	if res.PushRetries == 0 {
+		t.Error("no push retries recorded despite DropUpdate injection")
+	}
+	if res.FaultStats.DroppedPushes == 0 {
+		t.Error("DropUpdate injection never fired")
+	}
+	if res.FaultStats.CrashRejects == 0 {
+		t.Error("Crash injection never fired")
+	}
+	// Loss budget: the crash is detected after K beats; everything after
+	// isolation redistributes over the surviving replicas.
+	if res.LossRate >= 2e-4 {
+		t.Errorf("loss rate %.2e breaches the 0.2‰ budget", res.LossRate)
+	}
+	// Post-recovery consistency.
+	if !res.Consistent {
+		t.Error("post-recovery consistency check failed")
+	}
+}
+
+// TestChaosDeterministic replays the scenario and expects identical results:
+// seeded RNG + virtual clock means chaos runs are debuggable.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Ticks = 500
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sent != b.Sent || a.Lost != b.Lost || a.Recovery != b.Recovery || a.FaultStats != b.FaultStats {
+		t.Errorf("replay diverged:\n a=%+v %+v\n b=%+v %+v", a.Recovery, a.FaultStats, b.Recovery, b.FaultStats)
+	}
+}
+
+// TestChaosDoubleImpairmentDegradesToPool drives both replicas of a cluster
+// below the failover threshold: the monitor must fail over, then degrade the
+// cluster to the XGW-x86 pool rather than dropping traffic, and undegrade on
+// recovery.
+func TestChaosDoubleImpairmentDegradesToPool(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Ticks = 3000
+	cfg.Faults = nil
+	// Take down 2 of 3 main nodes, then 2 of 3 backup nodes overlapping.
+	for _, n := range []string{"xgwh-main-0-0", "xgwh-main-0-1"} {
+		cfg.Faults = append(cfg.Faults, chaosCrash(n, 2, 16))
+	}
+	for _, n := range []string{"xgwh-backup-0-0", "xgwh-backup-0-1"} {
+		cfg.Faults = append(cfg.Faults, chaosCrash(n, 6, 8))
+	}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovery=%+v lossRate=%.2e degradedPkts=%d", res.Recovery, res.LossRate, res.RegionStats.Degraded)
+	for _, e := range res.Events {
+		t.Logf("event: %s", e)
+	}
+	if res.Recovery.Failovers == 0 {
+		t.Error("expected a cluster failover to the hot standby")
+	}
+	if res.Recovery.Degradations == 0 {
+		t.Error("expected graceful degradation to the x86 pool")
+	}
+	if res.Recovery.Undegradations == 0 {
+		t.Error("expected the cluster to leave degraded mode after recovery")
+	}
+	if res.Recovery.Failbacks == 0 {
+		t.Error("expected failback to the main cluster after full recovery")
+	}
+	if res.RegionStats.Degraded == 0 {
+		t.Error("no packets carried by the x86 pool while degraded")
+	}
+	if !res.Consistent {
+		t.Error("post-recovery consistency check failed")
+	}
+	// Even through a double failure, the pool keeps loss bounded: only the
+	// detection windows (K beats per failure wave) lose packets.
+	if res.LossRate >= 5e-3 {
+		t.Errorf("loss rate %.2e too high even for double impairment", res.LossRate)
+	}
+}
+
+// TestChaosHealthDefaults exercises config defaulting.
+func TestChaosHealthDefaults(t *testing.T) {
+	cfg := controller.HealthConfig{}
+	mon := controller.NewMonitor(controller.New(controller.Config{}, regionForTest()), cfg)
+	if mon == nil {
+		t.Fatal("nil monitor")
+	}
+}

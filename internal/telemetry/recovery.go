@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Recovery instruments the disaster-recovery control loop (§6.1): every
+// detection, isolation, failover, retry, repair, and failback increments a
+// counter and appends a timestamped event, so operators (and chaos tests)
+// can reconstruct exactly what the controller did and how long recovery
+// took. Safe for concurrent use — the health-monitor loop reports from its
+// own goroutine.
+type Recovery struct {
+	mu       sync.Mutex
+	counters RecoveryCounters
+	events   []RecoveryEvent
+	// ttrNs collects node time-to-recovery samples (detection → restore).
+	ttrNs []float64
+}
+
+// RecoveryCounters is a snapshot of the recovery-loop counters.
+type RecoveryCounters struct {
+	// Detections counts health-state degradations observed (node declared
+	// failed after K missed beats).
+	Detections uint64
+	// NodeIsolations and NodeRestores count node-level recovery actions.
+	NodeIsolations uint64
+	NodeRestores   uint64
+	// Failovers and Failbacks count cluster-level switches to/from the
+	// hot-standby backup.
+	Failovers uint64
+	Failbacks uint64
+	// Degradations and Undegradations count switches in/out of the
+	// x86-pool graceful-degradation mode.
+	Degradations   uint64
+	Undegradations uint64
+	// PushRetries counts table-push attempts beyond the first.
+	PushRetries uint64
+	// RepairActions counts entries re-downloaded by consistency repair.
+	RepairActions uint64
+}
+
+// RecoveryEvent is one recovery-loop action.
+type RecoveryEvent struct {
+	Time    time.Time
+	Kind    string // "detect", "isolate", "restore", "failover", "failback", "degrade", "undegrade", "retry", "repair"
+	Node    string // node ID when node-scoped
+	Cluster int    // cluster ID, -1 when not cluster-scoped
+	Detail  string
+}
+
+// String renders the event.
+func (e RecoveryEvent) String() string {
+	scope := e.Node
+	if scope == "" && e.Cluster >= 0 {
+		scope = fmt.Sprintf("cluster %d", e.Cluster)
+	}
+	return fmt.Sprintf("%s %s %s: %s", e.Time.Format("15:04:05.000"), e.Kind, scope, e.Detail)
+}
+
+// NewRecovery returns an empty recovery recorder.
+func NewRecovery() *Recovery {
+	return &Recovery{}
+}
+
+// Record appends an event and bumps its counter.
+func (r *Recovery) Record(ev RecoveryEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch ev.Kind {
+	case "detect":
+		r.counters.Detections++
+	case "isolate":
+		r.counters.NodeIsolations++
+	case "restore":
+		r.counters.NodeRestores++
+	case "failover":
+		r.counters.Failovers++
+	case "failback":
+		r.counters.Failbacks++
+	case "degrade":
+		r.counters.Degradations++
+	case "undegrade":
+		r.counters.Undegradations++
+	case "retry":
+		r.counters.PushRetries++
+	case "repair":
+		r.counters.RepairActions++
+	}
+	r.events = append(r.events, ev)
+}
+
+// AddRepairs counts n repair actions under a single event (one repair pass
+// may re-download many entries).
+func (r *Recovery) AddRepairs(n int, ev RecoveryEvent) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.RepairActions += uint64(n)
+	r.events = append(r.events, ev)
+}
+
+// ObserveTTR records one node's time-to-recovery (failure detection to
+// restored service).
+func (r *Recovery) ObserveTTR(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ttrNs = append(r.ttrNs, float64(d.Nanoseconds()))
+}
+
+// Counters returns a snapshot of the counter block.
+func (r *Recovery) Counters() RecoveryCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// Events returns a copy of the event log in record order.
+func (r *Recovery) Events() []RecoveryEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RecoveryEvent(nil), r.events...)
+}
+
+// TTRStats reduces the time-to-recovery samples to (count, mean, max).
+func (r *Recovery) TTRStats() (n int, mean, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ttrNs) == 0 {
+		return 0, 0, 0
+	}
+	var sum, mx float64
+	for _, v := range r.ttrNs {
+		sum += v
+		if v > mx {
+			mx = v
+		}
+	}
+	return len(r.ttrNs), time.Duration(sum / float64(len(r.ttrNs))), time.Duration(mx)
+}

@@ -116,6 +116,11 @@ type Gateway struct {
 	fbMeter  *tables.Meter // fallback-path overload protection
 	counters *tables.Counters
 	snatVNIs map[netpkt.VNI]bool
+	// tenantGen records the last table-push generation acknowledged per
+	// tenant; the controller uses it for idempotent re-pushes (§6.1: a
+	// retried population must not double-apply, and a stale ack must not
+	// mask a lost one).
+	tenantGen map[netpkt.VNI]uint64
 
 	parser netpkt.Parser
 	pkt    netpkt.GatewayPacket
@@ -176,16 +181,17 @@ func New(cfg Config) *Gateway {
 		routes = newALPMRouting()
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		device:   tofino.NewDevice(cfg.Chip, cfg.Folded),
-		routes:   routes,
-		vmnc:     digest.New[netip.Addr](),
-		acl:      tables.NewACL(),
-		meter:    tables.NewMeter(),
-		fbMeter:  tables.NewMeter(),
-		counters: tables.NewCounters(),
-		snatVNIs: make(map[netpkt.VNI]bool),
-		sbuf:     netpkt.NewSerializeBuffer(128, 2048),
+		cfg:       cfg,
+		device:    tofino.NewDevice(cfg.Chip, cfg.Folded),
+		routes:    routes,
+		vmnc:      digest.New[netip.Addr](),
+		acl:       tables.NewACL(),
+		meter:     tables.NewMeter(),
+		fbMeter:   tables.NewMeter(),
+		counters:  tables.NewCounters(),
+		snatVNIs:  make(map[netpkt.VNI]bool),
+		tenantGen: make(map[netpkt.VNI]uint64),
+		sbuf:      netpkt.NewSerializeBuffer(128, 2048),
 	}
 	g.device.BridgedMetadataBytes = 8
 	g.stats.DropReasons = make(map[string]uint64)
@@ -252,6 +258,19 @@ func (g *Gateway) RemoveVM(vni netpkt.VNI, vm netip.Addr) bool {
 	return g.vmnc.Delete(vni, vm)
 }
 
+// SetTenantGeneration records the table-push generation the node has fully
+// applied for a tenant. The controller stamps it after a successful push and
+// checks it on retry, making re-pushes idempotent.
+func (g *Gateway) SetTenantGeneration(vni netpkt.VNI, gen uint64) {
+	g.tenantGen[vni] = gen
+}
+
+// TenantGeneration returns the last fully-applied push generation for the
+// tenant (0 = never pushed).
+func (g *Gateway) TenantGeneration(vni netpkt.VNI) uint64 {
+	return g.tenantGen[vni]
+}
+
 // InstallACL adds a tenant ACL rule.
 func (g *Gateway) InstallACL(vni netpkt.VNI, r tables.ACLRule) {
 	g.acl.Insert(vni, r)
@@ -288,13 +307,13 @@ func (g *Gateway) Device() *tofino.Device { return g.device }
 
 // ALPMRouteStats reports the routing engine's bucket shape when the ALPM
 // engine is active (ok=false under the trie engine).
-func (g *Gateway) ALPMRouteStats() (s alpmRouteStats, ok bool) {
+func (g *Gateway) ALPMRouteStats() (s ALPMStats, ok bool) {
 	a, isALPM := g.routes.(*alpmRouting)
 	if !isALPM {
 		return s, false
 	}
 	st := a.stats()
-	return alpmRouteStats{
+	return ALPMStats{
 		Pivots:        st.TCAMEntries,
 		Buckets:       st.Buckets,
 		SRAMSlots:     st.SRAMEntries,
@@ -302,8 +321,8 @@ func (g *Gateway) ALPMRouteStats() (s alpmRouteStats, ok bool) {
 	}, true
 }
 
-// alpmRouteStats summarizes the live ALPM routing structure.
-type alpmRouteStats struct {
+// ALPMStats summarizes the live ALPM routing structure.
+type ALPMStats struct {
 	Pivots        int
 	Buckets       int
 	SRAMSlots     int
