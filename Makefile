@@ -3,7 +3,7 @@ GO ?= go
 # Packages with concurrent control-plane loops get an extra -race pass.
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/...
 
-.PHONY: check vet build test race chaos bench fmt
+.PHONY: check vet build test race chaos bench bench-all fmt
 
 ## check: the full gate — vet, build, tests, and the race pass.
 check: vet build test race
@@ -24,7 +24,18 @@ race:
 chaos:
 	$(GO) run ./cmd/sailfish-gw -chaos
 
+## bench: run the fast-path benchmarks and refresh BENCH_fastpath.json.
+## For regressions, prefer benchstat over eyeballing single runs:
+##   go test -run '^$$' -bench BenchmarkRegionForward -benchmem -count 10 . > old.txt
+##   ... change ...
+##   go test -run '^$$' -bench BenchmarkRegionForward -benchmem -count 10 . > new.txt
+##   benchstat old.txt new.txt
 bench:
+	$(GO) test -run '^$$' -bench 'RegionForward|DriverParallel' -benchmem . ./internal/cluster/
+	$(GO) run ./cmd/fastpath-bench -o BENCH_fastpath.json
+
+## bench-all: the full suite — every figure/table regeneration plus the fast path.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 fmt:

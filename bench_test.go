@@ -124,6 +124,51 @@ func BenchmarkRegionForward(b *testing.B) {
 	}
 }
 
+// BenchmarkRegionForwardBatch measures the same fast path through the
+// batched entry point: one ProcessBatch call per 64 packets, with the
+// result slice recycled across calls.
+func BenchmarkRegionForwardBatch(b *testing.B) {
+	d := NewDeployment(Options{Clusters: 1, NodesPerCluster: 2, FallbackNodes: 0})
+	vm1 := mustAddr("192.168.10.2")
+	vm2 := mustAddr("192.168.10.3")
+	if _, err := d.AddTenant(Tenant{
+		VNI:    100,
+		Prefix: mustPrefix("192.168.10.0/24"),
+		VMs: map[netipAddr]netipAddr{
+			vm1: mustAddr("10.1.1.11"),
+			vm2: mustAddr("10.1.1.12"),
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	raws := make([][]byte, batch)
+	var rawLen int
+	for i := range raws {
+		raw, err := BuildVXLAN(100, vm1, vm2, ProtoTCP, uint16(4242+i), 80, make([]byte, 64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = append([]byte(nil), raw...)
+		rawLen = len(raw)
+	}
+	out := make([]BatchResult, 0, batch)
+	b.SetBytes(int64(rawLen * batch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = d.Region.ProcessBatch(raws, benchTime, out[:0])
+		for j := range out {
+			if out[j].Err != nil {
+				b.Fatal(out[j].Err)
+			}
+			if out[j].Result.GW.Action != ActionForward {
+				b.Fatal("not forwarded")
+			}
+		}
+	}
+}
+
 // Ablation: latency under load (§2.3 stability argument).
 func BenchmarkAblationLatency(b *testing.B) { benchmarkExperiment(b, "ablation-latency") }
 

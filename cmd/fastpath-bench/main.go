@@ -1,0 +1,196 @@
+// Command fastpath-bench measures the software data plane's fast path and
+// writes the numbers to a JSON file (default BENCH_fastpath.json) so the
+// repository carries its current performance envelope alongside the code.
+//
+// Three benchmarks run, via testing.Benchmark so the output needs no
+// go-test parsing:
+//
+//   - region/forward: single-shot Region.ProcessPacket, the end-to-end
+//     behavioral fast path (steering → ECMP → folded XGW-H → rewrite);
+//   - region/forward-batch: the same path through Region.ProcessBatch with
+//     the result slice recycled;
+//   - driver/submit-batch: Driver.SubmitBatch feeding per-node worker
+//     goroutines on a two-node cluster — the concurrent configuration whose
+//     throughput must exceed the single-shot path.
+//
+// For regression hunting, prefer benchstat over eyeballing this file:
+//
+//	go test -run '^$' -bench BenchmarkRegionForward -benchmem -count 10 . > old.txt
+//	... apply change ...
+//	go test -run '^$' -bench BenchmarkRegionForward -benchmem -count 10 . > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	sailfish "sailfish"
+	"sailfish/internal/cluster"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Pps is packets per second implied by NsPerOp (ops may batch several
+	// packets; the conversion accounts for that).
+	Pps  float64 `json:"pps"`
+	Note string  `json:"note,omitempty"`
+}
+
+type report struct {
+	// Baselines are frozen pre-optimization numbers kept for comparison:
+	// they are inputs to this file, not measured by this run.
+	Baselines []entry `json:"baselines"`
+	// Results are measured on the machine that ran `make bench`.
+	Results     []entry `json:"results"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	GoVersion   string  `json:"go_version"`
+	GeneratedBy string  `json:"generated_by"`
+}
+
+const batchSize = 64
+
+var benchTime = time.Unix(0, 0)
+
+func newDeployment(nodes int) (*sailfish.Deployment, [][]byte) {
+	d := sailfish.NewDeployment(sailfish.Options{Clusters: 1, NodesPerCluster: nodes, FallbackNodes: 0})
+	vm1 := netip.MustParseAddr("192.168.10.2")
+	vm2 := netip.MustParseAddr("192.168.10.3")
+	if _, err := d.AddTenant(sailfish.Tenant{
+		VNI:    100,
+		Prefix: netip.MustParsePrefix("192.168.10.0/24"),
+		VMs: map[netip.Addr]netip.Addr{
+			vm1: netip.MustParseAddr("10.1.1.11"),
+			vm2: netip.MustParseAddr("10.1.1.12"),
+		},
+	}); err != nil {
+		panic(err)
+	}
+	raws := make([][]byte, batchSize)
+	for i := range raws {
+		raw, err := sailfish.BuildVXLAN(100, vm1, vm2, sailfish.ProtoTCP, uint16(4242+i), 80, make([]byte, 64))
+		if err != nil {
+			panic(err)
+		}
+		raws[i] = append([]byte(nil), raw...)
+	}
+	return d, raws
+}
+
+func toEntry(name string, r testing.BenchmarkResult, pktsPerOp int, note string) entry {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return entry{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Pps:         float64(pktsPerOp) * 1e9 / ns,
+		Note:        note,
+	}
+}
+
+func benchSingleShot() entry {
+	d, raws := newDeployment(2)
+	raw := raws[0]
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := d.DeliverVXLANAt(raw, benchTime)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.GW.Action != sailfish.ActionForward {
+				b.Fatal("not forwarded")
+			}
+		}
+	})
+	return toEntry("region/forward", r, 1, "single-shot ProcessPacket, 1 cluster x 2 nodes")
+}
+
+func benchBatch() entry {
+	d, raws := newDeployment(2)
+	out := make([]sailfish.BatchResult, 0, batchSize)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = d.DeliverVXLANBatchAt(raws, benchTime, out[:0])
+			for j := range out {
+				if out[j].Err != nil {
+					b.Fatal(out[j].Err)
+				}
+			}
+		}
+	})
+	return toEntry("region/forward-batch", r, batchSize,
+		fmt.Sprintf("ProcessBatch, %d packets per op, recycled result slice", batchSize))
+}
+
+func benchDriver() entry {
+	d, raws := newDeployment(2)
+	drv := cluster.NewDriver(d.Region, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range drv.Results() {
+		}
+	}()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; {
+			accepted := drv.SubmitBatch(raws, benchTime)
+			if accepted == 0 {
+				runtime.Gosched() // queues full: let the workers drain
+				continue
+			}
+			n += accepted
+		}
+	})
+	drv.Close()
+	<-done
+	return toEntry("driver/submit-batch", r, 1, fmt.Sprintf(
+		"SubmitBatch of %d across 2 node workers; ns_per_op is per packet; "+
+			"worker parallelism needs GOMAXPROCS>1 to pay off (this run: %d)",
+		batchSize, runtime.GOMAXPROCS(0)))
+}
+
+func main() {
+	out := flag.String("o", "BENCH_fastpath.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Baselines: []entry{
+			{Name: "region/forward", NsPerOp: 6126, BytesPerOp: 536, AllocsPerOp: 9,
+				Pps: 1e9 / 6126, Note: "pre-optimization baseline recorded in ISSUE (reference machine)"},
+			{Name: "region/forward", NsPerOp: 797, BytesPerOp: 236, AllocsPerOp: 7,
+				Pps: 1e9 / 797, Note: "pre-optimization baseline re-measured on the 1-vCPU CI container"},
+		},
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GeneratedBy: "go run ./cmd/fastpath-bench",
+	}
+	for _, bench := range []func() entry{benchSingleShot, benchBatch, benchDriver} {
+		e := bench()
+		fmt.Printf("%-22s %10.1f ns/op %6d B/op %4d allocs/op %12.0f pps  %s\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Pps, e.Note)
+		rep.Results = append(rep.Results, e)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -89,45 +89,45 @@ type Node struct {
 	Healthy bool
 	// PortHealthy tracks front-panel ports; a port with abnormal jitter
 	// or persistent loss is isolated and its flows migrate to the
-	// remaining ports (§6.1 port-level disaster recovery).
+	// remaining ports (§6.1 port-level disaster recovery). Mutate it via
+	// FailPort/RestorePort, which maintain the live-port cache.
 	PortHealthy [PortsPerNode]bool
+
+	// livePorts caches the indices of healthy ports in ascending order so
+	// the per-packet egress pick is one modulo and one index instead of a
+	// 32-entry scan. Maintained by FailPort/RestorePort.
+	livePorts [PortsPerNode]uint8
+	nLive     int
+}
+
+// rebuildPortCache recomputes the healthy-port index cache.
+func (n *Node) rebuildPortCache() {
+	n.nLive = 0
+	for i, ok := range n.PortHealthy {
+		if ok {
+			n.livePorts[n.nLive] = uint8(i)
+			n.nLive++
+		}
+	}
 }
 
 // LivePorts returns the number of healthy ports.
-func (n *Node) LivePorts() int {
-	c := 0
-	for _, ok := range n.PortHealthy {
-		if ok {
-			c++
-		}
-	}
-	return c
-}
+func (n *Node) LivePorts() int { return n.nLive }
 
 // PickPort selects the egress port for a flow hash among healthy ports,
 // reporting false when every port is isolated.
 func (n *Node) PickPort(hash uint64) (int, bool) {
-	live := n.LivePorts()
-	if live == 0 {
+	if n.nLive == 0 {
 		return 0, false
 	}
-	k := int(hash % uint64(live))
-	for i, ok := range n.PortHealthy {
-		if !ok {
-			continue
-		}
-		if k == 0 {
-			return i, true
-		}
-		k--
-	}
-	return 0, false
+	return int(n.livePorts[hash%uint64(n.nLive)]), true
 }
 
 // FailPort isolates one port.
 func (n *Node) FailPort(port int) {
 	if port >= 0 && port < PortsPerNode {
 		n.PortHealthy[port] = false
+		n.rebuildPortCache()
 	}
 }
 
@@ -135,6 +135,7 @@ func (n *Node) FailPort(port int) {
 func (n *Node) RestorePort(port int) {
 	if port >= 0 && port < PortsPerNode {
 		n.PortHealthy[port] = true
+		n.rebuildPortCache()
 	}
 }
 
@@ -155,6 +156,10 @@ type Cluster struct {
 	cfg     Config
 	entries int
 	tenants map[netpkt.VNI]int // per-tenant entry counts
+
+	// live caches the healthy-node set so the per-packet path does not
+	// rebuild a slice; FailNode/RestoreNode invalidate it.
+	live []*Node
 }
 
 // newCluster builds a cluster of cfg.NodesPerCluster healthy nodes.
@@ -178,8 +183,10 @@ func newCluster(id int, cfg Config, backup bool) *Cluster {
 		for p := range n.PortHealthy {
 			n.PortHealthy[p] = true
 		}
+		n.rebuildPortCache()
 		c.Nodes = append(c.Nodes, n)
 	}
+	c.rebuildLiveCache()
 	return c
 }
 
@@ -242,16 +249,19 @@ func (c *Cluster) AccountEntries(vni netpkt.VNI, n int) error {
 	return nil
 }
 
-// LiveNodes returns the healthy nodes.
-func (c *Cluster) LiveNodes() []*Node {
-	var out []*Node
+// rebuildLiveCache recomputes the healthy-node cache.
+func (c *Cluster) rebuildLiveCache() {
+	c.live = c.live[:0]
 	for _, n := range c.Nodes {
 		if n.Healthy {
-			out = append(out, n)
+			c.live = append(c.live, n)
 		}
 	}
-	return out
 }
+
+// LiveNodes returns the healthy nodes. The returned slice is the cluster's
+// cache — treat it as read-only; it is refreshed by FailNode/RestoreNode.
+func (c *Cluster) LiveNodes() []*Node { return c.live }
 
 // InstallRoute installs a route on every node (main and backup), keeping
 // the cluster's replicas identical.
@@ -347,6 +357,7 @@ func (c *Cluster) MarkServiceVNI(vni netpkt.VNI) {
 func (c *Cluster) FailNode(i int) {
 	if i >= 0 && i < len(c.Nodes) {
 		c.Nodes[i].Healthy = false
+		c.rebuildLiveCache()
 	}
 }
 
@@ -354,6 +365,7 @@ func (c *Cluster) FailNode(i int) {
 func (c *Cluster) RestoreNode(i int) {
 	if i >= 0 && i < len(c.Nodes) {
 		c.Nodes[i].Healthy = true
+		c.rebuildLiveCache()
 	}
 }
 
@@ -527,27 +539,57 @@ type Result struct {
 }
 
 // ProcessPacket carries a packet through the region: steering → ECMP →
-// XGW-H → (optionally) XGW-x86 fallback. It needs the packet's VNI and flow
-// hash before full parsing, as the front-end switches do; they are read via
-// a lightweight parse.
+// XGW-H → (optionally) XGW-x86 fallback. It needs only the packet's VNI and
+// flow hash before handing it to a node, as the front-end switches do; they
+// are read via the lightweight front parse, and the hash is computed once
+// and reused for steering, the node pick, the egress-port pick and both
+// fallback picks.
 func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
-	var parser netpkt.Parser
-	var pkt netpkt.GatewayPacket
-	if err := parser.Parse(raw, &pkt); err != nil {
+	var fm netpkt.FrontMeta
+	if err := netpkt.ParseFront(raw, &fm); err != nil {
 		r.stats.Dropped++
 		return Result{}, err
 	}
-	flowHash := pkt.InnerFlow().FastHash()
-	clusterID, nodeIdx, err := r.FrontEnd.Route(pkt.VXLAN.VNI, flowHash)
+	flowHash := fm.Flow.FastHash()
+	clusterID, nodeIdx, err := r.FrontEnd.Route(fm.VNI, flowHash)
 	if err != nil {
 		r.stats.NoRoute++
 		return Result{}, err
 	}
-	if r.disabled[clusterID] {
+	return r.deliver(raw, flowHash, clusterID, nodeIdx, now, nil)
+}
+
+// clusterMemo caches one cluster's mode lookups (disabled, degraded,
+// main-or-backup) within a batch, where the control plane is quiesced.
+type clusterMemo struct {
+	ok        bool
+	clusterID int
+	disabled  bool
+	degraded  bool
+	serving   *Cluster
+}
+
+// deliver carries a routed packet into its cluster and, when steered there,
+// the XGW-x86 fallback pool. memo may be nil (single-shot path).
+func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, now time.Time, memo *clusterMemo) (Result, error) {
+	var disabled, degraded bool
+	var c *Cluster
+	if memo != nil && memo.ok && memo.clusterID == clusterID {
+		disabled, degraded, c = memo.disabled, memo.degraded, memo.serving
+	} else {
+		disabled = r.disabled[clusterID]
+		degraded = r.degraded[clusterID]
+		c = r.serving(clusterID)
+		if memo != nil {
+			*memo = clusterMemo{ok: true, clusterID: clusterID,
+				disabled: disabled, degraded: degraded, serving: c}
+		}
+	}
+	if disabled {
 		r.stats.Dropped++
 		return Result{}, ErrClusterDisabled
 	}
-	if r.degraded[clusterID] {
+	if degraded {
 		// Graceful degradation: both main and backup impaired — the
 		// XGW-x86 pool carries the cluster's residual traffic.
 		out := Result{ClusterID: clusterID}
@@ -567,7 +609,6 @@ func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
 		out.FallbackOut = fres
 		return out, nil
 	}
-	c := r.serving(clusterID)
 	live := c.LiveNodes()
 	if len(live) == 0 {
 		r.stats.Dropped++
@@ -594,7 +635,7 @@ func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
 		if len(r.Fallback) == 0 {
 			return out, nil
 		}
-		fb := r.Fallback[pkt.InnerFlow().FastHash()%uint64(len(r.Fallback))]
+		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
 		fres, ferr := fb.ProcessFallback(raw)
 		if ferr != nil {
 			r.stats.Dropped++
@@ -604,6 +645,74 @@ func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
 		out.FallbackOut = fres
 	}
 	return out, nil
+}
+
+// BatchResult is one packet's outcome within a ProcessBatch call.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// ProcessBatch runs a batch of raw packets through the region in arrival
+// order, appending one BatchResult per packet to out and returning the
+// extended slice. Passing the previous call's slice as out[:0] makes the
+// steady state allocation-free; pass nil to let ProcessBatch allocate.
+// Region counters are updated exactly as len(raws) ProcessPacket calls
+// would.
+//
+// Batching is where the front-end amortization lives: real traffic arrives
+// in per-tenant bursts, so the steering decision (VNI → cluster + ECMP
+// group) and the cluster's mode (disabled/degraded/backup) are memoized
+// across consecutive same-VNI packets instead of being re-read from the
+// shared tables per packet. The memo is sound because delivery and
+// control-plane mutation never run concurrently (the same quiescence rule
+// the Driver documents); VNIs with an active migration ramp route per flow
+// and bypass the memo.
+func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) []BatchResult {
+	var steer struct {
+		ok      bool
+		vni     netpkt.VNI
+		cluster int
+		group   *lb.ECMP
+	}
+	var cmemo clusterMemo
+	for _, raw := range raws {
+		var fm netpkt.FrontMeta
+		if err := netpkt.ParseFront(raw, &fm); err != nil {
+			r.stats.Dropped++
+			out = append(out, BatchResult{Err: err})
+			continue
+		}
+		flowHash := fm.Flow.FastHash()
+		var clusterID, nodeIdx int
+		if steer.ok && steer.vni == fm.VNI {
+			ni, ok := steer.group.PickHash(flowHash)
+			if !ok {
+				// Group emptied out: take the uncached path for the
+				// canonical error and stats.
+				steer.ok = false
+			} else {
+				clusterID, nodeIdx = steer.cluster, ni
+			}
+		}
+		if !steer.ok || steer.vni != fm.VNI {
+			var err error
+			clusterID, nodeIdx, err = r.FrontEnd.Route(fm.VNI, flowHash)
+			if err != nil {
+				r.stats.NoRoute++
+				out = append(out, BatchResult{Err: err})
+				continue
+			}
+			if cl, g, ramped, err := r.FrontEnd.RouteInfo(fm.VNI); err == nil && !ramped {
+				steer.ok, steer.vni, steer.cluster, steer.group = true, fm.VNI, cl, g
+			} else {
+				steer.ok = false
+			}
+		}
+		res, err := r.deliver(raw, flowHash, clusterID, nodeIdx, now, &cmemo)
+		out = append(out, BatchResult{Result: res, Err: err})
+	}
+	return out
 }
 
 // Stats returns the region counters.

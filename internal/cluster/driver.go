@@ -14,22 +14,45 @@ import (
 // (the load balancer is a separate device), then the packet is queued to
 // its node's worker.
 //
+// Queues carry batches rather than single packets so a burst costs one
+// channel operation per node instead of one per packet, and both the
+// batches and the raw-byte copies are recycled through sync.Pools so the
+// steady state stops allocating.
+//
 // The Driver serves the steady state: control-plane mutations (installs,
 // failovers) must not run concurrently with Submit, just as production
 // quiesces a node before reprogramming it.
 type Driver struct {
 	region  *Region
-	queues  map[string]chan job
+	queues  map[string]chan *jobBatch
+	resultq chan *resultBatch
 	results chan DriverResult
 	wg      sync.WaitGroup
+	demuxWG sync.WaitGroup
 	depth   int
+
+	batchPool sync.Pool // *jobBatch
+	resPool   sync.Pool // *resultBatch
+	bufPool   sync.Pool // *[]byte packet copies
 }
 
 type job struct {
-	raw  []byte
+	// raw points at the pooled backing buffer holding the packet copy; the
+	// worker returns it to bufPool after processing.
+	raw  *[]byte
 	now  time.Time
 	node *Node
 	meta Result
+}
+
+type jobBatch struct {
+	jobs []job
+}
+
+// resultBatch carries one processed jobBatch's outcomes from a worker to
+// the demux goroutine, so workers pay one channel operation per batch.
+type resultBatch struct {
+	res []DriverResult
 }
 
 // DriverResult is one packet's outcome from the concurrent path.
@@ -39,54 +62,115 @@ type DriverResult struct {
 }
 
 // NewDriver builds a driver over the region's current live topology.
-// queueDepth bounds each node's RX queue; a full queue drops the packet
-// (tail drop, as a NIC would).
+// queueDepth bounds each node's RX queue (in batches); a full queue drops
+// the batch (tail drop, as a NIC would).
 func NewDriver(r *Region, queueDepth int) *Driver {
 	if queueDepth <= 0 {
 		queueDepth = 256
 	}
 	d := &Driver{
 		region:  r,
-		queues:  make(map[string]chan job),
+		queues:  make(map[string]chan *jobBatch),
+		resultq: make(chan *resultBatch, queueDepth*2),
 		results: make(chan DriverResult, queueDepth*4),
 		depth:   queueDepth,
 	}
 	for _, c := range r.Clusters {
 		for _, set := range [][]*Node{c.Nodes, c.Backup.Nodes} {
 			for _, n := range set {
-				q := make(chan job, queueDepth)
+				q := make(chan *jobBatch, queueDepth)
 				d.queues[n.ID] = q
 				d.wg.Add(1)
 				go d.worker(q)
 			}
 		}
 	}
+	d.demuxWG.Add(1)
+	go d.demux()
 	return d
 }
 
 // worker owns one gateway: packets are processed strictly in arrival order,
-// preserving the single-threaded gateway invariant.
-func (d *Driver) worker(q chan job) {
+// preserving the single-threaded gateway invariant. Outcomes leave as one
+// resultBatch per jobBatch.
+func (d *Driver) worker(q chan *jobBatch) {
 	defer d.wg.Done()
-	for j := range q {
-		res, err := j.node.GW.ProcessPacket(j.raw, j.now)
-		out := j.meta
-		out.GW = res
-		d.results <- DriverResult{Result: out, Err: err}
+	for b := range q {
+		rb, _ := d.resPool.Get().(*resultBatch)
+		if rb == nil {
+			rb = &resultBatch{}
+		}
+		for i := range b.jobs {
+			j := &b.jobs[i]
+			res, err := j.node.GW.ProcessPacket(*j.raw, j.now)
+			out := j.meta
+			out.GW = res
+			rb.res = append(rb.res, DriverResult{Result: out, Err: err})
+			d.bufPool.Put(j.raw)
+			j.raw = nil
+		}
+		b.jobs = b.jobs[:0]
+		d.batchPool.Put(b)
+		d.resultq <- rb
 	}
 }
 
-// Submit routes the packet and enqueues it to its node. It reports false
-// when the packet was dropped at routing or by a full queue. The raw slice
-// is copied; callers may reuse their buffer.
-func (d *Driver) Submit(raw []byte, now time.Time) bool {
-	var parser netpkt.Parser
-	var pkt netpkt.GatewayPacket
-	if err := parser.Parse(raw, &pkt); err != nil {
+// demux fans worker result batches out onto the public per-result channel.
+func (d *Driver) demux() {
+	defer d.demuxWG.Done()
+	for rb := range d.resultq {
+		for i := range rb.res {
+			d.results <- rb.res[i]
+		}
+		rb.res = rb.res[:0]
+		d.resPool.Put(rb)
+	}
+}
+
+func (d *Driver) getBatch() *jobBatch {
+	if b, _ := d.batchPool.Get().(*jobBatch); b != nil {
+		return b
+	}
+	return &jobBatch{}
+}
+
+// getBuf returns a pooled buffer resized to n bytes.
+func (d *Driver) getBuf(n int) *[]byte {
+	p, _ := d.bufPool.Get().(*[]byte)
+	if p == nil {
+		b := make([]byte, n)
+		return &b
+	}
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+// recycle returns a batch's buffers and the batch itself to their pools
+// without processing (used on tail drop).
+func (d *Driver) recycle(b *jobBatch) {
+	for i := range b.jobs {
+		d.bufPool.Put(b.jobs[i].raw)
+		b.jobs[i].raw = nil
+	}
+	b.jobs = b.jobs[:0]
+	d.batchPool.Put(b)
+}
+
+// route takes the submitting-side decision for one packet — lightweight
+// front parse, steering, node and egress-port pick, all off a single flow
+// hash — copies the bytes into a pooled buffer and fills j. It reports
+// false when the packet is unroutable.
+func (d *Driver) route(raw []byte, now time.Time, j *job) bool {
+	var fm netpkt.FrontMeta
+	if err := netpkt.ParseFront(raw, &fm); err != nil {
 		return false
 	}
-	flowHash := pkt.InnerFlow().FastHash()
-	clusterID, nodeIdx, err := d.region.FrontEnd.Route(pkt.VXLAN.VNI, flowHash)
+	flowHash := fm.Flow.FastHash()
+	clusterID, nodeIdx, err := d.region.FrontEnd.Route(fm.VNI, flowHash)
 	if err != nil || !d.region.ClusterEnabled(clusterID) {
 		return false
 	}
@@ -100,16 +184,62 @@ func (d *Driver) Submit(raw []byte, now time.Time) bool {
 	if !ok {
 		return false
 	}
-	cp := make([]byte, len(raw))
-	copy(cp, raw)
-	j := job{raw: cp, now: now, node: node,
+	cp := d.getBuf(len(raw))
+	copy(*cp, raw)
+	*j = job{raw: cp, now: now, node: node,
 		meta: Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port}}
+	return true
+}
+
+// Submit routes the packet and enqueues it to its node as a batch of one.
+// It reports false when the packet was dropped at routing or by a full
+// queue. The raw slice is copied; callers may reuse their buffer.
+func (d *Driver) Submit(raw []byte, now time.Time) bool {
+	var j job
+	if !d.route(raw, now, &j) {
+		return false
+	}
+	b := d.getBatch()
+	b.jobs = append(b.jobs, j)
 	select {
-	case d.queues[node.ID] <- j:
+	case d.queues[j.node.ID] <- b:
 		return true
 	default:
-		return false // RX queue overflow: tail drop
+		d.recycle(b) // RX queue overflow: tail drop
+		return false
 	}
+}
+
+// SubmitBatch routes a batch of packets and enqueues them grouped per node,
+// so each node's RX queue is hit once per batch instead of once per packet.
+// Unroutable packets are skipped; a full node queue tail-drops that node's
+// whole group. It returns the number of packets accepted. Raw slices are
+// copied into pooled buffers; callers may reuse them immediately.
+func (d *Driver) SubmitBatch(raws [][]byte, now time.Time) int {
+	groups := make(map[*Node]*jobBatch)
+	for _, raw := range raws {
+		var j job
+		if !d.route(raw, now, &j) {
+			continue
+		}
+		b := groups[j.node]
+		if b == nil {
+			b = d.getBatch()
+			groups[j.node] = b
+		}
+		b.jobs = append(b.jobs, j)
+	}
+	accepted := 0
+	for node, b := range groups {
+		n := len(b.jobs) // before the send: the worker owns b afterwards
+		select {
+		case d.queues[node.ID] <- b:
+			accepted += n
+		default:
+			d.recycle(b) // RX queue overflow: tail drop the group
+		}
+	}
+	return accepted
 }
 
 // Results delivers packet outcomes; read until Close's drain completes.
@@ -122,5 +252,7 @@ func (d *Driver) Close() {
 		close(q)
 	}
 	d.wg.Wait()
+	close(d.resultq)
+	d.demuxWG.Wait()
 	close(d.results)
 }

@@ -172,6 +172,19 @@ func (s *Steering) ClusterFor(vni netpkt.VNI) (int, error) {
 	return a.primary, nil
 }
 
+// Assignment returns the VNI's primary cluster and whether a migration ramp
+// is active. Ramped VNIs route per flow, so their steering decision cannot
+// be cached across packets.
+func (s *Steering) Assignment(vni netpkt.VNI) (cluster int, ramped bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.byVNI[vni]
+	if !ok {
+		return 0, false, ErrNoSteeringRule
+	}
+	return a.primary, a.rampPermille > 0, nil
+}
+
 // ClusterForFlow returns the cluster for one flow of the VNI, honoring any
 // migration ramp. The flow-hash bucketing is stable: a given flow sees one
 // cluster for the life of the ramp step.
@@ -216,6 +229,22 @@ type FrontEnd struct {
 // NewFrontEnd returns an empty front end.
 func NewFrontEnd() *FrontEnd {
 	return &FrontEnd{Steering: NewSteering(), Groups: make(map[int]*ECMP)}
+}
+
+// RouteInfo returns the VNI's primary cluster and its ECMP group so a
+// batching caller can cache the steering decision across a burst of
+// same-VNI packets. ramped reports an active migration ramp, in which case
+// routing is per-flow and the caller must take Route for every packet.
+func (fe *FrontEnd) RouteInfo(vni netpkt.VNI) (cluster int, g *ECMP, ramped bool, err error) {
+	cluster, ramped, err = fe.Steering.Assignment(vni)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	g = fe.Groups[cluster]
+	if g == nil {
+		return 0, nil, false, fmt.Errorf("lb: cluster %d has no ECMP group", cluster)
+	}
+	return cluster, g, ramped, nil
 }
 
 // Route returns (cluster, node) for a packet identified by its VNI and flow

@@ -1,0 +1,176 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// FrontMeta is the front-end switch's view of a packet: just the VNI that
+// selects the cluster and the inner five-tuple that selects the ECMP node.
+// The steering devices in front of the gateway clusters (§4.3) never need
+// the full header stack, so the region's entry point extracts only these
+// fields and leaves full parsing to the gateway that actually forwards the
+// packet.
+type FrontMeta struct {
+	VNI  VNI
+	Flow Flow
+	// WireLen is the total frame length in bytes.
+	WireLen int
+}
+
+// ParseFront decodes only the fields in FrontMeta, with the same validation
+// and the same errors as Parser.Parse: a frame is accepted by ParseFront if
+// and only if the full parser accepts it, and the extracted VNI and flow are
+// identical. It performs no allocation and touches only the header bytes it
+// needs — the software equivalent of the fixed front-end parse graph.
+func ParseFront(data []byte, m *FrontMeta) error {
+	m.WireLen = len(data)
+	udp, err := frontOuterUDP(data)
+	if err != nil {
+		return err
+	}
+	if len(udp) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(udp[2:4]) != VXLANPort {
+		return ErrNotVXLAN
+	}
+	// The UDP length field clamps the payload exactly as UDP.DecodeFromBytes
+	// does, so a short length hides trailing bytes from the VXLAN parser.
+	end := int(binary.BigEndian.Uint16(udp[4:6]))
+	if end < UDPHeaderLen || end > len(udp) {
+		end = len(udp)
+	}
+	vx := udp[UDPHeaderLen:end]
+	if len(vx) < VXLANHeaderLen {
+		return ErrTruncated
+	}
+	if vx[0]&vxlanFlagValidVNI == 0 {
+		return ErrNotVXLAN
+	}
+	m.VNI = VNI(binary.BigEndian.Uint32(vx[4:8]) >> 8)
+	return frontInnerFlow(vx[VXLANHeaderLen:], m)
+}
+
+// frontOuterUDP walks outer Ethernet and IP and returns the UDP datagram.
+func frontOuterUDP(data []byte) ([]byte, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	ip := data[EthernetHeaderLen:]
+	switch EtherType(binary.BigEndian.Uint16(data[12:14])) {
+	case EtherTypeIPv4:
+		payload, proto, err := frontIPv4(ip)
+		if err != nil {
+			return nil, err
+		}
+		if proto != IPProtocolUDP {
+			return nil, ErrNotVXLAN
+		}
+		return payload, nil
+	case EtherTypeIPv6:
+		payload, proto, err := frontIPv6(ip)
+		if err != nil {
+			return nil, err
+		}
+		if proto != IPProtocolUDP {
+			return nil, ErrNotVXLAN
+		}
+		return payload, nil
+	default:
+		return nil, ErrNotVXLAN
+	}
+}
+
+// frontIPv4 validates an IPv4 header exactly as IPv4.DecodeFromBytes does and
+// returns its payload (clamped by TotalLength) and protocol.
+func frontIPv4(ip []byte) ([]byte, IPProtocol, error) {
+	if len(ip) < IPv4HeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	if ip[0]>>4 != 4 {
+		return nil, 0, ErrBadVersion
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return nil, 0, ErrTruncated
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen > len(ip) || totalLen < ihl {
+		totalLen = len(ip)
+	}
+	return ip[ihl:totalLen], IPProtocol(ip[9]), nil
+}
+
+// frontIPv6 validates a fixed IPv6 header exactly as IPv6.DecodeFromBytes
+// does and returns its payload (clamped by PayloadLength) and next header.
+func frontIPv6(ip []byte) ([]byte, IPProtocol, error) {
+	if len(ip) < IPv6HeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	if ip[0]>>4 != 6 {
+		return nil, 0, ErrBadVersion
+	}
+	payloadLen := int(binary.BigEndian.Uint16(ip[4:6]))
+	if IPv6HeaderLen+payloadLen > len(ip) {
+		payloadLen = len(ip) - IPv6HeaderLen
+	}
+	return ip[IPv6HeaderLen : IPv6HeaderLen+payloadLen], IPProtocol(ip[6]), nil
+}
+
+// frontInnerFlow extracts the inner five-tuple from the overlay frame.
+func frontInnerFlow(data []byte, m *FrontMeta) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	ip := data[EthernetHeaderLen:]
+	var l4 []byte
+	var proto IPProtocol
+	switch EtherType(binary.BigEndian.Uint16(data[12:14])) {
+	case EtherTypeIPv4:
+		payload, p, err := frontIPv4(ip)
+		if err != nil {
+			return err
+		}
+		m.Flow = Flow{
+			Src: netip.AddrFrom4([4]byte(ip[12:16])),
+			Dst: netip.AddrFrom4([4]byte(ip[16:20])),
+		}
+		l4, proto = payload, p
+	case EtherTypeIPv6:
+		payload, p, err := frontIPv6(ip)
+		if err != nil {
+			return err
+		}
+		m.Flow = Flow{
+			Src: netip.AddrFrom16([16]byte(ip[8:24])),
+			Dst: netip.AddrFrom16([16]byte(ip[24:40])),
+		}
+		l4, proto = payload, p
+	default:
+		return ErrNotVXLAN
+	}
+	// Port extraction mirrors Parser.parseInner: TCP and UDP headers must
+	// decode (truncation is an error); other protocols leave the flow
+	// address-only, exactly like GatewayPacket.InnerFlow without L4.
+	switch proto {
+	case IPProtocolTCP:
+		if len(l4) < TCPHeaderLen {
+			return ErrTruncated
+		}
+		if off := int(l4[12]>>4) * 4; off < TCPHeaderLen || off > len(l4) {
+			return ErrTruncated
+		}
+		m.Flow.Proto = IPProtocolTCP
+		m.Flow.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		m.Flow.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	case IPProtocolUDP:
+		if len(l4) < UDPHeaderLen {
+			return ErrTruncated
+		}
+		m.Flow.Proto = IPProtocolUDP
+		m.Flow.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		m.Flow.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	}
+	return nil
+}

@@ -27,6 +27,11 @@ type GatewayPacket struct {
 	// WireLen is the total frame length in bytes, used for byte counters
 	// and rate accounting.
 	WireLen int
+
+	// flow is the inner five-tuple, extracted once by Parser.Parse so the
+	// pipeline stages that hash or match on it (ECMP, ACL, SNAT) do not
+	// re-derive it per lookup.
+	flow Flow
 }
 
 // OuterSrc returns the underlay source address.
@@ -63,22 +68,25 @@ func (p *GatewayPacket) InnerDst() netip.Addr {
 }
 
 // InnerFlow returns the inner five-tuple, the unit of RSS/ECMP hashing and
-// the SNAT session key.
-func (p *GatewayPacket) InnerFlow() Flow {
-	f := Flow{Src: p.InnerSrc(), Dst: p.InnerDst()}
+// the SNAT session key. It is extracted once per Parse; packets assembled by
+// hand (rather than decoded) have a zero flow.
+func (p *GatewayPacket) InnerFlow() Flow { return p.flow }
+
+// fillFlow caches the inner five-tuple after a successful parse.
+func (p *GatewayPacket) fillFlow() {
+	p.flow = Flow{Src: p.InnerSrc(), Dst: p.InnerDst()}
 	if !p.HasL4 {
-		return f
+		return
 	}
 	if innerProto(p) == IPProtocolTCP {
-		f.Proto = IPProtocolTCP
-		f.SrcPort = p.InnerTCP.SrcPort
-		f.DstPort = p.InnerTCP.DstPort
+		p.flow.Proto = IPProtocolTCP
+		p.flow.SrcPort = p.InnerTCP.SrcPort
+		p.flow.DstPort = p.InnerTCP.DstPort
 	} else {
-		f.Proto = IPProtocolUDP
-		f.SrcPort = p.InnerUDP.SrcPort
-		f.DstPort = p.InnerUDP.DstPort
+		p.flow.Proto = IPProtocolUDP
+		p.flow.SrcPort = p.InnerUDP.SrcPort
+		p.flow.DstPort = p.InnerUDP.DstPort
 	}
-	return f
 }
 
 func innerProto(p *GatewayPacket) IPProtocol {
@@ -172,5 +180,6 @@ func (ps *Parser) parseInner(data []byte, pkt *GatewayPacket) error {
 		}
 		pkt.HasL4 = true
 	}
+	pkt.fillFlow()
 	return nil
 }

@@ -68,32 +68,49 @@ func (m *Meter) Allow(vni netpkt.VNI, n int, now time.Time) bool {
 
 // Counters is the per-tenant packet/byte counter service table, installed
 // per SLA (§3.3). It is deliberately simple: the data plane increments it on
-// the hot path, the controller reads and resets it on the slow path.
+// the hot path, the controller reads and resets it on the slow path. Both
+// counters of a tenant share one cell so the per-packet increment costs a
+// single map lookup.
 type Counters struct {
-	pkts  map[netpkt.VNI]uint64
-	bytes map[netpkt.VNI]uint64
+	cells map[netpkt.VNI]*counterCell
+}
+
+type counterCell struct {
+	pkts  uint64
+	bytes uint64
 }
 
 // NewCounters returns an empty counter table.
 func NewCounters() *Counters {
-	return &Counters{pkts: make(map[netpkt.VNI]uint64), bytes: make(map[netpkt.VNI]uint64)}
+	return &Counters{cells: make(map[netpkt.VNI]*counterCell)}
 }
 
 // Add records one packet of n bytes for the tenant.
 func (c *Counters) Add(vni netpkt.VNI, n int) {
-	c.pkts[vni]++
-	c.bytes[vni] += uint64(n)
+	cell := c.cells[vni]
+	if cell == nil {
+		cell = &counterCell{}
+		c.cells[vni] = cell
+	}
+	cell.pkts++
+	cell.bytes += uint64(n)
 }
 
 // Read returns the tenant's totals.
 func (c *Counters) Read(vni netpkt.VNI) (pkts, bytes uint64) {
-	return c.pkts[vni], c.bytes[vni]
+	cell := c.cells[vni]
+	if cell == nil {
+		return 0, 0
+	}
+	return cell.pkts, cell.bytes
 }
 
 // Reset zeroes the tenant's totals, returning the values read.
 func (c *Counters) Reset(vni netpkt.VNI) (pkts, bytes uint64) {
-	p, b := c.pkts[vni], c.bytes[vni]
-	delete(c.pkts, vni)
-	delete(c.bytes, vni)
-	return p, b
+	cell := c.cells[vni]
+	if cell == nil {
+		return 0, 0
+	}
+	delete(c.cells, vni)
+	return cell.pkts, cell.bytes
 }

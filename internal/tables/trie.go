@@ -50,25 +50,29 @@ func addrBit(a []byte, i int) int {
 	return int(a[i/8]>>(7-i%8)) & 1
 }
 
-func (t *Trie[V]) keyBytes(a netip.Addr) ([]byte, bool) {
+// keyBytes writes the address bytes into buf and returns the slice of buf in
+// use. Routing the bytes through a caller-owned buffer keeps lookups free of
+// heap allocation: the array never escapes.
+func (t *Trie[V]) keyBytes(a netip.Addr, buf *[16]byte) ([]byte, bool) {
 	if t.bits == 32 {
 		if !a.Is4() {
 			return nil, false
 		}
-		b := a.As4()
-		return b[:], true
+		*(*[4]byte)(buf[:4]) = a.As4()
+		return buf[:4], true
 	}
 	if a.Is4() {
 		return nil, false
 	}
-	b := a.As16()
-	return b[:], true
+	*buf = a.As16()
+	return buf[:], true
 }
 
 // Insert adds or replaces the value for prefix p. It reports an error if the
 // prefix's family does not match the trie width.
 func (t *Trie[V]) Insert(p netip.Prefix, v V) error {
-	key, ok := t.keyBytes(p.Addr())
+	var kbuf [16]byte
+	key, ok := t.keyBytes(p.Addr(), &kbuf)
 	if !ok {
 		return fmt.Errorf("tables: prefix %v does not fit %d-bit trie", p, t.bits)
 	}
@@ -94,7 +98,8 @@ func (t *Trie[V]) Insert(p netip.Prefix, v V) error {
 // Delete removes prefix p and reports whether it was present. Interior nodes
 // left empty are pruned so memory tracks the live prefix set.
 func (t *Trie[V]) Delete(p netip.Prefix) bool {
-	key, ok := t.keyBytes(p.Addr())
+	var kbuf [16]byte
+	key, ok := t.keyBytes(p.Addr(), &kbuf)
 	if !ok || p.Bits() < 0 || p.Bits() > t.bits {
 		return false
 	}
@@ -132,7 +137,8 @@ func (t *Trie[V]) Delete(p netip.Prefix) bool {
 // Lookup returns the value of the longest prefix covering addr, the length of
 // that prefix, and whether any prefix matched.
 func (t *Trie[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
-	key, kok := t.keyBytes(addr)
+	var kbuf [16]byte
+	key, kok := t.keyBytes(addr, &kbuf)
 	if !kok {
 		return v, 0, false
 	}
@@ -153,7 +159,8 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
 
 // Get returns the value stored for exactly prefix p.
 func (t *Trie[V]) Get(p netip.Prefix) (v V, ok bool) {
-	key, kok := t.keyBytes(p.Addr())
+	var kbuf [16]byte
+	key, kok := t.keyBytes(p.Addr(), &kbuf)
 	if !kok || p.Bits() < 0 || p.Bits() > t.bits {
 		return v, false
 	}

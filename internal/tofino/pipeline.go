@@ -20,10 +20,14 @@ type Context struct {
 	FinalVNI   netpkt.VNI // VNI after peer-chain resolution
 	Route      tables.Route
 	RouteOK    bool
-	NCAddr     netip.Addr // destination physical server
-	NCOK       bool
-	Drop       bool
-	DropReason string
+	NCAddr netip.Addr // destination physical server
+	NCOK   bool
+	Drop   bool
+	// DropCode is the numeric drop-reason register. Hardware metadata
+	// carries codes, not strings; the meaning of each value is assigned by
+	// the program that owns the device (internal/xgwh interns its reason
+	// names over these codes).
+	DropCode   uint8
 	ToFallback bool // steer to XGW-x86
 	EgressPort int
 

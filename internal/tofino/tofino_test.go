@@ -232,6 +232,7 @@ type recordExec struct {
 	log  *[]string
 	fail bool
 	drop bool
+	code uint8
 }
 
 func (r *recordExec) Name() string { return r.name }
@@ -242,7 +243,7 @@ func (r *recordExec) Execute(ctx *Context) error {
 	}
 	if r.drop {
 		ctx.Drop = true
-		ctx.DropReason = r.name
+		ctx.DropCode = r.code
 	}
 	return nil
 }
@@ -291,7 +292,7 @@ func TestDeviceUnfoldedSkipsLoopSegments(t *testing.T) {
 func TestDeviceDropShortCircuits(t *testing.T) {
 	d := NewDevice(DefaultChip(), true)
 	var log []string
-	d.AddTable(SegIngressEntry, &recordExec{name: "A", log: &log, drop: true})
+	d.AddTable(SegIngressEntry, &recordExec{name: "A", log: &log, drop: true, code: 7})
 	d.AddTable(SegEgressLoop, &recordExec{name: "B", log: &log})
 	var ctx Context
 	ctx.Reset(testPacket())
@@ -301,7 +302,7 @@ func TestDeviceDropShortCircuits(t *testing.T) {
 	if strings.Join(log, "") != "A" {
 		t.Fatalf("drop did not short-circuit: %v", log)
 	}
-	if !ctx.Drop || ctx.DropReason != "A" {
+	if !ctx.Drop || ctx.DropCode != 7 {
 		t.Fatalf("ctx = %+v", ctx)
 	}
 }

@@ -66,8 +66,20 @@ type Node struct {
 	vpkt   netpkt.GatewayPacket
 	ppkt   netpkt.PlainPacket
 	sbuf   *netpkt.SerializeBuffer
+	rw     reencapScratch
 
 	stats Stats
+}
+
+// reencapScratch holds the preallocated header layers reencap serializes
+// through, so the fallback hot path does not allocate per packet.
+type reencapScratch struct {
+	eth    netpkt.Ethernet
+	ip4    netpkt.IPv4
+	ip6    netpkt.IPv6
+	udp    netpkt.UDP
+	vxlan  netpkt.VXLAN
+	layers [4]netpkt.SerializableLayer
 }
 
 // Stats counts the node's behavioral outcomes.
@@ -263,25 +275,26 @@ func (n *Node) ExpireSessions(now time.Time, ttl time.Duration) int {
 	return n.SNAT.ExpireIdle(now, ttl)
 }
 
-// reencap wraps an inner frame in fresh VXLAN/UDP/IP/Ethernet headers.
+// reencap wraps an inner frame in fresh VXLAN/UDP/IP/Ethernet headers. The
+// headers live in the node's scratch; full struct assignment resets any
+// state from the previous packet.
 func (n *Node) reencap(inner []byte, vni netpkt.VNI, dst netip.Addr, srcPort uint16) ([]byte, error) {
-	layers := make([]netpkt.SerializableLayer, 0, 4)
-	eth := &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
+	s := &n.rw
+	s.eth = netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
 	if dst.Is6() {
-		eth.EtherType = netpkt.EtherTypeIPv6
-	}
-	layers = append(layers, eth)
-	if dst.Is6() {
-		layers = append(layers, &netpkt.IPv6{NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
-			SrcIP: n.cfg.GatewayIP, DstIP: dst})
+		s.eth.EtherType = netpkt.EtherTypeIPv6
+		s.ip6 = netpkt.IPv6{NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
+			SrcIP: n.cfg.GatewayIP, DstIP: dst}
+		s.layers[1] = &s.ip6
 	} else {
-		layers = append(layers, &netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
-			SrcIP: n.cfg.GatewayIP, DstIP: dst})
+		s.ip4 = netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: n.cfg.GatewayIP, DstIP: dst}
+		s.layers[1] = &s.ip4
 	}
-	layers = append(layers,
-		&netpkt.UDP{SrcPort: srcPort, DstPort: netpkt.VXLANPort},
-		&netpkt.VXLAN{VNI: vni})
-	if err := netpkt.SerializeLayers(n.sbuf, inner, layers...); err != nil {
+	s.udp = netpkt.UDP{SrcPort: srcPort, DstPort: netpkt.VXLANPort}
+	s.vxlan = netpkt.VXLAN{VNI: vni}
+	s.layers[0], s.layers[2], s.layers[3] = &s.eth, &s.udp, &s.vxlan
+	if err := netpkt.SerializeLayers(n.sbuf, inner, s.layers[:]...); err != nil {
 		return nil, err
 	}
 	return n.sbuf.Bytes(), nil

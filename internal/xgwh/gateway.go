@@ -39,6 +39,41 @@ func (a Action) String() string {
 	return fmt.Sprintf("Action(%d)", int(a))
 }
 
+// Drop-reason codes. The data plane counts drops in a fixed array indexed by
+// these codes — interning the reason names keeps the per-packet drop path free
+// of string building and map hashing; the names only materialize on the slow
+// path (Stats, ForwardResult, telemetry postcards use the precomputed
+// strings).
+const (
+	dropNone uint8 = iota
+	dropParseError
+	dropMeterExceeded
+	dropRouteLoop
+	dropACLDeny
+	dropFallbackRateLimit
+	dropNoNC
+	numDropReasons
+)
+
+// dropReasonName maps a drop code to its stable external name.
+var dropReasonName = [numDropReasons]string{
+	dropNone:              "",
+	dropParseError:        "parse_error",
+	dropMeterExceeded:     "meter_exceeded",
+	dropRouteLoop:         "route_loop",
+	dropACLDeny:           "acl_deny",
+	dropFallbackRateLimit: "fallback_rate_limit",
+	dropNoNC:              "no_nc",
+}
+
+// dropAction holds the precomputed telemetry action string per drop code.
+var dropAction = func() (a [numDropReasons]string) {
+	for i := 1; i < int(numDropReasons); i++ {
+		a[i] = "drop:" + dropReasonName[i]
+	}
+	return a
+}()
+
 // ForwardResult reports the outcome of processing one packet.
 type ForwardResult struct {
 	Action     Action
@@ -126,8 +161,12 @@ type Gateway struct {
 	pkt    netpkt.GatewayPacket
 	ctx    tofino.Context
 	sbuf   *netpkt.SerializeBuffer
+	rw     rewriteScratch
 
 	stats Stats
+	// drops counts dropped packets per interned reason code; the string-keyed
+	// map in Stats is materialized from it on demand.
+	drops [numDropReasons]uint64
 
 	// Telemetry (vtrace-style postcards, §3.1): when enabled, packets
 	// matching the rule table produce per-hop reports to the collector.
@@ -194,7 +233,10 @@ func New(cfg Config) *Gateway {
 		sbuf:      netpkt.NewSerializeBuffer(128, 2048),
 	}
 	g.device.BridgedMetadataBytes = 8
-	g.stats.DropReasons = make(map[string]uint64)
+	// The fallback limiter's shape is fixed at assembly time (§4.2); the
+	// data plane only spends tokens.
+	g.fbMeter.DefaultRate = cfg.FallbackRateBps
+	g.fbMeter.DefaultBurst = cfg.FallbackBurstBytes
 
 	entry := tofino.SegIngressEntry
 	vmncSeg := tofino.SegEgressExit
@@ -343,7 +385,7 @@ func (g *Gateway) execClassify(ctx *tofino.Context) error {
 func (g *Gateway) execMeter(ctx *tofino.Context) error {
 	if !g.meter.Allow(ctx.Pkt.VXLAN.VNI, ctx.Pkt.WireLen, g.now) {
 		ctx.Drop = true
-		ctx.DropReason = "meter_exceeded"
+		ctx.DropCode = dropMeterExceeded
 	}
 	return nil
 }
@@ -369,7 +411,7 @@ func (g *Gateway) execRoute(ctx *tofino.Context) error {
 		ctx.ToFallback = true
 	case tables.ErrRouteLoop:
 		ctx.Drop = true
-		ctx.DropReason = "route_loop"
+		ctx.DropCode = dropRouteLoop
 	default:
 		return err
 	}
@@ -403,7 +445,7 @@ func (g *Gateway) execACL(ctx *tofino.Context) error {
 	}
 	if g.acl.Check(ctx.Pkt.VXLAN.VNI, ctx.Pkt.InnerFlow()) == tables.ACLDeny {
 		ctx.Drop = true
-		ctx.DropReason = "acl_deny"
+		ctx.DropCode = dropACLDeny
 	}
 	return nil
 }
@@ -433,8 +475,8 @@ func (g *Gateway) unitFor(vni netpkt.VNI) int {
 func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error) {
 	if err := g.parser.Parse(raw, &g.pkt); err != nil {
 		g.stats.Dropped++
-		g.stats.DropReasons["parse_error"]++
-		return ForwardResult{Action: ActionDrop, DropReason: "parse_error"}, nil
+		g.drops[dropParseError]++
+		return ForwardResult{Action: ActionDrop, DropReason: dropReasonName[dropParseError]}, nil
 	}
 	g.ctx.Reset(&g.pkt)
 	g.now = now
@@ -457,20 +499,18 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 	switch {
 	case g.ctx.Drop:
 		out.Action = ActionDrop
-		out.DropReason = g.ctx.DropReason
+		out.DropReason = dropReasonName[g.ctx.DropCode]
 		g.stats.Dropped++
-		g.stats.DropReasons[g.ctx.DropReason]++
-		g.reportTelemetry("drop:"+out.DropReason, now)
+		g.drops[g.ctx.DropCode]++
+		g.reportTelemetry(dropAction[g.ctx.DropCode], now)
 	case g.ctx.ToFallback:
 		if g.cfg.FallbackRateBps > 0 {
-			g.fbMeter.DefaultRate = g.cfg.FallbackRateBps
-			g.fbMeter.DefaultBurst = g.cfg.FallbackBurstBytes
 			if !g.fbMeter.Allow(0, g.pkt.WireLen, now) {
 				out.Action = ActionDrop
-				out.DropReason = "fallback_rate_limit"
+				out.DropReason = dropReasonName[dropFallbackRateLimit]
 				g.stats.Dropped++
-				g.stats.DropReasons[out.DropReason]++
-				g.reportTelemetry("drop:"+out.DropReason, now)
+				g.drops[dropFallbackRateLimit]++
+				g.reportTelemetry(dropAction[dropFallbackRateLimit], now)
 				return out, nil
 			}
 		}
@@ -490,52 +530,76 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		g.reportTelemetry("forward", now)
 	default:
 		out.Action = ActionDrop
-		out.DropReason = "no_nc"
+		out.DropReason = dropReasonName[dropNoNC]
 		g.stats.Dropped++
-		g.stats.DropReasons[out.DropReason]++
-		g.reportTelemetry("drop:"+out.DropReason, now)
+		g.drops[dropNoNC]++
+		g.reportTelemetry(dropAction[dropNoNC], now)
 	}
 	return out, nil
+}
+
+// rewriteScratch is the preallocated header set the rewrite stage reuses for
+// every packet: the serializable layer structs and the backing array for the
+// layer stack live with the gateway, so the steady-state forward path never
+// touches the heap (the hardware analogue: the deparser writes into fixed
+// header vectors, it does not "allocate").
+type rewriteScratch struct {
+	eth    netpkt.Ethernet
+	ip4    netpkt.IPv4
+	ip6    netpkt.IPv6
+	udp    netpkt.UDP
+	vxlan  netpkt.VXLAN
+	layers [4]netpkt.SerializableLayer
 }
 
 // rewrite re-encapsulates the inner frame with fresh outer headers: outer
 // destination = NC (or tunnel endpoint), outer source = the gateway VIP, and
 // the VNI of the VPC actually containing the destination (Fig. 2's outer
-// rewrite).
+// rewrite). The returned slice aliases the gateway's serialize buffer and is
+// valid until the next ProcessPacket call.
 func (g *Gateway) rewrite() ([]byte, error) {
 	inner := g.pkt.VXLAN.Payload()
-	layers := make([]netpkt.SerializableLayer, 0, 4)
-	eth := &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
+	s := &g.rw
 	if g.ctx.NCAddr.Is6() {
-		eth.EtherType = netpkt.EtherTypeIPv6
-	}
-	layers = append(layers, eth)
-	if g.ctx.NCAddr.Is6() {
-		layers = append(layers, &netpkt.IPv6{
+		s.eth = netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv6}
+		s.ip6 = netpkt.IPv6{
 			NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
 			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
-		})
+		}
+		s.layers[1] = &s.ip6
 	} else {
-		layers = append(layers, &netpkt.IPv4{
+		s.eth = netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
+		s.ip4 = netpkt.IPv4{
 			TTL: 64, Protocol: netpkt.IPProtocolUDP,
 			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
-		})
+		}
+		s.layers[1] = &s.ip4
 	}
-	layers = append(layers,
-		&netpkt.UDP{SrcPort: g.pkt.OuterUDP.SrcPort, DstPort: netpkt.VXLANPort},
-		&netpkt.VXLAN{VNI: g.ctx.FinalVNI},
-	)
-	if err := netpkt.SerializeLayers(g.sbuf, inner, layers...); err != nil {
+	s.udp = netpkt.UDP{SrcPort: g.pkt.OuterUDP.SrcPort, DstPort: netpkt.VXLANPort}
+	s.vxlan = netpkt.VXLAN{VNI: g.ctx.FinalVNI}
+	s.layers[0], s.layers[2], s.layers[3] = &s.eth, &s.udp, &s.vxlan
+	if err := netpkt.SerializeLayers(g.sbuf, inner, s.layers[:]...); err != nil {
 		return nil, err
 	}
 	return g.sbuf.Bytes(), nil
 }
 
-// Stats returns a copy of the counters (the DropReasons map is shared for
-// efficiency; treat it as read-only).
-func (g *Gateway) Stats() Stats { return g.stats }
+// Stats returns a copy of the counters. The DropReasons map is materialized
+// from the interned per-reason counters on each call (slow path only); the
+// hot path increments a fixed array.
+func (g *Gateway) Stats() Stats {
+	s := g.stats
+	s.DropReasons = make(map[string]uint64, numDropReasons)
+	for code, n := range g.drops {
+		if n > 0 {
+			s.DropReasons[dropReasonName[code]] = n
+		}
+	}
+	return s
+}
 
 // ResetStats zeroes the counters.
 func (g *Gateway) ResetStats() {
-	g.stats = Stats{DropReasons: make(map[string]uint64)}
+	g.stats = Stats{}
+	g.drops = [numDropReasons]uint64{}
 }

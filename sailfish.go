@@ -44,6 +44,8 @@ type (
 	ACLRule = tables.ACLRule
 	// Result is the outcome of one packet through the region.
 	Result = cluster.Result
+	// BatchResult is one packet's outcome within a batched delivery.
+	BatchResult = cluster.BatchResult
 )
 
 // Route scopes (Fig. 2).
@@ -166,6 +168,13 @@ func (d *Deployment) DeliverVXLAN(raw []byte) (Result, error) {
 // DeliverVXLANAt pushes one wire packet at an explicit instant.
 func (d *Deployment) DeliverVXLANAt(raw []byte, now time.Time) (Result, error) {
 	return d.Region.ProcessPacket(raw, now)
+}
+
+// DeliverVXLANBatchAt pushes a batch of wire packets at an explicit
+// instant, appending one BatchResult per packet to out; pass the previous
+// call's slice as out[:0] to keep the steady state allocation-free.
+func (d *Deployment) DeliverVXLANBatchAt(raws [][]byte, now time.Time, out []BatchResult) []BatchResult {
+	return d.Region.ProcessBatch(raws, now, out)
 }
 
 // BuildVXLAN constructs a VXLAN-encapsulated packet for testing and
