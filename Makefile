@@ -1,7 +1,9 @@
 GO ?= go
 
-# Packages with concurrent control-plane loops get an extra -race pass.
-RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/...
+# Packages with concurrent control-plane loops or a live observability
+# surface (Stats/scrapes racing the data plane) get an extra -race pass.
+RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
+	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/...
 
 .PHONY: check vet build test race chaos bench bench-all fmt
 

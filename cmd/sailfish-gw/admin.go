@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"sailfish/internal/metrics"
+)
+
+// The admin plane: a loopback-friendly HTTP listener exposing the live
+// registry as Prometheus text (/metrics), a liveness probe (/healthz) and
+// the standard pprof surface (/debug/pprof/...) — all read-only views over
+// atomic counters, so scraping never perturbs the data plane.
+
+// registerMetrics builds the daemon's live registry: gateway and software
+// node counters (including every drop reason), the fallback ratio, and the
+// per-stage latency histograms that ProcessPacket starts observing once
+// attached.
+func (s *server) registerMetrics() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	s.gw.RegisterMetrics(reg, "xgwh-0")
+	s.x86.RegisterMetrics(reg, "xgw86-0")
+	s.gw.EnableStageMetrics(metrics.NewStageHistograms(reg,
+		"sailfish_gw_stage_latency_ns",
+		"per-stage forwarding latency in nanoseconds"))
+	return reg
+}
+
+// newAdminMux mounts the admin endpoints on a private mux (pprof is wired
+// explicitly rather than through http.DefaultServeMux, so tests can run
+// several admin planes side by side).
+func newAdminMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startAdmin binds addr and serves the admin mux from a background
+// goroutine, returning the bound address (useful with ":0") and a closer.
+func startAdmin(addr string, reg *metrics.Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: newAdminMux(reg)}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/netpkt"
+)
+
+// The admin plane end to end: traffic flows through the daemon's UDP socket
+// while an HTTP client scrapes /metrics, and the exposition must carry the
+// gateway counters, the fallback ratio, every drop-reason label, and the
+// stage histograms — no quiescing anywhere.
+func TestAdminMetricsEndpoint(t *testing.T) {
+	nc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+		Underlay:  map[string]string{"10.1.1.12": nc.LocalAddr().String()},
+		Tenants: []tenantConfig{{
+			VNI: 100, Prefix: "192.168.10.0/24",
+			VMs: map[string]string{"192.168.10.3": "10.1.1.12"},
+		}},
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, stop, err := startAdmin("127.0.0.1:0", srv.registerMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.serve() //nolint:errcheck
+	}()
+	defer func() { srv.conn.Close(); <-served }()
+
+	client, err := net.DialUDP("udp", nil, srv.conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sbuf := netpkt.NewSerializeBuffer(64, 512)
+	if err := netpkt.SerializeLayers(sbuf, []byte("ping"),
+		&netpkt.VXLAN{VNI: 100},
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("192.168.10.2"),
+			DstIP: netip.MustParseAddr("192.168.10.3")},
+		&netpkt.UDP{SrcPort: 5000, DstPort: 6000},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(sbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	if _, err := nc.Read(buf); err != nil {
+		t.Fatalf("NC socket received nothing: %v", err)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", bound, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("content type = %q", ctype)
+	}
+	for _, want := range []string{
+		`sailfish_gw_forwarded_total{node="xgwh-0"} 1`,
+		`sailfish_gw_fallback_ratio{node="xgwh-0"} 0`,
+		`reason="parse_error"`,
+		`reason="no_nc"`,
+		`sailfish_gw_stage_latency_ns_bucket{stage="parse",le="+Inf"} 1`,
+		`sailfish_gw_stage_latency_ns_count{stage="pipeline"} 1`,
+		`sailfish_gw_stage_latency_ns_count{stage="rewrite"} 1`,
+		`sailfish_x86_forwarded_total{node="xgw86-0"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if hz, _ := get("/healthz"); hz != "ok\n" {
+		t.Fatalf("/healthz = %q", hz)
+	}
+}

@@ -57,6 +57,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the seeded disaster-recovery chaos scenario and exit")
 	count := flag.Int("n", 3, "demo: packets to send")
 	pcapPath := flag.String("pcap", "", "write ingress/egress frames to this pcap file")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.Parse()
 
 	switch {
@@ -65,7 +66,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *demo:
-		if err := runDemo(*count); err != nil {
+		if err := runDemo(*count, *adminAddr); err != nil {
 			log.Fatal(err)
 		}
 	case *cfgPath != "":
@@ -89,6 +90,14 @@ func main() {
 			defer f.Close()
 			gw.pcap = pcap.NewWriter(f)
 			log.Printf("sailfish-gw: capturing to %s", *pcapPath)
+		}
+		if *adminAddr != "" {
+			bound, stop, err := startAdmin(*adminAddr, gw.registerMetrics())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer stop() //nolint:errcheck
+			log.Printf("sailfish-gw: admin plane on http://%s (/metrics, /healthz, /debug/pprof)", bound)
 		}
 		log.Printf("sailfish-gw: serving on %s (%d routes, %d VMs)",
 			fc.Listen, gw.gw.RouteCount(), gw.gw.VMCount())
@@ -315,8 +324,10 @@ func vxlanPayload(frame []byte) ([]byte, error) {
 // --- demo mode ---
 
 // runDemo wires a gateway and two NC listeners on loopback sockets, then
-// sends VM-to-VM packets end to end over real UDP.
-func runDemo(count int) error {
+// sends VM-to-VM packets end to end over real UDP. A non-empty adminAddr
+// additionally serves the admin plane for the demo's lifetime, so the live
+// /metrics view can be watched while packets flow.
+func runDemo(count int, adminAddr string) error {
 	// NC listeners.
 	nc1, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -347,6 +358,14 @@ func runDemo(count int) error {
 	srv, err := newServer(fc)
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		bound, stop, err := startAdmin(adminAddr, srv.registerMetrics())
+		if err != nil {
+			return err
+		}
+		defer stop() //nolint:errcheck
+		fmt.Printf("admin plane on http://%s\n", bound)
 	}
 	served := make(chan struct{})
 	go func() {
@@ -410,12 +429,12 @@ func runDemo(count int) error {
 		fmt.Printf("NC(10.1.1.12) got %v %v→%v payload=%q\n",
 			vx.VNI, ip.SrcIP, ip.DstIP, udp.Payload())
 	}
-	// Quiesce the gateway before reading its stats: the gateway struct is
-	// single-threaded by design.
-	srv.conn.Close()
-	<-served
+	// Stats are atomic snapshots: read them while the serve loop still runs,
+	// then shut the socket down.
 	st := srv.gw.Stats()
 	fmt.Printf("gateway stats: forwarded=%d fallback=%d dropped=%d\n",
 		st.Forwarded, st.Fallback, st.Dropped)
+	srv.conn.Close()
+	<-served
 	return nil
 }

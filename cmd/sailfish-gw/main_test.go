@@ -104,7 +104,7 @@ func TestNewServerRejectsBadConfig(t *testing.T) {
 }
 
 func TestDemoRuns(t *testing.T) {
-	if err := runDemo(2); err != nil {
+	if err := runDemo(2, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -168,10 +168,11 @@ func TestServerSoftwareTenantFallsBackOverUDP(t *testing.T) {
 	if vx.VNI != 700 {
 		t.Fatalf("VNI = %v", vx.VNI)
 	}
-	// Quiesce, then read stats (the gateway is single-threaded).
-	srv.conn.Close()
-	<-served
+	// Stats are atomic snapshots: read them while the serve loop still
+	// runs — the counter was incremented before the frame reached the NC.
 	if srv.gw.Stats().Fallback == 0 {
 		t.Fatal("hardware gateway did not record the fallback")
 	}
+	srv.conn.Close()
+	<-served
 }

@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"sailfish/internal/lb"
+	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
@@ -387,8 +389,19 @@ type Region struct {
 	// XGW-x86 pool because both main and backup are impaired.
 	degraded map[int]bool
 
-	stats RegionStats
+	stats regionCounters
+
+	// obs, when set, receives steer-stage latency observations (front parse
+	// + steering decision). Set it via EnableStageMetrics before traffic
+	// starts — it is read without synchronization on the hot path.
+	obs *metrics.StageHistograms
 }
+
+// EnableStageMetrics attaches the steer-stage latency histogram to the
+// region's front-end decision (the parse/pipeline/rewrite stages are
+// observed inside each gateway — see xgwh.Gateway.EnableStageMetrics). Call
+// before submitting traffic; pass nil to detach.
+func (r *Region) EnableStageMetrics(sh *metrics.StageHistograms) { r.obs = sh }
 
 // ErrClusterDisabled reports traffic steered at a cluster that has not been
 // commissioned.
@@ -403,6 +416,17 @@ type RegionStats struct {
 	// Degraded counts packets carried by the XGW-x86 pool because their
 	// cluster was in degraded mode (both main and backup impaired).
 	Degraded uint64
+}
+
+// regionCounters is the live atomic backing store for RegionStats: the
+// single-shot path, ProcessBatch, and every Driver worker/submitter
+// increment it concurrently, and Stats() reads it while traffic flows.
+type regionCounters struct {
+	forwarded atomic.Uint64
+	fallback  atomic.Uint64
+	dropped   atomic.Uint64
+	noRoute   atomic.Uint64
+	degraded  atomic.Uint64
 }
 
 // NewRegion builds a region with the given number of main clusters (each
@@ -545,16 +569,24 @@ type Result struct {
 // and reused for steering, the node pick, the egress-port pick and both
 // fallback picks.
 func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
+	obs := r.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	var fm netpkt.FrontMeta
 	if err := netpkt.ParseFront(raw, &fm); err != nil {
-		r.stats.Dropped++
+		r.stats.dropped.Add(1)
 		return Result{}, err
 	}
 	flowHash := fm.Flow.FastHash()
 	clusterID, nodeIdx, err := r.FrontEnd.Route(fm.VNI, flowHash)
 	if err != nil {
-		r.stats.NoRoute++
+		r.stats.noRoute.Add(1)
 		return Result{}, err
+	}
+	if obs != nil {
+		obs.Steer.Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 	return r.deliver(raw, flowHash, clusterID, nodeIdx, now, nil)
 }
@@ -586,7 +618,7 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 		}
 	}
 	if disabled {
-		r.stats.Dropped++
+		r.stats.dropped.Add(1)
 		return Result{}, ErrClusterDisabled
 	}
 	if degraded {
@@ -594,14 +626,14 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 		// XGW-x86 pool carries the cluster's residual traffic.
 		out := Result{ClusterID: clusterID}
 		if len(r.Fallback) == 0 {
-			r.stats.Dropped++
+			r.stats.dropped.Add(1)
 			return out, ErrNoLiveNodes
 		}
-		r.stats.Degraded++
+		r.stats.degraded.Add(1)
 		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
 		fres, ferr := fb.ProcessFallback(raw)
 		if ferr != nil {
-			r.stats.Dropped++
+			r.stats.dropped.Add(1)
 			return out, ferr
 		}
 		out.GW = xgwh.ForwardResult{Action: xgwh.ActionFallback}
@@ -611,13 +643,13 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 	}
 	live := c.LiveNodes()
 	if len(live) == 0 {
-		r.stats.Dropped++
+		r.stats.dropped.Add(1)
 		return Result{}, ErrNoLiveNodes
 	}
 	node := live[nodeIdx%len(live)]
 	port, ok := node.PickPort(flowHash)
 	if !ok {
-		r.stats.Dropped++
+		r.stats.dropped.Add(1)
 		return Result{}, ErrNoLiveNodes
 	}
 	res, err := node.GW.ProcessPacket(raw, now)
@@ -627,18 +659,18 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 	out := Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port, GW: res}
 	switch res.Action {
 	case xgwh.ActionForward:
-		r.stats.Forwarded++
+		r.stats.forwarded.Add(1)
 	case xgwh.ActionDrop:
-		r.stats.Dropped++
+		r.stats.dropped.Add(1)
 	case xgwh.ActionFallback:
-		r.stats.Fallback++
+		r.stats.fallback.Add(1)
 		if len(r.Fallback) == 0 {
 			return out, nil
 		}
 		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
 		fres, ferr := fb.ProcessFallback(raw)
 		if ferr != nil {
-			r.stats.Dropped++
+			r.stats.dropped.Add(1)
 			return out, nil
 		}
 		out.ViaFallback = true
@@ -679,7 +711,7 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 	for _, raw := range raws {
 		var fm netpkt.FrontMeta
 		if err := netpkt.ParseFront(raw, &fm); err != nil {
-			r.stats.Dropped++
+			r.stats.dropped.Add(1)
 			out = append(out, BatchResult{Err: err})
 			continue
 		}
@@ -699,7 +731,7 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 			var err error
 			clusterID, nodeIdx, err = r.FrontEnd.Route(fm.VNI, flowHash)
 			if err != nil {
-				r.stats.NoRoute++
+				r.stats.noRoute.Add(1)
 				out = append(out, BatchResult{Err: err})
 				continue
 			}
@@ -715,5 +747,59 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 	return out
 }
 
-// Stats returns the region counters.
-func (r *Region) Stats() RegionStats { return r.stats }
+// Stats returns a snapshot of the region counters. Each cell is read
+// atomically, so the snapshot is exact per counter even while Driver workers
+// and submitters are incrementing concurrently.
+func (r *Region) Stats() RegionStats {
+	return RegionStats{
+		Forwarded: r.stats.forwarded.Load(),
+		Fallback:  r.stats.fallback.Load(),
+		Dropped:   r.stats.dropped.Load(),
+		NoRoute:   r.stats.noRoute.Load(),
+		Degraded:  r.stats.degraded.Load(),
+	}
+}
+
+// ResetStats zeroes the region counters. Safe under live traffic;
+// increments racing the reset land on whichever side their cell is visited.
+func (r *Region) ResetStats() {
+	r.stats.forwarded.Store(0)
+	r.stats.fallback.Store(0)
+	r.stats.dropped.Store(0)
+	r.stats.noRoute.Store(0)
+	r.stats.degraded.Store(0)
+}
+
+// FallbackRatio returns the share of completed packets carried by the
+// XGW-x86 pool — the live readout of the paper's 80/20 hardware/software
+// split. Zero when nothing has completed.
+func (r *Region) FallbackRatio() float64 {
+	fwd := float64(r.stats.forwarded.Load())
+	fb := float64(r.stats.fallback.Load() + r.stats.degraded.Load())
+	if fwd+fb == 0 {
+		return 0
+	}
+	return fb / (fwd + fb)
+}
+
+// RegisterMetrics publishes the region's counters and the fallback ratio
+// into a live registry. Values are read atomically at scrape time.
+func (r *Region) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("sailfish_region_forwarded_total", "packets forwarded by XGW-H nodes", nil,
+		r.stats.forwarded.Load)
+	reg.CounterFunc("sailfish_region_fallback_total", "packets steered to the XGW-x86 pool", nil,
+		r.stats.fallback.Load)
+	reg.CounterFunc("sailfish_region_dropped_total", "packets dropped region-wide", nil,
+		r.stats.dropped.Load)
+	reg.CounterFunc("sailfish_region_noroute_total", "packets with no steering rule", nil,
+		r.stats.noRoute.Load)
+	reg.CounterFunc("sailfish_region_degraded_total", "packets carried by the pool for degraded clusters", nil,
+		r.stats.degraded.Load)
+	reg.GaugeFunc("sailfish_region_fallback_ratio", "fallback share of completed packets", nil,
+		r.FallbackRatio)
+	for _, c := range r.Clusters {
+		cl := c
+		reg.GaugeFunc("sailfish_cluster_water_level", "entries over per-node capacity",
+			metrics.Labels{"cluster": fmt.Sprint(cl.ID)}, cl.WaterLevel)
+	}
+}

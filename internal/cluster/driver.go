@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/xgwh"
 )
 
 // Driver processes packets through a region concurrently: one worker
@@ -21,7 +24,9 @@ import (
 //
 // The Driver serves the steady state: control-plane mutations (installs,
 // failovers) must not run concurrently with Submit, just as production
-// quiesces a node before reprogramming it.
+// quiesces a node before reprogramming it. Stats, ResetStats and the
+// metrics scrape ARE safe concurrently with submission — every counter the
+// driver (and the region under it) touches is atomic.
 type Driver struct {
 	region  *Region
 	queues  map[string]chan *jobBatch
@@ -31,9 +36,62 @@ type Driver struct {
 	demuxWG sync.WaitGroup
 	depth   int
 
-	batchPool sync.Pool // *jobBatch
-	resPool   sync.Pool // *resultBatch
-	bufPool   sync.Pool // *[]byte packet copies
+	// mu serializes Close against in-flight Submit/SubmitBatch sends:
+	// submitters hold the read side across the (nonblocking) channel send,
+	// Close takes the write side to flip closed before closing the queues,
+	// so a send can never hit a closed channel.
+	mu     sync.RWMutex
+	closed bool
+
+	stats driverCounters
+
+	batchPool   sync.Pool // *jobBatch
+	resPool     sync.Pool // *resultBatch
+	bufPool     sync.Pool // *[]byte packet copies
+	scratchPool sync.Pool // *batchScratch per-SubmitBatch grouping state
+}
+
+// Driver drop-reason codes. The hot path increments a fixed array indexed
+// by these; names are materialized only on the slow path (Stats, scrape).
+const (
+	dDropNone uint8 = iota
+	dDropParseError
+	dDropNoRoute
+	dDropClusterDisabled
+	dDropNoLiveNode
+	dDropNoHealthyPort
+	dDropRxQueueFull
+	dDropClosed
+	numDriverDropReasons
+)
+
+var driverDropName = [numDriverDropReasons]string{
+	dDropNone:            "",
+	dDropParseError:      "parse_error",
+	dDropNoRoute:         "no_route",
+	dDropClusterDisabled: "cluster_disabled",
+	dDropNoLiveNode:      "no_live_node",
+	dDropNoHealthyPort:   "no_healthy_port",
+	dDropRxQueueFull:     "rx_queue_full",
+	dDropClosed:          "driver_closed",
+}
+
+// driverCounters is the driver's live counter block; every cell is atomic
+// so Stats and the metrics scrape read coherently while submitters and
+// workers run.
+type driverCounters struct {
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+	drops    [numDriverDropReasons]atomic.Uint64
+}
+
+// DriverStats is a snapshot of the driver's submission accounting.
+// Accepted + Dropped equals the number of packets ever handed to Submit
+// or SubmitBatch (each submitted packet lands in exactly one bucket).
+type DriverStats struct {
+	Accepted    uint64
+	Dropped     uint64
+	DropReasons map[string]uint64
 }
 
 type job struct {
@@ -47,6 +105,17 @@ type job struct {
 
 type jobBatch struct {
 	jobs []job
+}
+
+// batchScratch is the per-SubmitBatch grouping state: parallel slices
+// mapping each destination node seen in the batch to its accumulating
+// jobBatch. A linear scan replaces the old per-call map — batches touch a
+// handful of nodes, and recycling the slices through a pool keeps the
+// steady-state submission path allocation-free even with concurrent
+// submitters.
+type batchScratch struct {
+	nodes  []*Node
+	groups []*jobBatch
 }
 
 // resultBatch carries one processed jobBatch's outcomes from a worker to
@@ -92,7 +161,9 @@ func NewDriver(r *Region, queueDepth int) *Driver {
 
 // worker owns one gateway: packets are processed strictly in arrival order,
 // preserving the single-threaded gateway invariant. Outcomes leave as one
-// resultBatch per jobBatch.
+// resultBatch per jobBatch. Region counters are updated per completed
+// packet exactly as the single-shot path does, so Region.Stats stays in
+// parity whichever path carried the traffic.
 func (d *Driver) worker(q chan *jobBatch) {
 	defer d.wg.Done()
 	for b := range q {
@@ -103,6 +174,16 @@ func (d *Driver) worker(q chan *jobBatch) {
 		for i := range b.jobs {
 			j := &b.jobs[i]
 			res, err := j.node.GW.ProcessPacket(*j.raw, j.now)
+			if err == nil {
+				switch res.Action {
+				case xgwh.ActionForward:
+					d.region.stats.forwarded.Add(1)
+				case xgwh.ActionDrop:
+					d.region.stats.dropped.Add(1)
+				case xgwh.ActionFallback:
+					d.region.stats.fallback.Add(1)
+				}
+			}
 			out := j.meta
 			out.GW = res
 			rb.res = append(rb.res, DriverResult{Result: out, Err: err})
@@ -149,6 +230,19 @@ func (d *Driver) getBuf(n int) *[]byte {
 	return p
 }
 
+func (d *Driver) getScratch() *batchScratch {
+	if s, _ := d.scratchPool.Get().(*batchScratch); s != nil {
+		return s
+	}
+	return &batchScratch{}
+}
+
+func (d *Driver) putScratch(s *batchScratch) {
+	s.nodes = s.nodes[:0]
+	s.groups = s.groups[:0]
+	d.scratchPool.Put(s)
+}
+
 // recycle returns a batch's buffers and the batch itself to their pools
 // without processing (used on tail drop).
 func (d *Driver) recycle(b *jobBatch) {
@@ -160,94 +254,226 @@ func (d *Driver) recycle(b *jobBatch) {
 	d.batchPool.Put(b)
 }
 
+// drop accounts n packets lost for the given reason, both in the driver's
+// own taxonomy and in the region counters so Region.Stats matches what the
+// single-shot path would have recorded for the same packets: steering
+// misses land in NoRoute, everything else (including RX-queue tail drops
+// and submits after Close, which have no single-shot analog but are still
+// lost packets) lands in Dropped.
+func (d *Driver) drop(reason uint8, n uint64) {
+	d.stats.drops[reason].Add(n)
+	d.stats.dropped.Add(n)
+	if reason == dDropNoRoute {
+		d.region.stats.noRoute.Add(n)
+	} else {
+		d.region.stats.dropped.Add(n)
+	}
+}
+
 // route takes the submitting-side decision for one packet — lightweight
 // front parse, steering, node and egress-port pick, all off a single flow
-// hash — copies the bytes into a pooled buffer and fills j. It reports
-// false when the packet is unroutable.
-func (d *Driver) route(raw []byte, now time.Time, j *job) bool {
+// hash — copies the bytes into a pooled buffer and fills j. It returns
+// dDropNone on success or the reason the packet is unroutable (the caller
+// accounts the drop).
+func (d *Driver) route(raw []byte, now time.Time, j *job) uint8 {
 	var fm netpkt.FrontMeta
 	if err := netpkt.ParseFront(raw, &fm); err != nil {
-		return false
+		return dDropParseError
 	}
 	flowHash := fm.Flow.FastHash()
 	clusterID, nodeIdx, err := d.region.FrontEnd.Route(fm.VNI, flowHash)
-	if err != nil || !d.region.ClusterEnabled(clusterID) {
-		return false
+	if err != nil {
+		return dDropNoRoute
+	}
+	if !d.region.ClusterEnabled(clusterID) {
+		return dDropClusterDisabled
 	}
 	c := d.region.serving(clusterID)
 	live := c.LiveNodes()
 	if len(live) == 0 {
-		return false
+		return dDropNoLiveNode
 	}
 	node := live[nodeIdx%len(live)]
 	port, ok := node.PickPort(flowHash)
 	if !ok {
-		return false
+		return dDropNoHealthyPort
 	}
 	cp := d.getBuf(len(raw))
 	copy(*cp, raw)
 	*j = job{raw: cp, now: now, node: node,
 		meta: Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port}}
-	return true
+	return dDropNone
 }
 
 // Submit routes the packet and enqueues it to its node as a batch of one.
-// It reports false when the packet was dropped at routing or by a full
-// queue. The raw slice is copied; callers may reuse their buffer.
+// It reports false when the packet was dropped — at routing, by a full
+// queue, or because the driver is closed — and every such drop is counted
+// by reason. The raw slice is copied; callers may reuse their buffer.
 func (d *Driver) Submit(raw []byte, now time.Time) bool {
 	var j job
-	if !d.route(raw, now, &j) {
+	if reason := d.route(raw, now, &j); reason != dDropNone {
+		d.drop(reason, 1)
 		return false
 	}
 	b := d.getBatch()
 	b.jobs = append(b.jobs, j)
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		d.recycle(b)
+		d.drop(dDropClosed, 1)
+		return false
+	}
 	select {
 	case d.queues[j.node.ID] <- b:
+		d.mu.RUnlock()
+		d.stats.accepted.Add(1)
 		return true
 	default:
+		d.mu.RUnlock()
 		d.recycle(b) // RX queue overflow: tail drop
+		d.drop(dDropRxQueueFull, 1)
 		return false
 	}
 }
 
 // SubmitBatch routes a batch of packets and enqueues them grouped per node,
 // so each node's RX queue is hit once per batch instead of once per packet.
-// Unroutable packets are skipped; a full node queue tail-drops that node's
-// whole group. It returns the number of packets accepted. Raw slices are
-// copied into pooled buffers; callers may reuse them immediately.
+// Unroutable packets are skipped (and counted by reason); a full node queue
+// tail-drops that node's whole group; after Close every packet is rejected.
+// It returns the number of packets accepted. Raw slices are copied into
+// pooled buffers; callers may reuse them immediately.
 func (d *Driver) SubmitBatch(raws [][]byte, now time.Time) int {
-	groups := make(map[*Node]*jobBatch)
+	s := d.getScratch()
 	for _, raw := range raws {
 		var j job
-		if !d.route(raw, now, &j) {
+		if reason := d.route(raw, now, &j); reason != dDropNone {
+			d.drop(reason, 1)
 			continue
 		}
-		b := groups[j.node]
+		var b *jobBatch
+		for i, n := range s.nodes {
+			if n == j.node {
+				b = s.groups[i]
+				break
+			}
+		}
 		if b == nil {
 			b = d.getBatch()
-			groups[j.node] = b
+			s.nodes = append(s.nodes, j.node)
+			s.groups = append(s.groups, b)
 		}
 		b.jobs = append(b.jobs, j)
 	}
 	accepted := 0
-	for node, b := range groups {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		for _, b := range s.groups {
+			n := uint64(len(b.jobs))
+			d.recycle(b)
+			d.drop(dDropClosed, n)
+		}
+		d.putScratch(s)
+		return 0
+	}
+	for i, node := range s.nodes {
+		b := s.groups[i]
 		n := len(b.jobs) // before the send: the worker owns b afterwards
 		select {
 		case d.queues[node.ID] <- b:
 			accepted += n
+			d.stats.accepted.Add(uint64(n))
 		default:
 			d.recycle(b) // RX queue overflow: tail drop the group
+			d.drop(dDropRxQueueFull, uint64(n))
 		}
 	}
+	d.mu.RUnlock()
+	d.putScratch(s)
 	return accepted
 }
 
 // Results delivers packet outcomes; read until Close's drain completes.
 func (d *Driver) Results() <-chan DriverResult { return d.results }
 
+// Stats returns a snapshot of the driver's submission accounting. Each cell
+// is read atomically, so it is safe (and exact per counter) while
+// submitters and workers run. The DropReasons map is materialized per call.
+func (d *Driver) Stats() DriverStats {
+	s := DriverStats{
+		Accepted: d.stats.accepted.Load(),
+		Dropped:  d.stats.dropped.Load(),
+	}
+	s.DropReasons = make(map[string]uint64, numDriverDropReasons)
+	for code := 1; code < int(numDriverDropReasons); code++ {
+		if n := d.stats.drops[code].Load(); n > 0 {
+			s.DropReasons[driverDropName[code]] = n
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes the driver counters. Safe under live submission.
+func (d *Driver) ResetStats() {
+	d.stats.accepted.Store(0)
+	d.stats.dropped.Store(0)
+	for code := range d.stats.drops {
+		d.stats.drops[code].Store(0)
+	}
+}
+
+// DriverDropReasonNames returns the stable taxonomy of driver drop reasons,
+// in code order — the label set the metrics exposition publishes even
+// before a reason has fired.
+func DriverDropReasonNames() []string {
+	out := make([]string, 0, numDriverDropReasons-1)
+	for code := 1; code < int(numDriverDropReasons); code++ {
+		out = append(out, driverDropName[code])
+	}
+	return out
+}
+
+// RegisterMetrics publishes the driver's submission counters, per-reason
+// drops, and live queue-depth gauges into a registry. Values are read
+// atomically (channel lengths via len, which is safe concurrently) at
+// scrape time; nothing is added to the per-packet path.
+func (d *Driver) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("sailfish_driver_accepted_total", "packets accepted into node RX queues", nil,
+		d.stats.accepted.Load)
+	reg.CounterFunc("sailfish_driver_dropped_total", "packets dropped at submission", nil,
+		d.stats.dropped.Load)
+	for code := 1; code < int(numDriverDropReasons); code++ {
+		c := &d.stats.drops[code]
+		reg.CounterFunc("sailfish_driver_drops_total", "packets dropped at submission by reason",
+			metrics.Labels{"reason": driverDropName[code]}, c.Load)
+	}
+	reg.GaugeFunc("sailfish_driver_queue_capacity", "per-node RX queue capacity in batches", nil,
+		func() float64 { return float64(d.depth) })
+	for id, q := range d.queues {
+		qq := q
+		reg.GaugeFunc("sailfish_driver_queue_depth", "node RX queue occupancy in batches",
+			metrics.Labels{"node": id}, func() float64 { return float64(len(qq)) })
+	}
+	reg.GaugeFunc("sailfish_driver_results_backlog", "undrained packet outcomes", nil,
+		func() float64 { return float64(len(d.results)) })
+}
+
 // Close stops the workers after draining queued packets and closes the
-// results channel.
+// results channel. Submissions racing Close are rejected (counted as
+// driver_closed drops) rather than panicking; Close is idempotent, though
+// only the first call waits for the drain.
 func (d *Driver) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	// Every submitter that saw closed==false has finished its send (the
+	// write lock above waited them out), and every later one rejects, so
+	// closing the queues cannot race a send.
 	for _, q := range d.queues {
 		close(q)
 	}

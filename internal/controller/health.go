@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sailfish/internal/cluster"
+	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/probe"
 	"sailfish/internal/telemetry"
@@ -119,6 +121,15 @@ type Monitor struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	// Live observability (see metrics.go). The node-state counts and the
+	// per-tick snapshot are atomics so scrapes never contend with mu.
+	reg      *metrics.Registry
+	ticks    atomic.Uint64
+	healthyN atomic.Uint64
+	suspectN atomic.Uint64
+	failedN  atomic.Uint64
+	lastSnap atomic.Pointer[TickSnapshot]
 }
 
 type beatsCache struct {
@@ -273,6 +284,9 @@ func (m *Monitor) Tick(now time.Time) {
 	for _, cl := range m.ctrl.region.Clusters {
 		m.decideCluster(cl.ID, now)
 	}
+
+	m.ticks.Add(1)
+	m.publishTickLocked(now)
 }
 
 // liveFraction returns the monitor-visible live fraction of one side of a

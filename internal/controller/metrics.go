@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"sailfish/internal/metrics"
+)
+
+// The monitor's observability surface: a per-beat control-plane snapshot
+// (water levels, backup/degraded modes, node-state counts) published as
+// atomics so the admin plane reads a coherent picture of the last completed
+// Tick without ever taking the monitor lock.
+
+// TickSnapshot is the control-plane state captured at the end of one
+// heartbeat round. Unlike the live gauges the region registers (which read
+// shared maps at scrape time), a snapshot is immutable once published, so it
+// is safe to read from any goroutine while the next round runs.
+type TickSnapshot struct {
+	When        time.Time
+	WaterLevels map[int]float64
+	OnBackup    map[int]bool
+	Degraded    map[int]bool
+}
+
+// EnableMetrics publishes the monitor's counters into a live registry:
+// beat-round count, node-state population gauges, and — refreshed every
+// Tick — per-cluster water-level / on-backup / degraded gauges backed by the
+// last snapshot. Safe to call before or after Start.
+func (m *Monitor) EnableMetrics(reg *metrics.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = reg
+	reg.CounterFunc("sailfish_monitor_ticks_total", "heartbeat rounds completed", nil,
+		m.ticks.Load)
+	reg.GaugeFunc("sailfish_monitor_nodes", "nodes by monitor-visible state",
+		metrics.Labels{"state": "healthy"},
+		func() float64 { return float64(m.healthyN.Load()) })
+	reg.GaugeFunc("sailfish_monitor_nodes", "nodes by monitor-visible state",
+		metrics.Labels{"state": "suspect"},
+		func() float64 { return float64(m.suspectN.Load()) })
+	reg.GaugeFunc("sailfish_monitor_nodes", "nodes by monitor-visible state",
+		metrics.Labels{"state": "failed"},
+		func() float64 { return float64(m.failedN.Load()) })
+	// Seed the per-cluster gauges so a scrape before the first beat sees the
+	// topology rather than an empty exposition.
+	m.publishTickLocked(m.ctrl.now())
+}
+
+// publishTickLocked captures the end-of-round snapshot and (when metrics are
+// enabled) re-registers the per-cluster gauges — registration is idempotent,
+// so clusters added since the last round simply gain gauges. Callers hold
+// m.mu.
+func (m *Monitor) publishTickLocked(now time.Time) {
+	var healthy, suspect, failed uint64
+	for _, nh := range m.nodes {
+		switch nh.state {
+		case NodeSuspect:
+			suspect++
+		case NodeFailed:
+			failed++
+		default:
+			healthy++
+		}
+	}
+	m.healthyN.Store(healthy)
+	m.suspectN.Store(suspect)
+	m.failedN.Store(failed)
+
+	r := m.ctrl.region
+	snap := &TickSnapshot{
+		When:        now,
+		WaterLevels: make(map[int]float64, len(r.Clusters)),
+		OnBackup:    make(map[int]bool, len(r.Clusters)),
+		Degraded:    make(map[int]bool, len(r.Clusters)),
+	}
+	for _, cl := range r.Clusters {
+		snap.WaterLevels[cl.ID] = cl.WaterLevel()
+		snap.OnBackup[cl.ID] = r.OnBackup(cl.ID)
+		snap.Degraded[cl.ID] = r.DegradedCluster(cl.ID)
+	}
+	m.lastSnap.Store(snap)
+
+	if m.reg == nil {
+		return
+	}
+	for _, cl := range r.Clusters {
+		id := cl.ID
+		l := metrics.Labels{"cluster": fmt.Sprint(id)}
+		m.reg.GaugeFunc("sailfish_monitor_water_level",
+			"cluster water level at the last completed beat", l,
+			func() float64 {
+				if s := m.lastSnap.Load(); s != nil {
+					return s.WaterLevels[id]
+				}
+				return 0
+			})
+		m.reg.GaugeFunc("sailfish_cluster_on_backup",
+			"1 while the cluster is served by its hot-standby backup", l,
+			func() float64 {
+				if s := m.lastSnap.Load(); s != nil && s.OnBackup[id] {
+					return 1
+				}
+				return 0
+			})
+		m.reg.GaugeFunc("sailfish_cluster_degraded",
+			"1 while the cluster's traffic is steered to the XGW-x86 pool", l,
+			func() float64 {
+				if s := m.lastSnap.Load(); s != nil && s.Degraded[id] {
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
+// LastSnapshot returns the snapshot taken at the end of the most recent
+// heartbeat round, and false when no round has completed (and EnableMetrics,
+// which seeds one, has not been called).
+func (m *Monitor) LastSnapshot() (TickSnapshot, bool) {
+	if s := m.lastSnap.Load(); s != nil {
+		return *s, true
+	}
+	return TickSnapshot{}, false
+}
+
+// LastWaterLevels returns the per-cluster water levels from the most recent
+// snapshot (nil when no round has completed) — the periodic reading the
+// controller watches before "closing the sale of the cluster's resources".
+func (m *Monitor) LastWaterLevels() map[int]float64 {
+	if s := m.lastSnap.Load(); s != nil {
+		return s.WaterLevels
+	}
+	return nil
+}

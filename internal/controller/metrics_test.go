@@ -1,0 +1,79 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/metrics"
+)
+
+// The monitor's observability surface: EnableMetrics seeds a snapshot,
+// every Tick refreshes it, and the per-cluster gauges read the last
+// completed beat rather than live control-plane maps.
+func TestMonitorMetricsAndSnapshot(t *testing.T) {
+	r := smallRegion(2, 1000)
+	c := New(DefaultConfig(), r)
+	for _, te := range genTenants(2) {
+		if _, err := c.PlaceTenant(te); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewMonitor(c, HealthConfig{})
+	reg := metrics.NewRegistry()
+	m.EnableMetrics(reg)
+
+	// EnableMetrics seeds the snapshot so a scrape before the first beat
+	// already sees the topology.
+	wl := m.LastWaterLevels()
+	if len(wl) != 2 {
+		t.Fatalf("seeded water levels = %v, want 2 clusters", wl)
+	}
+	nonzero := false
+	for _, v := range wl {
+		if v > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatalf("placed tenants but all water levels zero: %v", wl)
+	}
+
+	m.Tick(time.Unix(10, 0))
+	snap, ok := m.LastSnapshot()
+	if !ok || !snap.When.Equal(time.Unix(10, 0)) {
+		t.Fatalf("snapshot = %+v, %v", snap, ok)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"sailfish_monitor_ticks_total 1",
+		`sailfish_monitor_nodes{state="healthy"} 8`, // 2 clusters x (main+backup) x 2 nodes
+		`sailfish_monitor_nodes{state="failed"} 0`,
+		`sailfish_monitor_water_level{cluster="0"}`,
+		`sailfish_cluster_on_backup{cluster="0"} 0`,
+		`sailfish_cluster_degraded{cluster="1"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The gauges follow the snapshot, not the live region: a failover is
+	// invisible until the next beat publishes it.
+	r.FailoverCluster(0)
+	m.mu.Lock()
+	m.publishTickLocked(time.Unix(11, 0))
+	m.mu.Unlock()
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sailfish_cluster_on_backup{cluster="0"} 1`) {
+		t.Fatal("on-backup gauge did not follow the published snapshot")
+	}
+}

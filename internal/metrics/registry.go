@@ -1,0 +1,359 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the live half of the package: lock-free instruments the data
+// plane increments while traffic flows, and a registry that renders them in
+// Prometheus text exposition format for the admin plane. The Series /
+// LossMeter / Histogram types above serve offline experiment reduction; the
+// types below serve the running system, so every write path is a single
+// atomic operation — no locks, no allocations — and the registry lock is
+// taken only at registration and scrape time.
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// AtomicHistogram is a fixed-bucket histogram safe for concurrent Observe:
+// the bucket array is preallocated at construction and every observation is
+// two atomic adds plus a CAS loop for the running sum, so the hot path never
+// allocates or locks.
+type AtomicHistogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf last bucket
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewAtomicHistogram returns a histogram over the given ascending upper
+// bounds.
+func NewAtomicHistogram(bounds []float64) *AtomicHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must ascend")
+		}
+	}
+	return &AtomicHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *AtomicHistogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *AtomicHistogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *AtomicHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns (bound, count) pairs; the final pair's bound is +Inf.
+// Buckets are read without a barrier, so a snapshot taken under live traffic
+// is coherent per bucket but not across buckets — fine for monitoring.
+func (h *AtomicHistogram) Snapshot() ([]float64, []uint64) {
+	b := append([]float64(nil), h.bounds...)
+	b = append(b, math.Inf(1))
+	c := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		c[i] = h.counts[i].Load()
+	}
+	return b, c
+}
+
+// DefaultLatencyBoundsNs is the stage-latency bucket layout: nanosecond
+// buckets spanning sub-100ns software stages through multi-ms stalls.
+var DefaultLatencyBoundsNs = []float64{
+	50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+	25_000, 50_000, 100_000, 250_000, 1_000_000, 10_000_000,
+}
+
+// StageHistograms bundles the fast-path stage latency histograms the
+// gateways and region observe per packet when live metrics are enabled.
+type StageHistograms struct {
+	Parse    *AtomicHistogram
+	Steer    *AtomicHistogram
+	Pipeline *AtomicHistogram
+	Rewrite  *AtomicHistogram
+}
+
+// NewStageHistograms registers the four stage histograms under name with a
+// "stage" label and returns them for direct hot-path use.
+func NewStageHistograms(r *Registry, name, help string) *StageHistograms {
+	return &StageHistograms{
+		Parse:    r.Histogram(name, help, Labels{"stage": "parse"}, DefaultLatencyBoundsNs),
+		Steer:    r.Histogram(name, help, Labels{"stage": "steer"}, DefaultLatencyBoundsNs),
+		Pipeline: r.Histogram(name, help, Labels{"stage": "pipeline"}, DefaultLatencyBoundsNs),
+		Rewrite:  r.Histogram(name, help, Labels{"stage": "rewrite"}, DefaultLatencyBoundsNs),
+	}
+}
+
+// Labels attaches dimension values to a metric.
+type Labels map[string]string
+
+// metricKind discriminates exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	kind      metricKind
+	labelStr  string // pre-rendered {k="v",...} or ""
+	counter   *Counter
+	gauge     *Gauge
+	counterFn func() uint64
+	gaugeFn   func() float64
+	hist      *AtomicHistogram
+}
+
+// family groups same-name metrics for one HELP/TYPE header.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics []*metric
+	byLabel map[string]*metric
+}
+
+// Registry holds named instruments and renders them as Prometheus text.
+// Registration is idempotent: asking for an existing (name, labels) pair
+// returns the same instrument, so periodic loops can re-register per-cluster
+// gauges as topology grows without bookkeeping.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels formats labels deterministically ({a="x",b="y"}), sorted by
+// key, so scrapes are stable across runs.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the (name, labels) slot, enforcing one kind per
+// family.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) (*metric, bool) {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byLabel: make(map[string]*metric)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered with a different kind", name))
+	}
+	ls := renderLabels(labels)
+	if m, ok := f.byLabel[ls]; ok {
+		return m, true
+	}
+	m := &metric{kind: kind, labelStr: ls}
+	f.byLabel[ls] = m
+	f.metrics = append(f.metrics, m)
+	return m, false
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, existed := r.lookup(name, help, kindCounter, labels)
+	if !existed {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, existed := r.lookup(name, help, kindGauge, labels)
+	if !existed {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own atomic
+// counters.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, _ := r.lookup(name, help, kindCounterFunc, labels)
+	m.counterFn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, _ := r.lookup(name, help, kindGaugeFunc, labels)
+	m.gaugeFn = fn
+}
+
+// Histogram returns the histogram registered under (name, labels), creating
+// it over bounds on first use.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *AtomicHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, existed := r.lookup(name, help, kindHistogram, labels)
+	if !existed {
+		m.hist = NewAtomicHistogram(bounds)
+	}
+	return m.hist
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv(v)
+}
+
+// strconv formats without trailing zeros ("%g" covers the range cleanly).
+func strconv(v float64) string { return fmt.Sprintf("%g", v) }
+
+// histLabelPrefix splices an le label into an existing label string.
+func histLabelPrefix(labelStr string) string {
+	if labelStr == "" {
+		return "{"
+	}
+	return labelStr[:len(labelStr)-1] + ","
+}
+
+// WritePrometheus renders every registered metric in text exposition format
+// (version 0.0.4). Values are read atomically at scrape time; the registry
+// lock excludes concurrent registration, not concurrent increments.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		typ := "counter"
+		switch f.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, m := range f.metrics {
+			var err error
+			switch m.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, m.labelStr, m.counter.Load())
+			case kindCounterFunc:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, m.labelStr, m.counterFn())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, m.labelStr, formatFloat(m.gauge.Load()))
+			case kindGaugeFunc:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, m.labelStr, formatFloat(m.gaugeFn()))
+			case kindHistogram:
+				err = writeHistogram(w, f.name, m)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram in cumulative-bucket form.
+func writeHistogram(w io.Writer, name string, m *metric) error {
+	bounds, counts := m.hist.Snapshot()
+	prefix := histLabelPrefix(m.labelStr)
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n",
+			name, prefix, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, m.labelStr, formatFloat(m.hist.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, m.labelStr, m.hist.Count())
+	return err
+}

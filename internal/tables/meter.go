@@ -1,6 +1,8 @@
 package tables
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sailfish/internal/netpkt"
@@ -67,17 +69,20 @@ func (m *Meter) Allow(vni netpkt.VNI, n int, now time.Time) bool {
 }
 
 // Counters is the per-tenant packet/byte counter service table, installed
-// per SLA (§3.3). It is deliberately simple: the data plane increments it on
-// the hot path, the controller reads and resets it on the slow path. Both
-// counters of a tenant share one cell so the per-packet increment costs a
-// single map lookup.
+// per SLA (§3.3). The data plane increments it on the hot path, the
+// controller reads and resets it on the slow path — and since the live
+// observability layer those happen concurrently: cell contents are atomic
+// and the lazily-grown map is guarded by an RWMutex, so the steady-state
+// per-packet cost is one read-lock plus two atomic adds (no allocation once
+// a tenant's cell exists).
 type Counters struct {
+	mu    sync.RWMutex
 	cells map[netpkt.VNI]*counterCell
 }
 
 type counterCell struct {
-	pkts  uint64
-	bytes uint64
+	pkts  atomic.Uint64
+	bytes atomic.Uint64
 }
 
 // NewCounters returns an empty counter table.
@@ -85,32 +90,49 @@ func NewCounters() *Counters {
 	return &Counters{cells: make(map[netpkt.VNI]*counterCell)}
 }
 
-// Add records one packet of n bytes for the tenant.
-func (c *Counters) Add(vni netpkt.VNI, n int) {
+// cell returns the tenant's cell, creating it on first use.
+func (c *Counters) cell(vni netpkt.VNI) *counterCell {
+	c.mu.RLock()
 	cell := c.cells[vni]
-	if cell == nil {
+	c.mu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cell = c.cells[vni]; cell == nil {
 		cell = &counterCell{}
 		c.cells[vni] = cell
 	}
-	cell.pkts++
-	cell.bytes += uint64(n)
+	return cell
+}
+
+// Add records one packet of n bytes for the tenant.
+func (c *Counters) Add(vni netpkt.VNI, n int) {
+	cell := c.cell(vni)
+	cell.pkts.Add(1)
+	cell.bytes.Add(uint64(n))
 }
 
 // Read returns the tenant's totals.
 func (c *Counters) Read(vni netpkt.VNI) (pkts, bytes uint64) {
+	c.mu.RLock()
 	cell := c.cells[vni]
+	c.mu.RUnlock()
 	if cell == nil {
 		return 0, 0
 	}
-	return cell.pkts, cell.bytes
+	return cell.pkts.Load(), cell.bytes.Load()
 }
 
 // Reset zeroes the tenant's totals, returning the values read.
 func (c *Counters) Reset(vni netpkt.VNI) (pkts, bytes uint64) {
+	c.mu.Lock()
 	cell := c.cells[vni]
+	delete(c.cells, vni)
+	c.mu.Unlock()
 	if cell == nil {
 		return 0, 0
 	}
-	delete(c.cells, vni)
-	return cell.pkts, cell.bytes
+	return cell.pkts.Load(), cell.bytes.Load()
 }

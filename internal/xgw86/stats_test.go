@@ -1,0 +1,53 @@
+package xgw86
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+)
+
+// TestStatsConcurrentWithTraffic hammers Stats and the registry exposition
+// while the fallback path forwards — checked under -race by the Makefile.
+func TestStatsConcurrentWithTraffic(t *testing.T) {
+	n := newTestNode()
+	n.Routes.Insert(42, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	n.VMNC.Insert(42, addr("192.168.0.9"), addr("10.1.1.77"))
+	reg := metrics.NewRegistry()
+	n.RegisterMetrics(reg, "x86-0")
+	raw := buildVXLAN(t, 42, "192.168.0.1", "192.168.0.9", netpkt.IPProtocolTCP, 1000, 80)
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = n.Stats().Forwarded
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	const packets = 3000
+	for i := 0; i < packets; i++ {
+		if _, err := n.ProcessFallback(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	scraper.Wait()
+	if got := n.Stats().Forwarded; got != packets {
+		t.Fatalf("forwarded = %d, want %d", got, packets)
+	}
+}

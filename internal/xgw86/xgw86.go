@@ -14,8 +14,10 @@ package xgw86
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
+	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 )
@@ -68,7 +70,7 @@ type Node struct {
 	sbuf   *netpkt.SerializeBuffer
 	rw     reencapScratch
 
-	stats Stats
+	stats nodeCounters
 }
 
 // reencapScratch holds the preallocated header layers reencap serializes
@@ -91,6 +93,16 @@ type Stats struct {
 	SessionsAlive int
 }
 
+// nodeCounters is the live atomic counter block: packet processing stays
+// single-goroutine per node, but Stats() and the /metrics scrape read these
+// while traffic flows.
+type nodeCounters struct {
+	forwarded atomic.Uint64
+	snatOut   atomic.Uint64
+	snatIn    atomic.Uint64
+	dropped   atomic.Uint64
+}
+
 // NewNode returns a node with empty tables.
 func NewNode(cfg Config) *Node {
 	if cfg.Cores <= 0 {
@@ -109,11 +121,32 @@ func NewNode(cfg Config) *Node {
 // Config returns the node's capacities.
 func (n *Node) Config() Config { return n.cfg }
 
-// Stats returns a snapshot of the behavioral counters.
+// Stats returns a snapshot of the behavioral counters. The packet counters
+// are read atomically and are safe under live traffic; SessionsAlive reads
+// the SNAT table and is only coherent from the goroutine driving the SNAT
+// path (or after it quiesces).
 func (n *Node) Stats() Stats {
-	s := n.stats
-	s.SessionsAlive = n.SNAT.Len()
-	return s
+	return Stats{
+		Forwarded:     n.stats.forwarded.Load(),
+		SNATOut:       n.stats.snatOut.Load(),
+		SNATIn:        n.stats.snatIn.Load(),
+		Dropped:       n.stats.dropped.Load(),
+		SessionsAlive: n.SNAT.Len(),
+	}
+}
+
+// RegisterMetrics publishes the node's behavioral counters into a live
+// registry under the given node label.
+func (n *Node) RegisterMetrics(reg *metrics.Registry, node string) {
+	l := metrics.Labels{"node": node}
+	reg.CounterFunc("sailfish_x86_forwarded_total", "packets forwarded by the software path", l,
+		n.stats.forwarded.Load)
+	reg.CounterFunc("sailfish_x86_snat_out_total", "outbound SNAT translations", l,
+		n.stats.snatOut.Load)
+	reg.CounterFunc("sailfish_x86_snat_in_total", "inbound SNAT recoveries", l,
+		n.stats.snatIn.Load)
+	reg.CounterFunc("sailfish_x86_dropped_total", "packets dropped by the software path", l,
+		n.stats.dropped.Load)
 }
 
 // --- Behavioral data plane ---
@@ -134,12 +167,12 @@ type FallbackResult struct {
 // (volatile routes, long-tail VMs): full software lookup and rewrite.
 func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, err
 	}
 	vni, route, err := n.Routes.Resolve(n.vpkt.VXLAN.VNI, n.vpkt.InnerDst())
 	if err != nil {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, err
 	}
 	var nc netip.Addr
@@ -148,7 +181,7 @@ func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 		var ok bool
 		nc, ok = n.VMNC.Lookup(vni, n.vpkt.InnerDst())
 		if !ok {
-			n.stats.Dropped++
+			n.stats.dropped.Add(1)
 			return FallbackResult{}, tables.ErrNoRoute
 		}
 	case tables.ScopeRemote:
@@ -163,7 +196,7 @@ func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 	if err != nil {
 		return FallbackResult{}, err
 	}
-	n.stats.Forwarded++
+	n.stats.forwarded.Add(1)
 	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
 }
 
@@ -173,18 +206,18 @@ func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 // the plain packet is emitted toward the Internet.
 func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, error) {
 	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, err
 	}
 	if !n.vpkt.HasL4 || n.vpkt.InnerIsV6 {
 		// Production SNAT is IPv4; v6 uses different prefixes entirely.
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	key := tables.SNATKey{VNI: n.vpkt.VXLAN.VNI, Flow: n.vpkt.InnerFlow()}
 	bind, err := n.SNAT.Translate(key)
 	if err != nil {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, err
 	}
 	n.SNAT.Touch(key, now)
@@ -209,7 +242,7 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 	if err := netpkt.SerializeLayers(n.sbuf, payload, layers...); err != nil {
 		return FallbackResult{}, err
 	}
-	n.stats.SNATOut++
+	n.stats.snatOut.Add(1)
 	return FallbackResult{Out: n.sbuf.Bytes(), ToInternet: true, LatencyUs: n.cfg.LatencyUs}, nil
 }
 
@@ -219,24 +252,24 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 // re-encapsulated toward the VM's NC.
 func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, error) {
 	if err := n.parser.ParsePlain(raw, &n.ppkt); err != nil {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, err
 	}
 	if !n.ppkt.HasL4 || n.ppkt.IsV6 {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	f := n.ppkt.Flow()
 	bind := tables.SNATBinding{PublicIP: f.Dst, PublicPort: f.DstPort}
 	key, ok := n.SNAT.ReverseLookup(bind, f.Src, f.SrcPort, f.Proto)
 	if !ok {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, tables.ErrNoRoute
 	}
 	n.SNAT.Touch(key, now)
 	nc, ok := n.VMNC.Lookup(key.VNI, key.Flow.Src)
 	if !ok {
-		n.stats.Dropped++
+		n.stats.dropped.Add(1)
 		return FallbackResult{}, tables.ErrNoRoute
 	}
 	// Rebuild the inner frame with the original private destination.
@@ -264,7 +297,7 @@ func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, er
 	if err != nil {
 		return FallbackResult{}, err
 	}
-	n.stats.SNATIn++
+	n.stats.snatIn.Add(1)
 	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
 }
 

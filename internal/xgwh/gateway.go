@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sailfish/internal/digest"
+	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
@@ -163,10 +164,12 @@ type Gateway struct {
 	sbuf   *netpkt.SerializeBuffer
 	rw     rewriteScratch
 
-	stats Stats
-	// drops counts dropped packets per interned reason code; the string-keyed
-	// map in Stats is materialized from it on demand.
-	drops [numDropReasons]uint64
+	// stats is the live atomic counter block (see stats.go): written by the
+	// single data-plane goroutine, readable by any goroutine at any time.
+	stats gwCounters
+	// obs, when set, receives per-stage latency observations (parse,
+	// pipeline, rewrite) into preallocated atomic histograms.
+	obs *metrics.StageHistograms
 
 	// Telemetry (vtrace-style postcards, §3.1): when enabled, packets
 	// matching the rule table produce per-hop reports to the collector.
@@ -473,16 +476,28 @@ func (g *Gateway) unitFor(vni netpkt.VNI) int {
 // ProcessPacket runs one wire packet through the gateway. now drives the
 // fallback rate limiter; pass the simulation clock.
 func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error) {
+	obs := g.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	if err := g.parser.Parse(raw, &g.pkt); err != nil {
-		g.stats.Dropped++
-		g.drops[dropParseError]++
+		g.stats.dropped.Add(1)
+		g.stats.drops[dropParseError].Add(1)
 		return ForwardResult{Action: ActionDrop, DropReason: dropReasonName[dropParseError]}, nil
+	}
+	if obs != nil {
+		obs.Parse.Observe(float64(time.Since(t0).Nanoseconds()))
+		t0 = time.Now()
 	}
 	g.ctx.Reset(&g.pkt)
 	g.now = now
 	res, err := g.device.Process(&g.ctx)
 	if err != nil {
 		return ForwardResult{}, err
+	}
+	if obs != nil {
+		obs.Pipeline.Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 
 	out := ForwardResult{
@@ -491,48 +506,54 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		LatencyNs: res.LatencyNs,
 		WireBytes: res.WireBytes,
 	}
-	g.stats.TotalBytes += uint64(g.pkt.WireLen)
-	g.stats.Units[out.Unit].Packets++
-	g.stats.Units[out.Unit].Bytes += uint64(g.pkt.WireLen)
+	g.stats.totalBytes.Add(uint64(g.pkt.WireLen))
+	g.stats.units[out.Unit].packets.Add(1)
+	g.stats.units[out.Unit].bytes.Add(uint64(g.pkt.WireLen))
 	g.counters.Add(g.pkt.VXLAN.VNI, g.pkt.WireLen)
 
 	switch {
 	case g.ctx.Drop:
 		out.Action = ActionDrop
 		out.DropReason = dropReasonName[g.ctx.DropCode]
-		g.stats.Dropped++
-		g.drops[g.ctx.DropCode]++
+		g.stats.dropped.Add(1)
+		g.stats.drops[g.ctx.DropCode].Add(1)
 		g.reportTelemetry(dropAction[g.ctx.DropCode], now)
 	case g.ctx.ToFallback:
 		if g.cfg.FallbackRateBps > 0 {
 			if !g.fbMeter.Allow(0, g.pkt.WireLen, now) {
 				out.Action = ActionDrop
 				out.DropReason = dropReasonName[dropFallbackRateLimit]
-				g.stats.Dropped++
-				g.drops[dropFallbackRateLimit]++
+				g.stats.dropped.Add(1)
+				g.stats.drops[dropFallbackRateLimit].Add(1)
 				g.reportTelemetry(dropAction[dropFallbackRateLimit], now)
 				return out, nil
 			}
 		}
 		out.Action = ActionFallback
-		g.stats.Fallback++
-		g.stats.FallbackBytes += uint64(g.pkt.WireLen)
+		g.stats.fallback.Add(1)
+		g.stats.fallbackBytes.Add(uint64(g.pkt.WireLen))
 		g.reportTelemetry("fallback", now)
 	case g.ctx.NCOK:
+		if obs != nil {
+			t0 = time.Now()
+		}
 		rewritten, rerr := g.rewrite()
 		if rerr != nil {
 			return ForwardResult{}, rerr
 		}
+		if obs != nil {
+			obs.Rewrite.Observe(float64(time.Since(t0).Nanoseconds()))
+		}
 		out.Action = ActionForward
 		out.NC = g.ctx.NCAddr
 		out.Out = rewritten
-		g.stats.Forwarded++
+		g.stats.forwarded.Add(1)
 		g.reportTelemetry("forward", now)
 	default:
 		out.Action = ActionDrop
 		out.DropReason = dropReasonName[dropNoNC]
-		g.stats.Dropped++
-		g.drops[dropNoNC]++
+		g.stats.dropped.Add(1)
+		g.stats.drops[dropNoNC].Add(1)
 		g.reportTelemetry(dropAction[dropNoNC], now)
 	}
 	return out, nil
@@ -584,22 +605,3 @@ func (g *Gateway) rewrite() ([]byte, error) {
 	return g.sbuf.Bytes(), nil
 }
 
-// Stats returns a copy of the counters. The DropReasons map is materialized
-// from the interned per-reason counters on each call (slow path only); the
-// hot path increments a fixed array.
-func (g *Gateway) Stats() Stats {
-	s := g.stats
-	s.DropReasons = make(map[string]uint64, numDropReasons)
-	for code, n := range g.drops {
-		if n > 0 {
-			s.DropReasons[dropReasonName[code]] = n
-		}
-	}
-	return s
-}
-
-// ResetStats zeroes the counters.
-func (g *Gateway) ResetStats() {
-	g.stats = Stats{}
-	g.drops = [numDropReasons]uint64{}
-}
