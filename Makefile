@@ -3,9 +3,10 @@ GO ?= go
 # Packages with concurrent control-plane loops or a live observability
 # surface (Stats/scrapes racing the data plane) get an extra -race pass.
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
-	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/...
+	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
+	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/...
 
-.PHONY: check vet build test race chaos bench bench-all fmt
+.PHONY: check vet build test race chaos bench bench-all bench-smoke fmt
 
 ## check: the full gate — vet, build, tests, and the race pass.
 check: vet build test race
@@ -39,6 +40,12 @@ bench:
 ## bench-all: the full suite — every figure/table regeneration plus the fast path.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-smoke: one iteration of every benchmark — a CI-cheap compile-and-run
+## check that the benchmarks themselves have not rotted. Not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/fastpath-bench -o /tmp/bench-smoke.json
 
 fmt:
 	gofmt -l -w .

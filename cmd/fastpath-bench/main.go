@@ -2,16 +2,23 @@
 // writes the numbers to a JSON file (default BENCH_fastpath.json) so the
 // repository carries its current performance envelope alongside the code.
 //
-// Three benchmarks run, via testing.Benchmark so the output needs no
+// Four benchmarks run, via testing.Benchmark so the output needs no
 // go-test parsing:
 //
 //   - region/forward: single-shot Region.ProcessPacket, the end-to-end
 //     behavioral fast path (steering → ECMP → folded XGW-H → rewrite);
+//   - region/forward-traced: the same single-shot path with the flight
+//     recorder (1-in-64 forward sampling) and the heavy-hitter tracker
+//     enabled — the delta against region/forward is the tracing overhead;
 //   - region/forward-batch: the same path through Region.ProcessBatch with
 //     the result slice recycled;
 //   - driver/submit-batch: Driver.SubmitBatch feeding per-node worker
 //     goroutines on a two-node cluster — the concurrent configuration whose
 //     throughput must exceed the single-shot path.
+//
+// A separate instrumented pass (not a benchmark: the per-stage clock reads
+// would distort the ns/op rows above) attaches the stage latency histograms
+// and reports p50/p99 per stage in stage_latencies_ns.
 //
 // For regression hunting, prefer benchstat over eyeballing this file:
 //
@@ -33,6 +40,9 @@ import (
 
 	sailfish "sailfish"
 	"sailfish/internal/cluster"
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/metrics"
+	"sailfish/internal/trace"
 )
 
 type entry struct {
@@ -46,15 +56,29 @@ type entry struct {
 	Note string  `json:"note,omitempty"`
 }
 
+// stageQuantile is one row of the per-stage latency profile: nearest-rank
+// p50/p99 estimates read from the PR 3 AtomicHistogram buckets, so the
+// values are bucket upper bounds, not exact sample quantiles.
+type stageQuantile struct {
+	Stage   string  `json:"stage"`
+	Samples uint64  `json:"samples"`
+	P50Ns   float64 `json:"p50_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+}
+
 type report struct {
 	// Baselines are frozen pre-optimization numbers kept for comparison:
 	// they are inputs to this file, not measured by this run.
 	Baselines []entry `json:"baselines"`
 	// Results are measured on the machine that ran `make bench`.
-	Results     []entry `json:"results"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	GoVersion   string  `json:"go_version"`
-	GeneratedBy string  `json:"generated_by"`
+	Results []entry `json:"results"`
+	// StageLatencies profiles the forward path with stage histograms
+	// attached (steer in the region front end; parse/pipeline/rewrite
+	// inside the gateway). Measured in a dedicated instrumented pass.
+	StageLatencies []stageQuantile `json:"stage_latencies_ns"`
+	GoMaxProcs     int             `json:"gomaxprocs"`
+	GoVersion      string          `json:"go_version"`
+	GeneratedBy    string          `json:"generated_by"`
 }
 
 const batchSize = 64
@@ -114,6 +138,75 @@ func benchSingleShot() entry {
 		}
 	})
 	return toEntry("region/forward", r, 1, "single-shot ProcessPacket, 1 cluster x 2 nodes")
+}
+
+// benchTraced repeats the single-shot benchmark with the PR 4 observability
+// stack live: flight recorder at the production 1-in-64 forward sampling
+// plus the SpaceSaving heavy-hitter tracker. The delta against
+// region/forward is what always-on tracing costs the fast path.
+func benchTraced() entry {
+	d, raws := newDeployment(2)
+	rec := trace.New(trace.Config{Shards: 4, SlotsPerShard: 1024, SampleShift: 6})
+	d.Region.EnableTracing(rec)
+	d.Region.EnableHeavyHitters(heavyhitter.NewTracker(1024))
+	raw := raws[0]
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := d.DeliverVXLANAt(raw, benchTime)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.GW.Action != sailfish.ActionForward {
+				b.Fatal("not forwarded")
+			}
+		}
+	})
+	return toEntry("region/forward-traced", r, 1,
+		"single-shot with flight recorder (1-in-64 sampling) + heavy-hitter tracker; delta vs region/forward is the tracing overhead")
+}
+
+// measureStages runs the forward path with the stage latency histograms
+// attached and reads back p50/p99 per stage. Kept out of the benchmark rows
+// because the per-stage clock reads inflate ns/op.
+func measureStages() []stageQuantile {
+	d, raws := newDeployment(2)
+	reg := metrics.NewRegistry()
+	sh := metrics.NewStageHistograms(reg, "bench_stage_latency_ns", "fast-path stage latency")
+	d.Region.EnableStageMetrics(sh)
+	for _, c := range d.Region.Clusters {
+		for _, n := range c.Nodes {
+			if g, ok := n.GW.(interface {
+				EnableStageMetrics(*metrics.StageHistograms)
+			}); ok {
+				g.EnableStageMetrics(sh)
+			}
+		}
+	}
+	const pkts = 100_000
+	for i := 0; i < pkts; i++ {
+		if _, err := d.DeliverVXLANAt(raws[i%len(raws)], benchTime); err != nil {
+			panic(err)
+		}
+	}
+	var out []stageQuantile
+	for _, s := range []struct {
+		name string
+		h    *metrics.AtomicHistogram
+	}{
+		{"steer", sh.Steer},
+		{"parse", sh.Parse},
+		{"pipeline", sh.Pipeline},
+		{"rewrite", sh.Rewrite},
+	} {
+		out = append(out, stageQuantile{
+			Stage:   s.name,
+			Samples: s.h.Count(),
+			P50Ns:   s.h.Quantile(0.50),
+			P99Ns:   s.h.Quantile(0.99),
+		})
+	}
+	return out
 }
 
 func benchBatch() entry {
@@ -177,11 +270,16 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GeneratedBy: "go run ./cmd/fastpath-bench",
 	}
-	for _, bench := range []func() entry{benchSingleShot, benchBatch, benchDriver} {
+	for _, bench := range []func() entry{benchSingleShot, benchTraced, benchBatch, benchDriver} {
 		e := bench()
 		fmt.Printf("%-22s %10.1f ns/op %6d B/op %4d allocs/op %12.0f pps  %s\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Pps, e.Note)
 		rep.Results = append(rep.Results, e)
+	}
+	rep.StageLatencies = measureStages()
+	for _, s := range rep.StageLatencies {
+		fmt.Printf("stage %-10s %8d samples  p50 %8.0f ns  p99 %8.0f ns\n",
+			s.Stage, s.Samples, s.P50Ns, s.P99Ns)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -8,6 +8,8 @@
 //	sailfish-ctl plan    -tenants 64 -vms 32 -capacity 2000
 //	sailfish-ctl layout  -opts a,b,c,d,e
 //	sailfish-ctl updates -days 30 -seed 2
+//	sailfish-ctl top     -admin http://127.0.0.1:9090 -coverage 0.95
+//	sailfish-ctl trace   -admin http://127.0.0.1:9090 -drops
 package main
 
 import (
@@ -38,13 +40,17 @@ func main() {
 		cmdRebalance(os.Args[2:])
 	case "export":
 		cmdExport(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace} [flags]")
 	os.Exit(2)
 }
 

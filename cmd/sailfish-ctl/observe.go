@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"sailfish/internal/adminapi"
+)
+
+// The observe subcommands are HTTP clients of a running sailfish-gw admin
+// plane: `top` renders the heavy-hitter telemetry (/topk) and `trace` the
+// flight recorder (/debug/trace, /debug/trace/drops). They share the
+// adminapi wire types with the daemon.
+
+// cmdTop fetches and renders the heavy-hitter view.
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	coverage := fs.Float64("coverage", 0.95, "residency coverage target (the 95 in 95/5)")
+	n := fs.Int("n", 10, "flows to list")
+	fs.Parse(args)
+	if err := runTop(os.Stdout, *admin, *coverage, *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// cmdTrace fetches and renders flight-recorder events, or the cumulative
+// drop tallies with -drops.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	flow := fs.String("flow", "", "filter: flow hash (hex as printed by top/trace)")
+	vni := fs.Uint("vni", 0, "filter: tenant VNI (0 = any)")
+	drops := fs.Bool("drops", false, "show the cumulative per-stage drop tallies instead of events")
+	n := fs.Int("n", 0, "cap on events returned (newest kept; 0 = all)")
+	fs.Parse(args)
+	var err error
+	if *drops && *flow == "" && *vni == 0 {
+		err = runTraceDrops(os.Stdout, *admin)
+	} else {
+		err = runTrace(os.Stdout, *admin, *flow, *vni, *drops, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// getJSON fetches one admin endpoint into out.
+func getJSON(base, path string, query url.Values, out any) error {
+	u := base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runTop renders the /topk view: residency for the coverage target, the
+// flow top-K and the per-VNI skew summary.
+func runTop(w io.Writer, admin string, coverage float64, n int) error {
+	q := url.Values{}
+	q.Set("coverage", strconv.FormatFloat(coverage, 'g', -1, 64))
+	q.Set("n", strconv.Itoa(n))
+	var tk adminapi.TopKResponse
+	if err := getJSON(admin, "/topk", q, &tk); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "observed packets: %d\n", tk.TotalPackets)
+	fmt.Fprintf(w, "hot route entries for %.1f%% coverage: %d entries carry ≥%.2f%% of traffic\n",
+		100*tk.TargetCoverage, len(tk.Routes), 100*tk.AchievedCoverage)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  VNI\tDIP\tPKTS\tERR\tSHARE")
+	for _, r := range tk.Routes {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%.2f%%\n", r.VNI, r.DIP, r.Packets, r.MaxErr, 100*r.Share)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "top %d flows:\n", len(tk.Flows))
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  VNI\tFLOW\tPKTS\tSHARE")
+	for _, f := range tk.Flows {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%.2f%%\n", f.VNI, f.FlowHash, f.Packets, 100*f.Share)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "per-VNI skew:")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  VNI\tPKTS\tBYTES\tSHARE\tHOT-SHARE")
+	for _, v := range tk.VNIs {
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%.2f%%\t%.2f%%\n", v.VNI, v.Packets, v.Bytes, 100*v.Share, 100*v.HotShare)
+	}
+	return tw.Flush()
+}
+
+// runTrace renders flight-recorder events under the given filters.
+func runTrace(w io.Writer, admin, flow string, vni uint, drops bool, n int) error {
+	q := url.Values{}
+	if flow != "" {
+		q.Set("flow", flow)
+	}
+	if vni != 0 {
+		q.Set("vni", strconv.FormatUint(uint64(vni), 10))
+	}
+	if drops {
+		q.Set("drops", "1")
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	var tr adminapi.TraceResponse
+	if err := getJSON(admin, "/debug/trace", q, &tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d events (forward sampling 1-in-%d; drops always captured)\n",
+		len(tr.Events), 1<<tr.SampleShift)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  TIME-NS\tFLOW\tVNI\tDEVICE\tSTAGE\tVERDICT\tREASON")
+	for _, ev := range tr.Events {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			ev.TimeNs, ev.FlowHash, ev.VNI, ev.Device, ev.Stage, ev.Verdict, ev.Reason)
+	}
+	return tw.Flush()
+}
+
+// runTraceDrops renders the wrap-immune cumulative drop tallies.
+func runTraceDrops(w io.Writer, admin string) error {
+	var dr adminapi.DropsResponse
+	if err := getJSON(admin, "/debug/trace/drops", nil, &dr); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STAGE\tREASON\tCOUNT")
+	for _, d := range dr.Drops {
+		fmt.Fprintf(tw, "%s\t%s\t%d\n", d.Stage, d.Reason, d.Count)
+	}
+	return tw.Flush()
+}

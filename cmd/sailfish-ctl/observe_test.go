@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sailfish/internal/adminapi"
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/trace"
+)
+
+// fakeAdmin serves a canned admin plane built from real recorder/tracker
+// state, so the client renders exactly what a live daemon would produce.
+func fakeAdmin(t *testing.T) *httptest.Server {
+	t.Helper()
+	rec := trace.New(trace.Config{Shards: 1, SlotsPerShard: 64, SampleShift: 4})
+	rec.SetReasonNames(trace.StageGateway, []string{"parse_error", "meter_exceeded"})
+	dev := rec.InternDevice("xgwh-0")
+	rec.Record(trace.Event{TimeNs: 100, FlowHash: 0xabc, VNI: 100, Dev: dev,
+		Stage: trace.StageGateway, Verdict: trace.VerdictForward})
+	rec.Record(trace.Event{TimeNs: 200, FlowHash: 0xdef, VNI: 101, Dev: dev,
+		Stage: trace.StageGateway, Verdict: trace.VerdictDrop, Code: 1})
+
+	hh := heavyhitter.NewTracker(16)
+	dip := netip.MustParseAddr("192.168.10.3")
+	for i := 0; i < 90; i++ {
+		hh.Observe(0, 100, 0xabc, dip, 100)
+	}
+	for i := 0; i < 10; i++ {
+		hh.Observe(0, 101, 0xdef, netip.MustParseAddr("192.168.11.4"), 100)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeBody(t, w, adminapi.BuildTopK(hh, 0.95, 10))
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var f trace.Filter
+		if r.URL.Query().Get("drops") == "1" {
+			f.DropsOnly = true
+		}
+		if v := r.URL.Query().Get("vni"); v != "" {
+			u, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				t.Errorf("bad vni %q", v)
+			}
+			f.MatchVNI, f.VNI = true, netpkt.VNI(u)
+		}
+		writeBody(t, w, adminapi.BuildTrace(rec, f))
+	})
+	mux.HandleFunc("/debug/trace/drops", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(t, w, adminapi.BuildDrops(rec))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func writeBody(t *testing.T, w http.ResponseWriter, v any) {
+	t.Helper()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTop renders the heavy-hitter view through the real HTTP client.
+func TestRunTop(t *testing.T) {
+	srv := fakeAdmin(t)
+	var b strings.Builder
+	if err := runTop(&b, srv.URL, 0.95, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"observed packets: 100",
+		"192.168.10.3",
+		"0x0000000000000abc",
+		"90.00%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTrace renders events and the drops tally.
+func TestRunTrace(t *testing.T) {
+	srv := fakeAdmin(t)
+	var b strings.Builder
+	if err := runTrace(&b, srv.URL, "", 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"2 events (forward sampling 1-in-16; drops always captured)",
+		"xgwh-0",
+		"forward",
+		"parse_error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := runTraceDrops(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if out := b.String(); !strings.Contains(out, "gateway") || !strings.Contains(out, "parse_error") {
+		t.Fatalf("drops output missing tally:\n%s", out)
+	}
+}
+
+// TestRunTraceBadServer surfaces non-200s as errors.
+func TestRunTraceBadServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	if err := runTrace(&strings.Builder{}, srv.URL, "zzz", 0, false, 0); err == nil {
+		t.Fatal("bad status not surfaced")
+	}
+}

@@ -1,17 +1,27 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/netip"
+	"strconv"
 
+	"sailfish/internal/adminapi"
 	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/trace"
 )
 
 // The admin plane: a loopback-friendly HTTP listener exposing the live
-// registry as Prometheus text (/metrics), a liveness probe (/healthz) and
-// the standard pprof surface (/debug/pprof/...) — all read-only views over
-// atomic counters, so scraping never perturbs the data plane.
+// registry as Prometheus text (/metrics), a liveness probe (/healthz), the
+// standard pprof surface (/debug/pprof/...), the flight recorder
+// (/debug/trace, /debug/trace/drops), heavy-hitter telemetry (/topk) and
+// the Vtrace loss-localization view (/vtrace, /vtrace/rule) — all read-only
+// views over atomic counters and lock-free rings (rule installs are
+// copy-on-write), so scraping never perturbs the data plane.
 
 // registerMetrics builds the daemon's live registry: gateway and software
 // node counters (including every drop reason), the fallback ratio, and the
@@ -27,10 +37,16 @@ func (s *server) registerMetrics() *metrics.Registry {
 	return reg
 }
 
+// writeJSON renders one response body; encode errors mean the client left.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone mid-reply
+}
+
 // newAdminMux mounts the admin endpoints on a private mux (pprof is wired
 // explicitly rather than through http.DefaultServeMux, so tests can run
 // several admin planes side by side).
-func newAdminMux(reg *metrics.Registry) *http.ServeMux {
+func newAdminMux(s *server, reg *metrics.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -39,6 +55,99 @@ func newAdminMux(reg *metrics.Registry) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
+
+	// Flight recorder. ?flow= takes the hex hash printed by the trace/topk
+	// views (0x-prefixed or bare), ?vni= narrows to a tenant, ?drops=1
+	// keeps only drop verdicts, ?n= caps the event count (newest kept).
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var f trace.Filter
+		if v := q.Get("flow"); v != "" {
+			h, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				http.Error(w, "bad flow: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.FlowHash, f.MatchFlow = h, true
+		}
+		if v := q.Get("vni"); v != "" {
+			u, err := strconv.ParseUint(v, 0, 32)
+			if err != nil {
+				http.Error(w, "bad vni: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.VNI, f.MatchVNI = netpkt.VNI(u), true
+		}
+		if v := q.Get("drops"); v == "1" || v == "true" {
+			f.DropsOnly = true
+		}
+		if v := q.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		writeJSON(w, adminapi.BuildTrace(s.rec, f))
+	})
+	mux.HandleFunc("/debug/trace/drops", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, adminapi.BuildDrops(s.rec))
+	})
+
+	// Heavy hitters: ?coverage= is the residency target (default 0.95, the
+	// 95 in the paper's 95/5 split); ?n= caps the flow top-K list.
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		coverage := 0.95
+		if v := q.Get("coverage"); v != "" {
+			c, err := strconv.ParseFloat(v, 64)
+			if err != nil || c < 0 || c > 1 {
+				http.Error(w, "bad coverage (want 0..1)", http.StatusBadRequest)
+				return
+			}
+			coverage = c
+		}
+		n := 10
+		if v := q.Get("n"); v != "" {
+			var err error
+			if n, err = strconv.Atoi(v); err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, adminapi.BuildTopK(s.hh, coverage, n))
+	})
+
+	// Vtrace: the collector's flow paths and loss-localization findings.
+	// The expected hop list is this daemon's single hardware box — the
+	// software node only appears on fallback paths, so it is not part of
+	// the healthy sequence.
+	mux.HandleFunc("/vtrace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, adminapi.BuildVtrace(s.matcher, s.collector, []string{"xgwh-0"}))
+	})
+	mux.HandleFunc("/vtrace/rule", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		u, err := strconv.ParseUint(q.Get("vni"), 0, 32)
+		if err != nil {
+			http.Error(w, "bad vni: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rule := telemetry.Rule{VNI: netpkt.VNI(u)}
+		resp := adminapi.VtraceRule{VNI: uint32(u)}
+		if v := q.Get("dst"); v != "" {
+			p, err := netip.ParsePrefix(v)
+			if err != nil {
+				http.Error(w, "bad dst: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			rule.Dst = p
+			resp.Dst = p.String()
+		}
+		s.matcher.Add(rule)
+		writeJSON(w, resp)
+	})
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -49,12 +158,12 @@ func newAdminMux(reg *metrics.Registry) *http.ServeMux {
 
 // startAdmin binds addr and serves the admin mux from a background
 // goroutine, returning the bound address (useful with ":0") and a closer.
-func startAdmin(addr string, reg *metrics.Registry) (net.Addr, func() error, error) {
+func startAdmin(addr string, s *server, reg *metrics.Registry) (net.Addr, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: newAdminMux(reg)}
+	srv := &http.Server{Handler: newAdminMux(s, reg)}
 	go srv.Serve(ln) //nolint:errcheck // returns on Close
 	return ln.Addr(), srv.Close, nil
 }

@@ -36,7 +36,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bound, stop, err := startAdmin("127.0.0.1:0", srv.registerMetrics())
+	bound, stop, err := startAdmin("127.0.0.1:0", srv, srv.registerMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,4 +111,103 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	if hz, _ := get("/healthz"); hz != "ok\n" {
 		t.Fatalf("/healthz = %q", hz)
 	}
+
+	// waitFor polls an endpoint until every wanted substring shows up —
+	// the UDP datagrams above are processed asynchronously by the serve
+	// loop, so the observability planes lag the writes slightly.
+	waitFor := func(path string, wants ...string) string {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			body, _ := get(path)
+			missing := ""
+			for _, w := range wants {
+				if !strings.Contains(body, w) {
+					missing = w
+					break
+				}
+			}
+			if missing == "" {
+				return body
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never showed %q; last body:\n%s", path, missing, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Install a Vtrace rule for the tenant, then send a second forward
+	// packet so the gateway emits a postcard for it.
+	if body, _ := get("/vtrace/rule?vni=100&dst=192.168.10.0/24"); !strings.Contains(body, `"dst":"192.168.10.0/24"`) {
+		t.Fatalf("/vtrace/rule = %s", body)
+	}
+	if _, err := client.Write(sbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(buf); err != nil {
+		t.Fatalf("NC socket did not receive the traced packet: %v", err)
+	}
+
+	// Two always-on drop events: a malformed datagram dies in the gateway
+	// parser, and an unknown tenant routes to the (empty) software table.
+	if _, err := client.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := netpkt.SerializeLayers(sbuf, []byte("stray"),
+		&netpkt.VXLAN{VNI: 999},
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("192.168.10.2"),
+			DstIP: netip.MustParseAddr("192.168.10.3")},
+		&netpkt.UDP{SrcPort: 5000, DstPort: 6000},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(sbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor("/debug/trace/drops",
+		`{"stage":"gateway","reason":"parse_error","count":1}`,
+		`{"stage":"fallback","reason":"no_route","count":1}`)
+	waitFor("/debug/trace?drops=1",
+		`"device":"xgwh-0"`, `"verdict":"drop"`, `"reason":"parse_error"`,
+		`"device":"xgw86-0"`, `"reason":"no_route"`)
+	if body, _ := get("/debug/trace?drops=1&vni=999"); !strings.Contains(body, `"reason":"no_route"`) ||
+		strings.Contains(body, "parse_error") {
+		t.Fatalf("/debug/trace vni filter broken:\n%s", body)
+	}
+	if _, code := getStatus(t, bound, "/debug/trace?flow=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad flow filter accepted (status %d)", code)
+	}
+
+	// Heavy hitters: three parseable datagrams were observed (the malformed
+	// one never passes the front parse), and the forward flow's route entry
+	// qualifies for residency.
+	waitFor("/topk",
+		`"totalPackets":3`, `"dip":"192.168.10.3"`, `"vni":100`)
+
+	// Vtrace: the traced flow's path shows the forward postcard, and the
+	// rule install is listed.
+	waitFor("/vtrace",
+		`{"vni":100,"dst":"192.168.10.0/24"}`,
+		`"src":"192.168.10.2"`, `"action":"forward"`, `"device":"xgwh-0"`)
+}
+
+// getStatus fetches a path and returns body + status code without failing
+// on non-200s.
+func getStatus(t *testing.T, bound net.Addr, path string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", bound, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
 }

@@ -25,10 +25,13 @@ import (
 	"os"
 	"time"
 
+	"sailfish/internal/heavyhitter"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/pcap"
 	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
+	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
 	"sailfish/internal/xgwh"
 )
@@ -92,7 +95,7 @@ func main() {
 			log.Printf("sailfish-gw: capturing to %s", *pcapPath)
 		}
 		if *adminAddr != "" {
-			bound, stop, err := startAdmin(*adminAddr, gw.registerMetrics())
+			bound, stop, err := startAdmin(*adminAddr, gw, gw.registerMetrics())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -120,6 +123,13 @@ type server struct {
 	// pcap, when set, captures every synthesized ingress frame and every
 	// rewritten egress frame.
 	pcap *pcap.Writer
+	// Observability planes, all wired at construction: the flight recorder
+	// (both gateways emit into it), the heavy-hitter tracker (fed per
+	// datagram from handle), and the Vtrace matcher/collector pair.
+	rec       *trace.Recorder
+	hh        *heavyhitter.Tracker
+	matcher   *telemetry.Matcher
+	collector *telemetry.Collector
 }
 
 func newServer(fc fileConfig) (*server, error) {
@@ -137,7 +147,16 @@ func newServer(fc fileConfig) (*server, error) {
 		x86:      xgw86.NewNode(x86cfg),
 		underlay: make(map[netip.Addr]*net.UDPAddr),
 		sbuf:     netpkt.NewSerializeBuffer(128, 4096),
+
+		// 1-in-64 deterministic flow sampling; drops are always captured.
+		rec:       trace.New(trace.Config{Shards: 8, SlotsPerShard: 4096, SampleShift: 6}),
+		hh:        heavyhitter.NewTracker(1024),
+		matcher:   telemetry.NewMatcher(),
+		collector: telemetry.NewCollector(),
 	}
+	s.gw.EnableTracing(s.rec, "xgwh-0")
+	s.x86.EnableTracing(s.rec, "xgw86-0")
+	s.gw.EnableTelemetry("xgwh-0", s.matcher, s.collector)
 	for nc, addr := range fc.Underlay {
 		ip, err := netip.ParseAddr(nc)
 		if err != nil {
@@ -226,6 +245,12 @@ func (s *server) handle(payload []byte) error {
 			return err
 		}
 	}
+	// Feed the heavy-hitter tracker from the front parse, as the region
+	// front end does (this daemon is one box, so cluster 0).
+	var fm netpkt.FrontMeta
+	if perr := netpkt.ParseFront(frame, &fm); perr == nil {
+		s.hh.Observe(0, fm.VNI, fm.Flow.FastHash(), fm.Flow.Dst, fm.WireLen)
+	}
 	res, err := s.gw.ProcessPacket(frame, time.Now())
 	if err != nil {
 		return err
@@ -251,7 +276,7 @@ func (s *server) handle(payload []byte) error {
 		return err
 	case xgwh.ActionFallback:
 		// HW/SW co-design: the software node completes the long tail.
-		fres, ferr := s.x86.ProcessFallback(frame)
+		fres, ferr := s.x86.ProcessFallback(frame, time.Now())
 		if ferr != nil {
 			return fmt.Errorf("software path: %w", ferr)
 		}
@@ -360,7 +385,7 @@ func runDemo(count int, adminAddr string) error {
 		return err
 	}
 	if adminAddr != "" {
-		bound, stop, err := startAdmin(adminAddr, srv.registerMetrics())
+		bound, stop, err := startAdmin(adminAddr, srv, srv.registerMetrics())
 		if err != nil {
 			return err
 		}

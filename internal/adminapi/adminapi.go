@@ -1,0 +1,235 @@
+// Package adminapi defines the JSON wire types of the sailfish-gw admin
+// plane's observability endpoints (/debug/trace, /debug/trace/drops, /topk,
+// /vtrace) and the builders that materialize them from the live recorder,
+// heavy-hitter tracker and Vtrace collector. sailfish-gw is the producer and
+// sailfish-ctl the consumer; sharing one package keeps the two from
+// drifting.
+package adminapi
+
+import (
+	"fmt"
+
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/telemetry"
+	"sailfish/internal/trace"
+)
+
+// TraceEvent is one flight-recorder record with its interned codes resolved
+// to names. FlowHash is rendered in hex — it is an identity, not a number.
+type TraceEvent struct {
+	TimeNs   int64  `json:"timeNs"`
+	FlowHash string `json:"flowHash"`
+	VNI      uint32 `json:"vni"`
+	Device   string `json:"device"`
+	Stage    string `json:"stage"`
+	Verdict  string `json:"verdict"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// TraceResponse is the /debug/trace body.
+type TraceResponse struct {
+	SampleShift uint         `json:"sampleShift"`
+	Events      []TraceEvent `json:"events"`
+}
+
+// BuildTrace snapshots the recorder under the given filter.
+func BuildTrace(rec *trace.Recorder, f trace.Filter) TraceResponse {
+	if rec == nil {
+		return TraceResponse{Events: []TraceEvent{}}
+	}
+	out := TraceResponse{SampleShift: rec.SampleShift(), Events: []TraceEvent{}}
+	for _, ev := range rec.Events(f) {
+		te := TraceEvent{
+			TimeNs:   ev.TimeNs,
+			FlowHash: fmt.Sprintf("0x%016x", ev.FlowHash),
+			VNI:      uint32(ev.VNI),
+			Device:   rec.DeviceName(ev.Dev),
+			Stage:    ev.Stage.String(),
+			Verdict:  ev.Verdict.String(),
+		}
+		if ev.Code != 0 {
+			te.Reason = rec.ReasonName(ev.Stage, ev.Code)
+		}
+		out.Events = append(out.Events, te)
+	}
+	return out
+}
+
+// DropCount is one (stage, reason) cell of the cumulative drop tally.
+type DropCount struct {
+	Stage  string `json:"stage"`
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+// DropsResponse is the /debug/trace/drops body: the wrap-immune cumulative
+// tallies, not the (bounded) ring contents.
+type DropsResponse struct {
+	Drops []DropCount `json:"drops"`
+}
+
+// BuildDrops materializes the recorder's cumulative drop tallies.
+func BuildDrops(rec *trace.Recorder) DropsResponse {
+	out := DropsResponse{Drops: []DropCount{}}
+	if rec == nil {
+		return out
+	}
+	for _, dc := range rec.DropCounts() {
+		out.Drops = append(out.Drops, DropCount{
+			Stage:  dc.Stage.String(),
+			Reason: dc.Reason,
+			Count:  dc.Count,
+		})
+	}
+	return out
+}
+
+// HotFlow is one flow of the top-K, hottest first.
+type HotFlow struct {
+	Cluster  int     `json:"cluster"`
+	VNI      uint32  `json:"vni"`
+	FlowHash string  `json:"flowHash"`
+	Packets  uint64  `json:"packets"`
+	MaxErr   uint64  `json:"maxErr"`
+	Share    float64 `json:"share"`
+}
+
+// HotRoute is one (VNI, inner-DIP) route entry that qualifies for XGW-H
+// residency under the coverage target.
+type HotRoute struct {
+	Cluster int     `json:"cluster"`
+	VNI     uint32  `json:"vni"`
+	DIP     string  `json:"dip"`
+	Packets uint64  `json:"packets"`
+	MaxErr  uint64  `json:"maxErr"`
+	Share   float64 `json:"share"`
+}
+
+// VNISkew is the water-level view of one tenant network.
+type VNISkew struct {
+	VNI      uint32  `json:"vni"`
+	Packets  uint64  `json:"packets"`
+	Bytes    uint64  `json:"bytes"`
+	Share    float64 `json:"share"`
+	HotShare float64 `json:"hotShare"`
+}
+
+// TopKResponse is the /topk body: the residency answer for the requested
+// coverage target plus the flow top-K and the per-VNI skew summary.
+type TopKResponse struct {
+	TotalPackets     uint64     `json:"totalPackets"`
+	TargetCoverage   float64    `json:"targetCoverage"`
+	AchievedCoverage float64    `json:"achievedCoverage"`
+	Routes           []HotRoute `json:"routes"`
+	Flows            []HotFlow  `json:"flows"`
+	VNIs             []VNISkew  `json:"vnis"`
+}
+
+// BuildTopK materializes the tracker's heavy-hitter views. coverage is the
+// residency target (e.g. 0.95); n bounds the flow list (0 = all tracked).
+func BuildTopK(hh *heavyhitter.Tracker, coverage float64, n int) TopKResponse {
+	res := hh.HotEntries(coverage)
+	out := TopKResponse{
+		TotalPackets:     hh.TotalPackets(),
+		TargetCoverage:   res.Target,
+		AchievedCoverage: res.Achieved,
+		Routes:           []HotRoute{},
+		Flows:            []HotFlow{},
+		VNIs:             []VNISkew{},
+	}
+	for _, e := range res.Entries {
+		out.Routes = append(out.Routes, HotRoute{
+			Cluster: e.Cluster, VNI: uint32(e.VNI), DIP: e.DIP.String(),
+			Packets: e.Packets, MaxErr: e.MaxErr, Share: e.Share,
+		})
+	}
+	for _, f := range hh.TopFlows(n) {
+		out.Flows = append(out.Flows, HotFlow{
+			Cluster: f.Cluster, VNI: uint32(f.VNI),
+			FlowHash: fmt.Sprintf("0x%016x", f.FlowHash),
+			Packets:  f.Packets, MaxErr: f.MaxErr, Share: f.Share,
+		})
+	}
+	for _, s := range hh.VNISkewSummary() {
+		out.VNIs = append(out.VNIs, VNISkew{
+			VNI: uint32(s.VNI), Packets: s.Packets, Bytes: s.Bytes,
+			Share: s.Share, HotShare: s.HotShare,
+		})
+	}
+	return out
+}
+
+// VtraceRule is one installed match rule.
+type VtraceRule struct {
+	VNI uint32 `json:"vni"`
+	Dst string `json:"dst,omitempty"` // empty = the whole VNI
+}
+
+// VtraceHop is one device postcard.
+type VtraceHop struct {
+	Device string `json:"device"`
+	Seq    uint64 `json:"seq"`
+	Action string `json:"action"`
+	TimeNs int64  `json:"timeNs"`
+}
+
+// VtraceFlow is a traced flow's reconstructed path.
+type VtraceFlow struct {
+	VNI  uint32      `json:"vni"`
+	Src  string      `json:"src"`
+	Dst  string      `json:"dst"`
+	Hops []VtraceHop `json:"hops"`
+}
+
+// VtraceFinding is one loss-localization conclusion.
+type VtraceFinding struct {
+	VNI    uint32 `json:"vni"`
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Kind   string `json:"kind"` // "drop" or "vanish"
+	Where  string `json:"where"`
+	Detail string `json:"detail"`
+}
+
+// VtraceResponse is the /vtrace body: installed rules, per-flow paths, and
+// the collector's loss-localization findings.
+type VtraceResponse struct {
+	Rules    []VtraceRule    `json:"rules"`
+	Flows    []VtraceFlow    `json:"flows"`
+	Findings []VtraceFinding `json:"findings"`
+}
+
+// BuildVtrace materializes the collector's flow-path and loss-localization
+// views. expectedHops is the healthy hop sequence used for vanish detection.
+func BuildVtrace(m *telemetry.Matcher, c *telemetry.Collector, expectedHops []string) VtraceResponse {
+	out := VtraceResponse{Rules: []VtraceRule{}, Flows: []VtraceFlow{}, Findings: []VtraceFinding{}}
+	if m == nil || c == nil {
+		return out
+	}
+	for _, r := range m.Rules() {
+		vr := VtraceRule{VNI: uint32(r.VNI)}
+		if r.Dst.IsValid() {
+			vr.Dst = r.Dst.String()
+		}
+		out.Rules = append(out.Rules, vr)
+	}
+	for _, k := range c.Flows() {
+		vf := VtraceFlow{
+			VNI: uint32(k.VNI), Src: k.Src.String(), Dst: k.Dst.String(),
+			Hops: []VtraceHop{},
+		}
+		for _, h := range c.Path(k) {
+			vf.Hops = append(vf.Hops, VtraceHop{
+				Device: h.Device, Seq: h.Seq, Action: h.Action, TimeNs: h.TimeNs,
+			})
+		}
+		out.Flows = append(out.Flows, vf)
+	}
+	for _, f := range c.Diagnose(expectedHops) {
+		out.Findings = append(out.Findings, VtraceFinding{
+			VNI: uint32(f.Flow.VNI), Src: f.Flow.Src.String(), Dst: f.Flow.Dst.String(),
+			Kind: f.Kind, Where: f.Where, Detail: f.Detail,
+		})
+	}
+	return out
+}

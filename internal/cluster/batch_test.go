@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func TestProcessBatchMatchesSingleShot(t *testing.T) {
 		raws := [][]byte{
 			buildPacket(t, 100, "192.168.0.1", "192.168.0.5"),
 			buildPacket(t, 101, "192.168.0.2", "192.168.0.5"),
-			buildPacket(t, 100, "192.168.0.3", "10.9.9.9"), // route miss → fallback
+			buildPacket(t, 100, "192.168.0.3", "10.9.9.9"),    // route miss → fallback
 			buildPacket(t, 999, "192.168.0.1", "192.168.0.5"), // unsteered VNI
 			{1, 2, 3}, // malformed
 		}
@@ -74,7 +75,7 @@ func TestProcessBatchMatchesSingleShot(t *testing.T) {
 			t.Fatalf("packet %d: result %+v, want %+v", i, got[i].Result, want[i].Result)
 		}
 	}
-	if rBatch.Stats() != rSingle.Stats() {
+	if !reflect.DeepEqual(rBatch.Stats(), rSingle.Stats()) {
 		t.Fatalf("stats diverge: batch %+v, single %+v", rBatch.Stats(), rSingle.Stats())
 	}
 }

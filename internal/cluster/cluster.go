@@ -13,12 +13,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sailfish/internal/heavyhitter"
 	"sailfish/internal/lb"
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
+	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
 	"sailfish/internal/xgwh"
 )
@@ -44,6 +46,7 @@ type Gateway interface {
 	VMCount() int
 	Stats() xgwh.Stats
 	EnableTelemetry(deviceID string, m *telemetry.Matcher, c *telemetry.Collector)
+	EnableTracing(rec *trace.Recorder, device string)
 	ALPMRouteStats() (xgwh.ALPMStats, bool)
 }
 
@@ -100,6 +103,10 @@ type Node struct {
 	// 32-entry scan. Maintained by FailPort/RestorePort.
 	livePorts [PortsPerNode]uint8
 	nLive     int
+
+	// trDev is the node's interned device id in the region's flight
+	// recorder; set by Region.EnableTracing, 0 when tracing is off.
+	trDev uint16
 }
 
 // rebuildPortCache recomputes the healthy-port index cache.
@@ -395,6 +402,16 @@ type Region struct {
 	// + steering decision). Set it via EnableStageMetrics before traffic
 	// starts — it is read without synchronization on the hot path.
 	obs *metrics.StageHistograms
+
+	// tr, when set, is the flight recorder the front end and every wired
+	// node emit into; trDev is the front end's interned device id. Like
+	// obs, set before traffic via EnableTracing — read unsynchronized.
+	tr    *trace.Recorder
+	trDev uint16
+	// hh, when set, receives one Observe per successfully steered packet —
+	// the feed behind the 95/5 HotEntries report. Set via EnableHeavyHitters
+	// before traffic.
+	hh *heavyhitter.Tracker
 }
 
 // EnableStageMetrics attaches the steer-stage latency histogram to the
@@ -402,6 +419,95 @@ type Region struct {
 // observed inside each gateway — see xgwh.Gateway.EnableStageMetrics). Call
 // before submitting traffic; pass nil to detach.
 func (r *Region) EnableStageMetrics(sh *metrics.StageHistograms) { r.obs = sh }
+
+// Front-end drop-reason codes: the interned taxonomy for packets the region
+// kills before (or while) handing them to a gateway. Same discipline as the
+// xgwh and driver taxonomies — the data plane counts into a fixed array, the
+// names materialize only on the slow path.
+const (
+	fDropNone uint8 = iota
+	fDropParseError
+	fDropNoRoute
+	fDropClusterDisabled
+	fDropNoLiveNode
+	fDropNoHealthyPort
+	fDropFallbackError
+	numFrontDropReasons
+)
+
+// frontDropName maps a front-end drop code to its stable external name.
+var frontDropName = [numFrontDropReasons]string{
+	fDropNone:            "",
+	fDropParseError:      "parse_error",
+	fDropNoRoute:         "no_route",
+	fDropClusterDisabled: "cluster_disabled",
+	fDropNoLiveNode:      "no_live_node",
+	fDropNoHealthyPort:   "no_healthy_port",
+	fDropFallbackError:   "fallback_error",
+}
+
+// FrontDropReasonNames returns the stable taxonomy of front-end drop
+// reasons, in code order.
+func FrontDropReasonNames() []string {
+	out := make([]string, 0, numFrontDropReasons-1)
+	for code := 1; code < int(numFrontDropReasons); code++ {
+		out = append(out, frontDropName[code])
+	}
+	return out
+}
+
+// EnableTracing attaches the whole region to a flight recorder: the front
+// end, every main and backup gateway, and the fallback pool get interned
+// device ids, and each subsystem's drop taxonomy is registered under its
+// stage. Call before traffic starts (and before NewDriver), like every
+// other observer hookup; pass nil to detach the front end (nodes keep their
+// last recorder — detaching mid-flight is not a supported mode).
+func (r *Region) EnableTracing(rec *trace.Recorder) {
+	r.tr = rec
+	if rec == nil {
+		return
+	}
+	r.trDev = rec.InternDevice("frontend")
+	rec.SetReasonNames(trace.StageFront, FrontDropReasonNames())
+	rec.SetReasonNames(trace.StageDriver, DriverDropReasonNames())
+	for _, c := range r.Clusters {
+		for _, half := range []*Cluster{c, c.Backup} {
+			if half == nil {
+				continue
+			}
+			for _, n := range half.Nodes {
+				n.trDev = rec.InternDevice(n.ID)
+				n.GW.EnableTracing(rec, n.ID)
+			}
+		}
+	}
+	for i, fb := range r.Fallback {
+		fb.EnableTracing(rec, fmt.Sprintf("xgw86-%d", i))
+	}
+}
+
+// EnableHeavyHitters attaches the SpaceSaving tracker every successful
+// steering decision reports into. Call before traffic starts.
+func (r *Region) EnableHeavyHitters(t *heavyhitter.Tracker) { r.hh = t }
+
+// frontDrop books a front-end drop under its interned reason and emits the
+// always-on flight-recorder event. Callers keep bumping the coarse
+// dropped/noRoute counters exactly as before — this only adds the
+// per-reason breakdown.
+func (r *Region) frontDrop(code uint8, flowHash uint64, vni netpkt.VNI, now time.Time) {
+	r.stats.frontDrops[code].Add(1)
+	if tr := r.tr; tr != nil {
+		tr.Record(trace.Event{
+			TimeNs:   now.UnixNano(),
+			FlowHash: flowHash,
+			VNI:      vni,
+			Dev:      r.trDev,
+			Stage:    trace.StageFront,
+			Verdict:  trace.VerdictDrop,
+			Code:     code,
+		})
+	}
+}
 
 // ErrClusterDisabled reports traffic steered at a cluster that has not been
 // commissioned.
@@ -416,17 +522,22 @@ type RegionStats struct {
 	// Degraded counts packets carried by the XGW-x86 pool because their
 	// cluster was in degraded mode (both main and backup impaired).
 	Degraded uint64
+	// FrontDrops breaks the front end's own kills down by interned reason
+	// (parse_error, no_route, cluster_disabled, no_live_node,
+	// no_healthy_port, fallback_error).
+	FrontDrops map[string]uint64
 }
 
 // regionCounters is the live atomic backing store for RegionStats: the
 // single-shot path, ProcessBatch, and every Driver worker/submitter
 // increment it concurrently, and Stats() reads it while traffic flows.
 type regionCounters struct {
-	forwarded atomic.Uint64
-	fallback  atomic.Uint64
-	dropped   atomic.Uint64
-	noRoute   atomic.Uint64
-	degraded  atomic.Uint64
+	forwarded  atomic.Uint64
+	fallback   atomic.Uint64
+	dropped    atomic.Uint64
+	noRoute    atomic.Uint64
+	degraded   atomic.Uint64
+	frontDrops [numFrontDropReasons]atomic.Uint64
 }
 
 // NewRegion builds a region with the given number of main clusters (each
@@ -577,18 +688,23 @@ func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
 	var fm netpkt.FrontMeta
 	if err := netpkt.ParseFront(raw, &fm); err != nil {
 		r.stats.dropped.Add(1)
+		r.frontDrop(fDropParseError, 0, 0, now)
 		return Result{}, err
 	}
 	flowHash := fm.Flow.FastHash()
 	clusterID, nodeIdx, err := r.FrontEnd.Route(fm.VNI, flowHash)
 	if err != nil {
 		r.stats.noRoute.Add(1)
+		r.frontDrop(fDropNoRoute, flowHash, fm.VNI, now)
 		return Result{}, err
 	}
 	if obs != nil {
 		obs.Steer.Observe(float64(time.Since(t0).Nanoseconds()))
 	}
-	return r.deliver(raw, flowHash, clusterID, nodeIdx, now, nil)
+	if hh := r.hh; hh != nil {
+		hh.Observe(clusterID, fm.VNI, flowHash, fm.Flow.Dst, fm.WireLen)
+	}
+	return r.deliver(raw, fm.VNI, flowHash, clusterID, nodeIdx, now, nil)
 }
 
 // clusterMemo caches one cluster's mode lookups (disabled, degraded,
@@ -602,8 +718,9 @@ type clusterMemo struct {
 }
 
 // deliver carries a routed packet into its cluster and, when steered there,
-// the XGW-x86 fallback pool. memo may be nil (single-shot path).
-func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, now time.Time, memo *clusterMemo) (Result, error) {
+// the XGW-x86 fallback pool. memo may be nil (single-shot path). vni is the
+// front parse's tenant id, carried along for flight-recorder events.
+func (r *Region) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, nodeIdx int, now time.Time, memo *clusterMemo) (Result, error) {
 	var disabled, degraded bool
 	var c *Cluster
 	if memo != nil && memo.ok && memo.clusterID == clusterID {
@@ -619,6 +736,7 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 	}
 	if disabled {
 		r.stats.dropped.Add(1)
+		r.frontDrop(fDropClusterDisabled, flowHash, vni, now)
 		return Result{}, ErrClusterDisabled
 	}
 	if degraded {
@@ -627,13 +745,15 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 		out := Result{ClusterID: clusterID}
 		if len(r.Fallback) == 0 {
 			r.stats.dropped.Add(1)
+			r.frontDrop(fDropNoLiveNode, flowHash, vni, now)
 			return out, ErrNoLiveNodes
 		}
 		r.stats.degraded.Add(1)
 		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
-		fres, ferr := fb.ProcessFallback(raw)
+		fres, ferr := fb.ProcessFallback(raw, now)
 		if ferr != nil {
 			r.stats.dropped.Add(1)
+			r.frontDrop(fDropFallbackError, flowHash, vni, now)
 			return out, ferr
 		}
 		out.GW = xgwh.ForwardResult{Action: xgwh.ActionFallback}
@@ -644,13 +764,21 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 	live := c.LiveNodes()
 	if len(live) == 0 {
 		r.stats.dropped.Add(1)
+		r.frontDrop(fDropNoLiveNode, flowHash, vni, now)
 		return Result{}, ErrNoLiveNodes
 	}
 	node := live[nodeIdx%len(live)]
 	port, ok := node.PickPort(flowHash)
 	if !ok {
 		r.stats.dropped.Add(1)
+		r.frontDrop(fDropNoHealthyPort, flowHash, vni, now)
 		return Result{}, ErrNoLiveNodes
+	}
+	if tr := r.tr; tr != nil && tr.Sampled(flowHash) {
+		// The steering hop of a sampled flow's timeline: which node the
+		// front end picked, before the gateway's own verdict event.
+		tr.Record(trace.Event{TimeNs: now.UnixNano(), FlowHash: flowHash,
+			VNI: vni, Dev: node.trDev, Stage: trace.StageFront, Verdict: trace.VerdictSteered})
 	}
 	res, err := node.GW.ProcessPacket(raw, now)
 	if err != nil {
@@ -668,9 +796,10 @@ func (r *Region) deliver(raw []byte, flowHash uint64, clusterID, nodeIdx int, no
 			return out, nil
 		}
 		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
-		fres, ferr := fb.ProcessFallback(raw)
+		fres, ferr := fb.ProcessFallback(raw, now)
 		if ferr != nil {
 			r.stats.dropped.Add(1)
+			r.frontDrop(fDropFallbackError, flowHash, vni, now)
 			return out, nil
 		}
 		out.ViaFallback = true
@@ -712,6 +841,7 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 		var fm netpkt.FrontMeta
 		if err := netpkt.ParseFront(raw, &fm); err != nil {
 			r.stats.dropped.Add(1)
+			r.frontDrop(fDropParseError, 0, 0, now)
 			out = append(out, BatchResult{Err: err})
 			continue
 		}
@@ -732,6 +862,7 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 			clusterID, nodeIdx, err = r.FrontEnd.Route(fm.VNI, flowHash)
 			if err != nil {
 				r.stats.noRoute.Add(1)
+				r.frontDrop(fDropNoRoute, flowHash, fm.VNI, now)
 				out = append(out, BatchResult{Err: err})
 				continue
 			}
@@ -741,7 +872,10 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 				steer.ok = false
 			}
 		}
-		res, err := r.deliver(raw, flowHash, clusterID, nodeIdx, now, &cmemo)
+		if hh := r.hh; hh != nil {
+			hh.Observe(clusterID, fm.VNI, flowHash, fm.Flow.Dst, fm.WireLen)
+		}
+		res, err := r.deliver(raw, fm.VNI, flowHash, clusterID, nodeIdx, now, &cmemo)
 		out = append(out, BatchResult{Result: res, Err: err})
 	}
 	return out
@@ -751,13 +885,18 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 // atomically, so the snapshot is exact per counter even while Driver workers
 // and submitters are incrementing concurrently.
 func (r *Region) Stats() RegionStats {
-	return RegionStats{
-		Forwarded: r.stats.forwarded.Load(),
-		Fallback:  r.stats.fallback.Load(),
-		Dropped:   r.stats.dropped.Load(),
-		NoRoute:   r.stats.noRoute.Load(),
-		Degraded:  r.stats.degraded.Load(),
+	s := RegionStats{
+		Forwarded:  r.stats.forwarded.Load(),
+		Fallback:   r.stats.fallback.Load(),
+		Dropped:    r.stats.dropped.Load(),
+		NoRoute:    r.stats.noRoute.Load(),
+		Degraded:   r.stats.degraded.Load(),
+		FrontDrops: make(map[string]uint64, numFrontDropReasons-1),
 	}
+	for code := 1; code < int(numFrontDropReasons); code++ {
+		s.FrontDrops[frontDropName[code]] = r.stats.frontDrops[code].Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the region counters. Safe under live traffic;
@@ -768,6 +907,9 @@ func (r *Region) ResetStats() {
 	r.stats.dropped.Store(0)
 	r.stats.noRoute.Store(0)
 	r.stats.degraded.Store(0)
+	for i := range r.stats.frontDrops {
+		r.stats.frontDrops[i].Store(0)
+	}
 }
 
 // FallbackRatio returns the share of completed packets carried by the
@@ -797,6 +939,11 @@ func (r *Region) RegisterMetrics(reg *metrics.Registry) {
 		r.stats.degraded.Load)
 	reg.GaugeFunc("sailfish_region_fallback_ratio", "fallback share of completed packets", nil,
 		r.FallbackRatio)
+	for code := 1; code < int(numFrontDropReasons); code++ {
+		c := &r.stats.frontDrops[code]
+		reg.CounterFunc("sailfish_region_front_drops_total", "front-end drops by reason",
+			metrics.Labels{"reason": frontDropName[code]}, c.Load)
+	}
 	for _, c := range r.Clusters {
 		cl := c
 		reg.GaugeFunc("sailfish_cluster_water_level", "entries over per-node capacity",

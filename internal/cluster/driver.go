@@ -7,6 +7,7 @@ import (
 
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/trace"
 	"sailfish/internal/xgwh"
 )
 
@@ -101,6 +102,11 @@ type job struct {
 	now  time.Time
 	node *Node
 	meta Result
+	// fh and vni carry the front parse's flow identity so queue-level drops
+	// (tail drop, submit-after-close) can emit flight-recorder events
+	// without reparsing the copied bytes.
+	fh  uint64
+	vni netpkt.VNI
 }
 
 type jobBatch struct {
@@ -274,35 +280,70 @@ func (d *Driver) drop(reason uint8, n uint64) {
 // front parse, steering, node and egress-port pick, all off a single flow
 // hash — copies the bytes into a pooled buffer and fills j. It returns
 // dDropNone on success or the reason the packet is unroutable (the caller
-// accounts the drop).
+// accounts the counter; route itself emits the flight-recorder drop event,
+// which is always-on, and the sampled steered event on success).
 func (d *Driver) route(raw []byte, now time.Time, j *job) uint8 {
 	var fm netpkt.FrontMeta
 	if err := netpkt.ParseFront(raw, &fm); err != nil {
+		d.traceDriverDrop(dDropParseError, 0, 0, 0, now)
 		return dDropParseError
 	}
 	flowHash := fm.Flow.FastHash()
 	clusterID, nodeIdx, err := d.region.FrontEnd.Route(fm.VNI, flowHash)
 	if err != nil {
+		d.traceDriverDrop(dDropNoRoute, flowHash, fm.VNI, 0, now)
 		return dDropNoRoute
 	}
 	if !d.region.ClusterEnabled(clusterID) {
+		d.traceDriverDrop(dDropClusterDisabled, flowHash, fm.VNI, 0, now)
 		return dDropClusterDisabled
 	}
 	c := d.region.serving(clusterID)
 	live := c.LiveNodes()
 	if len(live) == 0 {
+		d.traceDriverDrop(dDropNoLiveNode, flowHash, fm.VNI, 0, now)
 		return dDropNoLiveNode
 	}
 	node := live[nodeIdx%len(live)]
 	port, ok := node.PickPort(flowHash)
 	if !ok {
+		d.traceDriverDrop(dDropNoHealthyPort, flowHash, fm.VNI, node.trDev, now)
 		return dDropNoHealthyPort
+	}
+	if hh := d.region.hh; hh != nil {
+		hh.Observe(clusterID, fm.VNI, flowHash, fm.Flow.Dst, fm.WireLen)
+	}
+	if tr := d.region.tr; tr != nil && tr.Sampled(flowHash) {
+		tr.Record(trace.Event{TimeNs: now.UnixNano(), FlowHash: flowHash,
+			VNI: fm.VNI, Dev: node.trDev, Stage: trace.StageDriver, Verdict: trace.VerdictSteered})
 	}
 	cp := d.getBuf(len(raw))
 	copy(*cp, raw)
 	*j = job{raw: cp, now: now, node: node,
-		meta: Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port}}
+		meta: Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port},
+		fh:   flowHash, vni: fm.VNI}
 	return dDropNone
+}
+
+// traceDriverDrop emits one always-on flight-recorder drop event from the
+// submission path. No-op when tracing is off.
+func (d *Driver) traceDriverDrop(reason uint8, fh uint64, vni netpkt.VNI, dev uint16, now time.Time) {
+	if tr := d.region.tr; tr != nil {
+		tr.Record(trace.Event{TimeNs: now.UnixNano(), FlowHash: fh, VNI: vni,
+			Dev: dev, Stage: trace.StageDriver, Verdict: trace.VerdictDrop, Code: reason})
+	}
+}
+
+// traceDropBatch records drop events for every job in a batch about to be
+// recycled unprocessed (RX tail drop or submit-after-close).
+func (d *Driver) traceDropBatch(b *jobBatch, reason uint8) {
+	if d.region.tr == nil {
+		return
+	}
+	for i := range b.jobs {
+		j := &b.jobs[i]
+		d.traceDriverDrop(reason, j.fh, j.vni, j.node.trDev, j.now)
+	}
 }
 
 // Submit routes the packet and enqueues it to its node as a batch of one.
@@ -320,6 +361,7 @@ func (d *Driver) Submit(raw []byte, now time.Time) bool {
 	d.mu.RLock()
 	if d.closed {
 		d.mu.RUnlock()
+		d.traceDropBatch(b, dDropClosed)
 		d.recycle(b)
 		d.drop(dDropClosed, 1)
 		return false
@@ -331,6 +373,7 @@ func (d *Driver) Submit(raw []byte, now time.Time) bool {
 		return true
 	default:
 		d.mu.RUnlock()
+		d.traceDropBatch(b, dDropRxQueueFull)
 		d.recycle(b) // RX queue overflow: tail drop
 		d.drop(dDropRxQueueFull, 1)
 		return false
@@ -371,6 +414,7 @@ func (d *Driver) SubmitBatch(raws [][]byte, now time.Time) int {
 		d.mu.RUnlock()
 		for _, b := range s.groups {
 			n := uint64(len(b.jobs))
+			d.traceDropBatch(b, dDropClosed)
 			d.recycle(b)
 			d.drop(dDropClosed, n)
 		}
@@ -385,6 +429,7 @@ func (d *Driver) SubmitBatch(raws [][]byte, now time.Time) int {
 			accepted += n
 			d.stats.accepted.Add(uint64(n))
 		default:
+			d.traceDropBatch(b, dDropRxQueueFull)
 			d.recycle(b) // RX queue overflow: tail drop the group
 			d.drop(dDropRxQueueFull, uint64(n))
 		}

@@ -9,6 +9,7 @@ import (
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
+	"sailfish/internal/trace"
 	"sailfish/internal/xgwh"
 )
 
@@ -251,6 +252,12 @@ func (g *Gateway) EnableTelemetry(deviceID string, m *telemetry.Matcher, c *tele
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inner.EnableTelemetry(deviceID, m, c)
+}
+
+func (g *Gateway) EnableTracing(rec *trace.Recorder, device string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.EnableTracing(rec, device)
 }
 
 func (g *Gateway) ALPMRouteStats() (xgwh.ALPMStats, bool) {

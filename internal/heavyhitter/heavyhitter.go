@@ -1,0 +1,385 @@
+// Package heavyhitter measures the traffic skew that the paper's §5 "95/5"
+// placement rule depends on: at cloud scale a few percent of (VNI,
+// inner-DIP) route entries carry ~95% of traffic, so only those earn XGW-H
+// table residency while the long tail rides the x86 pool. The data plane
+// cannot afford exact per-flow counting, so this package implements the
+// SpaceSaving top-K sketch (Metwally et al., "Efficient computation of
+// frequent and top-k elements in data streams", 2005): K counters, O(1)
+// amortised per observation, with a per-entry error bound — the reported
+// estimate is always >= the true count, and (estimate - err) is always <=
+// the true count, so a controller can rank candidates with known slack.
+//
+// A Tracker wraps one flow sketch and one route-entry sketch per cluster
+// plus exact per-VNI totals (VNIs number in the thousands, not millions, so
+// exact counting is affordable there). In steady state — hot keys already
+// tracked — Observe allocates nothing, which is what lets the fast path
+// feed it while keeping its 0 allocs/op pin.
+package heavyhitter
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"sailfish/internal/netpkt"
+)
+
+// ssEntry is one monitored counter in a SpaceSaving sketch.
+type ssEntry[K comparable] struct {
+	key   K
+	count uint64 // estimated count (an overestimate)
+	err   uint64 // max overestimation carried in from the evicted entry
+}
+
+// SpaceSaving is a top-K frequency sketch over keys of type K. Not
+// concurrency-safe; Tracker provides locking.
+type SpaceSaving[K comparable] struct {
+	k       int
+	entries []ssEntry[K] // min-heap ordered by count
+	index   map[K]int    // key -> position in entries
+}
+
+// NewSpaceSaving builds a sketch tracking at most k keys.
+func NewSpaceSaving[K comparable](k int) *SpaceSaving[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving[K]{k: k, index: make(map[K]int, k)}
+}
+
+// Observe adds n occurrences of key. If the key is untracked and the sketch
+// is full, the minimum entry is evicted and its count becomes the new
+// entry's error bound — the SpaceSaving recycle step. Once the working set
+// of hot keys is resident this path performs no allocation.
+func (s *SpaceSaving[K]) Observe(key K, n uint64) {
+	if i, ok := s.index[key]; ok {
+		s.entries[i].count += n
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, ssEntry[K]{key: key, count: n})
+		s.index[key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its counter, and that old
+	// count becomes the bound on how much we may now be overestimating.
+	min := &s.entries[0]
+	delete(s.index, min.key)
+	min.err = min.count
+	min.count += n
+	min.key = key
+	s.index[key] = 0
+	s.siftDown(0)
+}
+
+// Counted is a sketch entry exported for ranking: Count >= true count and
+// Count-Err <= true count.
+type Counted[K comparable] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+}
+
+// Top returns all tracked entries, highest estimated count first.
+func (s *SpaceSaving[K]) Top() []Counted[K] {
+	out := make([]Counted[K], len(s.entries))
+	for i, e := range s.entries {
+		out[i] = Counted[K]{Key: e.key, Count: e.count, Err: e.err}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Len reports how many keys the sketch currently tracks.
+func (s *SpaceSaving[K]) Len() int { return len(s.entries) }
+
+func (s *SpaceSaving[K]) less(i, j int) bool {
+	return s.entries[i].count < s.entries[j].count
+}
+
+func (s *SpaceSaving[K]) swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.index[s.entries[i].key] = i
+	s.index[s.entries[j].key] = j
+}
+
+func (s *SpaceSaving[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving[K]) siftDown(i int) {
+	n := len(s.entries)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
+// FlowKey identifies a flow by tenant network and inner 5-tuple hash.
+type FlowKey struct {
+	VNI  netpkt.VNI
+	Hash uint64
+}
+
+// RouteKey identifies a gateway table entry: the (VNI, inner destination)
+// pair that would occupy an XGW-H slot.
+type RouteKey struct {
+	VNI netpkt.VNI
+	DIP netip.Addr
+}
+
+// clusterSketch is one cluster's view: hot flows, hot route entries, and
+// exact totals for share computation.
+type clusterSketch struct {
+	flows  *SpaceSaving[FlowKey]
+	routes *SpaceSaving[RouteKey]
+	pkts   uint64
+	bytes  uint64
+}
+
+// vniCount is an exact per-VNI tally.
+type vniCount struct {
+	pkts  uint64
+	bytes uint64
+}
+
+// Tracker is the controller-facing aggregator the steering paths feed. All
+// methods are safe for concurrent use; Observe takes one uncontended mutex
+// and, in steady state, allocates nothing.
+type Tracker struct {
+	mu       sync.Mutex
+	k        int
+	clusters map[int]*clusterSketch
+	vnis     map[netpkt.VNI]*vniCount
+	pkts     uint64
+	bytes    uint64
+}
+
+// NewTracker builds a Tracker whose per-cluster sketches hold k entries
+// each (k <= 0 defaults to 1024, comfortably above the hot-entry population
+// the 95/5 rule predicts).
+func NewTracker(k int) *Tracker {
+	if k <= 0 {
+		k = 1024
+	}
+	return &Tracker{
+		k:        k,
+		clusters: make(map[int]*clusterSketch),
+		vnis:     make(map[netpkt.VNI]*vniCount),
+	}
+}
+
+// Observe records one steered packet: which cluster it went to, its tenant
+// network, flow hash, inner destination and wire length.
+func (t *Tracker) Observe(cluster int, vni netpkt.VNI, flowHash uint64, dip netip.Addr, wireLen int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cs := t.clusters[cluster]
+	if cs == nil {
+		cs = &clusterSketch{
+			flows:  NewSpaceSaving[FlowKey](t.k),
+			routes: NewSpaceSaving[RouteKey](t.k),
+		}
+		t.clusters[cluster] = cs
+	}
+	cs.flows.Observe(FlowKey{VNI: vni, Hash: flowHash}, 1)
+	cs.routes.Observe(RouteKey{VNI: vni, DIP: dip}, 1)
+	cs.pkts++
+	cs.bytes += uint64(wireLen)
+	vc := t.vnis[vni]
+	if vc == nil {
+		vc = &vniCount{}
+		t.vnis[vni] = vc
+	}
+	vc.pkts++
+	vc.bytes += uint64(wireLen)
+	t.pkts++
+	t.bytes += uint64(wireLen)
+	t.mu.Unlock()
+}
+
+// TotalPackets reports how many observations the tracker has absorbed.
+func (t *Tracker) TotalPackets() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pkts
+}
+
+// HotFlow is one entry of the flow top-K, ranked across clusters.
+type HotFlow struct {
+	Cluster  int
+	VNI      netpkt.VNI
+	FlowHash uint64
+	Packets  uint64 // SpaceSaving estimate (>= true count)
+	MaxErr   uint64 // overestimation bound
+	Share    float64
+}
+
+// TopFlows returns up to n hot flows across every cluster, highest
+// estimated packet count first.
+func (t *Tracker) TopFlows(n int) []HotFlow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []HotFlow
+	for id, cs := range t.clusters {
+		for _, c := range cs.flows.Top() {
+			out = append(out, HotFlow{
+				Cluster:  id,
+				VNI:      c.Key.VNI,
+				FlowHash: c.Key.Hash,
+				Packets:  c.Count,
+				MaxErr:   c.Err,
+				Share:    share(c.Count, t.pkts),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Packets > out[j].Packets })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// HotEntry is a (VNI, inner-DIP) route entry that qualifies for XGW-H
+// residency.
+type HotEntry struct {
+	Cluster int
+	VNI     netpkt.VNI
+	DIP     netip.Addr
+	Packets uint64 // SpaceSaving estimate (>= true count)
+	MaxErr  uint64
+	Share   float64
+}
+
+// Residency is the controller-facing answer to "which entries deserve
+// hardware slots": the smallest prefix of the route-entry ranking whose
+// estimated cumulative share reaches Target.
+type Residency struct {
+	Target   float64    // requested traffic coverage, e.g. 0.95
+	Achieved float64    // conservative coverage of Entries: sum(est-err)/total
+	Entries  []HotEntry // descending by estimated packets
+}
+
+// HotEntries ranks route entries across clusters and cuts the list at the
+// requested coverage target (the 95 in 95/5). Achieved uses the sketch's
+// lower bounds, so it never overstates what the hot set carries.
+func (t *Tracker) HotEntries(target float64) Residency {
+	res := Residency{Target: target}
+	if t == nil {
+		return res
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pkts == 0 {
+		return res
+	}
+	var all []HotEntry
+	for id, cs := range t.clusters {
+		for _, c := range cs.routes.Top() {
+			all = append(all, HotEntry{
+				Cluster: id,
+				VNI:     c.Key.VNI,
+				DIP:     c.Key.DIP,
+				Packets: c.Count,
+				MaxErr:  c.Err,
+				Share:   share(c.Count, t.pkts),
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Packets > all[j].Packets })
+	var sure uint64
+	for _, e := range all {
+		if res.Achieved >= target && target > 0 {
+			break
+		}
+		res.Entries = append(res.Entries, e)
+		sure += e.Packets - e.MaxErr
+		res.Achieved = share(sure, t.pkts)
+	}
+	if res.Achieved > 1 {
+		res.Achieved = 1
+	}
+	return res
+}
+
+// VNISkew is the water-level view of one tenant network: how much of the
+// region's traffic it carries and how concentrated that traffic is on its
+// tracked hot route entries.
+type VNISkew struct {
+	VNI      netpkt.VNI
+	Packets  uint64
+	Bytes    uint64
+	Share    float64 // of all observed packets
+	HotShare float64 // of this VNI's packets carried by tracked hot entries
+}
+
+// VNISkewSummary returns per-VNI totals with hot-entry concentration,
+// biggest VNI first.
+func (t *Tracker) VNISkewSummary() []VNISkew {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hot := make(map[netpkt.VNI]uint64)
+	for _, cs := range t.clusters {
+		for _, c := range cs.routes.Top() {
+			hot[c.Key.VNI] += c.Count - c.Err
+		}
+	}
+	out := make([]VNISkew, 0, len(t.vnis))
+	for vni, vc := range t.vnis {
+		s := VNISkew{
+			VNI:      vni,
+			Packets:  vc.pkts,
+			Bytes:    vc.bytes,
+			Share:    share(vc.pkts, t.pkts),
+			HotShare: share(hot[vni], vc.pkts),
+		}
+		if s.HotShare > 1 {
+			s.HotShare = 1
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].VNI < out[j].VNI
+	})
+	return out
+}
+
+func share(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}

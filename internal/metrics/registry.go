@@ -88,6 +88,37 @@ func (h *AtomicHistogram) Count() uint64 { return h.total.Load() }
 // Sum returns the running sum of observed values.
 func (h *AtomicHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile returns an upper-bound estimate for the q-quantile (q ∈ [0,1])
+// under live traffic: the upper bound of the bucket containing the
+// nearest-rank observation (+Inf collapses to the last finite bound), over a
+// per-bucket-coherent snapshot — the same estimate Histogram.Quantile gives
+// for frozen data.
+func (h *AtomicHistogram) Quantile(q float64) float64 {
+	_, counts := h.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Snapshot returns (bound, count) pairs; the final pair's bound is +Inf.
 // Buckets are read without a barrier, so a snapshot taken under live traffic
 // is coherent per bucket but not across buckets — fine for monitoring.

@@ -146,3 +146,26 @@ func TestHistogramQuantileStillWorks(t *testing.T) {
 		t.Fatalf("quantile = %v", q)
 	}
 }
+
+func TestAtomicHistogramQuantile(t *testing.T) {
+	h := NewAtomicHistogram([]float64{10, 100, 1000})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(5000) // lands in the +Inf bucket
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10", got)
+	}
+	if got := h.Quantile(0.95); got != 100 {
+		t.Fatalf("p95 = %v, want 100", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %v, want last finite bound 1000", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sailfish/internal/netpkt"
 )
@@ -25,26 +26,50 @@ type Rule struct {
 
 // Matcher is the data-plane half: a small rule table every device consults
 // per packet (the "telemetry" ternary service table of the Table-4
-// workload).
+// workload). Rule installs copy-on-write behind an atomic pointer so the
+// admin plane can add rules while devices match concurrently; Match itself
+// takes no lock and allocates nothing.
 type Matcher struct {
-	rules []Rule
+	mu    sync.Mutex // serializes writers only
+	rules atomic.Pointer[[]Rule]
 }
 
 // NewMatcher returns an empty matcher.
-func NewMatcher() *Matcher { return &Matcher{} }
+func NewMatcher() *Matcher {
+	m := &Matcher{}
+	m.rules.Store(&[]Rule{})
+	return m
+}
 
 // Add installs a trace rule.
-func (m *Matcher) Add(r Rule) { m.rules = append(m.rules, r) }
+func (m *Matcher) Add(r Rule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.rules.Load()
+	next := make([]Rule, len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	m.rules.Store(&next)
+}
 
 // Clear removes all rules.
-func (m *Matcher) Clear() { m.rules = m.rules[:0] }
+func (m *Matcher) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rules.Store(&[]Rule{})
+}
 
 // Len returns the rule count.
-func (m *Matcher) Len() int { return len(m.rules) }
+func (m *Matcher) Len() int { return len(*m.rules.Load()) }
+
+// Rules returns a snapshot of the installed rules.
+func (m *Matcher) Rules() []Rule {
+	return append([]Rule(nil), *m.rules.Load()...)
+}
 
 // Match reports whether a packet (vni, inner dst) is traced.
 func (m *Matcher) Match(vni netpkt.VNI, dst netip.Addr) bool {
-	for _, r := range m.rules {
+	for _, r := range *m.rules.Load() {
 		if r.VNI != vni {
 			continue
 		}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"net/netip"
 	"strings"
+	"sync"
 	"testing"
 
 	"sailfish/internal/netpkt"
@@ -78,5 +79,48 @@ func TestDiagnoseDropAndVanish(t *testing.T) {
 	v, ok := byKind["vanish"]
 	if !ok || v.Where != "gw-0" || !strings.Contains(v.Detail, "nc-1") {
 		t.Fatalf("vanish finding = %+v", v)
+	}
+}
+
+// TestMatcherConcurrentAddMatch installs rules from one goroutine while
+// several others match — the copy-on-write table must stay race-free
+// (checked under -race by the Makefile) and never expose a torn slice.
+func TestMatcherConcurrentAddMatch(t *testing.T) {
+	m := NewMatcher()
+	dst := netip.MustParseAddr("10.0.0.7")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = m.Match(42, dst)
+				_ = m.Len()
+				_ = m.Rules()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		m.Add(Rule{VNI: netpkt.VNI(i)})
+		if i == 100 {
+			m.Clear()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := m.Len(); got != 99 {
+		t.Fatalf("rule count = %d, want 99", got)
+	}
+	if !m.Match(150, dst) {
+		t.Fatal("rule for VNI 150 not matched after concurrent install")
+	}
+	if m.Match(42, dst) {
+		t.Fatal("cleared rule for VNI 42 still matches")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
@@ -41,7 +42,7 @@ func TestStatsConcurrentWithTraffic(t *testing.T) {
 	}()
 	const packets = 3000
 	for i := 0; i < packets; i++ {
-		if _, err := n.ProcessFallback(raw); err != nil {
+		if _, err := n.ProcessFallback(raw, time.Unix(0, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}

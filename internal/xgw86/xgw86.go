@@ -20,7 +20,43 @@ import (
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
+	"sailfish/internal/trace"
 )
+
+// Drop-reason codes, interned like the xgwh taxonomy: the data plane counts
+// into a fixed array and the names only materialize on the slow path
+// (Stats, /metrics, flight-recorder queries).
+const (
+	dropNone uint8 = iota
+	dropParseError
+	dropNoRoute
+	dropNoVM
+	dropNotIPv4
+	dropSNATExhausted
+	dropNoSession
+	numDropReasons
+)
+
+// dropReasonName maps a drop code to its stable external name.
+var dropReasonName = [numDropReasons]string{
+	dropNone:          "",
+	dropParseError:    "parse_error",
+	dropNoRoute:       "no_route",
+	dropNoVM:          "no_vm",
+	dropNotIPv4:       "not_ipv4",
+	dropSNATExhausted: "snat_exhausted",
+	dropNoSession:     "no_session",
+}
+
+// DropReasonNames returns the stable taxonomy of software-path drop
+// reasons, in code order.
+func DropReasonNames() []string {
+	out := make([]string, 0, numDropReasons-1)
+	for code := 1; code < int(numDropReasons); code++ {
+		out = append(out, dropReasonName[code])
+	}
+	return out
+}
 
 // Config sets the capacities of one XGW-x86 node.
 type Config struct {
@@ -71,6 +107,12 @@ type Node struct {
 	rw     reencapScratch
 
 	stats nodeCounters
+
+	// tr, when set, receives flight-recorder events (drops always, forward
+	// verdicts by flow-hash sampling); trDev is this node's interned device
+	// id in the recorder.
+	tr    *trace.Recorder
+	trDev uint16
 }
 
 // reencapScratch holds the preallocated header layers reencap serializes
@@ -91,6 +133,9 @@ type Stats struct {
 	SNATIn        uint64
 	Dropped       uint64
 	SessionsAlive int
+	// DropReasons breaks Dropped down by interned reason; the per-reason
+	// sum equals Dropped.
+	DropReasons map[string]uint64
 }
 
 // nodeCounters is the live atomic counter block: packet processing stays
@@ -101,6 +146,7 @@ type nodeCounters struct {
 	snatOut   atomic.Uint64
 	snatIn    atomic.Uint64
 	dropped   atomic.Uint64
+	drops     [numDropReasons]atomic.Uint64
 }
 
 // NewNode returns a node with empty tables.
@@ -126,13 +172,58 @@ func (n *Node) Config() Config { return n.cfg }
 // the SNAT table and is only coherent from the goroutine driving the SNAT
 // path (or after it quiesces).
 func (n *Node) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Forwarded:     n.stats.forwarded.Load(),
 		SNATOut:       n.stats.snatOut.Load(),
 		SNATIn:        n.stats.snatIn.Load(),
 		Dropped:       n.stats.dropped.Load(),
 		SessionsAlive: n.SNAT.Len(),
+		DropReasons:   make(map[string]uint64, numDropReasons-1),
 	}
+	for code := 1; code < int(numDropReasons); code++ {
+		s.DropReasons[dropReasonName[code]] = n.stats.drops[code].Load()
+	}
+	return s
+}
+
+// EnableTracing attaches the node to a flight recorder under the given
+// device name and registers the software-path drop taxonomy. Wire before
+// traffic starts.
+func (n *Node) EnableTracing(rec *trace.Recorder, device string) {
+	n.tr = rec
+	if rec != nil {
+		n.trDev = rec.InternDevice(device)
+		rec.SetReasonNames(trace.StageFallback, DropReasonNames())
+	}
+}
+
+// traceEvent records a verdict into the flight recorder: drops always,
+// forwards only when the flow hash is sampled.
+func (n *Node) traceEvent(verdict trace.Verdict, code uint8, fh uint64, vni netpkt.VNI, now time.Time) {
+	tr := n.tr
+	if tr == nil {
+		return
+	}
+	if verdict != trace.VerdictDrop && !tr.Sampled(fh) {
+		return
+	}
+	tr.Record(trace.Event{
+		TimeNs:   now.UnixNano(),
+		FlowHash: fh,
+		VNI:      vni,
+		Dev:      n.trDev,
+		Stage:    trace.StageFallback,
+		Verdict:  verdict,
+		Code:     code,
+	})
+}
+
+// drop books one discarded packet under its interned reason and emits the
+// always-on flight-recorder event.
+func (n *Node) drop(code uint8, fh uint64, vni netpkt.VNI, now time.Time) {
+	n.stats.dropped.Add(1)
+	n.stats.drops[code].Add(1)
+	n.traceEvent(trace.VerdictDrop, code, fh, vni, now)
 }
 
 // RegisterMetrics publishes the node's behavioral counters into a live
@@ -147,6 +238,11 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, node string) {
 		n.stats.snatIn.Load)
 	reg.CounterFunc("sailfish_x86_dropped_total", "packets dropped by the software path", l,
 		n.stats.dropped.Load)
+	for code := 1; code < int(numDropReasons); code++ {
+		c := &n.stats.drops[code]
+		reg.CounterFunc("sailfish_x86_drops_total", "software-path drops by reason",
+			metrics.Labels{"node": node, "reason": dropReasonName[code]}, c.Load)
+	}
 }
 
 // --- Behavioral data plane ---
@@ -164,15 +260,19 @@ type FallbackResult struct {
 }
 
 // ProcessFallback forwards a VXLAN packet the hardware path could not
-// (volatile routes, long-tail VMs): full software lookup and rewrite.
-func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
+// (volatile routes, long-tail VMs): full software lookup and rewrite. now
+// is the caller's clock; it timestamps flight-recorder events and ages
+// SNAT sessions reached through service-scope routes.
+func (n *Node) ProcessFallback(raw []byte, now time.Time) (FallbackResult, error) {
 	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
-		n.stats.dropped.Add(1)
+		// n.vpkt holds the previous packet's fields after a failed parse, so
+		// the drop event carries no flow identity.
+		n.drop(dropParseError, 0, 0, now)
 		return FallbackResult{}, err
 	}
 	vni, route, err := n.Routes.Resolve(n.vpkt.VXLAN.VNI, n.vpkt.InnerDst())
 	if err != nil {
-		n.stats.dropped.Add(1)
+		n.drop(dropNoRoute, n.vpkt.InnerFlow().FastHash(), n.vpkt.VXLAN.VNI, now)
 		return FallbackResult{}, err
 	}
 	var nc netip.Addr
@@ -181,22 +281,21 @@ func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 		var ok bool
 		nc, ok = n.VMNC.Lookup(vni, n.vpkt.InnerDst())
 		if !ok {
-			n.stats.dropped.Add(1)
+			n.drop(dropNoVM, n.vpkt.InnerFlow().FastHash(), vni, now)
 			return FallbackResult{}, tables.ErrNoRoute
 		}
 	case tables.ScopeRemote:
 		nc = route.Tunnel
 	case tables.ScopeService:
-		// SNAT traffic reaching the generic fallback entry point; the
-		// fallback path has no caller clock, so the session ages from
-		// the zero instant until the owner sweeps with ExpireSessions.
-		return n.ProcessSNATOutbound(raw, time.Time{})
+		// SNAT traffic reaching the generic fallback entry point.
+		return n.ProcessSNATOutbound(raw, now)
 	}
 	out, err := n.reencap(n.vpkt.VXLAN.Payload(), vni, nc, n.vpkt.OuterUDP.SrcPort)
 	if err != nil {
 		return FallbackResult{}, err
 	}
 	n.stats.forwarded.Add(1)
+	n.traceEvent(trace.VerdictForward, 0, n.vpkt.InnerFlow().FastHash(), vni, now)
 	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
 }
 
@@ -206,18 +305,18 @@ func (n *Node) ProcessFallback(raw []byte) (FallbackResult, error) {
 // the plain packet is emitted toward the Internet.
 func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, error) {
 	if err := n.parser.Parse(raw, &n.vpkt); err != nil {
-		n.stats.dropped.Add(1)
+		n.drop(dropParseError, 0, 0, now)
 		return FallbackResult{}, err
 	}
 	if !n.vpkt.HasL4 || n.vpkt.InnerIsV6 {
 		// Production SNAT is IPv4; v6 uses different prefixes entirely.
-		n.stats.dropped.Add(1)
+		n.drop(dropNotIPv4, n.vpkt.InnerFlow().FastHash(), n.vpkt.VXLAN.VNI, now)
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	key := tables.SNATKey{VNI: n.vpkt.VXLAN.VNI, Flow: n.vpkt.InnerFlow()}
 	bind, err := n.SNAT.Translate(key)
 	if err != nil {
-		n.stats.dropped.Add(1)
+		n.drop(dropSNATExhausted, key.Flow.FastHash(), key.VNI, now)
 		return FallbackResult{}, err
 	}
 	n.SNAT.Touch(key, now)
@@ -243,6 +342,7 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 		return FallbackResult{}, err
 	}
 	n.stats.snatOut.Add(1)
+	n.traceEvent(trace.VerdictForward, 0, key.Flow.FastHash(), key.VNI, now)
 	return FallbackResult{Out: n.sbuf.Bytes(), ToInternet: true, LatencyUs: n.cfg.LatencyUs}, nil
 }
 
@@ -252,24 +352,24 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 // re-encapsulated toward the VM's NC.
 func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, error) {
 	if err := n.parser.ParsePlain(raw, &n.ppkt); err != nil {
-		n.stats.dropped.Add(1)
+		n.drop(dropParseError, 0, 0, now)
 		return FallbackResult{}, err
 	}
 	if !n.ppkt.HasL4 || n.ppkt.IsV6 {
-		n.stats.dropped.Add(1)
+		n.drop(dropNotIPv4, 0, 0, now)
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	f := n.ppkt.Flow()
 	bind := tables.SNATBinding{PublicIP: f.Dst, PublicPort: f.DstPort}
 	key, ok := n.SNAT.ReverseLookup(bind, f.Src, f.SrcPort, f.Proto)
 	if !ok {
-		n.stats.dropped.Add(1)
+		n.drop(dropNoSession, f.FastHash(), 0, now)
 		return FallbackResult{}, tables.ErrNoRoute
 	}
 	n.SNAT.Touch(key, now)
 	nc, ok := n.VMNC.Lookup(key.VNI, key.Flow.Src)
 	if !ok {
-		n.stats.dropped.Add(1)
+		n.drop(dropNoVM, key.Flow.FastHash(), key.VNI, now)
 		return FallbackResult{}, tables.ErrNoRoute
 	}
 	// Rebuild the inner frame with the original private destination.
@@ -298,6 +398,7 @@ func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, er
 		return FallbackResult{}, err
 	}
 	n.stats.snatIn.Add(1)
+	n.traceEvent(trace.VerdictForward, 0, key.Flow.FastHash(), key.VNI, now)
 	return FallbackResult{Out: out, NC: nc, LatencyUs: n.cfg.LatencyUs}, nil
 }
 

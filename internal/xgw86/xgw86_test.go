@@ -42,7 +42,7 @@ func TestFallbackForwarding(t *testing.T) {
 	n := newTestNode()
 	n.Routes.Insert(42, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
 	n.VMNC.Insert(42, addr("192.168.0.9"), addr("10.1.1.77"))
-	res, err := n.ProcessFallback(buildVXLAN(t, 42, "192.168.0.1", "192.168.0.9", netpkt.IPProtocolTCP, 1000, 80))
+	res, err := n.ProcessFallback(buildVXLAN(t, 42, "192.168.0.1", "192.168.0.9", netpkt.IPProtocolTCP, 1000, 80), time.Unix(0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestFallbackForwarding(t *testing.T) {
 
 func TestFallbackMissDropped(t *testing.T) {
 	n := newTestNode()
-	if _, err := n.ProcessFallback(buildVXLAN(t, 1, "192.168.0.1", "192.168.0.2", netpkt.IPProtocolUDP, 1, 2)); err == nil {
+	if _, err := n.ProcessFallback(buildVXLAN(t, 1, "192.168.0.1", "192.168.0.2", netpkt.IPProtocolUDP, 1, 2), time.Unix(0, 0)); err == nil {
 		t.Fatal("expected error on route miss")
 	}
 	if n.Stats().Dropped != 1 {
@@ -279,7 +279,7 @@ func BenchmarkFallbackForward(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.ProcessFallback(raw); err != nil {
+		if _, err := n.ProcessFallback(raw, time.Unix(0, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -418,7 +418,7 @@ func TestSNATInboundUnknownVMDropped(t *testing.T) {
 func TestFallbackRemoteScope(t *testing.T) {
 	n := newTestNode()
 	n.Routes.Insert(3, pfx("172.16.0.0/12"), tables.Route{Scope: tables.ScopeRemote, Tunnel: addr("100.64.7.7")})
-	res, err := n.ProcessFallback(buildVXLAN(t, 3, "192.168.0.1", "172.16.0.9", netpkt.IPProtocolUDP, 1, 2))
+	res, err := n.ProcessFallback(buildVXLAN(t, 3, "192.168.0.1", "172.16.0.9", netpkt.IPProtocolUDP, 1, 2), time.Unix(0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestFallbackRemoteScope(t *testing.T) {
 func TestFallbackServiceScopeRunsSNAT(t *testing.T) {
 	n := newTestNode()
 	n.Routes.Insert(4, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeService})
-	res, err := n.ProcessFallback(buildVXLAN(t, 4, "192.168.0.5", "8.8.8.8", netpkt.IPProtocolTCP, 100, 443))
+	res, err := n.ProcessFallback(buildVXLAN(t, 4, "192.168.0.5", "8.8.8.8", netpkt.IPProtocolTCP, 100, 443), time.Unix(0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +444,7 @@ func TestFallbackServiceScopeRunsSNAT(t *testing.T) {
 
 func TestFallbackGarbageDropped(t *testing.T) {
 	n := newTestNode()
-	if _, err := n.ProcessFallback([]byte{0xff}); err == nil {
+	if _, err := n.ProcessFallback([]byte{0xff}, time.Unix(0, 0)); err == nil {
 		t.Fatal("garbage accepted")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
+	"sailfish/internal/trace"
 )
 
 // Action is the gateway's verdict on a packet.
@@ -178,6 +179,12 @@ type Gateway struct {
 	telemetryCollect *telemetry.Collector
 	telemetrySeq     uint64
 
+	// tr, when set, receives flight-recorder events: every drop, plus
+	// hash-sampled forward/fallback verdicts. trDev is this node's interned
+	// device id in the recorder.
+	tr    *trace.Recorder
+	trDev uint16
+
 	// now is the current packet's clock, set by ProcessPacket for the
 	// pipeline's metering stages.
 	now time.Time
@@ -189,6 +196,41 @@ func (g *Gateway) EnableTelemetry(deviceID string, m *telemetry.Matcher, c *tele
 	g.telemetryID = deviceID
 	g.telemetryMatch = m
 	g.telemetryCollect = c
+}
+
+// EnableTracing attaches the node to a flight recorder under the given
+// device name and registers the gateway drop-reason taxonomy. Wire before
+// traffic starts; the data-plane goroutine reads g.tr without synchronizing.
+func (g *Gateway) EnableTracing(rec *trace.Recorder, device string) {
+	g.tr = rec
+	if rec != nil {
+		g.trDev = rec.InternDevice(device)
+		rec.SetReasonNames(trace.StageGateway, DropReasonNames())
+	}
+}
+
+// traceEvent records the current packet's verdict in the flight recorder:
+// always for drops, by deterministic flow-hash sampling otherwise. The flow
+// hash comes from the parse-time cache, so a traced-but-sampled-out packet
+// costs one hash and no allocation.
+func (g *Gateway) traceEvent(verdict trace.Verdict, code uint8, now time.Time) {
+	tr := g.tr
+	if tr == nil {
+		return
+	}
+	fh := g.pkt.InnerFlow().FastHash()
+	if verdict != trace.VerdictDrop && !tr.Sampled(fh) {
+		return
+	}
+	tr.Record(trace.Event{
+		TimeNs:   now.UnixNano(),
+		FlowHash: fh,
+		VNI:      g.pkt.VXLAN.VNI,
+		Dev:      g.trDev,
+		Stage:    trace.StageGateway,
+		Verdict:  verdict,
+		Code:     code,
+	})
 }
 
 // reportTelemetry emits the postcard for the current packet if traced.
@@ -484,6 +526,12 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 	if err := g.parser.Parse(raw, &g.pkt); err != nil {
 		g.stats.dropped.Add(1)
 		g.stats.drops[dropParseError].Add(1)
+		if tr := g.tr; tr != nil {
+			// g.pkt holds the previous packet's fields after a failed parse,
+			// so the event carries no flow identity — just the where and why.
+			tr.Record(trace.Event{TimeNs: now.UnixNano(), Dev: g.trDev,
+				Stage: trace.StageGateway, Verdict: trace.VerdictDrop, Code: dropParseError})
+		}
 		return ForwardResult{Action: ActionDrop, DropReason: dropReasonName[dropParseError]}, nil
 	}
 	if obs != nil {
@@ -517,6 +565,7 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		out.DropReason = dropReasonName[g.ctx.DropCode]
 		g.stats.dropped.Add(1)
 		g.stats.drops[g.ctx.DropCode].Add(1)
+		g.traceEvent(trace.VerdictDrop, g.ctx.DropCode, now)
 		g.reportTelemetry(dropAction[g.ctx.DropCode], now)
 	case g.ctx.ToFallback:
 		if g.cfg.FallbackRateBps > 0 {
@@ -525,6 +574,7 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 				out.DropReason = dropReasonName[dropFallbackRateLimit]
 				g.stats.dropped.Add(1)
 				g.stats.drops[dropFallbackRateLimit].Add(1)
+				g.traceEvent(trace.VerdictDrop, dropFallbackRateLimit, now)
 				g.reportTelemetry(dropAction[dropFallbackRateLimit], now)
 				return out, nil
 			}
@@ -532,6 +582,7 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		out.Action = ActionFallback
 		g.stats.fallback.Add(1)
 		g.stats.fallbackBytes.Add(uint64(g.pkt.WireLen))
+		g.traceEvent(trace.VerdictFallback, 0, now)
 		g.reportTelemetry("fallback", now)
 	case g.ctx.NCOK:
 		if obs != nil {
@@ -548,12 +599,14 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		out.NC = g.ctx.NCAddr
 		out.Out = rewritten
 		g.stats.forwarded.Add(1)
+		g.traceEvent(trace.VerdictForward, 0, now)
 		g.reportTelemetry("forward", now)
 	default:
 		out.Action = ActionDrop
 		out.DropReason = dropReasonName[dropNoNC]
 		g.stats.dropped.Add(1)
 		g.stats.drops[dropNoNC].Add(1)
+		g.traceEvent(trace.VerdictDrop, dropNoNC, now)
 		g.reportTelemetry(dropAction[dropNoNC], now)
 	}
 	return out, nil
@@ -604,4 +657,3 @@ func (g *Gateway) rewrite() ([]byte, error) {
 	}
 	return g.sbuf.Bytes(), nil
 }
-
