@@ -4,7 +4,8 @@ GO ?= go
 # surface (Stats/scrapes racing the data plane) get an extra -race pass.
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
 	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
-	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/...
+	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/... \
+	./internal/placement/...
 
 .PHONY: check vet build test race chaos bench bench-all bench-smoke fmt
 

@@ -2,7 +2,7 @@
 // writes the numbers to a JSON file (default BENCH_fastpath.json) so the
 // repository carries its current performance envelope alongside the code.
 //
-// Four benchmarks run, via testing.Benchmark so the output needs no
+// Five benchmarks run, via testing.Benchmark so the output needs no
 // go-test parsing:
 //
 //   - region/forward: single-shot Region.ProcessPacket, the end-to-end
@@ -14,7 +14,10 @@
 //     the result slice recycled;
 //   - driver/submit-batch: Driver.SubmitBatch feeding per-node worker
 //     goroutines on a two-node cluster — the concurrent configuration whose
-//     throughput must exceed the single-shot path.
+//     throughput must exceed the single-shot path;
+//   - placement/cycle: one promotion/demotion cycle of the §5 residency
+//     loop against the real controller while the hot set keeps shifting,
+//     so every timed cycle pays a full churn budget of table moves.
 //
 // A separate instrumented pass (not a benchmark: the per-stage clock reads
 // would distort the ns/op rows above) attaches the stage latency histograms
@@ -42,6 +45,7 @@ import (
 	"sailfish/internal/cluster"
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/metrics"
+	"sailfish/internal/placement"
 	"sailfish/internal/trace"
 )
 
@@ -255,6 +259,72 @@ func benchDriver() entry {
 		batchSize, runtime.GOMAXPROCS(0)))
 }
 
+// benchPlacementCycle times the promotion-churn path: RunCycle over four
+// software-placed tenants while a 64-key hot set shifts by 24 keys per
+// cycle, so every timed cycle drains its full churn budget (24 promotions +
+// 24 demotions) through the controller's push/evict machinery. The tracker
+// is fed outside the timed section — the row measures cycle cost, not
+// Observe cost (that overhead is region/forward-traced's job).
+func benchPlacementCycle() entry {
+	const (
+		tenants = 4
+		vmsPer  = 100
+		keys    = tenants * vmsPer
+		hotSet  = 64
+		shift   = 24
+		budget  = 2 * shift
+	)
+	d := sailfish.NewDeployment(sailfish.Options{Clusters: 1, FallbackNodes: 1})
+	dips := make([]netip.Addr, keys)
+	for ti := 0; ti < tenants; ti++ {
+		t := sailfish.Tenant{
+			VNI:    sailfish.VNI(100 + ti),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(ti), 0, 0}), 16),
+			VMs:    map[netip.Addr]netip.Addr{},
+		}
+		for vi := 0; vi < vmsPer; vi++ {
+			k := ti*vmsPer + vi
+			dips[k] = netip.AddrFrom4([4]byte{10, byte(ti), byte(vi), 2})
+			t.VMs[dips[k]] = netip.AddrFrom4([4]byte{100, 64, byte(ti), byte(vi)})
+		}
+		if _, err := d.AddTenantSoftware(t); err != nil {
+			panic(err)
+		}
+	}
+	hh := heavyhitter.NewTracker(1024)
+	loop := placement.New(placement.Config{
+		CoverageTarget: 1,
+		PromoteShare:   0.001, // 1/64 per hot key per window: all qualify
+		ChurnBudget:    budget,
+		WindowReset:    true,
+		Now:            func() time.Time { return benchTime },
+	}, d.Controller, hh)
+	feed := func(start int) {
+		for i := 0; i < hotSet; i++ {
+			k := (start + i) % keys
+			hh.Observe(0, sailfish.VNI(100+k/vmsPer), uint64(k), dips[k], 128)
+		}
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		start := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			feed(start)
+			start = (start + shift) % keys
+			b.StartTimer()
+			rep := loop.RunCycle()
+			if rep.Failed > 0 {
+				b.Fatalf("cycle %d: %d moves failed", rep.Cycle, rep.Failed)
+			}
+		}
+	})
+	return toEntry("placement/cycle", r, 1, fmt.Sprintf(
+		"RunCycle, %d-key hot set shifting %d keys/cycle over %d desired entries; "+
+			"steady state moves %d keys/cycle through the controller; pps column is cycles/sec",
+		hotSet, shift, d.Controller.DesiredEntries(), budget))
+}
+
 func main() {
 	out := flag.String("o", "BENCH_fastpath.json", "output file")
 	flag.Parse()
@@ -270,7 +340,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GeneratedBy: "go run ./cmd/fastpath-bench",
 	}
-	for _, bench := range []func() entry{benchSingleShot, benchTraced, benchBatch, benchDriver} {
+	for _, bench := range []func() entry{benchSingleShot, benchTraced, benchBatch, benchDriver, benchPlacementCycle} {
 		e := bench()
 		fmt.Printf("%-22s %10.1f ns/op %6d B/op %4d allocs/op %12.0f pps  %s\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Pps, e.Note)

@@ -44,13 +44,15 @@ func main() {
 		cmdTop(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "placement":
+		cmdPlacement(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace|placement} [flags]")
 	os.Exit(2)
 }
 

@@ -129,3 +129,57 @@ func TestRunTraceBadServer(t *testing.T) {
 		t.Fatal("bad status not surfaced")
 	}
 }
+
+// TestRunPlacement renders the residency-loop view, enabled and not.
+func TestRunPlacement(t *testing.T) {
+	resp := adminapi.PlacementResponse{
+		Enabled:        true,
+		PromoteShare:   0.0005,
+		DemoteShare:    0.000125,
+		CoverageTarget: 0.95,
+		ChurnBudget:    64,
+		Last: adminapi.PlacementCycle{
+			Cycle: 7, Promoted: 3, Demoted: 1, DeferredChurn: 2,
+			ResidentKeys: 12, ResidentEntries: 24, DesiredEntries: 404,
+			HardwareShare: 0.9991,
+		},
+		Totals: adminapi.PlacementTotals{Cycles: 7, Promotions: 15, Demotions: 3, DeferredChurn: 4},
+		Resident: []adminapi.PlacementEntry{
+			{VNI: 100, DIP: "192.168.10.3", Cluster: 0, Share: 0.42, ResidentAtNs: 1000},
+		},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/placement" {
+			http.NotFound(w, r)
+			return
+		}
+		writeBody(t, w, resp)
+	}))
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := runPlacement(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"churn budget 64/cycle",
+		"cycle 7: +3/-1 moves",
+		"12 keys, 24/404 hardware entries, ~99.91% of traffic",
+		"15 promotions, 3 demotions",
+		"192.168.10.3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("placement output missing %q:\n%s", want, out)
+		}
+	}
+
+	resp.Enabled = false
+	b.Reset()
+	if err := runPlacement(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "not enabled") {
+		t.Fatalf("disabled loop not reported:\n%s", b.String())
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"sailfish/internal/adminapi"
+)
+
+// cmdPlacement fetches and renders a daemon's residency-loop view
+// (/placement): the effective policy, the last cycle's report, lifetime
+// totals and the promoted set.
+func cmdPlacement(args []string) {
+	fs := flag.NewFlagSet("placement", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	fs.Parse(args)
+	if err := runPlacement(os.Stdout, *admin); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runPlacement(w io.Writer, admin string) error {
+	var p adminapi.PlacementResponse
+	if err := getJSON(admin, "/placement", nil, &p); err != nil {
+		return err
+	}
+	if !p.Enabled {
+		fmt.Fprintln(w, "placement: not enabled on this daemon")
+		return nil
+	}
+	fmt.Fprintf(w, "policy: promote ≥%.4f%% share, demote <%.4f%%, coverage target %.1f%%, churn budget %d/cycle\n",
+		100*p.PromoteShare, 100*p.DemoteShare, 100*p.CoverageTarget, p.ChurnBudget)
+	l := p.Last
+	fmt.Fprintf(w, "cycle %d: +%d/-%d moves (deferred: churn %d, capacity %d; failed %d)\n",
+		l.Cycle, l.Promoted, l.Demoted, l.DeferredChurn, l.DeferredCapacity, l.Failed)
+	fmt.Fprintf(w, "resident: %d keys, %d/%d hardware entries, ~%.2f%% of traffic\n",
+		l.ResidentKeys, l.ResidentEntries, l.DesiredEntries, 100*l.HardwareShare)
+	t := p.Totals
+	fmt.Fprintf(w, "lifetime: %d cycles, %d promotions, %d demotions, %d deferred (churn), %d deferred (capacity), %d failures\n",
+		t.Cycles, t.Promotions, t.Demotions, t.DeferredChurn, t.DeferredCapacity, t.Failures)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  VNI\tDIP\tCLUSTER\tSHARE\tRESIDENT-AT-NS")
+	for _, e := range p.Resident {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%.4f%%\t%d\n", e.VNI, e.DIP, e.Cluster, 100*e.Share, e.ResidentAtNs)
+	}
+	return tw.Flush()
+}

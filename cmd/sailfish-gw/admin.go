@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -34,6 +35,9 @@ func (s *server) registerMetrics() *metrics.Registry {
 	s.gw.EnableStageMetrics(metrics.NewStageHistograms(reg,
 		"sailfish_gw_stage_latency_ns",
 		"per-stage forwarding latency in nanoseconds"))
+	if s.loop != nil {
+		s.loop.RegisterMetrics(reg)
+	}
 	return reg
 }
 
@@ -102,7 +106,9 @@ func newAdminMux(s *server, reg *metrics.Registry) *http.ServeMux {
 		coverage := 0.95
 		if v := q.Get("coverage"); v != "" {
 			c, err := strconv.ParseFloat(v, 64)
-			if err != nil || c < 0 || c > 1 {
+			// NaN fails neither bound check, so test for it explicitly
+			// rather than handing a poison value to HotEntries.
+			if err != nil || math.IsNaN(c) || c < 0 || c > 1 {
 				http.Error(w, "bad coverage (want 0..1)", http.StatusBadRequest)
 				return
 			}
@@ -117,6 +123,13 @@ func newAdminMux(s *server, reg *metrics.Registry) *http.ServeMux {
 			}
 		}
 		writeJSON(w, adminapi.BuildTopK(s.hh, coverage, n))
+	})
+
+	// Residency loop: the last cycle's report, lifetime totals and the
+	// promoted set. Served (with enabled=false) even when placement is off,
+	// so clients need no probing.
+	mux.HandleFunc("/placement", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, adminapi.BuildPlacement(s.loop))
 	})
 
 	// Vtrace: the collector's flow paths and loss-localization findings.

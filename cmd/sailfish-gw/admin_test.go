@@ -211,3 +211,156 @@ func getStatus(t *testing.T, bound net.Addr, path string) (string, int) {
 	}
 	return string(body), resp.StatusCode
 }
+
+// The /topk coverage parameter is a fraction: out-of-range and non-numeric
+// poison values (NaN passes neither `< 0` nor `> 1`) must be rejected
+// before they reach the tracker.
+func TestTopKCoverageValidation(t *testing.T) {
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.conn.Close()
+	bound, stop, err := startAdmin("127.0.0.1:0", srv, srv.registerMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+
+	for _, bad := range []string{"NaN", "nan", "-0.1", "1.5", "bogus"} {
+		if body, code := getStatus(t, bound, "/topk?coverage="+bad); code != http.StatusBadRequest {
+			t.Fatalf("coverage=%s accepted (status %d): %s", bad, code, body)
+		}
+	}
+	for _, good := range []string{"0", "0.95", "1"} {
+		if body, code := getStatus(t, bound, "/topk?coverage="+good); code != http.StatusOK {
+			t.Fatalf("coverage=%s rejected (status %d): %s", good, code, body)
+		}
+	}
+}
+
+// Single-box residency end to end: a software tenant's traffic first
+// completes on the XGW-x86 path, the placement loop promotes the hot key
+// into the hardware gateway, and the /placement endpoint plus the loop's
+// metrics expose the move.
+func TestAdminPlacementEndpoint(t *testing.T) {
+	nc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	fc := fileConfig{
+		GatewayIP: "10.255.0.1",
+		Listen:    "127.0.0.1:0",
+		Underlay:  map[string]string{"10.1.1.12": nc.LocalAddr().String()},
+		SoftwareTenants: []tenantConfig{{
+			VNI: 200, Prefix: "192.168.20.0/24",
+			VMs: map[string]string{"192.168.20.3": "10.1.1.12"},
+		}},
+		Placement: &placementConfig{
+			IntervalMs:   20,
+			EntryBudget:  16,
+			PromoteShare: 0.001,
+			// Long enough that the promoted key cannot be demoted while
+			// the test polls.
+			MinResidencyMs: 60_000,
+		},
+	}
+	srv, err := newServer(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.loop == nil {
+		t.Fatal("placement stanza did not enable the loop")
+	}
+	bound, stop, err := startAdmin("127.0.0.1:0", srv, srv.registerMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.serve() //nolint:errcheck
+	}()
+	defer func() { srv.conn.Close(); <-served }()
+
+	client, err := net.DialUDP("udp", nil, srv.conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sbuf := netpkt.NewSerializeBuffer(64, 512)
+	if err := netpkt.SerializeLayers(sbuf, []byte("hot"),
+		&netpkt.VXLAN{VNI: 200},
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 64, Protocol: netpkt.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr("192.168.20.2"),
+			DstIP: netip.MustParseAddr("192.168.20.3")},
+		&netpkt.UDP{SrcPort: 5000, DstPort: 6000},
+	); err != nil {
+		t.Fatal(err)
+	}
+	send := func() {
+		t.Helper()
+		if _, err := client.Write(sbuf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 2048)
+		if _, err := nc.Read(buf); err != nil {
+			t.Fatalf("NC socket received nothing: %v", err)
+		}
+	}
+
+	// Before any cycle, the endpoint reports the loop idle but enabled, and
+	// the software path serves the tenant.
+	if body, code := getStatus(t, bound, "/placement"); code != http.StatusOK ||
+		!strings.Contains(body, `"enabled":true`) {
+		t.Fatalf("/placement = %d: %s", code, body)
+	}
+	send()
+
+	// Keep traffic flowing so cycles fire (they run between datagrams) and
+	// the hot key stays hot across measurement windows.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		send()
+		body, code := getStatus(t, bound, "/placement")
+		if code != http.StatusOK {
+			t.Fatalf("/placement status %d", code)
+		}
+		if strings.Contains(body, `"dip":"192.168.20.3"`) && strings.Contains(body, `"vni":200`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/placement never showed the promoted key; last body:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The promotion is visible in hardware (route + VM installed) and in
+	// the loop's registered metrics.
+	if srv.gw.RouteCount() == 0 || srv.gw.VMCount() == 0 {
+		t.Fatalf("promotion did not install hardware entries (routes %d, vms %d)",
+			srv.gw.RouteCount(), srv.gw.VMCount())
+	}
+	body, code := getStatus(t, bound, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"sailfish_placement_promotions_total 1",
+		"sailfish_placement_resident_keys 1",
+		"sailfish_placement_resident_entries 2",
+		"sailfish_placement_desired_entries 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/pcap"
+	"sailfish/internal/placement"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
@@ -46,6 +47,10 @@ type fileConfig struct {
 	// the volatile-table half of the §4.2 co-design. Their traffic misses
 	// in hardware and completes on the software path.
 	SoftwareTenants []tenantConfig `json:"softwareTenants"`
+	// Placement, when present, runs the 95/5 residency loop over the
+	// software tenants: hot (VNI, DIP) keys are promoted into the hardware
+	// gateway and demoted when they cool (see internal/placement).
+	Placement *placementConfig `json:"placement,omitempty"`
 }
 
 type tenantConfig struct {
@@ -130,6 +135,11 @@ type server struct {
 	hh        *heavyhitter.Tracker
 	matcher   *telemetry.Matcher
 	collector *telemetry.Collector
+	// Residency loop (nil unless the config enables placement). Cycles run
+	// from the serve goroutine between datagrams.
+	loop      *placement.Loop
+	loopEvery time.Duration
+	lastCycle time.Time
 }
 
 func newServer(fc fileConfig) (*server, error) {
@@ -208,6 +218,11 @@ func newServer(fc fileConfig) (*server, error) {
 			s.x86.VMNC.Insert(netpkt.VNI(t.VNI), vmIP, ncIP)
 		}
 	}
+	if fc.Placement != nil {
+		if err := s.enablePlacement(*fc.Placement, fc.SoftwareTenants); err != nil {
+			return nil, err
+		}
+	}
 	laddr, err := net.ResolveUDPAddr("udp", fc.Listen)
 	if err != nil {
 		return nil, err
@@ -236,6 +251,7 @@ func (s *server) serve() error {
 
 // handle processes one VXLAN datagram (VXLAN header + inner frame).
 func (s *server) handle(payload []byte) error {
+	s.maybeCycle(time.Now())
 	frame, err := s.synthesizeOuter(payload)
 	if err != nil {
 		return err

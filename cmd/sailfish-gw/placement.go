@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/placement"
+	"sailfish/internal/tables"
+	"sailfish/internal/xgwh"
+)
+
+// Single-box residency: the daemon's software tenants live in the embedded
+// XGW-x86 node's DRAM tables (the table of record); when placement is
+// enabled, the residency loop promotes their hot (VNI, DIP) keys into the
+// hardware gateway's tables and demotes them when they cool, so the box
+// behaves like a miniature 95/5 deployment. Cycles run from the serve
+// goroutine between datagrams — table mutation never races the data plane.
+
+// placementConfig is the optional "placement" stanza of the daemon config.
+type placementConfig struct {
+	// IntervalMs is the cycle cadence; default 1000.
+	IntervalMs int `json:"intervalMs"`
+	// EntryBudget caps hardware slots spent on promoted entries; default 1024.
+	EntryBudget int `json:"entryBudget"`
+	// PromoteShare / DemoteShare / CoverageTarget / ChurnBudget map onto
+	// placement.Config; zero values take that package's defaults.
+	PromoteShare   float64 `json:"promoteShare"`
+	DemoteShare    float64 `json:"demoteShare"`
+	CoverageTarget float64 `json:"coverageTarget"`
+	ChurnBudget    int     `json:"churnBudget"`
+	// MinResidencyMs shields fresh promotions from demotion; default 0.
+	MinResidencyMs int `json:"minResidencyMs"`
+}
+
+// vmKey identifies one software tenant VM.
+type vmKey struct {
+	vni netpkt.VNI
+	vm  netip.Addr
+}
+
+// boxPlane adapts the one-box daemon to placement.ControlPlane: desired
+// state is the SoftwareTenants config (mirrored in the XGW-x86 node), the
+// hardware gateway is the resident cache, and the entry budget plays the
+// cluster-capacity role.
+type boxPlane struct {
+	gw       *xgwh.Gateway
+	prefixes map[netpkt.VNI]netip.Prefix
+	vms      map[vmKey]netip.Addr
+	desired  int
+	budget   int
+
+	resident map[vmKey]bool
+	routeRef map[netpkt.VNI]int
+	used     int
+}
+
+func newBoxPlane(gw *xgwh.Gateway, tenants []tenantConfig, budget int) (*boxPlane, error) {
+	b := &boxPlane{
+		gw:       gw,
+		prefixes: make(map[netpkt.VNI]netip.Prefix),
+		vms:      make(map[vmKey]netip.Addr),
+		budget:   budget,
+		resident: make(map[vmKey]bool),
+		routeRef: make(map[netpkt.VNI]int),
+	}
+	for _, t := range tenants {
+		vni := netpkt.VNI(t.VNI)
+		p, err := netip.ParsePrefix(t.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("software tenant %d prefix: %w", t.VNI, err)
+		}
+		b.prefixes[vni] = p
+		b.desired++ // the route
+		for vm, nc := range t.VMs {
+			vmIP, err := netip.ParseAddr(vm)
+			if err != nil {
+				return nil, err
+			}
+			ncIP, err := netip.ParseAddr(nc)
+			if err != nil {
+				return nil, err
+			}
+			b.vms[vmKey{vni, vmIP}] = ncIP
+			b.desired++
+		}
+	}
+	return b, nil
+}
+
+func (b *boxPlane) PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	key := vmKey{vni, dip}
+	if b.resident[key] {
+		return 0, nil
+	}
+	nc, ok := b.vms[key]
+	if !ok {
+		return 0, fmt.Errorf("placement: no software tenant VM %v/%v", vni, dip)
+	}
+	slots := 1
+	if b.routeRef[vni] == 0 {
+		slots++
+	}
+	if b.used+slots > b.budget {
+		return 0, fmt.Errorf("placement: entry budget: %w", cluster.ErrOverCapacity)
+	}
+	if b.routeRef[vni] == 0 {
+		if err := b.gw.InstallRoute(vni, b.prefixes[vni], tables.Route{Scope: tables.ScopeLocal}); err != nil {
+			return 0, err
+		}
+	}
+	b.gw.InstallVM(vni, dip, nc)
+	b.routeRef[vni]++
+	b.resident[key] = true
+	b.used += slots
+	return slots, nil
+}
+
+func (b *boxPlane) DemoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	key := vmKey{vni, dip}
+	if !b.resident[key] {
+		return 0, nil
+	}
+	slots := 1
+	b.gw.RemoveVM(vni, dip)
+	if b.routeRef[vni]--; b.routeRef[vni] <= 0 {
+		delete(b.routeRef, vni)
+		b.gw.RemoveRoute(vni, b.prefixes[vni])
+		slots++
+	}
+	delete(b.resident, key)
+	b.used -= slots
+	return slots, nil
+}
+
+func (b *boxPlane) ClusterFill(id int) (used, capacity int, ok bool) {
+	if id != 0 {
+		return 0, 0, false
+	}
+	return b.used, b.budget, true
+}
+
+func (b *boxPlane) ResidentEntryCount() int { return b.used }
+func (b *boxPlane) DesiredEntries() int     { return b.desired }
+
+// enablePlacement wires the residency loop into the server.
+func (s *server) enablePlacement(pc placementConfig, tenants []tenantConfig) error {
+	budget := pc.EntryBudget
+	if budget <= 0 {
+		budget = 1024
+	}
+	plane, err := newBoxPlane(s.gw, tenants, budget)
+	if err != nil {
+		return err
+	}
+	interval := time.Duration(pc.IntervalMs) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.loop = placement.New(placement.Config{
+		CoverageTarget: pc.CoverageTarget,
+		PromoteShare:   pc.PromoteShare,
+		DemoteShare:    pc.DemoteShare,
+		ChurnBudget:    pc.ChurnBudget,
+		MinResidency:   time.Duration(pc.MinResidencyMs) * time.Millisecond,
+		WindowReset:    true,
+	}, plane, s.hh)
+	s.loopEvery = interval
+	return nil
+}
+
+// maybeCycle runs a residency cycle when the cadence has elapsed. It is
+// called from the serve goroutine only, between datagrams, so promotions and
+// demotions never mutate tables mid-packet.
+func (s *server) maybeCycle(now time.Time) {
+	if s.loop == nil {
+		return
+	}
+	if s.lastCycle.IsZero() {
+		s.lastCycle = now
+		return
+	}
+	if now.Sub(s.lastCycle) >= s.loopEvery {
+		s.lastCycle = now
+		s.loop.RunCycle()
+	}
+}

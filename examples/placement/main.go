@@ -1,0 +1,120 @@
+// Placement: the §5 95/5 loop end to end. Four tenants are placed in
+// residency mode (full state in the XGW-x86 pool, nothing in hardware),
+// Zipf-distributed traffic feeds the heavy-hitter tracker, and the
+// placement loop promotes the hot (VNI, DIP) keys into XGW-H under a churn
+// budget — then the hot set shifts and the loop demotes the cooled head.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"sailfish"
+
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/placement"
+)
+
+const (
+	tenants     = 4
+	vmsPer      = 100
+	keys        = tenants * vmsPer
+	windowPkts  = 50_000
+	churnBudget = 48
+)
+
+func main() {
+	d := sailfish.NewDeployment(sailfish.Options{Clusters: 1, FallbackNodes: 1})
+
+	// Residency-mode tenants: the controller mirrors the full state to the
+	// XGW-x86 pool and leaves hardware empty.
+	dip := func(key int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, byte(key / vmsPer), byte(key % vmsPer), 2})
+	}
+	for ti := 0; ti < tenants; ti++ {
+		t := sailfish.Tenant{
+			VNI:    sailfish.VNI(100 + ti),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(ti), 0, 0}), 16),
+			VMs:    map[netip.Addr]netip.Addr{},
+		}
+		for vi := 0; vi < vmsPer; vi++ {
+			key := ti*vmsPer + vi
+			t.VMs[dip(key)] = netip.AddrFrom4([4]byte{100, 64, byte(ti), byte(vi)})
+		}
+		if _, err := d.AddTenantSoftware(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("placed %d tenants software-first: %d desired entries, %d in hardware\n",
+		tenants, d.Controller.DesiredEntries(), d.Controller.ResidentEntryCount())
+
+	// The telemetry feed and the loop over the real controller.
+	hh := heavyhitter.NewTracker(1024)
+	d.Region.EnableHeavyHitters(hh)
+	loop := placement.New(placement.Config{
+		CoverageTarget: 1,
+		PromoteShare:   0.0002, // ≥10 pkts per 50k window
+		ChurnBudget:    churnBudget,
+		WindowReset:    true,
+	}, d.Controller, hh)
+
+	// Prebuilt packets, one per key; traffic is Zipf over the key space.
+	pkts := make([][]byte, keys)
+	for k := 0; k < keys; k++ {
+		raw, err := sailfish.BuildVXLAN(sailfish.VNI(100+k/vmsPer),
+			netip.AddrFrom4([4]byte{10, byte(k / vmsPer), 200, 9}), dip(k),
+			netpkt.IPProtocolTCP, 999, 80, []byte("pkt"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkts[k] = raw
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 2.2, 1, keys-1)
+	drive := func(mapKey func(int) int) {
+		for i := 0; i < windowPkts; i++ {
+			if _, err := d.DeliverVXLANAt(pkts[mapKey(int(zipf.Uint64()))], time.Unix(0, 0)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("\nwarm-up: Zipf traffic, one placement cycle per window")
+	identity := func(r int) int { return r }
+	for c := 0; c < 4; c++ {
+		drive(identity)
+		rep := loop.RunCycle()
+		fmt.Printf("  cycle %d: +%d promoted, -%d demoted (deferred churn %d), resident %d/%d entries, ~%.2f%% of traffic\n",
+			rep.Cycle, rep.Promoted, rep.Demoted, rep.DeferredChurn,
+			rep.ResidentEntries, rep.DesiredEntries, 100*rep.HardwareShare)
+	}
+
+	// Steady state: resident set frozen, measure who serves the packets.
+	d.Region.ResetStats()
+	drive(identity)
+	st := d.Region.Stats()
+	fmt.Printf("\nsteady state: %d/%d entries resident (%.1f%%), hardware served %.3f%% of packets\n",
+		d.Controller.ResidentEntryCount(), d.Controller.DesiredEntries(),
+		100*float64(d.Controller.ResidentEntryCount())/float64(d.Controller.DesiredEntries()),
+		100*d.Region.HardwareCoverage())
+	fmt.Printf("  forwarded in hardware: %d, completed by XGW-x86 pool: %d (all residency misses: %v)\n",
+		st.Forwarded, st.Fallback, st.FallbackMiss == st.Fallback)
+
+	// The hot set moves: the loop demotes the cooled head under the same
+	// churn budget while promoting the new one.
+	fmt.Println("\nhot set shifts by half the key space")
+	shifted := func(r int) int { return (r + keys/2) % keys }
+	loop.RunCycle() // close out the measured window
+	for c := 0; c < 4; c++ {
+		drive(shifted)
+		rep := loop.RunCycle()
+		fmt.Printf("  cycle %d: +%d promoted, -%d demoted, resident %d/%d entries\n",
+			rep.Cycle, rep.Promoted, rep.Demoted, rep.ResidentEntries, rep.DesiredEntries)
+	}
+	tot := loop.Snapshot().Totals
+	fmt.Printf("\nlifetime: %d cycles, %d promotions, %d demotions, %d deferred by the churn budget\n",
+		tot.Cycles, tot.Promotions, tot.Demotions, tot.DeferredChurn)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"sailfish/internal/heavyhitter"
+	"sailfish/internal/placement"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/trace"
 )
@@ -154,6 +155,92 @@ func BuildTopK(hh *heavyhitter.Tracker, coverage float64, n int) TopKResponse {
 		out.VNIs = append(out.VNIs, VNISkew{
 			VNI: uint32(s.VNI), Packets: s.Packets, Bytes: s.Bytes,
 			Share: s.Share, HotShare: s.HotShare,
+		})
+	}
+	return out
+}
+
+// PlacementEntry is one (VNI, DIP) key currently resident in XGW-H.
+type PlacementEntry struct {
+	VNI          uint32  `json:"vni"`
+	DIP          string  `json:"dip"`
+	Cluster      int     `json:"cluster"`
+	Share        float64 `json:"share"` // last measured window share
+	ResidentAtNs int64   `json:"residentAtNs"`
+}
+
+// PlacementCycle is one residency cycle's outcome.
+type PlacementCycle struct {
+	Cycle            uint64  `json:"cycle"`
+	AtNs             int64   `json:"atNs"`
+	Promoted         int     `json:"promoted"`
+	Demoted          int     `json:"demoted"`
+	DeferredChurn    int     `json:"deferredChurn"`
+	DeferredCapacity int     `json:"deferredCapacity"`
+	Failed           int     `json:"failed"`
+	ResidentKeys     int     `json:"residentKeys"`
+	ResidentEntries  int     `json:"residentEntries"`
+	DesiredEntries   int     `json:"desiredEntries"`
+	HardwareShare    float64 `json:"hardwareShare"`
+}
+
+// PlacementTotals are the loop's lifetime counters.
+type PlacementTotals struct {
+	Cycles           uint64 `json:"cycles"`
+	Promotions       uint64 `json:"promotions"`
+	Demotions        uint64 `json:"demotions"`
+	DeferredChurn    uint64 `json:"deferredChurn"`
+	DeferredCapacity uint64 `json:"deferredCapacity"`
+	Failures         uint64 `json:"failures"`
+}
+
+// PlacementResponse is the /placement body: the effective policy, the last
+// cycle's report, lifetime totals and the resident set.
+type PlacementResponse struct {
+	Enabled        bool             `json:"enabled"`
+	PromoteShare   float64          `json:"promoteShare"`
+	DemoteShare    float64          `json:"demoteShare"`
+	CoverageTarget float64          `json:"coverageTarget"`
+	ChurnBudget    int              `json:"churnBudget"`
+	Last           PlacementCycle   `json:"last"`
+	Totals         PlacementTotals  `json:"totals"`
+	Resident       []PlacementEntry `json:"resident"`
+}
+
+// BuildPlacement materializes the residency loop's admin view. A nil loop
+// (placement not enabled on this box) yields Enabled: false.
+func BuildPlacement(lp *placement.Loop) PlacementResponse {
+	out := PlacementResponse{Resident: []PlacementEntry{}}
+	if lp == nil {
+		return out
+	}
+	s := lp.Snapshot()
+	out.Enabled = true
+	out.PromoteShare = s.Config.PromoteShare
+	out.DemoteShare = s.Config.DemoteShare
+	out.CoverageTarget = s.Config.CoverageTarget
+	out.ChurnBudget = s.Config.ChurnBudget
+	atNs := int64(0)
+	if !s.Last.At.IsZero() {
+		atNs = s.Last.At.UnixNano()
+	}
+	out.Last = PlacementCycle{
+		Cycle: s.Last.Cycle, AtNs: atNs,
+		Promoted: s.Last.Promoted, Demoted: s.Last.Demoted,
+		DeferredChurn: s.Last.DeferredChurn, DeferredCapacity: s.Last.DeferredCapacity,
+		Failed:       s.Last.Failed,
+		ResidentKeys: s.Last.ResidentKeys, ResidentEntries: s.Last.ResidentEntries,
+		DesiredEntries: s.Last.DesiredEntries, HardwareShare: s.Last.HardwareShare,
+	}
+	out.Totals = PlacementTotals{
+		Cycles: s.Totals.Cycles, Promotions: s.Totals.Promotions,
+		Demotions: s.Totals.Demotions, DeferredChurn: s.Totals.DeferredChurn,
+		DeferredCapacity: s.Totals.DeferredCapacity, Failures: s.Totals.Failures,
+	}
+	for _, e := range s.Resident {
+		out.Resident = append(out.Resident, PlacementEntry{
+			VNI: uint32(e.VNI), DIP: e.DIP.String(), Cluster: e.Cluster,
+			Share: e.Share, ResidentAtNs: e.ResidentAt.UnixNano(),
 		})
 	}
 	return out

@@ -517,8 +517,12 @@ var ErrClusterDisabled = errors.New("cluster: cluster not admitted to service")
 type RegionStats struct {
 	Forwarded uint64
 	Fallback  uint64
-	Dropped   uint64
-	NoRoute   uint64
+	// FallbackMiss is the Fallback subset caused by hardware table misses
+	// (routes or VM mappings not resident in XGW-H) rather than deliberate
+	// service-VNI steering — the placement loop's coverage denominator.
+	FallbackMiss uint64
+	Dropped      uint64
+	NoRoute      uint64
 	// Degraded counts packets carried by the XGW-x86 pool because their
 	// cluster was in degraded mode (both main and backup impaired).
 	Degraded uint64
@@ -532,12 +536,13 @@ type RegionStats struct {
 // single-shot path, ProcessBatch, and every Driver worker/submitter
 // increment it concurrently, and Stats() reads it while traffic flows.
 type regionCounters struct {
-	forwarded  atomic.Uint64
-	fallback   atomic.Uint64
-	dropped    atomic.Uint64
-	noRoute    atomic.Uint64
-	degraded   atomic.Uint64
-	frontDrops [numFrontDropReasons]atomic.Uint64
+	forwarded    atomic.Uint64
+	fallback     atomic.Uint64
+	fallbackMiss atomic.Uint64
+	dropped      atomic.Uint64
+	noRoute      atomic.Uint64
+	degraded     atomic.Uint64
+	frontDrops   [numFrontDropReasons]atomic.Uint64
 }
 
 // NewRegion builds a region with the given number of main clusters (each
@@ -792,6 +797,9 @@ func (r *Region) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID,
 		r.stats.dropped.Add(1)
 	case xgwh.ActionFallback:
 		r.stats.fallback.Add(1)
+		if res.FallbackMiss {
+			r.stats.fallbackMiss.Add(1)
+		}
 		if len(r.Fallback) == 0 {
 			return out, nil
 		}
@@ -886,12 +894,13 @@ func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) [
 // and submitters are incrementing concurrently.
 func (r *Region) Stats() RegionStats {
 	s := RegionStats{
-		Forwarded:  r.stats.forwarded.Load(),
-		Fallback:   r.stats.fallback.Load(),
-		Dropped:    r.stats.dropped.Load(),
-		NoRoute:    r.stats.noRoute.Load(),
-		Degraded:   r.stats.degraded.Load(),
-		FrontDrops: make(map[string]uint64, numFrontDropReasons-1),
+		Forwarded:    r.stats.forwarded.Load(),
+		Fallback:     r.stats.fallback.Load(),
+		FallbackMiss: r.stats.fallbackMiss.Load(),
+		Dropped:      r.stats.dropped.Load(),
+		NoRoute:      r.stats.noRoute.Load(),
+		Degraded:     r.stats.degraded.Load(),
+		FrontDrops:   make(map[string]uint64, numFrontDropReasons-1),
 	}
 	for code := 1; code < int(numFrontDropReasons); code++ {
 		s.FrontDrops[frontDropName[code]] = r.stats.frontDrops[code].Load()
@@ -904,6 +913,7 @@ func (r *Region) Stats() RegionStats {
 func (r *Region) ResetStats() {
 	r.stats.forwarded.Store(0)
 	r.stats.fallback.Store(0)
+	r.stats.fallbackMiss.Store(0)
 	r.stats.dropped.Store(0)
 	r.stats.noRoute.Store(0)
 	r.stats.degraded.Store(0)
@@ -924,6 +934,20 @@ func (r *Region) FallbackRatio() float64 {
 	return fb / (fwd + fb)
 }
 
+// HardwareCoverage returns the share of route-resolved packets the XGW-H
+// clusters served themselves: forwarded / (forwarded + fallback-by-miss).
+// Service-VNI steering and degraded-mode traffic are excluded — they belong
+// on the software path by design, not because an entry was missing. This is
+// the live readout of the paper's 95/5 claim. Zero when nothing resolved.
+func (r *Region) HardwareCoverage() float64 {
+	fwd := float64(r.stats.forwarded.Load())
+	miss := float64(r.stats.fallbackMiss.Load())
+	if fwd+miss == 0 {
+		return 0
+	}
+	return fwd / (fwd + miss)
+}
+
 // RegisterMetrics publishes the region's counters and the fallback ratio
 // into a live registry. Values are read atomically at scrape time.
 func (r *Region) RegisterMetrics(reg *metrics.Registry) {
@@ -937,8 +961,12 @@ func (r *Region) RegisterMetrics(reg *metrics.Registry) {
 		r.stats.noRoute.Load)
 	reg.CounterFunc("sailfish_region_degraded_total", "packets carried by the pool for degraded clusters", nil,
 		r.stats.degraded.Load)
+	reg.CounterFunc("sailfish_region_fallback_miss_total", "fallbacks caused by hardware table misses", nil,
+		r.stats.fallbackMiss.Load)
 	reg.GaugeFunc("sailfish_region_fallback_ratio", "fallback share of completed packets", nil,
 		r.FallbackRatio)
+	reg.GaugeFunc("sailfish_region_hardware_coverage", "share of route-resolved packets served by XGW-H", nil,
+		r.HardwareCoverage)
 	for code := 1; code < int(numFrontDropReasons); code++ {
 		c := &r.stats.frontDrops[code]
 		reg.CounterFunc("sailfish_region_front_drops_total", "front-end drops by reason",

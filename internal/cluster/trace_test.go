@@ -94,6 +94,39 @@ func TestDropParityAcrossStages(t *testing.T) {
 		r.ProcessPacket(raw, t0()) //nolint:errcheck // drops expected
 	}
 
+	// The §5 residency path: tenant 105's VM entry is demoted from hardware
+	// while the XGW-x86 pool keeps the table of record. A demoted key's
+	// packet books a fallback-stage miss and completes on the pool; a key
+	// the pool never learned dies there, with the death visible in both the
+	// pool's no_vm counter and the front end's fallback_error — the same
+	// dual-booking the degraded cluster above established.
+	installTenant(t, r, 0, 105)
+	if !r.Clusters[0].RemoveVM(105, addr("192.168.0.5")) {
+		t.Fatal("demote: VM not resident in hardware")
+	}
+	pool := r.Fallback[0]
+	pool.Routes.Insert(105, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	pool.VMNC.Insert(105, addr("192.168.0.5"), addr("100.64.0.5"))
+	pre := r.Stats()
+	resHot, err := r.ProcessPacket(buildPacket(t, 105, "192.168.0.1", "192.168.0.5"), t0())
+	if err != nil || !resHot.ViaFallback || !resHot.GW.FallbackMiss {
+		t.Fatalf("demoted entry: res=%+v err=%v", resHot, err)
+	}
+	if resHot.FallbackOut.NC != addr("100.64.0.5") {
+		t.Fatalf("demoted entry served by wrong NC %v", resHot.FallbackOut.NC)
+	}
+	resMiss, err := r.ProcessPacket(buildPacket(t, 105, "192.168.0.1", "192.168.0.99"), t0())
+	if err != nil || resMiss.ViaFallback || !resMiss.GW.FallbackMiss {
+		t.Fatalf("pool-missing entry: res=%+v err=%v", resMiss, err)
+	}
+	st := r.Stats()
+	if st.Fallback != pre.Fallback+2 || st.FallbackMiss != pre.FallbackMiss+2 {
+		t.Fatalf("residency misses not booked: pre=%+v post=%+v", pre, st)
+	}
+	if st.Dropped != pre.Dropped+1 {
+		t.Fatalf("pool-missing entry must drop exactly once: pre=%+v post=%+v", pre, st)
+	}
+
 	// Gateway-stage reasons the region path cannot reach (the front end
 	// kills malformed frames first) are driven straight at one node.
 	gw := r.Clusters[0].Nodes[0].GW

@@ -118,6 +118,11 @@ type placedTenant struct {
 	cluster   int
 	entries   TenantEntries
 	migrating *migration
+	// software marks residency-mode tenants: the XGW-x86 pool holds the
+	// full entries as the table of record, and only the resident subset
+	// below occupies XGW-H.
+	software bool
+	resident *residentSet
 }
 
 // New attaches a controller to a region.

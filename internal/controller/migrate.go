@@ -54,6 +54,9 @@ func (c *Controller) StartMigration(vni netpkt.VNI, to int) error {
 	if pt.migrating != nil {
 		return ErrMigrationActive
 	}
+	if pt.software {
+		return ErrMigratingSoftware
+	}
 	if to == pt.cluster {
 		return fmt.Errorf("controller: tenant %v already on cluster %d", vni, to)
 	}

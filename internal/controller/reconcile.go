@@ -33,19 +33,25 @@ func (r RepairReport) Clean() bool {
 // Reconcile walks every placed tenant and re-downloads any entry that is
 // missing from — or divergent on — any node (main or backup) of its
 // cluster. The controller's database (placedTenant.entries) is the source
-// of truth; the gateways' exact-get APIs are the probes.
+// of truth; the gateways' exact-get APIs are the probes. For software-placed
+// tenants the hardware intent is the promoted resident subset, not the full
+// desired state — re-downloading everything would undo the 95/5 split.
 func (c *Controller) Reconcile() RepairReport {
 	var rep RepairReport
 	touched := map[string]bool{}
 	for _, pt := range c.placed {
 		rep.TenantsChecked++
+		intent := pt.entries
+		if pt.software {
+			intent = c.residentIntent(pt)
+		}
 		cl := c.region.Clusters[pt.cluster]
 		nodes := append([]*cluster.Node(nil), cl.Nodes...)
 		if cl.Backup != nil {
 			nodes = append(nodes, cl.Backup.Nodes...)
 		}
 		for _, n := range nodes {
-			for _, r := range pt.entries.Routes {
+			for _, r := range intent.Routes {
 				got, ok := n.GW.GetRoute(r.VNI, r.Prefix)
 				if ok && got == r.Route {
 					continue
@@ -55,7 +61,7 @@ func (c *Controller) Reconcile() RepairReport {
 					touched[n.ID] = true
 				}
 			}
-			for _, v := range pt.entries.VMs {
+			for _, v := range intent.VMs {
 				got, ok := n.GW.LookupVM(v.VNI, v.VM)
 				if ok && got == v.NC {
 					continue

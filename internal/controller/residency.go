@@ -1,0 +1,369 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+)
+
+// Partial residency (§5, Fig. 12): at cloud scale only a few percent of a
+// tenant's (VNI, inner-DIP) entries carry nearly all of its traffic, so the
+// controller can keep just that hot subset in XGW-H SRAM/TCAM and let the
+// cold tail miss to the XGW-x86 pool, which always holds the tenant's full
+// desired state in DRAM (the table of record). This file is the control
+// plane of that split: software-first placement, and per-entry promotion /
+// demotion through the same consistency-gated push machinery full-tenant
+// installs use. The policy — which entries, when, how many per cycle — lives
+// in internal/placement; here are only the mechanisms.
+
+// Residency errors.
+var (
+	// ErrNotPlaced reports an operation on a tenant the controller does not
+	// know.
+	ErrNotPlaced = errors.New("controller: tenant not placed")
+	// ErrNoSuchEntry reports a promotion target outside the tenant's
+	// desired state — nothing in the table of record covers the DIP.
+	ErrNoSuchEntry = errors.New("controller: no tenant entry covers address")
+	// ErrMigratingSoftware reports an attempt to migrate a software-placed
+	// tenant; residency state does not move between clusters yet.
+	ErrMigratingSoftware = errors.New("controller: software-placed tenants cannot migrate")
+)
+
+// residentSet tracks which slice of a software-placed tenant currently
+// occupies hardware. keys maps each promoted DIP to the route prefix that
+// covers it; routes refcounts prefixes by promoted DIPs beneath them, so a
+// shared /24 is evicted only when its last hot VM is demoted.
+type residentSet struct {
+	keys   map[netip.Addr]netip.Prefix
+	routes map[netip.Prefix]int
+	vms    map[netip.Addr]bool
+}
+
+func newResidentSet() *residentSet {
+	return &residentSet{
+		keys:   make(map[netip.Addr]netip.Prefix),
+		routes: make(map[netip.Prefix]int),
+		vms:    make(map[netip.Addr]bool),
+	}
+}
+
+// entries counts the hardware slots the set occupies.
+func (rs *residentSet) entries() int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.routes) + len(rs.vms)
+}
+
+// PlaceTenantSoftware records a tenant without downloading anything into
+// XGW-H: steering is assigned, the XGW-x86 pool receives the full desired
+// state, and hardware stays empty until the placement loop promotes hot
+// entries. The cluster is chosen by lowest desired load (the sum of entry
+// intent already assigned there), not water level — residency means the
+// hardware footprint is a small, capacity-gated subset of what is placed.
+func (c *Controller) PlaceTenantSoftware(t TenantEntries) (int, error) {
+	if _, ok := c.placed[t.VNI]; ok {
+		return 0, ErrTenantExists
+	}
+	if len(c.region.Clusters) == 0 {
+		if !c.cfg.AutoExpand {
+			return 0, ErrSaleClosed
+		}
+		c.region.AddCluster()
+	}
+	load := make(map[int]int, len(c.region.Clusters))
+	for _, pt := range c.placed {
+		load[pt.cluster] += pt.entries.Size()
+	}
+	best, bestLoad := -1, 0
+	for _, cl := range c.region.Clusters {
+		if best < 0 || load[cl.ID] < bestLoad {
+			best, bestLoad = cl.ID, load[cl.ID]
+		}
+	}
+	c.installTenantSoftware(best, t)
+	return best, nil
+}
+
+// installTenantSoftware does the bookkeeping half of a software placement on
+// a specific cluster: record, steer, and mirror the full state to the pool.
+func (c *Controller) installTenantSoftware(id int, t TenantEntries) {
+	// The pool is the table of record in residency mode, regardless of the
+	// MirrorToFallback setting that governs hardware-first tenants.
+	c.mirrorTenant(t)
+	c.placed[t.VNI] = placedTenant{cluster: id, entries: t, software: true, resident: newResidentSet()}
+	c.region.FrontEnd.Steering.Assign(t.VNI, id)
+}
+
+// SoftwarePlaced reports whether the tenant runs in residency mode.
+func (c *Controller) SoftwarePlaced(vni netpkt.VNI) bool {
+	pt, ok := c.placed[vni]
+	return ok && pt.software
+}
+
+// coveringEntry resolves a hot (VNI, DIP) key against the tenant's desired
+// state: the longest route prefix containing dip, plus the exact VM mapping
+// when one exists (remote and peer destinations have no VM entry).
+func coveringEntry(t TenantEntries, dip netip.Addr) (route *RouteEntry, vm *VMEntry, ok bool) {
+	bestLen := -1
+	for i := range t.Routes {
+		r := &t.Routes[i]
+		if r.Prefix.Contains(dip) && r.Prefix.Bits() > bestLen {
+			route, bestLen = r, r.Prefix.Bits()
+		}
+	}
+	for i := range t.VMs {
+		if t.VMs[i].VM == dip {
+			vm = &t.VMs[i]
+			break
+		}
+	}
+	return route, vm, route != nil || vm != nil
+}
+
+// PromoteEntry installs the hot (vni, dip) key's route and VM mapping into
+// the tenant's XGW-H cluster through the fault-tolerant push path (retry,
+// backoff, generation idempotency, read-back, post-push repair). Pieces
+// already resident — a route prefix shared with a previously promoted VM —
+// are not re-pushed. Returns the number of hardware entries installed; 0
+// with a nil error means the key was already fully resident (or the tenant
+// is hardware-placed and therefore always resident). A cluster at capacity
+// surfaces as cluster.ErrOverCapacity for the loop's deferral accounting.
+func (c *Controller) PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	pt, ok := c.placed[vni]
+	if !ok {
+		return 0, fmt.Errorf("promote %v %v: %w", vni, dip, ErrNotPlaced)
+	}
+	if !pt.software {
+		return 0, nil
+	}
+	route, vm, ok := coveringEntry(pt.entries, dip)
+	if !ok {
+		return 0, fmt.Errorf("promote %v %v: %w", vni, dip, ErrNoSuchEntry)
+	}
+	if _, resident := pt.resident.keys[dip]; resident {
+		return 0, nil
+	}
+	delta := TenantEntries{VNI: vni, ServiceVNI: pt.entries.ServiceVNI}
+	if route != nil && pt.resident.routes[route.Prefix] == 0 {
+		delta.Routes = append(delta.Routes, *route)
+	}
+	if vm != nil && !pt.resident.vms[vm.VM] {
+		delta.VMs = append(delta.VMs, *vm)
+	}
+	if delta.Size() > 0 {
+		rep, err := c.pushTenant(pt.cluster, delta)
+		if err != nil {
+			return 0, err
+		}
+		c.lastPush = rep
+	}
+	prefix := netip.Prefix{}
+	if route != nil {
+		prefix = route.Prefix
+		pt.resident.routes[prefix]++
+	}
+	pt.resident.keys[dip] = prefix
+	if vm != nil {
+		pt.resident.vms[vm.VM] = true
+	}
+	return delta.Size(), nil
+}
+
+// DemoteEntry evicts the (vni, dip) key from hardware so its traffic misses
+// to the XGW-x86 pool, which still holds the full state. The covering route
+// stays installed while other promoted DIPs share it. Returns the number of
+// hardware entries evicted; 0 with nil error means the key was not resident.
+func (c *Controller) DemoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	pt, ok := c.placed[vni]
+	if !ok {
+		return 0, fmt.Errorf("demote %v %v: %w", vni, dip, ErrNotPlaced)
+	}
+	if !pt.software {
+		return 0, nil
+	}
+	prefix, resident := pt.resident.keys[dip]
+	if !resident {
+		return 0, nil
+	}
+	delta := TenantEntries{VNI: vni}
+	if prefix.IsValid() && pt.resident.routes[prefix] == 1 {
+		delta.Routes = append(delta.Routes, RouteEntry{VNI: vni, Prefix: prefix, Route: routeFor(pt.entries, prefix)})
+	}
+	if pt.resident.vms[dip] {
+		delta.VMs = append(delta.VMs, VMEntry{VNI: vni, VM: dip})
+	}
+	if delta.Size() > 0 {
+		if err := c.evictEntries(pt.cluster, delta); err != nil {
+			return 0, err
+		}
+	}
+	delete(pt.resident.keys, dip)
+	delete(pt.resident.vms, dip)
+	if prefix.IsValid() {
+		if pt.resident.routes[prefix]--; pt.resident.routes[prefix] <= 0 {
+			delete(pt.resident.routes, prefix)
+		}
+	}
+	return delta.Size(), nil
+}
+
+// routeFor returns the tenant's route for an exact prefix (zero value when
+// the prefix is not part of the desired state — callers only pass prefixes
+// recorded at promotion time).
+func routeFor(t TenantEntries, p netip.Prefix) tables.Route {
+	for _, r := range t.Routes {
+		if r.Prefix == p {
+			return r.Route
+		}
+	}
+	return tables.Route{}
+}
+
+// evictEntries removes the batch from every replica of the cluster with the
+// push path's retry/backoff policy, verifies absence by read-back, and
+// releases the capacity accounting. Removal is naturally idempotent, so no
+// generation token is needed; a node that stays unreachable is left to the
+// residency-aware reconcile sweep.
+func (c *Controller) evictEntries(id int, t TenantEntries) error {
+	cl := c.region.Clusters[id]
+	for _, n := range cl.AllNodes() {
+		backoff := c.cfg.Push.BaseBackoff
+		for attempt := 1; attempt <= c.cfg.Push.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				d := backoff + (backoff / 4)
+				c.rec.Record(telemetry.RecoveryEvent{
+					Time: c.now(), Kind: "retry", Node: n.ID, Cluster: -1,
+					Detail: fmt.Sprintf("evict %v attempt %d (backoff %v)", t.VNI, attempt, d),
+				})
+				c.sleep(d)
+				if backoff *= 2; backoff > c.cfg.Push.MaxBackoff {
+					backoff = c.cfg.Push.MaxBackoff
+				}
+			}
+			for _, r := range t.Routes {
+				n.GW.RemoveRoute(r.VNI, r.Prefix)
+			}
+			for _, v := range t.VMs {
+				n.GW.RemoveVM(v.VNI, v.VM)
+			}
+			if c.presentOnNode(n, t) == 0 {
+				break
+			}
+		}
+	}
+	return cl.AccountEntries(t.VNI, -t.Size())
+}
+
+// presentOnNode counts batch entries still visible on a node — the eviction
+// read-back mirror of missingOnNode.
+func (c *Controller) presentOnNode(n *cluster.Node, t TenantEntries) int {
+	present := 0
+	for _, r := range t.Routes {
+		if _, ok := n.GW.GetRoute(r.VNI, r.Prefix); ok {
+			present++
+		}
+	}
+	for _, v := range t.VMs {
+		if _, ok := n.GW.LookupVM(v.VNI, v.VM); ok {
+			present++
+		}
+	}
+	return present
+}
+
+// ClusterFill reports a cluster's accounted hardware entries against its
+// per-node budget — the water level the placement loop gates promotions on.
+func (c *Controller) ClusterFill(id int) (used, capacity int, ok bool) {
+	if id < 0 || id >= len(c.region.Clusters) {
+		return 0, 0, false
+	}
+	cl := c.region.Clusters[id]
+	return cl.EntryCount(), cl.Capacity(), true
+}
+
+// ResidentEntryCount returns the hardware entries the controller believes
+// are installed across all tenants: the full intent of hardware-placed
+// tenants plus the promoted subset of software-placed ones.
+func (c *Controller) ResidentEntryCount() int {
+	total := 0
+	for _, pt := range c.placed {
+		if pt.software {
+			total += pt.resident.entries()
+		} else {
+			total += pt.entries.Size()
+		}
+	}
+	return total
+}
+
+// DesiredEntries returns the total entry intent across all placed tenants —
+// the denominator of the 95/5 residency fraction.
+func (c *Controller) DesiredEntries() int {
+	total := 0
+	for _, pt := range c.placed {
+		total += pt.entries.Size()
+	}
+	return total
+}
+
+// residentIntent materializes a software tenant's current hardware intent:
+// the promoted route prefixes and VM mappings, in desired-state order.
+func (c *Controller) residentIntent(pt placedTenant) TenantEntries {
+	out := TenantEntries{VNI: pt.entries.VNI, ServiceVNI: pt.entries.ServiceVNI}
+	for _, r := range pt.entries.Routes {
+		if pt.resident.routes[r.Prefix] > 0 {
+			out.Routes = append(out.Routes, r)
+		}
+	}
+	for _, v := range pt.entries.VMs {
+		if pt.resident.vms[v.VM] {
+			out.VMs = append(out.VMs, v)
+		}
+	}
+	return out
+}
+
+// ResidentKey is one promoted (VNI, DIP) with its hardware footprint.
+type ResidentKey struct {
+	VNI     netpkt.VNI
+	DIP     netip.Addr
+	Cluster int
+	// RouteResident marks keys whose covering prefix is installed (shared
+	// prefixes appear on every key beneath them).
+	RouteResident bool
+	VMResident    bool
+}
+
+// ResidentKeys lists every promoted key, ordered by VNI then DIP, for the
+// admin plane.
+func (c *Controller) ResidentKeys() []ResidentKey {
+	var out []ResidentKey
+	for vni, pt := range c.placed {
+		if !pt.software {
+			continue
+		}
+		for dip, prefix := range pt.resident.keys {
+			out = append(out, ResidentKey{
+				VNI:           vni,
+				DIP:           dip,
+				Cluster:       pt.cluster,
+				RouteResident: prefix.IsValid() && pt.resident.routes[prefix] > 0,
+				VMResident:    pt.resident.vms[dip],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VNI != out[j].VNI {
+			return out[i].VNI < out[j].VNI
+		}
+		return out[i].DIP.Less(out[j].DIP)
+	})
+	return out
+}

@@ -19,6 +19,10 @@ type Snapshot struct {
 type TenantSnapshot struct {
 	Cluster int           `json:"cluster"`
 	Entries TenantEntries `json:"entries"`
+	// Software marks residency-mode tenants. The promoted resident set is
+	// deliberately not exported: it is derived state that the placement
+	// loop re-learns from live traffic after a restore.
+	Software bool `json:"software,omitempty"`
 }
 
 // Export captures the controller's tenant database, ordered by VNI for
@@ -27,7 +31,7 @@ type TenantSnapshot struct {
 func (c *Controller) Export() Snapshot {
 	var s Snapshot
 	for _, pt := range c.placed {
-		s.Tenants = append(s.Tenants, TenantSnapshot{Cluster: pt.cluster, Entries: pt.entries})
+		s.Tenants = append(s.Tenants, TenantSnapshot{Cluster: pt.cluster, Entries: pt.entries, Software: pt.software})
 	}
 	sort.Slice(s.Tenants, func(i, j int) bool {
 		return s.Tenants[i].Entries.VNI < s.Tenants[j].Entries.VNI
@@ -50,6 +54,10 @@ func (c *Controller) Restore(s Snapshot) error {
 		}
 		for len(c.region.Clusters) <= t.Cluster {
 			c.region.AddCluster()
+		}
+		if t.Software {
+			c.installTenantSoftware(t.Cluster, t.Entries)
+			continue
 		}
 		if err := c.installTenant(t.Cluster, t.Entries); err != nil {
 			return fmt.Errorf("restore %v: %w", t.Entries.VNI, err)

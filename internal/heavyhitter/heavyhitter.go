@@ -17,6 +17,7 @@
 package heavyhitter
 
 import (
+	"math"
 	"net/netip"
 	"sort"
 	"sync"
@@ -219,6 +220,22 @@ func (t *Tracker) Observe(cluster int, vni netpkt.VNI, flowHash uint64, dip neti
 	t.mu.Unlock()
 }
 
+// Reset discards every sketch and tally, starting a fresh measurement
+// window. The placement loop uses it to make per-cycle shares reflect the
+// current workload instead of all traffic since boot, so entries whose
+// popularity faded actually fall below the demotion threshold. Re-warming
+// the sketches allocates, so Reset is for cycle-cadence use, not per packet.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clusters = make(map[int]*clusterSketch)
+	t.vnis = make(map[netpkt.VNI]*vniCount)
+	t.pkts, t.bytes = 0, 0
+	t.mu.Unlock()
+}
+
 // TotalPackets reports how many observations the tracker has absorbed.
 func (t *Tracker) TotalPackets() uint64 {
 	if t == nil {
@@ -290,10 +307,23 @@ type Residency struct {
 // HotEntries ranks route entries across clusters and cuts the list at the
 // requested coverage target (the 95 in 95/5). Achieved uses the sketch's
 // lower bounds, so it never overstates what the hot set carries.
+//
+// Targets are clamped to [0, 1]: target <= 0 asks for no coverage and
+// returns an empty residency set (the controller's "evict everything"
+// intent, not "everything is hot"), and targets above 1 behave as 1 —
+// the full ranking.
 func (t *Tracker) HotEntries(target float64) Residency {
 	res := Residency{Target: target}
 	if t == nil {
 		return res
+	}
+	if target <= 0 || math.IsNaN(target) {
+		res.Target = 0
+		return res
+	}
+	if target > 1 {
+		target = 1
+		res.Target = 1
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -316,7 +346,7 @@ func (t *Tracker) HotEntries(target float64) Residency {
 	sort.Slice(all, func(i, j int) bool { return all[i].Packets > all[j].Packets })
 	var sure uint64
 	for _, e := range all {
-		if res.Achieved >= target && target > 0 {
+		if res.Achieved >= target {
 			break
 		}
 		res.Entries = append(res.Entries, e)

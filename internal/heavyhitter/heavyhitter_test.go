@@ -2,6 +2,7 @@ package heavyhitter
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 	"sort"
@@ -150,9 +151,54 @@ func TestHotEntriesCutsAtTarget(t *testing.T) {
 	if res.Achieved < 0.99 || res.Achieved > 1 {
 		t.Fatalf("achieved = %f", res.Achieved)
 	}
-	if got := tr.HotEntries(0).Entries; len(got) != 3 {
-		t.Fatalf("target 0 means no cut — want all 3 entries, got %d", len(got))
+	if got := tr.HotEntries(0).Entries; len(got) != 0 {
+		t.Fatalf("target 0 means no residency — want empty set, got %d entries", len(got))
 	}
+}
+
+// Degenerate coverage targets must not be interpreted as "everything is
+// hot": <= 0 and NaN mean an empty residency set, > 1 clamps to the full
+// ranking with Target reported as 1.
+func TestHotEntriesTargetClamping(t *testing.T) {
+	tr := NewTracker(16)
+	for i := 0; i < 50; i++ {
+		tr.Observe(0, 1, 11, ip(1), 100)
+	}
+	tr.Observe(0, 1, 22, ip(2), 100)
+	if res := tr.HotEntries(-0.5); len(res.Entries) != 0 || res.Target != 0 {
+		t.Fatalf("negative target: %+v", res)
+	}
+	if res := tr.HotEntries(math.NaN()); len(res.Entries) != 0 || res.Target != 0 {
+		t.Fatalf("NaN target: %+v", res)
+	}
+	res := tr.HotEntries(7)
+	if res.Target != 1 {
+		t.Fatalf("target > 1 must clamp to 1, got %f", res.Target)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("clamped target 1 should return the full ranking, got %d", len(res.Entries))
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(16)
+	for i := 0; i < 10; i++ {
+		tr.Observe(0, 1, 11, ip(1), 100)
+	}
+	if tr.TotalPackets() != 10 {
+		t.Fatalf("TotalPackets = %d", tr.TotalPackets())
+	}
+	tr.Reset()
+	if tr.TotalPackets() != 0 || len(tr.HotEntries(1).Entries) != 0 {
+		t.Fatal("Reset did not clear the window")
+	}
+	// The tracker must keep working after a reset.
+	tr.Observe(0, 2, 22, ip(2), 100)
+	if res := tr.HotEntries(1); len(res.Entries) != 1 || res.Entries[0].VNI != 2 {
+		t.Fatalf("post-reset observations lost: %+v", res)
+	}
+	var nilTr *Tracker
+	nilTr.Reset() // must not panic
 }
 
 func TestTopFlowsAndSkew(t *testing.T) {

@@ -1,0 +1,425 @@
+// Package placement closes the paper's 95/5 loop (§5, Fig. 12): a
+// controller-side residency cycle that reads the heavy-hitter tracker's
+// (VNI, inner-DIP) ranking, decides which entries deserve XGW-H table slots,
+// and promotes/demotes them through the control plane. Promotion installs a
+// hot entry's route and VM mapping into hardware; demotion evicts a cooled
+// entry so its traffic misses to the XGW-x86 pool, which keeps the full
+// desired state in DRAM as the table of record.
+//
+// The loop is deliberately conservative, because the signal is a sketch and
+// the target is TCAM/SRAM:
+//
+//   - hysteresis: promote at share >= PromoteShare, demote only when a
+//     resident entry's share falls below DemoteShare < PromoteShare and it
+//     has been resident at least MinResidency — noise near one threshold
+//     cannot oscillate an entry in and out of hardware;
+//   - churn budget: at most ChurnBudget table operations per cycle, hottest
+//     promotions and coldest demotions first, the rest deferred;
+//   - capacity awareness: promotions stop when the target cluster's water
+//     level would exceed MaxWaterLevel, leaving headroom for full-tenant
+//     pushes and failover (§6.1's safe-water-level discipline).
+package placement
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+
+	"net/netip"
+)
+
+// ControlPlane is the slice of the controller the loop drives. The
+// production implementation is *controller.Controller; the single-box
+// daemon adapts its gateway pair, and tests substitute fakes.
+type ControlPlane interface {
+	// PromoteEntry installs the key's route/VM entries into hardware,
+	// returning how many table slots were written (0 if already resident).
+	// A full cluster returns an error satisfying
+	// errors.Is(err, cluster.ErrOverCapacity).
+	PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error)
+	// DemoteEntry evicts the key, returning how many slots were freed.
+	DemoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error)
+	// ClusterFill reports a cluster's used and total entry budget.
+	ClusterFill(id int) (used, capacity int, ok bool)
+	// ResidentEntryCount is the controller's count of installed hardware
+	// entries across all tenants.
+	ResidentEntryCount() int
+	// DesiredEntries is the total entry intent — the denominator of the
+	// residency fraction.
+	DesiredEntries() int
+}
+
+// Config tunes the residency policy.
+type Config struct {
+	// CoverageTarget bounds how much of the observed traffic the loop tries
+	// to pin into hardware each cycle (the 95 in 95/5). Clamped to [0, 1];
+	// default 0.95.
+	CoverageTarget float64
+	// PromoteShare is the per-entry traffic share at which a non-resident
+	// entry is promoted. Default 0.0005.
+	PromoteShare float64
+	// DemoteShare is the share below which a resident entry becomes a
+	// demotion candidate. Must be below PromoteShare for hysteresis;
+	// default PromoteShare/4.
+	DemoteShare float64
+	// MinResidency is how long an entry must stay resident before it may be
+	// demoted, shielding the tables from sketch noise. Default 2 cycles of
+	// wall time is meaningless here, so the default is simply 0; simulations
+	// and daemons pass their own.
+	MinResidency time.Duration
+	// ChurnBudget caps promotions+demotions per cycle. <= 0 means 64.
+	ChurnBudget int
+	// MaxWaterLevel is the cluster fill fraction promotions must stay
+	// under. Default 0.9.
+	MaxWaterLevel float64
+	// EntrySlots is the loop's estimate of hardware slots one key costs
+	// (route + VM mapping). Used for the capacity pre-check; default 2.
+	EntrySlots int
+	// WindowReset, when set, resets the tracker after every cycle so shares
+	// measure the inter-cycle window instead of all traffic since boot —
+	// without it an entry that was hot yesterday keeps yesterday's share
+	// and never cools below DemoteShare.
+	WindowReset bool
+	// Now supplies the loop clock; nil means wall time.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.CoverageTarget <= 0 || math.IsNaN(c.CoverageTarget) {
+		c.CoverageTarget = 0.95
+	}
+	if c.CoverageTarget > 1 {
+		c.CoverageTarget = 1
+	}
+	if c.PromoteShare <= 0 {
+		c.PromoteShare = 0.0005
+	}
+	if c.DemoteShare <= 0 || c.DemoteShare >= c.PromoteShare {
+		c.DemoteShare = c.PromoteShare / 4
+	}
+	if c.ChurnBudget <= 0 {
+		c.ChurnBudget = 64
+	}
+	if c.MaxWaterLevel <= 0 || c.MaxWaterLevel > 1 {
+		c.MaxWaterLevel = 0.9
+	}
+	if c.EntrySlots <= 0 {
+		c.EntrySlots = 2
+	}
+	return c
+}
+
+// CycleReport is one cycle's outcome.
+type CycleReport struct {
+	Cycle uint64
+	At    time.Time
+	// Promoted and Demoted count keys moved this cycle; their sum never
+	// exceeds the churn budget.
+	Promoted int
+	Demoted  int
+	// DeferredChurn counts eligible moves postponed by the budget,
+	// DeferredCapacity promotions postponed by cluster water levels.
+	DeferredChurn    int
+	DeferredCapacity int
+	// Failed counts moves the control plane rejected mid-cycle (push or
+	// evict errors other than capacity); the keys stay in their previous
+	// state and are retried next cycle.
+	Failed int
+	// ResidentKeys is the loop's promoted key count after the cycle;
+	// ResidentEntries the controller's installed-slot count;
+	// DesiredEntries the total intent.
+	ResidentKeys    int
+	ResidentEntries int
+	DesiredEntries  int
+	// HardwareShare estimates the traffic fraction the resident set serves:
+	// the sketch shares of resident keys summed over the cycle's window.
+	HardwareShare float64
+}
+
+// entryState is the loop's record of one resident key.
+type entryState struct {
+	cluster    int
+	promotedAt time.Time
+	lastShare  float64
+}
+
+// Loop owns the residency state machine. All methods are safe for
+// concurrent use; RunCycle holds the loop lock for the full cycle, so admin
+// snapshots never observe a half-applied delta.
+type Loop struct {
+	mu       sync.Mutex
+	cfg      Config
+	cp       ControlPlane
+	hh       *heavyhitter.Tracker
+	resident map[heavyhitter.RouteKey]*entryState
+	cycle    uint64
+	last     CycleReport
+
+	// Telemetry, readable without the lock.
+	promotions       atomic.Uint64
+	demotions        atomic.Uint64
+	deferredChurn    atomic.Uint64
+	deferredCapacity atomic.Uint64
+	failures         atomic.Uint64
+	cycles           atomic.Uint64
+	residentKeys     atomic.Int64
+	hwShareBits      atomic.Uint64 // float64 bits of last HardwareShare
+}
+
+// New builds a loop over the control plane and tracker.
+func New(cfg Config, cp ControlPlane, hh *heavyhitter.Tracker) *Loop {
+	return &Loop{
+		cfg:      cfg.withDefaults(),
+		cp:       cp,
+		hh:       hh,
+		resident: make(map[heavyhitter.RouteKey]*entryState),
+	}
+}
+
+// Config returns the loop's effective (defaulted) policy.
+func (l *Loop) Config() Config { return l.cfg }
+
+func (l *Loop) now() time.Time {
+	if l.cfg.Now != nil {
+		return l.cfg.Now()
+	}
+	return time.Now()
+}
+
+// RunCycle executes one promote/demote cycle and returns its report.
+func (l *Loop) RunCycle() CycleReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	now := l.now()
+	l.cycle++
+	rep := CycleReport{Cycle: l.cycle, At: now}
+
+	// The full ranking (target 1) provides this window's share for every
+	// tracked key; resident keys that fell out of the sketch entirely have
+	// share 0 and are the coldest demotion candidates.
+	ranking := l.hh.HotEntries(1)
+	shares := make(map[heavyhitter.RouteKey]float64, len(ranking.Entries))
+	for _, e := range ranking.Entries {
+		shares[heavyhitter.RouteKey{VNI: e.VNI, DIP: e.DIP}] = e.Share
+	}
+
+	budget := l.cfg.ChurnBudget
+
+	// Promotions, hottest first. The ranking is already descending, so the
+	// first entry under PromoteShare ends the scan. Coverage already pinned
+	// counts against CoverageTarget: once the resident set's share reaches
+	// it, the tail stays in software even if individual entries clear the
+	// promote threshold.
+	pinned := 0.0
+	for key := range l.resident {
+		pinned += shares[key]
+	}
+	for _, e := range ranking.Entries {
+		if e.Share < l.cfg.PromoteShare {
+			break
+		}
+		key := heavyhitter.RouteKey{VNI: e.VNI, DIP: e.DIP}
+		if st, ok := l.resident[key]; ok {
+			st.lastShare = e.Share
+			continue
+		}
+		if pinned >= l.cfg.CoverageTarget {
+			break
+		}
+		if rep.Promoted+rep.Demoted >= budget {
+			rep.DeferredChurn++
+			continue
+		}
+		if !l.headroom(e.Cluster) {
+			rep.DeferredCapacity++
+			continue
+		}
+		_, err := l.cp.PromoteEntry(e.VNI, e.DIP)
+		switch {
+		case errors.Is(err, cluster.ErrOverCapacity):
+			rep.DeferredCapacity++
+			continue
+		case err != nil:
+			rep.Failed++
+			continue
+		}
+		l.resident[key] = &entryState{cluster: e.Cluster, promotedAt: now, lastShare: e.Share}
+		pinned += e.Share
+		rep.Promoted++
+	}
+
+	// Demotions, coldest first, among entries old enough to have proven
+	// themselves cold rather than briefly unlucky in the sketch.
+	type cand struct {
+		key   heavyhitter.RouteKey
+		share float64
+	}
+	var cands []cand
+	for key, st := range l.resident {
+		share := shares[key]
+		st.lastShare = share
+		if share >= l.cfg.DemoteShare {
+			continue
+		}
+		if now.Sub(st.promotedAt) < l.cfg.MinResidency {
+			continue
+		}
+		cands = append(cands, cand{key: key, share: share})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].share != cands[j].share {
+			return cands[i].share < cands[j].share
+		}
+		if cands[i].key.VNI != cands[j].key.VNI {
+			return cands[i].key.VNI < cands[j].key.VNI
+		}
+		return cands[i].key.DIP.Less(cands[j].key.DIP)
+	})
+	for _, cd := range cands {
+		if rep.Promoted+rep.Demoted >= budget {
+			rep.DeferredChurn++
+			continue
+		}
+		if _, err := l.cp.DemoteEntry(cd.key.VNI, cd.key.DIP); err != nil {
+			rep.Failed++
+			continue
+		}
+		delete(l.resident, cd.key)
+		rep.Demoted++
+	}
+
+	rep.ResidentKeys = len(l.resident)
+	rep.ResidentEntries = l.cp.ResidentEntryCount()
+	rep.DesiredEntries = l.cp.DesiredEntries()
+	for _, st := range l.resident {
+		rep.HardwareShare += st.lastShare
+	}
+	if rep.HardwareShare > 1 {
+		rep.HardwareShare = 1
+	}
+
+	if l.cfg.WindowReset {
+		l.hh.Reset()
+	}
+
+	l.last = rep
+	l.promotions.Add(uint64(rep.Promoted))
+	l.demotions.Add(uint64(rep.Demoted))
+	l.deferredChurn.Add(uint64(rep.DeferredChurn))
+	l.deferredCapacity.Add(uint64(rep.DeferredCapacity))
+	l.failures.Add(uint64(rep.Failed))
+	l.cycles.Add(1)
+	l.residentKeys.Store(int64(rep.ResidentKeys))
+	l.hwShareBits.Store(math.Float64bits(rep.HardwareShare))
+	return rep
+}
+
+// headroom reports whether the cluster can absorb one more key's slots
+// without crossing MaxWaterLevel.
+func (l *Loop) headroom(clusterID int) bool {
+	used, capacity, ok := l.cp.ClusterFill(clusterID)
+	if !ok || capacity <= 0 {
+		return false
+	}
+	return float64(used+l.cfg.EntrySlots)/float64(capacity) <= l.cfg.MaxWaterLevel
+}
+
+// ResidentEntry is one promoted key in a snapshot.
+type ResidentEntry struct {
+	VNI        netpkt.VNI
+	DIP        netip.Addr
+	Cluster    int
+	Share      float64 // last observed window share
+	ResidentAt time.Time
+}
+
+// Totals are the loop's lifetime counters.
+type Totals struct {
+	Cycles           uint64
+	Promotions       uint64
+	Demotions        uint64
+	DeferredChurn    uint64
+	DeferredCapacity uint64
+	Failures         uint64
+}
+
+// Snapshot is the admin-plane view of the loop.
+type Snapshot struct {
+	Config   Config
+	Last     CycleReport
+	Totals   Totals
+	Resident []ResidentEntry // ordered by VNI then DIP
+}
+
+// Snapshot returns a coherent copy of the loop's state.
+func (l *Loop) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Snapshot{Config: l.cfg, Last: l.last, Totals: l.totalsLocked()}
+	for key, st := range l.resident {
+		s.Resident = append(s.Resident, ResidentEntry{
+			VNI: key.VNI, DIP: key.DIP, Cluster: st.cluster,
+			Share: st.lastShare, ResidentAt: st.promotedAt,
+		})
+	}
+	sort.Slice(s.Resident, func(i, j int) bool {
+		if s.Resident[i].VNI != s.Resident[j].VNI {
+			return s.Resident[i].VNI < s.Resident[j].VNI
+		}
+		return s.Resident[i].DIP.Less(s.Resident[j].DIP)
+	})
+	return s
+}
+
+// LastReport returns the most recent cycle's report.
+func (l *Loop) LastReport() CycleReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+func (l *Loop) totalsLocked() Totals {
+	return Totals{
+		Cycles:           l.cycles.Load(),
+		Promotions:       l.promotions.Load(),
+		Demotions:        l.demotions.Load(),
+		DeferredChurn:    l.deferredChurn.Load(),
+		DeferredCapacity: l.deferredCapacity.Load(),
+		Failures:         l.failures.Load(),
+	}
+}
+
+// RegisterMetrics publishes the loop's telemetry into a live registry.
+// Everything is backed by atomics, so scrapes never contend with a running
+// cycle.
+func (l *Loop) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("sailfish_placement_cycles_total", "residency cycles executed", nil,
+		l.cycles.Load)
+	reg.CounterFunc("sailfish_placement_promotions_total", "hot keys promoted into XGW-H", nil,
+		l.promotions.Load)
+	reg.CounterFunc("sailfish_placement_demotions_total", "cold keys evicted from XGW-H", nil,
+		l.demotions.Load)
+	reg.CounterFunc("sailfish_placement_deferred_churn_total", "moves postponed by the churn budget", nil,
+		l.deferredChurn.Load)
+	reg.CounterFunc("sailfish_placement_deferred_capacity_total", "promotions postponed by cluster water levels", nil,
+		l.deferredCapacity.Load)
+	reg.CounterFunc("sailfish_placement_failures_total", "moves rejected by the control plane", nil,
+		l.failures.Load)
+	reg.GaugeFunc("sailfish_placement_resident_keys", "promoted (VNI, DIP) keys resident in hardware", nil,
+		func() float64 { return float64(l.residentKeys.Load()) })
+	reg.GaugeFunc("sailfish_placement_hardware_share", "estimated traffic share served by the resident set", nil,
+		func() float64 { return math.Float64frombits(l.hwShareBits.Load()) })
+	reg.GaugeFunc("sailfish_placement_resident_entries", "hardware table slots in use", nil,
+		func() float64 { return float64(l.cp.ResidentEntryCount()) })
+	reg.GaugeFunc("sailfish_placement_desired_entries", "total entry intent across tenants", nil,
+		func() float64 { return float64(l.cp.DesiredEntries()) })
+}

@@ -1,0 +1,357 @@
+package placement
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+)
+
+// fakePlane is a scriptable control plane: every key costs two slots, one
+// shared capacity pool, optional injected errors.
+type fakePlane struct {
+	resident   map[heavyhitter.RouteKey]bool
+	capacity   int
+	used       int
+	desired    int
+	promoteErr error
+	demoteErr  error
+	promotes   int
+	demotes    int
+}
+
+func newFakePlane(capacity, desired int) *fakePlane {
+	return &fakePlane{
+		resident: make(map[heavyhitter.RouteKey]bool),
+		capacity: capacity,
+		desired:  desired,
+	}
+}
+
+func (f *fakePlane) PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	if f.promoteErr != nil {
+		return 0, f.promoteErr
+	}
+	k := heavyhitter.RouteKey{VNI: vni, DIP: dip}
+	if f.resident[k] {
+		return 0, nil
+	}
+	if f.used+2 > f.capacity {
+		return 0, cluster.ErrOverCapacity
+	}
+	f.resident[k] = true
+	f.used += 2
+	f.promotes++
+	return 2, nil
+}
+
+func (f *fakePlane) DemoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	if f.demoteErr != nil {
+		return 0, f.demoteErr
+	}
+	k := heavyhitter.RouteKey{VNI: vni, DIP: dip}
+	if !f.resident[k] {
+		return 0, nil
+	}
+	delete(f.resident, k)
+	f.used -= 2
+	f.demotes++
+	return 2, nil
+}
+
+func (f *fakePlane) ClusterFill(id int) (int, int, bool) { return f.used, f.capacity, true }
+func (f *fakePlane) ResidentEntryCount() int             { return f.used }
+func (f *fakePlane) DesiredEntries() int                 { return f.desired }
+
+func ip(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+}
+
+// feed observes n packets for key i on cluster 0.
+func feed(hh *heavyhitter.Tracker, i int, n int) {
+	for j := 0; j < n; j++ {
+		hh.Observe(0, netpkt.VNI(100+i%7), uint64(i), ip(i), 100)
+	}
+}
+
+// virtualClock steps a deterministic loop clock.
+type virtualClock struct{ t time.Time }
+
+func (v *virtualClock) now() time.Time          { return v.t }
+func (v *virtualClock) advance(d time.Duration) { v.t = v.t.Add(d) }
+func newClock() *virtualClock                   { return &virtualClock{t: time.Unix(10_000, 0)} }
+func loopCfg(clk *virtualClock, mut ...func(*Config)) Config {
+	cfg := Config{
+		PromoteShare: 0.05,
+		DemoteShare:  0.01,
+		ChurnBudget:  100,
+		WindowReset:  true,
+		Now:          clk.now,
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	return cfg
+}
+
+func TestPromotesHotDemotesCold(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk), fp, hh)
+
+	// Key 1 carries 90%, key 2 carries 10%: both clear 5%.
+	feed(hh, 1, 90)
+	feed(hh, 2, 10)
+	rep := lp.RunCycle()
+	if rep.Promoted != 2 || rep.Demoted != 0 {
+		t.Fatalf("cycle 1: %+v", rep)
+	}
+	if !fp.resident[heavyhitter.RouteKey{VNI: 101, DIP: ip(1)}] {
+		t.Fatal("hot key not resident")
+	}
+
+	// Next window: key 2 disappears entirely (share 0 < 1%), key 1 stays.
+	clk.advance(time.Minute)
+	feed(hh, 1, 100)
+	rep = lp.RunCycle()
+	if rep.Demoted != 1 || rep.Promoted != 0 {
+		t.Fatalf("cycle 2: %+v", rep)
+	}
+	if fp.resident[heavyhitter.RouteKey{VNI: 102, DIP: ip(2)}] {
+		t.Fatal("cold key still resident")
+	}
+	if !fp.resident[heavyhitter.RouteKey{VNI: 101, DIP: ip(1)}] {
+		t.Fatal("hot key demoted")
+	}
+}
+
+func TestHysteresisHoldsLukewarmEntries(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk), fp, hh)
+
+	feed(hh, 1, 100)
+	if rep := lp.RunCycle(); rep.Promoted != 1 {
+		t.Fatalf("setup: %+v", rep)
+	}
+	// The entry cools to 3%: below the 5% promote threshold but above the
+	// 1% demote threshold. Hysteresis must keep it resident.
+	clk.advance(time.Minute)
+	feed(hh, 1, 3)
+	feed(hh, 2, 97) // key 2 now hot, gets promoted
+	rep := lp.RunCycle()
+	if rep.Demoted != 0 {
+		t.Fatalf("lukewarm entry demoted: %+v", rep)
+	}
+	if !fp.resident[heavyhitter.RouteKey{VNI: 101, DIP: ip(1)}] {
+		t.Fatal("hysteresis band not honored")
+	}
+}
+
+func TestMinResidencyShieldsFreshEntries(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk, func(c *Config) { c.MinResidency = 10 * time.Minute }), fp, hh)
+
+	feed(hh, 1, 100)
+	lp.RunCycle()
+	// One minute later the key has vanished — but it is too young to demote.
+	clk.advance(time.Minute)
+	feed(hh, 2, 100)
+	rep := lp.RunCycle()
+	if rep.Demoted != 0 {
+		t.Fatalf("fresh entry demoted: %+v", rep)
+	}
+	// Past the minimum age the demotion goes through.
+	clk.advance(time.Hour)
+	feed(hh, 2, 100)
+	rep = lp.RunCycle()
+	if rep.Demoted != 1 {
+		t.Fatalf("aged cold entry kept: %+v", rep)
+	}
+}
+
+func TestChurnBudgetCapsAndDefers(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(10_000, 500)
+	lp := New(loopCfg(clk, func(c *Config) {
+		c.ChurnBudget = 3
+		c.PromoteShare = 0.01
+	}), fp, hh)
+
+	// Ten equally hot keys, budget 3: three promoted, seven deferred.
+	for i := 1; i <= 10; i++ {
+		feed(hh, i, 10)
+	}
+	rep := lp.RunCycle()
+	if rep.Promoted != 3 || rep.DeferredChurn != 7 {
+		t.Fatalf("budget not enforced: %+v", rep)
+	}
+	// Next cycles drain the backlog, still 3 at a time.
+	for cycle := 0; cycle < 3; cycle++ {
+		clk.advance(time.Minute)
+		for i := 1; i <= 10; i++ {
+			feed(hh, i, 10)
+		}
+		rep = lp.RunCycle()
+		if rep.Promoted+rep.Demoted > 3 {
+			t.Fatalf("budget exceeded: %+v", rep)
+		}
+	}
+	if len(fp.resident) != 10 {
+		t.Fatalf("backlog not drained: %d resident", len(fp.resident))
+	}
+}
+
+func TestCapacityDefersPromotions(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	// Capacity 10 slots = 5 keys; MaxWaterLevel 0.8 → 4 keys fit the gate.
+	fp := newFakePlane(10, 500)
+	lp := New(loopCfg(clk, func(c *Config) { c.PromoteShare = 0.01; c.MaxWaterLevel = 0.8 }), fp, hh)
+
+	for i := 1; i <= 8; i++ {
+		feed(hh, i, 10)
+	}
+	rep := lp.RunCycle()
+	if rep.Promoted != 4 {
+		t.Fatalf("want 4 promotions under the water-level gate, got %+v", rep)
+	}
+	if rep.DeferredCapacity != 4 {
+		t.Fatalf("want 4 capacity deferrals, got %+v", rep)
+	}
+	if fp.used > 8 {
+		t.Fatalf("gate breached: %d/%d slots", fp.used, fp.capacity)
+	}
+}
+
+func TestPushRejectionCountsFailedAndRetries(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk), fp, hh)
+
+	fp.promoteErr = errors.New("push rejected")
+	feed(hh, 1, 100)
+	rep := lp.RunCycle()
+	if rep.Failed != 1 || rep.Promoted != 0 {
+		t.Fatalf("rejected push not counted: %+v", rep)
+	}
+	// The key must not be considered resident after a failed push — the
+	// next cycle retries it once the control plane recovers.
+	fp.promoteErr = nil
+	clk.advance(time.Minute)
+	feed(hh, 1, 100)
+	rep = lp.RunCycle()
+	if rep.Promoted != 1 {
+		t.Fatalf("failed key not retried: %+v", rep)
+	}
+}
+
+func TestCoverageTargetStopsPromotions(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(10_000, 500)
+	// One key carries 96% of traffic; with a 95% coverage target the tail
+	// stays in software even though it clears the promote threshold.
+	lp := New(loopCfg(clk, func(c *Config) {
+		c.PromoteShare = 0.01
+		c.CoverageTarget = 0.95
+	}), fp, hh)
+	feed(hh, 1, 96)
+	feed(hh, 2, 4)
+	rep := lp.RunCycle()
+	if rep.Promoted != 1 {
+		t.Fatalf("coverage target ignored: %+v", rep)
+	}
+	if fp.resident[heavyhitter.RouteKey{VNI: 102, DIP: ip(2)}] {
+		t.Fatal("tail promoted past the coverage target")
+	}
+}
+
+func TestSnapshotAndMetrics(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk), fp, hh)
+	reg := metrics.NewRegistry()
+	lp.RegisterMetrics(reg)
+
+	feed(hh, 1, 90)
+	feed(hh, 2, 10)
+	lp.RunCycle()
+
+	snap := lp.Snapshot()
+	if len(snap.Resident) != 2 {
+		t.Fatalf("snapshot resident: %+v", snap.Resident)
+	}
+	if snap.Totals.Promotions != 2 || snap.Totals.Cycles != 1 {
+		t.Fatalf("totals: %+v", snap.Totals)
+	}
+	if snap.Last.HardwareShare < 0.9 {
+		t.Fatalf("hardware share: %+v", snap.Last)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sailfish_placement_cycles_total 1",
+		"sailfish_placement_promotions_total 2",
+		"sailfish_placement_resident_keys 2",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("metrics missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestConcurrentSnapshotWhileCycling(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(256)
+	fp := newFakePlane(100_000, 500)
+	lp := New(loopCfg(clk, func(c *Config) { c.PromoteShare = 0.0001 }), fp, hh)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			lp.Snapshot()
+			lp.LastReport()
+		}
+	}()
+	for cycle := 0; cycle < 50; cycle++ {
+		for i := 0; i < 40; i++ {
+			feed(hh, i, 1+i%5)
+		}
+		lp.RunCycle()
+		clk.advance(time.Second)
+	}
+	<-done
+}
+
+func TestDefaultsClampDegenerateConfig(t *testing.T) {
+	lp := New(Config{CoverageTarget: 7, PromoteShare: -1, DemoteShare: 0.5, ChurnBudget: -3}, newFakePlane(10, 10), heavyhitter.NewTracker(8))
+	cfg := lp.Config()
+	if cfg.CoverageTarget != 1 {
+		t.Fatalf("CoverageTarget = %f", cfg.CoverageTarget)
+	}
+	if cfg.PromoteShare <= 0 || cfg.DemoteShare >= cfg.PromoteShare {
+		t.Fatalf("hysteresis order broken: %+v", cfg)
+	}
+	if cfg.ChurnBudget <= 0 {
+		t.Fatalf("ChurnBudget = %d", cfg.ChurnBudget)
+	}
+	_ = fmt.Sprintf("%+v", cfg)
+}

@@ -77,7 +77,10 @@ func (t *SNATTable) Len() int { return len(t.fwd) }
 
 // Translate returns the binding for the session, allocating one on first
 // use. The returned binding rewrites the packet's inner source IP and port.
-func (t *SNATTable) Translate(k SNATKey) (SNATBinding, error) {
+// now seeds the new session's idle timer at creation time, so a session that
+// is allocated but never Touched still survives a full ttl before ExpireIdle
+// reaps it.
+func (t *SNATTable) Translate(k SNATKey, now time.Time) (SNATBinding, error) {
 	if b, ok := t.fwd[k]; ok {
 		return b, nil
 	}
@@ -87,7 +90,7 @@ func (t *SNATTable) Translate(k SNATKey) (SNATBinding, error) {
 	}
 	t.fwd[k] = b
 	t.rev[reverseKey(k, b)] = k
-	t.lastSeen[k] = time.Time{}
+	t.lastSeen[k] = now
 	return b, nil
 }
 

@@ -213,11 +213,11 @@ func snatKey(vni netpkt.VNI, src string, sp uint16) SNATKey {
 func TestSNATTranslateStableAndReverse(t *testing.T) {
 	st := NewSNATTable([]netip.Addr{addr("203.0.113.1")})
 	k := snatKey(100, "192.168.0.10", 5000)
-	b1, err := st.Translate(k)
+	b1, err := st.Translate(k, time.Unix(0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := st.Translate(k)
+	b2, err := st.Translate(k, time.Unix(0, 0))
 	if err != nil || b1 != b2 {
 		t.Fatalf("binding not stable: %+v vs %+v (%v)", b1, b2, err)
 	}
@@ -236,7 +236,7 @@ func TestSNATDistinctSessionsDistinctBindings(t *testing.T) {
 	st := NewSNATTable([]netip.Addr{addr("203.0.113.1")})
 	seen := map[SNATBinding]bool{}
 	for i := 0; i < 1000; i++ {
-		b, err := st.Translate(snatKey(100, "192.168.0.10", uint16(1000+i)))
+		b, err := st.Translate(snatKey(100, "192.168.0.10", uint16(1000+i)), time.Unix(0, 0))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func TestSNATDistinctSessionsDistinctBindings(t *testing.T) {
 func TestSNATReleaseRecyclesPort(t *testing.T) {
 	st := NewSNATTable([]netip.Addr{addr("203.0.113.1")})
 	k := snatKey(1, "192.168.0.1", 1234)
-	b, _ := st.Translate(k)
+	b, _ := st.Translate(k, time.Unix(0, 0))
 	if !st.Release(k) {
 		t.Fatal("release failed")
 	}
@@ -270,7 +270,7 @@ func TestSNATReleaseRecyclesPort(t *testing.T) {
 
 func TestSNATExhaustion(t *testing.T) {
 	st := NewSNATTable(nil)
-	if _, err := st.Translate(snatKey(1, "192.168.0.1", 1)); err != ErrSNATExhausted {
+	if _, err := st.Translate(snatKey(1, "192.168.0.1", 1), time.Unix(0, 0)); err != ErrSNATExhausted {
 		t.Fatalf("want ErrSNATExhausted, got %v", err)
 	}
 }
@@ -279,7 +279,7 @@ func TestSNATMultipleIPsSpreadLoad(t *testing.T) {
 	st := NewSNATTable([]netip.Addr{addr("203.0.113.1"), addr("203.0.113.2")})
 	ips := map[netip.Addr]int{}
 	for i := 0; i < 100; i++ {
-		b, err := st.Translate(snatKey(1, "192.168.0.1", uint16(i+1)))
+		b, err := st.Translate(snatKey(1, "192.168.0.1", uint16(i+1)), time.Unix(0, 0))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -287,6 +287,91 @@ func TestSNATMultipleIPsSpreadLoad(t *testing.T) {
 	}
 	if len(ips) != 2 || ips[addr("203.0.113.1")] != 50 {
 		t.Fatalf("allocation not round-robin: %v", ips)
+	}
+}
+
+// Regression: Translate used to seed lastSeen with the zero time.Time, so a
+// session allocated but never Touched was reaped by the very first ExpireIdle
+// sweep regardless of ttl. Creation time must start the idle clock.
+func TestSNATTranslateSeedsIdleTimer(t *testing.T) {
+	st := NewSNATTable([]netip.Addr{addr("203.0.113.1")})
+	t0 := time.Unix(1000, 0)
+	ttl := time.Minute
+	k := snatKey(7, "192.168.0.9", 4321)
+	if _, err := st.Translate(k, t0); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.ExpireIdle(t0.Add(ttl/2), ttl); n != 0 {
+		t.Fatalf("never-Touched session reaped before ttl: %d expired", n)
+	}
+	if _, ok := st.Lookup(k); !ok {
+		t.Fatal("session gone before ttl")
+	}
+	if n := st.ExpireIdle(t0.Add(ttl), ttl); n != 1 {
+		t.Fatalf("session not reaped at creation+ttl: %d expired", n)
+	}
+}
+
+func TestSNATPortWraparoundAt65535(t *testing.T) {
+	st := NewSNATTable([]netip.Addr{addr("203.0.113.1")})
+	// Park the cursor at the top of the port space.
+	st.ports[addr("203.0.113.1")] = 65535
+	b1, err := st.Translate(snatKey(1, "192.168.0.1", 1), time.Unix(0, 0))
+	if err != nil || b1.PublicPort != 65535 {
+		t.Fatalf("want port 65535, got %+v (%v)", b1, err)
+	}
+	// The next allocation must wrap to snatPortMin, not run past 65535.
+	b2, err := st.Translate(snatKey(1, "192.168.0.1", 2), time.Unix(0, 0))
+	if err != nil || b2.PublicPort != snatPortMin {
+		t.Fatalf("want wraparound to %d, got %+v (%v)", snatPortMin, b2, err)
+	}
+}
+
+func TestSNATFullIPSkipsToNext(t *testing.T) {
+	ip1, ip2 := addr("203.0.113.1"), addr("203.0.113.2")
+	st := NewSNATTable([]netip.Addr{ip1, ip2})
+	// Exhaust every (ip1, port) pair out-of-band.
+	for p := uint32(snatPortMin); p <= 65535; p++ {
+		st.inUse[SNATBinding{PublicIP: ip1, PublicPort: uint16(p)}] = true
+	}
+	// Round-robin starts at ip1; the allocator must notice it is full and
+	// move on to ip2 within the same call.
+	b, err := st.Translate(snatKey(1, "192.168.0.1", 1), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PublicIP != ip2 {
+		t.Fatalf("allocation stuck on full IP: got %+v", b)
+	}
+}
+
+func TestSNATReleaseThenReallocateReusesFreedPair(t *testing.T) {
+	ip := addr("203.0.113.1")
+	st := NewSNATTable([]netip.Addr{ip})
+	k1 := snatKey(1, "192.168.0.1", 1)
+	b1, err := st.Translate(k1, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Release(k1) {
+		t.Fatal("release failed")
+	}
+	// Once the cursor comes back around, the freed pair must be allocatable
+	// again rather than permanently leaked.
+	st.ports[ip] = b1.PublicPort
+	k2 := snatKey(1, "192.168.0.2", 2)
+	b2, err := st.Translate(k2, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatalf("freed pair not reused: freed %+v, got %+v", b1, b2)
+	}
+	// The reverse path must now belong to the new session, not the released
+	// one — same public binding and peer, different private endpoint.
+	got, ok := st.ReverseLookup(b2, k2.Flow.Dst, k2.Flow.DstPort, k2.Flow.Proto)
+	if !ok || got != k2 {
+		t.Fatalf("reverse entry after reuse: %+v/%v, want %+v", got, ok, k2)
 	}
 }
 
@@ -406,7 +491,7 @@ func BenchmarkSNATTranslate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := snatKey(1, "192.168.0.1", uint16(i%60000+1))
-		if _, err := st.Translate(k); err != nil {
+		if _, err := st.Translate(k, time.Unix(0, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"testing"
+	"time"
 
 	"sailfish/internal/netpkt"
 )
@@ -113,7 +114,7 @@ func TestSNATPortSpaceWrap(t *testing.T) {
 	keys := make([]SNATKey, 0, 100)
 	for i := 0; i < 100; i++ {
 		k := snatKey(1, "192.168.0.1", uint16(1+i))
-		if _, err := st.Translate(k); err != nil {
+		if _, err := st.Translate(k, time.Unix(0, 0)); err != nil {
 			t.Fatal(err)
 		}
 		keys = append(keys, k)
@@ -126,7 +127,7 @@ func TestSNATPortSpaceWrap(t *testing.T) {
 	for i := 0; i < 70000; i++ {
 		src := fmt.Sprintf("192.168.%d.2", 1+i/60000)
 		k := snatKey(1, src, uint16(i%60000+1))
-		nb, err := st.Translate(k)
+		nb, err := st.Translate(k, time.Unix(0, 0))
 		if err != nil {
 			break // pool exhausted; acceptable endpoint for the scan
 		}

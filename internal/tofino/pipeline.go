@@ -17,19 +17,24 @@ type Context struct {
 	Pkt *netpkt.GatewayPacket
 
 	// Metadata produced by the tables.
-	FinalVNI   netpkt.VNI // VNI after peer-chain resolution
-	Route      tables.Route
-	RouteOK    bool
-	NCAddr netip.Addr // destination physical server
-	NCOK   bool
-	Drop   bool
+	FinalVNI netpkt.VNI // VNI after peer-chain resolution
+	Route    tables.Route
+	RouteOK  bool
+	NCAddr   netip.Addr // destination physical server
+	NCOK     bool
+	Drop     bool
 	// DropCode is the numeric drop-reason register. Hardware metadata
 	// carries codes, not strings; the meaning of each value is assigned by
 	// the program that owns the device (internal/xgwh interns its reason
 	// names over these codes).
 	DropCode   uint8
 	ToFallback bool // steer to XGW-x86
-	EgressPort int
+	// FallbackMiss marks a ToFallback verdict caused by a table miss (route
+	// or VM mapping absent from hardware) rather than deliberate service-VNI
+	// steering — the partial-residency signal the placement loop's coverage
+	// accounting is built on.
+	FallbackMiss bool
+	EgressPort   int
 
 	// Accounting.
 	Passes int

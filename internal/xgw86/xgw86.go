@@ -314,7 +314,7 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	key := tables.SNATKey{VNI: n.vpkt.VXLAN.VNI, Flow: n.vpkt.InnerFlow()}
-	bind, err := n.SNAT.Translate(key)
+	bind, err := n.SNAT.Translate(key, now)
 	if err != nil {
 		n.drop(dropSNATExhausted, key.Flow.FastHash(), key.VNI, now)
 		return FallbackResult{}, err

@@ -80,6 +80,11 @@ var dropAction = func() (a [numDropReasons]string) {
 type ForwardResult struct {
 	Action     Action
 	DropReason string
+	// FallbackMiss reports that an ActionFallback verdict came from a table
+	// miss (route or VM absent from hardware) rather than service-VNI
+	// steering — the signal separating partial-residency traffic from
+	// traffic that belongs on the software path by design.
+	FallbackMiss bool
 	// NC is the rewritten outer destination (the physical server, or the
 	// remote-region tunnel endpoint). Valid when Action == ActionForward.
 	NC netip.Addr
@@ -135,8 +140,11 @@ type Stats struct {
 	TotalBytes uint64
 	// FallbackBytes is the volume steered to XGW-x86 (Fig. 22).
 	FallbackBytes uint64
-	Units         [2]UnitStats
-	DropReasons   map[string]uint64
+	// FallbackMiss is the fallback subset caused by hardware table misses
+	// (partial residency), not service-VNI steering.
+	FallbackMiss uint64
+	Units        [2]UnitStats
+	DropReasons  map[string]uint64
 }
 
 // Gateway is one XGW-H node: the chip forwarding model programmed with the
@@ -452,8 +460,11 @@ func (g *Gateway) execRoute(ctx *tofino.Context) error {
 			ctx.ToFallback = true
 		}
 	case tables.ErrNoRoute:
-		// Volatile or long-tail entries live in XGW-x86 (§4.2).
+		// Volatile or long-tail entries live in XGW-x86 (§4.2). Unlike
+		// service-VNI steering this is a residency miss, which the placement
+		// loop's coverage accounting needs to see.
 		ctx.ToFallback = true
+		ctx.FallbackMiss = true
 	case tables.ErrRouteLoop:
 		ctx.Drop = true
 		ctx.DropCode = dropRouteLoop
@@ -474,6 +485,7 @@ func (g *Gateway) execVMNC(ctx *tofino.Context) error {
 		if !ok {
 			// Mapping not in hardware: long-tail VM handled in software.
 			ctx.ToFallback = true
+			ctx.FallbackMiss = true
 			return nil
 		}
 		ctx.NCAddr, ctx.NCOK = nc, true
@@ -580,8 +592,12 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 			}
 		}
 		out.Action = ActionFallback
+		out.FallbackMiss = g.ctx.FallbackMiss
 		g.stats.fallback.Add(1)
 		g.stats.fallbackBytes.Add(uint64(g.pkt.WireLen))
+		if g.ctx.FallbackMiss {
+			g.stats.fallbackMiss.Add(1)
+		}
 		g.traceEvent(trace.VerdictFallback, 0, now)
 		g.reportTelemetry("fallback", now)
 	case g.ctx.NCOK:

@@ -18,7 +18,10 @@ type gwCounters struct {
 	dropped       atomic.Uint64
 	totalBytes    atomic.Uint64
 	fallbackBytes atomic.Uint64
-	units         [2]unitCounters
+	// fallbackMiss counts the fallback subset caused by hardware table
+	// misses — partial-residency traffic, not service-VNI steering.
+	fallbackMiss atomic.Uint64
+	units        [2]unitCounters
 	// drops counts dropped packets per interned reason code; the
 	// string-keyed map in Stats is materialized from it on demand.
 	drops [numDropReasons]atomic.Uint64
@@ -41,6 +44,7 @@ func (g *Gateway) Stats() Stats {
 		Dropped:       g.stats.dropped.Load(),
 		TotalBytes:    g.stats.totalBytes.Load(),
 		FallbackBytes: g.stats.fallbackBytes.Load(),
+		FallbackMiss:  g.stats.fallbackMiss.Load(),
 	}
 	for u := range g.stats.units {
 		s.Units[u] = UnitStats{
@@ -66,6 +70,7 @@ func (g *Gateway) ResetStats() {
 	g.stats.dropped.Store(0)
 	g.stats.totalBytes.Store(0)
 	g.stats.fallbackBytes.Store(0)
+	g.stats.fallbackMiss.Store(0)
 	for u := range g.stats.units {
 		g.stats.units[u].packets.Store(0)
 		g.stats.units[u].bytes.Store(0)
@@ -101,6 +106,16 @@ func (g *Gateway) RegisterMetrics(reg *metrics.Registry, node string) {
 		g.stats.totalBytes.Load)
 	reg.CounterFunc("sailfish_gw_fallback_bytes_total", "wire bytes steered to XGW-x86", l,
 		g.stats.fallbackBytes.Load)
+	reg.CounterFunc("sailfish_gw_fallback_miss_total", "fallbacks caused by hardware table misses", l,
+		g.stats.fallbackMiss.Load)
+	reg.GaugeFunc("sailfish_gw_hardware_coverage", "share of route-resolved packets served by hardware", l,
+		func() float64 {
+			fwd, miss := float64(g.stats.forwarded.Load()), float64(g.stats.fallbackMiss.Load())
+			if fwd+miss == 0 {
+				return 0
+			}
+			return fwd / (fwd + miss)
+		})
 	reg.GaugeFunc("sailfish_gw_fallback_ratio", "fallback share of completed packets", l,
 		func() float64 {
 			fwd, fb := float64(g.stats.forwarded.Load()), float64(g.stats.fallback.Load())

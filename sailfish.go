@@ -159,6 +159,27 @@ func (d *Deployment) AddTenant(t Tenant) (int, error) {
 	return id, nil
 }
 
+// AddTenantSoftware places a tenant in residency mode: the XGW-x86 pool
+// receives the full desired state (the table of record) and hardware stays
+// empty until a placement loop promotes hot entries (§5's 95/5 split). The
+// tenant's traffic initially completes entirely on the software path.
+func (d *Deployment) AddTenantSoftware(t Tenant) (int, error) {
+	te := controller.TenantEntries{VNI: t.VNI, ServiceVNI: t.NeedsSNAT}
+	te.Routes = append(te.Routes, controller.RouteEntry{
+		VNI: t.VNI, Prefix: t.Prefix, Route: Route{Scope: ScopeLocal},
+	})
+	for _, p := range t.Peers {
+		te.Routes = append(te.Routes, controller.RouteEntry{
+			VNI: t.VNI, Prefix: p.Prefix,
+			Route: Route{Scope: ScopePeer, NextHopVNI: p.PeerVNI},
+		})
+	}
+	for vm, nc := range t.VMs {
+		te.VMs = append(te.VMs, controller.VMEntry{VNI: t.VNI, VM: vm, NC: nc})
+	}
+	return d.Controller.PlaceTenantSoftware(te)
+}
+
 // DeliverVXLAN pushes one wire packet through the region using the wall
 // clock; use DeliverVXLANAt from simulations.
 func (d *Deployment) DeliverVXLAN(raw []byte) (Result, error) {
