@@ -5,7 +5,7 @@ GO ?= go
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
 	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
 	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/... \
-	./internal/placement/...
+	./internal/placement/... ./internal/snat/...
 
 .PHONY: check vet build test race chaos bench bench-all bench-smoke fmt
 
@@ -46,7 +46,7 @@ bench-all:
 ## check that the benchmarks themselves have not rotted. Not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/fastpath-bench -o /tmp/bench-smoke.json
+	$(GO) run ./cmd/fastpath-bench -snat-max 1000000 -o /tmp/bench-smoke.json
 
 fmt:
 	gofmt -l -w .

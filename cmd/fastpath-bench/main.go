@@ -19,6 +19,17 @@
 //     loop against the real controller while the hot set keeps shifting,
 //     so every timed cycle pays a full churn budget of table moves.
 //
+// Two SNAT rows measure the survivable session store (§4.2, Fig. 11) at
+// population, each at 1M and 10M pre-established sessions:
+//
+//   - snat/translate-*: the Translate hit path against the sharded store.
+//     This path must stay allocation-free at any population; the run exits
+//     non-zero if allocs/op is not 0, which is the bench-smoke regression
+//     guard for the fast path.
+//   - snat/replicate-*: the full delta pipeline — journal a batch of
+//     refresh deltas, then one Sync round copying and applying them to the
+//     standby; the pps column is deltas/second.
+//
 // A separate instrumented pass (not a benchmark: the per-stage clock reads
 // would distort the ns/op rows above) attaches the stage latency histograms
 // and reports p50/p99 per stage in stage_latencies_ns.
@@ -38,6 +49,7 @@ import (
 	"net/netip"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,7 +57,10 @@ import (
 	"sailfish/internal/cluster"
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
 	"sailfish/internal/placement"
+	"sailfish/internal/snat"
+	"sailfish/internal/tables"
 	"sailfish/internal/trace"
 )
 
@@ -325,8 +340,114 @@ func benchPlacementCycle() entry {
 		hotSet, shift, d.Controller.DesiredEntries(), budget))
 }
 
+// SNAT bench shape: 256 public IPs × 64 shards gives 16.5M session capacity,
+// so the 10M row runs the store at ~60% port-space fill.
+const (
+	snatIPs    = 256
+	snatShards = 64
+)
+
+func snatPool(n int) []netip.Addr {
+	ips := make([]netip.Addr, n)
+	for i := range ips {
+		ips[i] = netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)})
+	}
+	return ips
+}
+
+// snatKey derives the i-th distinct session key (the source address carries
+// the low 24 bits of i). Pure value construction — benchmark loops call it
+// inline without allocating.
+func snatKey(i int) tables.SNATKey {
+	return tables.SNATKey{
+		VNI: 300,
+		Flow: netpkt.Flow{
+			Src:     netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			Dst:     netip.AddrFrom4([4]byte{93, 184, 216, 34}),
+			Proto:   netpkt.IPProtocolUDP,
+			SrcPort: uint16(1024 + i%60000),
+			DstPort: 443,
+		},
+	}
+}
+
+func snatScale(sessions int) string {
+	if sessions >= 1_000_000 {
+		return fmt.Sprintf("%dm", sessions/1_000_000)
+	}
+	return fmt.Sprintf("%dk", sessions/1_000)
+}
+
+// benchSNATTranslate measures the Translate hit path with `sessions` live
+// sessions resident. The loop cycles through every established key, so the
+// working set genuinely misses cache at the large populations.
+func benchSNATTranslate(sessions int) entry {
+	st := snat.New(snat.Config{PublicIPs: snatPool(snatIPs), Shards: snatShards, JournalDepth: 4096})
+	for i := 0; i < sessions; i++ {
+		if _, err := st.Translate(snatKey(i), benchTime); err != nil {
+			panic(err)
+		}
+	}
+	i := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := st.Translate(snatKey(i), benchTime); err != nil {
+				b.Fatal(err)
+			}
+			if i++; i == sessions {
+				i = 0
+			}
+		}
+	})
+	return toEntry("snat/translate-"+snatScale(sessions), r, 1, fmt.Sprintf(
+		"Translate hit path, %d resident sessions over %d shards × %d IPs, %d MiB resident; must be 0 allocs/op",
+		sessions, snatShards, snatIPs, st.MemoryBytes()>>20))
+}
+
+// benchSNATReplicate measures the journal→standby delta pipeline at
+// population: each op stamps a new second, touches a batch of established
+// sessions (journaling one refresh delta apiece), and runs one Sync round
+// that copies and applies the batch to the standby.
+func benchSNATReplicate(sessions int) entry {
+	const deltasPerOp = 1024
+	svc := snat.NewService(snat.ServiceConfig{Store: snat.Config{
+		PublicIPs: snatPool(snatIPs), Shards: snatShards, JournalDepth: 8192,
+	}})
+	now := benchTime
+	for i := 0; i < sessions; i++ {
+		if _, err := svc.Active().Translate(snatKey(i), now); err != nil {
+			panic(err)
+		}
+	}
+	// The population overflowed every journal ring; this Sync detects the
+	// gaps and bootstraps the standby with full-shard snapshots, leaving the
+	// timed loop to measure steady-state delta replication only.
+	svc.Sync(now)
+	cursor := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			now = now.Add(time.Second)
+			for j := 0; j < deltasPerOp; j++ {
+				svc.Active().Touch(snatKey(cursor), now)
+				if cursor++; cursor == sessions {
+					cursor = 0
+				}
+			}
+			if rep := svc.Sync(now); rep.Failed > 0 {
+				b.Fatalf("sync failed %d shards", rep.Failed)
+			}
+		}
+	})
+	return toEntry("snat/replicate-"+snatScale(sessions), r, deltasPerOp, fmt.Sprintf(
+		"journal+Sync of %d refresh deltas/op into a standby holding %d sessions; pps column is deltas/sec",
+		deltasPerOp, sessions))
+}
+
 func main() {
 	out := flag.String("o", "BENCH_fastpath.json", "output file")
+	snatMax := flag.Int("snat-max", 10_000_000, "largest SNAT session population to bench (bench-smoke trims this)")
 	flag.Parse()
 
 	rep := report{
@@ -340,10 +461,25 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GeneratedBy: "go run ./cmd/fastpath-bench",
 	}
-	for _, bench := range []func() entry{benchSingleShot, benchTraced, benchBatch, benchDriver, benchPlacementCycle} {
+	benches := []func() entry{benchSingleShot, benchTraced, benchBatch, benchDriver, benchPlacementCycle}
+	for _, sessions := range []int{1_000_000, 10_000_000} {
+		if sessions > *snatMax {
+			continue
+		}
+		s := sessions
+		benches = append(benches,
+			func() entry { return benchSNATTranslate(s) },
+			func() entry { return benchSNATReplicate(s) })
+	}
+	for _, bench := range benches {
 		e := bench()
 		fmt.Printf("%-22s %10.1f ns/op %6d B/op %4d allocs/op %12.0f pps  %s\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Pps, e.Note)
+		if strings.HasPrefix(e.Name, "snat/translate") && e.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s allocates %d B in %d allocs/op; the Translate hit path must be allocation-free\n",
+				e.Name, e.BytesPerOp, e.AllocsPerOp)
+			os.Exit(1)
+		}
 		rep.Results = append(rep.Results, e)
 	}
 	rep.StageLatencies = measureStages()

@@ -10,6 +10,7 @@
 //	sailfish-ctl updates -days 30 -seed 2
 //	sailfish-ctl top     -admin http://127.0.0.1:9090 -coverage 0.95
 //	sailfish-ctl trace   -admin http://127.0.0.1:9090 -drops
+//	sailfish-ctl snat    -admin http://127.0.0.1:9090
 package main
 
 import (
@@ -46,13 +47,15 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "placement":
 		cmdPlacement(os.Args[2:])
+	case "snat":
+		cmdSNAT(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace|placement} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace|placement|snat} [flags]")
 	os.Exit(2)
 }
 

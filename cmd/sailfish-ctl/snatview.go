@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"sailfish/internal/adminapi"
+)
+
+// cmdSNAT fetches and renders the /snat survivability view: serving side,
+// session counts, promotion accounting, replication health and the
+// per-shard occupancy/backlog table.
+func cmdSNAT(args []string) {
+	fs := flag.NewFlagSet("snat", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	shards := fs.Bool("shards", true, "include the per-shard table")
+	fs.Parse(args)
+	if err := runSNAT(os.Stdout, *admin, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSNAT renders the /snat view.
+func runSNAT(w io.Writer, admin string, shards bool) error {
+	var sr adminapi.SNATResponse
+	if err := getJSON(admin, "/snat", nil, &sr); err != nil {
+		return err
+	}
+	side := "primary"
+	if sr.OnBackup {
+		side = "backup (promoted standby)"
+	}
+	fmt.Fprintf(w, "serving side: %s\n", side)
+	fmt.Fprintf(w, "sessions: %d live (standby holds %d), %.1f MiB resident\n",
+		sr.Sessions, sr.StandbySess, float64(sr.MemoryBytes)/(1<<20))
+	fmt.Fprintf(w, "promotions: %d (preserved %d, orphaned %d)\n",
+		sr.Promotions, sr.Preserved, sr.Orphaned)
+	fmt.Fprintf(w, "replication: lag %.3fs, %d deltas applied, %d snapshots (gen %d), %d retries, %d gaps, %d failed\n",
+		sr.LagSeconds, sr.DeltasApplied, sr.Snapshots, sr.SnapshotGen, sr.Retries, sr.Gaps, sr.Failed)
+	if !shards {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  SHARD\tLIVE\tSLOTS\tPORT-CAP\tJOURNAL\tPENDING\tSNAP?")
+	for _, sh := range sr.Shards {
+		snap := ""
+		if sh.AwaitingSnap {
+			snap = "awaiting"
+		}
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			sh.Shard, sh.Live, sh.Slots, sh.PortCapacity, sh.JournalDepth, sh.PendingDelta, snap)
+	}
+	return tw.Flush()
+}

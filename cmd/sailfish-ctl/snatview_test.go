@@ -1,0 +1,63 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/adminapi"
+	"sailfish/internal/snat"
+	"sailfish/internal/tables"
+)
+
+// TestRunSNAT renders the survivability view from a real service — sessions
+// created, synced to the standby, then a failover — through the real HTTP
+// client.
+func TestRunSNAT(t *testing.T) {
+	svc := snat.NewService(snat.ServiceConfig{Store: snat.Config{
+		PublicIPs: []netip.Addr{netip.MustParseAddr("203.0.113.10")},
+		Shards:    4,
+	}})
+	now := time.Unix(0, 0)
+	for i := uint32(0); i < 50; i++ {
+		k := tables.SNATKey{}
+		k.VNI = 300
+		k.Flow.Src = netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		k.Flow.Dst = netip.MustParseAddr("93.184.216.34")
+		k.Flow.SrcPort = uint16(2000 + i)
+		k.Flow.DstPort = 443
+		if _, err := svc.Active().Translate(k, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Sync(now)
+	svc.Failover()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snat", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(t, w, adminapi.BuildSNAT(svc))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := runSNAT(&b, srv.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"serving side: backup (promoted standby)",
+		"sessions: 50 live",
+		"preserved 50, orphaned 0",
+		"SHARD",
+		"PORT-CAP",
+		"replication: lag",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snat output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func (s *server) registerMetrics() *metrics.Registry {
 	reg := metrics.NewRegistry()
 	s.gw.RegisterMetrics(reg, "xgwh-0")
 	s.x86.RegisterMetrics(reg, "xgw86-0")
+	s.x86.SNATService().RegisterMetrics(reg)
 	s.gw.EnableStageMetrics(metrics.NewStageHistograms(reg,
 		"sailfish_gw_stage_latency_ns",
 		"per-stage forwarding latency in nanoseconds"))
@@ -97,6 +98,12 @@ func newAdminMux(s *server, reg *metrics.Registry) *http.ServeMux {
 	})
 	mux.HandleFunc("/debug/trace/drops", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, adminapi.BuildDrops(s.rec))
+	})
+
+	// Stateful SNAT survivability: per-shard occupancy, replication lag
+	// and backlog, and the preserved/orphaned promotion accounting.
+	mux.HandleFunc("/snat", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, adminapi.BuildSNAT(s.x86.SNATService()))
 	})
 
 	// Heavy hitters: ?coverage= is the residency target (default 0.95, the

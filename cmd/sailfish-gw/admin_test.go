@@ -103,6 +103,8 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 		`sailfish_gw_stage_latency_ns_count{stage="pipeline"} 1`,
 		`sailfish_gw_stage_latency_ns_count{stage="rewrite"} 1`,
 		`sailfish_x86_forwarded_total{node="xgw86-0"} 0`,
+		`sailfish_snat_sessions`,
+		`sailfish_snat_replication_lag_seconds`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
@@ -110,6 +112,12 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	}
 	if hz, _ := get("/healthz"); hz != "ok\n" {
 		t.Fatalf("/healthz = %q", hz)
+	}
+	// The SNAT survivability view is served even with no sessions: the
+	// embedded node's service pair reports primary side and empty shards.
+	if body, _ := get("/snat"); !strings.Contains(body, `"onBackup":false`) ||
+		!strings.Contains(body, `"shards"`) {
+		t.Fatalf("/snat = %s", body)
 	}
 
 	// waitFor polls an endpoint until every wanted substring shows up —

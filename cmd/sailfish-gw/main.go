@@ -140,6 +140,8 @@ type server struct {
 	loop      *placement.Loop
 	loopEvery time.Duration
 	lastCycle time.Time
+	// lastSync throttles the SNAT standby replication pump.
+	lastSync time.Time
 }
 
 func newServer(fc fileConfig) (*server, error) {

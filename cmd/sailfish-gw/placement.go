@@ -175,6 +175,13 @@ func (s *server) enablePlacement(pc placementConfig, tenants []tenantConfig) err
 // called from the serve goroutine only, between datagrams, so promotions and
 // demotions never mutate tables mid-packet.
 func (s *server) maybeCycle(now time.Time) {
+	// The SNAT standby sync rides the same between-datagrams cadence the
+	// residency loop uses: journal deltas are cheap to pump and keeping
+	// the standby close bounds the orphan window at failover.
+	if now.Sub(s.lastSync) >= time.Second {
+		s.lastSync = now
+		s.x86.SNATService().Sync(now)
+	}
 	if s.loop == nil {
 		return
 	}

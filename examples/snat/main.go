@@ -85,4 +85,27 @@ func main() {
 	st := x86.Stats()
 	fmt.Printf("XGW-x86 stats: snat_out=%d snat_in=%d live_sessions=%d\n",
 		st.SNATOut, st.SNATIn, st.SessionsAlive)
+
+	// --- Survivability: the session outlives a failover ---
+	// The fallback pool shares one snat.Service: a primary store paired with
+	// a standby that replays the primary's delta journal. Pump replication
+	// once, then promote the standby the way the recovery ladder would when
+	// the main cluster dies mid-connection.
+	svc := d.Region.SNATService()
+	svc.Sync(time.Now())
+	svc.Failover()
+	fmt.Printf("failover: promoted the standby — sessions preserved=%d orphaned=%d\n",
+		svc.Preserved(), svc.Orphaned())
+
+	// The server retransmits its response; the promoted standby still holds
+	// the binding, so the reverse translation works unchanged.
+	in2, err := x86.ProcessSNATInbound(respBuf.Bytes(), time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := parser.Parse(in2.Out, &pkt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after failover the same response still reaches %v:%d via NC %v\n",
+		pkt.InnerDst(), pkt.InnerTCP.DstPort, in2.NC)
 }

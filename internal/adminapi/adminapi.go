@@ -11,6 +11,7 @@ import (
 
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/placement"
+	"sailfish/internal/snat"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/trace"
 )
@@ -316,6 +317,74 @@ func BuildVtrace(m *telemetry.Matcher, c *telemetry.Collector, expectedHops []st
 		out.Findings = append(out.Findings, VtraceFinding{
 			VNI: uint32(f.Flow.VNI), Src: f.Flow.Src.String(), Dst: f.Flow.Dst.String(),
 			Kind: f.Kind, Where: f.Where, Detail: f.Detail,
+		})
+	}
+	return out
+}
+
+// SNATShard is one shard of the /snat view: occupancy, journal position
+// and replication backlog.
+type SNATShard struct {
+	Shard        int    `json:"shard"`
+	Live         int    `json:"live"`
+	Slots        int    `json:"slots"`
+	PortCapacity int    `json:"portCapacity"`
+	JournalDepth uint64 `json:"journalDepth"`
+	PendingDelta uint64 `json:"pendingDelta"`
+	AwaitingSnap bool   `json:"awaitingSnap"`
+}
+
+// SNATResponse is the /snat body: the survivable session store's serving
+// side, promotion accounting, replication health and per-shard detail.
+type SNATResponse struct {
+	OnBackup      bool        `json:"onBackup"`
+	Sessions      int         `json:"sessions"`
+	StandbySess   int         `json:"standbySessions"`
+	MemoryBytes   uint64      `json:"memoryBytes"`
+	Preserved     uint64      `json:"preserved"`
+	Orphaned      uint64      `json:"orphaned"`
+	Promotions    uint64      `json:"promotions"`
+	DeltasApplied uint64      `json:"deltasApplied"`
+	Snapshots     uint64      `json:"snapshots"`
+	SnapshotGen   uint64      `json:"snapshotGeneration"`
+	Retries       uint64      `json:"retries"`
+	Gaps          uint64      `json:"gaps"`
+	Failed        uint64      `json:"failed"`
+	LagSeconds    float64     `json:"replicationLagSeconds"`
+	Shards        []SNATShard `json:"shards"`
+}
+
+// BuildSNAT snapshots the session service for the admin plane. A nil
+// service (a node with no SNAT role) renders as an empty response.
+func BuildSNAT(svc *snat.Service) SNATResponse {
+	out := SNATResponse{Shards: []SNATShard{}}
+	if svc == nil {
+		return out
+	}
+	rs := svc.ReplicationStats()
+	out.OnBackup = svc.OnBackup()
+	out.Sessions = svc.Sessions()
+	out.StandbySess = svc.Standby().Sessions()
+	out.MemoryBytes = svc.Active().MemoryBytes()
+	out.Preserved = svc.Preserved()
+	out.Orphaned = svc.Orphaned()
+	out.Promotions = svc.Promotions()
+	out.DeltasApplied = rs.DeltasApplied
+	out.Snapshots = rs.Snapshots
+	out.SnapshotGen = rs.SnapshotGeneration
+	out.Retries = rs.Retries
+	out.Gaps = rs.Gaps
+	out.Failed = rs.Failed
+	out.LagSeconds = rs.LagSeconds
+	for _, h := range svc.ShardHealths() {
+		out.Shards = append(out.Shards, SNATShard{
+			Shard:        h.Shard,
+			Live:         h.Live,
+			Slots:        h.Slots,
+			PortCapacity: h.PortCapacity,
+			JournalDepth: h.JournalDepth,
+			PendingDelta: h.PendingDelta,
+			AwaitingSnap: h.AwaitingSnap,
 		})
 	}
 	return out

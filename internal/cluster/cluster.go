@@ -17,6 +17,7 @@ import (
 	"sailfish/internal/lb"
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/snat"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
@@ -386,6 +387,15 @@ type Region struct {
 	FrontEnd *lb.FrontEnd
 	Fallback []*xgw86.Node
 
+	// snatSvc is the region's shared SNAT session store: primary plus
+	// replicated standby over the pooled public IPs, attached to every
+	// fallback node so sessions survive whichever node a flow hashes to
+	// — and, through promotion, survive failover itself.
+	snatSvc *snat.Service
+	// snatOwner is the cluster whose failover/failback drives SNAT
+	// promotion (the cluster fronting the stateful service path).
+	snatOwner int
+
 	// activeBackup marks clusters currently served by their backup.
 	activeBackup map[int]bool
 	// disabled marks clusters not yet commissioned (or decommissioned):
@@ -561,14 +571,35 @@ func NewRegion(cfg Config, clusters, fallbackNodes int) *Region {
 	for i := 0; i < clusters; i++ {
 		r.AddCluster()
 	}
+	// The fallback pool shares one survivable SNAT service over the pooled
+	// public IPs: any node can translate any session, and the standby's
+	// replicated table keeps established sessions alive across failover.
+	var poolIPs []netip.Addr
+	for i := 0; i < fallbackNodes; i++ {
+		poolIPs = append(poolIPs, netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + i)}))
+	}
+	if fallbackNodes > 0 {
+		r.snatSvc = snat.NewService(snat.ServiceConfig{Store: snat.Config{PublicIPs: poolIPs}})
+	}
 	for i := 0; i < fallbackNodes; i++ {
 		x86cfg := xgw86.DefaultConfig()
 		x86cfg.GatewayIP = cfg.GatewayIP
-		x86cfg.PublicIPs = []netip.Addr{netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + i)})}
-		r.Fallback = append(r.Fallback, xgw86.NewNode(x86cfg))
+		x86cfg.PublicIPs = poolIPs
+		n := xgw86.NewNode(x86cfg)
+		n.AttachSNAT(r.snatSvc)
+		r.Fallback = append(r.Fallback, n)
 	}
 	return r
 }
+
+// SNATService returns the region's shared SNAT session service, or nil when
+// the region has no fallback pool. The controller's monitor pumps its
+// replication from the health tick.
+func (r *Region) SNATService() *snat.Service { return r.snatSvc }
+
+// SetSNATOwner names the cluster whose failover/failback promotes the SNAT
+// standby (default cluster 0).
+func (r *Region) SetSNATOwner(id int) { r.snatOwner = id }
 
 // AddCluster provisions a new main+backup cluster pair and its ECMP group,
 // returning the new cluster.
@@ -605,6 +636,11 @@ func (r *Region) FailoverCluster(id int) bool {
 		return false
 	}
 	r.activeBackup[id] = true
+	// The SNAT owner's failover promotes the replicated standby store so
+	// established sessions keep translating on the backup path.
+	if id == r.snatOwner && r.snatSvc != nil {
+		r.snatSvc.Failover()
+	}
 	return true
 }
 
@@ -616,6 +652,9 @@ func (r *Region) FailbackCluster(id int) bool {
 		return false
 	}
 	delete(r.activeBackup, id)
+	if id == r.snatOwner && r.snatSvc != nil {
+		r.snatSvc.Failback()
+	}
 	return true
 }
 

@@ -281,6 +281,14 @@ func (m *Monitor) Tick(now time.Time) {
 		}
 	}
 
+	// Pump SNAT replication before the recovery ladder runs: the last
+	// journal deltas land on the standby ahead of any promotion this tick
+	// performs, shrinking the orphan window to sessions created since the
+	// previous tick.
+	if svc := m.ctrl.region.SNATService(); svc != nil {
+		svc.Sync(now)
+	}
+
 	for _, cl := range m.ctrl.region.Clusters {
 		m.decideCluster(cl.ID, now)
 	}

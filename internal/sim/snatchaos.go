@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/faults"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/snat"
+	"sailfish/internal/tables"
+	"sailfish/internal/telemetry"
+)
+
+// SNATChaosConfig parameterizes the stateful-survivability scenario: a
+// festival-shaped connection-churn profile (baseline arrivals, then a spike
+// window of new-session bursts) over one SNAT tenant, with a multi-node
+// crash injected mid-spike. The health monitor is the only recovery actor;
+// its failover must promote the replicated standby store so established
+// sessions keep translating — the property the paper's stateful services
+// (§4.2, Fig. 11) owe their tenants through §6.1 disaster recovery.
+type SNATChaosConfig struct {
+	Seed int64
+	// Region shape: one cluster (the SNAT owner) plus the x86 pool.
+	NodesPerCluster int
+	FallbackNodes   int
+	// ClientVMs is the private VM population; sessions multiplex over it
+	// with distinct source ports (a festival crowd: many flows per VM).
+	ClientVMs int
+	// Ticks × TickStep is the virtual-time window.
+	Ticks    int
+	TickStep time.Duration
+	// Connection churn: BaseConnsPerTick new sessions per tick outside the
+	// spike, SpikeConnsPerTick inside [SpikeStart, SpikeEnd) ticks.
+	BaseConnsPerTick  int
+	SpikeConnsPerTick int
+	SpikeStart        int
+	SpikeEnd          int
+	// Established-session traffic per tick: outbound refreshes through the
+	// region and inbound responses through the pool.
+	RefreshPerTick   int
+	ResponsesPerTick int
+	// CrashAtTick kills CrashNodes of the main cluster for CrashTicks —
+	// mid-spike by default, forcing failover while churn is at its peak.
+	CrashAtTick int
+	CrashNodes  int
+	CrashTicks  int
+	// Replication shares fate with the dying cluster: transfers are lost
+	// for ReplDownTicks starting at CrashAtTick, so the standby is
+	// genuinely behind when promotion happens and the orphan accounting
+	// has something real to count.
+	ReplDownTicks int
+	Health        controller.HealthConfig
+}
+
+// DefaultSNATChaosConfig is the reference festival: 120 virtual seconds,
+// a 40-second spike of 4× connection arrivals, and two of the three main
+// nodes crashing 10 seconds into the spike peak with the replication link
+// dark across the detection window.
+func DefaultSNATChaosConfig() SNATChaosConfig {
+	return SNATChaosConfig{
+		Seed:              7,
+		NodesPerCluster:   3,
+		FallbackNodes:     2,
+		ClientVMs:         512,
+		Ticks:             12000,
+		TickStep:          10 * time.Millisecond,
+		BaseConnsPerTick:  3,
+		SpikeConnsPerTick: 12,
+		SpikeStart:        4000,
+		SpikeEnd:          8000,
+		RefreshPerTick:    30,
+		ResponsesPerTick:  30,
+		CrashAtTick:       7000,
+		CrashNodes:        2,
+		CrashTicks:        3000,
+		ReplDownTicks:     6,
+		Health:            controller.DefaultHealthConfig(),
+	}
+}
+
+// SNATChaosResult is the scenario outcome.
+type SNATChaosResult struct {
+	Sent, Delivered, Lost uint64
+	// LossRate is Lost/Sent against the paper's 0.2‰ budget.
+	LossRate float64
+
+	// EstablishedAtFailover is the session population when the standby was
+	// promoted; Preserved/Orphaned are the service's accounting at that
+	// instant (preserved sessions kept their exact public binding).
+	EstablishedAtFailover int
+	Preserved             uint64
+	Orphaned              uint64
+	// PreservationRate is Preserved/EstablishedAtFailover.
+	PreservationRate float64
+	// ProbeFailures counts the post-promotion inbound sweep's misses —
+	// the packet-level view of the orphan counter; NoSessionDrops is the
+	// x86 pool's no_session drop tally over the same sweep. All three
+	// views must reconcile.
+	ProbeFailures  uint64
+	NoSessionDrops uint64
+
+	// FailoverTick / FailbackTick are -1 if the transition never happened.
+	FailoverTick int
+	FailbackTick int
+	// FinalSessions / FinalSweepFailures close the loop: after failback,
+	// every tracked session must still translate.
+	FinalSessions      int
+	FinalSweepFailures uint64
+
+	Replication snat.ReplicatorStats
+	Recovery    telemetry.RecoveryCounters
+	Events      []telemetry.RecoveryEvent
+	FaultStats  faults.Stats
+	Consistent  bool
+}
+
+// snatSession is one tracked client session: its prebuilt outbound wire
+// packet and the public binding the harness last observed for it.
+type snatSession struct {
+	raw  []byte
+	bind tables.SNATBinding
+}
+
+// RunSNATChaos executes the festival scenario under a virtual clock.
+// Deterministic for a given config.
+func RunSNATChaos(cfg SNATChaosConfig) (*SNATChaosResult, error) {
+	if cfg.Ticks == 0 {
+		cfg = DefaultSNATChaosConfig()
+	}
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.NodesPerCluster = cfg.NodesPerCluster
+	region := cluster.NewRegion(ccfg, 1, cfg.FallbackNodes)
+	svc := region.SNATService()
+	if svc == nil {
+		return nil, fmt.Errorf("sim: region has no SNAT service (no fallback pool)")
+	}
+	ctrl := controller.New(controller.Config{
+		SafeWaterLevel:   0.8,
+		AutoExpand:       true,
+		MirrorToFallback: true,
+		Now:              clock.Now,
+	}, region)
+
+	// Replication loses every transfer while the link is dark — the chaos
+	// knob rides the production retry/snapshot path, not a special case.
+	tick := 0
+	replDownUntil := -1
+	svc.SetReplication(snat.ReplicationConfig{
+		JitterSeed: cfg.Seed,
+		Link: func(shard, deltas int) error {
+			if tick < replDownUntil {
+				return snat.ErrLinkDown
+			}
+			return nil
+		},
+		Sleep: func(time.Duration) {}, // virtual time: no real backoff waits
+	})
+
+	plan := faults.NewPlan(cfg.Seed, clock)
+	for i := 0; i < cfg.CrashNodes && i < cfg.NodesPerCluster; i++ {
+		plan.Add(faults.Injection{
+			Node: fmt.Sprintf("xgwh-main-0-%d", i),
+			Kind: faults.Crash,
+			At:   time.Duration(cfg.CrashAtTick) * cfg.TickStep,
+			For:  time.Duration(cfg.CrashTicks) * cfg.TickStep,
+		})
+	}
+	plan.Apply(region)
+
+	if _, err := ctrl.PlaceTenant(snatTenant(cfg.ClientVMs)); err != nil {
+		return nil, fmt.Errorf("sim: placing SNAT tenant: %w", err)
+	}
+
+	mon := controller.NewMonitor(ctrl, cfg.Health)
+	res := &SNATChaosResult{FailoverTick: -1, FailbackTick: -1}
+	var sessions []snatSession
+	server := netip.MustParseAddr("93.184.216.34")
+
+	for tick = 0; tick < cfg.Ticks; tick++ {
+		clock.Advance(cfg.TickStep)
+		now := clock.Now()
+		plan.Tick()
+		if tick == cfg.CrashAtTick {
+			replDownUntil = tick + cfg.ReplDownTicks
+		}
+
+		wasBackup := svc.OnBackup()
+		mon.Tick(now)
+		if !wasBackup && svc.OnBackup() && res.FailoverTick < 0 {
+			res.FailoverTick = tick
+			reconcilePromotion(cfg, region, svc, res, sessions, now)
+		}
+		if wasBackup && !svc.OnBackup() && res.FailbackTick < 0 {
+			res.FailbackTick = tick
+		}
+
+		// Festival arrivals: new sessions through the full region path.
+		conns := cfg.BaseConnsPerTick
+		if tick >= cfg.SpikeStart && tick < cfg.SpikeEnd {
+			conns = cfg.SpikeConnsPerTick
+		}
+		for c := 0; c < conns; c++ {
+			i := len(sessions)
+			raw := snatOutboundPacket(cfg, i, server)
+			res.Sent++
+			bind, ok := deliverOutbound(region, raw, now)
+			if !ok {
+				res.Lost++
+				continue
+			}
+			res.Delivered++
+			sessions = append(sessions, snatSession{raw: raw, bind: bind})
+		}
+
+		// Established-session traffic: outbound refreshes keep bindings
+		// warm (and harness-visible), inbound responses exercise the
+		// reverse path on whichever pool node the flow hashes to.
+		for p := 0; p < cfg.RefreshPerTick && len(sessions) > 0; p++ {
+			s := &sessions[rng.Intn(len(sessions))]
+			res.Sent++
+			if bind, ok := deliverOutbound(region, s.raw, now); ok {
+				res.Delivered++
+				s.bind = bind
+			} else {
+				res.Lost++
+			}
+		}
+		for p := 0; p < cfg.ResponsesPerTick && len(sessions) > 0; p++ {
+			s := sessions[rng.Intn(len(sessions))]
+			res.Sent++
+			if deliverInbound(region, server, s.bind, now) {
+				res.Delivered++
+			} else {
+				res.Lost++
+			}
+		}
+
+		// The pool's incremental aging tick: a bounded slice of the store
+		// per round, never a full sweep on the data path.
+		region.Fallback[0].ReapSessions(now, 10*time.Minute, 4096)
+	}
+
+	// Final sweep: after failback every tracked session must still answer
+	// on its binding — survivability through both promotions.
+	now := clock.Now()
+	for _, s := range sessions {
+		res.Sent++
+		if deliverInbound(region, server, s.bind, now) {
+			res.Delivered++
+		} else {
+			res.Lost++
+			res.FinalSweepFailures++
+		}
+	}
+
+	res.FinalSessions = svc.Sessions()
+	if res.Sent > 0 {
+		res.LossRate = float64(res.Lost) / float64(res.Sent)
+	}
+	if res.EstablishedAtFailover > 0 {
+		res.PreservationRate = float64(res.Preserved) / float64(res.EstablishedAtFailover)
+	}
+	res.Replication = svc.ReplicationStats()
+	res.Recovery = ctrl.Recovery().Counters()
+	res.Events = ctrl.Recovery().Events()
+	res.FaultStats = plan.Stats()
+	res.Consistent = ctrl.CheckConsistency(0).Consistent
+	return res, nil
+}
+
+// reconcilePromotion runs the moment-of-truth audit immediately after the
+// standby is promoted: probe every established session inbound once and
+// check the packet-level failures against the service's orphan counter and
+// the pool's no_session drop tally — three independent views of the same
+// loss that must agree. Orphaned sessions are then re-established through
+// the region (the client's retransmit) so they carry fresh bindings.
+func reconcilePromotion(cfg SNATChaosConfig, region *cluster.Region, svc *snat.Service, res *SNATChaosResult, sessions []snatSession, now time.Time) {
+	res.EstablishedAtFailover = len(sessions)
+	res.Preserved = svc.Preserved()
+	res.Orphaned = svc.Orphaned()
+	server := netip.MustParseAddr("93.184.216.34")
+	dropsBefore := poolNoSessionDrops(region)
+	for i := range sessions {
+		res.Sent++
+		if deliverInbound(region, server, sessions[i].bind, now) {
+			res.Delivered++
+			continue
+		}
+		res.Lost++
+		res.ProbeFailures++
+		// Client retransmits; the promoted store allocates a new binding.
+		res.Sent++
+		if bind, ok := deliverOutbound(region, sessions[i].raw, now); ok {
+			res.Delivered++
+			sessions[i].bind = bind
+		} else {
+			res.Lost++
+		}
+	}
+	res.NoSessionDrops = poolNoSessionDrops(region) - dropsBefore
+}
+
+// poolNoSessionDrops sums the x86 pool's no_session drop counters.
+func poolNoSessionDrops(region *cluster.Region) uint64 {
+	var n uint64
+	for _, fb := range region.Fallback {
+		n += fb.Stats().DropReasons["no_session"]
+	}
+	return n
+}
+
+// deliverOutbound pushes one VM→Internet packet through the region and, on
+// success, parses the translated plain packet to learn the public binding.
+func deliverOutbound(region *cluster.Region, raw []byte, now time.Time) (tables.SNATBinding, bool) {
+	out, err := region.ProcessPacket(raw, now)
+	if err != nil || !out.ViaFallback || !out.FallbackOut.ToInternet {
+		return tables.SNATBinding{}, false
+	}
+	var parser netpkt.Parser
+	var plain netpkt.PlainPacket
+	if err := parser.ParsePlain(out.FallbackOut.Out, &plain); err != nil {
+		return tables.SNATBinding{}, false
+	}
+	f := plain.Flow()
+	return tables.SNATBinding{PublicIP: f.Src, PublicPort: f.SrcPort}, true
+}
+
+// deliverInbound sends one Internet→VM response at the session's public
+// binding into the pool node the flow hashes to (all pool nodes share the
+// region's session service, so any of them can reverse the translation).
+func deliverInbound(region *cluster.Region, server netip.Addr, bind tables.SNATBinding, now time.Time) bool {
+	buf := netpkt.NewSerializeBuffer(64, 256)
+	if err := netpkt.SerializeLayers(buf, []byte("200 OK"),
+		&netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+		&netpkt.IPv4{TTL: 60, Protocol: netpkt.IPProtocolUDP, SrcIP: server, DstIP: bind.PublicIP},
+		&netpkt.UDP{SrcPort: 443, DstPort: bind.PublicPort},
+	); err != nil {
+		return false
+	}
+	raw := buf.Bytes()
+	var parser netpkt.Parser
+	var plain netpkt.PlainPacket
+	if err := parser.ParsePlain(raw, &plain); err != nil {
+		return false
+	}
+	fb := region.Fallback[plain.Flow().FastHash()%uint64(len(region.Fallback))]
+	_, err := fb.ProcessSNATInbound(raw, now)
+	return err == nil
+}
+
+// snatTenant builds the festival tenant: VNI 300, ClientVMs private VMs,
+// a local route for the VM subnet and a default service-scope route so
+// Internet-bound traffic steers to the SNAT path on both the hardware and
+// software lookups.
+func snatTenant(clientVMs int) controller.TenantEntries {
+	t := controller.TenantEntries{VNI: 300, ServiceVNI: true}
+	t.Routes = append(t.Routes,
+		controller.RouteEntry{
+			VNI: 300, Prefix: netip.MustParsePrefix("172.16.0.0/16"),
+			Route: tables.Route{Scope: tables.ScopeLocal},
+		},
+		controller.RouteEntry{
+			VNI: 300, Prefix: netip.MustParsePrefix("0.0.0.0/0"),
+			Route: tables.Route{Scope: tables.ScopeService},
+		},
+	)
+	for i := 0; i < clientVMs; i++ {
+		t.VMs = append(t.VMs, controller.VMEntry{
+			VNI: 300,
+			VM:  clientVM(i),
+			NC:  netip.AddrFrom4([4]byte{10, 9, byte(i / 250), byte(2 + i%250)}),
+		})
+	}
+	return t
+}
+
+// clientVM maps a VM index into the tenant's 172.16.0.0/16 subnet.
+func clientVM(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{172, 16, byte(1 + i/250), byte(2 + i%250)})
+}
+
+// snatOutboundPacket builds session i's outbound wire packet: client VM
+// i%ClientVMs with a distinct source port, bound for the Internet server.
+func snatOutboundPacket(cfg SNATChaosConfig, i int, server netip.Addr) []byte {
+	spec := netpkt.BuildSpec{
+		VNI:      300,
+		OuterSrc: netip.MustParseAddr("10.1.1.1"),
+		OuterDst: netip.MustParseAddr("10.255.0.1"),
+		InnerSrc: clientVM(i % cfg.ClientVMs),
+		InnerDst: server,
+		Proto:    netpkt.IPProtocolUDP,
+		SrcPort:  uint16(1024 + i%60000),
+		DstPort:  443,
+	}
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := spec.Build(b)
+	if err != nil {
+		return nil
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	return cp
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSNATChaosFestivalFailoverPreservesSessions is the survivability
+// acceptance scenario: festival-shaped connection churn, two of three main
+// nodes crashing at spike peak with the replication link sharing their
+// fate, and the health monitor as the only recovery actor. Established
+// sessions must survive the promotion at ≥ 99.9%, total loss must stay
+// inside the 0.2‰ budget, and the three independent views of the orphan
+// population — the service's promotion diff, the inbound probe sweep, and
+// the pool's no_session drop tally — must agree exactly.
+func TestSNATChaosFestivalFailoverPreservesSessions(t *testing.T) {
+	res, err := RunSNATChaos(DefaultSNATChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sent=%d delivered=%d lost=%d rate=%.2e", res.Sent, res.Delivered, res.Lost, res.LossRate)
+	t.Logf("failover@%d failback@%d established=%d preserved=%d orphaned=%d (%.4f%%)",
+		res.FailoverTick, res.FailbackTick, res.EstablishedAtFailover,
+		res.Preserved, res.Orphaned, 100*res.PreservationRate)
+	t.Logf("probeFailures=%d noSessionDrops=%d finalSessions=%d finalSweepFailures=%d",
+		res.ProbeFailures, res.NoSessionDrops, res.FinalSessions, res.FinalSweepFailures)
+	t.Logf("replication=%+v", res.Replication)
+	for _, e := range res.Events {
+		t.Logf("event: %s", e)
+	}
+
+	if res.FailoverTick < 0 {
+		t.Fatal("failover never happened")
+	}
+	if res.FailbackTick < 0 {
+		t.Error("failback never happened after the crash cleared")
+	}
+	if res.EstablishedAtFailover == 0 {
+		t.Fatal("no sessions established before failover")
+	}
+
+	// Session preservation ≥ 99.9% through the mid-spike promotion.
+	if res.PreservationRate < 0.999 {
+		t.Errorf("preservation %.5f below 99.9%%", res.PreservationRate)
+	}
+	// The orphan window must be real (the dark replication link guarantees
+	// a behind standby) — otherwise the scenario proves nothing.
+	if res.Orphaned == 0 {
+		t.Error("no orphans: the replication-lag window was never exercised")
+	}
+	// Three views of the same loss: promotion diff, probe sweep, drop tally.
+	if res.Preserved+res.Orphaned != uint64(res.EstablishedAtFailover) {
+		t.Errorf("promotion accounting: preserved %d + orphaned %d != established %d",
+			res.Preserved, res.Orphaned, res.EstablishedAtFailover)
+	}
+	if res.ProbeFailures != res.Orphaned {
+		t.Errorf("probe sweep saw %d failures, promotion counted %d orphans",
+			res.ProbeFailures, res.Orphaned)
+	}
+	if res.NoSessionDrops != res.ProbeFailures {
+		t.Errorf("pool counted %d no_session drops, probe sweep %d failures",
+			res.NoSessionDrops, res.ProbeFailures)
+	}
+
+	// Loss inside the paper's fallback-era budget.
+	if res.LossRate >= 0.0002 {
+		t.Errorf("loss rate %.2e at or above the 0.2‰ budget", res.LossRate)
+	}
+	// After failback, every tracked session still answers on its binding.
+	if res.FinalSweepFailures != 0 {
+		t.Errorf("%d sessions unreachable after failback", res.FinalSweepFailures)
+	}
+	if !res.Consistent {
+		t.Error("post-recovery consistency check failed")
+	}
+	if res.Recovery.Detections == 0 || res.Recovery.NodeIsolations == 0 {
+		t.Error("the crash was never detected/isolated")
+	}
+}

@@ -1,0 +1,183 @@
+package snat
+
+// The replication log. Every mutating operation on a primary shard appends
+// one delta to that shard's bounded journal; a standby replays the deltas
+// in sequence order (replicate.go) so it always holds a promotable copy of
+// the session table. The journal is a fixed ring: when the standby falls
+// further behind than the ring retains, the gap is detected by sequence
+// number and repaired with a full-shard snapshot — the same
+// bounded-log-plus-snapshot discipline real state-sync protocols use.
+
+// Delta ops.
+const (
+	// OpCreate installs a session with its allocated binding.
+	OpCreate uint8 = iota + 1
+	// OpRefresh updates a session's idle stamp.
+	OpRefresh
+	// OpRelease tears a session down.
+	OpRelease
+)
+
+// Delta is one journaled session mutation. Seq numbers are per shard,
+// contiguous from 1.
+type Delta struct {
+	Seq    uint64
+	Op     uint8
+	K1, K2 uint64
+	IPIdx  uint16
+	Port   uint16
+	Stamp  uint32
+}
+
+// deltaBytes is the in-memory size of one Delta, for footprint accounting.
+const deltaBytes = 40
+
+// journal is one shard's bounded delta ring. Guarded by the shard mutex.
+type journal struct {
+	ring []Delta
+	// [first, next) is the retained window: next is the seq the next
+	// append takes, first the oldest seq still in the ring. first > an
+	// applier's cursor means the applier missed deltas (gap → snapshot).
+	first, next uint64
+}
+
+func (j *journal) init(depth int) {
+	if depth > 0 {
+		j.ring = make([]Delta, depth)
+	}
+	j.first, j.next = 1, 1
+}
+
+// append journals one delta, evicting the oldest when the ring is full.
+// A journal with no ring (depth 0) drops everything — a standalone store
+// pays nothing for the feature it does not use.
+func (j *journal) append(d Delta) {
+	if len(j.ring) == 0 {
+		return
+	}
+	d.Seq = j.next
+	j.ring[(j.next-1)%uint64(len(j.ring))] = d
+	j.next++
+	if j.next-j.first > uint64(len(j.ring)) {
+		j.first = j.next - uint64(len(j.ring))
+	}
+}
+
+// copySince appends deltas [from, next) to buf in sequence order; ok is
+// false when from predates the retained window (the applier must snapshot).
+func (j *journal) copySince(from uint64, buf []Delta) (_ []Delta, ok bool) {
+	if from < j.first {
+		return buf, false
+	}
+	for s := from; s < j.next; s++ {
+		buf = append(buf, j.ring[(s-1)%uint64(len(j.ring))])
+	}
+	return buf, true
+}
+
+// JournalBounds returns shard i's retained window [first, next).
+func (st *Store) JournalBounds(i int) (first, next uint64) {
+	s := &st.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.first, s.j.next
+}
+
+// CopyDeltas appends shard i's deltas from seq `from` onward to buf; ok is
+// false on a sequence gap (from predates the journal's retained window).
+func (st *Store) CopyDeltas(i int, from uint64, buf []Delta) (_ []Delta, ok bool) {
+	s := &st.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.copySince(from, buf)
+}
+
+// ApplyDeltas replays a batch of primary deltas onto this store (the
+// standby role). Application is idempotent per delta and must happen in
+// sequence order within a shard; nothing is re-journaled — a standby's own
+// journal only starts filling once it is promoted and takes live traffic.
+func (st *Store) ApplyDeltas(shard int, deltas []Delta) {
+	s := &st.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range deltas {
+		s.apply(st, d)
+	}
+}
+
+// apply replays one delta. Callers hold s.mu.
+func (s *shard) apply(st *Store, d Delta) {
+	switch d.Op {
+	case OpCreate:
+		// A re-sent create for a key we already hold just updates in
+		// place; a binding owned by a stale record is reclaimed (its
+		// release delta was folded away by ring eviction before a
+		// snapshot repair — the primary's word is authoritative).
+		if i := s.find(d.K1, d.K2); i >= 0 {
+			r := &s.slots[i]
+			if r.ipIdx == d.IPIdx && r.port == d.Port {
+				r.idleAt = d.Stamp
+				return
+			}
+			s.release(st, i, false)
+		}
+		if own := s.portOwner[s.ownerOff(st, d.IPIdx, d.Port)]; own != 0 {
+			s.release(st, int(own-1), false)
+		}
+		s.place(st, record{k1: d.K1, k2: d.K2, ipIdx: d.IPIdx, port: d.Port, idleAt: d.Stamp, state: slotLive})
+	case OpRefresh:
+		if i := s.find(d.K1, d.K2); i >= 0 {
+			s.slots[i].idleAt = d.Stamp
+		}
+	case OpRelease:
+		if i := s.find(d.K1, d.K2); i >= 0 {
+			s.release(st, i, false)
+		}
+	}
+}
+
+// ShardSnapshot is a full copy of one shard's live sessions, anchored at
+// the journal position Seq: applying the snapshot and then deltas from Seq
+// onward reconstructs the shard exactly.
+type ShardSnapshot struct {
+	Shard   int
+	Seq     uint64
+	Records []Delta
+}
+
+// SnapshotShard captures shard i for standby bootstrap/repair.
+func (st *Store) SnapshotShard(i int) ShardSnapshot {
+	s := &st.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := ShardSnapshot{Shard: i, Seq: s.j.next, Records: make([]Delta, 0, s.live.Load())}
+	for j := range s.slots {
+		r := &s.slots[j]
+		if r.state != slotLive {
+			continue
+		}
+		snap.Records = append(snap.Records, Delta{
+			Op: OpCreate, K1: r.k1, K2: r.k2, IPIdx: r.ipIdx, Port: r.port, Stamp: r.idleAt,
+		})
+	}
+	return snap
+}
+
+// InstallSnapshot replaces the shard's contents with the snapshot — the
+// standby's bootstrap/repair path after a sequence gap.
+func (st *Store) InstallSnapshot(snap ShardSnapshot) {
+	s := &st.shards[snap.Shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live.Add(-s.live.Load())
+	s.used = 0
+	for i := range s.slots {
+		s.slots[i] = record{}
+	}
+	for i := range s.portOwner {
+		s.portOwner[i] = 0
+	}
+	for _, d := range snap.Records {
+		s.place(st, record{k1: d.K1, k2: d.K2, ipIdx: d.IPIdx, port: d.Port, idleAt: d.Stamp, state: slotLive})
+	}
+}

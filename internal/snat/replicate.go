@@ -1,0 +1,258 @@
+package snat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Replicator pumps one store's journal into a standby. Transfers ride the
+// same fault-tolerant discipline as controller table pushes (§6.1): bounded
+// retry with exponential backoff and deterministic jitter, and an injectable
+// transport hook so simulations can lose replication traffic on the same
+// code path production takes. A shard that exhausts its retry budget is
+// simply left behind for the next Sync round — and if the journal ring has
+// meanwhile evicted what it missed, the sequence gap is detected and
+// repaired with a full-shard snapshot.
+
+// ErrLinkDown is the default error the transport hook can return to model a
+// lost transfer.
+var ErrLinkDown = errors.New("snat: replication link down")
+
+// ReplicationConfig tunes the standby sync policy.
+type ReplicationConfig struct {
+	// MaxAttempts bounds transfer tries per shard per Sync round (first
+	// try included; default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (default 50ms). MaxBackoff caps the growth (default 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (default 1).
+	JitterSeed int64
+	// Link, when set, is consulted before every transfer (deltas or
+	// snapshot); returning an error loses that attempt. nil is a reliable
+	// link.
+	Link func(shard, deltas int) error
+	// Sleep implements backoff waits; nil uses time.Sleep. Simulations
+	// inject a virtual-clock sleep.
+	Sleep func(time.Duration)
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// Replicator applies src's journal to dst. Sync is single-caller (the
+// monitor loop); the counters are atomics so scrapes read them live.
+type Replicator struct {
+	cfg ReplicationConfig
+	src *Store
+	dst *Store
+
+	// applied[i] is the next src seq shard i expects; dirty[i] forces a
+	// full-shard snapshot on the next round.
+	applied []uint64
+	dirty   []bool
+	buf     []Delta
+	rng     *rand.Rand
+
+	deltas    atomic.Uint64
+	snapshots atomic.Uint64
+	retries   atomic.Uint64
+	gaps      atomic.Uint64
+	failed    atomic.Uint64
+	snapGen   atomic.Uint64
+	lagBits   atomic.Uint64 // float64 bits: seconds of replication lag
+}
+
+// NewReplicator pairs src with its standby dst. bootstrap marks every shard
+// dirty so the first Sync snapshots the full table — the path a standby
+// takes when it attaches to (or re-attaches after serving as) a primary
+// with existing sessions.
+func NewReplicator(src, dst *Store, cfg ReplicationConfig, bootstrap bool) *Replicator {
+	cfg = cfg.withDefaults()
+	r := &Replicator{
+		cfg:     cfg,
+		src:     src,
+		dst:     dst,
+		applied: make([]uint64, src.ShardCount()),
+		dirty:   make([]bool, src.ShardCount()),
+		rng:     rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	for i := range r.applied {
+		r.applied[i], _ = src.JournalBounds(i)
+		r.dirty[i] = bootstrap
+	}
+	return r
+}
+
+// SyncReport summarizes one Sync round.
+type SyncReport struct {
+	// DeltasApplied / Snapshots count successful transfers; Gaps counts
+	// sequence gaps repaired by snapshot; Retries counts transfer
+	// attempts beyond each shard's first; Failed counts shards that
+	// exhausted their retry budget and stayed behind.
+	DeltasApplied int
+	Snapshots     int
+	Gaps          int
+	Retries       int
+	Failed        int
+	// LagSeconds is the post-round replication lag: the age (at now) of
+	// the oldest journaled delta not yet applied to the standby, 0 when
+	// fully caught up.
+	LagSeconds float64
+}
+
+// Sync pumps every shard's pending deltas (or a repair snapshot) into the
+// standby, then refreshes the lag gauge. Deterministic for a seeded config.
+func (r *Replicator) Sync(now time.Time) SyncReport {
+	var rep SyncReport
+	for i := range r.applied {
+		r.syncShard(i, &rep)
+	}
+	rep.LagSeconds = r.computeLag(now)
+	r.lagBits.Store(math.Float64bits(rep.LagSeconds))
+	return rep
+}
+
+// syncShard brings one shard of the standby up to date.
+func (r *Replicator) syncShard(i int, rep *SyncReport) {
+	if !r.dirty[i] {
+		r.buf = r.buf[:0]
+		buf, ok := r.src.CopyDeltas(i, r.applied[i], r.buf)
+		if ok {
+			r.buf = buf
+			if len(buf) > 0 {
+				r.transfer(i, len(buf), rep, func() {
+					r.dst.ApplyDeltas(i, r.buf)
+					r.applied[i] = r.buf[len(r.buf)-1].Seq + 1
+					r.deltas.Add(uint64(len(r.buf)))
+					rep.DeltasApplied += len(r.buf)
+				})
+			}
+			return
+		}
+		// The ring evicted deltas we never applied: snapshot repair.
+		r.dirty[i] = true
+		r.gaps.Add(1)
+		rep.Gaps++
+	}
+	r.transfer(i, -1, rep, func() {
+		snap := r.src.SnapshotShard(i)
+		r.dst.InstallSnapshot(snap)
+		r.applied[i] = snap.Seq
+		r.dirty[i] = false
+		r.snapshots.Add(1)
+		r.snapGen.Add(1)
+		rep.Snapshots++
+	})
+}
+
+// transfer runs one guarded transfer with the push-style retry policy,
+// invoking apply on success. Returns whether the transfer succeeded.
+func (r *Replicator) transfer(shard, deltas int, rep *SyncReport, apply func()) bool {
+	backoff := r.cfg.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		var err error
+		if r.cfg.Link != nil {
+			err = r.cfg.Link(shard, deltas)
+		}
+		if err == nil {
+			apply()
+			return true
+		}
+		if attempt >= r.cfg.MaxAttempts {
+			r.failed.Add(1)
+			rep.Failed++
+			return false
+		}
+		r.retries.Add(1)
+		rep.Retries++
+		// ±25% deterministic jitter, the pushNode policy.
+		d := backoff + time.Duration((r.rng.Float64()-0.5)*0.5*float64(backoff))
+		r.cfg.Sleep(d)
+		if backoff *= 2; backoff > r.cfg.MaxBackoff {
+			backoff = r.cfg.MaxBackoff
+		}
+	}
+}
+
+// computeLag returns the age of the oldest unapplied journaled delta.
+func (r *Replicator) computeLag(now time.Time) float64 {
+	nowStamp := r.src.stamp(now)
+	lag := float64(0)
+	for i := range r.applied {
+		first, next := r.src.JournalBounds(i)
+		from := r.applied[i]
+		if r.dirty[i] {
+			from = first
+		}
+		if from >= next {
+			continue
+		}
+		r.buf = r.buf[:0]
+		if buf, ok := r.src.CopyDeltas(i, from, r.buf); ok && len(buf) > 0 {
+			r.buf = buf
+			if age := float64(nowStamp) - float64(buf[0].Stamp); age > lag {
+				lag = age
+			}
+		}
+	}
+	return lag
+}
+
+// Lag returns the last computed replication lag in seconds; safe to read
+// from any goroutine.
+func (r *Replicator) Lag() float64 { return math.Float64frombits(r.lagBits.Load()) }
+
+// Pending returns shard i's unapplied delta count and whether the shard is
+// awaiting a snapshot repair.
+func (r *Replicator) Pending(i int) (deltas uint64, dirty bool) {
+	_, next := r.src.JournalBounds(i)
+	if next > r.applied[i] {
+		deltas = next - r.applied[i]
+	}
+	return deltas, r.dirty[i]
+}
+
+// ReplicatorStats snapshots the lifetime counters.
+type ReplicatorStats struct {
+	DeltasApplied      uint64
+	Snapshots          uint64
+	Retries            uint64
+	Gaps               uint64
+	Failed             uint64
+	SnapshotGeneration uint64
+	LagSeconds         float64
+}
+
+// Stats reads the counters; safe from any goroutine.
+func (r *Replicator) Stats() ReplicatorStats {
+	return ReplicatorStats{
+		DeltasApplied:      r.deltas.Load(),
+		Snapshots:          r.snapshots.Load(),
+		Retries:            r.retries.Load(),
+		Gaps:               r.gaps.Load(),
+		Failed:             r.failed.Load(),
+		SnapshotGeneration: r.snapGen.Load(),
+		LagSeconds:         r.Lag(),
+	}
+}

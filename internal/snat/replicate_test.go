@@ -1,0 +1,185 @@
+package snat
+
+import (
+	"testing"
+	"time"
+)
+
+func twin(cfg Config) (*Store, *Store) {
+	return New(cfg), New(cfg)
+}
+
+// assertMirrors checks that dst holds exactly src's sessions with identical
+// bindings, both directions.
+func assertMirrors(t *testing.T, src, dst *Store, n uint32) {
+	t.Helper()
+	if src.Sessions() != dst.Sessions() {
+		t.Fatalf("sessions: src %d, dst %d", src.Sessions(), dst.Sessions())
+	}
+	for i := uint32(0); i < n; i++ {
+		k := seqKey(i)
+		want, okS := src.Lookup(k)
+		got, okD := dst.Lookup(k)
+		if okS != okD || want != got {
+			t.Fatalf("session %d: src %v %v, dst %v %v", i, want, okS, got, okD)
+		}
+		if !okS {
+			continue
+		}
+		rk, ok := dst.ReverseLookup(want, k.Flow.Dst, k.Flow.DstPort, k.Flow.Proto, at(0))
+		if !ok || rk != k {
+			t.Fatalf("standby reverse path broken for %d: %+v %v", i, rk, ok)
+		}
+	}
+}
+
+func TestDeltaSyncMirrors(t *testing.T) {
+	cfg := Config{PublicIPs: pool(2), Shards: 4, JournalDepth: 4096}
+	src, dst := twin(cfg)
+	r := NewReplicator(src, dst, ReplicationConfig{}, false)
+	const n = 300
+	for i := uint32(0); i < n; i++ {
+		if _, err := src.Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := r.Sync(at(1))
+	if rep.DeltasApplied != n || rep.Snapshots != 0 || rep.Gaps != 0 {
+		t.Fatalf("sync report = %+v", rep)
+	}
+	assertMirrors(t, src, dst, n)
+	// Releases and refreshes flow through too.
+	for i := uint32(0); i < n; i += 2 {
+		src.Release(seqKey(i))
+	}
+	for i := uint32(1); i < n; i += 2 {
+		src.Touch(seqKey(i), at(9))
+	}
+	r.Sync(at(10))
+	assertMirrors(t, src, dst, n)
+	// Idempotent: an empty round applies nothing.
+	if rep := r.Sync(at(11)); rep.DeltasApplied != 0 || rep.Snapshots != 0 {
+		t.Fatalf("idle sync did work: %+v", rep)
+	}
+}
+
+// TestGapTriggersSnapshot overflows a tiny journal so the standby detects
+// the sequence gap and repairs via full-shard snapshot.
+func TestGapTriggersSnapshot(t *testing.T) {
+	cfg := Config{PublicIPs: pool(2), Shards: 2, JournalDepth: 8}
+	src, dst := twin(cfg)
+	r := NewReplicator(src, dst, ReplicationConfig{}, false)
+	const n = 500 // >> 2 shards x 8 deltas retained
+	for i := uint32(0); i < n; i++ {
+		if _, err := src.Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := r.Sync(at(1))
+	if rep.Gaps == 0 || rep.Snapshots == 0 {
+		t.Fatalf("expected gap->snapshot repair, got %+v", rep)
+	}
+	assertMirrors(t, src, dst, n)
+	st := r.Stats()
+	if st.Gaps != uint64(rep.Gaps) || st.SnapshotGeneration == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRetryBackoffJitter loses the first attempts of every transfer and
+// checks the pushNode-style policy: counted retries, doubling backoff with
+// +-25% jitter, eventual success.
+func TestRetryBackoffJitter(t *testing.T) {
+	cfg := Config{PublicIPs: pool(1), Shards: 1, JournalDepth: 1024}
+	src, dst := twin(cfg)
+	failures := 2
+	var slept []time.Duration
+	r := NewReplicator(src, dst, ReplicationConfig{
+		MaxAttempts: 4,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		JitterSeed:  7,
+		Link: func(shard, deltas int) error {
+			if failures > 0 {
+				failures--
+				return ErrLinkDown
+			}
+			return nil
+		},
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}, false)
+	if _, err := src.Translate(seqKey(1), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Sync(at(1))
+	if rep.Retries != 2 || rep.DeltasApplied != 1 || rep.Failed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, base := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond} {
+		lo, hi := base*3/4, base*5/4
+		if slept[i] < lo || slept[i] > hi {
+			t.Fatalf("backoff %d = %v, want within +-25%% of %v", i, slept[i], base)
+		}
+	}
+	assertMirrors(t, src, dst, 2)
+}
+
+// TestLinkDownLeavesShardBehind exhausts the retry budget, verifies the
+// standby is untouched and the lag gauge rises, then heals the link and
+// verifies catch-up.
+func TestLinkDownLeavesShardBehind(t *testing.T) {
+	cfg := Config{PublicIPs: pool(1), Shards: 1, JournalDepth: 1024}
+	src, dst := twin(cfg)
+	down := true
+	r := NewReplicator(src, dst, ReplicationConfig{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		Link: func(shard, deltas int) error {
+			if down {
+				return ErrLinkDown
+			}
+			return nil
+		},
+	}, false)
+	if _, err := src.Translate(seqKey(1), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Sync(at(30))
+	if rep.Failed != 1 || rep.DeltasApplied != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if dst.Sessions() != 0 {
+		t.Fatal("failed transfer mutated the standby")
+	}
+	if rep.LagSeconds < 29 || r.Lag() < 29 {
+		t.Fatalf("lag = %v/%v, want ~30s (delta created at t=0, now t=30)", rep.LagSeconds, r.Lag())
+	}
+	down = false
+	rep = r.Sync(at(31))
+	if rep.DeltasApplied != 1 || rep.LagSeconds != 0 {
+		t.Fatalf("catch-up report = %+v", rep)
+	}
+	assertMirrors(t, src, dst, 2)
+}
+
+// TestBootstrapSnapshot covers NewReplicator's bootstrap mode: attaching a
+// fresh standby to a primary that already holds sessions.
+func TestBootstrapSnapshot(t *testing.T) {
+	cfg := Config{PublicIPs: pool(2), Shards: 4, JournalDepth: 16}
+	src, dst := twin(cfg)
+	const n = 200
+	for i := uint32(0); i < n; i++ {
+		if _, err := src.Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReplicator(src, dst, ReplicationConfig{}, true)
+	rep := r.Sync(at(1))
+	if rep.Snapshots != 4 {
+		t.Fatalf("bootstrap synced %d snapshots, want one per shard (4): %+v", rep.Snapshots, rep)
+	}
+	assertMirrors(t, src, dst, n)
+}

@@ -1,0 +1,215 @@
+package snat
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sailfish/internal/metrics"
+)
+
+// Service pairs a primary session store with a standby replica and owns the
+// promotion protocol. The data plane only ever talks to Active(); the
+// recovery loop drives Sync every round and calls Failover/Failback when the
+// cluster-level ladder switches sides — after which established sessions
+// keep translating (reverse lookups included) because the standby has been
+// replaying the primary's journal all along.
+//
+// Promotion accounts its own honesty: sessions present on the promoted side
+// with the same binding count as preserved, sessions the standby never heard
+// about (or heard wrong) count as orphaned. The pair is exported as
+// sailfish_snat_sessions_preserved_total / _orphaned_total.
+type Service struct {
+	mu   sync.Mutex
+	cfg  ServiceConfig
+	a, b *Store // a is the initial primary, b the standby
+
+	active   atomic.Pointer[Store]
+	repl     *Replicator
+	onBackup atomic.Bool
+
+	preserved  atomic.Uint64
+	orphaned   atomic.Uint64
+	promotions atomic.Uint64
+}
+
+// ServiceConfig shapes the pair.
+type ServiceConfig struct {
+	// Store shapes both stores identically (same shards, pool, epoch). A
+	// zero JournalDepth is raised to 4096 — a service exists to replicate.
+	Store Config
+	// Replication tunes the standby sync policy.
+	Replication ReplicationConfig
+}
+
+// NewService builds the primary/standby pair with the primary active.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Store.JournalDepth <= 0 {
+		cfg.Store.JournalDepth = 4096
+	}
+	s := &Service{
+		cfg: cfg,
+		a:   New(cfg.Store),
+		b:   New(cfg.Store),
+	}
+	s.active.Store(s.a)
+	s.repl = NewReplicator(s.a, s.b, cfg.Replication, false)
+	return s
+}
+
+// Active returns the store the data plane must use; safe from any
+// goroutine, and stable within one packet's processing.
+func (s *Service) Active() *Store { return s.active.Load() }
+
+// Standby returns the passive store (tests and the admin plane).
+func (s *Service) Standby() *Store {
+	if s.Active() == s.a {
+		return s.b
+	}
+	return s.a
+}
+
+// OnBackup reports whether the standby side is serving.
+func (s *Service) OnBackup() bool { return s.onBackup.Load() }
+
+// SetReplication replaces the replication tuning — link hook, retry
+// policy, sleep — for the current replicator and every one built by future
+// promotions. This is the seam simulations use to lose replication traffic
+// on the same code path production transfers take.
+func (s *Service) SetReplication(cfg ReplicationConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Replication = cfg
+	s.repl.cfg = cfg.withDefaults()
+}
+
+// Sync pumps pending journal deltas (or repair snapshots) from the active
+// store into the standby. Call it from the recovery loop every round.
+func (s *Service) Sync(now time.Time) SyncReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl.Sync(now)
+}
+
+// Failover promotes the standby: the replicated table becomes the one the
+// data plane translates against, and replication reverses direction with a
+// full-snapshot bootstrap of the demoted side. Idempotent; reports whether
+// this call performed the switch.
+func (s *Service) Failover() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.onBackup.Load() {
+		return false
+	}
+	s.promote(s.a, s.b)
+	s.onBackup.Store(true)
+	return true
+}
+
+// Failback returns service to the primary side once the recovery ladder
+// does — by then the primary has been re-bootstrapped from the serving
+// standby, so sessions survive the second switch too. Idempotent.
+func (s *Service) Failback() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.onBackup.Load() {
+		return false
+	}
+	s.promote(s.b, s.a)
+	s.onBackup.Store(false)
+	return true
+}
+
+// promote diffs the demoted store against the newly serving one (the
+// preserved/orphaned accounting), swaps the active pointer, and reverses
+// replication with a bootstrap snapshot of the demoted side.
+func (s *Service) promote(from, to *Store) {
+	var preserved, orphaned uint64
+	for i := 0; i < from.ShardCount(); i++ {
+		from.rangeLive(i, func(r *record) {
+			ipIdx, port, ok := to.bindingOf(i, r.k1, r.k2)
+			if ok && ipIdx == r.ipIdx && port == r.port {
+				preserved++
+			} else {
+				orphaned++
+			}
+		})
+	}
+	s.preserved.Add(preserved)
+	s.orphaned.Add(orphaned)
+	s.promotions.Add(1)
+	s.active.Store(to)
+	s.repl = NewReplicator(to, from, s.cfg.Replication, true)
+}
+
+// Sessions returns the serving store's live session count.
+func (s *Service) Sessions() int { return s.Active().Sessions() }
+
+// Preserved returns sessions that survived promotions with their binding
+// intact; Orphaned the ones the standby missed; Promotions the switch count.
+func (s *Service) Preserved() uint64  { return s.preserved.Load() }
+func (s *Service) Orphaned() uint64   { return s.orphaned.Load() }
+func (s *Service) Promotions() uint64 { return s.promotions.Load() }
+
+// ReplicationStats snapshots the current replicator's lifetime counters.
+func (s *Service) ReplicationStats() ReplicatorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl.Stats()
+}
+
+// ShardHealth is one shard's replication view for the admin plane.
+type ShardHealth struct {
+	Shard        int
+	Live         int
+	Slots        int
+	PortCapacity int
+	JournalDepth uint64
+	PendingDelta uint64
+	AwaitingSnap bool
+}
+
+// ShardHealths snapshots every shard's occupancy and replication position.
+func (s *Service) ShardHealths() []ShardHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	act := s.Active()
+	out := make([]ShardHealth, act.ShardCount())
+	for i := range out {
+		ss := act.StatsShard(i)
+		pending, dirty := s.repl.Pending(i)
+		out[i] = ShardHealth{
+			Shard:        i,
+			Live:         ss.Live,
+			Slots:        ss.Slots,
+			PortCapacity: ss.PortCapacity,
+			JournalDepth: ss.JournalNext - ss.JournalFirst,
+			PendingDelta: pending,
+			AwaitingSnap: dirty,
+		}
+	}
+	return out
+}
+
+// RegisterMetrics publishes the service's counters into a live registry.
+func (s *Service) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("sailfish_snat_sessions_preserved_total",
+		"sessions that survived a failover promotion with their binding intact", nil,
+		s.preserved.Load)
+	reg.CounterFunc("sailfish_snat_sessions_orphaned_total",
+		"sessions lost or rebound across a failover promotion", nil,
+		s.orphaned.Load)
+	reg.CounterFunc("sailfish_snat_promotions_total",
+		"standby promotions (failover and failback)", nil,
+		s.promotions.Load)
+	reg.GaugeFunc("sailfish_snat_sessions",
+		"live SNAT sessions on the serving store", nil,
+		func() float64 { return float64(s.Sessions()) })
+	reg.GaugeFunc("sailfish_snat_replication_lag_seconds",
+		"age of the oldest journaled delta not yet applied to the standby", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.repl.Lag()
+		})
+}

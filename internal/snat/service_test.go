@@ -1,0 +1,247 @@
+package snat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sailfish/internal/metrics"
+	"sailfish/internal/tables"
+)
+
+func newTestService() *Service {
+	return NewService(ServiceConfig{Store: Config{PublicIPs: pool(2), Shards: 4}})
+}
+
+// TestFailoverPreservesSyncedSessions is the subsystem's reason to exist:
+// sessions replicated before the switch keep translating — reverse lookups
+// included — and the preserved/orphaned pair accounts for exactly the
+// replication lag.
+func TestFailoverPreservesSyncedSessions(t *testing.T) {
+	s := newTestService()
+	const synced, unsynced = 400, 25
+	for i := uint32(0); i < synced; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sync(at(1))
+	// Sessions created after the last sync round are the standby's blind
+	// spot — they must be the orphan count, nothing more.
+	for i := uint32(synced); i < synced+unsynced; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := make(map[uint32]tables.SNATBinding, synced)
+	for i := uint32(0); i < synced; i++ {
+		b, ok := s.Active().Lookup(seqKey(i))
+		if !ok {
+			t.Fatal("session lost before failover")
+		}
+		before[i] = b
+	}
+	if !s.Failover() {
+		t.Fatal("Failover returned false on first call")
+	}
+	if s.Failover() {
+		t.Fatal("Failover not idempotent")
+	}
+	if !s.OnBackup() {
+		t.Fatal("OnBackup false after failover")
+	}
+	if got, want := s.Preserved(), uint64(synced); got != want {
+		t.Fatalf("preserved = %d, want %d", got, want)
+	}
+	if got, want := s.Orphaned(), uint64(unsynced); got != want {
+		t.Fatalf("orphaned = %d, want %d", got, want)
+	}
+	if got, want := s.Promotions(), uint64(1); got != want {
+		t.Fatalf("promotions = %d, want %d", got, want)
+	}
+	for i := uint32(0); i < synced; i++ {
+		k := seqKey(i)
+		b, ok := s.Active().Lookup(k)
+		if !ok || b != before[i] {
+			t.Fatalf("session %d lost or rebound after failover: %v %v", i, b, ok)
+		}
+		rk, ok := s.Active().ReverseLookup(b, k.Flow.Dst, k.Flow.DstPort, k.Flow.Proto, at(3))
+		if !ok || rk != k {
+			t.Fatalf("reverse path broken after failover for %d: %+v %v", i, rk, ok)
+		}
+	}
+}
+
+// TestFailbackRoundTrip runs the full disaster cycle: failover, new sessions
+// on the promoted standby, re-bootstrap of the demoted primary, failback —
+// sessions survive both switches.
+func TestFailbackRoundTrip(t *testing.T) {
+	s := newTestService()
+	const gen1, gen2 = 200, 120
+	for i := uint32(0); i < gen1; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sync(at(1))
+	s.Failover()
+	// Life on the backup era: new sessions land on the promoted store.
+	for i := uint32(gen1); i < gen1+gen2; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reversed replication re-bootstraps the demoted primary by snapshot.
+	rep := s.Sync(at(6))
+	if rep.Snapshots == 0 {
+		t.Fatalf("reversed replication did not bootstrap the demoted side: %+v", rep)
+	}
+	if !s.Failback() {
+		t.Fatal("Failback returned false")
+	}
+	if s.Failback() {
+		t.Fatal("Failback not idempotent")
+	}
+	if s.OnBackup() {
+		t.Fatal("still on backup after failback")
+	}
+	if got, want := s.Preserved(), uint64(gen1+gen1+gen2); got != want {
+		t.Fatalf("preserved = %d, want %d (both promotions)", got, want)
+	}
+	if s.Orphaned() != 0 {
+		t.Fatalf("orphaned = %d, want 0 (everything was synced)", s.Orphaned())
+	}
+	if got := s.Sessions(); got != gen1+gen2 {
+		t.Fatalf("Sessions = %d, want %d", got, gen1+gen2)
+	}
+	for i := uint32(0); i < gen1+gen2; i++ {
+		k := seqKey(i)
+		b, ok := s.Active().Lookup(k)
+		if !ok {
+			t.Fatalf("session %d lost across the round trip", i)
+		}
+		if rk, ok := s.Active().ReverseLookup(b, k.Flow.Dst, k.Flow.DstPort, k.Flow.Proto, at(7)); !ok || rk != k {
+			t.Fatalf("reverse path broken after round trip for %d", i)
+		}
+	}
+}
+
+func TestServiceShardHealths(t *testing.T) {
+	s := newTestService()
+	for i := uint32(0); i < 100; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := s.ShardHealths()
+	if len(hs) != 4 {
+		t.Fatalf("%d shard rows, want 4", len(hs))
+	}
+	live, pending := 0, uint64(0)
+	for _, h := range hs {
+		live += h.Live
+		pending += h.PendingDelta
+	}
+	if live != 100 || pending != 100 {
+		t.Fatalf("live=%d pending=%d, want 100/100 before sync", live, pending)
+	}
+	s.Sync(at(1))
+	pending = 0
+	for _, h := range s.ShardHealths() {
+		pending += h.PendingDelta
+	}
+	if pending != 0 {
+		t.Fatalf("pending=%d after sync", pending)
+	}
+}
+
+func TestServiceMetrics(t *testing.T) {
+	s := newTestService()
+	reg := metrics.NewRegistry()
+	s.RegisterMetrics(reg)
+	if _, err := s.Active().Translate(seqKey(1), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync(at(1))
+	s.Failover()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sailfish_snat_sessions_preserved_total 1",
+		"sailfish_snat_sessions_orphaned_total 0",
+		"sailfish_snat_promotions_total 1",
+		"sailfish_snat_replication_lag_seconds",
+		"sailfish_snat_sessions 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServiceConcurrentTranslateSyncScrape drives the full concurrent shape
+// the region runs — data-plane translates, the monitor's Sync pump, and
+// metric scrapes — under the race detector (Makefile RACE_PKGS).
+func TestServiceConcurrentTranslateSyncScrape(t *testing.T) {
+	s := newTestService()
+	reg := metrics.NewRegistry()
+	s.RegisterMetrics(reg)
+	var wg sync.WaitGroup
+	const workers, per = 4, 1500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := seqKey(uint32(w*per + i))
+				if _, err := s.Active().Translate(k, at(int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Active().Touch(k, at(int64(i)))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		i := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Sync(at(i))
+				i++
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := reg.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.ShardHealths()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	s.Sync(at(1 << 20))
+	if got := s.Standby().Sessions(); got != workers*per {
+		t.Fatalf("standby holds %d sessions, want %d", got, workers*per)
+	}
+}

@@ -42,12 +42,17 @@ type snatReverseKey struct {
 // reach O(100M) in production — far beyond on-chip memory — which is exactly
 // why the table lives in software DRAM.
 //
+// SNATTable is the legacy single-shard implementation; the survivable
+// sharded store with standby replication lives in internal/snat and is what
+// the XGW-x86 pool runs. SNATTable remains the simple reference semantics
+// (and the shape one core's shard would have).
+//
 // SNATTable is not safe for concurrent use; each XGW-x86 core owns a shard.
 type SNATTable struct {
 	fwd      map[SNATKey]SNATBinding
 	rev      map[snatReverseKey]SNATKey
 	pool     []netip.Addr          // public IPs to allocate from
-	next     int                   // rotating index into pool
+	next     int                   // rotating index into pool, wraps in place
 	ports    map[netip.Addr]uint16 // next candidate port per public IP
 	inUse    map[SNATBinding]bool
 	lastSeen map[SNATKey]time.Time // idle timers for aging sweeps
@@ -161,8 +166,10 @@ func (t *SNATTable) allocate() (SNATBinding, error) {
 	}
 	// Each public IP offers 64512 ports; try every (ip, port) at most once.
 	for range t.pool {
-		ip := t.pool[t.next%len(t.pool)]
-		t.next++
+		ip := t.pool[t.next]
+		// Wrap in place: an unbounded increment would overflow the rotating
+		// index on a long-lived node allocating billions of sessions.
+		t.next = (t.next + 1) % len(t.pool)
 		start := t.ports[ip]
 		p := start
 		for {

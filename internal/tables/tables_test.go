@@ -375,6 +375,28 @@ func TestSNATReleaseThenReallocateReusesFreedPair(t *testing.T) {
 	}
 }
 
+// Regression: allocate() used to advance the rotating pool index with a bare
+// t.next++ and reduce it modulo the pool length only at read time, so the
+// counter grew without bound — on a long-lived node allocating billions of
+// sessions it would eventually overflow. The index must wrap in place and
+// still visit the pool round-robin.
+func TestSNATRotatingIndexStaysBounded(t *testing.T) {
+	pool := []netip.Addr{addr("203.0.113.1"), addr("203.0.113.2"), addr("203.0.113.3")}
+	st := NewSNATTable(pool)
+	for i := 0; i < 10*len(pool); i++ {
+		b, err := st.Translate(snatKey(1, "192.168.0.1", uint16(i+1)), time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pool[i%len(pool)]; b.PublicIP != want {
+			t.Fatalf("allocation %d on %v, want round-robin %v", i, b.PublicIP, want)
+		}
+		if st.next < 0 || st.next >= len(pool) {
+			t.Fatalf("rotating index escaped the pool after %d allocations: next=%d", i+1, st.next)
+		}
+	}
+}
+
 // --- ACL ---
 
 func TestACLPriorityAndWildcards(t *testing.T) {

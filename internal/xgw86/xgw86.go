@@ -19,6 +19,7 @@ import (
 
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/snat"
 	"sailfish/internal/tables"
 	"sailfish/internal/trace"
 )
@@ -97,8 +98,14 @@ type Node struct {
 	// pressure (§3.3: "storing the O(1M) tables is easy for the XGW-x86").
 	Routes *tables.VXLANRoutingTable
 	VMNC   *tables.VMNCTable
-	SNAT   *tables.SNATTable
 	ACL    *tables.ACL
+
+	// snat is the survivable session service: a sharded store plus its
+	// replicated standby. A pool of nodes behind the same public IPs
+	// shares one service (cluster.NewRegion attaches it), so any node can
+	// translate any session — the HyperNAT-style shared state that also
+	// makes failover session-preserving.
+	snat *snat.Service
 
 	parser netpkt.Parser
 	vpkt   netpkt.GatewayPacket
@@ -158,26 +165,44 @@ func NewNode(cfg Config) *Node {
 		cfg:    cfg,
 		Routes: tables.NewVXLANRoutingTable(),
 		VMNC:   tables.NewVMNCTable(),
-		SNAT:   tables.NewSNATTable(cfg.PublicIPs),
+		snat:   snat.NewService(snat.ServiceConfig{Store: snat.Config{PublicIPs: cfg.PublicIPs}}),
 		ACL:    tables.NewACL(),
 		sbuf:   netpkt.NewSerializeBuffer(128, 2048),
+	}
+}
+
+// SNAT returns the serving (active) session store — the table the data
+// plane translates against right now.
+func (n *Node) SNAT() *snat.Store { return n.snat.Active() }
+
+// SNATService returns the node's session service (store + standby +
+// replication).
+func (n *Node) SNATService() *snat.Service { return n.snat }
+
+// AttachSNAT points the node at a shared session service. The region wires
+// every XGW-x86 pool node to one service over the pooled public IPs, so a
+// response hashed to a different node than the request still resolves its
+// session. Attach before traffic starts.
+func (n *Node) AttachSNAT(svc *snat.Service) {
+	if svc != nil {
+		n.snat = svc
 	}
 }
 
 // Config returns the node's capacities.
 func (n *Node) Config() Config { return n.cfg }
 
-// Stats returns a snapshot of the behavioral counters. The packet counters
-// are read atomically and are safe under live traffic; SessionsAlive reads
-// the SNAT table and is only coherent from the goroutine driving the SNAT
-// path (or after it quiesces).
+// Stats returns a snapshot of the behavioral counters. Every field —
+// SessionsAlive included — is read from atomic counters (the session count
+// sums the sharded store's per-shard atomics), so the snapshot is safe and
+// coherent from any goroutine while traffic flows.
 func (n *Node) Stats() Stats {
 	s := Stats{
 		Forwarded:     n.stats.forwarded.Load(),
 		SNATOut:       n.stats.snatOut.Load(),
 		SNATIn:        n.stats.snatIn.Load(),
 		Dropped:       n.stats.dropped.Load(),
-		SessionsAlive: n.SNAT.Len(),
+		SessionsAlive: n.snat.Sessions(),
 		DropReasons:   make(map[string]uint64, numDropReasons-1),
 	}
 	for code := 1; code < int(numDropReasons); code++ {
@@ -314,12 +339,12 @@ func (n *Node) ProcessSNATOutbound(raw []byte, now time.Time) (FallbackResult, e
 		return FallbackResult{}, netpkt.ErrNotVXLAN
 	}
 	key := tables.SNATKey{VNI: n.vpkt.VXLAN.VNI, Flow: n.vpkt.InnerFlow()}
-	bind, err := n.SNAT.Translate(key, now)
+	// Translate refreshes the idle stamp itself; no separate Touch.
+	bind, err := n.snat.Active().Translate(key, now)
 	if err != nil {
 		n.drop(dropSNATExhausted, key.Flow.FastHash(), key.VNI, now)
 		return FallbackResult{}, err
 	}
-	n.SNAT.Touch(key, now)
 	// Rebuild the inner frame with the translated source.
 	f := key.Flow
 	layers := []netpkt.SerializableLayer{
@@ -361,12 +386,12 @@ func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, er
 	}
 	f := n.ppkt.Flow()
 	bind := tables.SNATBinding{PublicIP: f.Dst, PublicPort: f.DstPort}
-	key, ok := n.SNAT.ReverseLookup(bind, f.Src, f.SrcPort, f.Proto)
+	// ReverseLookup refreshes the session's idle stamp itself.
+	key, ok := n.snat.Active().ReverseLookup(bind, f.Src, f.SrcPort, f.Proto, now)
 	if !ok {
 		n.drop(dropNoSession, f.FastHash(), 0, now)
 		return FallbackResult{}, tables.ErrNoRoute
 	}
-	n.SNAT.Touch(key, now)
 	nc, ok := n.VMNC.Lookup(key.VNI, key.Flow.Src)
 	if !ok {
 		n.drop(dropNoVM, key.Flow.FastHash(), key.VNI, now)
@@ -403,10 +428,18 @@ func (n *Node) ProcessSNATInbound(raw []byte, now time.Time) (FallbackResult, er
 }
 
 // ExpireSessions ages out SNAT sessions idle for ttl at the given instant,
-// returning the number released — the periodic sweep a production node runs
-// to bound the session table.
+// returning the number released — the full sweep, kept for callers that can
+// afford it (tests, quiesced nodes).
 func (n *Node) ExpireSessions(now time.Time, ttl time.Duration) int {
-	return n.SNAT.ExpireIdle(now, ttl)
+	return n.snat.Active().ExpireIdle(now, ttl)
+}
+
+// ReapSessions is the incremental aging tick a production node runs
+// instead: it scans at most budget slots from the store's persistent
+// cursors, so a 100M-session table ages in bounded slices rather than one
+// stall-the-world sweep.
+func (n *Node) ReapSessions(now time.Time, ttl time.Duration, budget int) int {
+	return n.snat.Active().ReapIdle(now, ttl, budget)
 }
 
 // reencap wraps an inner frame in fresh VXLAN/UDP/IP/Ethernet headers. The

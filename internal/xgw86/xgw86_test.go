@@ -174,8 +174,8 @@ func TestSNATStableBinding(t *testing.T) {
 			t.Fatal("binding changed across packets of one session")
 		}
 	}
-	if n.SNAT.Len() != 1 {
-		t.Fatalf("sessions = %d", n.SNAT.Len())
+	if n.SNAT().Len() != 1 {
+		t.Fatalf("sessions = %d", n.SNAT().Len())
 	}
 }
 
