@@ -5,9 +5,9 @@ GO ?= go
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
 	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
 	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/... \
-	./internal/placement/... ./internal/snat/...
+	./internal/placement/... ./internal/snat/... ./internal/shardplane/...
 
-.PHONY: check vet build test race chaos bench bench-all bench-smoke fmt
+.PHONY: check vet build test race chaos bench bench-all bench-smoke bench-smoke-mc fmt
 
 ## check: the full gate — vet, build, tests, and the race pass.
 check: vet build test race
@@ -21,8 +21,12 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the concurrency gate. GOMAXPROCS=4 forces real interleaving for
+## the sharded data plane (shardplane workers, gw workers mode, driver)
+## even on single-core CI runners, where the default would serialize
+## goroutines and hide races.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
 
 ## chaos: run the seeded disaster-recovery scenario end to end.
 chaos:
@@ -47,6 +51,13 @@ bench-all:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/fastpath-bench -snat-max 1000000 -o /tmp/bench-smoke.json
+
+## bench-smoke-mc: the multi-core variant — the same smoke pass pinned to
+## GOMAXPROCS=4 so the sharded shardplane rows actually run their workers
+## in parallel (and the 0 allocs/op gate holds under real concurrency).
+bench-smoke-mc:
+	GOMAXPROCS=4 $(GO) test -run '^$$' -bench ShardPlane -benchtime 1x ./internal/shardplane/
+	GOMAXPROCS=4 $(GO) run ./cmd/fastpath-bench -snat-max 1000000 -o /tmp/bench-smoke-mc.json
 
 fmt:
 	gofmt -l -w .

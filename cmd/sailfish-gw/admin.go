@@ -39,6 +39,21 @@ func (s *server) registerMetrics() *metrics.Registry {
 	if s.loop != nil {
 		s.loop.RegisterMetrics(reg)
 	}
+	// Workers mode: per-shard intake counters and ring-depth gauges, the
+	// daemon-side mirror of the shardplane families. Gateway counters above
+	// are already merged — every worker increments the same atomic cells.
+	for i, sh := range s.shards {
+		sh := sh
+		lbl := metrics.Labels{"shard": strconv.Itoa(i)}
+		reg.CounterFunc("sailfish_gw_shard_processed_total", "datagrams run to completion by the worker", lbl,
+			sh.processed.Load)
+		reg.CounterFunc("sailfish_gw_shard_ring_full_total", "datagrams tail-dropped by a full shard ring", lbl,
+			sh.ringFull.Load)
+		reg.CounterFunc("sailfish_gw_shard_oversize_total", "datagrams exceeding the ring slot size", lbl,
+			sh.oversize.Load)
+		reg.GaugeFunc("sailfish_gw_shard_ring_depth", "current shard ring depth", lbl,
+			func() float64 { return float64(sh.ring.Len()) })
+	}
 	return reg
 }
 

@@ -23,12 +23,16 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/pcap"
 	"sailfish/internal/placement"
+	"sailfish/internal/shardplane"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
@@ -51,6 +55,17 @@ type fileConfig struct {
 	// software tenants: hot (VNI, DIP) keys are promoted into the hardware
 	// gateway and demoted when they cool (see internal/placement).
 	Placement *placementConfig `json:"placement,omitempty"`
+	// Workers selects the datagram processing model. 0 or 1 (the default)
+	// is the single run-to-completion serve loop. N > 1 runs the RSS-style
+	// sharded plane: the receive goroutine hashes each datagram's flow onto
+	// one of N SPSC rings, each drained by its own run-to-completion worker
+	// goroutine — the same dispatch internal/shardplane uses for the
+	// region, so a flow's packets always land on one worker and SNAT,
+	// trace and heavy-hitter state keep flow affinity. Needs GOMAXPROCS
+	// (and cores) > 1 to pay off. Incompatible with the placement stanza:
+	// the residency loop mutates gateway tables between datagrams, which
+	// is only safe while one goroutine owns the data path.
+	Workers int `json:"workers,omitempty"`
 }
 
 type tenantConfig struct {
@@ -142,6 +157,25 @@ type server struct {
 	lastCycle time.Time
 	// lastSync throttles the SNAT standby replication pump.
 	lastSync time.Time
+	// Sharded mode (workers > 1): one gwShard per worker, the x86 software
+	// path serialized across them (its re-encap scratch is
+	// single-threaded), and a closed flag the dispatcher flips so workers
+	// drain and exit.
+	workers int
+	shards  []*gwShard
+	fbMu    sync.Mutex
+	closed  atomic.Bool
+}
+
+// gwShard is one worker's share of the sharded data plane: a bounded SPSC
+// ring fed by the dispatcher and a private gateway scratch, so the hot path
+// never crosses a lock except at the x86 fallback tail.
+type gwShard struct {
+	ring      *shardplane.Ring
+	sc        *xgwh.PacketScratch
+	processed atomic.Uint64
+	ringFull  atomic.Uint64
+	oversize  atomic.Uint64
 }
 
 func newServer(fc fileConfig) (*server, error) {
@@ -220,6 +254,28 @@ func newServer(fc fileConfig) (*server, error) {
 			s.x86.VMNC.Insert(netpkt.VNI(t.VNI), vmIP, ncIP)
 		}
 	}
+	if fc.Workers < 0 {
+		return nil, fmt.Errorf("workers: %d (must be >= 0)", fc.Workers)
+	}
+	if fc.Workers > 1 && fc.Placement != nil {
+		return nil, fmt.Errorf("workers: %d is incompatible with the placement stanza: "+
+			"the residency loop mutates gateway tables between datagrams, which is only "+
+			"safe while one goroutine owns the data path; set workers to 1 or drop placement",
+			fc.Workers)
+	}
+	s.workers = fc.Workers
+	if fc.Workers > 1 {
+		s.shards = make([]*gwShard, fc.Workers)
+		for i := range s.shards {
+			// Scratch events resolve to the gateway's wired recorder; ring
+			// slots hold a full synthesized frame (9216-byte datagram
+			// budget plus outer Eth/IP/UDP headroom).
+			s.shards[i] = &gwShard{
+				ring: shardplane.NewRing(shardRingSlots, shardMaxFrame),
+				sc:   xgwh.NewPacketScratch(),
+			}
+		}
+	}
 	if fc.Placement != nil {
 		if err := s.enablePlacement(*fc.Placement, fc.SoftwareTenants); err != nil {
 			return nil, err
@@ -236,10 +292,22 @@ func newServer(fc fileConfig) (*server, error) {
 	return s, nil
 }
 
+// Sharded-mode ring geometry: slots hold one synthesized frame — the
+// 9216-byte datagram budget plus outer Eth/IP/UDP headroom.
+const (
+	shardRingSlots = 1024
+	shardMaxFrame  = 10240
+)
+
 // serve is the receive loop: one goroutine, run-to-completion per datagram —
 // the chip processes packets one pipeline pass at a time, so a single loop
-// models it faithfully while the socket provides backpressure.
+// models it faithfully while the socket provides backpressure. With
+// workers > 1 the loop instead becomes the RSS dispatcher over per-worker
+// rings (serveSharded).
 func (s *server) serve() error {
+	if s.workers > 1 {
+		return s.serveSharded()
+	}
 	for {
 		n, _, err := s.conn.ReadFromUDP(s.buf[:])
 		if err != nil {
@@ -249,6 +317,140 @@ func (s *server) serve() error {
 			log.Printf("sailfish-gw: %v", err)
 		}
 	}
+}
+
+// serveSharded is the workers-mode receive loop: this goroutine plays the
+// NIC RSS stage, hashing each datagram's flow onto its shard's SPSC ring;
+// one worker goroutine per shard drains its ring run-to-completion through
+// a private gateway scratch. The dispatch hash is the flow hash, so a
+// flow's packets always land on one worker and per-flow state (SNAT, trace
+// sampling, heavy hitters) keeps affinity. A full ring tail-drops the
+// datagram, as a NIC RX queue would.
+func (s *server) serveSharded() error {
+	if s.pcap != nil {
+		return fmt.Errorf("pcap capture requires the serial data path; set workers to 1")
+	}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *gwShard) {
+			defer wg.Done()
+			s.shardWorker(sh)
+		}(sh)
+	}
+	var rerr error
+	for {
+		n, _, err := s.conn.ReadFromUDP(s.buf[:])
+		if err != nil {
+			rerr = err
+			break
+		}
+		// Placement is gated off in this mode; the cycle hook only pumps
+		// the SNAT standby sync, which the session store serializes itself.
+		s.maybeCycle(time.Now())
+		frame, err := s.synthesizeOuter(s.buf[:n])
+		if err != nil {
+			log.Printf("sailfish-gw: %v", err)
+			continue
+		}
+		// Unparseable frames shard to 0 so the worker books the parse_error
+		// drop under the normal taxonomy, exactly as internal/shardplane
+		// dispatches for the region.
+		sh := s.shards[0]
+		var fm netpkt.FrontMeta
+		if perr := netpkt.ParseFront(frame, &fm); perr == nil {
+			sh = s.shards[shardplane.ShardIndex(fm.Flow.FastHash(), len(s.shards))]
+		}
+		if len(frame) > sh.ring.MaxPacket() {
+			sh.oversize.Add(1)
+			continue
+		}
+		if !sh.ring.Push(frame, time.Now().UnixNano()) {
+			sh.ringFull.Add(1)
+		}
+	}
+	s.closed.Store(true)
+	wg.Wait()
+	return rerr
+}
+
+// shardWorker drains one shard's ring until the dispatcher closes the
+// plane and the ring is empty. The idle backoff mirrors the shardplane
+// worker: spin briefly, then yield, then park — a loaded shard never
+// reaches the sleep tier.
+func (s *server) shardWorker(sh *gwShard) {
+	idle := 0
+	for {
+		frame, ns, ok := sh.ring.Peek()
+		if !ok {
+			if s.closed.Load() {
+				return
+			}
+			if idle++; idle < 64 {
+				continue
+			} else if idle < 256 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		if err := s.handleOn(sh, frame, time.Unix(0, ns)); err != nil {
+			log.Printf("sailfish-gw: %v", err)
+		}
+		sh.ring.Advance()
+		sh.processed.Add(1)
+	}
+}
+
+// handleOn processes one synthesized frame on a shard worker: the same
+// pipeline as handle, entered through the shard's private scratch. The x86
+// software tail serializes across workers (its re-encap scratch is
+// single-threaded), as the region's shard lanes do.
+func (s *server) handleOn(sh *gwShard, frame []byte, now time.Time) error {
+	var fm netpkt.FrontMeta
+	if perr := netpkt.ParseFront(frame, &fm); perr == nil {
+		// The tracker locks internally; flow affinity keeps each flow's
+		// updates on one worker regardless.
+		s.hh.Observe(0, fm.VNI, fm.Flow.FastHash(), fm.Flow.Dst, fm.WireLen)
+	}
+	res, err := s.gw.ProcessPacketWith(sh.sc, frame, now)
+	if err != nil {
+		return err
+	}
+	switch res.Action {
+	case xgwh.ActionForward:
+		return s.send(res.NC, res.Out)
+	case xgwh.ActionFallback:
+		// Hold the lock across the send: fres.Out aliases the node's
+		// re-encap scratch until the next fallback pass.
+		s.fbMu.Lock()
+		defer s.fbMu.Unlock()
+		fres, ferr := s.x86.ProcessFallback(frame, now)
+		if ferr != nil {
+			return fmt.Errorf("software path: %w", ferr)
+		}
+		return s.send(fres.NC, fres.Out)
+	default:
+		return fmt.Errorf("dropped: %s", res.DropReason)
+	}
+}
+
+// send strips the outer encapsulation from a rewritten frame and transmits
+// the VXLAN payload to the NC's underlay address. Safe for concurrent use:
+// the UDP socket serializes writes.
+func (s *server) send(nc netip.Addr, frame []byte) error {
+	ua := s.underlay[nc]
+	if ua == nil {
+		return fmt.Errorf("no underlay address for NC %v", nc)
+	}
+	out, err := vxlanPayload(frame)
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.WriteToUDP(out, ua)
+	return err
 }
 
 // handle processes one VXLAN datagram (VXLAN header + inner frame).

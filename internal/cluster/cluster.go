@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -108,6 +109,12 @@ type Node struct {
 	// trDev is the node's interned device id in the region's flight
 	// recorder; set by Region.EnableTracing, 0 when tracing is off.
 	trDev uint16
+
+	// mu serializes gateway entry for concurrent lanes when the gateway is
+	// not a bare *xgwh.Gateway (fault-injection wrappers keep the embedded
+	// single-threaded scratch). The serial single-goroutine paths never
+	// take it.
+	mu sync.Mutex
 }
 
 // rebuildPortCache recomputes the healthy-port index cache.
@@ -422,6 +429,16 @@ type Region struct {
 	// the feed behind the 95/5 HotEntries report. Set via EnableHeavyHitters
 	// before traffic.
 	hh *heavyhitter.Tracker
+
+	// lane0 is the region's built-in serial lane: ProcessPacket and
+	// ProcessBatch run on it, booking into r.stats and the region-global
+	// observers — exactly the pre-sharding single path. Shard lanes come
+	// from NewLane.
+	lane0 Lane
+	// fbMu serializes each fallback node's single-threaded scratch when
+	// concurrent shard lanes complete steered packets there (one mutex per
+	// pool node; the serial paths bypass it).
+	fbMu []sync.Mutex
 }
 
 // EnableStageMetrics attaches the steer-stage latency histogram to the
@@ -474,10 +491,12 @@ func FrontDropReasonNames() []string {
 // last recorder — detaching mid-flight is not a supported mode).
 func (r *Region) EnableTracing(rec *trace.Recorder) {
 	r.tr = rec
+	r.lane0.tr = rec
 	if rec == nil {
 		return
 	}
 	r.trDev = rec.InternDevice("frontend")
+	r.lane0.trDev = r.trDev
 	rec.SetReasonNames(trace.StageFront, FrontDropReasonNames())
 	rec.SetReasonNames(trace.StageDriver, DriverDropReasonNames())
 	for _, c := range r.Clusters {
@@ -498,25 +517,9 @@ func (r *Region) EnableTracing(rec *trace.Recorder) {
 
 // EnableHeavyHitters attaches the SpaceSaving tracker every successful
 // steering decision reports into. Call before traffic starts.
-func (r *Region) EnableHeavyHitters(t *heavyhitter.Tracker) { r.hh = t }
-
-// frontDrop books a front-end drop under its interned reason and emits the
-// always-on flight-recorder event. Callers keep bumping the coarse
-// dropped/noRoute counters exactly as before — this only adds the
-// per-reason breakdown.
-func (r *Region) frontDrop(code uint8, flowHash uint64, vni netpkt.VNI, now time.Time) {
-	r.stats.frontDrops[code].Add(1)
-	if tr := r.tr; tr != nil {
-		tr.Record(trace.Event{
-			TimeNs:   now.UnixNano(),
-			FlowHash: flowHash,
-			VNI:      vni,
-			Dev:      r.trDev,
-			Stage:    trace.StageFront,
-			Verdict:  trace.VerdictDrop,
-			Code:     code,
-		})
-	}
+func (r *Region) EnableHeavyHitters(t *heavyhitter.Tracker) {
+	r.hh = t
+	r.lane0.hh = t
 }
 
 // ErrClusterDisabled reports traffic steered at a cluster that has not been
@@ -589,6 +592,8 @@ func NewRegion(cfg Config, clusters, fallbackNodes int) *Region {
 		n.AttachSNAT(r.snatSvc)
 		r.Fallback = append(r.Fallback, n)
 	}
+	r.fbMu = make([]sync.Mutex, len(r.Fallback))
+	r.lane0 = Lane{r: r, ctr: &r.stats, serial: true}
 	return r
 }
 
@@ -724,31 +729,7 @@ type Result struct {
 // and reused for steering, the node pick, the egress-port pick and both
 // fallback picks.
 func (r *Region) ProcessPacket(raw []byte, now time.Time) (Result, error) {
-	obs := r.obs
-	var t0 time.Time
-	if obs != nil {
-		t0 = time.Now()
-	}
-	var fm netpkt.FrontMeta
-	if err := netpkt.ParseFront(raw, &fm); err != nil {
-		r.stats.dropped.Add(1)
-		r.frontDrop(fDropParseError, 0, 0, now)
-		return Result{}, err
-	}
-	flowHash := fm.Flow.FastHash()
-	clusterID, nodeIdx, err := r.FrontEnd.Route(fm.VNI, flowHash)
-	if err != nil {
-		r.stats.noRoute.Add(1)
-		r.frontDrop(fDropNoRoute, flowHash, fm.VNI, now)
-		return Result{}, err
-	}
-	if obs != nil {
-		obs.Steer.Observe(float64(time.Since(t0).Nanoseconds()))
-	}
-	if hh := r.hh; hh != nil {
-		hh.Observe(clusterID, fm.VNI, flowHash, fm.Flow.Dst, fm.WireLen)
-	}
-	return r.deliver(raw, fm.VNI, flowHash, clusterID, nodeIdx, now, nil)
+	return r.lane0.Process(raw, now)
 }
 
 // clusterMemo caches one cluster's mode lookups (disabled, degraded,
@@ -759,100 +740,6 @@ type clusterMemo struct {
 	disabled  bool
 	degraded  bool
 	serving   *Cluster
-}
-
-// deliver carries a routed packet into its cluster and, when steered there,
-// the XGW-x86 fallback pool. memo may be nil (single-shot path). vni is the
-// front parse's tenant id, carried along for flight-recorder events.
-func (r *Region) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, nodeIdx int, now time.Time, memo *clusterMemo) (Result, error) {
-	var disabled, degraded bool
-	var c *Cluster
-	if memo != nil && memo.ok && memo.clusterID == clusterID {
-		disabled, degraded, c = memo.disabled, memo.degraded, memo.serving
-	} else {
-		disabled = r.disabled[clusterID]
-		degraded = r.degraded[clusterID]
-		c = r.serving(clusterID)
-		if memo != nil {
-			*memo = clusterMemo{ok: true, clusterID: clusterID,
-				disabled: disabled, degraded: degraded, serving: c}
-		}
-	}
-	if disabled {
-		r.stats.dropped.Add(1)
-		r.frontDrop(fDropClusterDisabled, flowHash, vni, now)
-		return Result{}, ErrClusterDisabled
-	}
-	if degraded {
-		// Graceful degradation: both main and backup impaired — the
-		// XGW-x86 pool carries the cluster's residual traffic.
-		out := Result{ClusterID: clusterID}
-		if len(r.Fallback) == 0 {
-			r.stats.dropped.Add(1)
-			r.frontDrop(fDropNoLiveNode, flowHash, vni, now)
-			return out, ErrNoLiveNodes
-		}
-		r.stats.degraded.Add(1)
-		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
-		fres, ferr := fb.ProcessFallback(raw, now)
-		if ferr != nil {
-			r.stats.dropped.Add(1)
-			r.frontDrop(fDropFallbackError, flowHash, vni, now)
-			return out, ferr
-		}
-		out.GW = xgwh.ForwardResult{Action: xgwh.ActionFallback}
-		out.ViaFallback = true
-		out.FallbackOut = fres
-		return out, nil
-	}
-	live := c.LiveNodes()
-	if len(live) == 0 {
-		r.stats.dropped.Add(1)
-		r.frontDrop(fDropNoLiveNode, flowHash, vni, now)
-		return Result{}, ErrNoLiveNodes
-	}
-	node := live[nodeIdx%len(live)]
-	port, ok := node.PickPort(flowHash)
-	if !ok {
-		r.stats.dropped.Add(1)
-		r.frontDrop(fDropNoHealthyPort, flowHash, vni, now)
-		return Result{}, ErrNoLiveNodes
-	}
-	if tr := r.tr; tr != nil && tr.Sampled(flowHash) {
-		// The steering hop of a sampled flow's timeline: which node the
-		// front end picked, before the gateway's own verdict event.
-		tr.Record(trace.Event{TimeNs: now.UnixNano(), FlowHash: flowHash,
-			VNI: vni, Dev: node.trDev, Stage: trace.StageFront, Verdict: trace.VerdictSteered})
-	}
-	res, err := node.GW.ProcessPacket(raw, now)
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port, GW: res}
-	switch res.Action {
-	case xgwh.ActionForward:
-		r.stats.forwarded.Add(1)
-	case xgwh.ActionDrop:
-		r.stats.dropped.Add(1)
-	case xgwh.ActionFallback:
-		r.stats.fallback.Add(1)
-		if res.FallbackMiss {
-			r.stats.fallbackMiss.Add(1)
-		}
-		if len(r.Fallback) == 0 {
-			return out, nil
-		}
-		fb := r.Fallback[flowHash%uint64(len(r.Fallback))]
-		fres, ferr := fb.ProcessFallback(raw, now)
-		if ferr != nil {
-			r.stats.dropped.Add(1)
-			r.frontDrop(fDropFallbackError, flowHash, vni, now)
-			return out, nil
-		}
-		out.ViaFallback = true
-		out.FallbackOut = fres
-	}
-	return out, nil
 }
 
 // BatchResult is one packet's outcome within a ProcessBatch call.
@@ -877,74 +764,14 @@ type BatchResult struct {
 // the Driver documents); VNIs with an active migration ramp route per flow
 // and bypass the memo.
 func (r *Region) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) []BatchResult {
-	var steer struct {
-		ok      bool
-		vni     netpkt.VNI
-		cluster int
-		group   *lb.ECMP
-	}
-	var cmemo clusterMemo
-	for _, raw := range raws {
-		var fm netpkt.FrontMeta
-		if err := netpkt.ParseFront(raw, &fm); err != nil {
-			r.stats.dropped.Add(1)
-			r.frontDrop(fDropParseError, 0, 0, now)
-			out = append(out, BatchResult{Err: err})
-			continue
-		}
-		flowHash := fm.Flow.FastHash()
-		var clusterID, nodeIdx int
-		if steer.ok && steer.vni == fm.VNI {
-			ni, ok := steer.group.PickHash(flowHash)
-			if !ok {
-				// Group emptied out: take the uncached path for the
-				// canonical error and stats.
-				steer.ok = false
-			} else {
-				clusterID, nodeIdx = steer.cluster, ni
-			}
-		}
-		if !steer.ok || steer.vni != fm.VNI {
-			var err error
-			clusterID, nodeIdx, err = r.FrontEnd.Route(fm.VNI, flowHash)
-			if err != nil {
-				r.stats.noRoute.Add(1)
-				r.frontDrop(fDropNoRoute, flowHash, fm.VNI, now)
-				out = append(out, BatchResult{Err: err})
-				continue
-			}
-			if cl, g, ramped, err := r.FrontEnd.RouteInfo(fm.VNI); err == nil && !ramped {
-				steer.ok, steer.vni, steer.cluster, steer.group = true, fm.VNI, cl, g
-			} else {
-				steer.ok = false
-			}
-		}
-		if hh := r.hh; hh != nil {
-			hh.Observe(clusterID, fm.VNI, flowHash, fm.Flow.Dst, fm.WireLen)
-		}
-		res, err := r.deliver(raw, fm.VNI, flowHash, clusterID, nodeIdx, now, &cmemo)
-		out = append(out, BatchResult{Result: res, Err: err})
-	}
-	return out
+	return r.lane0.ProcessBatch(raws, now, out)
 }
 
 // Stats returns a snapshot of the region counters. Each cell is read
 // atomically, so the snapshot is exact per counter even while Driver workers
 // and submitters are incrementing concurrently.
 func (r *Region) Stats() RegionStats {
-	s := RegionStats{
-		Forwarded:    r.stats.forwarded.Load(),
-		Fallback:     r.stats.fallback.Load(),
-		FallbackMiss: r.stats.fallbackMiss.Load(),
-		Dropped:      r.stats.dropped.Load(),
-		NoRoute:      r.stats.noRoute.Load(),
-		Degraded:     r.stats.degraded.Load(),
-		FrontDrops:   make(map[string]uint64, numFrontDropReasons-1),
-	}
-	for code := 1; code < int(numFrontDropReasons); code++ {
-		s.FrontDrops[frontDropName[code]] = r.stats.frontDrops[code].Load()
-	}
-	return s
+	return r.stats.snapshot()
 }
 
 // ResetStats zeroes the region counters. Safe under live traffic;

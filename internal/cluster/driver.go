@@ -46,11 +46,37 @@ type Driver struct {
 
 	stats driverCounters
 
-	batchPool   sync.Pool // *jobBatch
-	resPool     sync.Pool // *resultBatch
-	bufPool     sync.Pool // *[]byte packet copies
+	// Recycling runs through bounded freelist channels with the sync.Pools
+	// as overflow: a GC cycle empties the pools (dropping every grown slice
+	// capacity with them), so on a long-lived driver the pools alone leave a
+	// steady trickle of re-allocation on the submit path. The freelists are
+	// GC-proof and sized like a NIC mempool — to the worst-case in-flight
+	// population the topology allows (queues × depth × defaultBatchCap jobs,
+	// capped at maxBufFreeSlots) — so in steady state every buffer the
+	// submitter needs is one a worker already returned, and the pools only
+	// absorb bursts beyond that ceiling (outsized caller batches).
+	batchFree   chan *jobBatch
+	resFree     chan *resultBatch
+	bufFree     chan *[]byte
+	batchPool   sync.Pool // *jobBatch overflow
+	resPool     sync.Pool // *resultBatch overflow
+	bufPool     sync.Pool // *[]byte packet copies, overflow
 	scratchPool sync.Pool // *batchScratch per-SubmitBatch grouping state
 }
+
+// defaultBatchCap pre-sizes recycled job/result slices so a fresh batch
+// does not pay the append growth chain packet by packet.
+const defaultBatchCap = 64
+
+// defaultBufCap pre-sizes recycled packet buffers; frames up to this length
+// reuse any recycled buffer instead of only same-or-larger ones.
+const defaultBufCap = 2048
+
+// maxBufFreeSlots caps the packet-buffer freelist: the slot array itself is
+// allocated eagerly (8 B/slot), and retained buffers never shrink back, so
+// a deep-queue many-node driver is bounded at 2 MiB of slots rather than
+// scaling without limit.
+const maxBufFreeSlots = 1 << 18
 
 // Driver drop-reason codes. The hot path increments a fixed array indexed
 // by these; names are materialized only on the slow path (Stats, scrape).
@@ -143,12 +169,28 @@ func NewDriver(r *Region, queueDepth int) *Driver {
 	if queueDepth <= 0 {
 		queueDepth = 256
 	}
+	// Worst-case in-flight batches: every node RX queue full plus the
+	// result queue; buffers scale that by the jobs-per-batch pre-size.
+	// Freelists that cover the whole population make recycling GC-proof
+	// end to end (see the field comment).
+	qcount := 0
+	for _, c := range r.Clusters {
+		qcount += len(c.Nodes) + len(c.Backup.Nodes)
+	}
+	inflight := qcount*queueDepth + queueDepth*2
+	bufSlots := inflight * defaultBatchCap
+	if bufSlots > maxBufFreeSlots {
+		bufSlots = maxBufFreeSlots
+	}
 	d := &Driver{
-		region:  r,
-		queues:  make(map[string]chan *jobBatch),
-		resultq: make(chan *resultBatch, queueDepth*2),
-		results: make(chan DriverResult, queueDepth*4),
-		depth:   queueDepth,
+		region:    r,
+		queues:    make(map[string]chan *jobBatch),
+		resultq:   make(chan *resultBatch, queueDepth*2),
+		results:   make(chan DriverResult, queueDepth*4),
+		depth:     queueDepth,
+		batchFree: make(chan *jobBatch, inflight),
+		resFree:   make(chan *resultBatch, queueDepth*2),
+		bufFree:   make(chan *[]byte, bufSlots),
 	}
 	for _, c := range r.Clusters {
 		for _, set := range [][]*Node{c.Nodes, c.Backup.Nodes} {
@@ -173,10 +215,7 @@ func NewDriver(r *Region, queueDepth int) *Driver {
 func (d *Driver) worker(q chan *jobBatch) {
 	defer d.wg.Done()
 	for b := range q {
-		rb, _ := d.resPool.Get().(*resultBatch)
-		if rb == nil {
-			rb = &resultBatch{}
-		}
+		rb := d.getResultBatch()
 		for i := range b.jobs {
 			j := &b.jobs[i]
 			res, err := j.node.GW.ProcessPacket(*j.raw, j.now)
@@ -193,11 +232,10 @@ func (d *Driver) worker(q chan *jobBatch) {
 			out := j.meta
 			out.GW = res
 			rb.res = append(rb.res, DriverResult{Result: out, Err: err})
-			d.bufPool.Put(j.raw)
+			d.putBuf(j.raw)
 			j.raw = nil
 		}
-		b.jobs = b.jobs[:0]
-		d.batchPool.Put(b)
+		d.putBatch(b)
 		d.resultq <- rb
 	}
 }
@@ -209,31 +247,82 @@ func (d *Driver) demux() {
 		for i := range rb.res {
 			d.results <- rb.res[i]
 		}
-		rb.res = rb.res[:0]
-		d.resPool.Put(rb)
+		d.putResultBatch(rb)
 	}
 }
 
 func (d *Driver) getBatch() *jobBatch {
+	select {
+	case b := <-d.batchFree:
+		return b
+	default:
+	}
 	if b, _ := d.batchPool.Get().(*jobBatch); b != nil {
 		return b
 	}
-	return &jobBatch{}
+	return &jobBatch{jobs: make([]job, 0, defaultBatchCap)}
 }
 
-// getBuf returns a pooled buffer resized to n bytes.
+// putBatch recycles an emptied batch: freelist first, pool overflow.
+func (d *Driver) putBatch(b *jobBatch) {
+	b.jobs = b.jobs[:0]
+	select {
+	case d.batchFree <- b:
+	default:
+		d.batchPool.Put(b)
+	}
+}
+
+// getBuf returns a recycled buffer resized to n bytes.
 func (d *Driver) getBuf(n int) *[]byte {
-	p, _ := d.bufPool.Get().(*[]byte)
+	var p *[]byte
+	select {
+	case p = <-d.bufFree:
+	default:
+		p, _ = d.bufPool.Get().(*[]byte)
+	}
 	if p == nil {
-		b := make([]byte, n)
+		b := make([]byte, n, max(n, defaultBufCap))
 		return &b
 	}
 	if cap(*p) < n {
-		*p = make([]byte, n)
+		*p = make([]byte, n, max(n, defaultBufCap))
 	} else {
 		*p = (*p)[:n]
 	}
 	return p
+}
+
+// putBuf recycles a packet buffer: freelist first, pool overflow.
+func (d *Driver) putBuf(p *[]byte) {
+	select {
+	case d.bufFree <- p:
+	default:
+		d.bufPool.Put(p)
+	}
+}
+
+func (d *Driver) getResultBatch() *resultBatch {
+	select {
+	case rb := <-d.resFree:
+		return rb
+	default:
+	}
+	if rb, _ := d.resPool.Get().(*resultBatch); rb != nil {
+		return rb
+	}
+	return &resultBatch{res: make([]DriverResult, 0, defaultBatchCap)}
+}
+
+// putResultBatch recycles an emptied result batch: freelist first, pool
+// overflow.
+func (d *Driver) putResultBatch(rb *resultBatch) {
+	rb.res = rb.res[:0]
+	select {
+	case d.resFree <- rb:
+	default:
+		d.resPool.Put(rb)
+	}
 }
 
 func (d *Driver) getScratch() *batchScratch {
@@ -253,11 +342,10 @@ func (d *Driver) putScratch(s *batchScratch) {
 // without processing (used on tail drop).
 func (d *Driver) recycle(b *jobBatch) {
 	for i := range b.jobs {
-		d.bufPool.Put(b.jobs[i].raw)
+		d.putBuf(b.jobs[i].raw)
 		b.jobs[i].raw = nil
 	}
-	b.jobs = b.jobs[:0]
-	d.batchPool.Put(b)
+	d.putBatch(b)
 }
 
 // drop accounts n packets lost for the given reason, both in the driver's

@@ -226,6 +226,53 @@ func TestDriverSubmitBatchZeroAlloc(t *testing.T) {
 	d.Close()
 }
 
+// TestDriverSaturatedSubmitZeroAlloc pins the backpressured SubmitBatch
+// path: once the RX queues, the workers' result path and the results
+// channel are all full (nothing drains them), every further submission is
+// pure tail-drop recycling — route, copy into a recycled buffer, fail the
+// queue send, recycle batch and buffer — and must not allocate. This is the
+// regression guard for the driver/submit-batch bench residual: only the
+// one-time queue-population ramp may allocate, never the steady state.
+func TestDriverSaturatedSubmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow memory allocates on channel operations")
+	}
+	r := NewRegion(smallConfig(), 1, 0)
+	installTenant(t, r, 0, 100)
+	d := NewDriver(r, 4)
+	var raws [][]byte
+	for i := 0; i < 16; i++ {
+		raws = append(raws, buildPacket(t, 100, fmt.Sprintf("192.168.1.%d", i+1), "192.168.0.5"))
+	}
+	now := t0()
+	// Saturate: with Results undrained the workers wedge on the full result
+	// path and the queues stay full for good.
+	zeros := 0
+	for i := 0; i < 10_000 && zeros < 5; i++ {
+		if d.SubmitBatch(raws, now) == 0 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+	}
+	if zeros < 5 {
+		t.Fatal("driver never saturated")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if d.SubmitBatch(raws, now) != 0 {
+			t.Fatal("queue drained unexpectedly mid-pin")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("saturated SubmitBatch allocates %.1f per batch, want 0", allocs)
+	}
+	go func() {
+		for range d.Results() {
+		}
+	}()
+	d.Close()
+}
+
 // TestStatsCoherentUnderLiveDriver is the tentpole's acceptance check: Stats,
 // ResetStats, FallbackRatio and the per-gateway snapshots are hammered from
 // scraper goroutines while Driver workers process traffic, under -race.

@@ -75,6 +75,32 @@ func (s *SpaceSaving[K]) Observe(key K, n uint64) {
 	s.siftDown(0)
 }
 
+// absorb folds one exported entry from another sketch into this one,
+// adding both the count and the error bound. When the sketch is full the
+// newcomer takes over the minimum entry SpaceSaving-style, with the evicted
+// count added onto the incoming error. Used by Tracker merging.
+func (s *SpaceSaving[K]) absorb(key K, count, err uint64) {
+	if i, ok := s.index[key]; ok {
+		s.entries[i].count += count
+		s.entries[i].err += err
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, ssEntry[K]{key: key, count: count, err: err})
+		s.index[key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	min := &s.entries[0]
+	delete(s.index, min.key)
+	min.err = min.count + err
+	min.count += count
+	min.key = key
+	s.index[key] = 0
+	s.siftDown(0)
+}
+
 // Counted is a sketch entry exported for ranking: Count >= true count and
 // Count-Err <= true count.
 type Counted[K comparable] struct {
@@ -218,6 +244,56 @@ func (t *Tracker) Observe(cluster int, vni netpkt.VNI, flowHash uint64, dip neti
 	t.pkts++
 	t.bytes += uint64(wireLen)
 	t.mu.Unlock()
+}
+
+// Merge returns a fresh Tracker combining the given trackers' sketches and
+// tallies — the scrape-side view of a sharded plane where each shard worker
+// feeds its own tracker. Exact tallies (per-cluster, per-VNI, totals) sum
+// exactly. Sketch entries sum count and error bounds per key: flows are
+// sharded by flow hash so each FlowKey's whole substream lives in exactly
+// one shard tracker and the summed bounds stay valid; route keys can span
+// shards, where the merged estimate keeps Count >= (sum of tracked
+// substreams) with the usual SpaceSaving error semantics. Merging allocates;
+// it is for scrape cadence, not the packet path. Nil trackers are skipped.
+func Merge(k int, shards ...*Tracker) *Tracker {
+	m := NewTracker(k)
+	for _, t := range shards {
+		if t == nil {
+			continue
+		}
+		t.mu.Lock()
+		for id, cs := range t.clusters {
+			mc := m.clusters[id]
+			if mc == nil {
+				mc = &clusterSketch{
+					flows:  NewSpaceSaving[FlowKey](m.k),
+					routes: NewSpaceSaving[RouteKey](m.k),
+				}
+				m.clusters[id] = mc
+			}
+			for _, e := range cs.flows.entries {
+				mc.flows.absorb(e.key, e.count, e.err)
+			}
+			for _, e := range cs.routes.entries {
+				mc.routes.absorb(e.key, e.count, e.err)
+			}
+			mc.pkts += cs.pkts
+			mc.bytes += cs.bytes
+		}
+		for vni, vc := range t.vnis {
+			mv := m.vnis[vni]
+			if mv == nil {
+				mv = &vniCount{}
+				m.vnis[vni] = mv
+			}
+			mv.pkts += vc.pkts
+			mv.bytes += vc.bytes
+		}
+		m.pkts += t.pkts
+		m.bytes += t.bytes
+		t.mu.Unlock()
+	}
+	return m
 }
 
 // Reset discards every sketch and tally, starting a fresh measurement

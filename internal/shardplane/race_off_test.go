@@ -1,0 +1,5 @@
+//go:build !race
+
+package shardplane
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package shardplane
+
+// raceEnabled reports whether the race detector instruments this build; its
+// shadow-memory bookkeeping allocates on synchronization operations, so
+// allocation pins skip themselves under -race (the same binary still runs
+// them in the plain `go test` pass).
+const raceEnabled = true

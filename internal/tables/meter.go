@@ -15,7 +15,15 @@ import (
 //
 // Time is passed in explicitly so the simulator can drive meters on virtual
 // time; the meter never reads the wall clock.
+//
+// Allow is safe for concurrent callers: the sharded software plane enters the
+// same pipeline program from every shard worker, so the bucket map is behind
+// an RWMutex and each bucket serializes its own token math. Tenants with no
+// shape and no default rate stay on a pure read path (one RLock, no bucket
+// touched). DefaultRate/DefaultBurst and SetShape are control-plane
+// configuration: set them before traffic starts.
 type Meter struct {
+	mu      sync.RWMutex
 	buckets map[netpkt.VNI]*bucket
 	// DefaultRate/DefaultBurst apply to tenants without an explicit shape.
 	DefaultRate  float64 // bytes per second; 0 = unmetered
@@ -23,6 +31,7 @@ type Meter struct {
 }
 
 type bucket struct {
+	mu     sync.Mutex
 	rate   float64 // bytes/sec
 	burst  float64 // max tokens
 	tokens float64
@@ -36,20 +45,30 @@ func NewMeter() *Meter {
 
 // SetShape installs a token-bucket shape for the tenant.
 func (m *Meter) SetShape(vni netpkt.VNI, bytesPerSec, burstBytes float64) {
+	m.mu.Lock()
 	m.buckets[vni] = &bucket{rate: bytesPerSec, burst: burstBytes, tokens: burstBytes}
+	m.mu.Unlock()
 }
 
 // Allow reports whether a packet of n bytes for the tenant conforms at the
 // given instant, consuming tokens when it does.
 func (m *Meter) Allow(vni netpkt.VNI, n int, now time.Time) bool {
+	m.mu.RLock()
 	b := m.buckets[vni]
+	m.mu.RUnlock()
 	if b == nil {
 		if m.DefaultRate == 0 {
 			return true
 		}
-		b = &bucket{rate: m.DefaultRate, burst: m.DefaultBurst, tokens: m.DefaultBurst}
-		m.buckets[vni] = b
+		m.mu.Lock()
+		if b = m.buckets[vni]; b == nil {
+			b = &bucket{rate: m.DefaultRate, burst: m.DefaultBurst, tokens: m.DefaultBurst}
+			m.buckets[vni] = b
+		}
+		m.mu.Unlock()
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.last.IsZero() {
 		b.last = now
 	}

@@ -3,6 +3,7 @@ package tofino
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
@@ -15,6 +16,12 @@ import (
 // gress boundaries.
 type Context struct {
 	Pkt *netpkt.GatewayPacket
+	// Now is the packet's arrival instant. Stage programs that consume
+	// time (metering) read it from the context rather than a device
+	// global so concurrent pipeline entries — one per shard in the
+	// sharded software plane — each carry their own clock. Reset clears
+	// it; callers assign it after Reset, alongside Pkt.
+	Now time.Time
 
 	// Metadata produced by the tables.
 	FinalVNI netpkt.VNI // VNI after peer-chain resolution

@@ -347,6 +347,68 @@ func (r *Recorder) DropCounts() []DropCount {
 	return out
 }
 
+// MergeDropCounts sums cumulative drop tallies across recorders — the
+// scrape-side view of a sharded plane where each shard records into its own
+// recorder. Reason names resolve through the first non-nil recorder; shard
+// recorders are wired with identical taxonomies (same SetReasonNames calls
+// in the same order), so any of them names every cell. Nil recorders are
+// skipped.
+func MergeDropCounts(recs ...*Recorder) []DropCount {
+	var named *Recorder
+	var tally [numStages][maxReasons]uint64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		if named == nil {
+			named = r
+		}
+		for st := Stage(1); st < numStages; st++ {
+			for code := 0; code < maxReasons; code++ {
+				tally[st][code] += r.dropTally[st][code].Load()
+			}
+		}
+	}
+	var out []DropCount
+	for st := Stage(1); st < numStages; st++ {
+		for code := 0; code < maxReasons; code++ {
+			n := tally[st][code]
+			if n == 0 {
+				continue
+			}
+			out = append(out, DropCount{
+				Stage:  st,
+				Code:   uint8(code),
+				Reason: named.ReasonName(st, uint8(code)),
+				Count:  n,
+			})
+		}
+	}
+	return out
+}
+
+// MergeEvents snapshots every recorder's rings and returns the union of
+// matching events in one timestamp-ordered stream, applying f.Limit to the
+// merged result (keeping the newest). Nil recorders are skipped.
+func MergeEvents(f Filter, recs ...*Recorder) []Event {
+	limit := f.Limit
+	f.Limit = 0
+	var out []Event
+	for _, r := range recs {
+		out = append(out, r.Events(f)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TimeNs != out[j].TimeNs {
+			return out[i].TimeNs < out[j].TimeNs
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
 // DropTally returns one cumulative cell directly (test hook for parity
 // checks).
 func (r *Recorder) DropTally(st Stage, code uint8) uint64 {

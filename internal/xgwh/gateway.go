@@ -3,6 +3,7 @@ package xgwh
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"sailfish/internal/digest"
@@ -148,8 +149,13 @@ type Stats struct {
 }
 
 // Gateway is one XGW-H node: the chip forwarding model programmed with the
-// Sailfish tables. It is not safe for concurrent use; in the simulator each
-// node is driven by one goroutine, as each physical box is one chip.
+// Sailfish tables. ProcessPacket drives the gateway's own embedded scratch
+// and is single-goroutine, as each physical box is one chip. The sharded
+// software plane enters the same tables concurrently via ProcessPacketWith,
+// one PacketScratch per shard: every table on that path is either read-pure
+// (trie/ALPM, VM-NC digest, ACL, service-VNI set — control-plane writes
+// happen before traffic) or internally synchronized (meters, counters,
+// stats, trace, telemetry).
 type Gateway struct {
 	cfg    Config
 	device *tofino.Device
@@ -167,14 +173,13 @@ type Gateway struct {
 	// mask a lost one).
 	tenantGen map[netpkt.VNI]uint64
 
-	parser netpkt.Parser
-	pkt    netpkt.GatewayPacket
-	ctx    tofino.Context
-	sbuf   *netpkt.SerializeBuffer
-	rw     rewriteScratch
+	// scratch is the gateway's own per-packet state, used by ProcessPacket —
+	// the single-goroutine entry point. Concurrent callers bring their own
+	// scratch through ProcessPacketWith.
+	scratch PacketScratch
 
 	// stats is the live atomic counter block (see stats.go): written by the
-	// single data-plane goroutine, readable by any goroutine at any time.
+	// data-plane goroutines, readable by any goroutine at any time.
 	stats gwCounters
 	// obs, when set, receives per-stage latency observations (parse,
 	// pipeline, rewrite) into preallocated atomic histograms.
@@ -185,18 +190,44 @@ type Gateway struct {
 	telemetryID      string
 	telemetryMatch   *telemetry.Matcher
 	telemetryCollect *telemetry.Collector
-	telemetrySeq     uint64
+	telemetrySeq     atomic.Uint64
 
 	// tr, when set, receives flight-recorder events: every drop, plus
 	// hash-sampled forward/fallback verdicts. trDev is this node's interned
 	// device id in the recorder.
 	tr    *trace.Recorder
 	trDev uint16
-
-	// now is the current packet's clock, set by ProcessPacket for the
-	// pipeline's metering stages.
-	now time.Time
 }
+
+// PacketScratch is the per-caller packet-processing state: the parser, parsed
+// packet, pipeline context, serialize buffer and rewrite headers that one
+// run-to-completion worker reuses for every packet. A Gateway embeds one for
+// its single-goroutine ProcessPacket path; the sharded plane allocates one
+// per shard and drives the shared tables through ProcessPacketWith. A scratch
+// must never be used by two goroutines at once.
+type PacketScratch struct {
+	parser netpkt.Parser
+	pkt    netpkt.GatewayPacket
+	ctx    tofino.Context
+	sbuf   *netpkt.SerializeBuffer
+	rw     rewriteScratch
+	// tr, when non-nil, overrides the gateway's wired recorder for events
+	// emitted while processing with this scratch — each shard records into
+	// its own recorder and the scrape path merges them. Device ids stay
+	// valid across recorders because shard recorders intern the same
+	// device set in the same order.
+	tr *trace.Recorder
+}
+
+// NewPacketScratch returns a scratch ready for ProcessPacketWith.
+func NewPacketScratch() *PacketScratch {
+	return &PacketScratch{sbuf: netpkt.NewSerializeBuffer(128, 2048)}
+}
+
+// SetRecorder points events produced through this scratch at rec instead of
+// the gateway's wired recorder (nil restores the gateway's). Set before the
+// scratch carries traffic.
+func (sc *PacketScratch) SetRecorder(rec *trace.Recorder) { sc.tr = rec }
 
 // EnableTelemetry attaches the device to a vtrace-style collector: packets
 // matching the rule table emit postcards under the given device id.
@@ -217,23 +248,32 @@ func (g *Gateway) EnableTracing(rec *trace.Recorder, device string) {
 	}
 }
 
-// traceEvent records the current packet's verdict in the flight recorder:
-// always for drops, by deterministic flow-hash sampling otherwise. The flow
-// hash comes from the parse-time cache, so a traced-but-sampled-out packet
-// costs one hash and no allocation.
-func (g *Gateway) traceEvent(verdict trace.Verdict, code uint8, now time.Time) {
-	tr := g.tr
+// recorder resolves the flight recorder for events emitted from sc: the
+// scratch's per-shard override when set, the gateway's wired one otherwise.
+func (g *Gateway) recorder(sc *PacketScratch) *trace.Recorder {
+	if sc.tr != nil {
+		return sc.tr
+	}
+	return g.tr
+}
+
+// traceEvent records sc's packet verdict in the flight recorder: always for
+// drops, by deterministic flow-hash sampling otherwise. The flow hash comes
+// from the parse-time cache, so a traced-but-sampled-out packet costs one
+// hash and no allocation.
+func (g *Gateway) traceEvent(sc *PacketScratch, verdict trace.Verdict, code uint8, now time.Time) {
+	tr := g.recorder(sc)
 	if tr == nil {
 		return
 	}
-	fh := g.pkt.InnerFlow().FastHash()
+	fh := sc.pkt.InnerFlow().FastHash()
 	if verdict != trace.VerdictDrop && !tr.Sampled(fh) {
 		return
 	}
 	tr.Record(trace.Event{
 		TimeNs:   now.UnixNano(),
 		FlowHash: fh,
-		VNI:      g.pkt.VXLAN.VNI,
+		VNI:      sc.pkt.VXLAN.VNI,
 		Dev:      g.trDev,
 		Stage:    trace.StageGateway,
 		Verdict:  verdict,
@@ -241,23 +281,22 @@ func (g *Gateway) traceEvent(verdict trace.Verdict, code uint8, now time.Time) {
 	})
 }
 
-// reportTelemetry emits the postcard for the current packet if traced.
-func (g *Gateway) reportTelemetry(action string, now time.Time) {
+// reportTelemetry emits the postcard for sc's packet if traced.
+func (g *Gateway) reportTelemetry(sc *PacketScratch, action string, now time.Time) {
 	if g.telemetryMatch == nil || g.telemetryCollect == nil {
 		return
 	}
-	if !g.telemetryMatch.Match(g.pkt.VXLAN.VNI, g.pkt.InnerDst()) {
+	if !g.telemetryMatch.Match(sc.pkt.VXLAN.VNI, sc.pkt.InnerDst()) {
 		return
 	}
-	g.telemetrySeq++
 	g.telemetryCollect.Report(telemetry.HopReport{
 		Device: g.telemetryID,
 		Flow: telemetry.FlowKey{
-			VNI: g.pkt.VXLAN.VNI,
-			Src: g.pkt.InnerSrc(),
-			Dst: g.pkt.InnerDst(),
+			VNI: sc.pkt.VXLAN.VNI,
+			Src: sc.pkt.InnerSrc(),
+			Dst: sc.pkt.InnerDst(),
 		},
-		Seq:    g.telemetrySeq,
+		Seq:    g.telemetrySeq.Add(1),
 		Action: action,
 		TimeNs: now.UnixNano(),
 	})
@@ -283,8 +322,8 @@ func New(cfg Config) *Gateway {
 		counters:  tables.NewCounters(),
 		snatVNIs:  make(map[netpkt.VNI]bool),
 		tenantGen: make(map[netpkt.VNI]uint64),
-		sbuf:      netpkt.NewSerializeBuffer(128, 2048),
 	}
+	g.scratch.sbuf = netpkt.NewSerializeBuffer(128, 2048)
 	g.device.BridgedMetadataBytes = 8
 	// The fallback limiter's shape is fixed at assembly time (§4.2); the
 	// data plane only spends tokens.
@@ -434,9 +473,11 @@ func (g *Gateway) execClassify(ctx *tofino.Context) error {
 	return nil
 }
 
-// execMeter applies the tenant's SLA shape at the entry pass.
+// execMeter applies the tenant's SLA shape at the entry pass. The packet
+// clock rides in the context so concurrent pipeline entries each carry their
+// own.
 func (g *Gateway) execMeter(ctx *tofino.Context) error {
-	if !g.meter.Allow(ctx.Pkt.VXLAN.VNI, ctx.Pkt.WireLen, g.now) {
+	if !g.meter.Allow(ctx.Pkt.VXLAN.VNI, ctx.Pkt.WireLen, ctx.Now) {
 		ctx.Drop = true
 		ctx.DropCode = dropMeterExceeded
 	}
@@ -511,12 +552,12 @@ func (g *Gateway) execACL(ctx *tofino.Context) error {
 // inner-destination parity with SplitByIP) when splitting is enabled
 // (§4.4: "split the entries according to the parity of VNI or inner Dst
 // IP"), unit 0 otherwise.
-func (g *Gateway) unitFor(vni netpkt.VNI) int {
+func (g *Gateway) unitFor(sc *PacketScratch, vni netpkt.VNI) int {
 	if !g.cfg.SplitPipes {
 		return 0
 	}
 	if g.cfg.SplitByIP {
-		dst := g.pkt.InnerDst()
+		dst := sc.pkt.InnerDst()
 		if dst.Is4() {
 			b := dst.As4()
 			return int(b[3] & 1)
@@ -527,19 +568,29 @@ func (g *Gateway) unitFor(vni netpkt.VNI) int {
 	return int(vni & 1)
 }
 
-// ProcessPacket runs one wire packet through the gateway. now drives the
+// ProcessPacket runs one wire packet through the gateway using the gateway's
+// embedded scratch — the single-goroutine entry point. now drives the
 // fallback rate limiter; pass the simulation clock.
 func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error) {
+	return g.ProcessPacketWith(&g.scratch, raw, now)
+}
+
+// ProcessPacketWith runs one wire packet through the gateway using the
+// caller's scratch. Distinct scratches may enter the gateway concurrently —
+// this is how the sharded software plane drives one node from N shard
+// workers while a flow's packets stay on one shard. The result's Out slice
+// aliases sc's serialize buffer and is valid until sc's next packet.
+func (g *Gateway) ProcessPacketWith(sc *PacketScratch, raw []byte, now time.Time) (ForwardResult, error) {
 	obs := g.obs
 	var t0 time.Time
 	if obs != nil {
 		t0 = time.Now()
 	}
-	if err := g.parser.Parse(raw, &g.pkt); err != nil {
+	if err := sc.parser.Parse(raw, &sc.pkt); err != nil {
 		g.stats.dropped.Add(1)
 		g.stats.drops[dropParseError].Add(1)
-		if tr := g.tr; tr != nil {
-			// g.pkt holds the previous packet's fields after a failed parse,
+		if tr := g.recorder(sc); tr != nil {
+			// sc.pkt holds the previous packet's fields after a failed parse,
 			// so the event carries no flow identity — just the where and why.
 			tr.Record(trace.Event{TimeNs: now.UnixNano(), Dev: g.trDev,
 				Stage: trace.StageGateway, Verdict: trace.VerdictDrop, Code: dropParseError})
@@ -550,9 +601,9 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 		obs.Parse.Observe(float64(time.Since(t0).Nanoseconds()))
 		t0 = time.Now()
 	}
-	g.ctx.Reset(&g.pkt)
-	g.now = now
-	res, err := g.device.Process(&g.ctx)
+	sc.ctx.Reset(&sc.pkt)
+	sc.ctx.Now = now
+	res, err := g.device.Process(&sc.ctx)
 	if err != nil {
 		return ForwardResult{}, err
 	}
@@ -561,50 +612,50 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 	}
 
 	out := ForwardResult{
-		Unit:      g.unitFor(g.pkt.VXLAN.VNI),
+		Unit:      g.unitFor(sc, sc.pkt.VXLAN.VNI),
 		Passes:    res.Passes,
 		LatencyNs: res.LatencyNs,
 		WireBytes: res.WireBytes,
 	}
-	g.stats.totalBytes.Add(uint64(g.pkt.WireLen))
+	g.stats.totalBytes.Add(uint64(sc.pkt.WireLen))
 	g.stats.units[out.Unit].packets.Add(1)
-	g.stats.units[out.Unit].bytes.Add(uint64(g.pkt.WireLen))
-	g.counters.Add(g.pkt.VXLAN.VNI, g.pkt.WireLen)
+	g.stats.units[out.Unit].bytes.Add(uint64(sc.pkt.WireLen))
+	g.counters.Add(sc.pkt.VXLAN.VNI, sc.pkt.WireLen)
 
 	switch {
-	case g.ctx.Drop:
+	case sc.ctx.Drop:
 		out.Action = ActionDrop
-		out.DropReason = dropReasonName[g.ctx.DropCode]
+		out.DropReason = dropReasonName[sc.ctx.DropCode]
 		g.stats.dropped.Add(1)
-		g.stats.drops[g.ctx.DropCode].Add(1)
-		g.traceEvent(trace.VerdictDrop, g.ctx.DropCode, now)
-		g.reportTelemetry(dropAction[g.ctx.DropCode], now)
-	case g.ctx.ToFallback:
+		g.stats.drops[sc.ctx.DropCode].Add(1)
+		g.traceEvent(sc, trace.VerdictDrop, sc.ctx.DropCode, now)
+		g.reportTelemetry(sc, dropAction[sc.ctx.DropCode], now)
+	case sc.ctx.ToFallback:
 		if g.cfg.FallbackRateBps > 0 {
-			if !g.fbMeter.Allow(0, g.pkt.WireLen, now) {
+			if !g.fbMeter.Allow(0, sc.pkt.WireLen, now) {
 				out.Action = ActionDrop
 				out.DropReason = dropReasonName[dropFallbackRateLimit]
 				g.stats.dropped.Add(1)
 				g.stats.drops[dropFallbackRateLimit].Add(1)
-				g.traceEvent(trace.VerdictDrop, dropFallbackRateLimit, now)
-				g.reportTelemetry(dropAction[dropFallbackRateLimit], now)
+				g.traceEvent(sc, trace.VerdictDrop, dropFallbackRateLimit, now)
+				g.reportTelemetry(sc, dropAction[dropFallbackRateLimit], now)
 				return out, nil
 			}
 		}
 		out.Action = ActionFallback
-		out.FallbackMiss = g.ctx.FallbackMiss
+		out.FallbackMiss = sc.ctx.FallbackMiss
 		g.stats.fallback.Add(1)
-		g.stats.fallbackBytes.Add(uint64(g.pkt.WireLen))
-		if g.ctx.FallbackMiss {
+		g.stats.fallbackBytes.Add(uint64(sc.pkt.WireLen))
+		if sc.ctx.FallbackMiss {
 			g.stats.fallbackMiss.Add(1)
 		}
-		g.traceEvent(trace.VerdictFallback, 0, now)
-		g.reportTelemetry("fallback", now)
-	case g.ctx.NCOK:
+		g.traceEvent(sc, trace.VerdictFallback, 0, now)
+		g.reportTelemetry(sc, "fallback", now)
+	case sc.ctx.NCOK:
 		if obs != nil {
 			t0 = time.Now()
 		}
-		rewritten, rerr := g.rewrite()
+		rewritten, rerr := g.rewrite(sc)
 		if rerr != nil {
 			return ForwardResult{}, rerr
 		}
@@ -612,18 +663,18 @@ func (g *Gateway) ProcessPacket(raw []byte, now time.Time) (ForwardResult, error
 			obs.Rewrite.Observe(float64(time.Since(t0).Nanoseconds()))
 		}
 		out.Action = ActionForward
-		out.NC = g.ctx.NCAddr
+		out.NC = sc.ctx.NCAddr
 		out.Out = rewritten
 		g.stats.forwarded.Add(1)
-		g.traceEvent(trace.VerdictForward, 0, now)
-		g.reportTelemetry("forward", now)
+		g.traceEvent(sc, trace.VerdictForward, 0, now)
+		g.reportTelemetry(sc, "forward", now)
 	default:
 		out.Action = ActionDrop
 		out.DropReason = dropReasonName[dropNoNC]
 		g.stats.dropped.Add(1)
 		g.stats.drops[dropNoNC].Add(1)
-		g.traceEvent(trace.VerdictDrop, dropNoNC, now)
-		g.reportTelemetry(dropAction[dropNoNC], now)
+		g.traceEvent(sc, trace.VerdictDrop, dropNoNC, now)
+		g.reportTelemetry(sc, dropAction[dropNoNC], now)
 	}
 	return out, nil
 }
@@ -645,31 +696,31 @@ type rewriteScratch struct {
 // rewrite re-encapsulates the inner frame with fresh outer headers: outer
 // destination = NC (or tunnel endpoint), outer source = the gateway VIP, and
 // the VNI of the VPC actually containing the destination (Fig. 2's outer
-// rewrite). The returned slice aliases the gateway's serialize buffer and is
-// valid until the next ProcessPacket call.
-func (g *Gateway) rewrite() ([]byte, error) {
-	inner := g.pkt.VXLAN.Payload()
-	s := &g.rw
-	if g.ctx.NCAddr.Is6() {
+// rewrite). The returned slice aliases sc's serialize buffer and is valid
+// until sc's next packet.
+func (g *Gateway) rewrite(sc *PacketScratch) ([]byte, error) {
+	inner := sc.pkt.VXLAN.Payload()
+	s := &sc.rw
+	if sc.ctx.NCAddr.Is6() {
 		s.eth = netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv6}
 		s.ip6 = netpkt.IPv6{
 			NextHeader: netpkt.IPProtocolUDP, HopLimit: 64,
-			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
+			SrcIP: g.cfg.GatewayIP, DstIP: sc.ctx.NCAddr,
 		}
 		s.layers[1] = &s.ip6
 	} else {
 		s.eth = netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4}
 		s.ip4 = netpkt.IPv4{
 			TTL: 64, Protocol: netpkt.IPProtocolUDP,
-			SrcIP: g.cfg.GatewayIP, DstIP: g.ctx.NCAddr,
+			SrcIP: g.cfg.GatewayIP, DstIP: sc.ctx.NCAddr,
 		}
 		s.layers[1] = &s.ip4
 	}
-	s.udp = netpkt.UDP{SrcPort: g.pkt.OuterUDP.SrcPort, DstPort: netpkt.VXLANPort}
-	s.vxlan = netpkt.VXLAN{VNI: g.ctx.FinalVNI}
+	s.udp = netpkt.UDP{SrcPort: sc.pkt.OuterUDP.SrcPort, DstPort: netpkt.VXLANPort}
+	s.vxlan = netpkt.VXLAN{VNI: sc.ctx.FinalVNI}
 	s.layers[0], s.layers[2], s.layers[3] = &s.eth, &s.udp, &s.vxlan
-	if err := netpkt.SerializeLayers(g.sbuf, inner, s.layers[:]...); err != nil {
+	if err := netpkt.SerializeLayers(sc.sbuf, inner, s.layers[:]...); err != nil {
 		return nil, err
 	}
-	return g.sbuf.Bytes(), nil
+	return sc.sbuf.Bytes(), nil
 }
