@@ -5,7 +5,8 @@ GO ?= go
 RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/... \
 	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
 	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/... \
-	./internal/placement/... ./internal/snat/... ./internal/shardplane/...
+	./internal/placement/... ./internal/snat/... ./internal/shardplane/... \
+	./internal/xgwdpu/...
 
 .PHONY: check vet build test race chaos bench bench-all bench-smoke bench-smoke-mc fmt
 

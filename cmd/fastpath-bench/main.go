@@ -415,6 +415,90 @@ func benchPlacementCycle() entry {
 		hotSet, shift, d.Controller.DesiredEntries(), budget))
 }
 
+// benchPlacement3Tier times the residency-ladder cycle: RunCycle over four
+// software-placed tenants with a DPU middle tier attached, a 64-key hot band
+// and a 128-key warm band both sliding 24 keys per cycle. The warm band
+// trails the hot band, so every timed cycle drains fresh hardware promotions,
+// HW→DPU cascade demotions, and DPU evictions — the full three-tier churn
+// machinery, not just the binary path benchPlacementCycle measures.
+func benchPlacement3Tier() entry {
+	const (
+		tenants  = 4
+		vmsPer   = 100
+		keys     = tenants * vmsPer
+		hotSet   = 64
+		warmSet  = 128
+		shift    = 24
+		budget   = 2 * shift
+		dpuOpCap = 2 * budget
+	)
+	d := sailfish.NewDeployment(sailfish.Options{Clusters: 1, FallbackNodes: 1, DPUDevices: 2})
+	dips := make([]netip.Addr, keys)
+	for ti := 0; ti < tenants; ti++ {
+		t := sailfish.Tenant{
+			VNI:    sailfish.VNI(100 + ti),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(ti), 0, 0}), 16),
+			VMs:    map[netip.Addr]netip.Addr{},
+		}
+		for vi := 0; vi < vmsPer; vi++ {
+			k := ti*vmsPer + vi
+			dips[k] = netip.AddrFrom4([4]byte{10, byte(ti), byte(vi), 2})
+			t.VMs[dips[k]] = netip.AddrFrom4([4]byte{100, 64, byte(ti), byte(vi)})
+		}
+		if _, err := d.AddTenantSoftware(t); err != nil {
+			panic(err)
+		}
+	}
+	hh := heavyhitter.NewTracker(1024)
+	loop := placement.New(placement.Config{
+		CoverageTarget: 1,
+		// Hot keys carry 4/384 ≈ 1.0e-2 per window, warm keys 1/384 ≈
+		// 2.6e-3: the thresholds put the bands on their intended rungs and
+		// make a key leaving the hot band cascade (warm-band share sits
+		// between WarmDemoteShare and DemoteShare).
+		PromoteShare:   8e-3,
+		DemoteShare:    4e-3,
+		WarmShare:      2e-3,
+		ChurnBudget:    budget,
+		DPUChurnBudget: dpuOpCap,
+		WindowReset:    true,
+		Now:            func() time.Time { return benchTime },
+	}, d.Controller, hh)
+	feed := func(start int) {
+		for i := 0; i < hotSet; i++ {
+			k := (start + i) % keys
+			for j := 0; j < 4; j++ {
+				hh.Observe(0, sailfish.VNI(100+k/vmsPer), uint64(k), dips[k], 128)
+			}
+		}
+		for i := 1; i <= warmSet; i++ {
+			k := (start - i + keys) % keys
+			hh.Observe(0, sailfish.VNI(100+k/vmsPer), uint64(k), dips[k], 128)
+		}
+	}
+	var cascades uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cascades = 0
+		start := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			feed(start)
+			start = (start + shift) % keys
+			b.StartTimer()
+			rep := loop.RunCycle()
+			if rep.Failed > 0 {
+				b.Fatalf("cycle %d: %d moves failed", rep.Cycle, rep.Failed)
+			}
+			cascades += uint64(rep.Cascaded)
+		}
+	})
+	return toEntry("placement/3tier", r, 1, fmt.Sprintf(
+		"ladder RunCycle, %d-key hot + %d-key warm bands sliding %d keys/cycle over %d desired entries; "+
+			"%d HW→DPU cascades across the run; pps column is cycles/sec",
+		hotSet, warmSet, shift, d.Controller.DesiredEntries(), cascades))
+}
+
 // SNAT bench shape: 256 public IPs × 64 shards gives 16.5M session capacity,
 // so the 10M row runs the store at ~60% port-space fill.
 const (
@@ -542,6 +626,7 @@ func main() {
 		benches = append(benches, func() entry { return benchShardPlane(s) })
 	}
 	benches = append(benches, benchPlacementCycle)
+	benches = append(benches, benchPlacement3Tier)
 	for _, sessions := range []int{1_000_000, 10_000_000} {
 		if sessions > *snatMax {
 			continue

@@ -164,13 +164,48 @@ func TestRunPlacement(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"churn budget 64/cycle",
-		"cycle 7: +3/-1 moves",
+		"cycle 7: +3/-1 hw moves",
 		"12 keys, 24/404 hardware entries, ~99.91% of traffic",
 		"15 promotions, 3 demotions",
 		"192.168.10.3",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("placement output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dpu:") {
+		t.Fatalf("two-tier view must not render the dpu lines:\n%s", out)
+	}
+
+	// The three-tier ladder adds the warm-rung policy, cycle, and coverage
+	// lines plus the TIER column.
+	resp.Ladder = true
+	resp.WarmShare = 0.0005 / 8
+	resp.WarmDemoteShare = 0.0005 / 32
+	resp.DPUChurnBudget = 64
+	resp.Last.PromotedDPU, resp.Last.DemotedDPU = 5, 2
+	resp.Last.Cascaded, resp.Last.Upgraded = 1, 1
+	resp.Last.DPUResidentKeys, resp.Last.DPUShare, resp.Last.StackShare = 40, 0.0008, 0.9999
+	resp.Totals.PromotionsDPU, resp.Totals.DemotionsDPU = 9, 4
+	resp.Totals.Cascades, resp.Totals.Upgrades = 2, 3
+	resp.Resident = append(resp.Resident, adminapi.PlacementEntry{
+		VNI: 100, DIP: "192.168.10.7", Cluster: 0, Tier: "dpu", Share: 0.0001, ResidentAtNs: 2000,
+	})
+	b.Reset()
+	if err := runPlacement(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		"dpu churn budget 64/cycle",
+		"dpu: +5/-2 moves, 1 cascaded down, 1 upgraded up",
+		"warm: 40 dpu keys",
+		"stack serves ~99.99%",
+		"9 promotions, 4 demotions, 2 cascades, 3 upgrades",
+		"192.168.10.7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ladder output missing %q:\n%s", want, out)
 		}
 	}
 

@@ -32,20 +32,43 @@ func runPlacement(w io.Writer, admin string) error {
 		fmt.Fprintln(w, "placement: not enabled on this daemon")
 		return nil
 	}
+	// Render the DPU lines only when the daemon runs the three-tier
+	// ladder, so two-tier boxes keep their familiar view.
+	ladder := p.Ladder
 	fmt.Fprintf(w, "policy: promote ≥%.4f%% share, demote <%.4f%%, coverage target %.1f%%, churn budget %d/cycle\n",
 		100*p.PromoteShare, 100*p.DemoteShare, 100*p.CoverageTarget, p.ChurnBudget)
+	if ladder {
+		fmt.Fprintf(w, "ladder: warm ≥%.4f%% share → dpu, warm-demote <%.4f%%, dpu churn budget %d/cycle\n",
+			100*p.WarmShare, 100*p.WarmDemoteShare, p.DPUChurnBudget)
+	}
 	l := p.Last
-	fmt.Fprintf(w, "cycle %d: +%d/-%d moves (deferred: churn %d, capacity %d; failed %d)\n",
-		l.Cycle, l.Promoted, l.Demoted, l.DeferredChurn, l.DeferredCapacity, l.Failed)
+	suffix := ""
+	if l.EmptyWindow {
+		suffix = " [empty window: no-op]"
+	}
+	fmt.Fprintf(w, "cycle %d: +%d/-%d hw moves (deferred: churn %d, capacity %d; failed %d)%s\n",
+		l.Cycle, l.Promoted, l.Demoted, l.DeferredChurn, l.DeferredCapacity, l.Failed, suffix)
+	if ladder {
+		fmt.Fprintf(w, "  dpu: +%d/-%d moves, %d cascaded down, %d upgraded up (deferred: churn %d, capacity %d)\n",
+			l.PromotedDPU, l.DemotedDPU, l.Cascaded, l.Upgraded, l.DeferredChurnDPU, l.DeferredCapacityDPU)
+	}
 	fmt.Fprintf(w, "resident: %d keys, %d/%d hardware entries, ~%.2f%% of traffic\n",
 		l.ResidentKeys, l.ResidentEntries, l.DesiredEntries, 100*l.HardwareShare)
+	if ladder {
+		fmt.Fprintf(w, "  warm: %d dpu keys, ~%.2f%% of traffic; stack serves ~%.2f%%\n",
+			l.DPUResidentKeys, 100*l.DPUShare, 100*l.StackShare)
+	}
 	t := p.Totals
-	fmt.Fprintf(w, "lifetime: %d cycles, %d promotions, %d demotions, %d deferred (churn), %d deferred (capacity), %d failures\n",
-		t.Cycles, t.Promotions, t.Demotions, t.DeferredChurn, t.DeferredCapacity, t.Failures)
+	fmt.Fprintf(w, "lifetime: %d cycles (%d empty), %d promotions, %d demotions, %d deferred (churn), %d deferred (capacity), %d failures\n",
+		t.Cycles, t.EmptyWindows, t.Promotions, t.Demotions, t.DeferredChurn, t.DeferredCapacity, t.Failures)
+	if ladder {
+		fmt.Fprintf(w, "  dpu lifetime: %d promotions, %d demotions, %d cascades, %d upgrades, %d deferred (churn), %d deferred (capacity)\n",
+			t.PromotionsDPU, t.DemotionsDPU, t.Cascades, t.Upgrades, t.DeferredChurnDPU, t.DeferredCapacityDPU)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "  VNI\tDIP\tCLUSTER\tSHARE\tRESIDENT-AT-NS")
+	fmt.Fprintln(tw, "  VNI\tDIP\tCLUSTER\tTIER\tSHARE\tRESIDENT-AT-NS")
 	for _, e := range p.Resident {
-		fmt.Fprintf(tw, "  %d\t%s\t%d\t%.4f%%\t%d\n", e.VNI, e.DIP, e.Cluster, 100*e.Share, e.ResidentAtNs)
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%s\t%.4f%%\t%d\n", e.VNI, e.DIP, e.Cluster, e.Tier, 100*e.Share, e.ResidentAtNs)
 	}
 	return tw.Flush()
 }

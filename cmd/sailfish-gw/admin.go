@@ -39,6 +39,9 @@ func (s *server) registerMetrics() *metrics.Registry {
 	if s.loop != nil {
 		s.loop.RegisterMetrics(reg)
 	}
+	if s.dpu != nil {
+		s.dpu.RegisterMetrics(reg)
+	}
 	// Workers mode: per-shard intake counters and ring-depth gauges, the
 	// daemon-side mirror of the shardplane families. Gateway counters above
 	// are already merged — every worker increments the same atomic cells.

@@ -38,6 +38,7 @@ import (
 	"sailfish/internal/tofino"
 	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
+	"sailfish/internal/xgwdpu"
 	"sailfish/internal/xgwh"
 )
 
@@ -134,8 +135,13 @@ func main() {
 // server is the running daemon: a gateway plus its UDP socket and underlay
 // address map.
 type server struct {
-	gw       *xgwh.Gateway
-	x86      *xgw86.Node
+	gw  *xgwh.Gateway
+	x86 *xgw86.Node
+	// dpu is the optional SmartNIC warm tier between the hardware gateway
+	// and the x86 software path (nil unless the placement stanza's dpu
+	// sub-stanza enables it). Hardware table misses try it before x86;
+	// service-steered traffic (SNAT) skips straight to x86.
+	dpu      *xgwdpu.Pool
 	conn     *net.UDPConn
 	underlay map[netip.Addr]*net.UDPAddr
 	buf      [9216]byte
@@ -277,7 +283,7 @@ func newServer(fc fileConfig) (*server, error) {
 		}
 	}
 	if fc.Placement != nil {
-		if err := s.enablePlacement(*fc.Placement, fc.SoftwareTenants); err != nil {
+		if err := s.enablePlacement(*fc.Placement, fc.SoftwareTenants, gwIP); err != nil {
 			return nil, err
 		}
 	}
@@ -423,10 +429,23 @@ func (s *server) handleOn(sh *gwShard, frame []byte, now time.Time) error {
 	case xgwh.ActionForward:
 		return s.send(res.NC, res.Out)
 	case xgwh.ActionFallback:
-		// Hold the lock across the send: fres.Out aliases the node's
-		// re-encap scratch until the next fallback pass.
+		// Hold the lock across the send: fres.Out (and the DPU tier's
+		// dres.Out) alias per-node re-encap scratch until the next pass.
+		// The DPU tier is nil in workers mode today (the placement stanza
+		// is incompatible with workers > 1), but the attempt sits inside
+		// the same critical section so the invariant survives if that
+		// gate is ever relaxed.
 		s.fbMu.Lock()
 		defer s.fbMu.Unlock()
+		if s.dpu != nil && res.FallbackMiss {
+			dres, served, derr := s.dpu.ProcessOn(s.dpuDevice(frame), frame, now)
+			if derr != nil {
+				return fmt.Errorf("dpu path: %w", derr)
+			}
+			if served {
+				return s.send(dres.NC, dres.Out)
+			}
+		}
 		fres, ferr := s.x86.ProcessFallback(frame, now)
 		if ferr != nil {
 			return fmt.Errorf("software path: %w", ferr)
@@ -495,6 +514,23 @@ func (s *server) handle(payload []byte) error {
 		_, err = s.conn.WriteToUDP(out, ua)
 		return err
 	case xgwh.ActionFallback:
+		// Three-tier ladder: a hardware table miss tries the DPU warm
+		// tier first; service-steered traffic (SNAT) skips it, since the
+		// stateful services live on x86 only.
+		if s.dpu != nil && res.FallbackMiss {
+			dres, served, derr := s.dpu.ProcessOn(s.dpuDevice(frame), frame, time.Now())
+			if derr != nil {
+				return fmt.Errorf("dpu path: %w", derr)
+			}
+			if served {
+				if s.pcap != nil {
+					if err := s.pcap.WritePacket(time.Now(), dres.Out); err != nil {
+						return err
+					}
+				}
+				return s.send(dres.NC, dres.Out)
+			}
+		}
 		// HW/SW co-design: the software node completes the long tail.
 		fres, ferr := s.x86.ProcessFallback(frame, time.Now())
 		if ferr != nil {
@@ -518,6 +554,18 @@ func (s *server) handle(payload []byte) error {
 	default:
 		return fmt.Errorf("dropped: %s", res.DropReason)
 	}
+}
+
+// dpuDevice picks the warm-tier device for a frame by flow hash, the same
+// dispatch the region's lanes use, so a flow's DPU passes always land on
+// one device's scratch. Frames that reached the fallback tail parsed in
+// the gateway, so the front parse cannot fail here; 0 is a safe default.
+func (s *server) dpuDevice(frame []byte) int {
+	var fm netpkt.FrontMeta
+	if err := netpkt.ParseFront(frame, &fm); err != nil {
+		return 0
+	}
+	return int(fm.Flow.FastHash() % uint64(s.dpu.Devices()))
 }
 
 // synthesizeOuter wraps the datagram payload in the outer headers the

@@ -9,6 +9,7 @@ import (
 	"sailfish/internal/netpkt"
 	"sailfish/internal/placement"
 	"sailfish/internal/tables"
+	"sailfish/internal/xgwdpu"
 	"sailfish/internal/xgwh"
 )
 
@@ -33,6 +34,25 @@ type placementConfig struct {
 	ChurnBudget    int     `json:"churnBudget"`
 	// MinResidencyMs shields fresh promotions from demotion; default 0.
 	MinResidencyMs int `json:"minResidencyMs"`
+	// DPU, when present, attaches a SmartNIC/DPU warm tier between the
+	// hardware gateway and the x86 software path and switches the loop to
+	// the three-tier residency ladder (hot→hardware, warm→DPU, cold→x86).
+	DPU *dpuConfig `json:"dpu,omitempty"`
+}
+
+// dpuConfig is the optional "dpu" sub-stanza of the placement stanza.
+type dpuConfig struct {
+	// Devices is the pool width; default 1.
+	Devices int `json:"devices"`
+	// EntryBudget caps warm-tier slots; default 8192.
+	EntryBudget int `json:"entryBudget"`
+	// WarmShare / WarmDemoteShare / ChurnBudget / MaxWaterLevel map onto
+	// placement.Config's DPU knobs; zero values take that package's
+	// defaults.
+	WarmShare       float64 `json:"warmShare"`
+	WarmDemoteShare float64 `json:"warmDemoteShare"`
+	ChurnBudget     int     `json:"churnBudget"`
+	MaxWaterLevel   float64 `json:"maxWaterLevel"`
 }
 
 // vmKey identifies one software tenant VM.
@@ -55,9 +75,17 @@ type boxPlane struct {
 	resident map[vmKey]bool
 	routeRef map[netpkt.VNI]int
 	used     int
+
+	// Warm tier (nil pool → two-tier box, DPUFill reports ok=false and the
+	// loop stays on the binary hot/cold split). The pool's own capacity
+	// gate is the budget — installs past it fail with
+	// xgwdpu.ErrOverCapacity, which the loop books as a capacity deferral.
+	pool         *xgwdpu.Pool
+	warm         map[vmKey]bool
+	warmRouteRef map[netpkt.VNI]int
 }
 
-func newBoxPlane(gw *xgwh.Gateway, tenants []tenantConfig, budget int) (*boxPlane, error) {
+func newBoxPlane(gw *xgwh.Gateway, pool *xgwdpu.Pool, tenants []tenantConfig, budget int) (*boxPlane, error) {
 	b := &boxPlane{
 		gw:       gw,
 		prefixes: make(map[netpkt.VNI]netip.Prefix),
@@ -65,6 +93,10 @@ func newBoxPlane(gw *xgwh.Gateway, tenants []tenantConfig, budget int) (*boxPlan
 		budget:   budget,
 		resident: make(map[vmKey]bool),
 		routeRef: make(map[netpkt.VNI]int),
+
+		pool:         pool,
+		warm:         make(map[vmKey]bool),
+		warmRouteRef: make(map[netpkt.VNI]int),
 	}
 	for _, t := range tenants {
 		vni := netpkt.VNI(t.VNI)
@@ -145,13 +177,108 @@ func (b *boxPlane) ClusterFill(id int) (used, capacity int, ok bool) {
 func (b *boxPlane) ResidentEntryCount() int { return b.used }
 func (b *boxPlane) DesiredEntries() int     { return b.desired }
 
-// enablePlacement wires the residency loop into the server.
-func (s *server) enablePlacement(pc placementConfig, tenants []tenantConfig) error {
+// PromoteEntryDPU installs the key into the warm tier; the pool's capacity
+// gate plays the budget role (ErrOverCapacity → capacity deferral).
+// Implements placement.LadderPlane.
+func (b *boxPlane) PromoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	if b.pool == nil {
+		return 0, fmt.Errorf("placement: no DPU tier attached")
+	}
+	key := vmKey{vni, dip}
+	if b.warm[key] {
+		return 0, nil
+	}
+	nc, ok := b.vms[key]
+	if !ok {
+		return 0, fmt.Errorf("placement: no software tenant VM %v/%v", vni, dip)
+	}
+	installed := 0
+	if b.warmRouteRef[vni] == 0 {
+		if err := b.pool.InstallRoute(vni, b.prefixes[vni], tables.Route{Scope: tables.ScopeLocal}); err != nil {
+			return 0, err
+		}
+		installed++
+	}
+	if err := b.pool.InstallVM(vni, dip, nc); err != nil {
+		// Roll the route back so a half-installed key never leaks outside
+		// the warm refcounts.
+		if b.warmRouteRef[vni] == 0 && installed > 0 {
+			b.pool.RemoveRoute(vni, b.prefixes[vni])
+			installed--
+		}
+		return installed, err
+	}
+	installed++
+	b.warmRouteRef[vni]++
+	b.warm[key] = true
+	return installed, nil
+}
+
+// DemoteEntryDPU evicts the key from the warm tier; the covering route
+// stays while other warm VMs of the tenant share it. Implements
+// placement.LadderPlane.
+func (b *boxPlane) DemoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	if b.pool == nil {
+		return 0, fmt.Errorf("placement: no DPU tier attached")
+	}
+	key := vmKey{vni, dip}
+	if !b.warm[key] {
+		return 0, nil
+	}
+	evicted := 1
+	b.pool.RemoveVM(vni, dip)
+	if b.warmRouteRef[vni]--; b.warmRouteRef[vni] <= 0 {
+		delete(b.warmRouteRef, vni)
+		b.pool.RemoveRoute(vni, b.prefixes[vni])
+		evicted++
+	}
+	delete(b.warm, key)
+	return evicted, nil
+}
+
+// DPUFill reports the warm tier's water level; ok=false (no pool) keeps
+// the loop on the binary hot/cold split. Implements placement.LadderPlane.
+func (b *boxPlane) DPUFill() (used, capacity int, ok bool) {
+	if b.pool == nil {
+		return 0, 0, false
+	}
+	return b.pool.EntryCount(), b.pool.Capacity(), true
+}
+
+// enablePlacement wires the residency loop into the server, attaching the
+// DPU warm tier first when the stanza asks for one.
+func (s *server) enablePlacement(pc placementConfig, tenants []tenantConfig, gwIP netip.Addr) error {
 	budget := pc.EntryBudget
 	if budget <= 0 {
 		budget = 1024
 	}
-	plane, err := newBoxPlane(s.gw, tenants, budget)
+	cfg := placement.Config{
+		CoverageTarget: pc.CoverageTarget,
+		PromoteShare:   pc.PromoteShare,
+		DemoteShare:    pc.DemoteShare,
+		ChurnBudget:    pc.ChurnBudget,
+		MinResidency:   time.Duration(pc.MinResidencyMs) * time.Millisecond,
+		WindowReset:    true,
+	}
+	if pc.DPU != nil {
+		devices := pc.DPU.Devices
+		if devices <= 0 {
+			devices = 1
+		}
+		capacity := pc.DPU.EntryBudget
+		if capacity <= 0 {
+			capacity = 8192
+		}
+		s.dpu = xgwdpu.NewPool(xgwdpu.Config{
+			Devices: devices, EntryCapacity: capacity, GatewayIP: gwIP,
+		})
+		s.dpu.EnableTracing(s.rec, "dpu")
+		cfg.WarmShare = pc.DPU.WarmShare
+		cfg.WarmDemoteShare = pc.DPU.WarmDemoteShare
+		cfg.DPUChurnBudget = pc.DPU.ChurnBudget
+		cfg.DPUMaxWaterLevel = pc.DPU.MaxWaterLevel
+	}
+	plane, err := newBoxPlane(s.gw, s.dpu, tenants, budget)
 	if err != nil {
 		return err
 	}
@@ -159,14 +286,7 @@ func (s *server) enablePlacement(pc placementConfig, tenants []tenantConfig) err
 	if interval <= 0 {
 		interval = time.Second
 	}
-	s.loop = placement.New(placement.Config{
-		CoverageTarget: pc.CoverageTarget,
-		PromoteShare:   pc.PromoteShare,
-		DemoteShare:    pc.DemoteShare,
-		ChurnBudget:    pc.ChurnBudget,
-		MinResidency:   time.Duration(pc.MinResidencyMs) * time.Millisecond,
-		WindowReset:    true,
-	}, plane, s.hh)
+	s.loop = placement.New(cfg, plane, s.hh)
 	s.loopEvery = interval
 	return nil
 }

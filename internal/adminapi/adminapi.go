@@ -161,19 +161,23 @@ func BuildTopK(hh *heavyhitter.Tracker, coverage float64, n int) TopKResponse {
 	return out
 }
 
-// PlacementEntry is one (VNI, DIP) key currently resident in XGW-H.
+// PlacementEntry is one (VNI, DIP) key currently resident on a ladder rung
+// ("hw" = XGW-H hardware, "dpu" = the SmartNIC warm tier).
 type PlacementEntry struct {
 	VNI          uint32  `json:"vni"`
 	DIP          string  `json:"dip"`
 	Cluster      int     `json:"cluster"`
+	Tier         string  `json:"tier"`
 	Share        float64 `json:"share"` // last measured window share
 	ResidentAtNs int64   `json:"residentAtNs"`
 }
 
-// PlacementCycle is one residency cycle's outcome.
+// PlacementCycle is one residency cycle's outcome. The DPU fields are zero
+// on a two-tier box (no warm rung attached).
 type PlacementCycle struct {
 	Cycle            uint64  `json:"cycle"`
 	AtNs             int64   `json:"atNs"`
+	EmptyWindow      bool    `json:"emptyWindow"`
 	Promoted         int     `json:"promoted"`
 	Demoted          int     `json:"demoted"`
 	DeferredChurn    int     `json:"deferredChurn"`
@@ -183,29 +187,53 @@ type PlacementCycle struct {
 	ResidentEntries  int     `json:"residentEntries"`
 	DesiredEntries   int     `json:"desiredEntries"`
 	HardwareShare    float64 `json:"hardwareShare"`
+
+	PromotedDPU         int     `json:"promotedDPU"`
+	DemotedDPU          int     `json:"demotedDPU"`
+	Cascaded            int     `json:"cascaded"`
+	Upgraded            int     `json:"upgraded"`
+	DeferredChurnDPU    int     `json:"deferredChurnDPU"`
+	DeferredCapacityDPU int     `json:"deferredCapacityDPU"`
+	DPUResidentKeys     int     `json:"dpuResidentKeys"`
+	DPUShare            float64 `json:"dpuShare"`
+	StackShare          float64 `json:"stackShare"`
 }
 
 // PlacementTotals are the loop's lifetime counters.
 type PlacementTotals struct {
 	Cycles           uint64 `json:"cycles"`
+	EmptyWindows     uint64 `json:"emptyWindows"`
 	Promotions       uint64 `json:"promotions"`
 	Demotions        uint64 `json:"demotions"`
 	DeferredChurn    uint64 `json:"deferredChurn"`
 	DeferredCapacity uint64 `json:"deferredCapacity"`
 	Failures         uint64 `json:"failures"`
+
+	PromotionsDPU       uint64 `json:"promotionsDPU"`
+	DemotionsDPU        uint64 `json:"demotionsDPU"`
+	Cascades            uint64 `json:"cascades"`
+	Upgrades            uint64 `json:"upgrades"`
+	DeferredChurnDPU    uint64 `json:"deferredChurnDPU"`
+	DeferredCapacityDPU uint64 `json:"deferredCapacityDPU"`
 }
 
 // PlacementResponse is the /placement body: the effective policy, the last
 // cycle's report, lifetime totals and the resident set.
 type PlacementResponse struct {
-	Enabled        bool             `json:"enabled"`
-	PromoteShare   float64          `json:"promoteShare"`
-	DemoteShare    float64          `json:"demoteShare"`
-	CoverageTarget float64          `json:"coverageTarget"`
-	ChurnBudget    int              `json:"churnBudget"`
-	Last           PlacementCycle   `json:"last"`
-	Totals         PlacementTotals  `json:"totals"`
-	Resident       []PlacementEntry `json:"resident"`
+	Enabled bool `json:"enabled"`
+	// Ladder reports whether the loop runs the three-tier residency
+	// ladder (a DPU warm rung sits between hardware and x86).
+	Ladder          bool             `json:"ladder"`
+	PromoteShare    float64          `json:"promoteShare"`
+	DemoteShare     float64          `json:"demoteShare"`
+	WarmShare       float64          `json:"warmShare"`
+	WarmDemoteShare float64          `json:"warmDemoteShare"`
+	CoverageTarget  float64          `json:"coverageTarget"`
+	ChurnBudget     int              `json:"churnBudget"`
+	DPUChurnBudget  int              `json:"dpuChurnBudget"`
+	Last            PlacementCycle   `json:"last"`
+	Totals          PlacementTotals  `json:"totals"`
+	Resident        []PlacementEntry `json:"resident"`
 }
 
 // BuildPlacement materializes the residency loop's admin view. A nil loop
@@ -217,30 +245,49 @@ func BuildPlacement(lp *placement.Loop) PlacementResponse {
 	}
 	s := lp.Snapshot()
 	out.Enabled = true
+	out.Ladder = s.Ladder
 	out.PromoteShare = s.Config.PromoteShare
 	out.DemoteShare = s.Config.DemoteShare
+	out.WarmShare = s.Config.WarmShare
+	out.WarmDemoteShare = s.Config.WarmDemoteShare
 	out.CoverageTarget = s.Config.CoverageTarget
 	out.ChurnBudget = s.Config.ChurnBudget
+	out.DPUChurnBudget = s.Config.DPUChurnBudget
 	atNs := int64(0)
 	if !s.Last.At.IsZero() {
 		atNs = s.Last.At.UnixNano()
 	}
 	out.Last = PlacementCycle{
-		Cycle: s.Last.Cycle, AtNs: atNs,
+		Cycle: s.Last.Cycle, AtNs: atNs, EmptyWindow: s.Last.EmptyWindow,
 		Promoted: s.Last.Promoted, Demoted: s.Last.Demoted,
 		DeferredChurn: s.Last.DeferredChurn, DeferredCapacity: s.Last.DeferredCapacity,
 		Failed:       s.Last.Failed,
 		ResidentKeys: s.Last.ResidentKeys, ResidentEntries: s.Last.ResidentEntries,
 		DesiredEntries: s.Last.DesiredEntries, HardwareShare: s.Last.HardwareShare,
+
+		PromotedDPU: s.Last.PromotedDPU, DemotedDPU: s.Last.DemotedDPU,
+		Cascaded: s.Last.Cascaded, Upgraded: s.Last.Upgraded,
+		DeferredChurnDPU:    s.Last.DeferredChurnDPU,
+		DeferredCapacityDPU: s.Last.DeferredCapacityDPU,
+		DPUResidentKeys:     s.Last.DPUResidentKeys,
+		DPUShare:            s.Last.DPUShare,
+		StackShare:          s.Last.StackShare,
 	}
 	out.Totals = PlacementTotals{
-		Cycles: s.Totals.Cycles, Promotions: s.Totals.Promotions,
-		Demotions: s.Totals.Demotions, DeferredChurn: s.Totals.DeferredChurn,
+		Cycles: s.Totals.Cycles, EmptyWindows: s.Totals.EmptyWindows,
+		Promotions: s.Totals.Promotions,
+		Demotions:  s.Totals.Demotions, DeferredChurn: s.Totals.DeferredChurn,
 		DeferredCapacity: s.Totals.DeferredCapacity, Failures: s.Totals.Failures,
+
+		PromotionsDPU: s.Totals.PromotionsDPU, DemotionsDPU: s.Totals.DemotionsDPU,
+		Cascades: s.Totals.Cascades, Upgrades: s.Totals.Upgrades,
+		DeferredChurnDPU:    s.Totals.DeferredChurnDPU,
+		DeferredCapacityDPU: s.Totals.DeferredCapacityDPU,
 	}
 	for _, e := range s.Resident {
 		out.Resident = append(out.Resident, PlacementEntry{
 			VNI: uint32(e.VNI), DIP: e.DIP.String(), Cluster: e.Cluster,
+			Tier:  e.Tier.String(),
 			Share: e.Share, ResidentAtNs: e.ResidentAt.UnixNano(),
 		})
 	}

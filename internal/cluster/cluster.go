@@ -24,6 +24,7 @@ import (
 	"sailfish/internal/tofino"
 	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
+	"sailfish/internal/xgwdpu"
 	"sailfish/internal/xgwh"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	Chip tofino.ChipConfig
 	// ALPMRoutes selects the hardware ALPM routing engine on every node.
 	ALPMRoutes bool
+	// DPUDevices, when > 0, attaches a SmartNIC/DPU middle tier of that
+	// many devices between the XGW-H clusters and the x86 pool: packets
+	// that miss the hardware tables get one warm-table lookup there before
+	// falling through to XGW-x86. Zero keeps the classic two-tier region.
+	DPUDevices int
+	// DPUEntryCapacity is the per-device warm-set budget; zero takes the
+	// xgwdpu default (well above the hardware EntryCapacity).
+	DPUEntryCapacity int
 }
 
 // DefaultConfig returns a production-shaped cluster config: the paper's
@@ -394,6 +403,13 @@ type Region struct {
 	FrontEnd *lb.FrontEnd
 	Fallback []*xgw86.Node
 
+	// DPU is the optional SmartNIC middle tier (nil in two-tier regions):
+	// hardware table misses get one warm-set lookup here before the x86
+	// pool. dpuMu serializes each device's single-threaded scratch when
+	// concurrent shard lanes land on it (the serial paths bypass it).
+	DPU   *xgwdpu.Pool
+	dpuMu []sync.Mutex
+
 	// snatSvc is the region's shared SNAT session store: primary plus
 	// replicated standby over the pooled public IPs, attached to every
 	// fallback node so sessions survive whichever node a flow hashes to
@@ -459,6 +475,7 @@ const (
 	fDropNoLiveNode
 	fDropNoHealthyPort
 	fDropFallbackError
+	fDropDPUError
 	numFrontDropReasons
 )
 
@@ -471,6 +488,7 @@ var frontDropName = [numFrontDropReasons]string{
 	fDropNoLiveNode:      "no_live_node",
 	fDropNoHealthyPort:   "no_healthy_port",
 	fDropFallbackError:   "fallback_error",
+	fDropDPUError:        "dpu_error",
 }
 
 // FrontDropReasonNames returns the stable taxonomy of front-end drop
@@ -513,6 +531,9 @@ func (r *Region) EnableTracing(rec *trace.Recorder) {
 	for i, fb := range r.Fallback {
 		fb.EnableTracing(rec, fmt.Sprintf("xgw86-%d", i))
 	}
+	if r.DPU != nil {
+		r.DPU.EnableTracing(rec, "dpu")
+	}
 }
 
 // EnableHeavyHitters attaches the SpaceSaving tracker every successful
@@ -530,12 +551,22 @@ var ErrClusterDisabled = errors.New("cluster: cluster not admitted to service")
 type RegionStats struct {
 	Forwarded uint64
 	Fallback  uint64
-	// FallbackMiss is the Fallback subset caused by hardware table misses
-	// (routes or VM mappings not resident in XGW-H) rather than deliberate
+	// FallbackMiss counts packets that missed the hardware tables (routes
+	// or VM mappings not resident in XGW-H) rather than deliberate
 	// service-VNI steering — the placement loop's coverage denominator.
+	// With a DPU tier attached it splits into DPUServed (misses the warm
+	// tier absorbed) and FallbackMissX86 (misses that fell all the way to
+	// the pool): FallbackMiss == DPUServed + FallbackMissX86 +
+	// FrontDrops["dpu_error"].
 	FallbackMiss uint64
-	Dropped      uint64
-	NoRoute      uint64
+	// DPUServed counts hardware misses completed by the DPU middle tier
+	// (always zero in two-tier regions).
+	DPUServed uint64
+	// FallbackMissX86 is the FallbackMiss subset the x86 pool had to carry
+	// — the whole of FallbackMiss when no DPU tier is attached.
+	FallbackMissX86 uint64
+	Dropped         uint64
+	NoRoute         uint64
 	// Degraded counts packets carried by the XGW-x86 pool because their
 	// cluster was in degraded mode (both main and backup impaired).
 	Degraded uint64
@@ -549,13 +580,15 @@ type RegionStats struct {
 // single-shot path, ProcessBatch, and every Driver worker/submitter
 // increment it concurrently, and Stats() reads it while traffic flows.
 type regionCounters struct {
-	forwarded    atomic.Uint64
-	fallback     atomic.Uint64
-	fallbackMiss atomic.Uint64
-	dropped      atomic.Uint64
-	noRoute      atomic.Uint64
-	degraded     atomic.Uint64
-	frontDrops   [numFrontDropReasons]atomic.Uint64
+	forwarded       atomic.Uint64
+	fallback        atomic.Uint64
+	fallbackMiss    atomic.Uint64
+	dpuServed       atomic.Uint64
+	fallbackMissX86 atomic.Uint64
+	dropped         atomic.Uint64
+	noRoute         atomic.Uint64
+	degraded        atomic.Uint64
+	frontDrops      [numFrontDropReasons]atomic.Uint64
 }
 
 // NewRegion builds a region with the given number of main clusters (each
@@ -591,6 +624,14 @@ func NewRegion(cfg Config, clusters, fallbackNodes int) *Region {
 		n := xgw86.NewNode(x86cfg)
 		n.AttachSNAT(r.snatSvc)
 		r.Fallback = append(r.Fallback, n)
+	}
+	if cfg.DPUDevices > 0 {
+		r.DPU = xgwdpu.NewPool(xgwdpu.Config{
+			Devices:       cfg.DPUDevices,
+			EntryCapacity: cfg.DPUEntryCapacity,
+			GatewayIP:     cfg.GatewayIP,
+		})
+		r.dpuMu = make([]sync.Mutex, cfg.DPUDevices)
 	}
 	r.fbMu = make([]sync.Mutex, len(r.Fallback))
 	r.lane0 = Lane{r: r, ctr: &r.stats, serial: true}
@@ -720,6 +761,10 @@ type Result struct {
 	ViaFallback bool
 	// FallbackOut is the XGW-x86 result when ViaFallback.
 	FallbackOut xgw86.FallbackResult
+	// ViaDPU marks hardware misses completed by the DPU middle tier.
+	ViaDPU bool
+	// DPUOut is the DPU result when ViaDPU.
+	DPUOut xgwdpu.ForwardResult
 }
 
 // ProcessPacket carries a packet through the region: steering → ECMP →
@@ -780,11 +825,16 @@ func (r *Region) ResetStats() {
 	r.stats.forwarded.Store(0)
 	r.stats.fallback.Store(0)
 	r.stats.fallbackMiss.Store(0)
+	r.stats.dpuServed.Store(0)
+	r.stats.fallbackMissX86.Store(0)
 	r.stats.dropped.Store(0)
 	r.stats.noRoute.Store(0)
 	r.stats.degraded.Store(0)
 	for i := range r.stats.frontDrops {
 		r.stats.frontDrops[i].Store(0)
+	}
+	if r.DPU != nil {
+		r.DPU.ResetStats()
 	}
 }
 
@@ -792,7 +842,7 @@ func (r *Region) ResetStats() {
 // XGW-x86 pool — the live readout of the paper's 80/20 hardware/software
 // split. Zero when nothing has completed.
 func (r *Region) FallbackRatio() float64 {
-	fwd := float64(r.stats.forwarded.Load())
+	fwd := float64(r.stats.forwarded.Load() + r.stats.dpuServed.Load())
 	fb := float64(r.stats.fallback.Load() + r.stats.degraded.Load())
 	if fwd+fb == 0 {
 		return 0
@@ -814,6 +864,21 @@ func (r *Region) HardwareCoverage() float64 {
 	return fwd / (fwd + miss)
 }
 
+// StackCoverage returns the share of route-resolved packets the accelerated
+// tiers — XGW-H plus the DPU pool — served between them: (forwarded +
+// dpu-served) / (forwarded + fallback-by-miss). In a two-tier region this
+// equals HardwareCoverage; with the ladder active it is the three-way
+// coverage claim (XGW-H + DPU ≥ 99.9%). Zero when nothing resolved.
+func (r *Region) StackCoverage() float64 {
+	fwd := float64(r.stats.forwarded.Load())
+	dpu := float64(r.stats.dpuServed.Load())
+	miss := float64(r.stats.fallbackMiss.Load())
+	if fwd+miss == 0 {
+		return 0
+	}
+	return (fwd + dpu) / (fwd + miss)
+}
+
 // RegisterMetrics publishes the region's counters and the fallback ratio
 // into a live registry. Values are read atomically at scrape time.
 func (r *Region) RegisterMetrics(reg *metrics.Registry) {
@@ -829,10 +894,16 @@ func (r *Region) RegisterMetrics(reg *metrics.Registry) {
 		r.stats.degraded.Load)
 	reg.CounterFunc("sailfish_region_fallback_miss_total", "fallbacks caused by hardware table misses", nil,
 		r.stats.fallbackMiss.Load)
+	reg.CounterFunc("sailfish_region_fallback_miss_total", "hardware table misses absorbed by the DPU tier",
+		metrics.Labels{"tier": "dpu"}, r.stats.dpuServed.Load)
+	reg.CounterFunc("sailfish_region_fallback_miss_total", "hardware table misses carried by the x86 pool",
+		metrics.Labels{"tier": "x86"}, r.stats.fallbackMissX86.Load)
 	reg.GaugeFunc("sailfish_region_fallback_ratio", "fallback share of completed packets", nil,
 		r.FallbackRatio)
 	reg.GaugeFunc("sailfish_region_hardware_coverage", "share of route-resolved packets served by XGW-H", nil,
 		r.HardwareCoverage)
+	reg.GaugeFunc("sailfish_region_stack_coverage", "share of route-resolved packets served by XGW-H plus the DPU tier", nil,
+		r.StackCoverage)
 	for code := 1; code < int(numFrontDropReasons); code++ {
 		c := &r.stats.frontDrops[code]
 		reg.CounterFunc("sailfish_region_front_drops_total", "front-end drops by reason",
@@ -842,5 +913,8 @@ func (r *Region) RegisterMetrics(reg *metrics.Registry) {
 		cl := c
 		reg.GaugeFunc("sailfish_cluster_water_level", "entries over per-node capacity",
 			metrics.Labels{"cluster": fmt.Sprint(cl.ID)}, cl.WaterLevel)
+	}
+	if r.DPU != nil {
+		r.DPU.RegisterMetrics(reg)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sailfish/internal/netpkt"
 	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
+	"sailfish/internal/xgwdpu"
 	"sailfish/internal/xgwh"
 )
 
@@ -128,6 +129,18 @@ func (ln *Lane) processFallback(fb *xgw86.Node, idx int, raw []byte, now time.Ti
 	return fb.ProcessFallback(raw, now)
 }
 
+// processDPU attempts the warm-tier lookup on the DPU device the flow
+// hashes to. Devices keep single-threaded scratch like x86 nodes, so shard
+// lanes serialize per device.
+func (ln *Lane) processDPU(dev int, raw []byte, now time.Time) (xgwdpu.ForwardResult, bool, error) {
+	if ln.serial {
+		return ln.r.DPU.ProcessOn(dev, raw, now)
+	}
+	ln.r.dpuMu[dev].Lock()
+	defer ln.r.dpuMu[dev].Unlock()
+	return ln.r.DPU.ProcessOn(dev, raw, now)
+}
+
 // Process carries one packet through the region on this lane: steering →
 // ECMP → XGW-H → (optionally) XGW-x86 fallback. Semantics and accounting are
 // identical to Region.ProcessPacket — which is this method on the region's
@@ -236,10 +249,29 @@ func (ln *Lane) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, 
 	case xgwh.ActionDrop:
 		ln.ctr.dropped.Add(1)
 	case xgwh.ActionFallback:
-		ln.ctr.fallback.Add(1)
 		if res.FallbackMiss {
+			// A genuine hardware table miss: the residency ladder's middle
+			// rung gets the first shot at it. Deliberate service-VNI
+			// steering bypasses the DPU — its SNAT state lives on x86.
 			ln.ctr.fallbackMiss.Add(1)
+			if dpu := r.DPU; dpu != nil {
+				dev := int(flowHash % uint64(dpu.Devices()))
+				dres, served, derr := ln.processDPU(dev, raw, now)
+				if derr != nil {
+					ln.ctr.dropped.Add(1)
+					ln.frontDrop(fDropDPUError, flowHash, vni, now)
+					return out, nil
+				}
+				if served {
+					ln.ctr.dpuServed.Add(1)
+					out.ViaDPU = true
+					out.DPUOut = dres
+					return out, nil
+				}
+			}
+			ln.ctr.fallbackMissX86.Add(1)
 		}
+		ln.ctr.fallback.Add(1)
 		if len(r.Fallback) == 0 {
 			return out, nil
 		}
@@ -310,13 +342,15 @@ func (ln *Lane) ProcessBatch(raws [][]byte, now time.Time, out []BatchResult) []
 // snapshot reads the counter block into a RegionStats.
 func (c *regionCounters) snapshot() RegionStats {
 	s := RegionStats{
-		Forwarded:    c.forwarded.Load(),
-		Fallback:     c.fallback.Load(),
-		FallbackMiss: c.fallbackMiss.Load(),
-		Dropped:      c.dropped.Load(),
-		NoRoute:      c.noRoute.Load(),
-		Degraded:     c.degraded.Load(),
-		FrontDrops:   make(map[string]uint64, numFrontDropReasons-1),
+		Forwarded:       c.forwarded.Load(),
+		Fallback:        c.fallback.Load(),
+		FallbackMiss:    c.fallbackMiss.Load(),
+		DPUServed:       c.dpuServed.Load(),
+		FallbackMissX86: c.fallbackMissX86.Load(),
+		Dropped:         c.dropped.Load(),
+		NoRoute:         c.noRoute.Load(),
+		Degraded:        c.degraded.Load(),
+		FrontDrops:      make(map[string]uint64, numFrontDropReasons-1),
 	}
 	for code := 1; code < int(numFrontDropReasons); code++ {
 		s.FrontDrops[frontDropName[code]] = c.frontDrops[code].Load()
@@ -330,6 +364,8 @@ func (c *regionCounters) addInto(dst *RegionStats) {
 	dst.Forwarded += c.forwarded.Load()
 	dst.Fallback += c.fallback.Load()
 	dst.FallbackMiss += c.fallbackMiss.Load()
+	dst.DPUServed += c.dpuServed.Load()
+	dst.FallbackMissX86 += c.fallbackMissX86.Load()
 	dst.Dropped += c.dropped.Load()
 	dst.NoRoute += c.noRoute.Load()
 	dst.Degraded += c.degraded.Load()

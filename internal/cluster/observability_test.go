@@ -107,6 +107,7 @@ func TestDriverDropAccountingParity(t *testing.T) {
 		"no_live_node":     1,
 		"no_healthy_port":  1,
 		"fallback_error":   0,
+		"dpu_error":        0,
 	}
 	if got := rShot.Stats().FrontDrops; !reflect.DeepEqual(got, wantFront) {
 		t.Fatalf("front drop reasons = %v, want %v", got, wantFront)

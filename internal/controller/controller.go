@@ -123,6 +123,9 @@ type placedTenant struct {
 	// below occupies XGW-H.
 	software bool
 	resident *residentSet
+	// warm is the tenant's DPU-tier resident subset (the middle rung of
+	// the residency ladder); nil until the tenant is software-placed.
+	warm *residentSet
 }
 
 // New attaches a controller to a region.

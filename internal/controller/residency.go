@@ -97,7 +97,8 @@ func (c *Controller) installTenantSoftware(id int, t TenantEntries) {
 	// The pool is the table of record in residency mode, regardless of the
 	// MirrorToFallback setting that governs hardware-first tenants.
 	c.mirrorTenant(t)
-	c.placed[t.VNI] = placedTenant{cluster: id, entries: t, software: true, resident: newResidentSet()}
+	c.placed[t.VNI] = placedTenant{cluster: id, entries: t, software: true,
+		resident: newResidentSet(), warm: newResidentSet()}
 	c.region.FrontEnd.Steering.Assign(t.VNI, id)
 }
 

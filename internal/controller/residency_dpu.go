@@ -1,0 +1,137 @@
+package controller
+
+import (
+	"fmt"
+	"net/netip"
+
+	"sailfish/internal/netpkt"
+)
+
+// The DPU rung of the residency ladder. Unlike the XGW-H tier, whose pushes
+// go through the fault-tolerant per-node retry machinery (many replicas,
+// lossy management network), the DPU pool is host-attached: installs are
+// synchronous table writes gated only by the pool's capacity, and the pool
+// itself replicates the warm set across its devices. The controller keeps a
+// per-tenant warm residentSet with the same DIP→prefix refcounting the
+// hardware set uses, so a shared /24 leaves the warm tier only when its
+// last warm VM does.
+
+// PromoteEntryDPU installs the (vni, dip) key's route and VM mapping into
+// the DPU warm set. Returns the number of warm entries installed; 0 with a
+// nil error means the key was already warm-resident (or the tenant is
+// hardware-placed). A full pool surfaces as xgwdpu.ErrOverCapacity for the
+// loop's deferral accounting. Implements placement.LadderPlane.
+func (c *Controller) PromoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	dpu := c.region.DPU
+	if dpu == nil {
+		return 0, fmt.Errorf("promote dpu %v %v: no DPU tier attached", vni, dip)
+	}
+	pt, ok := c.placed[vni]
+	if !ok {
+		return 0, fmt.Errorf("promote dpu %v %v: %w", vni, dip, ErrNotPlaced)
+	}
+	if !pt.software {
+		return 0, nil
+	}
+	route, vm, ok := coveringEntry(pt.entries, dip)
+	if !ok {
+		return 0, fmt.Errorf("promote dpu %v %v: %w", vni, dip, ErrNoSuchEntry)
+	}
+	if _, resident := pt.warm.keys[dip]; resident {
+		return 0, nil
+	}
+	installed := 0
+	if route != nil && pt.warm.routes[route.Prefix] == 0 {
+		if err := dpu.InstallRoute(route.VNI, route.Prefix, route.Route); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+	if vm != nil && !pt.warm.vms[vm.VM] {
+		if err := dpu.InstallVM(vm.VNI, vm.VM, vm.NC); err != nil {
+			// Roll the route back so a half-installed key is not leaked
+			// outside the warm residentSet's accounting.
+			if route != nil && pt.warm.routes[route.Prefix] == 0 && installed > 0 {
+				dpu.RemoveRoute(route.VNI, route.Prefix)
+				installed--
+			}
+			return installed, err
+		}
+		installed++
+	}
+	prefix := netip.Prefix{}
+	if route != nil {
+		prefix = route.Prefix
+		pt.warm.routes[prefix]++
+	}
+	pt.warm.keys[dip] = prefix
+	if vm != nil {
+		pt.warm.vms[vm.VM] = true
+	}
+	return installed, nil
+}
+
+// DemoteEntryDPU evicts the (vni, dip) key from the DPU warm set so its
+// traffic falls through to the XGW-x86 pool. The covering route stays warm
+// while other warm DIPs share it. Returns the number of warm entries
+// evicted; 0 with nil error means the key was not warm-resident.
+// Implements placement.LadderPlane.
+func (c *Controller) DemoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	dpu := c.region.DPU
+	if dpu == nil {
+		return 0, fmt.Errorf("demote dpu %v %v: no DPU tier attached", vni, dip)
+	}
+	pt, ok := c.placed[vni]
+	if !ok {
+		return 0, fmt.Errorf("demote dpu %v %v: %w", vni, dip, ErrNotPlaced)
+	}
+	if !pt.software {
+		return 0, nil
+	}
+	prefix, resident := pt.warm.keys[dip]
+	if !resident {
+		return 0, nil
+	}
+	evicted := 0
+	if prefix.IsValid() && pt.warm.routes[prefix] == 1 {
+		dpu.RemoveRoute(vni, prefix)
+		evicted++
+	}
+	if pt.warm.vms[dip] {
+		dpu.RemoveVM(vni, dip)
+		evicted++
+	}
+	delete(pt.warm.keys, dip)
+	delete(pt.warm.vms, dip)
+	if prefix.IsValid() {
+		if pt.warm.routes[prefix]--; pt.warm.routes[prefix] <= 0 {
+			delete(pt.warm.routes, prefix)
+		}
+	}
+	return evicted, nil
+}
+
+// DPUFill reports the DPU pool's installed warm entries against its
+// per-device budget — the water level the placement ladder gates warm
+// pushes on. ok is false when the region has no DPU tier, which tells the
+// loop to stay on the binary hot/cold split. Implements
+// placement.LadderPlane.
+func (c *Controller) DPUFill() (used, capacity int, ok bool) {
+	dpu := c.region.DPU
+	if dpu == nil {
+		return 0, 0, false
+	}
+	return dpu.EntryCount(), dpu.Capacity(), true
+}
+
+// WarmEntryCount returns the DPU warm entries the controller believes are
+// installed across all software-placed tenants.
+func (c *Controller) WarmEntryCount() int {
+	total := 0
+	for _, pt := range c.placed {
+		if pt.software {
+			total += pt.warm.entries()
+		}
+	}
+	return total
+}

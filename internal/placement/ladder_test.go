@@ -1,0 +1,368 @@
+package placement
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/xgwdpu"
+)
+
+// ladderPlane extends fakePlane with a scriptable DPU warm set. Every move
+// is appended to ops so tests can assert ordering (make-before-break).
+type ladderPlane struct {
+	*fakePlane
+	dpu      map[heavyhitter.RouteKey]bool
+	dpuCap   int
+	dpuUsed  int
+	attached bool
+	ops      []string
+}
+
+func newLadderPlane(hwCap, dpuCap, desired int) *ladderPlane {
+	return &ladderPlane{
+		fakePlane: newFakePlane(hwCap, desired),
+		dpu:       make(map[heavyhitter.RouteKey]bool),
+		dpuCap:    dpuCap,
+		attached:  true,
+	}
+}
+
+func (f *ladderPlane) PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	n, err := f.fakePlane.PromoteEntry(vni, dip)
+	if err == nil && n > 0 {
+		f.ops = append(f.ops, "hw+"+dip.String())
+	}
+	return n, err
+}
+
+func (f *ladderPlane) DemoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	n, err := f.fakePlane.DemoteEntry(vni, dip)
+	if err == nil && n > 0 {
+		f.ops = append(f.ops, "hw-"+dip.String())
+	}
+	return n, err
+}
+
+func (f *ladderPlane) PromoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	k := heavyhitter.RouteKey{VNI: vni, DIP: dip}
+	if f.dpu[k] {
+		return 0, nil
+	}
+	if f.dpuUsed+2 > f.dpuCap {
+		return 0, xgwdpu.ErrOverCapacity
+	}
+	f.dpu[k] = true
+	f.dpuUsed += 2
+	f.ops = append(f.ops, "dpu+"+dip.String())
+	return 2, nil
+}
+
+func (f *ladderPlane) DemoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	k := heavyhitter.RouteKey{VNI: vni, DIP: dip}
+	if !f.dpu[k] {
+		return 0, nil
+	}
+	delete(f.dpu, k)
+	f.dpuUsed -= 2
+	f.ops = append(f.ops, "dpu-"+dip.String())
+	return 2, nil
+}
+
+func (f *ladderPlane) DPUFill() (int, int, bool) { return f.dpuUsed, f.dpuCap, f.attached }
+
+// ladderCfg: hot at 5%, hw-demote below 1%, warm band [2%, 5%), warm-demote
+// below 0.5%.
+func ladderCfg(clk *virtualClock, mut ...func(*Config)) Config {
+	cfg := loopCfg(clk, func(c *Config) {
+		c.CoverageTarget = 1
+		c.WarmShare = 0.02
+		c.WarmDemoteShare = 0.005
+	})
+	for _, m := range mut {
+		m(&cfg)
+	}
+	return cfg
+}
+
+func key(i int) heavyhitter.RouteKey {
+	return heavyhitter.RouteKey{VNI: netpkt.VNI(100 + i%7), DIP: ip(i)}
+}
+
+// TestLadderSplitsBands pins the three-band policy: hot → hardware, warm →
+// DPU, sub-warm → nowhere.
+func TestLadderSplitsBands(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	lp := New(ladderCfg(clk), fp, hh)
+
+	feed(hh, 1, 90) // 90/94 ≈ 0.957: hot
+	feed(hh, 2, 3)  // 3/94 ≈ 0.032: warm band
+	feed(hh, 3, 1)  // 1/94 ≈ 0.011: below WarmShare
+	rep := lp.RunCycle()
+	if rep.Promoted != 1 || rep.PromotedDPU != 1 || rep.Demoted != 0 || rep.DemotedDPU != 0 {
+		t.Fatalf("band split: %+v", rep)
+	}
+	if !fp.resident[key(1)] || fp.dpu[key(1)] {
+		t.Fatal("hot key must live on hardware only")
+	}
+	if !fp.dpu[key(2)] || fp.resident[key(2)] {
+		t.Fatal("warm key must live on the DPU rung only")
+	}
+	if fp.resident[key(3)] || fp.dpu[key(3)] {
+		t.Fatal("sub-warm key must stay on x86")
+	}
+	if rep.ResidentKeys != 1 || rep.DPUResidentKeys != 1 {
+		t.Fatalf("resident tallies: %+v", rep)
+	}
+	if rep.StackShare <= rep.HardwareShare || rep.StackShare > 1 {
+		t.Fatalf("stack share %v must add the DPU share to %v", rep.StackShare, rep.HardwareShare)
+	}
+
+	snap := lp.Snapshot()
+	if !snap.Ladder {
+		t.Fatal("snapshot must flag ladder mode")
+	}
+	tiers := map[string]string{}
+	for _, e := range snap.Resident {
+		tiers[e.DIP.String()] = e.Tier.String()
+	}
+	if tiers[ip(1).String()] != "hw" || tiers[ip(2).String()] != "dpu" {
+		t.Fatalf("snapshot tiers: %v", tiers)
+	}
+}
+
+// TestCascadeLandsCooledKeysOnDPU: an XGW-H eviction whose share is still
+// above WarmDemoteShare must land on the DPU rung, not fall to x86 — and
+// only fall out of the ladder once it cools below the warm floor too.
+func TestCascadeLandsCooledKeysOnDPU(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	lp := New(ladderCfg(clk), fp, hh)
+
+	feed(hh, 1, 100)
+	if rep := lp.RunCycle(); rep.Promoted != 1 {
+		t.Fatalf("setup: %+v", rep)
+	}
+	// Key 1 cools into (WarmDemoteShare, DemoteShare): 1/150 ≈ 0.0067.
+	clk.advance(time.Minute)
+	feed(hh, 1, 1)
+	feed(hh, 2, 149)
+	rep := lp.RunCycle()
+	if rep.Demoted != 1 || rep.Cascaded != 1 {
+		t.Fatalf("cascade: %+v", rep)
+	}
+	if fp.resident[key(1)] || !fp.dpu[key(1)] {
+		t.Fatal("cascaded key must have moved HW → DPU")
+	}
+	// Next window it vanishes entirely: off the warm rung too.
+	clk.advance(time.Minute)
+	feed(hh, 2, 100)
+	rep = lp.RunCycle()
+	if rep.DemotedDPU != 1 || rep.Cascaded != 0 {
+		t.Fatalf("warm eviction: %+v", rep)
+	}
+	if fp.dpu[key(1)] {
+		t.Fatal("fully cold key still on the DPU rung")
+	}
+	totals := lp.Snapshot().Totals
+	if totals.Cascades != 1 || totals.DemotionsDPU != 1 {
+		t.Fatalf("totals: %+v", totals)
+	}
+}
+
+// TestUpgradeIsMakeBeforeBreak: a DPU-resident key that turns hot is
+// installed into hardware BEFORE its DPU copy is removed, so there is no
+// window in which neither tier holds it.
+func TestUpgradeIsMakeBeforeBreak(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	lp := New(ladderCfg(clk), fp, hh)
+
+	// Warm first: 3/100.
+	feed(hh, 1, 3)
+	feed(hh, 2, 97)
+	if rep := lp.RunCycle(); rep.PromotedDPU != 1 {
+		t.Fatalf("setup: %+v", rep)
+	}
+	// Now hot: 60/100.
+	clk.advance(time.Minute)
+	feed(hh, 1, 60)
+	feed(hh, 2, 40)
+	rep := lp.RunCycle()
+	if rep.Upgraded != 1 {
+		t.Fatalf("upgrade: %+v", rep)
+	}
+	if !fp.resident[key(1)] || fp.dpu[key(1)] {
+		t.Fatal("upgraded key must have moved DPU → HW")
+	}
+	hwAt, dpuGoneAt := -1, -1
+	for i, op := range fp.ops {
+		switch op {
+		case "hw+" + ip(1).String():
+			hwAt = i
+		case "dpu-" + ip(1).String():
+			dpuGoneAt = i
+		}
+	}
+	if hwAt < 0 || dpuGoneAt < 0 || hwAt > dpuGoneAt {
+		t.Fatalf("make-before-break violated: ops %v", fp.ops)
+	}
+}
+
+// TestDPUChurnBudgetCapsWarmMoves: warm promotions beyond DPUChurnBudget are
+// deferred — independently of the hardware budget.
+func TestDPUChurnBudgetCapsWarmMoves(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	lp := New(ladderCfg(clk, func(c *Config) { c.DPUChurnBudget = 2 }), fp, hh)
+
+	feed(hh, 20, 70) // hot anchor
+	for i := 1; i <= 10; i++ {
+		feed(hh, i, 3) // 3/100: warm band
+	}
+	rep := lp.RunCycle()
+	if rep.Promoted != 1 {
+		t.Fatalf("anchor: %+v", rep)
+	}
+	if rep.PromotedDPU != 2 || rep.DeferredChurnDPU != 8 {
+		t.Fatalf("dpu budget: %+v", rep)
+	}
+	// The backlog drains two per cycle while the signal persists.
+	clk.advance(time.Minute)
+	feed(hh, 20, 70)
+	for i := 1; i <= 10; i++ {
+		feed(hh, i, 3)
+	}
+	rep = lp.RunCycle()
+	if rep.PromotedDPU != 2 {
+		t.Fatalf("backlog drain: %+v", rep)
+	}
+	if len(fp.dpu) != 4 {
+		t.Fatalf("%d warm keys after two cycles, want 4", len(fp.dpu))
+	}
+}
+
+// TestDPUWaterLevelGatesWarmPromotions: the pool fill gate defers warm
+// pushes exactly like the hardware water level defers hot ones.
+func TestDPUWaterLevelGatesWarmPromotions(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	// 10 DPU slots = 5 keys; gate at 0.8 → 4 keys fit.
+	fp := newLadderPlane(1000, 10, 500)
+	lp := New(ladderCfg(clk, func(c *Config) { c.DPUMaxWaterLevel = 0.8 }), fp, hh)
+
+	feed(hh, 20, 70)
+	for i := 1; i <= 8; i++ {
+		feed(hh, i, 3)
+	}
+	rep := lp.RunCycle()
+	if rep.PromotedDPU != 4 || rep.DeferredCapacityDPU != 4 {
+		t.Fatalf("water gate: %+v", rep)
+	}
+	if fp.dpuUsed > 8 {
+		t.Fatalf("gate breached: %d/%d DPU slots", fp.dpuUsed, fp.dpuCap)
+	}
+}
+
+// TestHotKeyParksOnDPUWhenHardwareFull: a key that clears PromoteShare but
+// cannot take a hardware slot this cycle (water level) is parked on the DPU
+// rung so the stack still absorbs its traffic.
+func TestHotKeyParksOnDPUWhenHardwareFull(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	// 2 HW slots = 1 key; plenty of DPU room.
+	fp := newLadderPlane(2, 1000, 500)
+	lp := New(ladderCfg(clk, func(c *Config) { c.MaxWaterLevel = 1 }), fp, hh)
+
+	feed(hh, 1, 60)
+	feed(hh, 2, 40)
+	rep := lp.RunCycle()
+	if rep.Promoted != 1 || rep.DeferredCapacity != 1 {
+		t.Fatalf("hw fill: %+v", rep)
+	}
+	if rep.PromotedDPU != 1 || !fp.dpu[key(2)] {
+		t.Fatalf("overflow hot key not parked on DPU: %+v (dpu=%v)", rep, fp.dpu)
+	}
+	// Key 1 cools to zero: this cycle evicts it, but promotions ran first
+	// against a still-full table, so the parked key stays on the DPU rung.
+	clk.advance(time.Minute)
+	feed(hh, 2, 100)
+	rep = lp.RunCycle()
+	if rep.Demoted != 1 || rep.Upgraded != 0 || !fp.dpu[key(2)] {
+		t.Fatalf("drain cycle: %+v", rep)
+	}
+	// With the slot free, the next cycle upgrades it make-before-break.
+	clk.advance(time.Minute)
+	feed(hh, 2, 100)
+	rep = lp.RunCycle()
+	if rep.Upgraded != 1 {
+		t.Fatalf("upgrade after drain: %+v", rep)
+	}
+	if !fp.resident[key(2)] || fp.dpu[key(2)] {
+		t.Fatal("parked key did not move up")
+	}
+}
+
+// TestLadderDegradesToBinaryWithoutPool: a control plane that implements
+// LadderPlane but reports no attached pool must behave exactly like the
+// two-tier loop — no DPU moves, warm band ignored.
+func TestLadderDegradesToBinaryWithoutPool(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	fp.attached = false
+	lp := New(ladderCfg(clk), fp, hh)
+
+	feed(hh, 1, 90)
+	feed(hh, 2, 3) // warm band — must be ignored
+	feed(hh, 3, 7)
+	rep := lp.RunCycle()
+	if rep.Promoted != 2 {
+		t.Fatalf("binary promotions: %+v", rep)
+	}
+	if rep.PromotedDPU != 0 || rep.Cascaded != 0 || len(fp.dpu) != 0 {
+		t.Fatalf("DPU moves without a pool: %+v (dpu=%v)", rep, fp.dpu)
+	}
+}
+
+// TestLadderMetricsExposition: the tier-labeled families coexist with the
+// unlabeled hardware-tier families in one registry.
+func TestLadderMetricsExposition(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newLadderPlane(1000, 1000, 500)
+	lp := New(ladderCfg(clk), fp, hh)
+	reg := metrics.NewRegistry()
+	lp.RegisterMetrics(reg)
+
+	feed(hh, 1, 90)
+	feed(hh, 2, 3)
+	lp.RunCycle()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sailfish_placement_promotions_total 1",
+		`sailfish_placement_promotions_total{tier="dpu"} 1`,
+		"sailfish_placement_resident_keys_dpu 1",
+		"sailfish_placement_cascades_total 0",
+		"sailfish_placement_upgrades_total 0",
+		"sailfish_placement_dpu_share",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -17,7 +17,26 @@
 //     promotions and coldest demotions first, the rest deferred;
 //   - capacity awareness: promotions stop when the target cluster's water
 //     level would exceed MaxWaterLevel, leaving headroom for full-tenant
-//     pushes and failover (§6.1's safe-water-level discipline).
+//     pushes and failover (§6.1's safe-water-level discipline). The water
+//     level is re-read from the control plane before every push, never
+//     snapshotted per cycle, so a mid-cycle capacity change (failover
+//     halving the live table, a concurrent tenant push) gates the very next
+//     promotion.
+//
+// When the control plane also implements LadderPlane and a DPU tier is
+// attached, the binary hot/cold split generalizes into a three-rung
+// residency ladder (Gryphon-style hierarchical co-offloading):
+//
+//	hot  (share >= PromoteShare)              → XGW-H hardware
+//	warm (WarmShare <= share < PromoteShare)  → DPU pool
+//	cold (share < WarmDemoteShare)            → XGW-x86 pool
+//
+// Each rung has its own churn budget and water-level gate. Demotions
+// cascade: an XGW-H eviction that is still warm lands on the DPU tier
+// rather than falling straight to x86, and a hot key the hardware cannot
+// take (budget or capacity) is parked on the DPU meanwhile. Promotion out
+// of the warm tier is make-before-break — the hardware entry is installed
+// before the DPU copy is removed.
 package placement
 
 import (
@@ -32,6 +51,7 @@ import (
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/xgwdpu"
 
 	"net/netip"
 )
@@ -55,6 +75,45 @@ type ControlPlane interface {
 	// DesiredEntries is the total entry intent — the denominator of the
 	// residency fraction.
 	DesiredEntries() int
+}
+
+// LadderPlane is the optional DPU-tier extension of ControlPlane. A control
+// plane that implements it (and whose DPUFill reports ok) switches the loop
+// from the binary hot/cold split to the three-rung residency ladder.
+type LadderPlane interface {
+	ControlPlane
+	// PromoteEntryDPU installs the key's route/VM entries into the DPU
+	// warm set, returning how many table slots were written. A full pool
+	// returns an error satisfying errors.Is(err, xgwdpu.ErrOverCapacity)
+	// or errors.Is(err, cluster.ErrOverCapacity).
+	PromoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error)
+	// DemoteEntryDPU evicts the key from the warm set, returning how many
+	// slots were freed.
+	DemoteEntryDPU(vni netpkt.VNI, dip netip.Addr) (int, error)
+	// DPUFill reports the DPU pool's used and total entry budget; ok is
+	// false when no DPU tier is attached (the loop then stays binary).
+	DPUFill() (used, capacity int, ok bool)
+}
+
+// Tier identifies the rung of the residency ladder a key is pinned on.
+type Tier uint8
+
+const (
+	// TierHW is the XGW-H hardware rung.
+	TierHW Tier = iota
+	// TierDPU is the SmartNIC/DPU warm rung.
+	TierDPU
+)
+
+// String returns the tier's wire name.
+func (t Tier) String() string {
+	switch t {
+	case TierHW:
+		return "hw"
+	case TierDPU:
+		return "dpu"
+	}
+	return "tier(?)"
 }
 
 // Config tunes the residency policy.
@@ -90,6 +149,25 @@ type Config struct {
 	WindowReset bool
 	// Now supplies the loop clock; nil means wall time.
 	Now func() time.Time
+
+	// Ladder policy — only consulted when the control plane implements
+	// LadderPlane and a DPU tier is attached.
+
+	// WarmShare is the per-entry traffic share at which a non-resident
+	// entry is promoted onto the DPU warm rung. Must be below PromoteShare;
+	// default PromoteShare/8.
+	WarmShare float64
+	// WarmDemoteShare is the share below which a DPU-resident entry
+	// becomes a demotion candidate (and below which an XGW-H eviction is
+	// not worth cascading). Must be below WarmShare for hysteresis;
+	// default WarmShare/4.
+	WarmDemoteShare float64
+	// DPUChurnBudget caps DPU-tier table operations per cycle (warm
+	// promotions, cascades, warm demotions). <= 0 means ChurnBudget.
+	DPUChurnBudget int
+	// DPUMaxWaterLevel is the DPU pool fill fraction warm pushes must stay
+	// under. Default MaxWaterLevel.
+	DPUMaxWaterLevel float64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +192,18 @@ func (c Config) withDefaults() Config {
 	if c.EntrySlots <= 0 {
 		c.EntrySlots = 2
 	}
+	if c.WarmShare <= 0 || c.WarmShare >= c.PromoteShare {
+		c.WarmShare = c.PromoteShare / 8
+	}
+	if c.WarmDemoteShare <= 0 || c.WarmDemoteShare >= c.WarmShare {
+		c.WarmDemoteShare = c.WarmShare / 4
+	}
+	if c.DPUChurnBudget <= 0 {
+		c.DPUChurnBudget = c.ChurnBudget
+	}
+	if c.DPUMaxWaterLevel <= 0 || c.DPUMaxWaterLevel > 1 {
+		c.DPUMaxWaterLevel = c.MaxWaterLevel
+	}
 	return c
 }
 
@@ -133,20 +223,52 @@ type CycleReport struct {
 	// evict errors other than capacity); the keys stay in their previous
 	// state and are retried next cycle.
 	Failed int
-	// ResidentKeys is the loop's promoted key count after the cycle;
-	// ResidentEntries the controller's installed-slot count;
+	// EmptyWindow marks a cycle whose measurement window observed zero
+	// packets (fresh start, or WindowReset racing a quiet interval): the
+	// sketch carries no signal, so the cycle is a deliberate no-op —
+	// nothing is promoted, demoted, or aged out.
+	EmptyWindow bool
+	// ResidentKeys is the loop's hardware-promoted key count after the
+	// cycle; ResidentEntries the controller's installed-slot count;
 	// DesiredEntries the total intent.
 	ResidentKeys    int
 	ResidentEntries int
 	DesiredEntries  int
-	// HardwareShare estimates the traffic fraction the resident set serves:
-	// the sketch shares of resident keys summed over the cycle's window.
+	// HardwareShare estimates the traffic fraction the hardware-resident
+	// set serves: the sketch shares of resident keys summed over the
+	// cycle's window.
 	HardwareShare float64
+
+	// Ladder outcome — zero in binary (two-tier) mode.
+
+	// PromotedDPU and DemotedDPU count warm-rung moves; with Cascaded they
+	// never exceed the DPU churn budget.
+	PromotedDPU int
+	DemotedDPU  int
+	// Cascaded counts XGW-H evictions that landed on the DPU rung instead
+	// of falling to x86 (a subset of Demoted).
+	Cascaded int
+	// Upgraded counts DPU-resident keys promoted up into XGW-H (a subset
+	// of Promoted).
+	Upgraded int
+	// DeferredChurnDPU and DeferredCapacityDPU mirror the hardware-tier
+	// deferral counters for the warm rung.
+	DeferredChurnDPU    int
+	DeferredCapacityDPU int
+	// DPUResidentKeys is the warm-rung key count after the cycle;
+	// DPUShare its estimated traffic share. StackShare is the ladder's
+	// combined coverage (hardware + warm), capped at 1.
+	DPUResidentKeys int
+	DPUShare        float64
+	StackShare      float64
 }
 
-// entryState is the loop's record of one resident key.
+// entryState is the loop's record of one resident key. tier names the rung
+// it is pinned on; promotedAt restarts whenever the key changes rung, so
+// MinResidency shields each placement independently.
 type entryState struct {
 	cluster    int
+	tier       Tier
 	promotedAt time.Time
 	lastShare  float64
 }
@@ -158,6 +280,7 @@ type Loop struct {
 	mu       sync.Mutex
 	cfg      Config
 	cp       ControlPlane
+	lp       LadderPlane // non-nil when cp implements the DPU extension
 	hh       *heavyhitter.Tracker
 	resident map[heavyhitter.RouteKey]*entryState
 	cycle    uint64
@@ -170,18 +293,34 @@ type Loop struct {
 	deferredCapacity atomic.Uint64
 	failures         atomic.Uint64
 	cycles           atomic.Uint64
+	emptyWindows     atomic.Uint64
 	residentKeys     atomic.Int64
 	hwShareBits      atomic.Uint64 // float64 bits of last HardwareShare
+
+	promotionsDPU       atomic.Uint64
+	demotionsDPU        atomic.Uint64
+	cascades            atomic.Uint64
+	upgrades            atomic.Uint64
+	deferredChurnDPU    atomic.Uint64
+	deferredCapacityDPU atomic.Uint64
+	dpuResidentKeys     atomic.Int64
+	dpuShareBits        atomic.Uint64 // float64 bits of last DPUShare
 }
 
-// New builds a loop over the control plane and tracker.
+// New builds a loop over the control plane and tracker. A control plane
+// that also implements LadderPlane enables the three-tier ladder (active
+// only while its DPUFill reports an attached DPU pool).
 func New(cfg Config, cp ControlPlane, hh *heavyhitter.Tracker) *Loop {
-	return &Loop{
+	l := &Loop{
 		cfg:      cfg.withDefaults(),
 		cp:       cp,
 		hh:       hh,
 		resident: make(map[heavyhitter.RouteKey]*entryState),
 	}
+	if lp, ok := cp.(LadderPlane); ok {
+		l.lp = lp
+	}
+	return l
 }
 
 // Config returns the loop's effective (defaulted) policy.
@@ -203,6 +342,17 @@ func (l *Loop) RunCycle() CycleReport {
 	l.cycle++
 	rep := CycleReport{Cycle: l.cycle, At: now}
 
+	// An empty measurement window carries no signal: every key's share
+	// would read 0, which is indistinguishable from "cold" and would mass-
+	// demote the whole resident set on a quiet interval or a fresh start.
+	// Treat it as a deliberate no-op instead — residency ages, shares and
+	// the window all carry over to the next cycle.
+	if l.hh.TotalPackets() == 0 {
+		rep.EmptyWindow = true
+		l.finishCycle(&rep)
+		return rep
+	}
+
 	// The full ranking (target 1) provides this window's share for every
 	// tracked key; resident keys that fell out of the sketch entirely have
 	// share 0 and are the coldest demotion candidates.
@@ -214,21 +364,73 @@ func (l *Loop) RunCycle() CycleReport {
 
 	budget := l.cfg.ChurnBudget
 
-	// Promotions, hottest first. The ranking is already descending, so the
-	// first entry under PromoteShare ends the scan. Coverage already pinned
-	// counts against CoverageTarget: once the resident set's share reaches
-	// it, the tail stays in software even if individual entries clear the
-	// promote threshold.
+	// The ladder is live only when the control plane implements the DPU
+	// extension AND a pool is attached right now — a region that lost (or
+	// never had) its DPU tier degrades to the binary split.
+	ladder := false
+	if l.lp != nil {
+		if _, _, ok := l.lp.DPUFill(); ok {
+			ladder = true
+		}
+	}
+	dpuBudget := l.cfg.DPUChurnBudget
+	dpuOps := 0
+
+	// warmPromote parks a key on the DPU rung, re-reading the pool's
+	// water level before the push (capacity may have moved mid-cycle).
+	// cascade distinguishes an XGW-H eviction landing here from a fresh
+	// warm promotion — both count against the DPU churn budget.
+	warmPromote := func(key heavyhitter.RouteKey, clusterID int, share float64, cascade bool) bool {
+		if !ladder {
+			return false
+		}
+		if dpuOps >= dpuBudget {
+			rep.DeferredChurnDPU++
+			return false
+		}
+		if !l.dpuHeadroom() {
+			rep.DeferredCapacityDPU++
+			return false
+		}
+		_, err := l.lp.PromoteEntryDPU(key.VNI, key.DIP)
+		switch {
+		case errors.Is(err, cluster.ErrOverCapacity) || errors.Is(err, xgwdpu.ErrOverCapacity):
+			rep.DeferredCapacityDPU++
+			return false
+		case err != nil:
+			rep.Failed++
+			return false
+		}
+		l.resident[key] = &entryState{cluster: clusterID, tier: TierDPU, promotedAt: now, lastShare: share}
+		dpuOps++
+		if cascade {
+			rep.Cascaded++
+		} else {
+			rep.PromotedDPU++
+		}
+		return true
+	}
+
+	// Hardware promotions, hottest first. The ranking is already
+	// descending, so the first entry under PromoteShare ends the scan.
+	// Coverage already pinned counts against CoverageTarget: once the
+	// hardware-resident set's share reaches it, the tail stays below even
+	// if individual entries clear the promote threshold. A hot key the
+	// hardware cannot take this cycle (budget, water level) is parked on
+	// the DPU rung meanwhile, so the stack still absorbs its traffic.
 	pinned := 0.0
-	for key := range l.resident {
-		pinned += shares[key]
+	for key, st := range l.resident {
+		if st.tier == TierHW {
+			pinned += shares[key]
+		}
 	}
 	for _, e := range ranking.Entries {
 		if e.Share < l.cfg.PromoteShare {
 			break
 		}
 		key := heavyhitter.RouteKey{VNI: e.VNI, DIP: e.DIP}
-		if st, ok := l.resident[key]; ok {
+		st, resident := l.resident[key]
+		if resident && st.tier == TierHW {
 			st.lastShare = e.Share
 			continue
 		}
@@ -237,54 +439,105 @@ func (l *Loop) RunCycle() CycleReport {
 		}
 		if rep.Promoted+rep.Demoted >= budget {
 			rep.DeferredChurn++
+			if !resident {
+				warmPromote(key, e.Cluster, e.Share, false)
+			}
 			continue
 		}
 		if !l.headroom(e.Cluster) {
 			rep.DeferredCapacity++
+			if !resident {
+				warmPromote(key, e.Cluster, e.Share, false)
+			}
 			continue
 		}
 		_, err := l.cp.PromoteEntry(e.VNI, e.DIP)
 		switch {
 		case errors.Is(err, cluster.ErrOverCapacity):
 			rep.DeferredCapacity++
+			if !resident {
+				warmPromote(key, e.Cluster, e.Share, false)
+			}
 			continue
 		case err != nil:
 			rep.Failed++
 			continue
 		}
-		l.resident[key] = &entryState{cluster: e.Cluster, promotedAt: now, lastShare: e.Share}
+		if resident && st.tier == TierDPU {
+			// Upgrade off the warm rung, make-before-break: the hardware
+			// entry above is live before the DPU copy goes. The cleanup is
+			// not budget-gated — deferring it would double-pin the key.
+			if _, derr := l.lp.DemoteEntryDPU(key.VNI, key.DIP); derr != nil {
+				rep.Failed++
+			}
+			rep.Upgraded++
+		}
+		l.resident[key] = &entryState{cluster: e.Cluster, tier: TierHW, promotedAt: now, lastShare: e.Share}
 		pinned += e.Share
 		rep.Promoted++
 	}
 
-	// Demotions, coldest first, among entries old enough to have proven
-	// themselves cold rather than briefly unlucky in the sketch.
-	type cand struct {
-		key   heavyhitter.RouteKey
-		share float64
+	// Warm promotions: the mid-share band earns a DPU slot. Only in ladder
+	// mode; the ranking is descending so the first entry under WarmShare
+	// ends the scan.
+	if ladder {
+		for _, e := range ranking.Entries {
+			if e.Share < l.cfg.WarmShare {
+				break
+			}
+			if e.Share >= l.cfg.PromoteShare {
+				continue // hardware band, handled above
+			}
+			key := heavyhitter.RouteKey{VNI: e.VNI, DIP: e.DIP}
+			if st, ok := l.resident[key]; ok {
+				st.lastShare = e.Share
+				continue
+			}
+			warmPromote(key, e.Cluster, e.Share, false)
+		}
 	}
-	var cands []cand
+
+	// Demotions, coldest first, among entries old enough to have proven
+	// themselves cold rather than briefly unlucky in the sketch. Hardware
+	// evictions cascade onto the DPU rung while the key is still warm;
+	// warm-rung evictions fall out of the ladder entirely.
+	type cand struct {
+		key     heavyhitter.RouteKey
+		cluster int
+		share   float64
+	}
+	var hwCands, dpuCands []cand
 	for key, st := range l.resident {
 		share := shares[key]
 		st.lastShare = share
-		if share >= l.cfg.DemoteShare {
-			continue
-		}
 		if now.Sub(st.promotedAt) < l.cfg.MinResidency {
 			continue
 		}
-		cands = append(cands, cand{key: key, share: share})
+		switch st.tier {
+		case TierHW:
+			if share < l.cfg.DemoteShare {
+				hwCands = append(hwCands, cand{key: key, cluster: st.cluster, share: share})
+			}
+		case TierDPU:
+			if share < l.cfg.WarmDemoteShare {
+				dpuCands = append(dpuCands, cand{key: key, cluster: st.cluster, share: share})
+			}
+		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].share != cands[j].share {
-			return cands[i].share < cands[j].share
-		}
-		if cands[i].key.VNI != cands[j].key.VNI {
-			return cands[i].key.VNI < cands[j].key.VNI
-		}
-		return cands[i].key.DIP.Less(cands[j].key.DIP)
-	})
-	for _, cd := range cands {
+	coldestFirst := func(cands []cand) {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].share != cands[j].share {
+				return cands[i].share < cands[j].share
+			}
+			if cands[i].key.VNI != cands[j].key.VNI {
+				return cands[i].key.VNI < cands[j].key.VNI
+			}
+			return cands[i].key.DIP.Less(cands[j].key.DIP)
+		})
+	}
+	coldestFirst(hwCands)
+	coldestFirst(dpuCands)
+	for _, cd := range hwCands {
 		if rep.Promoted+rep.Demoted >= budget {
 			rep.DeferredChurn++
 			continue
@@ -295,36 +548,94 @@ func (l *Loop) RunCycle() CycleReport {
 		}
 		delete(l.resident, cd.key)
 		rep.Demoted++
+		if ladder && cd.share >= l.cfg.WarmDemoteShare {
+			// Still warm: land the eviction on the DPU rung, not on x86.
+			warmPromote(cd.key, cd.cluster, cd.share, true)
+		}
+	}
+	for _, cd := range dpuCands {
+		if dpuOps >= dpuBudget {
+			rep.DeferredChurnDPU++
+			continue
+		}
+		if _, err := l.lp.DemoteEntryDPU(cd.key.VNI, cd.key.DIP); err != nil {
+			rep.Failed++
+			continue
+		}
+		delete(l.resident, cd.key)
+		dpuOps++
+		rep.DemotedDPU++
 	}
 
-	rep.ResidentKeys = len(l.resident)
-	rep.ResidentEntries = l.cp.ResidentEntryCount()
-	rep.DesiredEntries = l.cp.DesiredEntries()
-	for _, st := range l.resident {
-		rep.HardwareShare += st.lastShare
+	for key, st := range l.resident {
+		switch st.tier {
+		case TierHW:
+			rep.HardwareShare += shares[key]
+		case TierDPU:
+			rep.DPUShare += shares[key]
+		}
 	}
 	if rep.HardwareShare > 1 {
 		rep.HardwareShare = 1
+	}
+	if rep.DPUShare > 1 {
+		rep.DPUShare = 1
+	}
+	rep.StackShare = rep.HardwareShare + rep.DPUShare
+	if rep.StackShare > 1 {
+		rep.StackShare = 1
 	}
 
 	if l.cfg.WindowReset {
 		l.hh.Reset()
 	}
 
-	l.last = rep
+	l.finishCycle(&rep)
+	return rep
+}
+
+// finishCycle fills the residency tallies, publishes the report and rolls
+// the lifetime telemetry. Caller holds l.mu.
+func (l *Loop) finishCycle(rep *CycleReport) {
+	hwKeys := 0
+	for _, st := range l.resident {
+		if st.tier == TierHW {
+			hwKeys++
+		}
+	}
+	rep.ResidentKeys = hwKeys
+	rep.DPUResidentKeys = len(l.resident) - hwKeys
+	rep.ResidentEntries = l.cp.ResidentEntryCount()
+	rep.DesiredEntries = l.cp.DesiredEntries()
+
+	l.last = *rep
 	l.promotions.Add(uint64(rep.Promoted))
 	l.demotions.Add(uint64(rep.Demoted))
 	l.deferredChurn.Add(uint64(rep.DeferredChurn))
 	l.deferredCapacity.Add(uint64(rep.DeferredCapacity))
 	l.failures.Add(uint64(rep.Failed))
 	l.cycles.Add(1)
+	if rep.EmptyWindow {
+		l.emptyWindows.Add(1)
+	}
 	l.residentKeys.Store(int64(rep.ResidentKeys))
 	l.hwShareBits.Store(math.Float64bits(rep.HardwareShare))
-	return rep
+	l.promotionsDPU.Add(uint64(rep.PromotedDPU))
+	l.demotionsDPU.Add(uint64(rep.DemotedDPU))
+	l.cascades.Add(uint64(rep.Cascaded))
+	l.upgrades.Add(uint64(rep.Upgraded))
+	l.deferredChurnDPU.Add(uint64(rep.DeferredChurnDPU))
+	l.deferredCapacityDPU.Add(uint64(rep.DeferredCapacityDPU))
+	l.dpuResidentKeys.Store(int64(rep.DPUResidentKeys))
+	l.dpuShareBits.Store(math.Float64bits(rep.DPUShare))
 }
 
 // headroom reports whether the cluster can absorb one more key's slots
-// without crossing MaxWaterLevel.
+// without crossing MaxWaterLevel. It reads the live fill on every call —
+// one ClusterFill per attempted push, never a cycle-start snapshot — so a
+// capacity change mid-cycle (failover shrinking the serving table, a
+// concurrent tenant push) gates the very next promotion instead of the
+// next cycle.
 func (l *Loop) headroom(clusterID int) bool {
 	used, capacity, ok := l.cp.ClusterFill(clusterID)
 	if !ok || capacity <= 0 {
@@ -333,11 +644,22 @@ func (l *Loop) headroom(clusterID int) bool {
 	return float64(used+l.cfg.EntrySlots)/float64(capacity) <= l.cfg.MaxWaterLevel
 }
 
+// dpuHeadroom is the warm rung's headroom gate, with the same re-read-per-
+// push discipline as headroom.
+func (l *Loop) dpuHeadroom() bool {
+	used, capacity, ok := l.lp.DPUFill()
+	if !ok || capacity <= 0 {
+		return false
+	}
+	return float64(used+l.cfg.EntrySlots)/float64(capacity) <= l.cfg.DPUMaxWaterLevel
+}
+
 // ResidentEntry is one promoted key in a snapshot.
 type ResidentEntry struct {
 	VNI        netpkt.VNI
 	DIP        netip.Addr
 	Cluster    int
+	Tier       Tier    // the ladder rung the key is pinned on
 	Share      float64 // last observed window share
 	ResidentAt time.Time
 }
@@ -345,16 +667,28 @@ type ResidentEntry struct {
 // Totals are the loop's lifetime counters.
 type Totals struct {
 	Cycles           uint64
+	EmptyWindows     uint64
 	Promotions       uint64
 	Demotions        uint64
 	DeferredChurn    uint64
 	DeferredCapacity uint64
 	Failures         uint64
+
+	// Warm-rung lifetime counters; zero in binary mode.
+	PromotionsDPU       uint64
+	DemotionsDPU        uint64
+	Cascades            uint64
+	Upgrades            uint64
+	DeferredChurnDPU    uint64
+	DeferredCapacityDPU uint64
 }
 
 // Snapshot is the admin-plane view of the loop.
 type Snapshot struct {
-	Config   Config
+	Config Config
+	// Ladder reports whether the control plane implements the DPU
+	// extension (the three-tier ladder runs whenever a pool is attached).
+	Ladder   bool
 	Last     CycleReport
 	Totals   Totals
 	Resident []ResidentEntry // ordered by VNI then DIP
@@ -364,10 +698,10 @@ type Snapshot struct {
 func (l *Loop) Snapshot() Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	s := Snapshot{Config: l.cfg, Last: l.last, Totals: l.totalsLocked()}
+	s := Snapshot{Config: l.cfg, Ladder: l.lp != nil, Last: l.last, Totals: l.totalsLocked()}
 	for key, st := range l.resident {
 		s.Resident = append(s.Resident, ResidentEntry{
-			VNI: key.VNI, DIP: key.DIP, Cluster: st.cluster,
+			VNI: key.VNI, DIP: key.DIP, Cluster: st.cluster, Tier: st.tier,
 			Share: st.lastShare, ResidentAt: st.promotedAt,
 		})
 	}
@@ -390,11 +724,19 @@ func (l *Loop) LastReport() CycleReport {
 func (l *Loop) totalsLocked() Totals {
 	return Totals{
 		Cycles:           l.cycles.Load(),
+		EmptyWindows:     l.emptyWindows.Load(),
 		Promotions:       l.promotions.Load(),
 		Demotions:        l.demotions.Load(),
 		DeferredChurn:    l.deferredChurn.Load(),
 		DeferredCapacity: l.deferredCapacity.Load(),
 		Failures:         l.failures.Load(),
+
+		PromotionsDPU:       l.promotionsDPU.Load(),
+		DemotionsDPU:        l.demotionsDPU.Load(),
+		Cascades:            l.cascades.Load(),
+		Upgrades:            l.upgrades.Load(),
+		DeferredChurnDPU:    l.deferredChurnDPU.Load(),
+		DeferredCapacityDPU: l.deferredCapacityDPU.Load(),
 	}
 }
 
@@ -422,4 +764,26 @@ func (l *Loop) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(l.cp.ResidentEntryCount()) })
 	reg.GaugeFunc("sailfish_placement_desired_entries", "total entry intent across tenants", nil,
 		func() float64 { return float64(l.cp.DesiredEntries()) })
+	reg.CounterFunc("sailfish_placement_empty_windows_total", "cycles skipped on an empty measurement window", nil,
+		l.emptyWindows.Load)
+
+	// Warm-rung telemetry: the ladder's DPU-tier counters, labeled so the
+	// hardware-tier families above keep their unlabeled identity.
+	dpu := metrics.Labels{"tier": "dpu"}
+	reg.CounterFunc("sailfish_placement_promotions_total", "warm keys promoted onto the DPU tier", dpu,
+		l.promotionsDPU.Load)
+	reg.CounterFunc("sailfish_placement_demotions_total", "cold keys evicted from the DPU tier", dpu,
+		l.demotionsDPU.Load)
+	reg.CounterFunc("sailfish_placement_deferred_churn_total", "DPU moves postponed by the churn budget", dpu,
+		l.deferredChurnDPU.Load)
+	reg.CounterFunc("sailfish_placement_deferred_capacity_total", "DPU promotions postponed by the pool water level", dpu,
+		l.deferredCapacityDPU.Load)
+	reg.CounterFunc("sailfish_placement_cascades_total", "XGW-H evictions cascaded onto the DPU tier", nil,
+		l.cascades.Load)
+	reg.CounterFunc("sailfish_placement_upgrades_total", "DPU-resident keys upgraded into XGW-H", nil,
+		l.upgrades.Load)
+	reg.GaugeFunc("sailfish_placement_resident_keys_dpu", "promoted (VNI, DIP) keys resident on the DPU tier", nil,
+		func() float64 { return float64(l.dpuResidentKeys.Load()) })
+	reg.GaugeFunc("sailfish_placement_dpu_share", "estimated traffic share served by the DPU-resident set", nil,
+		func() float64 { return math.Float64frombits(l.dpuShareBits.Load()) })
 }

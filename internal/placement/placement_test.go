@@ -341,6 +341,93 @@ func TestConcurrentSnapshotWhileCycling(t *testing.T) {
 	<-done
 }
 
+// TestEmptyWindowIsNoOp pins the zero-packet guard: a cycle whose
+// measurement window saw no traffic (fresh start, or WindowReset racing a
+// quiet interval) must not mass-demote the resident set — every share would
+// read 0, indistinguishable from cold.
+func TestEmptyWindowIsNoOp(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	fp := newFakePlane(1000, 500)
+	lp := New(loopCfg(clk), fp, hh)
+
+	// Fresh start: no signal yet.
+	rep := lp.RunCycle()
+	if !rep.EmptyWindow || rep.Promoted != 0 || rep.Demoted != 0 {
+		t.Fatalf("fresh-start cycle not a no-op: %+v", rep)
+	}
+	// Promote a key, then run a quiet window (WindowReset zeroed the
+	// tracker, nothing arrived since): the resident must survive.
+	feed(hh, 1, 100)
+	if rep := lp.RunCycle(); rep.Promoted != 1 || rep.EmptyWindow {
+		t.Fatalf("setup: %+v", rep)
+	}
+	clk.advance(time.Hour) // far past any MinResidency shield
+	rep = lp.RunCycle()
+	if !rep.EmptyWindow {
+		t.Fatalf("quiet window not flagged: %+v", rep)
+	}
+	if rep.Demoted != 0 || !fp.resident[heavyhitter.RouteKey{VNI: 101, DIP: ip(1)}] {
+		t.Fatalf("quiet window demoted the resident set: %+v", rep)
+	}
+	if rep.ResidentKeys != 1 {
+		t.Fatalf("resident tally across no-op: %+v", rep)
+	}
+	// Signal returns: the loop picks up where it left off.
+	feed(hh, 1, 100)
+	if rep := lp.RunCycle(); rep.EmptyWindow || rep.Demoted != 0 {
+		t.Fatalf("recovery cycle: %+v", rep)
+	}
+	totals := lp.Snapshot().Totals
+	if totals.Cycles != 4 || totals.EmptyWindows != 2 {
+		t.Fatalf("totals: %+v", totals)
+	}
+}
+
+// shrinkingPlane halves its capacity after the Nth successful promotion —
+// the shape of a mid-cycle failover, where the serving table suddenly has
+// half the slots it had when the cycle started.
+type shrinkingPlane struct {
+	*fakePlane
+	shrinkAfter int
+}
+
+func (f *shrinkingPlane) PromoteEntry(vni netpkt.VNI, dip netip.Addr) (int, error) {
+	n, err := f.fakePlane.PromoteEntry(vni, dip)
+	if err == nil && f.promotes == f.shrinkAfter {
+		f.capacity /= 2
+	}
+	return n, err
+}
+
+// TestWaterLevelReReadGatesMidCycleFailover is the §6.1 regression: the
+// water level is re-read from the control plane before every push, never
+// snapshotted per cycle, so a failover that halves the cluster's capacity
+// mid-cycle gates the very next promotion instead of the next cycle.
+func TestWaterLevelReReadGatesMidCycleFailover(t *testing.T) {
+	clk := newClock()
+	hh := heavyhitter.NewTracker(64)
+	// 40 slots, gate 0.9: a full cycle could push 18 keys. Failover after
+	// the 2nd promotion halves capacity to 20 → gate (used+2)/20 ≤ 0.9
+	// admits pushes only while used ≤ 16, i.e. 9 keys total.
+	fp := &shrinkingPlane{fakePlane: newFakePlane(40, 500), shrinkAfter: 2}
+	lp := New(loopCfg(clk, func(c *Config) { c.CoverageTarget = 1 }), fp, hh)
+
+	for i := 1; i <= 15; i++ {
+		feed(hh, i, 10) // 10/150 ≈ 0.067 each: all hot
+	}
+	rep := lp.RunCycle()
+	if rep.Promoted != 9 || rep.DeferredCapacity != 6 {
+		t.Fatalf("mid-cycle shrink not gated per push: %+v", rep)
+	}
+	if float64(fp.used+2)/float64(fp.capacity) <= 0.9 {
+		t.Fatalf("loop stopped early: %d/%d slots leaves headroom", fp.used, fp.capacity)
+	}
+	if fp.used > 18 {
+		t.Fatalf("post-failover water level breached: %d/%d slots", fp.used, fp.capacity)
+	}
+}
+
 func TestDefaultsClampDegenerateConfig(t *testing.T) {
 	lp := New(Config{CoverageTarget: 7, PromoteShare: -1, DemoteShare: 0.5, ChurnBudget: -3}, newFakePlane(10, 10), heavyhitter.NewTracker(8))
 	cfg := lp.Config()

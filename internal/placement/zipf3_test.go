@@ -1,0 +1,276 @@
+package placement_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/heavyhitter"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/placement"
+	"sailfish/internal/tables"
+)
+
+// The three-tier end-to-end simulation: the same Zipf workload as
+// TestZipfResidencyEndToEnd, but with a DPU middle tier attached and the
+// promote threshold raised so XGW-H holds only the head of the distribution.
+// The warm band lands on the DPU pool, and the ladder's claim is the stack
+// contract: XGW-H plus DPU serve ≥ 99.9% of route-resolved packets while
+// hardware alone holds ≤ 5% of the entry intent — and hardware alone would
+// NOT meet 99.9%, so the middle rung is load-bearing, not decorative.
+
+const (
+	// zipf3PromoteShare ≈ rank 18 at s=2.5: only the head earns SRAM.
+	zipf3PromoteShare = 5e-4
+	// zipf3WarmShare needs ≥ 2 sightings per 100k window: the warm band
+	// reaches to ~rank 80, deep enough for the 99.9% stack claim.
+	zipf3WarmShare = 1.2e-5
+	zipf3HWBudget  = 48
+	zipf3DPUBudget = 96
+)
+
+type zipf3World struct {
+	region *cluster.Region
+	ctl    *controller.Controller
+	loop   *placement.Loop
+	pkts   [][]byte
+}
+
+func buildZipf3World(t *testing.T) *zipf3World {
+	t.Helper()
+	ccfg := cluster.DefaultConfig()
+	ccfg.NodesPerCluster = 1
+	ccfg.EntryCapacity = 400
+	ccfg.DPUDevices = 2
+	ccfg.DPUEntryCapacity = 2000
+	r := cluster.NewRegion(ccfg, 1, 1)
+
+	ctl := controller.New(controller.DefaultConfig(), r)
+	for ti := 0; ti < zipfTenants; ti++ {
+		vni := netpkt.VNI(zipfBaseVNI + ti)
+		te := controller.TenantEntries{VNI: vni}
+		te.Routes = append(te.Routes, controller.RouteEntry{
+			VNI:    vni,
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(ti), 0, 0}), 16),
+			Route:  tables.Route{Scope: tables.ScopeLocal},
+		})
+		for vi := 0; vi < zipfVMs; vi++ {
+			key := ti*zipfVMs + vi
+			te.VMs = append(te.VMs, controller.VMEntry{VNI: vni, VM: keyDIP(key), NC: keyNC(key)})
+		}
+		if _, err := ctl.PlaceTenantSoftware(te); err != nil {
+			t.Fatalf("place tenant %d: %v", ti, err)
+		}
+	}
+
+	hh := heavyhitter.NewTracker(1024)
+	r.EnableHeavyHitters(hh)
+
+	loop := placement.New(placement.Config{
+		CoverageTarget: 1,
+		PromoteShare:   zipf3PromoteShare,
+		WarmShare:      zipf3WarmShare,
+		ChurnBudget:    zipf3HWBudget,
+		DPUChurnBudget: zipf3DPUBudget,
+		MaxWaterLevel:  0.9,
+		WindowReset:    true,
+	}, ctl, hh)
+
+	w := &zipf3World{region: r, ctl: ctl, loop: loop}
+	b := netpkt.NewSerializeBuffer(128, 256)
+	for key := 0; key < zipfKeys; key++ {
+		raw, err := (&netpkt.BuildSpec{
+			VNI:      keyVNI(key),
+			OuterSrc: netip.MustParseAddr("10.1.1.11"), OuterDst: netip.MustParseAddr("10.255.0.1"),
+			InnerSrc: netip.AddrFrom4([4]byte{10, byte(key / zipfVMs), 200, 9}), InnerDst: keyDIP(key),
+			Proto: netpkt.IPProtocolTCP, SrcPort: 999, DstPort: 80,
+		}).Build(b)
+		if err != nil {
+			t.Fatalf("build packet %d: %v", key, err)
+		}
+		pkt := make([]byte, len(raw))
+		copy(pkt, raw)
+		w.pkts = append(w.pkts, pkt)
+	}
+	return w
+}
+
+func (w *zipf3World) drive(t *testing.T, z *rand.Zipf, n int, mapKey func(rank int) int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := mapKey(int(z.Uint64()))
+		if _, err := w.region.ProcessPacket(w.pkts[key], time.Unix(0, 0)); err != nil {
+			t.Fatalf("packet to key %d: %v", key, err)
+		}
+	}
+}
+
+// cycle runs one placement cycle and enforces both tiers' churn budgets.
+func (w *zipf3World) cycle(t *testing.T) placement.CycleReport {
+	t.Helper()
+	rep := w.loop.RunCycle()
+	if rep.Promoted+rep.Demoted > zipf3HWBudget {
+		t.Fatalf("cycle %d: hw churn %d exceeds budget %d", rep.Cycle, rep.Promoted+rep.Demoted, zipf3HWBudget)
+	}
+	if dpuOps := rep.PromotedDPU + rep.Cascaded + rep.DemotedDPU; dpuOps > zipf3DPUBudget {
+		t.Fatalf("cycle %d: dpu churn %d exceeds budget %d", rep.Cycle, dpuOps, zipf3DPUBudget)
+	}
+	return rep
+}
+
+// assertTierParity checks the three-tier ledger over one measured window:
+// every packet left through exactly one tier, the per-tier miss split sums
+// back to the total miss count, and the DPU pool's own counters agree with
+// the region's.
+func (w *zipf3World) assertTierParity(t *testing.T, sent int, fb0 uint64) {
+	t.Helper()
+	st := w.region.Stats()
+	if st.Forwarded+st.DPUServed+st.Fallback != uint64(sent) {
+		t.Fatalf("tier parity: hw %d + dpu %d + pool %d != sent %d (dropped %d)",
+			st.Forwarded, st.DPUServed, st.Fallback, sent, st.Dropped)
+	}
+	if st.Dropped != 0 || st.NoRoute != 0 {
+		t.Fatalf("tier parity: unexpected drops %d / noroute %d", st.Dropped, st.NoRoute)
+	}
+	if st.FallbackMiss != st.DPUServed+st.FallbackMissX86 {
+		t.Fatalf("tier parity: miss %d != dpu-served %d + x86 %d (dpu_error %d)",
+			st.FallbackMiss, st.DPUServed, st.FallbackMissX86, st.FrontDrops["dpu_error"])
+	}
+	dst := w.region.DPU.Stats()
+	if dst.Forwarded != st.DPUServed {
+		t.Fatalf("tier parity: pool forwarded %d, region counted %d dpu-served", dst.Forwarded, st.DPUServed)
+	}
+	if dst.Misses() != st.FallbackMissX86 {
+		t.Fatalf("tier parity: pool misses %d, region counted %d x86 fall-throughs", dst.Misses(), st.FallbackMissX86)
+	}
+	if dst.Dropped != 0 {
+		t.Fatalf("tier parity: DPU pool dropped %d", dst.Dropped)
+	}
+	var fbFwd, fbDrop uint64
+	for _, fb := range w.region.Fallback {
+		fs := fb.Stats()
+		fbFwd += fs.Forwarded
+		fbDrop += fs.Dropped
+	}
+	if fbDrop != 0 || fbFwd-fb0 != st.Fallback {
+		t.Fatalf("tier parity: x86 pool fwd %d / drop %d this window vs region fallback %d", fbFwd-fb0, fbDrop, st.Fallback)
+	}
+}
+
+func TestZipfThreeTierResidencyEndToEnd(t *testing.T) {
+	w := buildZipf3World(t)
+	rng := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rng, zipfSkew, 1, zipfKeys-1)
+	identity := func(rank int) int { return rank }
+
+	// Warm-up until both rungs settle.
+	for c := 0; c < 6; c++ {
+		w.drive(t, z, zipfWindow, identity)
+		w.cycle(t)
+	}
+
+	// Hardware stays within the 5% entry budget even though the stack
+	// covers far deeper into the ranking.
+	resident, desired := w.ctl.ResidentEntryCount(), w.ctl.DesiredEntries()
+	if float64(resident) > 0.05*float64(desired) {
+		t.Fatalf("resident entries %d exceed 5%% of desired %d", resident, desired)
+	}
+	if w.ctl.WarmEntryCount() == 0 {
+		t.Fatal("warm rung empty after warm-up")
+	}
+
+	// Steady state: frozen resident set over a measured window.
+	fb0 := poolForwarded(w.region)
+	w.region.ResetStats()
+	w.drive(t, z, zipfWindow, identity)
+	stack := w.region.StackCoverage()
+	hw := w.region.HardwareCoverage()
+	if stack < 0.999 {
+		st := w.region.Stats()
+		t.Fatalf("stack coverage %.5f < 0.999 with %d/%d hw entries (fwd %d, dpu %d, miss %d)",
+			stack, resident, desired, st.Forwarded, st.DPUServed, st.FallbackMiss)
+	}
+	if hw >= 0.999 {
+		t.Fatalf("hardware alone covers %.5f — the promote threshold is too low for the DPU tier to matter", hw)
+	}
+	if st := w.region.Stats(); st.DPUServed == 0 || st.FallbackMissX86 == 0 {
+		t.Fatalf("both lower tiers must carry traffic: %+v", st)
+	}
+	w.assertTierParity(t, zipfWindow, fb0)
+
+	// The forward paths stay allocation-free with the ladder attached: one
+	// hardware-resident head key, one DPU-resident warm key.
+	snap := w.loop.Snapshot()
+	var hwKey, dpuKey = -1, -1
+	for key := 0; key < zipfKeys && (hwKey < 0 || dpuKey < 0); key++ {
+		if e, ok := findResident(snap, keyVNI(key), keyDIP(key)); ok {
+			switch {
+			case e.Tier == placement.TierHW && hwKey < 0:
+				hwKey = key
+			case e.Tier == placement.TierDPU && dpuKey < 0:
+				dpuKey = key
+			}
+		}
+	}
+	if hwKey < 0 || dpuKey < 0 {
+		t.Fatalf("need one resident key per tier (hw=%d dpu=%d)", hwKey, dpuKey)
+	}
+	for _, probe := range []struct {
+		name string
+		key  int
+	}{{"hw", hwKey}, {"dpu", dpuKey}} {
+		raw := w.pkts[probe.key]
+		if allocs := testing.AllocsPerRun(200, func() {
+			if _, err := w.region.ProcessPacket(raw, time.Unix(0, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("%s-served forward path allocates %.1f/op, want 0", probe.name, allocs)
+		}
+	}
+
+	// Cool phase: shift every key 50 ranks down the distribution. The old
+	// head (ranks 0..~17) lands in the warm band, so its hardware evictions
+	// must cascade onto the DPU rung instead of falling to x86.
+	preCool := w.loop.Snapshot().Totals
+	cool := func(rank int) int { return (rank - 50 + zipfKeys) % zipfKeys }
+	w.cycle(t) // consume the measured window before switching phases
+	for c := 0; c < 6; c++ {
+		w.drive(t, z, zipfWindow, cool)
+		w.cycle(t)
+	}
+	mid := w.loop.Snapshot().Totals
+	if mid.Cascades <= preCool.Cascades {
+		t.Fatalf("cool phase produced no HW→DPU cascades: before %+v, after %+v", preCool, mid)
+	}
+
+	// Reheat phase: the distribution snaps back. The cascaded old head is
+	// DPU-resident and hot again, so it must be upgraded make-before-break
+	// into hardware rather than re-promoted from scratch.
+	for c := 0; c < 6; c++ {
+		w.drive(t, z, zipfWindow, identity)
+		w.cycle(t)
+	}
+	post := w.loop.Snapshot().Totals
+	if post.Upgrades <= mid.Upgrades {
+		t.Fatalf("reheat phase produced no DPU→HW upgrades: mid %+v, post %+v", mid, post)
+	}
+
+	// The resettled stack must satisfy the same contracts.
+	resident, desired = w.ctl.ResidentEntryCount(), w.ctl.DesiredEntries()
+	if float64(resident) > 0.05*float64(desired) {
+		t.Fatalf("post-churn resident entries %d exceed 5%% of desired %d", resident, desired)
+	}
+	fb0 = poolForwarded(w.region)
+	w.region.ResetStats()
+	w.drive(t, z, zipfWindow, identity)
+	if stack := w.region.StackCoverage(); stack < 0.999 {
+		st := w.region.Stats()
+		t.Fatalf("post-churn stack coverage %.5f < 0.999 (fwd %d, dpu %d, miss %d)",
+			stack, st.Forwarded, st.DPUServed, st.FallbackMiss)
+	}
+	w.assertTierParity(t, zipfWindow, fb0)
+}

@@ -106,6 +106,15 @@ type Plane struct {
 	region *cluster.Region
 	cfg    Config
 	shards []*planeShard
+
+	// mu serializes Close against in-flight Submit/SubmitBatch pushes, the
+	// same discipline cluster.Driver uses: submitters hold the read side
+	// across the ring push, Close takes the write side to flip closed, so
+	// no frame can land in a ring after Close observed it — a racing
+	// submit is rejected (Submit returns false) rather than stranding the
+	// frame in a ring no worker will drain. closed stays atomic so the
+	// worker poll loop reads it without the lock.
+	mu     sync.RWMutex
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -176,7 +185,9 @@ func (p *Plane) shardFor(hash uint64) *planeShard {
 // step. It returns false without enqueuing when the plane is closed, the
 // frame exceeds the slot capacity (counted Oversize) or the shard ring is
 // full (counted RingFull); the caller chooses between retrying and tail-
-// dropping. Single dispatcher goroutine only. Allocation-free.
+// dropping. Safe against a concurrent Close (the rejection is clean — no
+// frame is ever stranded in a ring after Close returns); ring pushes
+// themselves remain single-dispatcher-goroutine only. Allocation-free.
 func (p *Plane) Submit(raw []byte, now time.Time) bool {
 	if p.closed.Load() {
 		return false
@@ -194,7 +205,16 @@ func (p *Plane) Submit(raw []byte, now time.Time) bool {
 		s.oversize.Add(1)
 		return false
 	}
-	if !s.ring.Push(raw, now.UnixNano()) {
+	// Hold the read side across the push so Close's write lock waits out
+	// an in-flight enqueue before workers are told to drain and exit.
+	p.mu.RLock()
+	if p.closed.Load() {
+		p.mu.RUnlock()
+		return false
+	}
+	ok := s.ring.Push(raw, now.UnixNano())
+	p.mu.RUnlock()
+	if !ok {
 		s.ringFull.Add(1)
 		return false
 	}
@@ -226,7 +246,13 @@ func (p *Plane) worker(s *planeShard) {
 		raw, ns, ok := s.ring.Peek()
 		if !ok {
 			if p.closed.Load() {
-				// Submit refuses after close, so empty means drained.
+				// A submit racing Close may have pushed between the failed
+				// Peek above and the closed flip; no push can start after
+				// closed (Close's write lock waited the in-flight ones
+				// out), so one re-check after observing closed suffices.
+				if _, _, again := s.ring.Peek(); again {
+					continue
+				}
 				return
 			}
 			idle++
@@ -250,12 +276,20 @@ func (p *Plane) worker(s *planeShard) {
 	}
 }
 
-// Close stops the intake and waits for every shard to drain and exit. Call
-// from the dispatcher after the last Submit. Idempotent.
+// Close stops the intake and waits for every shard to drain and exit.
+// Submissions racing Close are rejected (Submit returns false) rather than
+// stranding frames, so Close is safe from any goroutine; idempotent, though
+// only the first call waits for the drain.
 func (p *Plane) Close() {
+	p.mu.Lock()
 	if !p.closed.CompareAndSwap(false, true) {
+		p.mu.Unlock()
 		return
 	}
+	p.mu.Unlock()
+	// Every submitter that saw closed==false has finished its push (the
+	// write lock above waited them out), and every later one rejects, so
+	// the rings only drain from here.
 	p.wg.Wait()
 }
 
@@ -364,6 +398,22 @@ func (p *Plane) RegisterMetrics(reg *metrics.Registry) {
 		func() uint64 { return p.Stats().Region.Degraded })
 	reg.CounterFunc("sailfish_region_fallback_miss_total", "fallbacks caused by hardware table misses", nil,
 		func() uint64 { return p.Stats().Region.FallbackMiss })
+	reg.CounterFunc("sailfish_region_fallback_miss_total", "hardware table misses absorbed by the DPU tier",
+		metrics.Labels{"tier": "dpu"},
+		func() uint64 { return p.Stats().Region.DPUServed })
+	reg.CounterFunc("sailfish_region_fallback_miss_total", "hardware table misses carried by the x86 pool",
+		metrics.Labels{"tier": "x86"},
+		func() uint64 { return p.Stats().Region.FallbackMissX86 })
+	reg.GaugeFunc("sailfish_region_stack_coverage", "share of route-resolved packets served by XGW-H plus the DPU tier", nil,
+		func() float64 {
+			st := p.Stats().Region
+			fwd := float64(st.Forwarded + st.DPUServed)
+			denom := float64(st.Forwarded + st.FallbackMiss)
+			if denom == 0 {
+				return 0
+			}
+			return fwd / denom
+		})
 	for _, reason := range cluster.FrontDropReasonNames() {
 		name := reason
 		reg.CounterFunc("sailfish_region_front_drops_total", "front-end drops by reason",

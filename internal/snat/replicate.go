@@ -223,6 +223,24 @@ func (r *Replicator) computeLag(now time.Time) float64 {
 // from any goroutine.
 func (r *Replicator) Lag() float64 { return math.Float64frombits(r.lagBits.Load()) }
 
+// carryFrom seeds the replicator's lifetime counters from its predecessor,
+// so ReplicationStats (and the metrics built on it) stay monotone across
+// promotions — each promotion reverses direction with a fresh Replicator,
+// and without the carry the admin plane's counters would snap back to zero.
+func (r *Replicator) carryFrom(old *Replicator) {
+	r.deltas.Store(old.deltas.Load())
+	r.snapshots.Store(old.snapshots.Load())
+	r.retries.Store(old.retries.Load())
+	r.gaps.Store(old.gaps.Load())
+	r.failed.Store(old.failed.Load())
+	r.snapGen.Store(old.snapGen.Load())
+}
+
+// retire zeroes the lag reading of a replicator that stopped pumping: the
+// last measured lag described the now-reversed direction, and anything
+// still reading the old handle would otherwise report it forever.
+func (r *Replicator) retire() { r.lagBits.Store(0) }
+
 // Pending returns shard i's unapplied delta count and whether the shard is
 // awaiting a snapshot repair.
 func (r *Replicator) Pending(i int) (deltas uint64, dirty bool) {

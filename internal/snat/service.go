@@ -122,7 +122,11 @@ func (s *Service) Failback() bool {
 
 // promote diffs the demoted store against the newly serving one (the
 // preserved/orphaned accounting), swaps the active pointer, and reverses
-// replication with a bootstrap snapshot of the demoted side.
+// replication with a bootstrap snapshot of the demoted side. The outgoing
+// replicator is retired — its lag reading described the old direction and
+// must fall to zero, not linger at the pre-failover value — and its
+// lifetime counters carry into the successor so the exported replication
+// stats never move backwards across a promotion.
 func (s *Service) promote(from, to *Store) {
 	var preserved, orphaned uint64
 	for i := 0; i < from.ShardCount(); i++ {
@@ -139,7 +143,10 @@ func (s *Service) promote(from, to *Store) {
 	s.orphaned.Add(orphaned)
 	s.promotions.Add(1)
 	s.active.Store(to)
+	old := s.repl
+	old.retire()
 	s.repl = NewReplicator(to, from, s.cfg.Replication, true)
+	s.repl.carryFrom(old)
 }
 
 // Sessions returns the serving store's live session count.

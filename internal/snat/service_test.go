@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sailfish/internal/metrics"
 	"sailfish/internal/tables"
@@ -243,5 +244,74 @@ func TestServiceConcurrentTranslateSyncScrape(t *testing.T) {
 	s.Sync(at(1 << 20))
 	if got := s.Standby().Sessions(); got != workers*per {
 		t.Fatalf("standby holds %d sessions, want %d", got, workers*per)
+	}
+}
+
+// TestPromotionRehomesLagAndCarriesCounters pins the failover observability
+// contract: the replication-lag gauge re-homes to the new direction when
+// the standby is promoted — the pre-failover lag must not linger on either
+// replicator handle — and the lifetime replication counters carry forward,
+// never moving backwards across a promotion.
+func TestPromotionRehomesLagAndCarriesCounters(t *testing.T) {
+	s := newTestService()
+	for i := uint32(0); i < 300; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sync(at(1))
+	before := s.ReplicationStats()
+	if before.DeltasApplied == 0 {
+		t.Fatal("first sync applied nothing; test setup is wrong")
+	}
+
+	// A festival burst the standby never hears about: the link dies, so the
+	// lag gauge climbs to the age of the oldest stranded delta.
+	s.SetReplication(ReplicationConfig{
+		Link:  func(int, int) error { return ErrLinkDown },
+		Sleep: func(time.Duration) {},
+	})
+	for i := uint32(300); i < 350; i++ {
+		if _, err := s.Active().Translate(seqKey(i), at(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sync(at(10))
+	oldRepl := s.repl
+	if lag := s.ReplicationStats().LagSeconds; lag < 7 {
+		t.Fatalf("dead link should strand deltas and raise the lag gauge, got %.1fs", lag)
+	}
+	failedBefore := s.ReplicationStats().Failed
+	if failedBefore == 0 {
+		t.Fatal("dead link should have booked failed shards")
+	}
+
+	// Promotion: the gauge must read the new direction (nothing pumped yet
+	// → 0), not the stale pre-failover value, and the retired replicator's
+	// own reading falls to zero for anything still holding the old handle.
+	if !s.Failover() {
+		t.Fatal("failover did not switch")
+	}
+	if lag := s.ReplicationStats().LagSeconds; lag != 0 {
+		t.Fatalf("lag gauge stale after promotion: %.1fs", lag)
+	}
+	if lag := oldRepl.Lag(); lag != 0 {
+		t.Fatalf("retired replicator still reports %.1fs of lag", lag)
+	}
+	after := s.ReplicationStats()
+	if after.DeltasApplied < before.DeltasApplied || after.Failed < failedBefore {
+		t.Fatalf("replication counters moved backwards across promotion: before deltas=%d failed=%d, after deltas=%d failed=%d",
+			before.DeltasApplied, failedBefore, after.DeltasApplied, after.Failed)
+	}
+
+	// Heal the link: the reversed pump bootstraps the demoted side and the
+	// gauge tracks the fresh direction.
+	s.SetReplication(ReplicationConfig{Sleep: func(time.Duration) {}})
+	rep := s.Sync(at(11))
+	if rep.Snapshots == 0 {
+		t.Fatal("post-promotion bootstrap should snapshot the demoted side")
+	}
+	if lag := s.ReplicationStats().LagSeconds; lag != 0 {
+		t.Fatalf("caught-up lag should read 0, got %.1fs", lag)
 	}
 }

@@ -49,11 +49,14 @@ const (
 	StageGateway
 	// StageFallback is the XGW-x86 software pool.
 	StageFallback
+	// StageDPU is the SmartNIC/DPU middle tier between the XGW-H hardware
+	// and the x86 pool.
+	StageDPU
 
-	numStages = 5 // stage codes are 1-based; index 0 unused
+	numStages = 6 // stage codes are 1-based; index 0 unused
 )
 
-var stageName = [numStages]string{"", "front", "driver", "gateway", "fallback"}
+var stageName = [numStages]string{"", "front", "driver", "gateway", "fallback", "dpu"}
 
 // String returns the stage's wire name ("front", "gateway", ...).
 func (s Stage) String() string {

@@ -1,0 +1,274 @@
+package xgwdpu
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/tables"
+	"sailfish/internal/trace"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func t0() time.Time             { return time.Unix(0, 0) }
+
+func buildPacket(t testing.TB, vni netpkt.VNI, src, dst string) []byte {
+	t.Helper()
+	b := netpkt.NewSerializeBuffer(128, 256)
+	raw, err := (&netpkt.BuildSpec{
+		VNI:      vni,
+		OuterSrc: addr("10.1.1.11"), OuterDst: addr("10.255.0.1"),
+		InnerSrc: addr(src), InnerDst: addr(dst),
+		Proto: netpkt.IPProtocolTCP, SrcPort: 40000, DstPort: 80,
+	}).Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func newTestPool(devices, capacity int) *Pool {
+	return NewPool(Config{
+		Devices: devices, EntryCapacity: capacity,
+		GatewayIP: addr("10.255.0.1"),
+	})
+}
+
+// TestCapacityGate pins the warm-set budget: installs past the per-device
+// capacity reject with ErrOverCapacity, removals release the slot, and the
+// entry count never drifts from the install/remove ledger.
+func TestCapacityGate(t *testing.T) {
+	p := newTestPool(1, 3)
+	if err := p.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.5"), addr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.6"), addr("100.64.0.6")); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EntryCount(); got != 3 {
+		t.Fatalf("EntryCount = %d, want 3", got)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.7"), addr("100.64.0.7")); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("install past capacity: err = %v, want ErrOverCapacity", err)
+	}
+	if err := p.InstallRoute(101, pfx("192.168.1.0/24"), tables.Route{Scope: tables.ScopeLocal}); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("route install past capacity: err = %v, want ErrOverCapacity", err)
+	}
+	// Releasing a slot re-opens the gate; deleting a missing key does not
+	// decrement the ledger.
+	p.RemoveVM(100, addr("192.168.0.6"))
+	p.RemoveVM(100, addr("192.168.0.6"))
+	if got := p.EntryCount(); got != 2 {
+		t.Fatalf("EntryCount after remove = %d, want 2", got)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.7"), addr("100.64.0.7")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissVersusDropTaxonomy is the tier's semantic core: a packet that
+// misses the warm set (route absent, VM absent, or service-scope traffic
+// whose SNAT state lives on x86) falls through — served=false with a nil
+// error, counted as a miss, never a drop. Only an unparseable frame dies at
+// the DPU, and that books a drop with an error.
+func TestMissVersusDropTaxonomy(t *testing.T) {
+	p := newTestPool(1, 100)
+	if err := p.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.5"), addr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallRoute(300, pfx("0.0.0.0/0"), tables.Route{Scope: tables.ScopeService}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hit: local scope, VM resident.
+	res, served, err := p.ProcessOn(0, buildPacket(t, 100, "192.168.0.1", "192.168.0.5"), t0())
+	if err != nil || !served {
+		t.Fatalf("resident key: served=%v err=%v", served, err)
+	}
+	if res.NC != addr("100.64.0.5") {
+		t.Fatalf("NC = %v, want 100.64.0.5", res.NC)
+	}
+	if res.LatencyUs <= 0 {
+		t.Fatalf("LatencyUs = %v, want the modeled DPU cost", res.LatencyUs)
+	}
+
+	// Route miss: unknown VNI.
+	if _, served, err := p.ProcessOn(0, buildPacket(t, 200, "192.168.0.1", "192.168.0.5"), t0()); served || err != nil {
+		t.Fatalf("route miss: served=%v err=%v, want fall-through", served, err)
+	}
+	// VM miss: route resident, mapping absent.
+	if _, served, err := p.ProcessOn(0, buildPacket(t, 100, "192.168.0.1", "192.168.0.9"), t0()); served || err != nil {
+		t.Fatalf("vm miss: served=%v err=%v, want fall-through", served, err)
+	}
+	// Service scope: SNAT state lives on x86 only.
+	if _, served, err := p.ProcessOn(0, buildPacket(t, 300, "192.168.0.1", "8.8.8.8"), t0()); served || err != nil {
+		t.Fatalf("service scope: served=%v err=%v, want fall-through", served, err)
+	}
+	// Parse error: the only true drop on this tier.
+	if _, served, err := p.ProcessOn(0, []byte{0xde, 0xad}, t0()); served || err == nil {
+		t.Fatalf("garbage frame: served=%v err=%v, want drop error", served, err)
+	}
+
+	st := p.Stats()
+	if st.Forwarded != 1 || st.MissRoute != 1 || st.MissVM != 1 || st.MissService != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.Misses() != 3 {
+		t.Fatalf("Misses() = %d, want 3", st.Misses())
+	}
+	if st.Dropped != 1 || st.DropReasons["parse_error"] != 1 {
+		t.Fatalf("drop taxonomy: dropped=%d reasons=%v", st.Dropped, st.DropReasons)
+	}
+}
+
+// TestRemoteScopeForwards pins tunnel routing: a remote-scope route carries
+// its own next hop, no VM mapping needed.
+func TestRemoteScopeForwards(t *testing.T) {
+	p := newTestPool(1, 100)
+	if err := p.InstallRoute(100, pfx("10.9.0.0/16"), tables.Route{
+		Scope: tables.ScopeRemote, Tunnel: addr("100.64.9.1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, served, err := p.ProcessOn(0, buildPacket(t, 100, "192.168.0.1", "10.9.0.7"), t0())
+	if err != nil || !served {
+		t.Fatalf("remote route: served=%v err=%v", served, err)
+	}
+	if res.NC != addr("100.64.9.1") {
+		t.Fatalf("NC = %v, want the tunnel endpoint", res.NC)
+	}
+}
+
+// TestTraceReconciliation checks the flight-recorder wiring: drops are
+// always captured on StageDPU under the DPU taxonomy and reconcile exactly
+// against the dropped counter; sampled forwards and misses carry the
+// per-device name.
+func TestTraceReconciliation(t *testing.T) {
+	// SampleShift 0: every flow sampled, so misses and forwards appear too.
+	rec := trace.New(trace.Config{Shards: 1, SlotsPerShard: 256, SampleShift: 0})
+	p := newTestPool(2, 100)
+	p.EnableTracing(rec, "dpu")
+	if err := p.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.5"), addr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, served, _ := p.ProcessOn(1, buildPacket(t, 100, "192.168.0.1", "192.168.0.5"), t0()); !served {
+		t.Fatal("resident key should forward")
+	}
+	p.ProcessOn(0, buildPacket(t, 200, "192.168.0.1", "192.168.0.5"), t0()) //nolint:errcheck // route miss
+	p.ProcessOn(0, []byte{0x00}, t0())                                      //nolint:errcheck // parse drop
+
+	var drops uint64
+	for _, dc := range rec.DropCounts() {
+		if dc.Stage != trace.StageDPU {
+			continue
+		}
+		if dc.Reason != "parse_error" {
+			t.Fatalf("unexpected DPU drop reason %q", dc.Reason)
+		}
+		drops += dc.Count
+	}
+	if want := p.Stats().Dropped; drops != want {
+		t.Fatalf("trace DPU drops = %d, pool dropped = %d", drops, want)
+	}
+
+	evs := rec.Events(trace.Filter{})
+	var fwd, miss int
+	for _, e := range evs {
+		if e.Stage != trace.StageDPU {
+			continue
+		}
+		switch e.Verdict {
+		case trace.VerdictForward:
+			fwd++
+			if name := rec.DeviceName(e.Dev); !strings.HasPrefix(name, "dpu-") {
+				t.Fatalf("forward event device = %q, want dpu-<i>", name)
+			}
+		case trace.VerdictFallback:
+			miss++
+		}
+	}
+	if fwd != 1 || miss != 1 {
+		t.Fatalf("sampled DPU events: fwd=%d miss=%d, want 1/1", fwd, miss)
+	}
+}
+
+// TestMetricsExposition checks the sailfish_dpu_* families render with the
+// live values.
+func TestMetricsExposition(t *testing.T) {
+	p := newTestPool(2, 50)
+	if err := p.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.5"), addr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if _, served, _ := p.ProcessOn(0, buildPacket(t, 100, "192.168.0.1", "192.168.0.5"), t0()); !served {
+		t.Fatal("resident key should forward")
+	}
+	p.ProcessOn(1, buildPacket(t, 200, "192.168.0.1", "192.168.0.5"), t0()) //nolint:errcheck // route miss
+
+	reg := metrics.NewRegistry()
+	p.RegisterMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sailfish_dpu_forwarded_total 1`,
+		`sailfish_dpu_miss_total{reason="route"} 1`,
+		`sailfish_dpu_miss_total{reason="vm"} 0`,
+		`sailfish_dpu_miss_total{reason="service"} 0`,
+		`sailfish_dpu_dropped_total 0`,
+		`sailfish_dpu_drops_total{reason="parse_error"} 0`,
+		`sailfish_dpu_entries 2`,
+		`sailfish_dpu_capacity_entries 50`,
+		`sailfish_dpu_devices 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProcessZeroAlloc pins the forwarding path's allocation budget: the
+// per-device scratch absorbs parse, lookup, and re-encap.
+func TestProcessZeroAlloc(t *testing.T) {
+	p := newTestPool(1, 100)
+	if err := p.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVM(100, addr("192.168.0.5"), addr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buildPacket(t, 100, "192.168.0.1", "192.168.0.5")
+	now := t0()
+	if _, served, err := p.ProcessOn(0, raw, now); !served || err != nil {
+		t.Fatalf("warmup: served=%v err=%v", served, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, served, err := p.ProcessOn(0, raw, now); !served || err != nil {
+			t.Fatalf("served=%v err=%v", served, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessOn allocates %.1f/op, want 0", allocs)
+	}
+}

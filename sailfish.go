@@ -4,8 +4,10 @@
 //
 // A Deployment is one cloud region: XGW-H hardware-gateway clusters (each
 // with a 1:1 hot-standby backup) behind a VNI-steering ECMP front end, an
-// XGW-x86 software pool for fallback and stateful services, and a central
-// controller that places tenants by horizontal table splitting.
+// XGW-x86 software pool for fallback and stateful services, an optional
+// SmartNIC/DPU middle tier (Options.DPUDevices) that absorbs warm-entry
+// misses before they reach x86, and a central controller that places
+// tenants by horizontal table splitting.
 //
 //	d := sailfish.NewDeployment(sailfish.Options{Clusters: 2, FallbackNodes: 1})
 //	d.AddTenant(sailfish.Tenant{
@@ -76,6 +78,12 @@ type Options struct {
 	EntryCapacity int
 	// SafeWaterLevel gates tenant placement (default 0.8).
 	SafeWaterLevel float64
+	// DPUDevices attaches a SmartNIC/DPU middle tier of that many devices
+	// between XGW-H and the x86 pool; 0 keeps the two-tier region.
+	DPUDevices int
+	// DPUEntryCapacity overrides the DPU pool's entry budget; 0 uses the
+	// xgwdpu default when DPUDevices > 0.
+	DPUEntryCapacity int
 }
 
 // Tenant describes one VPC to install.
@@ -111,6 +119,10 @@ func NewDeployment(o Options) *Deployment {
 	}
 	if o.EntryCapacity > 0 {
 		cfg.EntryCapacity = o.EntryCapacity
+	}
+	if o.DPUDevices > 0 {
+		cfg.DPUDevices = o.DPUDevices
+		cfg.DPUEntryCapacity = o.DPUEntryCapacity
 	}
 	if o.Clusters <= 0 {
 		o.Clusters = 1
