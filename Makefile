@@ -6,15 +6,22 @@ RACE_PKGS := ./internal/controller/... ./internal/cluster/... ./internal/faults/
 	./internal/metrics/... ./internal/xgwh/... ./internal/xgw86/... ./cmd/sailfish-gw/... \
 	./internal/trace/... ./internal/heavyhitter/... ./internal/telemetry/... \
 	./internal/placement/... ./internal/snat/... ./internal/shardplane/... \
-	./internal/xgwdpu/...
+	./internal/xgwdpu/... ./internal/slo/... ./internal/sim/...
 
-.PHONY: check vet build test race chaos bench bench-all bench-smoke bench-smoke-mc fmt
+.PHONY: check vet lint-metrics build test race chaos bench bench-all bench-smoke bench-smoke-mc fmt
 
-## check: the full gate — vet, build, tests, and the race pass.
-check: vet build test race
+## check: the full gate — vet, the metrics-name lint, build, tests, and the
+## race pass.
+check: vet lint-metrics build test race
 
 vet:
 	$(GO) vet ./...
+
+## lint-metrics: every registered metric name matches ^sailfish_[a-z0-9_]+$
+## and no two packages register the same family (allowlisted shares aside) —
+## a collision would silently merge two subsystems' series on a scrape.
+lint-metrics:
+	$(GO) run ./cmd/metrics-lint
 
 build:
 	$(GO) build ./...

@@ -22,7 +22,11 @@
 //     row must be allocation-free;
 //   - placement/cycle: one promotion/demotion cycle of the §5 residency
 //     loop against the real controller while the hot set keeps shifting,
-//     so every timed cycle pays a full churn budget of table moves.
+//     so every timed cycle pays a full churn budget of table moves;
+//   - slo/evaluate: one SLO-engine tick over 64 tracked tenants — the
+//     off-fast-path evaluator cost (snapshot every tenant's counters, push
+//     the sample rings, compute both burn windows, transition alerts). The
+//     pps column is tenants evaluated per second.
 //
 // Two SNAT rows measure the survivable session store (§4.2, Fig. 11) at
 // population, each at 1M and 10M pre-established sessions:
@@ -51,6 +55,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/netip"
 	"os"
 	"runtime"
@@ -65,6 +70,7 @@ import (
 	"sailfish/internal/netpkt"
 	"sailfish/internal/placement"
 	"sailfish/internal/shardplane"
+	"sailfish/internal/slo"
 	"sailfish/internal/snat"
 	"sailfish/internal/tables"
 	"sailfish/internal/trace"
@@ -197,7 +203,7 @@ func benchTraced() entry {
 func measureStages() []stageQuantile {
 	d, raws := newDeployment(2)
 	reg := metrics.NewRegistry()
-	sh := metrics.NewStageHistograms(reg, "bench_stage_latency_ns", "fast-path stage latency")
+	sh := metrics.NewStageHistograms(reg, "sailfish_bench_stage_latency_ns", "fast-path stage latency")
 	d.Region.EnableStageMetrics(sh)
 	for _, c := range d.Region.Clusters {
 		for _, n := range c.Nodes {
@@ -224,11 +230,20 @@ func measureStages() []stageQuantile {
 		{"pipeline", sh.Pipeline},
 		{"rewrite", sh.Rewrite},
 	} {
+		// Quantile reports NaN on an empty histogram; JSON has no NaN, so
+		// an unexercised stage is published as 0 samples with zero quantiles.
+		p50, p99 := s.h.Quantile(0.50), s.h.Quantile(0.99)
+		if math.IsNaN(p50) {
+			p50 = 0
+		}
+		if math.IsNaN(p99) {
+			p99 = 0
+		}
 		out = append(out, stageQuantile{
 			Stage:   s.name,
 			Samples: s.h.Count(),
-			P50Ns:   s.h.Quantile(0.50),
-			P99Ns:   s.h.Quantile(0.99),
+			P50Ns:   p50,
+			P99Ns:   p99,
 		})
 	}
 	return out
@@ -540,6 +555,36 @@ func snatScale(sessions int) string {
 // benchSNATTranslate measures the Translate hit path with `sessions` live
 // sessions resident. The loop cycles through every established key, so the
 // working set genuinely misses cache at the large populations.
+// benchSLOEvaluate measures one evaluator pass of the per-tenant SLO
+// engine: 64 tracked tenants, each with fresh counter traffic per tick, a
+// full sample-ring push, both burn windows computed, and alert transitions
+// checked. This is the control-loop cost the daemon pays once a second —
+// the data-plane side (Collector increments) is covered by the alloc-pinned
+// region/forward rows, which run with the collector attached in the
+// cluster package's tests.
+func benchSLOEvaluate() entry {
+	const tenants = 64
+	col := slo.NewCollector()
+	for i := 0; i < tenants; i++ {
+		col.Track(netpkt.VNI(100 + i))
+	}
+	eng := slo.NewEngine(slo.Config{}, col, slo.NewJournal(slo.DefaultJournalDepth))
+	now := benchTime
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < tenants; t++ {
+				col.Forward(netpkt.VNI(100 + t))
+			}
+			now = now.Add(time.Second)
+			eng.Tick(now)
+		}
+	})
+	return toEntry("slo/evaluate", r, tenants, fmt.Sprintf(
+		"one engine tick over %d tracked tenants (snapshot, ring push, two burn windows, alert transitions); pps is tenants/sec",
+		tenants))
+}
+
 func benchSNATTranslate(sessions int) entry {
 	st := snat.New(snat.Config{PublicIPs: snatPool(snatIPs), Shards: snatShards, JournalDepth: 4096})
 	for i := 0; i < sessions; i++ {
@@ -627,6 +672,7 @@ func main() {
 	}
 	benches = append(benches, benchPlacementCycle)
 	benches = append(benches, benchPlacement3Tier)
+	benches = append(benches, benchSLOEvaluate)
 	for _, sessions := range []int{1_000_000, 10_000_000} {
 		if sessions > *snatMax {
 			continue

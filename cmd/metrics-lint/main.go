@@ -1,0 +1,214 @@
+// Command metrics-lint statically checks every metric name registered in
+// the tree: each string-literal name passed to the metrics registry's
+// constructors (Counter, Gauge, CounterFunc, GaugeFunc, Histogram,
+// NewStageHistograms) must match ^sailfish_[a-z0-9_]+$ and be unique across
+// packages, so two subsystems can never fight over one time series on a
+// scrape. Within a package the same name may appear many times — those are
+// label variants of one family. A small allowlist admits the deliberate
+// cross-package shares (the shardplane re-exports the region ledger under
+// the sailfish_region_* names).
+//
+// It parses source with go/parser only — no type checking, no build — so it
+// runs in milliseconds as part of `make check`. Dynamically computed names
+// are invisible to it; keep registration names literal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var namePattern = regexp.MustCompile(`^sailfish_[a-z0-9_]+$`)
+
+// registrars maps constructor names to the index of their metric-name
+// argument (NewStageHistograms takes the registry first).
+var registrars = map[string]int{
+	"Counter":            0,
+	"Gauge":              0,
+	"CounterFunc":        0,
+	"GaugeFunc":          0,
+	"Histogram":          0,
+	"NewStageHistograms": 1,
+}
+
+// sharedNames lists the metric-name prefixes that two packages may both
+// register, with the exact set of packages allowed to do so.
+var sharedNames = map[string][]string{
+	"sailfish_region_": {"internal/cluster", "internal/shardplane"},
+}
+
+// site is one literal registration.
+type site struct {
+	name string
+	pkg  string // directory relative to the scan root
+	pos  string // file:line for the report
+}
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	flag.Parse()
+
+	sites, err := scan(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-lint:", err)
+		os.Exit(1)
+	}
+	problems := check(sites)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	names := map[string]bool{}
+	pkgs := map[string]bool{}
+	for _, s := range sites {
+		names[s.name] = true
+		pkgs[s.pkg] = true
+	}
+	fmt.Printf("metrics-lint: %d metric names across %d packages, all well-formed and collision-free\n",
+		len(names), len(pkgs))
+}
+
+// scan walks root and collects every literal metric registration from
+// non-test Go files.
+func scan(root string) ([]site, error) {
+	var sites []site
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			rel = filepath.Dir(path)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee string
+			switch fn := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				callee = fn.Sel.Name
+			case *ast.Ident:
+				callee = fn.Name
+			default:
+				return true
+			}
+			argIdx, ok := registrars[callee]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic name: invisible to the lint
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			pos := fset.Position(lit.Pos())
+			sites = append(sites, site{
+				name: name,
+				pkg:  filepath.ToSlash(rel),
+				pos:  fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+			})
+			return true
+		})
+		return nil
+	})
+	return sites, err
+}
+
+// check validates the collected sites: well-formed names, and no metric
+// family registered from two packages unless allowlisted.
+func check(sites []site) []string {
+	var problems []string
+	byName := map[string][]site{}
+	for _, s := range sites {
+		if !namePattern.MatchString(s.name) {
+			problems = append(problems,
+				fmt.Sprintf("%s: metric name %q does not match %s", s.pos, s.name, namePattern))
+			continue
+		}
+		byName[s.name] = append(byName[s.name], s)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pkgs := map[string]bool{}
+		for _, s := range byName[n] {
+			pkgs[s.pkg] = true
+		}
+		if len(pkgs) < 2 || allowedShare(n, pkgs) {
+			continue
+		}
+		var where []string
+		for _, s := range byName[n] {
+			where = append(where, s.pos)
+		}
+		sort.Strings(where)
+		problems = append(problems, fmt.Sprintf(
+			"metric %q registered from %d packages (%s) — one scrape, one owner; rename or allowlist",
+			n, len(pkgs), strings.Join(where, ", ")))
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// allowedShare reports whether every package registering the name is in the
+// allowlist entry covering it.
+func allowedShare(name string, pkgs map[string]bool) bool {
+	for prefix, allowed := range sharedNames {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		ok := true
+		for p := range pkgs {
+			found := false
+			for _, a := range allowed {
+				if p == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a fake module for the scanner.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goodSrc = `package a
+func register(reg *Registry) {
+	reg.Counter("sailfish_a_total", "h", nil)
+	reg.Counter("sailfish_a_total", "h", Labels{"vni": "1"}) // label variant: fine
+	reg.GaugeFunc("sailfish_a_level", "h", nil, func() float64 { return 0 })
+}`
+
+// TestScanFindsLiteralSites: the AST walk sees method and multi-line calls
+// and skips test files and dynamic names.
+func TestScanFindsLiteralSites(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": goodSrc + "\n" + `func more(reg *Registry, name string) {
+	reg.Histogram(
+		"sailfish_a_latency_ns",
+		"h", nil, nil)
+	reg.Counter(name, "dynamic: skipped", nil)
+}`,
+		"a/a_test.go": `package a
+func testOnly(reg *Registry) { reg.Counter("not_a_metric", "h", nil) }`,
+	})
+	sites, err := scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, s := range sites {
+		names[s.name]++
+	}
+	if names["sailfish_a_total"] != 2 || names["sailfish_a_level"] != 1 || names["sailfish_a_latency_ns"] != 1 {
+		t.Fatalf("scan = %v", names)
+	}
+	if names["not_a_metric"] != 0 {
+		t.Fatal("test file leaked into the scan")
+	}
+	if len(check(sites)) != 0 {
+		t.Fatalf("clean tree flagged: %v", check(sites))
+	}
+}
+
+// TestCheckRejectsMalformedNames: names outside ^sailfish_[a-z0-9_]+$ fail.
+func TestCheckRejectsMalformedNames(t *testing.T) {
+	for _, bad := range []string{"gw_drops_total", "sailfish_Drops", "sailfish_drops-total", "sailfish_"} {
+		probs := check([]site{{name: bad, pkg: "a", pos: "a/a.go:1"}})
+		if len(probs) != 1 || !strings.Contains(probs[0], bad) {
+			t.Fatalf("name %q: problems = %v", bad, probs)
+		}
+	}
+}
+
+// TestCheckCrossPackageCollision: the same family from two packages is an
+// error, unless the allowlist covers exactly those packages.
+func TestCheckCrossPackageCollision(t *testing.T) {
+	probs := check([]site{
+		{name: "sailfish_x_total", pkg: "internal/a", pos: "internal/a/a.go:1"},
+		{name: "sailfish_x_total", pkg: "internal/b", pos: "internal/b/b.go:1"},
+	})
+	if len(probs) != 1 || !strings.Contains(probs[0], "sailfish_x_total") {
+		t.Fatalf("collision not flagged: %v", probs)
+	}
+
+	// The region ledger share is deliberate and stays allowed.
+	probs = check([]site{
+		{name: "sailfish_region_forwarded_total", pkg: "internal/cluster", pos: "c.go:1"},
+		{name: "sailfish_region_forwarded_total", pkg: "internal/shardplane", pos: "s.go:1"},
+	})
+	if len(probs) != 0 {
+		t.Fatalf("allowlisted share flagged: %v", probs)
+	}
+
+	// A third package horning in on an allowlisted family is still an error.
+	probs = check([]site{
+		{name: "sailfish_region_forwarded_total", pkg: "internal/cluster", pos: "c.go:1"},
+		{name: "sailfish_region_forwarded_total", pkg: "internal/rogue", pos: "r.go:1"},
+	})
+	if len(probs) != 1 {
+		t.Fatalf("rogue share not flagged: %v", probs)
+	}
+}
+
+// TestRepoIsClean runs the real scan over this repository — the same gate
+// `make check` enforces.
+func TestRepoIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skip("module root not found:", err)
+	}
+	sites, err := scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("scan found no metric registrations; scanner broken?")
+	}
+	if probs := check(sites); len(probs) != 0 {
+		t.Fatalf("repository metric names unclean:\n%s", strings.Join(probs, "\n"))
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -11,6 +11,12 @@
 //	sailfish-ctl top     -admin http://127.0.0.1:9090 -coverage 0.95
 //	sailfish-ctl trace   -admin http://127.0.0.1:9090 -drops
 //	sailfish-ctl snat    -admin http://127.0.0.1:9090
+//	sailfish-ctl slo     -admin http://127.0.0.1:9090 [vni]
+//	sailfish-ctl events  -admin http://127.0.0.1:9090 -follow
+//
+// The global --json flag (any position) makes the admin-proxy subcommands
+// (slo, events, placement, snat) emit the raw adminapi DTO instead of the
+// rendered view, for scripting.
 package main
 
 import (
@@ -26,36 +32,59 @@ import (
 	"sailfish/internal/xgwh"
 )
 
+// jsonOut is the global --json flag: admin-proxy subcommands emit the raw
+// wire DTO instead of the rendered view. Stripped before dispatch so it works
+// in any argv position.
+var jsonOut bool
+
+// stripJSONFlag removes --json/-json from args, flipping jsonOut.
+func stripJSONFlag(args []string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "--json" || a == "-json" {
+			jsonOut = true
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	args := stripJSONFlag(os.Args[1:])
+	if len(args) < 1 {
 		usage()
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "plan":
-		cmdPlan(os.Args[2:])
+		cmdPlan(args[1:])
 	case "layout":
-		cmdLayout(os.Args[2:])
+		cmdLayout(args[1:])
 	case "updates":
-		cmdUpdates(os.Args[2:])
+		cmdUpdates(args[1:])
 	case "rebalance":
-		cmdRebalance(os.Args[2:])
+		cmdRebalance(args[1:])
 	case "export":
-		cmdExport(os.Args[2:])
+		cmdExport(args[1:])
 	case "top":
-		cmdTop(os.Args[2:])
+		cmdTop(args[1:])
 	case "trace":
-		cmdTrace(os.Args[2:])
+		cmdTrace(args[1:])
 	case "placement":
-		cmdPlacement(os.Args[2:])
+		cmdPlacement(args[1:])
 	case "snat":
-		cmdSNAT(os.Args[2:])
+		cmdSNAT(args[1:])
+	case "slo":
+		cmdSLO(args[1:])
+	case "events":
+		cmdEvents(args[1:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl {plan|layout|updates|rebalance|export|top|trace|placement|snat} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sailfish-ctl [--json] {plan|layout|updates|rebalance|export|top|trace|placement|snat|slo|events} [flags]")
 	os.Exit(2)
 }
 

@@ -54,6 +54,13 @@ func cmdTrace(args []string) {
 	}
 }
 
+// emitJSON renders a raw admin DTO for the global --json flag.
+func emitJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // getJSON fetches one admin endpoint into out.
 func getJSON(base, path string, query url.Values, out any) error {
 	u := base + path

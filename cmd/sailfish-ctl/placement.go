@@ -28,6 +28,9 @@ func runPlacement(w io.Writer, admin string) error {
 	if err := getJSON(admin, "/placement", nil, &p); err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON(w, p)
+	}
 	if !p.Enabled {
 		fmt.Fprintln(w, "placement: not enabled on this daemon")
 		return nil

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"sailfish/internal/adminapi"
+)
+
+// The SLO subcommands watch a daemon's per-tenant budget: `slo` renders the
+// /slo burn-rate view (or one tenant's /slo/{vni} history), `events` tails
+// the unified ops journal behind /events, optionally following the cursor.
+
+// cmdSLO fetches and renders the per-tenant SLO view. An optional positional
+// VNI narrows to one tenant and includes its per-tick history.
+func cmdSLO(args []string) {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	fs.Parse(args)
+	var err error
+	if fs.NArg() > 0 {
+		var vni uint64
+		if vni, err = strconv.ParseUint(fs.Arg(0), 10, 32); err != nil {
+			fmt.Fprintf(os.Stderr, "bad vni %q: %v\n", fs.Arg(0), err)
+			os.Exit(2)
+		}
+		err = runSLOTenant(os.Stdout, *admin, uint32(vni))
+	} else {
+		err = runSLO(os.Stdout, *admin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSLO renders the /slo view: policy, engine state, and one row per tenant.
+func runSLO(w io.Writer, admin string) error {
+	var sr adminapi.SLOResponse
+	if err := getJSON(admin, "/slo", nil, &sr); err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(w, sr)
+	}
+	if !sr.Enabled {
+		fmt.Fprintln(w, "slo: not enabled on this daemon")
+		return nil
+	}
+	fmt.Fprintf(w, "policy: loss budget %.4f%%, fast %s burn ≥%.0f, slow %s burn ≥%.0f (%d ticks)\n",
+		100*sr.LossBudget,
+		time.Duration(sr.FastWindowNs), sr.FastBurnThreshold,
+		time.Duration(sr.SlowWindowNs), sr.SlowBurnThreshold, sr.Ticks)
+	if sr.LatencyP50Ns > 0 || sr.LatencyP99Ns > 0 {
+		fmt.Fprintf(w, "pipeline latency: p50 %.0fns, p99 %.0fns\n", sr.LatencyP50Ns, sr.LatencyP99Ns)
+	}
+	fmt.Fprintf(w, "alerts firing: %d\n", sr.ActiveAlerts)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  VNI\tATTEMPTED\tDROPPED\tFAST-BURN\tSLOW-BURN\tCOVERAGE\tALERTS")
+	for _, t := range sr.Tenants {
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%.2f\t%.2f\t%.2f%%\t%s\n",
+			t.VNI, t.Attempted, t.Dropped, t.FastBurn, t.SlowBurn,
+			100*t.StackCoverage, alertSummary(t.Alerts))
+	}
+	return tw.Flush()
+}
+
+// alertSummary compresses a tenant's firing alerts into one cell.
+func alertSummary(alerts []adminapi.SLOAlert) string {
+	if len(alerts) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, a := range alerts {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s(burn %.1f)", a.Window, a.Burn)
+	}
+	return s
+}
+
+// runSLOTenant renders one tenant's /slo/{vni} view with its history.
+func runSLOTenant(w io.Writer, admin string, vni uint32) error {
+	var tr adminapi.SLOTenantResponse
+	if err := getJSON(admin, "/slo/"+strconv.FormatUint(uint64(vni), 10), nil, &tr); err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(w, tr)
+	}
+	if !tr.Enabled {
+		fmt.Fprintln(w, "slo: not enabled on this daemon")
+		return nil
+	}
+	if !tr.Found {
+		fmt.Fprintf(w, "slo: VNI %d is not tracked\n", vni)
+		return nil
+	}
+	t := tr.Tenant
+	fmt.Fprintf(w, "VNI %d: %d attempted, %d dropped (forward %d, dpu %d, fallback %d, degraded %d)\n",
+		t.VNI, t.Attempted, t.Dropped, t.Forwarded, t.DPUServed, t.Fallback, t.Degraded)
+	fmt.Fprintf(w, "burn: fast %.2f (loss %.6f), slow %.2f (loss %.6f)\n",
+		t.FastBurn, t.FastLossRatio, t.SlowBurn, t.SlowLossRatio)
+	fmt.Fprintf(w, "coverage: stack %.2f%%, miss split dpu %.2f%% / x86 %.2f%%\n",
+		100*t.StackCoverage, 100*t.DPUMissShare, 100*t.X86MissShare)
+	for _, a := range t.Alerts {
+		fmt.Fprintf(w, "ALERT %s: burn %.2f ≥ %.2f since %d\n", a.Window, a.Burn, a.Threshold, a.SinceNs)
+	}
+	if len(tr.History) == 0 {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  TIME-NS\tATTEMPTED\tDROPPED\tLOSS\tCOVERAGE")
+	for _, h := range tr.History {
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%.6f\t%.2f%%\n",
+			h.TimeNs, h.Attempted, h.Dropped, h.LossRatio, 100*h.StackCoverage)
+	}
+	return tw.Flush()
+}
+
+// cmdEvents tails the /events ops journal. -follow keeps polling the cursor.
+func cmdEvents(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:9090", "sailfish-gw admin plane base URL")
+	since := fs.Uint64("since", 0, "resume strictly after this sequence number")
+	n := fs.Int("n", 0, "cap entries per page (0 = all retained)")
+	follow := fs.Bool("follow", false, "keep polling for new entries")
+	interval := fs.Duration("interval", time.Second, "poll cadence with -follow")
+	fs.Parse(args)
+	cursor := *since
+	for {
+		next, err := runEvents(os.Stdout, *admin, cursor, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*follow {
+			return
+		}
+		cursor = next
+		time.Sleep(*interval)
+	}
+}
+
+// runEvents fetches and renders one journal page, returning the cursor to
+// resume from (the last sequence seen, or since when the page was empty).
+func runEvents(w io.Writer, admin string, since uint64, n int) (uint64, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	var er adminapi.EventsResponse
+	if err := getJSON(admin, "/events", q, &er); err != nil {
+		return since, err
+	}
+	cursor := since
+	for _, e := range er.Events {
+		cursor = e.Seq
+	}
+	if jsonOut {
+		return cursor, emitJSON(w, er)
+	}
+	if !er.Enabled {
+		fmt.Fprintln(w, "events: no ops journal on this daemon (slo stanza off)")
+		return cursor, nil
+	}
+	for _, e := range er.Events {
+		scope := ""
+		if e.VNI != 0 {
+			scope = " vni " + strconv.FormatUint(uint64(e.VNI), 10)
+		}
+		if e.Cluster >= 0 {
+			scope += " cluster " + strconv.Itoa(e.Cluster)
+		}
+		fmt.Fprintf(w, "%6d %d %s/%s%s: %s\n", e.Seq, e.TimeNs, e.Source, e.Kind, scope, e.Detail)
+	}
+	if er.Dropped > 0 && since < er.Appended-uint64(len(er.Events)) {
+		fmt.Fprintf(w, "(journal evicted %d entries; oldest retained shown)\n", er.Dropped)
+	}
+	return cursor, nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sailfish/internal/adminapi"
+	"sailfish/internal/slo"
+)
+
+// fakeSLOAdmin serves /slo, /slo/{vni} and /events from a real engine and
+// journal, so the client renders exactly what a live daemon would produce.
+func fakeSLOAdmin(t *testing.T) (*httptest.Server, *slo.Engine, *slo.Journal) {
+	t.Helper()
+	col := slo.NewCollector()
+	col.Track(100)
+	col.Track(200)
+	j := slo.NewJournal(64)
+	eng := slo.NewEngine(slo.Config{FastWindow: 10 * time.Second}, col, j)
+
+	// Tenant 100 burns hard, tenant 200 stays green. Two ticks past the
+	// arming horizon so the fast alert fires and journals.
+	t0 := time.Unix(1000, 0)
+	for s := 1; s <= 12; s++ {
+		for i := 0; i < 1000; i++ {
+			col.Forward(100)
+			col.Forward(200)
+		}
+		eng.Tick(t0.Add(time.Duration(s) * time.Second))
+	}
+	for s := 13; s <= 14; s++ {
+		for i := 0; i < 500; i++ {
+			col.Forward(100)
+			col.Drop(100)
+			col.Forward(200)
+			col.Forward(200)
+		}
+		eng.Tick(t0.Add(time.Duration(s) * time.Second))
+	}
+	j.Append(slo.Entry{TimeNs: 99, Source: "placement", Kind: "promote", VNI: 100, Cluster: 0, Detail: "192.168.10.3 share 0.4"})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(t, w, adminapi.BuildSLO(eng))
+	})
+	mux.HandleFunc("/slo/", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(t, w, adminapi.BuildSLOTenant(eng, 100))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(t, w, adminapi.BuildEvents(j, 0, 0))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, eng, j
+}
+
+// TestRunSLO renders the per-tenant burn view through the real HTTP client.
+func TestRunSLO(t *testing.T) {
+	srv, _, _ := fakeSLOAdmin(t)
+	var b strings.Builder
+	if err := runSLO(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"loss budget 0.0200%",
+		"alerts firing: 1",
+		"fast(burn", // tenant 100's alert cell
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo output missing %q:\n%s", want, out)
+		}
+	}
+	// Tenant 200 never dropped: its alert cell is the dash.
+	if !strings.Contains(out, "\t-") && !strings.Contains(out, "  -") {
+		t.Fatalf("green tenant not rendered quiet:\n%s", out)
+	}
+}
+
+// TestRunSLOTenant renders one tenant's history view.
+func TestRunSLOTenant(t *testing.T) {
+	srv, _, _ := fakeSLOAdmin(t)
+	var b strings.Builder
+	if err := runSLOTenant(&b, srv.URL, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"VNI 100:", "ALERT fast:", "TIME-NS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo tenant output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunEvents renders the journal tail and advances the cursor.
+func TestRunEvents(t *testing.T) {
+	srv, _, j := fakeSLOAdmin(t)
+	var b strings.Builder
+	cursor, err := runEvents(&b, srv.URL, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"slo/alert_fire", "placement/promote", "vni 100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("events output missing %q:\n%s", want, out)
+		}
+	}
+	if cursor != j.LastSeq() {
+		t.Fatalf("cursor = %d, want last seq %d", cursor, j.LastSeq())
+	}
+}
+
+// TestJSONFlag: --json emits the raw DTO for the proxy subcommands.
+func TestJSONFlag(t *testing.T) {
+	srv, _, _ := fakeSLOAdmin(t)
+	jsonOut = true
+	defer func() { jsonOut = false }()
+
+	var b strings.Builder
+	if err := runSLO(&b, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	var sr adminapi.SLOResponse
+	if err := json.Unmarshal([]byte(b.String()), &sr); err != nil {
+		t.Fatalf("slo --json output is not the DTO: %v\n%s", err, b.String())
+	}
+	if !sr.Enabled || len(sr.Tenants) != 2 {
+		t.Fatalf("decoded DTO = %+v", sr)
+	}
+
+	b.Reset()
+	if _, err := runEvents(&b, srv.URL, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var er adminapi.EventsResponse
+	if err := json.Unmarshal([]byte(b.String()), &er); err != nil {
+		t.Fatalf("events --json output is not the DTO: %v\n%s", err, b.String())
+	}
+	if len(er.Events) == 0 {
+		t.Fatal("events DTO empty")
+	}
+}
+
+// TestStripJSONFlag removes the flag from any position.
+func TestStripJSONFlag(t *testing.T) {
+	defer func() { jsonOut = false }()
+	jsonOut = false
+	got := stripJSONFlag([]string{"slo", "--json", "-admin", "http://x"})
+	if jsonOut != true || len(got) != 3 || got[0] != "slo" || got[1] != "-admin" {
+		t.Fatalf("strip = %v jsonOut=%v", got, jsonOut)
+	}
+	jsonOut = false
+	got = stripJSONFlag([]string{"plan", "-tenants", "4"})
+	if jsonOut || len(got) != 3 {
+		t.Fatalf("strip = %v jsonOut=%v", got, jsonOut)
+	}
+}

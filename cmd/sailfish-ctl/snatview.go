@@ -30,6 +30,9 @@ func runSNAT(w io.Writer, admin string, shards bool) error {
 	if err := getJSON(admin, "/snat", nil, &sr); err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON(w, sr)
+	}
 	side := "primary"
 	if sr.OnBackup {
 		side = "backup (promoted standby)"

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"net/netip"
 	"strconv"
+	"strings"
 
 	"sailfish/internal/adminapi"
 	"sailfish/internal/metrics"
@@ -33,11 +34,16 @@ func (s *server) registerMetrics() *metrics.Registry {
 	s.gw.RegisterMetrics(reg, "xgwh-0")
 	s.x86.RegisterMetrics(reg, "xgw86-0")
 	s.x86.SNATService().RegisterMetrics(reg)
-	s.gw.EnableStageMetrics(metrics.NewStageHistograms(reg,
+	stages := metrics.NewStageHistograms(reg,
 		"sailfish_gw_stage_latency_ns",
-		"per-stage forwarding latency in nanoseconds"))
+		"per-stage forwarding latency in nanoseconds")
+	s.gw.EnableStageMetrics(stages)
 	if s.loop != nil {
 		s.loop.RegisterMetrics(reg)
+	}
+	if s.sloEng != nil {
+		s.sloEng.AttachStageHistograms(stages)
+		s.sloEng.RegisterMetrics(reg)
 	}
 	if s.dpu != nil {
 		s.dpu.RegisterMetrics(reg)
@@ -155,6 +161,44 @@ func newAdminMux(s *server, reg *metrics.Registry) *http.ServeMux {
 	// so clients need no probing.
 	mux.HandleFunc("/placement", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, adminapi.BuildPlacement(s.loop))
+	})
+
+	// Per-tenant SLO state: /slo is every tracked tenant's burn/coverage
+	// view, /slo/{vni} adds one tenant's retained per-tick history. Served
+	// (with enabled=false) even when the slo stanza is off.
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, adminapi.BuildSLO(s.sloEng))
+	})
+	mux.HandleFunc("/slo/", func(w http.ResponseWriter, r *http.Request) {
+		u, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/slo/"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad vni: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, adminapi.BuildSLOTenant(s.sloEng, uint32(u)))
+	})
+
+	// Ops journal tail: ?since= resumes strictly after a sequence number
+	// (the cursor a follower advances), ?n= caps the page size.
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var since uint64
+		if v := q.Get("since"); v != "" {
+			var err error
+			if since, err = strconv.ParseUint(v, 10, 64); err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		max := 0
+		if v := q.Get("n"); v != "" {
+			var err error
+			if max, err = strconv.Atoi(v); err != nil || max < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, adminapi.BuildEvents(s.journal, since, max))
 	})
 
 	// Vtrace: the collector's flow paths and loss-localization findings.

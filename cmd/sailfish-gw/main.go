@@ -33,6 +33,7 @@ import (
 	"sailfish/internal/pcap"
 	"sailfish/internal/placement"
 	"sailfish/internal/shardplane"
+	"sailfish/internal/slo"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/tofino"
@@ -56,6 +57,10 @@ type fileConfig struct {
 	// software tenants: hot (VNI, DIP) keys are promoted into the hardware
 	// gateway and demoted when they cool (see internal/placement).
 	Placement *placementConfig `json:"placement,omitempty"`
+	// SLO, when present, runs the per-tenant burn-rate evaluator over every
+	// configured tenant and serves /slo, /slo/{vni} and /events on the admin
+	// plane (see internal/slo).
+	SLO *sloConfig `json:"slo,omitempty"`
 	// Workers selects the datagram processing model. 0 or 1 (the default)
 	// is the single run-to-completion serve loop. N > 1 runs the RSS-style
 	// sharded plane: the receive goroutine hashes each datagram's flow onto
@@ -161,6 +166,15 @@ type server struct {
 	loop      *placement.Loop
 	loopEvery time.Duration
 	lastCycle time.Time
+	// SLO evaluation (nil unless the config enables the slo stanza): the
+	// collector mirrors every datagram's disposition per VNI, the engine
+	// evaluates burn rates on maybeCycle's cadence, and the journal merges
+	// alerts with placement and SNAT events.
+	sloCol      *slo.Collector
+	sloEng      *slo.Engine
+	journal     *slo.Journal
+	sloEvery    time.Duration
+	lastSLOTick time.Time
 	// lastSync throttles the SNAT standby replication pump.
 	lastSync time.Time
 	// Sharded mode (workers > 1): one gwShard per worker, the x86 software
@@ -286,6 +300,9 @@ func newServer(fc fileConfig) (*server, error) {
 		if err := s.enablePlacement(*fc.Placement, fc.SoftwareTenants, gwIP); err != nil {
 			return nil, err
 		}
+	}
+	if fc.SLO != nil {
+		s.enableSLO(*fc.SLO, fc)
 	}
 	laddr, err := net.ResolveUDPAddr("udp", fc.Listen)
 	if err != nil {
@@ -416,17 +433,21 @@ func (s *server) shardWorker(sh *gwShard) {
 // single-threaded), as the region's shard lanes do.
 func (s *server) handleOn(sh *gwShard, frame []byte, now time.Time) error {
 	var fm netpkt.FrontMeta
+	vni := netpkt.VNI(0)
 	if perr := netpkt.ParseFront(frame, &fm); perr == nil {
+		vni = fm.VNI
 		// The tracker locks internally; flow affinity keeps each flow's
 		// updates on one worker regardless.
 		s.hh.Observe(0, fm.VNI, fm.Flow.FastHash(), fm.Flow.Dst, fm.WireLen)
 	}
 	res, err := s.gw.ProcessPacketWith(sh.sc, frame, now)
 	if err != nil {
+		s.sloDrop(vni)
 		return err
 	}
 	switch res.Action {
 	case xgwh.ActionForward:
+		s.sloForward(vni)
 		return s.send(res.NC, res.Out)
 	case xgwh.ActionFallback:
 		// Hold the lock across the send: fres.Out (and the DPU tier's
@@ -437,21 +458,29 @@ func (s *server) handleOn(sh *gwShard, frame []byte, now time.Time) error {
 		// gate is ever relaxed.
 		s.fbMu.Lock()
 		defer s.fbMu.Unlock()
+		if res.FallbackMiss {
+			s.sloFallbackMiss(vni)
+		}
 		if s.dpu != nil && res.FallbackMiss {
 			dres, served, derr := s.dpu.ProcessOn(s.dpuDevice(frame), frame, now)
 			if derr != nil {
+				s.sloDrop(vni)
 				return fmt.Errorf("dpu path: %w", derr)
 			}
 			if served {
+				s.sloDPUServed(vni)
 				return s.send(dres.NC, dres.Out)
 			}
 		}
 		fres, ferr := s.x86.ProcessFallback(frame, now)
 		if ferr != nil {
+			s.sloDrop(vni)
 			return fmt.Errorf("software path: %w", ferr)
 		}
+		s.sloFallback(vni, res.FallbackMiss)
 		return s.send(fres.NC, fres.Out)
 	default:
+		s.sloDrop(vni)
 		return fmt.Errorf("dropped: %s", res.DropReason)
 	}
 }
@@ -487,15 +516,19 @@ func (s *server) handle(payload []byte) error {
 	// Feed the heavy-hitter tracker from the front parse, as the region
 	// front end does (this daemon is one box, so cluster 0).
 	var fm netpkt.FrontMeta
+	vni := netpkt.VNI(0)
 	if perr := netpkt.ParseFront(frame, &fm); perr == nil {
+		vni = fm.VNI
 		s.hh.Observe(0, fm.VNI, fm.Flow.FastHash(), fm.Flow.Dst, fm.WireLen)
 	}
 	res, err := s.gw.ProcessPacket(frame, time.Now())
 	if err != nil {
+		s.sloDrop(vni)
 		return err
 	}
 	switch res.Action {
 	case xgwh.ActionForward:
+		s.sloForward(vni)
 		ua := s.underlay[res.NC]
 		if ua == nil {
 			return fmt.Errorf("no underlay address for NC %v", res.NC)
@@ -517,12 +550,17 @@ func (s *server) handle(payload []byte) error {
 		// Three-tier ladder: a hardware table miss tries the DPU warm
 		// tier first; service-steered traffic (SNAT) skips it, since the
 		// stateful services live on x86 only.
+		if res.FallbackMiss {
+			s.sloFallbackMiss(vni)
+		}
 		if s.dpu != nil && res.FallbackMiss {
 			dres, served, derr := s.dpu.ProcessOn(s.dpuDevice(frame), frame, time.Now())
 			if derr != nil {
+				s.sloDrop(vni)
 				return fmt.Errorf("dpu path: %w", derr)
 			}
 			if served {
+				s.sloDPUServed(vni)
 				if s.pcap != nil {
 					if err := s.pcap.WritePacket(time.Now(), dres.Out); err != nil {
 						return err
@@ -534,8 +572,10 @@ func (s *server) handle(payload []byte) error {
 		// HW/SW co-design: the software node completes the long tail.
 		fres, ferr := s.x86.ProcessFallback(frame, time.Now())
 		if ferr != nil {
+			s.sloDrop(vni)
 			return fmt.Errorf("software path: %w", ferr)
 		}
+		s.sloFallback(vni, res.FallbackMiss)
 		ua := s.underlay[fres.NC]
 		if ua == nil {
 			return fmt.Errorf("no underlay address for NC %v", fres.NC)
@@ -552,6 +592,7 @@ func (s *server) handle(payload []byte) error {
 		_, err = s.conn.WriteToUDP(out, ua)
 		return err
 	default:
+		s.sloDrop(vni)
 		return fmt.Errorf("dropped: %s", res.DropReason)
 	}
 }

@@ -302,6 +302,15 @@ func (s *server) maybeCycle(now time.Time) {
 		s.lastSync = now
 		s.x86.SNATService().Sync(now)
 	}
+	// The SLO evaluator ticks between datagrams too: snapshots are atomic
+	// reads, so the tick never blocks the data path for long, and the first
+	// call establishes the cadence origin.
+	if s.sloEng != nil {
+		if s.lastSLOTick.IsZero() || now.Sub(s.lastSLOTick) >= s.sloEvery {
+			s.lastSLOTick = now
+			s.sloEng.Tick(now)
+		}
+	}
 	if s.loop == nil {
 		return
 	}

@@ -8,9 +8,12 @@ package adminapi
 
 import (
 	"fmt"
+	"math"
 
 	"sailfish/internal/heavyhitter"
+	"sailfish/internal/netpkt"
 	"sailfish/internal/placement"
+	"sailfish/internal/slo"
 	"sailfish/internal/snat"
 	"sailfish/internal/telemetry"
 	"sailfish/internal/trace"
@@ -364,6 +367,207 @@ func BuildVtrace(m *telemetry.Matcher, c *telemetry.Collector, expectedHops []st
 		out.Findings = append(out.Findings, VtraceFinding{
 			VNI: uint32(f.Flow.VNI), Src: f.Flow.Src.String(), Dst: f.Flow.Dst.String(),
 			Kind: f.Kind, Where: f.Where, Detail: f.Detail,
+		})
+	}
+	return out
+}
+
+// SLOAlert is one firing burn-rate condition on a tenant.
+type SLOAlert struct {
+	VNI       uint32  `json:"vni"`
+	Window    string  `json:"window"` // "fast" or "slow"
+	Burn      float64 `json:"burn"`
+	LossRatio float64 `json:"lossRatio"`
+	Threshold float64 `json:"threshold"`
+	SinceNs   int64   `json:"sinceNs"`
+}
+
+// SLOTenant is one VNI's evaluated SLI state: lifetime disposition ledger,
+// both window burns, and coverage shares.
+type SLOTenant struct {
+	VNI             uint32 `json:"vni"`
+	Attempted       uint64 `json:"attempted"`
+	Forwarded       uint64 `json:"forwarded"`
+	DPUServed       uint64 `json:"dpuServed"`
+	Fallback        uint64 `json:"fallback"`
+	FallbackMiss    uint64 `json:"fallbackMiss"`
+	FallbackMissX86 uint64 `json:"fallbackMissX86"`
+	Degraded        uint64 `json:"degraded"`
+	Dropped         uint64 `json:"dropped"`
+
+	FastLossRatio float64 `json:"fastLossRatio"`
+	FastBurn      float64 `json:"fastBurn"`
+	SlowLossRatio float64 `json:"slowLossRatio"`
+	SlowBurn      float64 `json:"slowBurn"`
+
+	StackCoverage float64 `json:"stackCoverage"`
+	DPUMissShare  float64 `json:"dpuMissShare"`
+	X86MissShare  float64 `json:"x86MissShare"`
+
+	Alerts []SLOAlert `json:"alerts"`
+}
+
+// SLOHistoryPoint is one per-tick SLI delta in a tenant's retained series.
+type SLOHistoryPoint struct {
+	TimeNs        int64   `json:"timeNs"`
+	LossRatio     float64 `json:"lossRatio"`
+	StackCoverage float64 `json:"stackCoverage"`
+	Attempted     uint64  `json:"attempted"`
+	Dropped       uint64  `json:"dropped"`
+}
+
+// SLOResponse is the /slo body: the effective policy, engine counters, the
+// gateway-global latency quantiles and every tracked tenant's state. A nil
+// engine (SLO not enabled on this box) yields Enabled: false.
+type SLOResponse struct {
+	Enabled           bool        `json:"enabled"`
+	TimeNs            int64       `json:"timeNs"`
+	LossBudget        float64     `json:"lossBudget"`
+	FastWindowNs      int64       `json:"fastWindowNs"`
+	SlowWindowNs      int64       `json:"slowWindowNs"`
+	FastBurnThreshold float64     `json:"fastBurnThreshold"`
+	SlowBurnThreshold float64     `json:"slowBurnThreshold"`
+	Ticks             uint64      `json:"ticks"`
+	LatencyP50Ns      float64     `json:"latencyP50Ns"` // 0 when unknown (JSON has no NaN)
+	LatencyP99Ns      float64     `json:"latencyP99Ns"`
+	ActiveAlerts      int         `json:"activeAlerts"`
+	Tenants           []SLOTenant `json:"tenants"`
+}
+
+// SLOTenantResponse is the /slo/{vni} body: one tenant's state plus its
+// retained per-tick history. Found is false when the VNI is not tracked.
+type SLOTenantResponse struct {
+	Enabled bool              `json:"enabled"`
+	Found   bool              `json:"found"`
+	Tenant  SLOTenant         `json:"tenant"`
+	History []SLOHistoryPoint `json:"history"`
+}
+
+// finite collapses NaN/Inf to 0: these encode "no observation yet" in the
+// engine, and encoding/json refuses non-finite floats.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+func sloTenant(ts slo.TenantStatus) SLOTenant {
+	out := SLOTenant{
+		VNI:             uint32(ts.VNI),
+		Attempted:       ts.Total.Attempted(),
+		Forwarded:       ts.Total.Forwarded,
+		DPUServed:       ts.Total.DPUServed,
+		Fallback:        ts.Total.Fallback,
+		FallbackMiss:    ts.Total.FallbackMiss,
+		FallbackMissX86: ts.Total.FallbackMissX86,
+		Degraded:        ts.Total.Degraded,
+		Dropped:         ts.Total.Dropped,
+		FastLossRatio:   finite(ts.FastLossRatio),
+		FastBurn:        finite(ts.FastBurn),
+		SlowLossRatio:   finite(ts.SlowLossRatio),
+		SlowBurn:        finite(ts.SlowBurn),
+		StackCoverage:   finite(ts.StackCoverage),
+		DPUMissShare:    finite(ts.DPUMissShare),
+		X86MissShare:    finite(ts.X86MissShare),
+		Alerts:          []SLOAlert{},
+	}
+	for _, a := range ts.Alerts {
+		out.Alerts = append(out.Alerts, SLOAlert{
+			VNI: uint32(a.VNI), Window: a.Window.String(),
+			Burn: finite(a.Burn), LossRatio: finite(a.LossRatio),
+			Threshold: a.Threshold, SinceNs: a.SinceNs,
+		})
+	}
+	return out
+}
+
+// BuildSLO materializes the engine's status for the admin plane.
+func BuildSLO(e *slo.Engine) SLOResponse {
+	out := SLOResponse{Tenants: []SLOTenant{}}
+	if e == nil {
+		return out
+	}
+	st := e.Snapshot()
+	out.Enabled = true
+	out.TimeNs = st.TimeNs
+	out.LossBudget = st.LossBudget
+	out.FastWindowNs = st.FastWindowNs
+	out.SlowWindowNs = st.SlowWindowNs
+	out.FastBurnThreshold = st.FastBurnThreshold
+	out.SlowBurnThreshold = st.SlowBurnThreshold
+	out.Ticks = st.Ticks
+	out.LatencyP50Ns = finite(st.LatencyP50Ns)
+	out.LatencyP99Ns = finite(st.LatencyP99Ns)
+	for _, ts := range st.Tenants {
+		t := sloTenant(ts)
+		out.ActiveAlerts += len(t.Alerts)
+		out.Tenants = append(out.Tenants, t)
+	}
+	return out
+}
+
+// BuildSLOTenant materializes one tenant's state and history.
+func BuildSLOTenant(e *slo.Engine, vni uint32) SLOTenantResponse {
+	out := SLOTenantResponse{History: []SLOHistoryPoint{}, Tenant: SLOTenant{Alerts: []SLOAlert{}}}
+	if e == nil {
+		return out
+	}
+	out.Enabled = true
+	for _, ts := range e.Snapshot().Tenants {
+		if uint32(ts.VNI) != vni {
+			continue
+		}
+		out.Found = true
+		out.Tenant = sloTenant(ts)
+		break
+	}
+	for _, hp := range e.History(netpkt.VNI(vni)) {
+		out.History = append(out.History, SLOHistoryPoint{
+			TimeNs: hp.TimeNs, LossRatio: finite(hp.LossRatio),
+			StackCoverage: finite(hp.StackCoverage),
+			Attempted:     hp.Attempted, Dropped: hp.Dropped,
+		})
+	}
+	return out
+}
+
+// JournalEvent is one ops-journal entry on the wire.
+type JournalEvent struct {
+	Seq     uint64 `json:"seq"`
+	TimeNs  int64  `json:"timeNs"`
+	Source  string `json:"source"`
+	Kind    string `json:"kind"`
+	VNI     uint32 `json:"vni,omitempty"`
+	Cluster int    `json:"cluster"` // -1 when the event has no cluster scope
+	Detail  string `json:"detail"`
+}
+
+// EventsResponse is the /events body: a journal tail plus the cursor state a
+// follower needs — resume from LastSeq, notice loss via Dropped.
+type EventsResponse struct {
+	Enabled  bool           `json:"enabled"`
+	LastSeq  uint64         `json:"lastSeq"`
+	Appended uint64         `json:"appended"`
+	Dropped  uint64         `json:"dropped"`
+	Events   []JournalEvent `json:"events"`
+}
+
+// BuildEvents materializes the journal entries strictly after since (0 = from
+// the oldest retained), at most max (0 = all retained).
+func BuildEvents(j *slo.Journal, since uint64, max int) EventsResponse {
+	out := EventsResponse{Events: []JournalEvent{}}
+	if j == nil {
+		return out
+	}
+	out.Enabled = true
+	out.LastSeq = j.LastSeq()
+	out.Appended = j.Appended()
+	out.Dropped = j.Dropped()
+	for _, e := range j.Since(since, max) {
+		out.Events = append(out.Events, JournalEvent{
+			Seq: e.Seq, TimeNs: e.TimeNs, Source: e.Source, Kind: e.Kind,
+			VNI: uint32(e.VNI), Cluster: e.Cluster, Detail: e.Detail,
 		})
 	}
 	return out

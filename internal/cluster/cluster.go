@@ -18,6 +18,7 @@ import (
 	"sailfish/internal/lb"
 	"sailfish/internal/metrics"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/slo"
 	"sailfish/internal/snat"
 	"sailfish/internal/tables"
 	"sailfish/internal/telemetry"
@@ -445,6 +446,10 @@ type Region struct {
 	// the feed behind the 95/5 HotEntries report. Set via EnableHeavyHitters
 	// before traffic.
 	hh *heavyhitter.Tracker
+	// slo, when set, is the per-tenant SLI collector every lane books packet
+	// dispositions into. Set via EnableSLO before traffic — read
+	// unsynchronized like the other observers.
+	slo *slo.Collector
 
 	// lane0 is the region's built-in serial lane: ProcessPacket and
 	// ProcessBatch run on it, booking into r.stats and the region-global
@@ -541,6 +546,16 @@ func (r *Region) EnableTracing(rec *trace.Recorder) {
 func (r *Region) EnableHeavyHitters(t *heavyhitter.Tracker) {
 	r.hh = t
 	r.lane0.hh = t
+}
+
+// EnableSLO attaches the per-tenant SLO collector: every lane (the built-in
+// serial one and lanes created afterwards with NewLane) books each packet's
+// disposition into the tenant's counter cell beside the region's own
+// counters. Call before traffic starts and before creating shard lanes;
+// pass nil to detach.
+func (r *Region) EnableSLO(c *slo.Collector) {
+	r.slo = c
+	r.lane0.slo = c
 }
 
 // ErrClusterDisabled reports traffic steered at a cluster that has not been

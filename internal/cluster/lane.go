@@ -6,6 +6,7 @@ import (
 	"sailfish/internal/heavyhitter"
 	"sailfish/internal/lb"
 	"sailfish/internal/netpkt"
+	"sailfish/internal/slo"
 	"sailfish/internal/trace"
 	"sailfish/internal/xgw86"
 	"sailfish/internal/xgwdpu"
@@ -41,12 +42,15 @@ type Lane struct {
 	tr    *trace.Recorder
 	trDev uint16
 	hh    *heavyhitter.Tracker
+	slo   *slo.Collector
 }
 
 // NewLane returns an independent lane over the region with its own counters
-// and packet scratch. Create every lane before traffic starts.
+// and packet scratch, inheriting the region's SLO collector (per-VNI cells
+// are internally atomic, so every lane shares one collector). Create every
+// lane before traffic starts.
 func (r *Region) NewLane() *Lane {
-	return &Lane{r: r, ctr: &regionCounters{}, sc: xgwh.NewPacketScratch()}
+	return &Lane{r: r, ctr: &regionCounters{}, sc: xgwh.NewPacketScratch(), slo: r.slo}
 }
 
 // EnableTracing points the lane's events (front-end steering/drops and the
@@ -85,9 +89,15 @@ func (ln *Lane) AddStatsInto(dst *RegionStats) {
 }
 
 // frontDrop books a front-end drop under its interned reason and emits the
-// always-on flight-recorder event.
+// always-on flight-recorder event. The per-tenant SLO ledger books every
+// front-drop reason as tenant loss — including no_route, which the region's
+// own ledger counts beside dropped rather than inside it: from the tenant's
+// side a packet with no steering rule is a lost packet.
 func (ln *Lane) frontDrop(code uint8, flowHash uint64, vni netpkt.VNI, now time.Time) {
 	ln.ctr.frontDrops[code].Add(1)
+	if s := ln.slo; s != nil {
+		s.Drop(vni)
+	}
 	if tr := ln.tr; tr != nil {
 		tr.Record(trace.Event{
 			TimeNs:   now.UnixNano(),
@@ -207,6 +217,9 @@ func (ln *Lane) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, 
 			return out, ErrNoLiveNodes
 		}
 		ln.ctr.degraded.Add(1)
+		if s := ln.slo; s != nil {
+			s.Degraded(vni)
+		}
 		fbIdx := int(flowHash % uint64(len(r.Fallback)))
 		fres, ferr := ln.processFallback(r.Fallback[fbIdx], fbIdx, raw, now)
 		if ferr != nil {
@@ -243,17 +256,31 @@ func (ln *Lane) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, 
 		return Result{}, err
 	}
 	out := Result{ClusterID: clusterID, NodeID: node.ID, EgressPort: port, GW: res}
+	// The per-tenant SLO ledger mirrors every region counter site exactly
+	// (one increment beside each ctr.* add), so the two ledgers reconcile
+	// field-for-field — including the shared quirk that a pool error after
+	// a booked fallback leaves both fallback and dropped incremented.
+	sloCol := ln.slo
 	switch res.Action {
 	case xgwh.ActionForward:
 		ln.ctr.forwarded.Add(1)
+		if sloCol != nil {
+			sloCol.Forward(vni)
+		}
 	case xgwh.ActionDrop:
 		ln.ctr.dropped.Add(1)
+		if sloCol != nil {
+			sloCol.Drop(vni)
+		}
 	case xgwh.ActionFallback:
 		if res.FallbackMiss {
 			// A genuine hardware table miss: the residency ladder's middle
 			// rung gets the first shot at it. Deliberate service-VNI
 			// steering bypasses the DPU — its SNAT state lives on x86.
 			ln.ctr.fallbackMiss.Add(1)
+			if sloCol != nil {
+				sloCol.FallbackMiss(vni)
+			}
 			if dpu := r.DPU; dpu != nil {
 				dev := int(flowHash % uint64(dpu.Devices()))
 				dres, served, derr := ln.processDPU(dev, raw, now)
@@ -264,14 +291,23 @@ func (ln *Lane) deliver(raw []byte, vni netpkt.VNI, flowHash uint64, clusterID, 
 				}
 				if served {
 					ln.ctr.dpuServed.Add(1)
+					if sloCol != nil {
+						sloCol.DPUServed(vni)
+					}
 					out.ViaDPU = true
 					out.DPUOut = dres
 					return out, nil
 				}
 			}
 			ln.ctr.fallbackMissX86.Add(1)
+			if sloCol != nil {
+				sloCol.FallbackMissX86(vni)
+			}
 		}
 		ln.ctr.fallback.Add(1)
+		if sloCol != nil {
+			sloCol.Fallback(vni)
+		}
 		if len(r.Fallback) == 0 {
 			return out, nil
 		}

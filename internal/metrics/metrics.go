@@ -185,10 +185,14 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper-bound estimate for the q-quantile (q ∈ [0,1]):
 // the upper bound of the bucket containing it (+Inf collapses to the last
-// finite bound).
+// finite bound). An empty histogram and q outside [0,1] (including NaN)
+// both return NaN, never panic — "no data" is not "zero latency".
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
-		return 0
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if h.total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
 	}
 	rank := uint64(math.Ceil(q * float64(h.total)))
 	if rank == 0 {

@@ -93,8 +93,8 @@ func TestLossMeter(t *testing.T) {
 
 func TestHistogram(t *testing.T) {
 	h := NewHistogram([]float64{1, 10, 100})
-	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
-		t.Fatal("empty histogram not zero")
+	if !math.IsNaN(h.Quantile(0.5)) || h.Mean() != 0 {
+		t.Fatal("empty histogram: quantile must be NaN, mean zero")
 	}
 	for _, v := range []float64{0.5, 2, 3, 50, 1000} {
 		h.Observe(v)

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// The Quantile contract both histogram types share: empty data and q outside
+// [0,1] (including NaN) return NaN and never panic. The SLO engine leans on
+// this — "no data in the window" must be distinguishable from "p99 is zero".
+func TestQuantileContract(t *testing.T) {
+	type impl struct {
+		name     string
+		observe  func(float64)
+		quantile func(float64) float64
+	}
+	build := func(bounds []float64) []impl {
+		ah := NewAtomicHistogram(bounds)
+		oh := NewHistogram(bounds)
+		return []impl{
+			{"AtomicHistogram", ah.Observe, ah.Quantile},
+			{"Histogram", oh.Observe, oh.Quantile},
+		}
+	}
+
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		q       float64
+		want    float64 // NaN means "want NaN"
+	}{
+		{"empty/p50", []float64{1, 10, 100}, nil, 0.5, math.NaN()},
+		{"empty/p0", []float64{1, 10, 100}, nil, 0, math.NaN()},
+		{"empty/p100", []float64{1, 10, 100}, nil, 1, math.NaN()},
+		{"no-bounds/empty", nil, nil, 0.5, math.NaN()},
+		{"no-bounds/observed", nil, []float64{5, 7}, 0.5, math.NaN()},
+		{"q-negative", []float64{1, 10}, []float64{0.5}, -0.1, math.NaN()},
+		{"q-above-one", []float64{1, 10}, []float64{0.5}, 1.1, math.NaN()},
+		{"q-nan", []float64{1, 10}, []float64{0.5}, math.NaN(), math.NaN()},
+		{"valid/p50", []float64{1, 10, 100}, []float64{0.5, 2, 3}, 0.5, 10},
+		{"valid/q0-clamps-to-rank-1", []float64{1, 10}, []float64{0.5}, 0, 1},
+		{"valid/p100-inf-collapses", []float64{1, 10}, []float64{50}, 1, 10},
+	}
+	for _, tc := range cases {
+		for _, im := range build(tc.bounds) {
+			for _, v := range tc.samples {
+				im.observe(v)
+			}
+			got := im.quantile(tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("%s/%s: quantile(%v) = %v, want NaN", im.name, tc.name, tc.q, got)
+				}
+			} else if got != tc.want {
+				t.Errorf("%s/%s: quantile(%v) = %v, want %v", im.name, tc.name, tc.q, got, tc.want)
+			}
+		}
+	}
+}

@@ -92,15 +92,20 @@ func (h *AtomicHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load
 // under live traffic: the upper bound of the bucket containing the
 // nearest-rank observation (+Inf collapses to the last finite bound), over a
 // per-bucket-coherent snapshot — the same estimate Histogram.Quantile gives
-// for frozen data.
+// for frozen data. An empty histogram and q outside [0,1] (including NaN)
+// both return NaN, never panic: "no data" must be distinguishable from "the
+// quantile is zero", and SLO evaluators lean on that distinction.
 func (h *AtomicHistogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
 	_, counts := h.Snapshot()
 	var total uint64
 	for _, c := range counts {
 		total += c
 	}
 	if total == 0 || len(h.bounds) == 0 {
-		return 0
+		return math.NaN()
 	}
 	rank := uint64(math.Ceil(q * float64(total)))
 	if rank == 0 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -149,8 +150,8 @@ func TestHistogramQuantileStillWorks(t *testing.T) {
 
 func TestAtomicHistogramQuantile(t *testing.T) {
 	h := NewAtomicHistogram([]float64{10, 100, 1000})
-	if got := h.Quantile(0.5); got != 0 {
-		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
 	}
 	for i := 0; i < 90; i++ {
 		h.Observe(5)

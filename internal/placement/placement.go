@@ -285,6 +285,7 @@ type Loop struct {
 	resident map[heavyhitter.RouteKey]*entryState
 	cycle    uint64
 	last     CycleReport
+	sink     func(Event)
 
 	// Telemetry, readable without the lock.
 	promotions       atomic.Uint64
@@ -333,6 +334,41 @@ func (l *Loop) now() time.Time {
 	return time.Now()
 }
 
+// Event is one residency transition, reported to the optional event sink as
+// it happens mid-cycle — the feed the ops journal merges with SLO alerts and
+// recovery actions.
+type Event struct {
+	// At is the cycle's clock reading (the loop's injected Now in tests).
+	At time.Time
+	// Kind is the transition: "promote" (cold/warm → XGW-H), "upgrade"
+	// (DPU → XGW-H, make-before-break), "demote" (XGW-H → out), "cascade"
+	// (XGW-H eviction landing on the DPU), "park" (hot key the hardware
+	// could not take, absorbed by the DPU), "promote_dpu" (warm band onto
+	// the DPU), "demote_dpu" (DPU → out).
+	Kind    string
+	VNI     netpkt.VNI
+	DIP     netip.Addr
+	Cluster int
+	Share   float64
+}
+
+// SetEventSink installs the residency-transition callback. It is invoked
+// with the loop's lock held, so the sink must be cheap and must not call
+// back into the loop; an ops-journal append is the intended shape. Pass nil
+// to detach.
+func (l *Loop) SetEventSink(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = fn
+}
+
+// emit reports one transition to the sink, if any. Caller holds l.mu.
+func (l *Loop) emit(at time.Time, kind string, key heavyhitter.RouteKey, clusterID int, share float64) {
+	if l.sink != nil {
+		l.sink(Event{At: at, Kind: kind, VNI: key.VNI, DIP: key.DIP, Cluster: clusterID, Share: share})
+	}
+}
+
 // RunCycle executes one promote/demote cycle and returns its report.
 func (l *Loop) RunCycle() CycleReport {
 	l.mu.Lock()
@@ -378,9 +414,11 @@ func (l *Loop) RunCycle() CycleReport {
 
 	// warmPromote parks a key on the DPU rung, re-reading the pool's
 	// water level before the push (capacity may have moved mid-cycle).
-	// cascade distinguishes an XGW-H eviction landing here from a fresh
-	// warm promotion — both count against the DPU churn budget.
-	warmPromote := func(key heavyhitter.RouteKey, clusterID int, share float64, cascade bool) bool {
+	// kind distinguishes an XGW-H eviction landing here ("cascade") from a
+	// gated hot key ("park") and a fresh warm promotion ("promote_dpu") —
+	// all count against the DPU churn budget, and each successful move is
+	// reported to the event sink under its own kind.
+	warmPromote := func(key heavyhitter.RouteKey, clusterID int, share float64, kind string) bool {
 		if !ladder {
 			return false
 		}
@@ -403,11 +441,12 @@ func (l *Loop) RunCycle() CycleReport {
 		}
 		l.resident[key] = &entryState{cluster: clusterID, tier: TierDPU, promotedAt: now, lastShare: share}
 		dpuOps++
-		if cascade {
+		if kind == "cascade" {
 			rep.Cascaded++
 		} else {
 			rep.PromotedDPU++
 		}
+		l.emit(now, kind, key, clusterID, share)
 		return true
 	}
 
@@ -440,14 +479,14 @@ func (l *Loop) RunCycle() CycleReport {
 		if rep.Promoted+rep.Demoted >= budget {
 			rep.DeferredChurn++
 			if !resident {
-				warmPromote(key, e.Cluster, e.Share, false)
+				warmPromote(key, e.Cluster, e.Share, "park")
 			}
 			continue
 		}
 		if !l.headroom(e.Cluster) {
 			rep.DeferredCapacity++
 			if !resident {
-				warmPromote(key, e.Cluster, e.Share, false)
+				warmPromote(key, e.Cluster, e.Share, "park")
 			}
 			continue
 		}
@@ -456,13 +495,14 @@ func (l *Loop) RunCycle() CycleReport {
 		case errors.Is(err, cluster.ErrOverCapacity):
 			rep.DeferredCapacity++
 			if !resident {
-				warmPromote(key, e.Cluster, e.Share, false)
+				warmPromote(key, e.Cluster, e.Share, "park")
 			}
 			continue
 		case err != nil:
 			rep.Failed++
 			continue
 		}
+		kind := "promote"
 		if resident && st.tier == TierDPU {
 			// Upgrade off the warm rung, make-before-break: the hardware
 			// entry above is live before the DPU copy goes. The cleanup is
@@ -471,10 +511,12 @@ func (l *Loop) RunCycle() CycleReport {
 				rep.Failed++
 			}
 			rep.Upgraded++
+			kind = "upgrade"
 		}
 		l.resident[key] = &entryState{cluster: e.Cluster, tier: TierHW, promotedAt: now, lastShare: e.Share}
 		pinned += e.Share
 		rep.Promoted++
+		l.emit(now, kind, key, e.Cluster, e.Share)
 	}
 
 	// Warm promotions: the mid-share band earns a DPU slot. Only in ladder
@@ -493,7 +535,7 @@ func (l *Loop) RunCycle() CycleReport {
 				st.lastShare = e.Share
 				continue
 			}
-			warmPromote(key, e.Cluster, e.Share, false)
+			warmPromote(key, e.Cluster, e.Share, "promote_dpu")
 		}
 	}
 
@@ -548,9 +590,10 @@ func (l *Loop) RunCycle() CycleReport {
 		}
 		delete(l.resident, cd.key)
 		rep.Demoted++
+		l.emit(now, "demote", cd.key, cd.cluster, cd.share)
 		if ladder && cd.share >= l.cfg.WarmDemoteShare {
 			// Still warm: land the eviction on the DPU rung, not on x86.
-			warmPromote(cd.key, cd.cluster, cd.share, true)
+			warmPromote(cd.key, cd.cluster, cd.share, "cascade")
 		}
 	}
 	for _, cd := range dpuCands {
@@ -565,6 +608,7 @@ func (l *Loop) RunCycle() CycleReport {
 		delete(l.resident, cd.key)
 		dpuOps++
 		rep.DemotedDPU++
+		l.emit(now, "demote_dpu", cd.key, cd.cluster, cd.share)
 	}
 
 	for key, st := range l.resident {

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sailfish/internal/cluster"
+	"sailfish/internal/controller"
+	"sailfish/internal/faults"
+	"sailfish/internal/netpkt"
+	"sailfish/internal/slo"
+	"sailfish/internal/telemetry"
+)
+
+// TestSLOCrashAlertEndToEnd is the observability disaster drill: a region
+// under steady multi-tenant traffic loses one cluster mid-run. The SLO
+// engine must page a fast-burn alert for exactly the tenants placed on the
+// crashed cluster — every other tenant stays green — and the alert must
+// clear once failback lets the crash seconds slide out of the fast window.
+// Throughout, a concurrent scraper tails the ops journal with the ?since=
+// cursor and the sequence numbers must stay gapless (run under -race), and
+// the SLO ledger must agree with the region's drop taxonomy to the packet.
+func TestSLOCrashAlertEndToEnd(t *testing.T) {
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.NodesPerCluster = 3
+	region := cluster.NewRegion(ccfg, 2, 2)
+	ctrl := controller.New(controller.Config{
+		SafeWaterLevel:   0.8,
+		MirrorToFallback: true,
+		Now:              clock.Now,
+	}, region)
+
+	// Six tenants spread across the two clusters by least-filled placement;
+	// the SLO collector tracks each before traffic starts.
+	const tenants, vmsPerTenant = 6, 4
+	col := slo.NewCollector()
+	placedOn := make(map[netpkt.VNI]int)
+	for i := 0; i < tenants; i++ {
+		te := chaosTenant(i, vmsPerTenant)
+		id, err := ctrl.PlaceTenant(te)
+		if err != nil {
+			t.Fatalf("placing tenant %v: %v", te.VNI, err)
+		}
+		placedOn[te.VNI] = id
+		col.Track(te.VNI)
+	}
+	region.EnableSLO(col)
+
+	// A 10 s fast window keeps the arming horizon short in virtual time;
+	// the slow window never arms inside this test.
+	journal := slo.NewJournal(1024)
+	eng := slo.NewEngine(slo.Config{FastWindow: 10 * time.Second}, col, journal)
+
+	// The tentpole's journal merge: controller recovery events land in the
+	// same ordered stream as the engine's alert transitions.
+	ctrl.Recovery().SetSink(func(ev telemetry.RecoveryEvent) {
+		journal.Append(slo.Entry{
+			TimeNs:  ev.Time.UnixNano(),
+			Source:  "recovery",
+			Kind:    ev.Kind,
+			Cluster: ev.Cluster,
+			Detail:  ev.Detail,
+		})
+	})
+
+	// Concurrent scraper: tails the journal in small pages, checking every
+	// sequence is exactly the successor of the last one seen, while also
+	// exercising the read-side snapshot paths the admin plane uses.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapeMu sync.Mutex
+	var scrapeErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cursor := uint64(0)
+		for {
+			for _, e := range journal.Since(cursor, 16) {
+				if e.Seq != cursor+1 {
+					scrapeMu.Lock()
+					if scrapeErr == nil {
+						scrapeErr = fmt.Errorf("journal gap: saw seq %d after %d", e.Seq, cursor)
+					}
+					scrapeMu.Unlock()
+				}
+				cursor = e.Seq
+			}
+			_ = eng.Snapshot()
+			_ = col.Total()
+			select {
+			case <-stop:
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	pool := chaosPackets(ChaosConfig{Tenants: tenants, VMsPerTenant: vmsPerTenant})
+	drive := func(seconds int) {
+		for s := 0; s < seconds; s++ {
+			for _, raw := range pool {
+				region.ProcessPacket(raw, clock.Now()) //nolint:errcheck // drops are the point
+			}
+			clock.Advance(time.Second)
+			eng.Tick(clock.Now())
+		}
+	}
+
+	// Phase 1 — clean steady state past the fast window's arming horizon.
+	drive(12)
+	if alerts := eng.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("clean steady state fired alerts: %+v", alerts)
+	}
+
+	// Phase 2 — crash one cluster (operator isolation: the front end drops
+	// its traffic as cluster_disabled). Pick cluster 0 and keep the VNIs on
+	// each side; placement must have populated both for the test to mean
+	// anything.
+	const crashed = 0
+	var affected, unaffected []netpkt.VNI
+	for vni, id := range placedOn {
+		if id == crashed {
+			affected = append(affected, vni)
+		} else {
+			unaffected = append(unaffected, vni)
+		}
+	}
+	if len(affected) == 0 || len(unaffected) == 0 {
+		t.Fatalf("placement did not spread tenants: %v", placedOn)
+	}
+	ctrl.Recovery().Record(telemetry.RecoveryEvent{
+		Time: clock.Now(), Kind: "isolate", Cluster: crashed,
+		Detail: "drill: cluster taken out of service",
+	})
+	region.SetClusterEnabled(crashed, false)
+	drive(3)
+
+	firing := make(map[netpkt.VNI]bool)
+	for _, a := range eng.ActiveAlerts() {
+		if a.Window != slo.WindowFast {
+			t.Fatalf("unexpected %s-window alert during a 3 s crash: %+v", a.Window, a)
+		}
+		firing[a.VNI] = true
+	}
+	for _, vni := range affected {
+		if !firing[vni] {
+			t.Errorf("crashed cluster's tenant %v has no fast-burn alert", vni)
+		}
+	}
+	for _, vni := range unaffected {
+		if firing[vni] {
+			t.Errorf("healthy cluster's tenant %v paged: %v", vni, firing)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 3 — failback. Once the crash seconds age out of the 10 s fast
+	// window, every alert clears.
+	region.SetClusterEnabled(crashed, true)
+	ctrl.Recovery().Record(telemetry.RecoveryEvent{
+		Time: clock.Now(), Kind: "restore", Cluster: crashed,
+		Detail: "drill: cluster returned to service",
+	})
+	drive(15)
+	if alerts := eng.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("alerts still firing %d s after failback: %+v", 15, alerts)
+	}
+
+	close(stop)
+	wg.Wait()
+	if scrapeErr != nil {
+		t.Fatal(scrapeErr)
+	}
+
+	// The full journal is gapless 1..LastSeq (capacity was never exceeded)
+	// and merges all three phases: alert transitions from the engine and
+	// isolate/restore from the recovery recorder.
+	all := journal.Since(0, 0)
+	if journal.Dropped() != 0 {
+		t.Fatalf("journal evicted %d entries; raise capacity", journal.Dropped())
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("journal seq %d at index %d", e.Seq, i)
+		}
+	}
+	if last := journal.LastSeq(); last != uint64(len(all)) {
+		t.Fatalf("LastSeq %d != %d retained entries", last, len(all))
+	}
+	fired, cleared := make(map[netpkt.VNI]bool), make(map[netpkt.VNI]bool)
+	sawIsolate, sawRestore := false, false
+	for _, e := range all {
+		switch {
+		case e.Source == "slo" && e.Kind == "alert_fire":
+			fired[e.VNI] = true
+		case e.Source == "slo" && e.Kind == "alert_clear":
+			cleared[e.VNI] = true
+		case e.Source == "recovery" && e.Kind == "isolate" && e.Cluster == crashed:
+			sawIsolate = true
+		case e.Source == "recovery" && e.Kind == "restore" && e.Cluster == crashed:
+			sawRestore = true
+		}
+	}
+	if !sawIsolate || !sawRestore {
+		t.Fatalf("recovery events missing from journal (isolate=%v restore=%v)", sawIsolate, sawRestore)
+	}
+	for _, vni := range affected {
+		if !fired[vni] || !cleared[vni] {
+			t.Fatalf("tenant %v journal lifecycle incomplete (fire=%v clear=%v)", vni, fired[vni], cleared[vni])
+		}
+	}
+	for _, vni := range unaffected {
+		if fired[vni] {
+			t.Fatalf("green tenant %v journaled an alert", vni)
+		}
+	}
+
+	// Drop-taxonomy parity: the SLO ledger and the region's counters agree
+	// to the packet. The region books no_route beside dropped while the
+	// tenant SLI folds every loss into Dropped, so the union must match.
+	st := region.Stats()
+	tot := col.Total()
+	if tot.Forwarded != st.Forwarded || tot.Fallback != st.Fallback ||
+		tot.FallbackMiss != st.FallbackMiss || tot.DPUServed != st.DPUServed ||
+		tot.FallbackMissX86 != st.FallbackMissX86 || tot.Degraded != st.Degraded {
+		t.Fatalf("slo ledger diverged from region stats:\nslo    %+v\nregion %+v", tot, st)
+	}
+	if want := st.Dropped + st.NoRoute; tot.Dropped != want {
+		t.Fatalf("slo Dropped %d != region Dropped+NoRoute %d", tot.Dropped, want)
+	}
+	if tot.Dropped == 0 {
+		t.Fatal("crash produced no drops; the scenario tested nothing")
+	}
+}

@@ -1,0 +1,205 @@
+// Package slo turns the data plane's aggregate accounting into per-tenant
+// service-level indicators: each VNI's loss ratio against the paper's 0.2‰
+// budget, stack coverage, and the tier split of hardware misses, evaluated
+// over sliding windows into SRE-style burn-rate alerts, with recent history
+// kept in fixed-capacity rings and every operational transition (alerts,
+// recovery actions, residency moves, SNAT promotions) merged into one
+// append-bounded ops journal.
+//
+// The split keeps the evaluator off the fast path: the Collector is the only
+// piece packets touch — one atomic pointer load, one map read, one atomic
+// add per packet, zero allocations — while the Engine runs on the scrape
+// side, diffing cumulative snapshots on its own cadence.
+package slo
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sailfish/internal/netpkt"
+)
+
+// Counters is a plain snapshot of one tenant's cumulative accounting. The
+// fields mirror the region's counter taxonomy so the drop-parity tests can
+// reconcile the two ledgers exactly.
+type Counters struct {
+	// Forwarded counts packets XGW-H hardware carried.
+	Forwarded uint64
+	// DPUServed counts hardware misses absorbed by the warm DPU tier.
+	DPUServed uint64
+	// Fallback counts packets the XGW-x86 pool carried (misses that fell
+	// through the DPU plus deliberate service-VNI steering).
+	Fallback uint64
+	// FallbackMiss counts hardware table misses (DPU-served + x86-carried +
+	// packets lost after the miss).
+	FallbackMiss uint64
+	// FallbackMissX86 counts the misses the x86 pool had to carry.
+	FallbackMissX86 uint64
+	// Degraded counts packets the pool carried for degraded clusters.
+	Degraded uint64
+	// Dropped counts every packet the tenant lost, in the front-drop
+	// taxonomy's union: unlike the region's ledger — where no_route is
+	// booked beside dropped, not inside it — a tenant's loss SLI counts
+	// every packet that did not come out the other side.
+	Dropped uint64
+}
+
+// Attempted returns the tenant's total offered load implied by the ledger.
+func (c Counters) Attempted() uint64 {
+	return c.Forwarded + c.DPUServed + c.Fallback + c.Degraded + c.Dropped
+}
+
+// Sub returns c - o field-wise (the window delta between two snapshots).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Forwarded:       c.Forwarded - o.Forwarded,
+		DPUServed:       c.DPUServed - o.DPUServed,
+		Fallback:        c.Fallback - o.Fallback,
+		FallbackMiss:    c.FallbackMiss - o.FallbackMiss,
+		FallbackMissX86: c.FallbackMissX86 - o.FallbackMissX86,
+		Degraded:        c.Degraded - o.Degraded,
+		Dropped:         c.Dropped - o.Dropped,
+	}
+}
+
+// add accumulates o into c (scrape-side totals).
+func (c *Counters) add(o Counters) {
+	c.Forwarded += o.Forwarded
+	c.DPUServed += o.DPUServed
+	c.Fallback += o.Fallback
+	c.FallbackMiss += o.FallbackMiss
+	c.FallbackMissX86 += o.FallbackMissX86
+	c.Degraded += o.Degraded
+	c.Dropped += o.Dropped
+}
+
+// tenantCell is the hot-path counter block, one per tracked VNI.
+type tenantCell struct {
+	forwarded       atomic.Uint64
+	dpuServed       atomic.Uint64
+	fallback        atomic.Uint64
+	fallbackMiss    atomic.Uint64
+	fallbackMissX86 atomic.Uint64
+	degraded        atomic.Uint64
+	dropped         atomic.Uint64
+}
+
+func (t *tenantCell) snapshot() Counters {
+	return Counters{
+		Forwarded:       t.forwarded.Load(),
+		DPUServed:       t.dpuServed.Load(),
+		Fallback:        t.fallback.Load(),
+		FallbackMiss:    t.fallbackMiss.Load(),
+		FallbackMissX86: t.fallbackMissX86.Load(),
+		Degraded:        t.degraded.Load(),
+		Dropped:         t.dropped.Load(),
+	}
+}
+
+// Collector is the per-VNI accounting surface the data plane increments.
+// Tracked VNIs get their own counter cell; everything else lands in one
+// shared untracked cell so the totals still reconcile against the region's
+// ledger. The tenant map is copy-on-write behind an atomic pointer (the
+// telemetry.Matcher pattern), so the packet path never takes a lock.
+type Collector struct {
+	mu      sync.Mutex
+	tenants atomic.Pointer[map[netpkt.VNI]*tenantCell]
+	// untracked absorbs VNIs nobody registered — including VNI 0 from
+	// packets dropped before the front parse could name a tenant.
+	untracked tenantCell
+}
+
+// NewCollector returns a collector with no tracked tenants.
+func NewCollector() *Collector {
+	c := &Collector{}
+	m := map[netpkt.VNI]*tenantCell{}
+	c.tenants.Store(&m)
+	return c
+}
+
+// Track registers vni for dedicated accounting. Idempotent; safe while
+// traffic flows (copy-on-write swap), though counts landing between the
+// packet's map read and the swap stay in the untracked cell.
+func (c *Collector) Track(vni netpkt.VNI) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.tenants.Load()
+	if _, ok := old[vni]; ok {
+		return
+	}
+	next := make(map[netpkt.VNI]*tenantCell, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[vni] = &tenantCell{}
+	c.tenants.Store(&next)
+}
+
+// Tracked returns the registered VNIs in ascending order.
+func (c *Collector) Tracked() []netpkt.VNI {
+	m := *c.tenants.Load()
+	out := make([]netpkt.VNI, 0, len(m))
+	for vni := range m {
+		out = append(out, vni)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// cell resolves the hot-path counter block for vni.
+func (c *Collector) cell(vni netpkt.VNI) *tenantCell {
+	if t, ok := (*c.tenants.Load())[vni]; ok {
+		return t
+	}
+	return &c.untracked
+}
+
+// The hot-path increments. Each is one pointer load, one map read, and one
+// atomic add — called at the same sites the region books its own counters,
+// so the two ledgers move in lock-step.
+
+// Forward books one hardware-forwarded packet.
+func (c *Collector) Forward(vni netpkt.VNI) { c.cell(vni).forwarded.Add(1) }
+
+// DPUServed books one hardware miss the DPU tier absorbed.
+func (c *Collector) DPUServed(vni netpkt.VNI) { c.cell(vni).dpuServed.Add(1) }
+
+// Fallback books one packet the x86 pool carried.
+func (c *Collector) Fallback(vni netpkt.VNI) { c.cell(vni).fallback.Add(1) }
+
+// FallbackMiss books one hardware table miss (before tier resolution).
+func (c *Collector) FallbackMiss(vni netpkt.VNI) { c.cell(vni).fallbackMiss.Add(1) }
+
+// FallbackMissX86 books one miss that fell through to the x86 pool.
+func (c *Collector) FallbackMissX86(vni netpkt.VNI) { c.cell(vni).fallbackMissX86.Add(1) }
+
+// Degraded books one packet the pool carried for a degraded cluster.
+func (c *Collector) Degraded(vni netpkt.VNI) { c.cell(vni).degraded.Add(1) }
+
+// Drop books one lost packet (any front-drop reason or a pipeline drop).
+func (c *Collector) Drop(vni netpkt.VNI) { c.cell(vni).dropped.Add(1) }
+
+// Snapshot returns vni's cumulative counters; ok is false for untracked
+// VNIs (their traffic is in Untracked).
+func (c *Collector) Snapshot(vni netpkt.VNI) (Counters, bool) {
+	t, ok := (*c.tenants.Load())[vni]
+	if !ok {
+		return Counters{}, false
+	}
+	return t.snapshot(), true
+}
+
+// Untracked returns the shared cell for unregistered VNIs.
+func (c *Collector) Untracked() Counters { return c.untracked.snapshot() }
+
+// Total sums every tracked cell plus the untracked one — the reconciliation
+// surface the drop-parity tests compare against the region's ledger.
+func (c *Collector) Total() Counters {
+	var out Counters
+	for _, t := range *c.tenants.Load() {
+		out.add(t.snapshot())
+	}
+	out.add(c.untracked.snapshot())
+	return out
+}

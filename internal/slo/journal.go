@@ -1,0 +1,131 @@
+package slo
+
+import (
+	"sync"
+
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+)
+
+// Entry is one record in the ops journal: an SLO alert transition, a
+// recovery-loop action, a residency-ladder move, or a SNAT promotion —
+// whatever the wiring feeds in, totally ordered by Seq.
+type Entry struct {
+	// Seq is the journal-assigned monotonic sequence number, starting at 1
+	// with no gaps: if a reader has seen seq N, entries N+1..LastSeq exist
+	// (though the bounded buffer may have evicted the oldest ones).
+	Seq uint64
+	// TimeNs is the event time in UnixNano, stamped by the producer so
+	// virtual-clock tests journal in simulated time.
+	TimeNs int64
+	// Source names the producing subsystem: "slo", "recovery", "placement",
+	// "snat".
+	Source string
+	// Kind is the event type within the source ("alert_fire", "failover",
+	// "cascade", ...).
+	Kind string
+	// VNI scopes tenant events; 0 when not tenant-scoped.
+	VNI netpkt.VNI
+	// Cluster scopes cluster events; -1 when not cluster-scoped.
+	Cluster int
+	// Detail is the human-readable remainder.
+	Detail string
+}
+
+// Journal is the append-bounded ops log. Appends assign gapless monotonic
+// sequence numbers; the buffer keeps the most recent capacity entries and
+// counts what it evicts, so a tail reader can detect (and report) that it
+// fell behind without the writer ever blocking.
+type Journal struct {
+	mu       sync.Mutex
+	cap      int
+	buf      []Entry
+	start    int // buf[start:] are live, oldest first
+	nextSeq  uint64
+	appended uint64
+	dropped  uint64
+}
+
+// DefaultJournalDepth bounds the journal when the caller passes no capacity.
+const DefaultJournalDepth = 4096
+
+// NewJournal returns an empty journal retaining up to capacity entries
+// (capacity ≤ 0 selects DefaultJournalDepth).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalDepth
+	}
+	return &Journal{cap: capacity, nextSeq: 1}
+}
+
+// Append stamps e with the next sequence number and stores it, evicting the
+// oldest entry when full. Returns the assigned sequence.
+func (j *Journal) Append(e Entry) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = j.nextSeq
+	j.nextSeq++
+	j.appended++
+	if len(j.buf)-j.start >= j.cap {
+		j.start++
+		j.dropped++
+	}
+	j.buf = append(j.buf, e)
+	if j.start > j.cap {
+		j.buf = append(j.buf[:0:0], j.buf[j.start:]...)
+		j.start = 0
+	}
+	return e.Seq
+}
+
+// Since returns up to max entries with Seq > seq, oldest first (max ≤ 0
+// means no limit). This is the ?since= cursor behind /events: poll with the
+// last seen sequence to tail the journal without missing or repeating
+// entries, as long as the reader keeps up with the eviction horizon.
+func (j *Journal) Since(seq uint64, max int) []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live := j.buf[j.start:]
+	// Live entries have consecutive seqs; binary search is overkill.
+	lo := 0
+	if n := len(live); n > 0 && live[0].Seq <= seq {
+		lo = int(seq - live[0].Seq + 1)
+		if lo > n {
+			lo = n
+		}
+	}
+	out := live[lo:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return append([]Entry(nil), out...)
+}
+
+// LastSeq returns the newest assigned sequence number (0 when empty).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1
+}
+
+// Appended returns the lifetime number of entries written.
+func (j *Journal) Appended() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Dropped returns how many entries the bound has evicted.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// RegisterMetrics exports the journal's health counters.
+func (j *Journal) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("sailfish_slo_journal_entries_total",
+		"ops-journal entries appended", nil, func() uint64 { return j.Appended() })
+	reg.CounterFunc("sailfish_slo_journal_evicted_total",
+		"ops-journal entries evicted by the bound", nil, func() uint64 { return j.Dropped() })
+}

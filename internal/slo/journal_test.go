@@ -1,0 +1,131 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestJournalSeqAndCursor(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		seq := j.Append(Entry{Source: "slo", Kind: "alert_fire", TimeNs: int64(i), Cluster: -1})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if got := j.LastSeq(); got != 5 {
+		t.Fatalf("last = %d", got)
+	}
+	// Cursor semantics: Since(n) returns strictly-after n.
+	evs := j.Since(3, 0)
+	if len(evs) != 2 || evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("since(3) = %+v", evs)
+	}
+	if evs := j.Since(5, 0); len(evs) != 0 {
+		t.Fatalf("since(last) = %+v", evs)
+	}
+	// max caps the page.
+	if evs := j.Since(0, 2); len(evs) != 2 || evs[0].Seq != 1 {
+		t.Fatalf("since(0,2) = %+v", evs)
+	}
+}
+
+func TestJournalBounded(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Entry{Kind: "x", Cluster: -1})
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Seqs remain gapless within the retained window: 7,8,9,10.
+	for i, ev := range evs {
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("retained seqs = %+v", evs)
+		}
+	}
+	if j.Dropped() != 6 || j.Appended() != 10 {
+		t.Fatalf("dropped=%d appended=%d", j.Dropped(), j.Appended())
+	}
+	// A reader that fell behind the eviction horizon gets the oldest
+	// retained entries — it can detect the loss from the seq jump.
+	if evs := j.Since(2, 0); evs[0].Seq != 7 {
+		t.Fatalf("lagging cursor got %+v", evs[0])
+	}
+}
+
+// Concurrent writers and a tailing reader: every writer's appends get unique
+// seqs, and the reader observes strictly ascending, gapless pages.
+func TestJournalGaplessUnderConcurrency(t *testing.T) {
+	j := NewJournal(1 << 14)
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerErr error
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		var cursor uint64
+		check := func() bool {
+			for _, ev := range j.Since(cursor, 256) {
+				if ev.Seq != cursor+1 {
+					readerErr = &seqGapError{want: cursor + 1, got: ev.Seq}
+					return false
+				}
+				cursor = ev.Seq
+			}
+			return true
+		}
+		for {
+			select {
+			case <-stop:
+				check()
+				return
+			default:
+				if !check() {
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(Entry{Source: "test", Kind: "tick", Cluster: -1})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if got := j.LastSeq(); got != writers*per {
+		t.Fatalf("last seq = %d, want %d", got, writers*per)
+	}
+}
+
+type seqGapError struct{ want, got uint64 }
+
+func (e *seqGapError) Error() string {
+	return "journal gap: want seq " + itoa(e.want) + ", got " + itoa(e.got)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

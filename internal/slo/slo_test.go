@@ -1,0 +1,308 @@
+package slo
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"sailfish/internal/metrics"
+	"sailfish/internal/netpkt"
+)
+
+func TestCollectorRouting(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	c.Track(101)
+	c.Track(100) // idempotent
+
+	c.Forward(100)
+	c.Forward(100)
+	c.Drop(100)
+	c.DPUServed(101)
+	c.FallbackMiss(101)
+	c.Forward(999) // untracked
+	c.Drop(0)      // pre-parse drop, no tenant
+
+	if got := c.Tracked(); len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("tracked = %v", got)
+	}
+	s100, ok := c.Snapshot(100)
+	if !ok || s100.Forwarded != 2 || s100.Dropped != 1 {
+		t.Fatalf("vni 100 = %+v ok=%v", s100, ok)
+	}
+	s101, _ := c.Snapshot(101)
+	if s101.DPUServed != 1 || s101.FallbackMiss != 1 {
+		t.Fatalf("vni 101 = %+v", s101)
+	}
+	if _, ok := c.Snapshot(999); ok {
+		t.Fatal("untracked VNI must not report a snapshot")
+	}
+	if u := c.Untracked(); u.Forwarded != 1 || u.Dropped != 1 {
+		t.Fatalf("untracked = %+v", u)
+	}
+	// Attempted excludes FallbackMiss: a miss is a marker on the packet's
+	// way to the DPU / x86 / a drop, not a disposition of its own.
+	tot := c.Total()
+	if tot.Forwarded != 3 || tot.Dropped != 2 || tot.Attempted() != 6 {
+		t.Fatalf("total = %+v attempted=%d", tot, tot.Attempted())
+	}
+}
+
+// The hot-path increments must not allocate — tracked or untracked.
+func TestCollectorZeroAlloc(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	if a := testing.AllocsPerRun(1000, func() {
+		c.Forward(100)
+		c.Drop(100)
+		c.DPUServed(100)
+	}); a != 0 {
+		t.Fatalf("tracked increments allocate %v/op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		c.Forward(777)
+		c.Drop(0)
+	}); a != 0 {
+		t.Fatalf("untracked increments allocate %v/op", a)
+	}
+}
+
+// Track during live traffic must never lose a count: everything lands in a
+// tracked cell or the untracked cell, and the sum stays exact.
+func TestCollectorTrackUnderTraffic(t *testing.T) {
+	c := NewCollector()
+	const workers, per = 4, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Forward(netpkt.VNI(100 + w))
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		c.Track(netpkt.VNI(100 + w))
+	}
+	wg.Wait()
+	if tot := c.Total(); tot.Forwarded != workers*per {
+		t.Fatalf("total forwarded = %d, want %d", tot.Forwarded, workers*per)
+	}
+}
+
+// The fast-burn state machine: quiet traffic stays green, a loss spike
+// fires exactly the affected tenant, and the alert clears once the window
+// slides past the incident.
+func TestEngineFastBurnFireAndClear(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	c.Track(200)
+	j := NewJournal(64)
+	e := NewEngine(Config{FastWindow: 10 * time.Second, SlowWindow: time.Hour}, c, j)
+
+	t0 := time.Unix(1000, 0)
+	step := func(sec int, fwd100, drop100, fwd200 int) {
+		for i := 0; i < fwd100; i++ {
+			c.Forward(100)
+		}
+		for i := 0; i < drop100; i++ {
+			c.Drop(100)
+		}
+		for i := 0; i < fwd200; i++ {
+			c.Forward(200)
+		}
+		e.Tick(t0.Add(time.Duration(sec) * time.Second))
+	}
+
+	// 12 s of clean traffic — past the 10 s arming horizon.
+	for s := 1; s <= 12; s++ {
+		step(s, 1000, 0, 1000)
+	}
+	if n := len(e.ActiveAlerts()); n != 0 {
+		t.Fatalf("clean traffic fired %d alerts", n)
+	}
+
+	// 2 s incident: tenant 100 loses half its packets (loss 0.5 ≫ 14×2e-4).
+	step(13, 500, 500, 1000)
+	step(14, 500, 500, 1000)
+	alerts := e.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].VNI != 100 || alerts[0].Window != WindowFast {
+		t.Fatalf("alerts = %+v, want one fast alert on VNI 100", alerts)
+	}
+	if alerts[0].Burn < 14 {
+		t.Fatalf("burn = %v, want ≥ threshold", alerts[0].Burn)
+	}
+
+	// Recovery: clean traffic until the 10 s window slides past the drops.
+	for s := 15; s <= 30; s++ {
+		step(s, 1000, 0, 1000)
+	}
+	if n := len(e.ActiveAlerts()); n != 0 {
+		t.Fatalf("alert did not clear after failback: %+v", e.ActiveAlerts())
+	}
+
+	// The journal recorded exactly fire → clear for VNI 100, nothing for 200.
+	evs := j.Since(0, 0)
+	if len(evs) != 2 {
+		t.Fatalf("journal = %+v, want fire+clear", evs)
+	}
+	if evs[0].Kind != "alert_fire" || evs[1].Kind != "alert_clear" ||
+		evs[0].VNI != 100 || evs[1].VNI != 100 || evs[0].Source != "slo" {
+		t.Fatalf("journal = %+v", evs)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seqs = %d,%d", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+// The slow window catches a leak the fast window never pages on: a steady
+// ~0.05% loss (burn 2.5 on the slow threshold 2, but ≪ 14).
+func TestEngineSlowBurn(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	e := NewEngine(Config{
+		FastWindow: 10 * time.Second, SlowWindow: 5 * time.Minute,
+		History: 512,
+	}, c, nil)
+	t0 := time.Unix(0, 0)
+	for s := 1; s <= 320; s++ { // past the 5 min arming horizon
+		for i := 0; i < 1995; i++ {
+			c.Forward(100)
+		}
+		for i := 0; i < 1; i++ {
+			c.Drop(100)
+		}
+		e.Tick(t0.Add(time.Duration(s) * time.Second))
+	}
+	alerts := e.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].Window != WindowSlow {
+		t.Fatalf("alerts = %+v, want one slow alert", alerts)
+	}
+	if a := alerts[0]; a.Burn < 2 || a.Burn > 14 {
+		t.Fatalf("slow burn = %v, want in (2, 14)", a.Burn)
+	}
+}
+
+// SLI derivation: stack coverage and tier miss shares from a window delta.
+func TestEngineCoverageAndMissShares(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	e := NewEngine(Config{FastWindow: time.Minute}, c, nil)
+	// 900 hardware, 100 misses: 60 DPU-served, 40 x86-carried.
+	for i := 0; i < 900; i++ {
+		c.Forward(100)
+	}
+	for i := 0; i < 100; i++ {
+		c.FallbackMiss(100)
+	}
+	for i := 0; i < 60; i++ {
+		c.DPUServed(100)
+	}
+	for i := 0; i < 40; i++ {
+		c.FallbackMissX86(100)
+		c.Fallback(100)
+	}
+	e.Tick(time.Unix(1, 0))
+	st := e.Snapshot()
+	if len(st.Tenants) != 1 {
+		t.Fatalf("tenants = %+v", st.Tenants)
+	}
+	ts := st.Tenants[0]
+	if want := 960.0 / 1000.0; ts.StackCoverage != want {
+		t.Fatalf("stack coverage = %v, want %v", ts.StackCoverage, want)
+	}
+	if ts.DPUMissShare != 0.6 || ts.X86MissShare != 0.4 {
+		t.Fatalf("miss shares = %v/%v, want 0.6/0.4", ts.DPUMissShare, ts.X86MissShare)
+	}
+}
+
+// History exposes per-tick deltas, oldest first, bounded by the ring.
+func TestEngineHistory(t *testing.T) {
+	c := NewCollector()
+	c.Track(100)
+	e := NewEngine(Config{History: 8}, c, nil)
+	t0 := time.Unix(0, 0)
+	for s := 1; s <= 20; s++ {
+		for i := 0; i < s; i++ {
+			c.Forward(100)
+		}
+		e.Tick(t0.Add(time.Duration(s) * time.Second))
+	}
+	h := e.History(100)
+	if len(h) != 7 { // 8 retained samples → 7 deltas
+		t.Fatalf("history len = %d, want 7", len(h))
+	}
+	// Tick s appends s forwards, so the delta at tick s is s.
+	if h[0].Attempted != 14 || h[6].Attempted != 20 {
+		t.Fatalf("history deltas = %+v", h)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].TimeNs <= h[i-1].TimeNs {
+			t.Fatal("history not ascending")
+		}
+	}
+}
+
+// A concurrent scrape (Snapshot/History/metrics) racing Tick and traffic
+// must be clean under -race.
+func TestEngineConcurrentScrape(t *testing.T) {
+	c := NewCollector()
+	for v := 0; v < 8; v++ {
+		c.Track(netpkt.VNI(100 + v))
+	}
+	j := NewJournal(128)
+	e := NewEngine(Config{FastWindow: time.Second}, c, j)
+	reg := metrics.NewRegistry()
+	e.RegisterMetrics(reg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vni := netpkt.VNI(100 + i%8)
+			c.Forward(vni)
+			if i%97 == 0 {
+				c.Drop(vni)
+			}
+		}
+	}()
+	go func() { // evaluator
+		defer wg.Done()
+		at := time.Unix(0, 0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at = at.Add(100 * time.Millisecond)
+			e.Tick(at)
+		}
+	}()
+	go func() { // scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Snapshot()
+			_ = e.History(103)
+			_ = reg.WritePrometheus(io.Discard)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

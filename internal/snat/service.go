@@ -31,6 +31,10 @@ type Service struct {
 	preserved  atomic.Uint64
 	orphaned   atomic.Uint64
 	promotions atomic.Uint64
+
+	// onPromotion, when set, is told about each completed promotion — the
+	// seam the ops journal uses to log failover/failback session outcomes.
+	onPromotion func(kind string, preserved, orphaned uint64)
 }
 
 // ServiceConfig shapes the pair.
@@ -97,12 +101,17 @@ func (s *Service) Sync(now time.Time) SyncReport {
 // this call performed the switch.
 func (s *Service) Failover() bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.onBackup.Load() {
+		s.mu.Unlock()
 		return false
 	}
-	s.promote(s.a, s.b)
+	preserved, orphaned := s.promote(s.a, s.b)
 	s.onBackup.Store(true)
+	sink := s.onPromotion
+	s.mu.Unlock()
+	if sink != nil {
+		sink("failover", preserved, orphaned)
+	}
 	return true
 }
 
@@ -111,13 +120,26 @@ func (s *Service) Failover() bool {
 // standby, so sessions survive the second switch too. Idempotent.
 func (s *Service) Failback() bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.onBackup.Load() {
+		s.mu.Unlock()
 		return false
 	}
-	s.promote(s.b, s.a)
+	preserved, orphaned := s.promote(s.b, s.a)
 	s.onBackup.Store(false)
+	sink := s.onPromotion
+	s.mu.Unlock()
+	if sink != nil {
+		sink("failback", preserved, orphaned)
+	}
 	return true
+}
+
+// SetPromotionSink installs a callback invoked (outside the lock) after each
+// promotion with its direction and session outcome. Pass nil to detach.
+func (s *Service) SetPromotionSink(fn func(kind string, preserved, orphaned uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPromotion = fn
 }
 
 // promote diffs the demoted store against the newly serving one (the
@@ -127,8 +149,7 @@ func (s *Service) Failback() bool {
 // must fall to zero, not linger at the pre-failover value — and its
 // lifetime counters carry into the successor so the exported replication
 // stats never move backwards across a promotion.
-func (s *Service) promote(from, to *Store) {
-	var preserved, orphaned uint64
+func (s *Service) promote(from, to *Store) (preserved, orphaned uint64) {
 	for i := 0; i < from.ShardCount(); i++ {
 		from.rangeLive(i, func(r *record) {
 			ipIdx, port, ok := to.bindingOf(i, r.k1, r.k2)
@@ -147,6 +168,7 @@ func (s *Service) promote(from, to *Store) {
 	old.retire()
 	s.repl = NewReplicator(to, from, s.cfg.Replication, true)
 	s.repl.carryFrom(old)
+	return preserved, orphaned
 }
 
 // Sessions returns the serving store's live session count.

@@ -15,10 +15,21 @@ import (
 type Recovery struct {
 	mu       sync.Mutex
 	counters RecoveryCounters
-	events   []RecoveryEvent
+	// events is a capped ring: start indexes the oldest entry once the log
+	// has wrapped, so long chaos runs keep the most recent maxEvents actions
+	// instead of growing without bound.
+	events  []RecoveryEvent
+	start   int
+	max     int
+	dropped uint64
+	sink    func(RecoveryEvent)
 	// ttrNs collects node time-to-recovery samples (detection → restore).
 	ttrNs []float64
 }
+
+// DefaultMaxEvents caps the retained event log. Counters keep the full
+// totals; only the per-event detail window is bounded.
+const DefaultMaxEvents = 4096
 
 // RecoveryCounters is a snapshot of the recovery-loop counters.
 type RecoveryCounters struct {
@@ -60,15 +71,70 @@ func (e RecoveryEvent) String() string {
 	return fmt.Sprintf("%s %s %s: %s", e.Time.Format("15:04:05.000"), e.Kind, scope, e.Detail)
 }
 
-// NewRecovery returns an empty recovery recorder.
+// NewRecovery returns an empty recovery recorder retaining up to
+// DefaultMaxEvents events.
 func NewRecovery() *Recovery {
-	return &Recovery{}
+	return &Recovery{max: DefaultMaxEvents}
+}
+
+// SetEventCap bounds the retained event log to n entries (n ≤ 0 restores
+// the default). Shrinking an already-full log discards oldest-first.
+func (r *Recovery) SetEventCap(n int) {
+	if n <= 0 {
+		n = DefaultMaxEvents
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.max = n
+	for len(r.events)-r.start > r.max {
+		r.start++
+		r.dropped++
+	}
+	r.compactLocked()
+}
+
+// SetSink installs a callback invoked (outside the lock) for every recorded
+// event — the seam the ops journal uses to merge recovery actions without
+// telemetry importing it. Pass nil to detach.
+func (r *Recovery) SetSink(fn func(RecoveryEvent)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// DroppedEvents returns how many events the cap has discarded.
+func (r *Recovery) DroppedEvents() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// appendEventLocked adds ev to the capped log, evicting the oldest entry
+// when full. Caller holds r.mu. Live entries are events[start:]; the dead
+// prefix is compacted away once it outgrows the cap, so the backing array
+// stays proportional to max instead of creeping with every wrap.
+func (r *Recovery) appendEventLocked(ev RecoveryEvent) {
+	if r.max <= 0 {
+		r.max = DefaultMaxEvents
+	}
+	if len(r.events)-r.start >= r.max {
+		r.start++
+		r.dropped++
+	}
+	r.events = append(r.events, ev)
+	r.compactLocked()
+}
+
+func (r *Recovery) compactLocked() {
+	if r.start > r.max {
+		r.events = append(r.events[:0:0], r.events[r.start:]...)
+		r.start = 0
+	}
 }
 
 // Record appends an event and bumps its counter.
 func (r *Recovery) Record(ev RecoveryEvent) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	switch ev.Kind {
 	case "detect":
 		r.counters.Detections++
@@ -89,7 +155,12 @@ func (r *Recovery) Record(ev RecoveryEvent) {
 	case "repair":
 		r.counters.RepairActions++
 	}
-	r.events = append(r.events, ev)
+	r.appendEventLocked(ev)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 }
 
 // AddRepairs counts n repair actions under a single event (one repair pass
@@ -99,9 +170,13 @@ func (r *Recovery) AddRepairs(n int, ev RecoveryEvent) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.counters.RepairActions += uint64(n)
-	r.events = append(r.events, ev)
+	r.appendEventLocked(ev)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 }
 
 // ObserveTTR records one node's time-to-recovery (failure detection to
@@ -119,11 +194,12 @@ func (r *Recovery) Counters() RecoveryCounters {
 	return r.counters
 }
 
-// Events returns a copy of the event log in record order.
+// Events returns a copy of the retained event log in record order (at most
+// the cap's worth; DroppedEvents counts what the cap discarded).
 func (r *Recovery) Events() []RecoveryEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]RecoveryEvent(nil), r.events...)
+	return append([]RecoveryEvent(nil), r.events[r.start:]...)
 }
 
 // TTRStats reduces the time-to-recovery samples to (count, mean, max).

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The event log must stay bounded under long chaos runs: the cap evicts
+// oldest-first, the dropped counter accounts for every eviction, and the
+// counter block keeps full totals regardless.
+func TestRecoveryEventLogCapped(t *testing.T) {
+	r := NewRecovery()
+	r.SetEventCap(8)
+	const n = 100
+	for i := 0; i < n; i++ {
+		r.Record(RecoveryEvent{
+			Time: time.Unix(int64(i), 0), Kind: "detect", Node: fmt.Sprintf("n%d", i), Cluster: -1,
+		})
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want cap 8", len(evs))
+	}
+	// Newest 8 survive, in record order.
+	for i, ev := range evs {
+		if want := fmt.Sprintf("n%d", n-8+i); ev.Node != want {
+			t.Fatalf("event %d is %s, want %s", i, ev.Node, want)
+		}
+	}
+	if got := r.DroppedEvents(); got != n-8 {
+		t.Fatalf("dropped = %d, want %d", got, n-8)
+	}
+	if c := r.Counters(); c.Detections != n {
+		t.Fatalf("detections = %d — the cap must not eat counters", c.Detections)
+	}
+}
+
+// Shrinking the cap below the current population discards oldest-first, and
+// AddRepairs shares the same bounded log.
+func TestRecoveryEventCapShrink(t *testing.T) {
+	r := NewRecovery()
+	for i := 0; i < 10; i++ {
+		r.AddRepairs(3, RecoveryEvent{Kind: "repair", Node: fmt.Sprintf("n%d", i), Cluster: -1})
+	}
+	r.SetEventCap(4)
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].Node != "n6" || evs[3].Node != "n9" {
+		t.Fatalf("post-shrink events = %+v", evs)
+	}
+	if got := r.DroppedEvents(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	if c := r.Counters(); c.RepairActions != 30 {
+		t.Fatalf("repairs = %d, want 30", c.RepairActions)
+	}
+}
+
+// The backing array must not creep with every wrap: after many times the cap
+// in appends, retained length stays at the cap (compaction works) and the
+// zero-value recorder self-heals to the default cap.
+func TestRecoveryEventLogCompaction(t *testing.T) {
+	var r Recovery // zero value, not NewRecovery
+	for i := 0; i < DefaultMaxEvents*3; i++ {
+		r.Record(RecoveryEvent{Kind: "retry", Cluster: -1})
+	}
+	if got := len(r.Events()); got != DefaultMaxEvents {
+		t.Fatalf("retained %d, want %d", got, DefaultMaxEvents)
+	}
+	if got := r.DroppedEvents(); got != DefaultMaxEvents*2 {
+		t.Fatalf("dropped = %d, want %d", got, DefaultMaxEvents*2)
+	}
+}
+
+// SetSink sees every event, including ones later evicted by the cap.
+func TestRecoverySink(t *testing.T) {
+	r := NewRecovery()
+	r.SetEventCap(2)
+	var seen []string
+	r.SetSink(func(ev RecoveryEvent) { seen = append(seen, ev.Kind) })
+	r.Record(RecoveryEvent{Kind: "failover", Cluster: 0})
+	r.AddRepairs(1, RecoveryEvent{Kind: "repair", Cluster: -1})
+	r.Record(RecoveryEvent{Kind: "failback", Cluster: 0})
+	if len(seen) != 3 || seen[0] != "failover" || seen[1] != "repair" || seen[2] != "failback" {
+		t.Fatalf("sink saw %v", seen)
+	}
+	r.SetSink(nil)
+	r.Record(RecoveryEvent{Kind: "detect", Cluster: -1})
+	if len(seen) != 3 {
+		t.Fatal("detached sink still invoked")
+	}
+}
