@@ -58,14 +58,14 @@ bench-all:
 ## check that the benchmarks themselves have not rotted. Not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/fastpath-bench -snat-max 1000000 -o /tmp/bench-smoke.json
+	$(GO) run ./cmd/fastpath-bench -snat-max 1000000 -lpm-max 200000 -o /tmp/bench-smoke.json
 
 ## bench-smoke-mc: the multi-core variant — the same smoke pass pinned to
 ## GOMAXPROCS=4 so the sharded shardplane rows actually run their workers
 ## in parallel (and the 0 allocs/op gate holds under real concurrency).
 bench-smoke-mc:
 	GOMAXPROCS=4 $(GO) test -run '^$$' -bench ShardPlane -benchtime 1x ./internal/shardplane/
-	GOMAXPROCS=4 $(GO) run ./cmd/fastpath-bench -snat-max 1000000 -o /tmp/bench-smoke-mc.json
+	GOMAXPROCS=4 $(GO) run ./cmd/fastpath-bench -snat-max 1000000 -lpm-max 200000 -o /tmp/bench-smoke-mc.json
 
 fmt:
 	gofmt -l -w .

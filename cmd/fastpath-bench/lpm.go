@@ -1,0 +1,162 @@
+package main
+
+// The lpm/* rows compare the two hardware LPM backends — ALPM buckets
+// (internal/alpm) and MashUp tiles (internal/mashup) — on the same route
+// databases: a uniform synthetic FIB and a Zipf-skewed one where a few /16
+// subtrees hold most routes, the shape a multi-tenant gateway actually
+// carries. Each row bulk-loads the database, records the resulting
+// TCAM/SRAM occupancy in the tcam_entries/sram_slots columns, then times
+// steady-state update churn (one delete + one re-insert per op) — the
+// Fig. 23 concern: route updates must stay cheap at full table scale. The
+// run exits non-zero if MashUp does not beat ALPM on TCAM rows at equal
+// route count, which is the structure's reason to exist.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"sort"
+	"testing"
+
+	"sailfish/internal/alpm"
+	"sailfish/internal/mashup"
+)
+
+// lpmBench is the surface the rows drive; alpm.Table and mashup.Table both
+// satisfy it.
+type lpmBench interface {
+	Insert(p netip.Prefix, v int) error
+	Delete(p netip.Prefix) bool
+	Lookup(a netip.Addr) (int, int, bool)
+	Stats() alpm.Stats
+	Len() int
+}
+
+// lpmRoutes generates n distinct IPv4 prefixes under 10.0.0.0/8,
+// deterministic per (n, zipf). Uniform draws spread subnets evenly; the
+// Zipf variant concentrates routes into few heavy /16 subtrees (s=1.2), so
+// the partitioners face deep crowded regions next to nearly empty ones.
+// Returned shallow-first: bulk FIB loads install covering routes before
+// their more-specifics, and both structures build incrementally.
+func lpmRoutes(n int, zipf bool) []netip.Prefix {
+	rng := rand.New(rand.NewSource(int64(n) + 7))
+	var z *rand.Zipf
+	if zipf {
+		z = rand.NewZipf(rng, 1.2, 1, 255)
+	}
+	seen := make(map[netip.Prefix]bool, n)
+	out := make([]netip.Prefix, 0, n)
+	for len(out) < n {
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = 10
+		if z != nil {
+			b[1] = byte(z.Uint64())
+		}
+		// Mostly host and near-host routes with a covering-subnet tail,
+		// like a real tenant FIB.
+		plen := 32 - rng.Intn(8)
+		if rng.Intn(8) == 0 {
+			plen = 9 + rng.Intn(15)
+		}
+		p := netip.PrefixFrom(netip.AddrFrom4(b), plen).Masked()
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bits() < out[j].Bits() })
+	return out
+}
+
+func lpmScale(n int) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%dm", n/1_000_000)
+	}
+	return fmt.Sprintf("%dk", n/1_000)
+}
+
+// benchLPMChurn loads the database into t, snapshots occupancy, and times
+// delete+re-insert churn cycling through the whole table, so updates hit
+// every region of the structure, splits and merges included.
+func benchLPMChurn(name string, t lpmBench, routes []netip.Prefix, note string) entry {
+	for i, p := range routes {
+		if err := t.Insert(p, i); err != nil {
+			panic(err)
+		}
+	}
+	st := t.Stats()
+	cursor := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			p := routes[cursor]
+			if !t.Delete(p) {
+				b.Fatalf("lost route %v", p)
+			}
+			if err := t.Insert(p, cursor); err != nil {
+				b.Fatal(err)
+			}
+			if cursor++; cursor == len(routes) {
+				cursor = 0
+			}
+		}
+	})
+	if t.Len() != len(routes) {
+		fmt.Fprintf(os.Stderr, "FAIL: %s: %d routes after churn, want %d\n", name, t.Len(), len(routes))
+		os.Exit(1)
+	}
+	e := toEntry(name, r, 2, fmt.Sprintf(
+		"%s; %d routes, %d stored (%d replicated), %d buckets/tiles; pps column is updates/sec",
+		note, len(routes), st.StoredEntries, st.Replicated, st.Buckets))
+	e.TCAMEntries = st.TCAMEntries
+	e.SRAMSlots = st.SRAMEntries
+	return e
+}
+
+// benchLPM runs the ALPM and MashUp rows for one database and enforces the
+// acceptance guard: at equal correctness (both backends carry the same
+// routes), tiling must report measurably lower TCAM occupancy.
+func benchLPM(n int, zipf bool) []entry {
+	routes := lpmRoutes(n, zipf)
+	kind, suffix := "uniform synthetic", lpmScale(n)
+	if zipf {
+		kind, suffix = "Zipf-skewed (s=1.2 over /16 subtrees)", "zipf-"+lpmScale(n)
+	}
+
+	at, err := alpm.Build[int](32, 16, nil)
+	if err != nil {
+		panic(err)
+	}
+	mt, err := mashup.New[int](32, mashup.DefaultTileCapacity, mashup.DefaultMaxChain)
+	if err != nil {
+		panic(err)
+	}
+	rows := []entry{
+		benchLPMChurn("lpm/alpm-"+suffix, at, routes,
+			kind+" FIB, ALPM cap-16 buckets"),
+		benchLPMChurn("lpm/mashup-"+suffix, mt, routes,
+			fmt.Sprintf("%s FIB, MashUp cap-%d tiles chain≤%d", kind, mashup.DefaultTileCapacity, mashup.DefaultMaxChain)),
+	}
+	if a, m := rows[0].TCAMEntries, rows[1].TCAMEntries; m*2 >= a {
+		fmt.Fprintf(os.Stderr, "FAIL: %s: MashUp TCAM %d not well below ALPM TCAM %d\n", rows[1].Name, m, a)
+		os.Exit(1)
+	}
+	// Differential spot-check at population: the structures must agree.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10_000; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = 10
+		a := netip.AddrFrom4(b)
+		v1, l1, ok1 := at.Lookup(a)
+		v2, l2, ok2 := mt.Lookup(a)
+		if ok1 != ok2 || l1 != l2 || (ok1 && v1 != v2) {
+			fmt.Fprintf(os.Stderr, "FAIL: lpm backends disagree at %v: (%d,%d,%v) vs (%d,%d,%v)\n",
+				a, v1, l1, ok1, v2, l2, ok2)
+			os.Exit(1)
+		}
+	}
+	return rows
+}

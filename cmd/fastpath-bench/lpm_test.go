@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// Exercises the lpm/* row machinery at a trimmed scale: build both
+// backends, churn, and the TCAM guard + differential spot-check inside
+// benchLPM (which os.Exits on violation).
+func TestLPMRowsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench machinery smoke is slow")
+	}
+	for _, zipf := range []bool{false, true} {
+		rows := benchLPM(20_000, zipf)
+		if len(rows) != 2 {
+			t.Fatalf("got %d rows", len(rows))
+		}
+		for _, e := range rows {
+			if e.TCAMEntries == 0 || e.SRAMSlots == 0 || e.NsPerOp <= 0 {
+				t.Fatalf("row %s missing occupancy/timing: %+v", e.Name, e)
+			}
+		}
+		if rows[1].TCAMEntries >= rows[0].TCAMEntries {
+			t.Fatalf("mashup TCAM %d not below alpm %d", rows[1].TCAMEntries, rows[0].TCAMEntries)
+		}
+	}
+}

@@ -85,6 +85,11 @@ type entry struct {
 	// packets; the conversion accounts for that).
 	Pps  float64 `json:"pps"`
 	Note string  `json:"note,omitempty"`
+	// TCAMEntries/SRAMSlots record the structure's occupancy for rows that
+	// measure a memory shape rather than a packet path (the lpm/* rows):
+	// TCAM pivot rows and allocated SRAM slots after the build.
+	TCAMEntries int `json:"tcam_entries,omitempty"`
+	SRAMSlots   int `json:"sram_slots,omitempty"`
 }
 
 // stageQuantile is one row of the per-stage latency profile: nearest-rank
@@ -652,6 +657,7 @@ func benchSNATReplicate(sessions int) entry {
 func main() {
 	out := flag.String("o", "BENCH_fastpath.json", "output file")
 	snatMax := flag.Int("snat-max", 10_000_000, "largest SNAT session population to bench (bench-smoke trims this)")
+	lpmMax := flag.Int("lpm-max", 1_000_000, "largest LPM route database to bench (bench-smoke trims this)")
 	flag.Parse()
 
 	rep := report{
@@ -682,8 +688,7 @@ func main() {
 			func() entry { return benchSNATTranslate(s) },
 			func() entry { return benchSNATReplicate(s) })
 	}
-	for _, bench := range benches {
-		e := bench()
+	emit := func(e entry) {
 		fmt.Printf("%-22s %10.1f ns/op %6d B/op %4d allocs/op %12.0f pps  %s\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Pps, e.Note)
 		if (strings.HasPrefix(e.Name, "snat/translate") || strings.HasPrefix(e.Name, "shardplane/forward")) &&
@@ -693,6 +698,18 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Results = append(rep.Results, e)
+	}
+	for _, bench := range benches {
+		emit(bench())
+	}
+	lpmN := 1_000_000
+	if *lpmMax < lpmN {
+		lpmN = *lpmMax
+	}
+	for _, zipf := range []bool{false, true} {
+		for _, e := range benchLPM(lpmN, zipf) {
+			emit(e)
+		}
 	}
 	rep.StageLatencies = measureStages()
 	for _, s := range rep.StageLatencies {

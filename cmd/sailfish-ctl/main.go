@@ -138,7 +138,7 @@ func cmdPlan(args []string) {
 // cmdLayout prints the chip layout under chosen optimizations.
 func cmdLayout(args []string) {
 	fs := flag.NewFlagSet("layout", flag.ExitOnError)
-	opts := fs.String("opts", "a,b,c,d,e", "optimizations to apply (comma list of a..e, or 'none')")
+	opts := fs.String("opts", "a,b,c,d,e", "optimizations to apply (comma list of a..f, or 'none')")
 	full := fs.Bool("full", false, "include service tables (Table 4 workload)")
 	fs.Parse(args)
 
@@ -156,6 +156,8 @@ func cmdLayout(args []string) {
 				o.Compression = true
 			case "e":
 				o.ALPM = true
+			case "f":
+				o.TiledLPM = true
 			default:
 				fmt.Fprintf(os.Stderr, "unknown optimization %q\n", s)
 				os.Exit(2)

@@ -17,6 +17,8 @@ package alpm
 import (
 	"fmt"
 	"net/netip"
+
+	"sailfish/internal/lpmindex"
 )
 
 // Entry is one prefix→value pair supplied to Build.
@@ -26,7 +28,9 @@ type Entry[V any] struct {
 }
 
 // Stats describes the memory shape of a built ALPM structure, consumed by
-// the Tofino layout model.
+// the Tofino layout model. Every field is recounted from the live structure
+// on each call — incremental updates retire and create buckets, and a stale
+// counter here would feed the layout model wrong SRAM numbers.
 type Stats struct {
 	// TCAMEntries is the number of pivot (covering) prefixes in the first
 	// level — the TCAM cost.
@@ -41,19 +45,33 @@ type Stats struct {
 	// StoredEntries counts live prefixes across buckets, including
 	// replicated fallback entries.
 	StoredEntries int
-	// Replicated counts fallback entries copied into buckets.
+	// Replicated counts stored copies beyond each route's single logical
+	// instance: ancestor fallbacks replicated into buckets so keys
+	// matching the pivot but nothing deeper still find their covering
+	// route. StoredEntries − Replicated is always the logical route count.
 	Replicated int
 }
 
-// Table is an immutable two-level ALPM structure. Build constructs it;
-// Lookup answers longest-prefix queries with semantics identical to a plain
-// trie over the same entries.
+// Table is a two-level ALPM structure. Build constructs it; Lookup answers
+// longest-prefix queries with semantics identical to a plain trie over the
+// same entries; Insert/Delete maintain it incrementally.
 type Table[V any] struct {
-	bits    int
-	cap     int        // bucket capacity
-	pivots  *pivotTrie // first level: pivot prefix → bucket index
+	bits   int
+	cap    int            // bucket capacity
+	pivots *lpmindex.Trie // first level: pivot prefix → bucket index
+	// present indexes the logical entry set (id = prefix length). It
+	// fast-paths miss deletes, detects replaces, and answers "deepest
+	// logical entry covering this pivot" for fallback refills.
+	present *lpmindex.Trie
+	// vals is the authoritative prefix→value map (the controller's shadow
+	// FIB). Buckets are the hardware view and may drop a shallow route
+	// entirely when deeper covering routes shadow every region under it;
+	// Get and fallback refills read values from here.
+	vals    map[netip.Prefix]V
+	logical int // distinct prefixes in present, maintained by Build/Insert/Delete
 	buckets []bucket[V]
 	free    []int // retired bucket slots for reuse
+	splits  int   // pivot-churn epoch: bumped by every split
 	stats   Stats
 }
 
@@ -66,60 +84,14 @@ type bucket[V any] struct {
 	// live is false for buckets retired by splits; their slots are
 	// reused by later splits.
 	live bool
-	// overflowed marks buckets that exceeded capacity and could not be
+	// overflowed marks buckets that exceed capacity and could not be
 	// split further (all entries are ancestors of the pivot); hardware
-	// would spill these rows to a small victim TCAM.
+	// would spill these rows to a small victim TCAM. The flag clears
+	// when deletes shrink the bucket back within capacity.
 	overflowed bool
 }
 
-// pivotTrie is a minimal LPM trie mapping pivot prefixes to bucket indexes.
-// A dedicated type (rather than tables.Trie) keeps this package free of a
-// dependency cycle and mirrors the hardware TCAM's longest-covering-prefix
-// priority order.
-type pivotTrie struct {
-	root pivotNode
-}
-
-type pivotNode struct {
-	child  [2]*pivotNode
-	bucket int // -1 when no pivot ends here
-}
-
-func newPivotTrie() *pivotTrie {
-	return &pivotTrie{root: pivotNode{bucket: -1}}
-}
-
-func (t *pivotTrie) insert(key []byte, plen, bucket int) {
-	n := &t.root
-	for i := 0; i < plen; i++ {
-		b := bit(key, i)
-		if n.child[b] == nil {
-			n.child[b] = &pivotNode{bucket: -1}
-		}
-		n = n.child[b]
-	}
-	n.bucket = bucket
-}
-
-// lookup returns the bucket of the longest pivot covering key, or -1.
-func (t *pivotTrie) lookup(key []byte, bits int) int {
-	best := -1
-	n := &t.root
-	for i := 0; ; i++ {
-		if n.bucket >= 0 {
-			best = n.bucket
-		}
-		if i == bits {
-			return best
-		}
-		n = n.child[bit(key, i)]
-		if n == nil {
-			return best
-		}
-	}
-}
-
-func bit(key []byte, i int) int { return int(key[i/8]>>(7-i%8)) & 1 }
+func bit(key []byte, i int) int { return lpmindex.Bit(key, i) }
 
 // buildNode is the trie used during partitioning. Each node holds at most
 // one entry (the prefix ending there) and a pending count of uncarved
@@ -129,6 +101,18 @@ type buildNode[V any] struct {
 	hasEntry bool
 	entry    Entry[V]
 	pending  int
+}
+
+// recomputePending refreshes the node's pending count from its own entry and
+// its children — the partitioner calls it after carving mutates a subtree.
+func (n *buildNode[V]) recomputePending() {
+	n.pending = boolToInt(n.hasEntry)
+	if n.child[0] != nil {
+		n.pending += n.child[0].pending
+	}
+	if n.child[1] != nil {
+		n.pending += n.child[1].pending
+	}
 }
 
 // Build partitions entries into an ALPM table over keys of the given width
@@ -141,7 +125,8 @@ func Build[V any](bits, bucketCapacity int, entries []Entry[V]) (*Table[V], erro
 	if bucketCapacity < 2 {
 		return nil, fmt.Errorf("alpm: bucket capacity must be ≥ 2, got %d", bucketCapacity)
 	}
-	t := &Table[V]{bits: bits, pivots: newPivotTrie()}
+	t := &Table[V]{bits: bits, pivots: lpmindex.New(), present: lpmindex.New(),
+		vals: make(map[netip.Prefix]V)}
 	root := &buildNode[V]{}
 	for _, e := range entries {
 		wantBits := 32
@@ -152,6 +137,11 @@ func Build[V any](bits, bucketCapacity int, entries []Entry[V]) (*Table[V], erro
 			return nil, fmt.Errorf("alpm: prefix %v does not fit %d-bit table", e.Prefix, bits)
 		}
 		key := keyOf(e.Prefix.Addr(), bits)
+		if t.present.Get(key, e.Prefix.Bits()) < 0 {
+			t.logical++
+		}
+		t.present.Insert(key, e.Prefix.Bits(), e.Prefix.Bits())
+		t.vals[e.Prefix] = e.Value
 		n := root
 		for i := 0; i < e.Prefix.Bits(); i++ {
 			b := bit(key, i)
@@ -178,14 +168,17 @@ func Build[V any](bits, bucketCapacity int, entries []Entry[V]) (*Table[V], erro
 	// through a zero-length pivot (matches every key). It is created even
 	// when empty so incremental inserts always have a covering pivot.
 	idx := t.collectBucket(root, key[:bits/8], 0, nil)
-	t.pivots.insert(key[:bits/8], 0, idx)
+	t.pivots.Insert(key[:bits/8], 0, idx)
 
 	t.stats = t.computeStats()
 	return t, nil
 }
 
-// computeStats recounts the live structure (updates retire and create
-// buckets, so build-time counters go stale).
+// computeStats recounts occupancy from the live structure — splits retire
+// buckets and Delete shrinks them, so nothing here may be carried forward
+// from build time (the stale Replicated counter used to feed the layout
+// model wrong SRAM numbers after any update stream). Replicated falls out
+// as stored copies minus the logical route count.
 func (t *Table[V]) computeStats() Stats {
 	s := Stats{BucketCapacity: t.cap}
 	for i := range t.buckets {
@@ -198,7 +191,7 @@ func (t *Table[V]) computeStats() Stats {
 		s.StoredEntries += len(b.entries)
 	}
 	s.SRAMEntries = s.Buckets * t.cap
-	s.Replicated = t.stats.Replicated
+	s.Replicated = s.StoredEntries - t.logical
 	return s
 }
 
@@ -230,13 +223,7 @@ func (t *Table[V]) partition(n *buildNode[V], key []byte, depth int, budget int,
 		t.partition(c, key, depth+1, budget, fb)
 		key[depth/8] &^= 1 << (7 - depth%8)
 	}
-	n.pending = boolToInt(n.hasEntry)
-	if n.child[0] != nil {
-		n.pending += n.child[0].pending
-	}
-	if n.child[1] != nil {
-		n.pending += n.child[1].pending
-	}
+	n.recomputePending()
 	// Carve heavy children until this subtree's residue fits the budget.
 	for n.pending > budget {
 		heavy := -1
@@ -255,18 +242,11 @@ func (t *Table[V]) partition(n *buildNode[V], key []byte, depth int, budget int,
 			key[depth/8] |= 1 << (7 - depth%8)
 		}
 		idx := t.collectBucket(n.child[heavy], key, depth+1, fb)
-		t.pivots.insert(key, depth+1, idx)
+		t.pivots.Insert(key, depth+1, idx)
 		if heavy == 1 {
 			key[depth/8] &^= 1 << (7 - depth%8)
 		}
-		n.pending -= 0 // recomputed below
-		n.pending = boolToInt(n.hasEntry)
-		if n.child[0] != nil {
-			n.pending += n.child[0].pending
-		}
-		if n.child[1] != nil {
-			n.pending += n.child[1].pending
-		}
+		n.recomputePending()
 	}
 }
 
@@ -278,7 +258,6 @@ func (t *Table[V]) collectBucket(n *buildNode[V], key []byte, depth int, fallbac
 	t.collect(n, key, depth, &b)
 	if fallback != nil {
 		b.entries = append(b.entries, *fallback)
-		t.stats.Replicated++
 	}
 	t.buckets = append(t.buckets, b)
 	return len(t.buckets) - 1
@@ -311,13 +290,14 @@ func boolToInt(b bool) int {
 }
 
 // Lookup returns the value and prefix length of the longest prefix covering
-// addr, exactly as a monolithic TCAM/trie would.
+// addr, exactly as a monolithic TCAM/trie would. On a miss plen is 0 — the
+// prefix-length contract never reports a negative length.
 func (t *Table[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
 	if (t.bits == 32) != addr.Is4() {
 		return v, 0, false
 	}
 	key := keyOf(addr, t.bits)
-	idx := t.pivots.lookup(key, t.bits)
+	idx := t.pivots.Lookup(key, t.bits)
 	if idx < 0 {
 		return v, 0, false
 	}
@@ -330,9 +310,15 @@ func (t *Table[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
 			ok = true
 		}
 	}
-	return v, best, ok
+	if !ok {
+		return v, 0, false
+	}
+	return v, best, true
 }
 
 // Stats returns the memory shape of the table, recounted from the live
 // structure.
 func (t *Table[V]) Stats() Stats { return t.computeStats() }
+
+// Len returns the number of logical entries (replicas excluded).
+func (t *Table[V]) Len() int { return t.logical }

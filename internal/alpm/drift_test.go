@@ -1,0 +1,257 @@
+package alpm
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// Regression: computeStats used to carry the build-time Replicated counter
+// forward forever — splits that retire buckets and Delete never adjusted
+// it, so the layout model was fed stale SRAM numbers after any update
+// stream. Stats must now be recounted from the live structure: after a
+// churn run the accounting identity StoredEntries − Replicated = |logical
+// entries| holds on the churned table exactly as it does on a fresh Build
+// over the same final entry set. (Bucket/TCAM counts legitimately differ —
+// incremental splits carve a different partition than a clean build — so
+// the test pins the drift-prone fields, not the partition shape.)
+func TestStatsNoDriftAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	initial := randPrefixes(rng, 32, 300)
+	tab, err := Build(32, 8, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := make(map[netip.Prefix]int)
+	for _, e := range initial {
+		logical[e.Prefix] = e.Value
+	}
+	// Churn: inserts that split buckets, deletes that shrink them.
+	var order []netip.Prefix
+	for p := range logical {
+		order = append(order, p)
+	}
+	for op := 0; op < 1000; op++ {
+		if rng.Intn(3) != 2 {
+			e := randPrefixes(rng, 32, 1)[0]
+			if err := tab.Insert(e.Prefix, e.Value); err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := logical[e.Prefix]; !dup {
+				order = append(order, e.Prefix)
+			}
+			logical[e.Prefix] = e.Value
+		} else if len(order) > 0 {
+			i := rng.Intn(len(order))
+			p := order[i]
+			order = append(order[:i], order[i+1:]...)
+			delete(logical, p)
+			if !tab.Delete(p) {
+				t.Fatalf("Delete(%v) reported absent", p)
+			}
+		}
+	}
+
+	var final []Entry[int]
+	for p, v := range logical {
+		final = append(final, Entry[int]{p, v})
+	}
+	fresh, err := Build(32, 8, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, fs := tab.Stats(), fresh.Stats()
+	if got := cs.StoredEntries - cs.Replicated; got != len(logical) {
+		t.Errorf("churned Stored-Replicated = %d, want %d logical entries", got, len(logical))
+	}
+	if got := fs.StoredEntries - fs.Replicated; got != len(logical) {
+		t.Errorf("fresh Stored-Replicated = %d, want %d logical entries", got, len(logical))
+	}
+	if cs.BucketCapacity != fs.BucketCapacity {
+		t.Errorf("BucketCapacity drifted: %d vs %d", cs.BucketCapacity, fs.BucketCapacity)
+	}
+	if cs.SRAMEntries != cs.Buckets*cs.BucketCapacity || cs.TCAMEntries != cs.Buckets {
+		t.Errorf("churned stats shape inconsistent: %+v", cs)
+	}
+	// Both tables answer identically.
+	for i := 0; i < 2000; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = 10
+		a := netip.AddrFrom4(b)
+		cv, cl, cok := tab.Lookup(a)
+		fv, fl, fok := fresh.Lookup(a)
+		if cv != fv || cl != fl || cok != fok {
+			t.Fatalf("Lookup(%v): churned (%d,%d,%v) vs fresh (%d,%d,%v)", a, cv, cl, cok, fv, fl, fok)
+		}
+	}
+
+	// Drain to empty: with the stale-carry bug Replicated stayed at its
+	// build-time value forever; recounting must take it to zero.
+	for _, p := range order {
+		tab.Delete(p)
+	}
+	if s := tab.Stats(); s.StoredEntries != 0 || s.Replicated != 0 {
+		t.Errorf("drained table Stats = %+v, want 0 stored / 0 replicated", s)
+	}
+}
+
+// Regression: bucket.overflowed was sticky — once a bucket soft-overflowed
+// it stayed a victim-TCAM spill candidate even after deletes shrank it back
+// under capacity. The flag must clear on shrink and re-arm on re-overflow.
+// Single-fallback replication makes the spill state unreachable through the
+// public API (an irreducible bucket holds at most a pivot-exact entry plus
+// one fallback, which always fits), so the test drives the split guard
+// directly on a hand-built irreducible bucket — the shape the victim-TCAM
+// path exists to absorb.
+func TestOverflowClearsOnDelete(t *testing.T) {
+	tab, _ := Build[int](32, 3, nil)
+	chain := func(plen int) netip.Prefix {
+		return netip.PrefixFrom(netip.MustParseAddr("0.0.0.0"), plen).Masked()
+	}
+	// A bucket pivoted at 0.0.0.0/4 stuffed with nested covering routes
+	// only: splitting cannot thin it, so the guard must mark it overflowed.
+	key := []byte{0, 0, 0, 0}
+	idx := tab.allocBucket(key, 4)
+	tab.pivots.Insert(key, 4, idx)
+	for plen := 1; plen <= 4; plen++ {
+		tab.buckets[idx].entries = append(tab.buckets[idx].entries,
+			Entry[int]{chain(plen), plen})
+	}
+	tab.split(idx)
+	if tab.OverflowedBuckets() != 1 {
+		t.Fatal("irreducible bucket should soft-overflow")
+	}
+	// Shrink back within capacity: the flag must clear.
+	if !tab.removeFromBucket(idx, chain(1)) {
+		t.Fatal("removeFromBucket missed the /1")
+	}
+	if n := tab.OverflowedBuckets(); n != 0 {
+		t.Fatalf("OverflowedBuckets = %d after shrinking within capacity, want 0", n)
+	}
+	// Re-overflowing re-arms the flag through the same guard.
+	tab.addToBucket(idx, Entry[int]{chain(1), 1})
+	if tab.OverflowedBuckets() != 1 {
+		t.Fatal("re-adding the chain should overflow again")
+	}
+}
+
+// The documented contract: Lookup returns the matched prefix length, and a
+// miss reports plen 0 with ok false — never a negative length.
+func TestLookupMissPlenZero(t *testing.T) {
+	empty, _ := Build[int](32, 4, nil)
+	tab, err := Build(32, 4, []Entry[int]{
+		{mustPrefix("10.0.0.0/8"), 8},
+		{mustPrefix("10.1.0.0/16"), 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tab  *Table[int]
+		addr string
+		v    int
+		plen int
+		ok   bool
+	}{
+		{"empty table", empty, "10.0.0.1", 0, 0, false},
+		{"wrong family", tab, "2001:db8::1", 0, 0, false},
+		{"no covering prefix", tab, "192.168.0.1", 0, 0, false},
+		{"hit short", tab, "10.9.0.1", 8, 8, true},
+		{"hit long", tab, "10.1.2.3", 16, 16, true},
+	}
+	for _, c := range cases {
+		v, plen, ok := c.tab.Lookup(netip.MustParseAddr(c.addr))
+		if v != c.v || plen != c.plen || ok != c.ok {
+			t.Errorf("%s: Lookup(%s) = (%d,%d,%v), want (%d,%d,%v)",
+				c.name, c.addr, v, plen, ok, c.v, c.plen, c.ok)
+		}
+	}
+}
+
+// Regression: deleting the entry that served as a bucket's replicated
+// fallback left a lookup hole — keys matching only the pivot answered a
+// miss even though a shallower covering route remained in the table. The
+// delete path must re-replicate the next-deepest covering entry.
+func TestDeleteRefillsAncestorFallback(t *testing.T) {
+	// Sparse host routes force a carved bucket whose range is mostly
+	// uncovered by its own entries; /8 is its build-time fallback, /7 the
+	// next covering route up.
+	tab, err := Build(32, 4, []Entry[int]{
+		{mustPrefix("10.0.0.0/7"), 7},
+		{mustPrefix("10.0.0.0/8"), 8},
+		{mustPrefix("10.1.0.1/32"), 1},
+		{mustPrefix("10.1.64.1/32"), 2},
+		{mustPrefix("10.1.128.1/32"), 3},
+		{mustPrefix("10.1.192.1/32"), 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := netip.MustParseAddr("10.1.32.9") // matches no host route
+	if v, plen, ok := tab.Lookup(probe); !ok || v != 8 || plen != 8 {
+		t.Fatalf("pre-delete Lookup = (%d,%d,%v), want (8,8,true)", v, plen, ok)
+	}
+	if !tab.Delete(mustPrefix("10.0.0.0/8")) {
+		t.Fatal("Delete(/8) reported absent")
+	}
+	// The /7 must take over as the covering answer, not a miss.
+	if v, plen, ok := tab.Lookup(probe); !ok || v != 7 || plen != 7 {
+		t.Fatalf("post-delete Lookup = (%d,%d,%v), want (7,7,true)", v, plen, ok)
+	}
+	// And removing the /7 too leaves a clean miss.
+	if !tab.Delete(mustPrefix("10.0.0.0/7")) {
+		t.Fatal("Delete(/7) reported absent")
+	}
+	if v, plen, ok := tab.Lookup(probe); ok || v != 0 || plen != 0 {
+		t.Fatalf("final Lookup = (%d,%d,%v), want (0,0,false)", v, plen, ok)
+	}
+}
+
+// Delete-heavy property run: interleaved deletes against a reference trie,
+// probing after every delete so fallback-refill holes cannot hide.
+func TestDeleteStreamMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	entries := randPrefixes(rng, 32, 250)
+	tab, err := Build(32, 4, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := entriesDedup(entries)
+	var order []netip.Prefix
+	byPrefix := make(map[netip.Prefix]int)
+	for _, e := range entries {
+		byPrefix[e.Prefix] = e.Value // last write wins, as Build does
+	}
+	for p := range dedup {
+		order = append(order, p)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, p := range order {
+		if !tab.Delete(p) {
+			t.Fatalf("Delete(%v) reported absent", p)
+		}
+		delete(byPrefix, p)
+		for i := 0; i < 40; i++ {
+			var b [4]byte
+			rng.Read(b[:])
+			b[0] = 10
+			a := netip.AddrFrom4(b)
+			wantV, wantLen, wantOK := 0, 0, false
+			for q, v := range byPrefix {
+				if q.Contains(a) && (!wantOK || q.Bits() > wantLen) {
+					wantV, wantLen, wantOK = v, q.Bits(), true
+				}
+			}
+			gotV, gotLen, gotOK := tab.Lookup(a)
+			if gotV != wantV || gotLen != wantLen || gotOK != wantOK {
+				t.Fatalf("after Delete(%v): Lookup(%v) = (%d,%d,%v), want (%d,%d,%v)",
+					p, a, gotV, gotLen, gotOK, wantV, wantLen, wantOK)
+			}
+		}
+	}
+	if s := tab.Stats(); s.StoredEntries != 0 || s.Replicated != 0 {
+		t.Fatalf("drained Stats = %+v", s)
+	}
+}

@@ -11,81 +11,40 @@ import (
 // preserve the lookup invariant:
 //
 //	for every pivot Q, bucket(Q) contains (a) every entry whose deepest
-//	covering pivot is Q, and (b) every entry that is an ancestor of Q
-//	added since Q's creation, and at build time at least the deepest such
-//	ancestor.
+//	covering pivot is Q, and (b) the deepest entry strictly covering Q —
+//	the fallback — whenever one exists anywhere in the table, and no
+//	other covering entry.
 //
 // Insert places the entry in the bucket of the deepest pivot covering it
-// and replicates it into the bucket of every pivot underneath it (ancestor
-// replication — the cost real ALPM implementations pay too). A bucket that
-// overflows splits: two child pivots are carved one bit deeper and the
-// parent pivot retires. Delete removes the entry from the same bucket set.
+// and offers it as the fallback to the bucket of every pivot underneath it
+// (ancestor replication — the cost real ALPM implementations pay too). A
+// bucket keeps at most ONE covering replica, the deepest: a shallower
+// fallback is displaced, a new route shallower than the resident fallback
+// is dropped, because every key in the bucket's region already resolves to
+// the deeper route. Keeping every covering ancestor instead would, on a
+// FIB with saturated shallow levels, fill whole buckets with replicas and
+// balloon the pivot count past a flat TCAM's. A bucket that overflows
+// splits: two child pivots are carved one bit deeper and the parent pivot
+// retires. Delete removes the entry from the same bucket set and, where
+// the removed entry served as a bucket's fallback, re-replicates the
+// next-deepest covering entry so keys matching only the pivot keep
+// resolving to their true covering route.
 
-// deepestCoveringPivot returns the bucket of the deepest pivot at depth ≤
-// plen along the prefix's path.
-func (t *pivotTrie) deepestCoveringPivot(key []byte, plen int) int {
-	best := -1
-	n := &t.root
-	for i := 0; ; i++ {
-		if n.bucket >= 0 {
-			best = n.bucket
-		}
-		if i == plen {
-			return best
-		}
-		n = n.child[bit(key, i)]
-		if n == nil {
-			return best
-		}
-	}
+// bucketID is the stable identity of a bucket: its pivot. Bucket slice
+// slots are recycled across splits, so any walk that later mutates must
+// re-validate collected indices against this.
+type bucketID struct {
+	key  [16]byte
+	plen int
 }
 
-// walkUnder visits every pivot strictly below the prefix (depth > plen,
-// within its range).
-func (t *pivotTrie) walkUnder(key []byte, plen int, fn func(bucket int)) {
-	n := &t.root
-	for i := 0; i < plen; i++ {
-		n = n.child[bit(key, i)]
-		if n == nil {
-			return
-		}
-	}
-	var rec func(m *pivotNode, depth int)
-	rec = func(m *pivotNode, depth int) {
-		if m == nil {
-			return
-		}
-		if depth > plen && m.bucket >= 0 {
-			fn(m.bucket)
-		}
-		rec(m.child[0], depth+1)
-		rec(m.child[1], depth+1)
-	}
-	rec(n, plen)
+func (t *Table[V]) idOf(idx int) bucketID {
+	return bucketID{key: t.buckets[idx].pivotKey, plen: t.buckets[idx].pivotLen}
 }
 
-// get returns the bucket at exactly (key, plen), or -1.
-func (t *pivotTrie) get(key []byte, plen int) int {
-	n := &t.root
-	for i := 0; i < plen; i++ {
-		n = n.child[bit(key, i)]
-		if n == nil {
-			return -1
-		}
-	}
-	return n.bucket
-}
-
-// remove clears the pivot at exactly (key, plen).
-func (t *pivotTrie) remove(key []byte, plen int) {
-	n := &t.root
-	for i := 0; i < plen; i++ {
-		n = n.child[bit(key, i)]
-		if n == nil {
-			return
-		}
-	}
-	n.bucket = -1
+func (t *Table[V]) slotValid(idx int, id bucketID) bool {
+	b := &t.buckets[idx]
+	return b.live && b.pivotKey == id.key && b.pivotLen == id.plen
 }
 
 // Insert adds or replaces a prefix without rebuilding. Buckets that
@@ -101,24 +60,97 @@ func (t *Table[V]) Insert(p netip.Prefix, v V) error {
 		return fmt.Errorf("alpm: prefix %v does not fit %d-bit table", p, t.bits)
 	}
 	key := keyOf(p.Addr(), t.bits)
+	// Replace = delete + fresh add. Dropping stale copies first keeps the
+	// replication sweep below a pure "add where missing" pass, which stays
+	// correct even when splits carve new pivots mid-sweep.
+	if t.present.Get(key, p.Bits()) >= 0 {
+		t.Delete(p)
+	}
+	t.present.Insert(key, p.Bits(), p.Bits())
+	t.logical++
+	t.vals[p] = v
 	e := Entry[V]{Prefix: p, Value: v}
 
 	// Home bucket: the deepest pivot covering the prefix. A prefix
 	// shallower than every pivot has no home — every key in its range
 	// resolves to a pivot strictly underneath it, so the replication
 	// below is sufficient on its own.
-	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 {
+	if home := t.pivots.Lookup(key, p.Bits()); home >= 0 {
 		t.addToBucket(home, e)
 	}
-	// Ancestor replication into every bucket strictly underneath.
-	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
+	// Offer the entry as fallback to every bucket strictly underneath
+	// (invariant (b): p may be the new deepest route covering those
+	// pivots). The index walk is read-only, but replicateInto can split —
+	// retiring the walked pivot and carving new ones — so collect targets
+	// per round and iterate to a fixpoint. replicateInto is idempotent, so
+	// rounds repeat until one passes with no split: at that point the
+	// walked pivot set was stable and every bucket under p saw the offer.
+	type target struct {
+		idx int
+		id  bucketID
+	}
+	for {
+		epoch := t.splits
+		var targets []target
+		t.pivots.WalkUnder(key, p.Bits(), func(idx int) {
+			if t.buckets[idx].live {
+				targets = append(targets, target{idx, t.idOf(idx)})
+			}
+		})
+		for _, tg := range targets {
+			if t.slotValid(tg.idx, tg.id) {
+				t.replicateInto(tg.idx, e)
+			}
+		}
+		if t.splits == epoch {
+			return nil
+		}
+	}
+}
+
+// replicateInto maintains invariant (b) for one bucket: of the routes
+// strictly covering its pivot, the bucket stores exactly the deepest. A
+// deeper arrival displaces the resident fallback; a shallower one is
+// dropped — every key in the bucket's region already resolves past it to
+// the deeper route. Entries at or below the pivot pass through to a plain
+// bucket add.
+func (t *Table[V]) replicateInto(idx int, e Entry[V]) {
+	b := &t.buckets[idx]
+	n := e.Prefix.Bits()
+	if n >= b.pivotLen {
 		t.addToBucket(idx, e)
-	})
-	return nil
+		return
+	}
+	cur := -1
+	for i := range b.entries {
+		if l := b.entries[i].Prefix.Bits(); l < b.pivotLen && l > cur {
+			cur = l
+		}
+	}
+	if cur > n {
+		return
+	}
+	if cur == n {
+		// Equal depth covering the same pivot is the same masked prefix:
+		// addToBucket refreshes the value in place.
+		t.addToBucket(idx, e)
+		return
+	}
+	for i := 0; i < len(b.entries); {
+		if b.entries[i].Prefix.Bits() < b.pivotLen {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			continue
+		}
+		i++
+	}
+	t.addToBucket(idx, e)
 }
 
 // Delete removes a prefix from every bucket holding it and reports whether
-// it was present anywhere.
+// it was logically present — per the presence index, not the buckets: a
+// shallow route shadowed by deeper covering routes in every region under
+// it is stored in no bucket at all. Buckets that lose the prefix as their
+// covering fallback are refilled with the next-deepest covering entry.
 func (t *Table[V]) Delete(p netip.Prefix) bool {
 	wantBits := 32
 	if p.Addr().Is6() {
@@ -128,14 +160,91 @@ func (t *Table[V]) Delete(p netip.Prefix) bool {
 		return false
 	}
 	key := keyOf(p.Addr(), t.bits)
-	found := false
-	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 {
-		found = t.removeFromBucket(home, p) || found
+	if t.present.Get(key, p.Bits()) < 0 {
+		return false
 	}
-	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
-		found = t.removeFromBucket(idx, p) || found
+	t.present.Remove(key, p.Bits())
+	t.logical--
+	delete(t.vals, p)
+	if home := t.pivots.Lookup(key, p.Bits()); home >= 0 {
+		t.removeFromBucket(home, p)
+	}
+	// Collect replica holders first: removals never touch the index, but
+	// the refill pass can split, so it runs after the walk on validated
+	// slots only.
+	type target struct {
+		idx int
+		id  bucketID
+	}
+	var refill []target
+	t.pivots.WalkUnder(key, p.Bits(), func(idx int) {
+		if !t.buckets[idx].live {
+			return
+		}
+		if t.removeFromBucket(idx, p) {
+			// Refill only where p was the bucket's deepest covering
+			// entry — a remaining deeper ancestor was the fallback
+			// all along and invariant (b) still holds.
+			if p.Bits() < t.buckets[idx].pivotLen && !t.hasDeeperAncestor(idx, p.Bits()) {
+				refill = append(refill, target{idx, t.idOf(idx)})
+			}
+		}
 	})
-	return found
+	for _, tg := range refill {
+		if t.slotValid(tg.idx, tg.id) {
+			t.refillFallback(tg.idx)
+		}
+	}
+	return true
+}
+
+// hasDeeperAncestor reports whether the bucket holds an entry strictly
+// covering its pivot with prefix length > from.
+func (t *Table[V]) hasDeeperAncestor(idx int, from int) bool {
+	b := &t.buckets[idx]
+	for i := range b.entries {
+		if n := b.entries[i].Prefix.Bits(); n > from && n < b.pivotLen {
+			return true
+		}
+	}
+	return false
+}
+
+// refillFallback restores invariant (b) for one bucket after its covering
+// fallback was deleted: replicate in the deepest remaining entry strictly
+// covering the pivot. The presence index names that entry in one lookup
+// (its id is the prefix length); its value comes from the table itself.
+func (t *Table[V]) refillFallback(idx int) {
+	b := &t.buckets[idx]
+	plen := b.pivotLen
+	if plen == 0 {
+		return // the root pivot has no strict ancestors
+	}
+	key := b.pivotKey[:t.bits/8]
+	dLen := t.present.Lookup(key, plen-1)
+	if dLen < 0 {
+		return // nothing covers this pivot anymore
+	}
+	fb := netip.PrefixFrom(addrOf(key, t.bits), dLen).Masked()
+	for i := range b.entries {
+		if b.entries[i].Prefix == fb {
+			return
+		}
+	}
+	if v, ok := t.Get(fb); ok {
+		t.addToBucket(idx, Entry[V]{Prefix: fb, Value: v})
+	}
+}
+
+func addrOf(key []byte, bits int) netip.Addr {
+	if bits == 32 {
+		var a [4]byte
+		copy(a[:], key)
+		return netip.AddrFrom4(a)
+	}
+	var a [16]byte
+	copy(a[:], key)
+	return netip.AddrFrom16(a)
 }
 
 // addToBucket inserts or replaces the entry, splitting on overflow.
@@ -158,6 +267,11 @@ func (t *Table[V]) removeFromBucket(idx int, p netip.Prefix) bool {
 	for i := range b.entries {
 		if b.entries[i].Prefix == p {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			if b.overflowed && len(b.entries) <= t.cap {
+				// Back within capacity: no longer a victim-TCAM
+				// spill candidate.
+				b.overflowed = false
+			}
 			return true
 		}
 	}
@@ -166,10 +280,12 @@ func (t *Table[V]) removeFromBucket(idx int, p netip.Prefix) bool {
 
 // split carves an overflowing bucket into two child pivots one bit deeper
 // and retires the parent pivot. Entries strictly below a child pivot move
-// to its side; entries at or above the parent pivot's depth (ancestors)
-// replicate into both children. If every entry is an ancestor — splitting
-// cannot reduce occupancy — the bucket is marked overflowed and left in
-// place (hardware spills such rows to a victim TCAM).
+// to its side; of the entries at or above the parent pivot's depth
+// (ancestors, all of which cover both halves) only the deepest replicates
+// into each child — it is the fallback the children need, and anything
+// shallower would violate invariant (b). If every entry is an ancestor —
+// splitting cannot reduce occupancy — the bucket is marked overflowed and
+// left in place (hardware spills such rows to a victim TCAM).
 func (t *Table[V]) split(idx int) {
 	b := &t.buckets[idx]
 	d := b.pivotLen
@@ -188,16 +304,26 @@ func (t *Table[V]) split(idx int) {
 		b.overflowed = true
 		return
 	}
+	t.splits++
 
 	key := make([]byte, t.bits/8)
 	copy(key, b.pivotKey[:t.bits/8])
 	entries := b.entries
 
 	// Retire the parent pivot and bucket slot.
-	t.pivots.remove(key, d)
+	t.pivots.Remove(key, d)
 	b.entries = nil
 	b.live = false
+	b.overflowed = false
 	t.free = append(t.free, idx)
+
+	// The deepest ancestor is the one fallback both children inherit.
+	anc := -1
+	for i := range entries {
+		if l := entries[i].Prefix.Bits(); l <= d && (anc < 0 || l > entries[anc].Prefix.Bits()) {
+			anc = i
+		}
+	}
 
 	for side := 0; side < 2; side++ {
 		if side == 1 {
@@ -206,10 +332,11 @@ func (t *Table[V]) split(idx int) {
 			key[d/8] &^= 1 << (7 - d%8)
 		}
 		var childEntries []Entry[V]
+		if anc >= 0 {
+			childEntries = append(childEntries, entries[anc])
+		}
 		for _, e := range entries {
 			if e.Prefix.Bits() <= d {
-				// Ancestor: covers both halves.
-				childEntries = append(childEntries, e)
 				continue
 			}
 			ek := keyOf(e.Prefix.Addr(), t.bits)
@@ -217,23 +344,24 @@ func (t *Table[V]) split(idx int) {
 				childEntries = append(childEntries, e)
 			}
 		}
-		if existing := t.pivots.get(key, d+1); existing >= 0 {
+		if existing := t.pivots.Get(key, d+1); existing >= 0 {
 			// A deeper pivot already owns this half (created by an
 			// earlier split on the other branch of the trie): merge
-			// the entries into it.
+			// the entries into it. replicateInto keeps its fallback
+			// single — the incoming ancestor may be shallower or deeper
+			// than the one it already holds.
 			for _, e := range childEntries {
-				t.addToBucket(existing, e)
+				t.replicateInto(existing, e)
 			}
 			continue
 		}
 		child := t.allocBucket(key, d+1)
 		t.buckets[child].entries = childEntries
-		t.pivots.insert(key, d+1, child)
+		t.pivots.Insert(key, d+1, child)
 		if len(childEntries) > t.cap {
 			t.split(child)
 		}
 	}
-	// Restore the key's bit (local copy; nothing to undo for callers).
 }
 
 // allocBucket returns a fresh or recycled bucket slot registered at the
@@ -265,7 +393,12 @@ func (t *Table[V]) OverflowedBuckets() int {
 	return n
 }
 
-// Get returns the value stored for exactly prefix p, if present.
+// Get returns the value stored for exactly prefix p, if present. It reads
+// the table's authoritative prefix→value map — the controller's shadow
+// copy of the FIB — rather than scanning buckets: a shallow route whose
+// regions all carry deeper covering routes is, under single-fallback
+// replication, stored in no bucket at all, yet must stay retrievable so
+// fallback refills can restore it when those deeper routes go away.
 func (t *Table[V]) Get(p netip.Prefix) (v V, ok bool) {
 	wantBits := 32
 	if p.Addr().Is6() {
@@ -274,25 +407,6 @@ func (t *Table[V]) Get(p netip.Prefix) (v V, ok bool) {
 	if wantBits != t.bits {
 		return v, false
 	}
-	key := keyOf(p.Addr(), t.bits)
-	check := func(idx int) bool {
-		for i := range t.buckets[idx].entries {
-			if t.buckets[idx].entries[i].Prefix == p {
-				v = t.buckets[idx].entries[i].Value
-				ok = true
-				return true
-			}
-		}
-		return false
-	}
-	if home := t.pivots.deepestCoveringPivot(key, p.Bits()); home >= 0 && check(home) {
-		return v, true
-	}
-	// Shallow prefixes may live only as replicas under deeper pivots.
-	t.pivots.walkUnder(key, p.Bits(), func(idx int) {
-		if !ok {
-			check(idx)
-		}
-	})
+	v, ok = t.vals[p]
 	return v, ok
 }

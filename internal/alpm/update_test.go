@@ -96,9 +96,11 @@ func TestInsertSplitsOverflowingBucket(t *testing.T) {
 	}
 }
 
-func TestNestedAncestorsOverflowSoftly(t *testing.T) {
-	// A chain of nested prefixes all covering the same point cannot be
-	// thinned by splitting; the bucket must mark overflow, not loop.
+func TestNestedAncestorsKeepSingleFallback(t *testing.T) {
+	// A chain of nested prefixes used to replicate whole into every bucket
+	// underneath it, soft-overflowing cap-3 buckets. Under single-fallback
+	// replication each bucket keeps only the deepest covering route, so the
+	// chain splits cleanly and no bucket spills.
 	tab, _ := Build[int](32, 3, nil)
 	for plen := 1; plen <= 12; plen++ {
 		p := netip.PrefixFrom(netip.MustParseAddr("10.0.0.0"), plen).Masked()
@@ -106,12 +108,34 @@ func TestNestedAncestorsOverflowSoftly(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if tab.OverflowedBuckets() == 0 {
-		t.Fatal("ancestor chain should soft-overflow")
+	if n := tab.OverflowedBuckets(); n != 0 {
+		t.Fatalf("%d overflowed buckets: the chain must thin, not spill", n)
 	}
-	// Lookups still correct.
+	for i := range tab.buckets {
+		b := &tab.buckets[i]
+		if !b.live {
+			continue
+		}
+		if len(b.entries) > tab.cap {
+			t.Fatalf("bucket %d holds %d > cap %d", i, len(b.entries), tab.cap)
+		}
+		covering := 0
+		for j := range b.entries {
+			if b.entries[j].Prefix.Bits() < b.pivotLen {
+				covering++
+			}
+		}
+		if covering > 1 {
+			t.Fatalf("bucket %d holds %d covering replicas, want at most 1", i, covering)
+		}
+	}
+	// Lookups still correct at every chain depth.
 	if v, plen, ok := tab.Lookup(netip.MustParseAddr("10.0.0.1")); !ok || v != 12 || plen != 12 {
 		t.Fatalf("got (%d,%d,%v)", v, plen, ok)
+	}
+	// 10.64.0.1 leaves the chain after the /9 (10.0.0.0/10 covers 10.0-63).
+	if v, plen, ok := tab.Lookup(netip.MustParseAddr("10.64.0.1")); !ok || v != 9 || plen != 9 {
+		t.Fatalf("mid-chain got (%d,%d,%v), want (9,9,true)", v, plen, ok)
 	}
 	// 200.0.0.1 is outside even the /1 ancestor (0.0.0.0/1 covers 0-127).
 	if v, _, ok := tab.Lookup(netip.MustParseAddr("200.0.0.1")); ok {

@@ -1,0 +1,132 @@
+// Package lpmindex provides the minimal binary prefix trie the algorithmic
+// LPM backends (internal/alpm, internal/mashup) share as their first-level
+// covering-pivot index. It mirrors the hardware TCAM's
+// longest-covering-prefix priority order: Lookup answers "which pivot is the
+// deepest one covering this key", exactly what a TCAM row match returns.
+//
+// A dedicated package (rather than tables.Trie) keeps both backends free of
+// dependency cycles and keeps the index honest about what the hardware can
+// do: pivots carry only an integer payload (a bucket/tile id), and every
+// operation is a plain root-to-depth walk.
+package lpmindex
+
+// Trie maps pivot prefixes (given as a big-endian key plus a bit length) to
+// non-negative integer ids.
+type Trie struct {
+	root node
+}
+
+type node struct {
+	child [2]*node
+	id    int // -1 when no pivot ends here
+}
+
+// New returns an empty index.
+func New() *Trie {
+	return &Trie{root: node{id: -1}}
+}
+
+// Bit returns the i-th most-significant bit of the key.
+func Bit(key []byte, i int) int { return int(key[i/8]>>(7-i%8)) & 1 }
+
+// Insert registers id at exactly (key, plen), replacing any previous pivot.
+func (t *Trie) Insert(key []byte, plen, id int) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		b := Bit(key, i)
+		if n.child[b] == nil {
+			n.child[b] = &node{id: -1}
+		}
+		n = n.child[b]
+	}
+	n.id = id
+}
+
+// Lookup returns the id of the deepest pivot at depth ≤ maxLen along the
+// key's path, or -1 when no pivot covers it. With maxLen equal to the key
+// width this is the TCAM's longest-covering-prefix match; with a shorter
+// maxLen it answers "deepest pivot covering this prefix" for update-path
+// home-bucket selection.
+func (t *Trie) Lookup(key []byte, maxLen int) int {
+	best := -1
+	n := &t.root
+	for i := 0; ; i++ {
+		if n.id >= 0 {
+			best = n.id
+		}
+		if i == maxLen {
+			return best
+		}
+		n = n.child[Bit(key, i)]
+		if n == nil {
+			return best
+		}
+	}
+}
+
+// WalkUnder visits every pivot strictly below the prefix (depth > plen,
+// within its range). The walk is read-only over the trie; callers that
+// mutate pivots in response must collect ids first.
+func (t *Trie) WalkUnder(key []byte, plen int, fn func(id int)) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[Bit(key, i)]
+		if n == nil {
+			return
+		}
+	}
+	var rec func(m *node, depth int)
+	rec = func(m *node, depth int) {
+		if m == nil {
+			return
+		}
+		if depth > plen && m.id >= 0 {
+			fn(m.id)
+		}
+		rec(m.child[0], depth+1)
+		rec(m.child[1], depth+1)
+	}
+	rec(n, plen)
+}
+
+// WalkPath visits every pivot at depth ≤ maxLen along the key's path, in
+// root-to-leaf order — the covering chain of a prefix.
+func (t *Trie) WalkPath(key []byte, maxLen int, fn func(id, depth int)) {
+	n := &t.root
+	for i := 0; ; i++ {
+		if n.id >= 0 {
+			fn(n.id, i)
+		}
+		if i == maxLen {
+			return
+		}
+		n = n.child[Bit(key, i)]
+		if n == nil {
+			return
+		}
+	}
+}
+
+// Get returns the id at exactly (key, plen), or -1.
+func (t *Trie) Get(key []byte, plen int) int {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[Bit(key, i)]
+		if n == nil {
+			return -1
+		}
+	}
+	return n.id
+}
+
+// Remove clears the pivot at exactly (key, plen).
+func (t *Trie) Remove(key []byte, plen int) {
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[Bit(key, i)]
+		if n == nil {
+			return
+		}
+	}
+	n.id = -1
+}

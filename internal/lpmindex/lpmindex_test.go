@@ -1,0 +1,150 @@
+package lpmindex
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func key4(s string) []byte {
+	b := netip.MustParseAddr(s).As4()
+	return b[:]
+}
+
+func TestInsertLookupDeepestWins(t *testing.T) {
+	tr := New()
+	tr.Insert(key4("0.0.0.0"), 0, 1)
+	tr.Insert(key4("10.0.0.0"), 8, 2)
+	tr.Insert(key4("10.1.0.0"), 16, 3)
+
+	cases := []struct {
+		addr   string
+		maxLen int
+		want   int
+	}{
+		{"10.1.2.3", 32, 3},
+		{"10.2.0.1", 32, 2},
+		{"11.0.0.1", 32, 1},
+		{"10.1.2.3", 15, 2}, // depth-limited: /16 pivot out of range
+		{"10.1.2.3", 8, 2},
+		{"10.1.2.3", 7, 1},
+		{"10.1.2.3", 0, 1},
+	}
+	for _, c := range cases {
+		if got := tr.Lookup(key4(c.addr), c.maxLen); got != c.want {
+			t.Errorf("Lookup(%s, %d) = %d, want %d", c.addr, c.maxLen, got, c.want)
+		}
+	}
+	if got := New().Lookup(key4("10.0.0.1"), 32); got != -1 {
+		t.Errorf("empty trie lookup = %d, want -1", got)
+	}
+}
+
+func TestWalkUnderStrictlyBelow(t *testing.T) {
+	tr := New()
+	tr.Insert(key4("10.0.0.0"), 8, 1)
+	tr.Insert(key4("10.1.0.0"), 16, 2)
+	tr.Insert(key4("10.1.2.0"), 24, 3)
+	tr.Insert(key4("11.0.0.0"), 8, 4)
+
+	var got []int
+	tr.WalkUnder(key4("10.0.0.0"), 8, func(id int) { got = append(got, id) })
+	want := map[int]bool{2: true, 3: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("WalkUnder(/8) = %v, want {2,3}", got)
+	}
+	got = nil
+	tr.WalkUnder(key4("10.1.0.0"), 16, func(id int) { got = append(got, id) })
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("WalkUnder(/16) = %v, want [3]", got)
+	}
+	got = nil
+	tr.WalkUnder(key4("192.168.0.0"), 16, func(id int) { got = append(got, id) })
+	if len(got) != 0 {
+		t.Fatalf("WalkUnder(off-path) = %v, want empty", got)
+	}
+}
+
+func TestWalkPathCoveringChain(t *testing.T) {
+	tr := New()
+	tr.Insert(key4("0.0.0.0"), 0, 1)
+	tr.Insert(key4("10.0.0.0"), 8, 2)
+	tr.Insert(key4("10.1.0.0"), 16, 3)
+	var ids, depths []int
+	tr.WalkPath(key4("10.1.0.0"), 15, func(id, d int) { ids = append(ids, id); depths = append(depths, d) })
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 || depths[1] != 8 {
+		t.Fatalf("WalkPath = %v @ %v, want [1 2] @ [0 8]", ids, depths)
+	}
+}
+
+func TestGetRemoveExact(t *testing.T) {
+	tr := New()
+	tr.Insert(key4("10.0.0.0"), 8, 7)
+	if got := tr.Get(key4("10.0.0.0"), 8); got != 7 {
+		t.Fatalf("Get = %d", got)
+	}
+	if got := tr.Get(key4("10.0.0.0"), 9); got != -1 {
+		t.Fatalf("Get deeper = %d", got)
+	}
+	tr.Remove(key4("10.0.0.0"), 8)
+	if got := tr.Get(key4("10.0.0.0"), 8); got != -1 {
+		t.Fatalf("Get after Remove = %d", got)
+	}
+	// Removing a missing path is a no-op.
+	tr.Remove(key4("172.16.0.0"), 12)
+}
+
+// Property: Lookup agrees with a brute-force scan over the registered pivot
+// set, for random keys and depth limits.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	type pivot struct {
+		key  [4]byte
+		plen int
+		id   int
+	}
+	var pivots []pivot
+	for i := 0; i < 300; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		plen := rng.Intn(33)
+		p := netip.PrefixFrom(netip.AddrFrom4(b), plen).Masked()
+		k := p.Addr().As4()
+		tr.Insert(k[:], plen, i)
+		// Last insert at the same (key, plen) wins; mirror that.
+		replaced := false
+		for j := range pivots {
+			if pivots[j].key == k && pivots[j].plen == plen {
+				pivots[j].id = i
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			pivots = append(pivots, pivot{k, plen, i})
+		}
+	}
+	covers := func(p pivot, key []byte) bool {
+		for i := 0; i < p.plen; i++ {
+			if Bit(p.key[:], i) != Bit(key, i) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 3000; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		maxLen := rng.Intn(33)
+		want, wantLen := -1, -1
+		for _, p := range pivots {
+			if p.plen <= maxLen && p.plen > wantLen && covers(p, b[:]) {
+				want, wantLen = p.id, p.plen
+			}
+		}
+		if got := tr.Lookup(b[:], maxLen); got != want {
+			t.Fatalf("Lookup(%v, %d) = %d, want %d", b, maxLen, got, want)
+		}
+	}
+}

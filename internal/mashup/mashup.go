@@ -1,0 +1,301 @@
+// Package mashup implements a tiled LPM backend in the spirit of MashUp
+// (tiling trees across TCAM and SRAM): the prefix trie is cut into
+// fixed-size tiles that form a tree. Only *root* tiles publish a covering
+// pivot into the TCAM index; interior tiles are reached by following SRAM
+// child pointers from their parent, at most MaxChain hops deep. A lookup
+// resolves the deepest TCAM pivot, then walks the tile chain, scanning each
+// tile's entries in SRAM and keeping the best match.
+//
+// Compared with ALPM (internal/alpm), which pays one TCAM pivot per bucket,
+// tiling pays TCAM only per chain: a root tile plus up to MaxChain levels
+// of descendants share one TCAM entry. Intra-tile resolution in SRAM also
+// permits much larger tiles (DefaultTileCapacity 64 vs ALPM's 16), so the
+// same FIB needs an order of magnitude fewer TCAM rows — the trade is
+// MaxChain extra dependent SRAM reads per lookup and wider SRAM scan words.
+// Ancestor replication, ALPM's hidden SRAM tax, shrinks in proportion: a
+// covering route is replicated only into root tiles beneath it, never into
+// chained tiles, because the chain walk already passes through the tile
+// that stores it.
+//
+// Tiles persist across updates: an overflowing tile carves a heavy subtree
+// into a child tile (or merges it into an existing child with the same
+// pivot), and only when the chain would exceed MaxChain is the carved tile
+// promoted to a new root — gaining a TCAM pivot and a replicated fallback
+// of its deepest covering route, the same trick ALPM plays per bucket but
+// paid per promotion instead.
+package mashup
+
+import (
+	"fmt"
+	"net/netip"
+
+	"sailfish/internal/alpm"
+	"sailfish/internal/lpmindex"
+)
+
+const (
+	// DefaultTileCapacity is the number of prefix slots per tile. Tiles
+	// resolve entirely in SRAM, so they can be far wider than ALPM
+	// buckets, which burn a TCAM row each.
+	DefaultTileCapacity = 64
+	// DefaultMaxChain is how many child-pointer hops a lookup may take
+	// below a root tile. Each hop is a dependent SRAM read — on hardware
+	// a pipeline stage — so the bound is small.
+	DefaultMaxChain = 2
+)
+
+// Entry is one prefix→value pair.
+type Entry[V any] struct {
+	Prefix netip.Prefix
+	Value  V
+}
+
+// Table is a tiled LPM structure over one address family.
+type Table[V any] struct {
+	bits     int
+	cap      int // tile capacity
+	maxChain int
+	roots    *lpmindex.Trie // TCAM index: root-tile pivots → tile id
+	// present indexes the logical entry set (id = prefix length); it
+	// answers replace/miss checks and "deepest route covering this
+	// pivot" for promotion fallbacks and delete refills.
+	present *lpmindex.Trie
+	logical int
+	tiles   []tile[V]
+	free    []int
+	churn   int // epoch bumped by any carve/promotion; terminates sweeps
+}
+
+type tile[V any] struct {
+	entries  []Entry[V]
+	pivotKey [16]byte
+	pivotLen int
+	parent   int // -1 for root tiles
+	children []int
+	depth    int // chain hops below the root tile; 0 for roots
+	live     bool
+	// overflowed marks tiles beyond capacity whose entries are all
+	// nested covering routes — uncarvable, the victim-TCAM spill case.
+	// Cleared when deletes shrink the tile back within capacity.
+	overflowed bool
+}
+
+// New returns an empty table for 32- or 128-bit keys. A root tile with a
+// zero-length pivot is created up front, so every key resolves to some
+// chain and every prefix has a home tile; that root is never retired.
+func New[V any](bits, tileCapacity, maxChain int) (*Table[V], error) {
+	if bits != 32 && bits != 128 {
+		return nil, fmt.Errorf("mashup: width must be 32 or 128, got %d", bits)
+	}
+	if tileCapacity < 2 {
+		return nil, fmt.Errorf("mashup: tile capacity must be ≥ 2, got %d", tileCapacity)
+	}
+	if maxChain < 0 {
+		return nil, fmt.Errorf("mashup: max chain must be ≥ 0, got %d", maxChain)
+	}
+	t := &Table[V]{
+		bits:     bits,
+		cap:      tileCapacity,
+		maxChain: maxChain,
+		roots:    lpmindex.New(),
+		present:  lpmindex.New(),
+	}
+	var key [16]byte
+	root := t.allocTile(key[:bits/8], 0, -1, 0)
+	t.roots.Insert(key[:bits/8], 0, root)
+	return t, nil
+}
+
+// Build constructs a table with DefaultMaxChain by replaying the entries
+// through Insert — tiling is inherently incremental, so the built shape is
+// exactly the shape an update stream would converge to (duplicates keep the
+// last value, as alpm.Build does).
+func Build[V any](bits, tileCapacity int, entries []Entry[V]) (*Table[V], error) {
+	t, err := New[V](bits, tileCapacity, DefaultMaxChain)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := t.Insert(e.Prefix, e.Value); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func keyOf(a netip.Addr, bits int) []byte {
+	if bits == 32 {
+		b := a.As4()
+		return b[:]
+	}
+	b := a.As16()
+	return b[:]
+}
+
+func addrOf(key []byte, bits int) netip.Addr {
+	if bits == 32 {
+		var a [4]byte
+		copy(a[:], key)
+		return netip.AddrFrom4(a)
+	}
+	var a [16]byte
+	copy(a[:], key)
+	return netip.AddrFrom16(a)
+}
+
+// covers reports whether the first plen bits of pivot match key.
+func covers(pivot []byte, plen int, key []byte) bool {
+	full := plen / 8
+	for i := 0; i < full; i++ {
+		if pivot[i] != key[i] {
+			return false
+		}
+	}
+	if rem := plen % 8; rem != 0 {
+		mask := byte(0xff) << (8 - rem)
+		return pivot[full]&mask == key[full]&mask
+	}
+	return true
+}
+
+// Lookup returns the value and prefix length of the longest prefix covering
+// addr. On a miss plen is 0 with ok false — same contract as alpm.Lookup.
+func (t *Table[V]) Lookup(addr netip.Addr) (v V, plen int, ok bool) {
+	if (t.bits == 32) != addr.Is4() {
+		return v, 0, false
+	}
+	key := keyOf(addr, t.bits)
+	tid := t.roots.Lookup(key, t.bits)
+	best := -1
+	for tid >= 0 {
+		tl := &t.tiles[tid]
+		for i := range tl.entries {
+			e := &tl.entries[i]
+			if e.Prefix.Bits() > best && e.Prefix.Contains(addr) {
+				best = e.Prefix.Bits()
+				v = e.Value
+				ok = true
+			}
+		}
+		next := -1
+		for _, c := range tl.children {
+			ct := &t.tiles[c]
+			if covers(ct.pivotKey[:], ct.pivotLen, key) {
+				next = c
+				break // sibling pivots are disjoint: at most one covers
+			}
+		}
+		tid = next
+	}
+	if !ok {
+		return v, 0, false
+	}
+	return v, best, true
+}
+
+// homeTile returns the deepest tile whose pivot covers the prefix — the
+// tile that owns its region. Always valid: the zero-length root exists.
+func (t *Table[V]) homeTile(key []byte, plen int) int {
+	tid := t.roots.Lookup(key, plen)
+	for {
+		next := -1
+		for _, c := range t.tiles[tid].children {
+			ct := &t.tiles[c]
+			if ct.pivotLen <= plen && covers(ct.pivotKey[:], ct.pivotLen, key) {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			return tid
+		}
+		tid = next
+	}
+}
+
+// Get returns the value stored for exactly prefix p, if present. A logical
+// entry's primary copy always lives in its home tile.
+func (t *Table[V]) Get(p netip.Prefix) (v V, ok bool) {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return v, false
+	}
+	key := keyOf(p.Addr(), t.bits)
+	if t.present.Get(key, p.Bits()) < 0 {
+		return v, false
+	}
+	tid := t.homeTile(key, p.Bits())
+	for i := range t.tiles[tid].entries {
+		if t.tiles[tid].entries[i].Prefix == p {
+			return t.tiles[tid].entries[i].Value, true
+		}
+	}
+	return v, false
+}
+
+// Stats reports the memory shape in the same terms as alpm.Stats, recounted
+// from the live structure: TCAMEntries is the root-tile count (the whole
+// point — chained tiles ride for free), SRAMEntries the slot cost, and
+// Replicated the stored copies beyond one per logical route.
+func (t *Table[V]) Stats() alpm.Stats {
+	s := alpm.Stats{BucketCapacity: t.cap}
+	for i := range t.tiles {
+		tl := &t.tiles[i]
+		if !tl.live {
+			continue
+		}
+		s.Buckets++
+		if tl.parent < 0 {
+			s.TCAMEntries++
+		}
+		s.StoredEntries += len(tl.entries)
+	}
+	s.SRAMEntries = s.Buckets * t.cap
+	s.Replicated = s.StoredEntries - t.logical
+	return s
+}
+
+// Len returns the number of logical entries (replicas excluded).
+func (t *Table[V]) Len() int { return t.logical }
+
+// OverflowedBuckets counts tiles beyond capacity that could not be carved
+// (victim-TCAM spill candidates), mirroring alpm.OverflowedBuckets.
+func (t *Table[V]) OverflowedBuckets() int {
+	n := 0
+	for i := range t.tiles {
+		if t.tiles[i].live && t.tiles[i].overflowed {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxChainDepth returns the deepest live chain, for occupancy reporting —
+// it never exceeds the configured MaxChain.
+func (t *Table[V]) MaxChainDepth() int {
+	d := 0
+	for i := range t.tiles {
+		if t.tiles[i].live && t.tiles[i].depth > d {
+			d = t.tiles[i].depth
+		}
+	}
+	return d
+}
+
+func (t *Table[V]) allocTile(key []byte, plen, parent, depth int) int {
+	var idx int
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.tiles = append(t.tiles, tile[V]{})
+		idx = len(t.tiles) - 1
+	}
+	tl := &t.tiles[idx]
+	*tl = tile[V]{live: true, pivotLen: plen, parent: parent, depth: depth}
+	copy(tl.pivotKey[:], key)
+	return idx
+}

@@ -1,0 +1,442 @@
+package mashup
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Update rules. The structure maintains three invariants:
+//
+//  1. Home: every logical entry is stored in the deepest tile whose pivot
+//     covers it (its home tile); carves move it down along with its
+//     region, so home placement is stable under churn.
+//  2. Disjoint siblings: the pivots of a tile's children never nest, so a
+//     chain descent is deterministic — at most one child covers any key.
+//  3. Root fallback: every root tile with a non-empty pivot stores the
+//     deepest logical route strictly covering that pivot, so a key that
+//     matches the TCAM pivot but nothing deeper in the chain still
+//     resolves to its true covering route. Chained tiles need no such
+//     replica — the walk from their root already passes the tile that
+//     stores it.
+//
+// Insert therefore touches the home tile plus every *root* tile strictly
+// under the prefix; Delete touches the same set and refills fallbacks it
+// displaced. Overflowing tiles carve a heavy subtree one level down, and
+// the carved tile joins the chain — or, when the chain is already MaxChain
+// deep, is promoted to a fresh root with its own TCAM pivot and fallback.
+
+// tileID is the stable identity of a tile slot (slots are recycled), used
+// to re-validate indices collected during index walks.
+type tileID struct {
+	key  [16]byte
+	plen int
+}
+
+func (t *Table[V]) idOf(idx int) tileID {
+	return tileID{key: t.tiles[idx].pivotKey, plen: t.tiles[idx].pivotLen}
+}
+
+func (t *Table[V]) slotValid(idx int, id tileID) bool {
+	tl := &t.tiles[idx]
+	return tl.live && tl.pivotKey == id.key && tl.pivotLen == id.plen
+}
+
+// Insert adds or replaces a prefix.
+func (t *Table[V]) Insert(p netip.Prefix, v V) error {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return fmt.Errorf("mashup: prefix %v does not fit %d-bit table", p, t.bits)
+	}
+	key := keyOf(p.Addr(), t.bits)
+	if t.present.Get(key, p.Bits()) >= 0 {
+		t.Delete(p)
+	}
+	t.present.Insert(key, p.Bits(), p.Bits())
+	t.logical++
+	e := Entry[V]{Prefix: p, Value: v}
+
+	t.addToTile(t.homeTile(key, p.Bits()), e)
+
+	// Offer p to root tiles strictly under it (invariant 3: p may be
+	// their new deepest covering route). Carves and promotions mutate the
+	// root index, so collect per round and iterate until a round passes
+	// without churn — replicateInto is idempotent, so repeats are no-ops.
+	type target struct {
+		idx int
+		id  tileID
+	}
+	for {
+		epoch := t.churn
+		var targets []target
+		t.roots.WalkUnder(key, p.Bits(), func(idx int) {
+			if t.tiles[idx].live {
+				targets = append(targets, target{idx, t.idOf(idx)})
+			}
+		})
+		for _, tg := range targets {
+			if t.slotValid(tg.idx, tg.id) {
+				t.replicateInto(tg.idx, e)
+			}
+		}
+		if t.churn == epoch {
+			return nil
+		}
+	}
+}
+
+// replicateInto maintains invariant 3 with a single replica: of the routes
+// strictly covering the tile pivot, the tile stores exactly the deepest. A
+// deeper arrival displaces the resident fallback; a shallower one is
+// dropped — every key in the tile's region already resolves past it to the
+// deeper route. Entries at or below the pivot pass through to a plain tile
+// add.
+func (t *Table[V]) replicateInto(idx int, e Entry[V]) {
+	tl := &t.tiles[idx]
+	n := e.Prefix.Bits()
+	if n >= tl.pivotLen {
+		t.addToTile(idx, e)
+		return
+	}
+	cur := -1
+	for i := range tl.entries {
+		if l := tl.entries[i].Prefix.Bits(); l < tl.pivotLen && l > cur {
+			cur = l
+		}
+	}
+	if cur > n {
+		return
+	}
+	if cur == n {
+		// Equal depth covering the same pivot is the same masked prefix:
+		// addToTile refreshes the value in place.
+		t.addToTile(idx, e)
+		return
+	}
+	for i := 0; i < len(tl.entries); {
+		if tl.entries[i].Prefix.Bits() < tl.pivotLen {
+			tl.entries = append(tl.entries[:i], tl.entries[i+1:]...)
+			continue
+		}
+		i++
+	}
+	t.addToTile(idx, e)
+}
+
+// Delete removes a prefix and reports whether it was present. Root tiles
+// that lose the prefix as their deepest covering route are refilled with
+// the next-deepest.
+func (t *Table[V]) Delete(p netip.Prefix) bool {
+	wantBits := 32
+	if p.Addr().Is6() {
+		wantBits = 128
+	}
+	if wantBits != t.bits {
+		return false
+	}
+	key := keyOf(p.Addr(), t.bits)
+	if t.present.Get(key, p.Bits()) < 0 {
+		return false
+	}
+	t.present.Remove(key, p.Bits())
+	t.logical--
+
+	found := t.removeFromTile(t.homeTile(key, p.Bits()), p)
+
+	type target struct {
+		idx int
+		id  tileID
+	}
+	var refill []target
+	t.roots.WalkUnder(key, p.Bits(), func(idx int) {
+		if !t.tiles[idx].live {
+			return
+		}
+		if t.removeFromTile(idx, p) {
+			found = true
+			if p.Bits() < t.tiles[idx].pivotLen && !t.hasDeeperAncestor(idx, p.Bits()) {
+				refill = append(refill, target{idx, t.idOf(idx)})
+			}
+		}
+	})
+	for _, tg := range refill {
+		if t.slotValid(tg.idx, tg.id) {
+			t.refillFallback(tg.idx)
+		}
+	}
+	return found
+}
+
+func (t *Table[V]) hasDeeperAncestor(idx int, from int) bool {
+	tl := &t.tiles[idx]
+	for i := range tl.entries {
+		if n := tl.entries[i].Prefix.Bits(); n > from && n < tl.pivotLen {
+			return true
+		}
+	}
+	return false
+}
+
+// refillFallback restores invariant 3 after a root tile's deepest covering
+// route was deleted: the presence index names the next-deepest in one
+// lookup, the table supplies its value.
+func (t *Table[V]) refillFallback(idx int) {
+	tl := &t.tiles[idx]
+	plen := tl.pivotLen
+	if plen == 0 {
+		return
+	}
+	key := tl.pivotKey[:t.bits/8]
+	dLen := t.present.Lookup(key, plen-1)
+	if dLen < 0 {
+		return
+	}
+	fb := netip.PrefixFrom(addrOf(key, t.bits), dLen).Masked()
+	for i := range tl.entries {
+		if tl.entries[i].Prefix == fb {
+			return
+		}
+	}
+	if v, ok := t.Get(fb); ok {
+		t.addToTile(idx, Entry[V]{Prefix: fb, Value: v})
+	}
+}
+
+// addToTile inserts or replaces the entry, carving on overflow.
+func (t *Table[V]) addToTile(idx int, e Entry[V]) {
+	tl := &t.tiles[idx]
+	for i := range tl.entries {
+		if tl.entries[i].Prefix == e.Prefix {
+			tl.entries[i].Value = e.Value
+			return
+		}
+	}
+	tl.entries = append(tl.entries, e)
+	if len(tl.entries) > t.cap {
+		t.splitTile(idx)
+	}
+}
+
+// removeFromTile removes the entry and retires the tile if that leaves a
+// childless, empty, non-root tile.
+func (t *Table[V]) removeFromTile(idx int, p netip.Prefix) bool {
+	tl := &t.tiles[idx]
+	for i := range tl.entries {
+		if tl.entries[i].Prefix != p {
+			continue
+		}
+		tl.entries = append(tl.entries[:i], tl.entries[i+1:]...)
+		if tl.overflowed && len(tl.entries) <= t.cap {
+			tl.overflowed = false
+		}
+		if len(tl.entries) == 0 && len(tl.children) == 0 && tl.parent >= 0 {
+			t.retireTile(idx)
+		}
+		return true
+	}
+	return false
+}
+
+func (t *Table[V]) retireTile(idx int) {
+	tl := &t.tiles[idx]
+	pc := t.tiles[tl.parent].children
+	for i, c := range pc {
+		if c == idx {
+			t.tiles[tl.parent].children = append(pc[:i], pc[i+1:]...)
+			break
+		}
+	}
+	tl.live = false
+	tl.children = nil
+	tl.entries = nil
+	t.free = append(t.free, idx)
+	t.churn++
+}
+
+// countNode is the scratch trie used to pick a carve point inside one tile.
+type countNode struct {
+	child [2]*countNode
+	cnt   int // entries in this subtree (including at this node)
+}
+
+// splitTile carves heavy subtrees out of an overflowing tile until it fits.
+// The carve point is the heavier child of the deepest trie node whose
+// subtree still exceeds capacity — yielding a carved tile between half and
+// full capacity. Entries at or above the tile pivot (root fallbacks) never
+// move. If nothing is carvable — every entry is a nested covering route —
+// the tile soft-overflows like an ALPM victim-TCAM spill.
+func (t *Table[V]) splitTile(idx int) {
+	for len(t.tiles[idx].entries) > t.cap {
+		tl := &t.tiles[idx]
+		base := tl.pivotLen
+		root := &countNode{}
+		for i := range tl.entries {
+			e := &tl.entries[i]
+			if e.Prefix.Bits() < base {
+				continue // fallback replica: stays with the root tile
+			}
+			ek := keyOf(e.Prefix.Addr(), t.bits)
+			n := root
+			n.cnt++
+			for d := base; d < e.Prefix.Bits(); d++ {
+				b := bitOf(ek, d)
+				if n.child[b] == nil {
+					n.child[b] = &countNode{}
+				}
+				n = n.child[b]
+				n.cnt++
+			}
+		}
+		// Descend to the deepest node whose subtree exceeds capacity.
+		key := make([]byte, t.bits/8)
+		copy(key, tl.pivotKey[:t.bits/8])
+		n := root
+		depth := base
+		for {
+			next := -1
+			for b := 0; b < 2; b++ {
+				if n.child[b] != nil && n.child[b].cnt > t.cap {
+					next = b
+				}
+			}
+			if next < 0 {
+				break
+			}
+			if next == 1 {
+				key[depth/8] |= 1 << (7 - depth%8)
+			}
+			n = n.child[next]
+			depth++
+		}
+		heavy := -1
+		for b := 0; b < 2; b++ {
+			if n.child[b] != nil && n.child[b].cnt > 0 &&
+				(heavy < 0 || n.child[b].cnt > n.child[heavy].cnt) {
+				heavy = b
+			}
+		}
+		if heavy < 0 {
+			// Every remaining entry sits at or above this node: a chain
+			// of nested routes that carving cannot thin.
+			tl.overflowed = true
+			return
+		}
+		if heavy == 1 {
+			key[depth/8] |= 1 << (7 - depth%8)
+		}
+		t.carve(idx, key, depth+1)
+		if heavy == 1 {
+			key[depth/8] &^= 1 << (7 - depth%8)
+		}
+	}
+}
+
+func bitOf(key []byte, i int) int { return int(key[i/8]>>(7-i%8)) & 1 }
+
+// carve moves every entry of the tile at or below (key, plen) into a tile
+// pivoted there: an existing child with exactly that pivot, or a fresh tile
+// chained beneath this one — promoted to a root when the chain is full.
+func (t *Table[V]) carve(parent int, key []byte, plen int) {
+	t.churn++
+	tl := &t.tiles[parent]
+	var moved, kept []Entry[V]
+	for _, e := range tl.entries {
+		if e.Prefix.Bits() >= plen && covers(key, plen, keyOf(e.Prefix.Addr(), t.bits)) {
+			moved = append(moved, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	tl.entries = kept
+
+	// Exact pivot collision: an earlier carve already owns this region —
+	// merge into it (the split-merge path).
+	for _, c := range tl.children {
+		ct := &t.tiles[c]
+		if ct.pivotLen == plen && covers(ct.pivotKey[:], plen, key) {
+			for _, e := range moved {
+				t.addToTile(c, e)
+			}
+			return
+		}
+	}
+
+	child := t.allocTile(key, plen, parent, t.tiles[parent].depth+1)
+	t.tiles[child].entries = moved
+
+	// Re-parent existing children whose pivots fall under the new pivot —
+	// leaving them siblings would break descent determinism (invariant 2).
+	tl = &t.tiles[parent]
+	var stay []int
+	for _, c := range tl.children {
+		ct := &t.tiles[c]
+		if covers(key, plen, ct.pivotKey[:]) && ct.pivotLen > plen {
+			ct.parent = child
+			t.tiles[child].children = append(t.tiles[child].children, c)
+		} else {
+			stay = append(stay, c)
+		}
+	}
+	tl.children = append(stay, child)
+
+	if t.tiles[child].depth > t.maxChain {
+		t.promote(child)
+	}
+	t.fixDepths(child)
+}
+
+// fixDepths recomputes chain depths below a tile, promoting any tile the
+// re-parenting pushed past MaxChain.
+func (t *Table[V]) fixDepths(idx int) {
+	children := append([]int(nil), t.tiles[idx].children...)
+	for _, c := range children {
+		t.tiles[c].depth = t.tiles[idx].depth + 1
+		if t.tiles[c].depth > t.maxChain {
+			t.promote(c)
+		}
+		t.fixDepths(c)
+	}
+}
+
+// promote detaches a tile from its chain and makes it a root: its pivot
+// goes into the TCAM index and it gains a replica of the deepest logical
+// route covering its pivot (invariant 3) — the per-promotion price of the
+// TCAM shortcut, where ALPM pays it per bucket.
+func (t *Table[V]) promote(idx int) {
+	t.churn++
+	tl := &t.tiles[idx]
+	if tl.parent >= 0 {
+		pc := t.tiles[tl.parent].children
+		for i, c := range pc {
+			if c == idx {
+				t.tiles[tl.parent].children = append(pc[:i], pc[i+1:]...)
+				break
+			}
+		}
+	}
+	tl.parent = -1
+	tl.depth = 0
+	key := make([]byte, t.bits/8)
+	copy(key, tl.pivotKey[:t.bits/8])
+	t.roots.Insert(key, tl.pivotLen, idx)
+	if tl.pivotLen == 0 {
+		return
+	}
+	if dLen := t.present.Lookup(key, tl.pivotLen-1); dLen >= 0 {
+		fb := netip.PrefixFrom(addrOf(key, t.bits), dLen).Masked()
+		has := false
+		for i := range t.tiles[idx].entries {
+			if t.tiles[idx].entries[i].Prefix == fb {
+				has = true
+				break
+			}
+		}
+		if !has {
+			if v, ok := t.Get(fb); ok {
+				t.addToTile(idx, Entry[V]{Prefix: fb, Value: v})
+			}
+		}
+	}
+}

@@ -43,6 +43,10 @@ func (s Segment) String() string {
 	return fmt.Sprintf("Segment(%d)", int(s))
 }
 
+// PipeIndex maps a segment to the pipe (within a folded pair) whose memory
+// it consumes: 0 = the even (entry/exit) pipe, 1 = the odd (loopback) pipe.
+func (s Segment) PipeIndex(folded bool) int { return s.pipeIndex(folded) }
+
 // pipeIndex maps a segment to the pipe (within a folded pair) whose memory
 // it consumes: 0 = the even (entry/exit) pipe, 1 = the odd (loopback) pipe.
 func (s Segment) pipeIndex(folded bool) int {
@@ -202,6 +206,71 @@ func (l *Layout) Place(spec TableSpec, pref Segment, spill ...Segment) error {
 	}
 	l.resultPHVBits += result
 	return nil
+}
+
+// ChooseLPMKind picks the cheaper algorithmic LPM form — ALPM buckets or
+// MashUp tiles — for a table about to be placed in pref, from the TCAM/SRAM
+// shape each form reports against the pipe's remaining free blocks. ALPM
+// spends TCAM (one pivot per 16-slot bucket) where tiling spends SRAM (wider
+// tiles at lower fill, one pivot per ~4-tile chain); the right choice
+// therefore depends on which memory the rest of the program squeezes. Tables
+// not yet placed but bound for the same pipe are passed as planned — a
+// planner knows its whole program up front and must not give the routing
+// table TCAM that its ACLs are about to claim. A form that fits always beats
+// one that does not; when both fit the lower peak memory pressure wins, with
+// ALPM breaking ties since its lookups need fewer dependent SRAM reads.
+// Specs are evaluated at the same per-unit entry share Place will realize.
+func (l *Layout) ChooseLPMKind(spec TableSpec, pref Segment, planned ...TableSpec) MatchKind {
+	spec = l.perUnit(spec)
+	pipe := pref.pipeIndex(l.Folded)
+	freeS := l.Chip.SRAMBlocksPerPipe() - l.sramUsed[pipe]
+	freeT := l.Chip.TCAMBlocksPerPipe() - l.tcamUsed[pipe]
+	for _, p := range planned {
+		p = l.perUnit(p)
+		freeS -= p.SRAMBlocks(l.Chip)
+		freeT -= p.TCAMBlocks(l.Chip)
+	}
+	pressure := func(kind MatchKind) (fits bool, peak float64) {
+		s := spec
+		s.Kind = kind
+		sb, tb := s.SRAMBlocks(l.Chip), s.TCAMBlocks(l.Chip)
+		fits = sb <= freeS && tb <= freeT
+		peak = frac(sb, freeS)
+		if p := frac(tb, freeT); p > peak {
+			peak = p
+		}
+		return fits, peak
+	}
+	aFits, aPeak := pressure(MatchALPM)
+	mFits, mPeak := pressure(MatchMashUp)
+	switch {
+	case aFits && !mFits:
+		return MatchALPM
+	case mFits && !aFits:
+		return MatchMashUp
+	case mPeak < aPeak:
+		return MatchMashUp
+	}
+	return MatchALPM
+}
+
+// perUnit scales a spec to the entry share one folded unit must hold.
+func (l *Layout) perUnit(spec TableSpec) TableSpec {
+	if l.SplitUnits && l.Units() > 1 {
+		return spec.WithEntries(ceilDiv(spec.Entries, l.Units()))
+	}
+	return spec
+}
+
+// frac returns used/free, saturating when no memory is free.
+func frac(used, free int) float64 {
+	if free <= 0 {
+		if used == 0 {
+			return 0
+		}
+		return 1e18
+	}
+	return float64(used) / float64(free)
 }
 
 // PHVBitsUsed returns the packet-header-vector demand of the program:

@@ -19,6 +19,11 @@ const (
 	MatchALPM
 	// MatchIndex tables are direct-indexed SRAM arrays (meters, counters).
 	MatchIndex
+	// MatchMashUp tables are LPM tables in tiled form (internal/mashup):
+	// wide SRAM tiles chained below shared TCAM pivots, trading extra
+	// dependent SRAM reads and lower tile fill for far fewer TCAM rows
+	// than ALPM.
+	MatchMashUp
 )
 
 // String returns the kind name.
@@ -34,6 +39,8 @@ func (k MatchKind) String() string {
 		return "alpm"
 	case MatchIndex:
 		return "index"
+	case MatchMashUp:
+		return "mashup"
 	}
 	return fmt.Sprintf("MatchKind(%d)", int(k))
 }
@@ -63,6 +70,29 @@ const (
 	// internal/alpm validate this constant.
 	alpmFillNumer = 7
 	alpmFillDenom = 10
+)
+
+// MashUp layout constants (see internal/mashup): tiles reuse the ALPM slot
+// word, but only root tiles publish a TCAM pivot — chained tiles are reached
+// through SRAM child pointers, so the TCAM cost divides by the average tiles
+// per chain while the SRAM cost grows with the lower tile fill.
+const (
+	// MashUpTileCapacity is the fixed slot count of each SRAM tile,
+	// matching mashup.DefaultTileCapacity.
+	MashUpTileCapacity = 64
+	// mashupFillNumer/mashupFillDenom approximate the measured average
+	// tile fill of the incremental carver (≈50%): tiles carve before they
+	// overflow and the residue stays put, so fill sits well below ALPM's
+	// ~70%. Validated against internal/mashup measurements.
+	mashupFillNumer = 1
+	mashupFillDenom = 2
+	// mashupTilesPerRoot is the measured average chain size — tiles
+	// sharing one root's TCAM pivot (≈4 at MaxChain 2: a root plus a
+	// partially filled two-level fan-out).
+	mashupTilesPerRoot = 4
+	// mashupChildPtrBits is the per-tile SRAM word holding the child tile
+	// pointers a lookup follows down the chain.
+	mashupChildPtrBits = 64
 )
 
 // TableSpec describes the shape of one logical table: what it matches, how
@@ -98,8 +128,26 @@ func (t TableSpec) SRAMWords(c ChipConfig) int {
 		return ceilDiv(slots*alpmSlotBits, w) + ceilDiv(buckets*tindIndexBits, w)
 	case MatchIndex:
 		return ceilDiv(t.Entries*t.ActionBits, w)
+	case MatchMashUp:
+		// Tiles at ~50% average fill, slot words plus per-tile child
+		// pointers, plus the root pivots' tind words.
+		tiles := mashupTiles(t.Entries)
+		slots := tiles * MashUpTileCapacity
+		roots := ceilDiv(tiles, mashupTilesPerRoot)
+		return ceilDiv(slots*alpmSlotBits, w) +
+			ceilDiv(tiles*mashupChildPtrBits, w) +
+			ceilDiv(roots*tindIndexBits, w)
 	}
 	return 0
+}
+
+// mashupTiles sizes the tile count for n entries from the measured fill.
+func mashupTiles(n int) int {
+	tiles := ceilDiv(n*mashupFillDenom, MashUpTileCapacity*mashupFillNumer)
+	if n > 0 && tiles == 0 {
+		tiles = 1
+	}
+	return tiles
 }
 
 // TCAMRows returns the number of TCAM rows the table consumes. Keys wider
@@ -114,6 +162,9 @@ func (t TableSpec) TCAMRows(c ChipConfig) int {
 			buckets = 1
 		}
 		return buckets * ceilDiv(t.KeyBits, c.TCAMRowBits)
+	case MatchMashUp:
+		roots := ceilDiv(mashupTiles(t.Entries), mashupTilesPerRoot)
+		return roots * ceilDiv(t.KeyBits, c.TCAMRowBits)
 	}
 	return 0
 }

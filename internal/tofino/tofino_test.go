@@ -73,6 +73,56 @@ func TestSpecALPMCosts(t *testing.T) {
 	}
 }
 
+func TestSpecMashUpCosts(t *testing.T) {
+	c := DefaultChip()
+	s := TableSpec{Name: "vr", Kind: MatchMashUp, KeyBits: 152, ActionBits: 48, Entries: 1_000_000}
+	alpmRows := TableSpec{Kind: MatchALPM, KeyBits: 152, Entries: s.Entries}.TCAMRows(c)
+	// The whole point: chained tiles share one pivot, so TCAM shrinks by
+	// roughly tile-capacity/bucket-capacity × chain-length vs ALPM.
+	if rows := s.TCAMRows(c); rows >= alpmRows/8 {
+		t.Fatalf("MashUp rows %d not ≪ ALPM rows %d", rows, alpmRows)
+	}
+	// The price: lower tile fill means more SRAM than ALPM's buckets.
+	alpmWords := TableSpec{Kind: MatchALPM, KeyBits: 152, Entries: s.Entries}.SRAMWords(c)
+	if w := s.SRAMWords(c); w <= alpmWords || w < s.Entries/2 {
+		t.Fatalf("MashUp SRAM words %d, ALPM %d — tiling must trade SRAM for TCAM", w, alpmWords)
+	}
+	if (TableSpec{Kind: MatchMashUp, Entries: 0}).TCAMRows(c) != 0 {
+		t.Fatal("empty table consumed TCAM")
+	}
+}
+
+func TestChooseLPMKind(t *testing.T) {
+	c := DefaultChip()
+	small := TableSpec{Name: "vr", Kind: MatchALPM, KeyBits: 56, ActionBits: 48, Entries: 10_000}
+
+	// Fresh chip: ALPM wins at any scale — its pivot rows divide the TCAM
+	// demand by the bucket capacity, so SRAM is the binding resource, and
+	// there ALPM's denser buckets beat the ~50%-filled tiles.
+	l := NewLayout(c, true, false)
+	for _, n := range []int{10_000, 4_000_000} {
+		if k := l.ChooseLPMKind(small.WithEntries(n), SegIngressEntry); k != MatchALPM {
+			t.Fatalf("%d entries on empty chip: %v, want alpm", n, k)
+		}
+	}
+	// TCAM consumed by ternary ACLs — the realistic gateway layout: the
+	// route table's ALPM pivots no longer fit, tiles do, so the chooser
+	// flips to MashUp.
+	acl := TableSpec{Name: "acl", Kind: MatchTernary, KeyBits: 152, ActionBits: 16,
+		Entries: c.TCAMBlocksPerPipe() * c.TCAMBlockRows / 4 * 96 / 100}
+	if err := l.Place(acl, SegIngressEntry); err != nil {
+		t.Fatal(err)
+	}
+	if k := l.ChooseLPMKind(small.WithEntries(200_000), SegIngressEntry); k != MatchMashUp {
+		t.Fatalf("TCAM-starved chip: %v, want mashup", k)
+	}
+	// Even with free TCAM, relative pressure decides: consume most of the
+	// SRAM too and the scarcer side still picks the form that fits.
+	if k := l.ChooseLPMKind(small.WithEntries(1_000), SegIngressEntry); k != MatchALPM {
+		t.Fatalf("tiny table must stay alpm: %v", k)
+	}
+}
+
 // Table 2 calibration: the paper's baseline workload (1M VXLAN routes, 1M
 // VM-NC entries) straightforwardly placed — no folding, no splitting — must
 // reproduce the paper's baseline occupancy within a few percent.
@@ -417,7 +467,7 @@ func TestModelStringers(t *testing.T) {
 	}
 	kinds := map[MatchKind]string{
 		MatchExact: "exact", MatchLPM: "lpm", MatchTernary: "ternary",
-		MatchALPM: "alpm", MatchIndex: "index",
+		MatchALPM: "alpm", MatchIndex: "index", MatchMashUp: "mashup",
 	}
 	for k, want := range kinds {
 		if k.String() != want {

@@ -4,14 +4,15 @@ import (
 	"net/netip"
 
 	"sailfish/internal/alpm"
+	"sailfish/internal/mashup"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 )
 
 // routeLookup abstracts the VXLAN routing engine so the gateway can run
-// either the plain trie (software reference) or the ALPM structure the
-// hardware actually uses. Both must answer identically; a property test
-// enforces it.
+// either the plain trie (software reference) or one of the hardware LPM
+// structures. All engines must answer identically; property tests enforce
+// it three ways (trie vs ALPM vs MashUp).
 type routeLookup interface {
 	Insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) error
 	Delete(vni netpkt.VNI, p netip.Prefix) bool
@@ -31,37 +32,94 @@ func (t trieRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
 	return t.VXLANRoutingTable.Get(vni, p)
 }
 
-// alpmRouting is the hardware engine: per-VNI, per-family ALPM tables with
-// the production bucket capacity, updated incrementally as the controller
-// installs entries (Fig. 23's update stream needs no rebuilds).
-type alpmRouting struct {
-	v4 map[netpkt.VNI]*alpm.Table[tables.Route]
-	v6 map[netpkt.VNI]*alpm.Table[tables.Route]
-	n  int
+// RouteEngine names an LPM backend for the VXLAN routing tables.
+type RouteEngine string
+
+const (
+	// RouteEngineTrie is the software reference engine.
+	RouteEngineTrie RouteEngine = "trie"
+	// RouteEngineALPM is the §4.4 two-level structure: one TCAM pivot per
+	// SRAM bucket of up to 16 prefixes.
+	RouteEngineALPM RouteEngine = "alpm"
+	// RouteEngineMashUp is the tiled structure: 64-wide SRAM tiles
+	// chained below shared TCAM pivots — an order of magnitude fewer
+	// TCAM rows for million-route tenants.
+	RouteEngineMashUp RouteEngine = "mashup"
+)
+
+// lpmTable is one per-(VNI, family) engine instance. alpm.Table and
+// mashup.Table satisfy it directly; the trie gets a thin adapter.
+type lpmTable interface {
+	Insert(p netip.Prefix, r tables.Route) error
+	Delete(p netip.Prefix) bool
+	Len() int
+	Lookup(addr netip.Addr) (tables.Route, int, bool)
+	Get(p netip.Prefix) (tables.Route, bool)
+	Stats() alpm.Stats
 }
 
-func newALPMRouting() *alpmRouting {
-	return &alpmRouting{
-		v4: make(map[netpkt.VNI]*alpm.Table[tables.Route]),
-		v6: make(map[netpkt.VNI]*alpm.Table[tables.Route]),
+// trieLPM adapts tables.Trie to lpmTable; a software engine has no
+// TCAM/SRAM shape to report.
+type trieLPM struct{ *tables.Trie[tables.Route] }
+
+func (trieLPM) Stats() alpm.Stats { return alpm.Stats{} }
+
+const (
+	// alpmBucketCapacity mirrors tofino.ALPMBucketCapacity; stated
+	// locally to keep the runtime engine independent of the layout model.
+	alpmBucketCapacity = 16
+	// mashupTileCapacity mirrors mashup.DefaultTileCapacity.
+	mashupTileCapacity = mashup.DefaultTileCapacity
+)
+
+// lpmRouting runs per-VNI, per-family LPM tables, with the backend chosen
+// per table by the pick hook — the controller's per-tenant choice: a tenant
+// with a handful of routes stays on cheap ALPM buckets while a
+// million-route tenant gets tiling (or the trie, for differential runs).
+// Tables update incrementally as the controller installs entries (Fig. 23's
+// update stream needs no rebuilds).
+type lpmRouting struct {
+	pick func(vni netpkt.VNI, is6 bool) RouteEngine
+	v4   map[netpkt.VNI]lpmTable
+	v6   map[netpkt.VNI]lpmTable
+	n    int
+}
+
+func newLPMRouting(pick func(netpkt.VNI, bool) RouteEngine) *lpmRouting {
+	return &lpmRouting{
+		pick: pick,
+		v4:   make(map[netpkt.VNI]lpmTable),
+		v6:   make(map[netpkt.VNI]lpmTable),
 	}
 }
 
-// alpmBucketCapacity mirrors tofino.ALPMBucketCapacity; stated locally to
-// keep the runtime engine independent of the layout model.
-const alpmBucketCapacity = 16
+// newALPMRouting keeps the historical single-engine constructor.
+func newALPMRouting() *lpmRouting {
+	return newLPMRouting(func(netpkt.VNI, bool) RouteEngine { return RouteEngineALPM })
+}
 
-func (a *alpmRouting) tableFor(vni netpkt.VNI, is6 bool, create bool) (*alpm.Table[tables.Route], error) {
+func (a *lpmRouting) tableFor(vni netpkt.VNI, is6 bool, create bool) (lpmTable, error) {
 	m, bits := a.v4, 32
 	if is6 {
 		m, bits = a.v6, 128
 	}
 	t := m[vni]
 	if t == nil && create {
-		var err error
-		t, err = alpm.Build[tables.Route](bits, alpmBucketCapacity, nil)
-		if err != nil {
-			return nil, err
+		switch a.pick(vni, is6) {
+		case RouteEngineMashUp:
+			mt, err := mashup.New[tables.Route](bits, mashupTileCapacity, mashup.DefaultMaxChain)
+			if err != nil {
+				return nil, err
+			}
+			t = mt
+		case RouteEngineTrie:
+			t = trieLPM{tables.NewTrie[tables.Route](bits)}
+		default:
+			at, err := alpm.Build[tables.Route](bits, alpmBucketCapacity, nil)
+			if err != nil {
+				return nil, err
+			}
+			t = at
 		}
 		m[vni] = t
 	}
@@ -69,23 +127,23 @@ func (a *alpmRouting) tableFor(vni netpkt.VNI, is6 bool, create bool) (*alpm.Tab
 }
 
 // Insert implements routeLookup.
-func (a *alpmRouting) Insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
+func (a *lpmRouting) Insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) error {
 	t, err := a.tableFor(vni, p.Addr().Is6(), true)
 	if err != nil {
 		return err
 	}
-	before := t.Stats().StoredEntries
+	before := t.Len()
 	if err := t.Insert(p, r); err != nil {
 		return err
 	}
-	if t.Stats().StoredEntries > before {
+	if t.Len() > before {
 		a.n++
 	}
 	return nil
 }
 
 // Delete implements routeLookup.
-func (a *alpmRouting) Delete(vni netpkt.VNI, p netip.Prefix) bool {
+func (a *lpmRouting) Delete(vni netpkt.VNI, p netip.Prefix) bool {
 	t, _ := a.tableFor(vni, p.Addr().Is6(), false)
 	if t == nil {
 		return false
@@ -98,17 +156,17 @@ func (a *alpmRouting) Delete(vni netpkt.VNI, p netip.Prefix) bool {
 }
 
 // Len implements routeLookup. It counts logical entries, not replicas.
-func (a *alpmRouting) Len() int { return a.n }
+func (a *lpmRouting) Len() int { return a.n }
 
 // Resolve implements routeLookup with the same peer-chain semantics as the
 // trie engine.
-func (a *alpmRouting) Resolve(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, error) {
+func (a *lpmRouting) Resolve(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, error) {
 	v, r, _, err := a.ResolveN(vni, addr)
 	return v, r, err
 }
 
 // ResolveN implements routeLookup.
-func (a *alpmRouting) ResolveN(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, int, error) {
+func (a *lpmRouting) ResolveN(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tables.Route, int, error) {
 	cur := vni
 	for hop := 0; hop < 8; hop++ {
 		t, _ := a.tableFor(cur, addr.Is6(), false)
@@ -128,7 +186,7 @@ func (a *alpmRouting) ResolveN(vni netpkt.VNI, addr netip.Addr) (netpkt.VNI, tab
 }
 
 // Get implements routeLookup.
-func (a *alpmRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
+func (a *lpmRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
 	t, _ := a.tableFor(vni, p.Addr().Is6(), false)
 	if t == nil {
 		return tables.Route{}, false
@@ -136,18 +194,21 @@ func (a *alpmRouting) Get(vni netpkt.VNI, p netip.Prefix) (tables.Route, bool) {
 	return t.Get(p)
 }
 
-// ALPMStats aggregates bucket statistics across the engine's tables (zero
+// stats aggregates bucket/tile statistics across the engine's tables (zero
 // when the trie engine is active).
-func (a *alpmRouting) stats() alpm.Stats {
+func (a *lpmRouting) stats() alpm.Stats {
 	var s alpm.Stats
-	for _, m := range []map[netpkt.VNI]*alpm.Table[tables.Route]{a.v4, a.v6} {
+	for _, m := range []map[netpkt.VNI]lpmTable{a.v4, a.v6} {
 		for _, t := range m {
 			st := t.Stats()
 			s.TCAMEntries += st.TCAMEntries
 			s.Buckets += st.Buckets
 			s.SRAMEntries += st.SRAMEntries
 			s.StoredEntries += st.StoredEntries
-			s.BucketCapacity = st.BucketCapacity
+			s.Replicated += st.Replicated
+			if st.BucketCapacity > s.BucketCapacity {
+				s.BucketCapacity = st.BucketCapacity
+			}
 		}
 	}
 	return s

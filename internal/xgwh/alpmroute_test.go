@@ -5,6 +5,8 @@ import (
 	"net/netip"
 	"testing"
 
+	"sailfish/internal/alpm"
+	"sailfish/internal/mashup"
 	"sailfish/internal/netpkt"
 	"sailfish/internal/tables"
 	"sailfish/internal/tofino"
@@ -68,12 +70,67 @@ func TestALPMGatewayRouteLoop(t *testing.T) {
 	}
 }
 
-// Property: both routing engines answer every Resolve identically across a
-// random install/remove history.
+// engineTrio is a differential harness driving the trie, ALPM, and MashUp
+// engines through identical histories and asserting agreement.
+type engineTrio struct {
+	t       *testing.T
+	engines map[RouteEngine]routeLookup
+}
+
+func newEngineTrio(t *testing.T) *engineTrio {
+	return &engineTrio{t: t, engines: map[RouteEngine]routeLookup{
+		RouteEngineTrie:   trieRouting{tables.NewVXLANRoutingTable()},
+		RouteEngineALPM:   newALPMRouting(),
+		RouteEngineMashUp: newLPMRouting(func(netpkt.VNI, bool) RouteEngine { return RouteEngineMashUp }),
+	}}
+}
+
+func (e *engineTrio) insert(vni netpkt.VNI, p netip.Prefix, r tables.Route) {
+	e.t.Helper()
+	for name, eng := range e.engines {
+		if err := eng.Insert(vni, p, r); err != nil {
+			e.t.Fatalf("%s: insert %v: %v", name, p, err)
+		}
+	}
+}
+
+func (e *engineTrio) delete(vni netpkt.VNI, p netip.Prefix) {
+	e.t.Helper()
+	want, has := false, false
+	for name, eng := range e.engines {
+		got := eng.Delete(vni, p)
+		if !has {
+			want, has = got, true
+		} else if got != want {
+			e.t.Fatalf("%s: delete disagreement on (%v,%v): %v, want %v", name, vni, p, got, want)
+		}
+	}
+}
+
+func (e *engineTrio) probe(vni netpkt.VNI, a netip.Addr) {
+	e.t.Helper()
+	ref := e.engines[RouteEngineTrie]
+	v1, r1, e1 := ref.Resolve(vni, a)
+	for name, eng := range e.engines {
+		v2, r2, e2 := eng.Resolve(vni, a)
+		if e1 != e2 || (e1 == nil && (v1 != v2 || r1 != r2)) {
+			e.t.Fatalf("%s disagrees with trie at (%v,%v): (%v,%+v,%v) vs (%v,%+v,%v)",
+				name, vni, a, v2, r2, e2, v1, r1, e1)
+		}
+	}
+	n := ref.Len()
+	for name, eng := range e.engines {
+		if eng.Len() != n {
+			e.t.Fatalf("%s: Len = %d, want %d", name, eng.Len(), n)
+		}
+	}
+}
+
+// Property: all three routing engines answer every Resolve identically
+// across a random install/remove history.
 func TestEnginesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
-	trie := trieRouting{tables.NewVXLANRoutingTable()}
-	hw := newALPMRouting()
+	trio := newEngineTrio(t)
 	type key struct {
 		vni netpkt.VNI
 		p   netip.Prefix
@@ -96,13 +153,7 @@ func TestEnginesAgree(t *testing.T) {
 		switch rng.Intn(3) {
 		case 0, 1:
 			k := key{netpkt.VNI(rng.Intn(6)), randPrefix()}
-			r := tables.Route{Scope: scopes[rng.Intn(len(scopes))]}
-			if err := trie.Insert(k.vni, k.p, r); err != nil {
-				t.Fatal(err)
-			}
-			if err := hw.Insert(k.vni, k.p, r); err != nil {
-				t.Fatal(err)
-			}
+			trio.insert(k.vni, k.p, tables.Route{Scope: scopes[rng.Intn(len(scopes))]})
 			installed = append(installed, k)
 		case 2:
 			if len(installed) == 0 {
@@ -111,14 +162,9 @@ func TestEnginesAgree(t *testing.T) {
 			i := rng.Intn(len(installed))
 			k := installed[i]
 			installed = append(installed[:i], installed[i+1:]...)
-			a := trie.Delete(k.vni, k.p)
-			b := hw.Delete(k.vni, k.p)
-			if a != b {
-				t.Fatalf("delete disagreement on %v: %v vs %v", k, a, b)
-			}
+			trio.delete(k.vni, k.p)
 		}
 	}
-	// Probe.
 	for i := 0; i < 4000; i++ {
 		vni := netpkt.VNI(rng.Intn(6))
 		var a netip.Addr
@@ -133,15 +179,119 @@ func TestEnginesAgree(t *testing.T) {
 			b[0] = 10
 			a = netip.AddrFrom4(b)
 		}
-		v1, r1, e1 := trie.Resolve(vni, a)
-		v2, r2, e2 := hw.Resolve(vni, a)
-		if e1 != e2 || (e1 == nil && (v1 != v2 || r1 != r2)) {
-			t.Fatalf("engines disagree at (%v,%v): (%v,%+v,%v) vs (%v,%+v,%v)",
-				vni, a, v1, r1, e1, v2, r2, e2)
+		trio.probe(vni, a)
+	}
+}
+
+// Targeted differential cases: ancestor-replication chains and split/merge
+// churn, the two update paths where ALPM and MashUp restructure internally.
+func TestEnginesAgreeEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trio := newEngineTrio(t)
+	probeAll := func() {
+		t.Helper()
+		for i := 0; i < 600; i++ {
+			var b [4]byte
+			rng.Read(b[:])
+			b[0] = 10
+			trio.probe(1, netip.AddrFrom4(b))
+		}
+		// And on the chain spine, where replicated fallbacks answer.
+		for plen := 1; plen <= 32; plen++ {
+			trio.probe(1, netip.PrefixFrom(addr("10.1.2.3"), plen).Masked().Addr())
 		}
 	}
-	if trie.Len() != hw.Len() {
-		t.Fatalf("Len disagreement: %d vs %d", trie.Len(), hw.Len())
+
+	// Distinguishable route values ride in Tunnel.
+	routeNo := func(n int) tables.Route {
+		return tables.Route{Scope: tables.ScopeRemote, Tunnel: netip.AddrFrom4([4]byte{100, 64, byte(n >> 8), byte(n)})}
+	}
+
+	// Nested ancestor chain 10.0.0.0/1../24: every bucket and root tile
+	// beneath these replicates the deepest covering one as fallback.
+	base := addr("10.1.2.3")
+	for plen := 1; plen <= 24; plen++ {
+		trio.insert(1, netip.PrefixFrom(base, plen).Masked(), routeNo(plen))
+	}
+	// Dense hosts under 10.1.2.0/24 force splits (ALPM, cap 16) and tile
+	// carves + chain promotions (MashUp).
+	for i := 0; i < 200; i++ {
+		trio.insert(1, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 1, 2, byte(i)}), 32), routeNo(1000+i))
+	}
+	probeAll()
+
+	// Delete the ancestor chain deepest-first: each removal must refill
+	// or fall through to the next-shallower replicated fallback.
+	for plen := 24; plen >= 1; plen-- {
+		trio.delete(1, netip.PrefixFrom(base, plen).Masked())
+		probeAll()
+	}
+
+	// Merge direction: drain the dense hosts so buckets/tiles shrink and
+	// retire, then re-grow — split where a pivot already exists (the
+	// split-merge path).
+	for i := 0; i < 200; i += 2 {
+		trio.delete(1, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 1, 2, byte(i)}), 32))
+	}
+	probeAll()
+	for i := 0; i < 200; i++ {
+		trio.insert(1, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 1, 2, byte(i)}), 32), routeNo(2000+i))
+	}
+	probeAll()
+}
+
+// Engine selection: RouteEngine and RouteEngineFor pick backends per
+// config, with ALPMRoutes kept as the back-compat spelling.
+func TestRouteEngineSelection(t *testing.T) {
+	mk := func(cfg Config) *Gateway {
+		cfg.Chip = tofino.DefaultChip()
+		cfg.Folded = true
+		cfg.GatewayIP = addr("10.255.0.1")
+		return New(cfg)
+	}
+	install := func(g *Gateway) {
+		g.InstallRoute(100, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+		g.InstallRoute(200, pfx("192.168.0.0/16"), tables.Route{Scope: tables.ScopeLocal})
+	}
+
+	// MashUp engine end to end: stats visible, fewer pivots than buckets
+	// once chains form is covered elsewhere; here just the wiring.
+	g := mk(Config{RouteEngine: RouteEngineMashUp})
+	install(g)
+	st, ok := g.ALPMRouteStats()
+	if !ok || st.Pivots == 0 || st.StoredEntries < 2 {
+		t.Fatalf("mashup stats: %+v ok=%v", st, ok)
+	}
+
+	// Trie spelled explicitly reports no hardware stats.
+	g = mk(Config{RouteEngine: RouteEngineTrie})
+	install(g)
+	if _, ok := g.ALPMRouteStats(); ok {
+		t.Fatal("trie engine exposed LPM stats")
+	}
+
+	// RouteEngineFor overrides and defaults "" to ALPM.
+	var asked []netpkt.VNI
+	g = mk(Config{RouteEngineFor: func(vni netpkt.VNI, is6 bool) RouteEngine {
+		asked = append(asked, vni)
+		if vni == 100 {
+			return RouteEngineMashUp
+		}
+		return ""
+	}})
+	install(g)
+	if len(asked) != 2 {
+		t.Fatalf("pick hook called %d times, want 2", len(asked))
+	}
+	lr := g.routes.(*lpmRouting)
+	if _, isMash := lr.v4[100].(*mashup.Table[tables.Route]); !isMash {
+		t.Fatalf("vni 100 engine = %T, want mashup", lr.v4[100])
+	}
+	if _, isALPM := lr.v4[200].(*alpm.Table[tables.Route]); !isALPM {
+		t.Fatalf("vni 200 engine = %T, want alpm", lr.v4[200])
+	}
+	if v, _, ok := lr.v4[100].Lookup(addr("192.168.1.1")); !ok || v.Scope != tables.ScopeLocal {
+		t.Fatalf("mashup table lookup: %+v ok=%v", v, ok)
 	}
 }
 

@@ -122,8 +122,19 @@ type Config struct {
 	// ALPMRoutes selects the hardware routing engine: per-VNI ALPM
 	// structures (TCAM pivot index + SRAM buckets) instead of the plain
 	// trie. Lookup results are identical; this exercises the §4.4
-	// structure end to end, including incremental updates.
+	// structure end to end, including incremental updates. Equivalent to
+	// RouteEngine = RouteEngineALPM; RouteEngine wins when both are set.
 	ALPMRoutes bool
+	// RouteEngine selects the LPM backend for every routing table:
+	// RouteEngineTrie (default), RouteEngineALPM, or RouteEngineMashUp.
+	// Lookup results are identical across engines; they differ in
+	// TCAM/SRAM occupancy and update cost.
+	RouteEngine RouteEngine
+	// RouteEngineFor, when set, chooses the backend per (VNI, family)
+	// table — the controller's per-tenant knob: small tenants on ALPM
+	// buckets, million-route tenants on MashUp tiles. Overrides
+	// RouteEngine/ALPMRoutes. Returning "" falls back to ALPM.
+	RouteEngineFor func(vni netpkt.VNI, is6 bool) RouteEngine
 }
 
 // UnitStats accumulates per-folded-unit traffic for the pipeline-balance
@@ -308,7 +319,19 @@ func (g *Gateway) reportTelemetry(sc *PacketScratch, action string, now time.Tim
 // exit.
 func New(cfg Config) *Gateway {
 	var routes routeLookup = trieRouting{tables.NewVXLANRoutingTable()}
-	if cfg.ALPMRoutes {
+	switch {
+	case cfg.RouteEngineFor != nil:
+		pick := cfg.RouteEngineFor
+		routes = newLPMRouting(func(vni netpkt.VNI, is6 bool) RouteEngine {
+			if e := pick(vni, is6); e != "" {
+				return e
+			}
+			return RouteEngineALPM
+		})
+	case cfg.RouteEngine != "" && cfg.RouteEngine != RouteEngineTrie:
+		engine := cfg.RouteEngine
+		routes = newLPMRouting(func(netpkt.VNI, bool) RouteEngine { return engine })
+	case cfg.ALPMRoutes:
 		routes = newALPMRouting()
 	}
 	g := &Gateway{
@@ -439,11 +462,12 @@ func (g *Gateway) VMNCStats() digest.Stats { return g.vmnc.Stats() }
 // Device exposes the underlying chip model (for perf queries).
 func (g *Gateway) Device() *tofino.Device { return g.device }
 
-// ALPMRouteStats reports the routing engine's bucket shape when the ALPM
-// engine is active (ok=false under the trie engine).
+// ALPMRouteStats reports the routing engine's bucket/tile shape when a
+// hardware LPM engine (ALPM or MashUp) is active (ok=false under the trie
+// engine).
 func (g *Gateway) ALPMRouteStats() (s ALPMStats, ok bool) {
-	a, isALPM := g.routes.(*alpmRouting)
-	if !isALPM {
+	a, isLPM := g.routes.(*lpmRouting)
+	if !isLPM {
 		return s, false
 	}
 	st := a.stats()
@@ -452,15 +476,21 @@ func (g *Gateway) ALPMRouteStats() (s ALPMStats, ok bool) {
 		Buckets:       st.Buckets,
 		SRAMSlots:     st.SRAMEntries,
 		StoredEntries: st.StoredEntries,
+		Replicated:    st.Replicated,
 	}, true
 }
 
-// ALPMStats summarizes the live ALPM routing structure.
+// ALPMStats summarizes the live hardware LPM routing structure. Under
+// MashUp, Pivots counts only root tiles (chained tiles need no TCAM row),
+// so Pivots < Buckets.
 type ALPMStats struct {
 	Pivots        int
 	Buckets       int
 	SRAMSlots     int
 	StoredEntries int
+	// Replicated counts stored copies beyond one per logical route
+	// (ancestor fallbacks).
+	Replicated int
 }
 
 // --- Data plane ---

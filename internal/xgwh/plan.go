@@ -26,6 +26,28 @@ func Plan(chip tofino.ChipConfig, w Workload, o Optimizations) (*tofino.Layout, 
 	if o.ALPM {
 		lpmKind = tofino.MatchALPM
 	}
+	// With TiledLPM the planner asks the layout, per table, whether ALPM
+	// buckets or MashUp tiles are cheaper given the whole program: the
+	// service tables bound for the routing table's pipe are passed as
+	// planned demand, so pivot rows the ACLs are about to claim don't get
+	// promised to ALPM — that is when large tables flip to tiles.
+	routePipe := routeSegs[0].PipeIndex(o.Folding)
+	var planned []tofino.TableSpec
+	for _, s := range w.Services {
+		seg := s.Seg
+		if !o.Folding {
+			seg = remapUnfolded(seg)
+		}
+		if seg.PipeIndex(o.Folding) == routePipe {
+			planned = append(planned, s.Spec)
+		}
+	}
+	placeLPM := func(spec tofino.TableSpec) error {
+		if o.ALPM && o.TiledLPM {
+			spec.Kind = l.ChooseLPMKind(spec, routeSegs[0], planned...)
+		}
+		return l.Place(spec, routeSegs[0], routeSegs[1:]...)
+	}
 	if o.Pooling {
 		// One dual-stack table: IPv4 keys aligned up to the IPv6 width
 		// so LPM masks stay contiguous (§4.4 "IPv4/IPv6 table pooling").
@@ -34,7 +56,7 @@ func Plan(chip tofino.ChipConfig, w Workload, o Optimizations) (*tofino.Layout, 
 			KeyBits: vxlanKeyBits(true), ActionBits: VXLANRouteActionBits,
 			Entries: w.VXLANRoutesV4 + w.VXLANRoutesV6,
 		}
-		if err := l.Place(spec, routeSegs[0], routeSegs[1:]...); err != nil {
+		if err := placeLPM(spec); err != nil {
 			return nil, err
 		}
 	} else {
@@ -48,7 +70,7 @@ func Plan(chip tofino.ChipConfig, w Workload, o Optimizations) (*tofino.Layout, 
 			if s.Entries == 0 {
 				continue
 			}
-			if err := l.Place(s, routeSegs[0], routeSegs[1:]...); err != nil {
+			if err := placeLPM(s); err != nil {
 				return nil, err
 			}
 		}

@@ -95,6 +95,54 @@ func TestOnlyFinalStepFeasible(t *testing.T) {
 	}
 }
 
+// TiledLPM (f): when ternary ACLs claim most of the routing pipe's TCAM,
+// ALPM's pivot rows no longer fit, and the planner must flip the routing
+// table to MashUp tiles — turning an infeasible plan feasible. The chooser
+// sees the ACL demand through the planned-tables reservation even though
+// services are placed after routing.
+func TestTiledLPMPlanFlipsUnderTCAMPressure(t *testing.T) {
+	chip := tofino.DefaultChip()
+	w := MajorTableWorkload()
+	w.Services = []ServiceTable{
+		{Spec: tofino.TableSpec{Name: "acl_big", Kind: tofino.MatchTernary,
+			KeyBits: vniBits + 32, ActionBits: 8, Entries: 560_000},
+			Seg: tofino.SegIngressEntry},
+	}
+	full := Optimizations{Folding: true, SplitPipes: true, Pooling: true, Compression: true, ALPM: true}
+
+	alpmOnly, err := Plan(chip, w, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpmOnly.Feasible() {
+		t.Fatalf("ALPM-only plan should overflow TCAM:\n%v", alpmOnly)
+	}
+
+	full.TiledLPM = true
+	tiled, err := Plan(chip, w, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiled.Feasible() {
+		t.Fatalf("tiled plan infeasible: %v", tiled.Problems())
+	}
+	routing := tiled.Placements()[0]
+	if routing.Spec.Name != "vxlan_routing" || routing.Spec.Kind != tofino.MatchMashUp {
+		t.Fatalf("routing placement = %s/%v, want vxlan_routing/mashup",
+			routing.Spec.Name, routing.Spec.Kind)
+	}
+	// Without TCAM pressure the flag is inert: ALPM stays the pick, so the
+	// Fig. 17 numbers are untouched by construction.
+	w.Services = nil
+	calm, err := Plan(chip, w, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := calm.Placements()[0].Spec.Kind; k != tofino.MatchALPM {
+		t.Fatalf("unpressured plan picked %v, want alpm", k)
+	}
+}
+
 // Table 3: the two major tables after all optimizations.
 func TestTable3MemoryOccupancy(t *testing.T) {
 	l, err := Plan(tofino.DefaultChip(), MajorTableWorkload(),

@@ -129,6 +129,11 @@ type Optimizations struct {
 	Compression bool
 	// ALPM converts LPM tables to algorithmic form (e).
 	ALPM bool
+	// TiledLPM lets the planner choose per LPM table between ALPM buckets
+	// and MashUp tiles from the layout's remaining TCAM/SRAM shape (f) —
+	// the million-route configuration. Only meaningful with ALPM; off by
+	// default so the Fig. 17 step sequence is unchanged.
+	TiledLPM bool
 }
 
 // StepNames mirror the x-axis of Fig. 17.
